@@ -1,0 +1,25 @@
+# Convenience targets for the Nepal reproduction.
+
+.PHONY: install test bench sweep examples all
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# The paper-style comparison tables (Tables 1-2, ablations, storage).
+sweep:
+	pytest benchmarks/ -s --benchmark-disable
+
+examples:
+	python examples/quickstart.py
+	python examples/troubleshooting.py
+	python examples/service_quality.py
+	python examples/federation.py
+	python examples/language_tour.py
+
+all: install test bench

@@ -1,0 +1,91 @@
+"""F1 — Figure 2 structure census.
+
+Figures 1–3 of the paper are model diagrams, not measurements; this bench
+verifies the generated inventory instantiates the four-layer model (and
+prints the census), plus times the model-driven checks the schema enables.
+"""
+
+from collections import Counter
+
+from repro.storage.base import TimeScope
+
+CURRENT = TimeScope.current()
+
+LAYER_OF = {
+    "Service": "service",
+    "DNS": "service", "Firewall": "service", "LoadBalancer": "service", "EPC": "service",
+    "ProxyVFC": "logical", "WebServerVFC": "logical",
+    "DatabaseVFC": "logical", "PacketCoreVFC": "logical",
+    "VMWare": "virtualization", "OnMetal": "virtualization", "Docker": "virtualization",
+    "VirtualNetwork": "virtualization", "VirtualRouter": "virtualization",
+    "Host": "physical", "TorSwitch": "physical", "SpineSwitch": "physical",
+    "Router": "physical",
+}
+
+#: Vertical edge classes and the (upper layer, lower layer) pairs they may
+#: connect in the Figure 2 model.
+VERTICAL_DISCIPLINE = {
+    "ComposedOf": {("service", "service"), ("service", "logical")},
+    "OnVM": {("logical", "virtualization")},
+    "OnServer": {("virtualization", "physical")},
+}
+
+
+def test_print_figure2_census(service_env):
+    store = service_env.snap
+    layers = Counter()
+    for uid in store.current_uids():
+        record = store.get_element(uid, CURRENT)
+        if record.is_node:
+            layers[LAYER_OF.get(record.cls.name, "other")] += 1
+    print()
+    print("== Figure 2: layered network model census ==")
+    for layer in ("service", "logical", "virtualization", "physical"):
+        print(f"  {layer:15s} {layers[layer]:5d} nodes")
+    assert layers["other"] == 0
+    assert all(layers[layer] > 0 for layer in
+               ("service", "logical", "virtualization", "physical"))
+
+
+def test_vertical_edges_respect_layering(service_env):
+    """Every vertical edge descends the Figure 2 layers (or stays within
+    the service layer for Service->VNF composition)."""
+    store = service_env.snap
+    checked = 0
+    for uid in store.current_uids():
+        record = store.get_element(uid, CURRENT)
+        if record is None or record.is_node:
+            continue
+        if record.cls.name not in VERTICAL_DISCIPLINE:
+            continue
+        source = store.get_element(record.source_uid, CURRENT)
+        target = store.get_element(record.target_uid, CURRENT)
+        pair = (LAYER_OF[source.cls.name], LAYER_OF[target.cls.name])
+        assert pair in VERTICAL_DISCIPLINE[record.cls.name], (record, pair)
+        checked += 1
+    assert checked > 500
+
+
+def test_horizontal_edges_stay_in_layer(service_env):
+    store = service_env.snap
+    horizontal = store.schema.resolve("Horizontal")
+    for uid in store.current_uids():
+        record = store.get_element(uid, CURRENT)
+        if record is None or record.is_node or not record.cls.is_subclass_of(horizontal):
+            continue
+        source = store.get_element(record.source_uid, CURRENT)
+        target = store.get_element(record.target_uid, CURRENT)
+        assert LAYER_OF[source.cls.name] == LAYER_OF[target.cls.name], record
+
+
+def test_bench_census(benchmark, service_env):
+    store = service_env.snap
+
+    def census():
+        return sum(
+            1
+            for uid in store.current_uids()
+            if store.get_element(uid, CURRENT).is_node
+        )
+
+    benchmark(census)

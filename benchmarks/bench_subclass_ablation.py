@@ -1,0 +1,90 @@
+"""E3 — the §6 subclass-refinement experiment.
+
+"We created 66 subclasses, one for each possible edge type_indicator value,
+and loaded a graph from the most recent day's data. ... Reverse service
+path: average of 8.390 sec [from 9.844].  Bottom up: average of .049 sec
+[from .672] — fast enough for interactive applications."
+
+The same generated graph is loaded twice: once with one node class and one
+edge class (type indicators kept as fields, queries filter on the
+``category`` field), once with the 66 edge subclasses (queries name the
+``CircuitEdge``/``VerticalEdge`` concept classes).  The mechanism under
+test is "the automatic elimination of many useless edges from the
+navigation joins": class-partitioned adjacency skips the noise edges that
+the flat load must fetch and filter one by one.
+
+Expected shape: bottom-up improves several-fold (paper: ~14x, driven by hub
+nodes whose in-edges are almost all irrelevant — the measured factor scales
+with the hub noise volume, i.e. with NEPAL_BENCH_SCALE); reverse path
+improves only moderately (its fanout is mostly *relevant* edges).
+"""
+
+from benchmarks.support import run_instances, sweep
+
+#: §6 in-text numbers: (flat seconds, subclassed seconds).
+PAPER = {
+    "reverse path": (9.844, 8.390),
+    "bottom-up": (0.672, 0.049),
+}
+
+
+def test_print_subclass_ablation(legacy_flat_env, legacy_subclassed_env):
+    print()
+    print("== §6 subclass refinement ablation (legacy topology) ==")
+    rows = []
+    measured = {}
+    for kind in ("service path", "reverse path", "top-down", "bottom-up"):
+        flat = sweep(legacy_flat_env, kind)
+        sub = sweep(legacy_subclassed_env, kind)
+        measured[kind] = (flat, sub)
+        speedup = (
+            flat.avg_seconds_snap / sub.avg_seconds_snap
+            if sub.avg_seconds_snap
+            else float("inf")
+        )
+        paper_flat, paper_sub = PAPER.get(kind, (0.0, 0.0))
+        paper_note = (
+            f"paper {paper_flat / paper_sub:.1f}x" if paper_sub else "paper n/a"
+        )
+        rows.append(
+            f"  {kind:13s} flat {flat.avg_seconds_snap * 1000:8.1f} ms -> "
+            f"subclassed {sub.avg_seconds_snap * 1000:8.1f} ms "
+            f"({speedup:5.1f}x; {paper_note})"
+        )
+    print("\n".join(rows))
+
+    # Results must be identical — only the physical layout changed.
+    for kind, (flat, sub) in measured.items():
+        assert abs(flat.avg_paths - sub.avg_paths) < 1e-9, kind
+
+    flat_bu, sub_bu = measured["bottom-up"]
+    flat_rp, sub_rp = measured["reverse path"]
+    bottom_up_speedup = flat_bu.avg_seconds_snap / max(sub_bu.avg_seconds_snap, 1e-9)
+    reverse_speedup = flat_rp.avg_seconds_snap / max(sub_rp.avg_seconds_snap, 1e-9)
+    # The paper's qualitative findings:
+    assert bottom_up_speedup > 3.0, "bottom-up should improve drastically"
+    assert reverse_speedup < bottom_up_speedup, (
+        "reverse path improves only moderately (fanout is mostly relevant)"
+    )
+    # Subclassed bottom-up is interactive.
+    assert sub_bu.avg_seconds_snap < 0.05
+
+
+def test_bench_bottom_up_flat(benchmark, legacy_flat_env):
+    env = legacy_flat_env
+    instances = env.workload_snap["bottom-up"][:10]
+
+    def run():
+        return run_instances(env.snap, env.planner(env.snap), instances)
+
+    benchmark(run)
+
+
+def test_bench_bottom_up_subclassed(benchmark, legacy_subclassed_env):
+    env = legacy_subclassed_env
+    instances = env.workload_snap["bottom-up"][:10]
+
+    def run():
+        return run_instances(env.snap, env.planner(env.snap), instances)
+
+    benchmark(run)

@@ -1,0 +1,63 @@
+"""E1 — Table 1: query response times on the virtualized service graph.
+
+Reproduces the five query types of the paper's Table 1 on the synthetic
+~2k-node service topology, on both the current snapshot and the database
+with a 60-day history, printing measured averages next to the paper's
+numbers.  Absolute times differ from the paper's testbed; the claims under
+test are the *shape* ones:
+
+* vertical queries (top-down, bottom-up) are fast and return few paths;
+* overlay/underlay navigation returns orders of magnitude more paths, and
+  the 6-hop host query costs clearly more than the 4-hop one;
+* full-history execution is only moderately slower than snapshot execution
+  (E5; the paper's history was 6% larger than its snapshot).
+"""
+
+import pytest
+
+from benchmarks.support import print_paper_table, sweep, timed_subset
+
+#: Table 1 of the paper: type -> (#paths, snap seconds, hist seconds).
+PAPER_TABLE_1 = {
+    "top-down": (19.5, 0.058, 0.073),
+    "bottom-up": (2.3, 0.061, 0.072),
+    "VM-VM (4)": (215.9, 0.184, 0.206),
+    "Host-Host (4)": (18.5, 0.067, 0.081),
+    "Host-Host (6)": (561.7, 0.67, 0.68),
+}
+
+KINDS = list(PAPER_TABLE_1)
+
+
+def test_print_table1(service_env):
+    """Full 50-instance sweep for every query type (prints the table)."""
+    results = [sweep(service_env, kind) for kind in KINDS]
+    print_paper_table(
+        "Table 1 — virtualized service graph "
+        f"(history +{100 * service_env.churn_growth:.1f}%)",
+        results,
+        PAPER_TABLE_1,
+    )
+    by_kind = {result.kind: result for result in results}
+    # Shape assertions from the paper:
+    # vertical queries return few paths, horizontal many.
+    assert by_kind["bottom-up"].avg_paths < by_kind["top-down"].avg_paths * 5
+    assert by_kind["VM-VM (4)"].avg_paths > by_kind["Host-Host (4)"].avg_paths
+    # Widening Host-Host from 4 to 6 hops explodes the path count and cost.
+    assert by_kind["Host-Host (6)"].avg_paths > 3 * by_kind["Host-Host (4)"].avg_paths
+    assert (
+        by_kind["Host-Host (6)"].avg_seconds_snap
+        > by_kind["Host-Host (4)"].avg_seconds_snap
+    )
+    # E5: history only moderately slower (paper: <30%; we allow 2x).
+    for kind in ("top-down", "bottom-up", "Host-Host (4)"):
+        result = by_kind[kind]
+        assert result.avg_seconds_hist < max(result.avg_seconds_snap * 2.0, 0.01)
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_bench_table1(benchmark, service_env, kind):
+    """pytest-benchmark timing of a 10-instance slice per query type."""
+    run = timed_subset(service_env, kind, count=10)
+    total = benchmark(run)
+    assert total >= 0

@@ -1,0 +1,59 @@
+"""E2 — Table 2: query response times on the legacy topology.
+
+The synthetic legacy graph is scaled down from AT&T's 1.6M nodes / 7.1M
+edges (see DESIGN.md); the claims under test are the relative ones the
+paper reports:
+
+* forward-anchored queries (service path, top-down) run fast;
+* the reverse service-path query "returns a huge number of results" and is
+  orders of magnitude more expensive;
+* the bottom-up query is the pathological one on the flat load (measured
+  separately in the subclass ablation);
+* history execution is only moderately slower (the paper's legacy history
+  was 16% larger).
+
+The default (flat single-class) load is benchmarked here, matching the
+paper's original Table 2 run.
+"""
+
+import pytest
+
+from benchmarks.support import print_paper_table, sweep, timed_subset
+
+#: Table 2 of the paper: type -> (#paths, snap seconds, hist seconds).
+PAPER_TABLE_2 = {
+    "service path": (32.9, 0.038, 0.040),
+    "reverse path": (391_000, 9.844, 9.520),
+    "top-down": (4.4, 0.029, 0.039),
+    "bottom-up": (73.18, 0.672, 0.772),
+}
+
+KINDS = list(PAPER_TABLE_2)
+
+
+def test_print_table2(legacy_flat_env):
+    results = [sweep(legacy_flat_env, kind) for kind in KINDS]
+    print_paper_table(
+        "Table 2 — legacy topology, flat single-class load "
+        f"(history +{100 * legacy_flat_env.churn_growth:.1f}%)",
+        results,
+        PAPER_TABLE_2,
+    )
+    by_kind = {result.kind: result for result in results}
+    # Reverse path dominates both path count and cost (the deep-mining query).
+    assert by_kind["reverse path"].avg_paths > 10 * by_kind["service path"].avg_paths
+    assert (
+        by_kind["reverse path"].avg_seconds_snap
+        > 5 * by_kind["service path"].avg_seconds_snap
+    )
+    # Forward-anchored queries are interactive-fast.
+    assert by_kind["service path"].avg_seconds_snap < 0.1
+    assert by_kind["top-down"].avg_seconds_snap < 0.1
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_bench_table2(benchmark, legacy_flat_env, kind):
+    count = 3 if kind == "reverse path" else 10
+    run = timed_subset(legacy_flat_env, kind, count=count)
+    total = benchmark(run)
+    assert total >= 0

@@ -1,0 +1,20 @@
+"""Session-scoped benchmark environments (built once, shared by benches)."""
+
+import pytest
+
+from benchmarks.support import build_legacy_env, build_service_env
+
+
+@pytest.fixture(scope="session")
+def service_env():
+    return build_service_env()
+
+
+@pytest.fixture(scope="session")
+def legacy_flat_env():
+    return build_legacy_env(subclassed=False)
+
+
+@pytest.fixture(scope="session")
+def legacy_subclassed_env():
+    return build_legacy_env(subclassed=True)

@@ -1,0 +1,226 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each bench module regenerates one artifact of the paper's evaluation
+(Tables 1 and 2, the §6 in-text experiments, plus ablations DESIGN.md calls
+out).  Two conventions:
+
+* every bench prints a paper-style table (paper value next to measured
+  value) so ``pytest benchmarks/ --benchmark-only`` output doubles as the
+  EXPERIMENTS.md source;
+* pytest-benchmark times a fixed slice of the workload; the printed
+  averages come from a full sweep measured directly, mirroring the paper's
+  "50 instances per query type, zero-path instances avoided".
+
+Scale: ``NEPAL_BENCH_SCALE=paper`` uses the largest (slowest) legacy graph;
+the default ``medium`` keeps the full suite under ~10 minutes.  The
+virtualized service graph always runs at the paper's scale (~2k nodes).
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import time
+from dataclasses import dataclass, field
+
+from repro.inventory.churn import ChurnParams, ChurnSimulator
+from repro.inventory.legacy import LegacyParams, LegacyTopology, build_legacy_schema
+from repro.inventory.virtualized import TopologyParams, VirtualizedServiceTopology
+from repro.inventory.workload import QueryInstance, table1_workload, table2_workload
+from repro.plan.planner import Planner, PlannerOptions
+from repro.stats.cardinality import CardinalityEstimator
+from repro.storage.base import GraphStore, TimeScope
+from repro.storage.memgraph.store import MemGraphStore
+from repro.temporal.clock import TransactionClock
+from repro.util.text import format_table
+
+T0 = 1_600_000_000.0
+
+SCALE = os.environ.get("NEPAL_BENCH_SCALE", "medium")
+
+LEGACY_PARAMS = {
+    "small": LegacyParams(
+        chains=800, core_nodes=25, aggregation_nodes=120, sites=30,
+        noise_hubs=12, noise_edges_per_hub=2500, agg_noise_edges=3000,
+    ),
+    "medium": LegacyParams(
+        chains=2500, core_nodes=40, aggregation_nodes=250, sites=60,
+        noise_hubs=25, noise_edges_per_hub=5000, agg_noise_edges=6000,
+    ),
+    "paper": LegacyParams(),  # generator defaults (~1/40 of AT&T's graph)
+}[SCALE if SCALE in ("small", "medium", "paper") else "medium"]
+
+INSTANCES = 50  # the paper's instance count per query type
+
+
+@dataclass
+class BenchEnv:
+    """A populated store pair (snapshot-only and with-history) + workload."""
+
+    snap: GraphStore
+    hist: GraphStore
+    handles: object
+    workload_snap: dict[str, list[QueryInstance]]
+    workload_hist: dict[str, list[QueryInstance]]
+    churn_growth: float
+    history_mid: float
+    planners: dict[int, Planner] = field(default_factory=dict)
+
+    def planner(self, store: GraphStore) -> Planner:
+        key = id(store)
+        if key not in self.planners:
+            self.planners[key] = Planner(
+                store.schema, CardinalityEstimator(store), PlannerOptions()
+            )
+        return self.planners[key]
+
+
+@dataclass
+class SweepResult:
+    kind: str
+    avg_paths: float
+    avg_seconds_snap: float
+    avg_seconds_hist: float
+    instances: int
+
+
+def build_service_env() -> BenchEnv:
+    """The virtualized service graph at paper scale, with 60-day history."""
+    def build(store: GraphStore):
+        return VirtualizedServiceTopology().apply(store)
+
+    from repro.schema.builtin import build_network_schema
+
+    snap = MemGraphStore(build_network_schema(), clock=TransactionClock(start=T0),
+                         name="service-snap")
+    handles = build(snap)
+
+    hist = MemGraphStore(build_network_schema(), clock=TransactionClock(start=T0),
+                         name="service-hist")
+    hist_handles = build(hist)
+    churn = ChurnSimulator(
+        hist, ChurnParams(days=60, growth_ratio=0.06, seed=97)
+    ).run(
+        hist_handles.all_nodes(), hist_handles.all_edges(),
+        migratable={vm: hist_handles.hosts for vm in hist_handles.vms},
+    )
+    return BenchEnv(
+        snap=snap,
+        hist=hist,
+        handles=handles,
+        workload_snap=table1_workload(handles, instances=INSTANCES),
+        workload_hist=table1_workload(hist_handles, instances=INSTANCES),
+        churn_growth=churn.growth,
+        history_mid=(churn.start_time + churn.end_time) / 2,
+    )
+
+
+def build_legacy_env(subclassed: bool) -> BenchEnv:
+    """The legacy topology in one of the two schema variants of §6."""
+    def build(store: GraphStore):
+        return LegacyTopology(LEGACY_PARAMS, subclassed=subclassed).apply(store)
+
+    schema = build_legacy_schema(subclassed)
+    snap = MemGraphStore(schema, clock=TransactionClock(start=T0),
+                         name=f"legacy-snap-{subclassed}")
+    handles = build(snap)
+
+    hist = MemGraphStore(build_legacy_schema(subclassed),
+                         clock=TransactionClock(start=T0),
+                         name=f"legacy-hist-{subclassed}")
+    hist_handles = build(hist)
+    churn = ChurnSimulator(
+        hist, ChurnParams(days=60, growth_ratio=0.16, seed=98,
+                          migration_fraction=0.0, flap_fraction=0.1)
+    ).run(hist_handles.all_uids, [], migratable=None)
+    return BenchEnv(
+        snap=snap,
+        hist=hist,
+        handles=handles,
+        workload_snap=table2_workload(handles, subclassed, instances=INSTANCES),
+        workload_hist=table2_workload(hist_handles, subclassed, instances=INSTANCES),
+        churn_growth=churn.growth,
+        history_mid=(churn.start_time + churn.end_time) / 2,
+    )
+
+
+def run_instances(
+    store: GraphStore,
+    planner: Planner,
+    instances: list[QueryInstance],
+    scope: TimeScope | None = None,
+) -> tuple[float, float]:
+    """(average #paths over non-zero instances, average seconds) — the
+    paper's measurement protocol."""
+    scope = scope or TimeScope.current()
+    counts: list[int] = []
+    durations: list[float] = []
+    for instance in instances:
+        program = planner.compile(instance.rpe)
+        started = time.perf_counter()
+        pathways = store.find_pathways(program, scope)
+        durations.append(time.perf_counter() - started)
+        if pathways:
+            counts.append(len(pathways))
+    avg_paths = statistics.mean(counts) if counts else 0.0
+    return avg_paths, statistics.mean(durations)
+
+
+def sweep(env: BenchEnv, kind: str) -> SweepResult:
+    """Run one query type over snapshot and history stores."""
+    snap_instances = env.workload_snap[kind]
+    hist_instances = env.workload_hist[kind]
+    paths, snap_time = run_instances(env.snap, env.planner(env.snap), snap_instances)
+    _, hist_time = run_instances(env.hist, env.planner(env.hist), hist_instances)
+    return SweepResult(
+        kind=kind,
+        avg_paths=paths,
+        avg_seconds_snap=snap_time,
+        avg_seconds_hist=hist_time,
+        instances=len(snap_instances),
+    )
+
+
+def print_paper_table(
+    title: str,
+    rows: list[SweepResult],
+    paper: dict[str, tuple[float, float, float]],
+) -> None:
+    """Render measured results next to the paper's numbers."""
+    table_rows = []
+    for result in rows:
+        paper_paths, paper_snap, paper_hist = paper.get(result.kind, (0, 0, 0))
+        table_rows.append([
+            result.kind,
+            f"{result.avg_paths:.1f}",
+            f"{result.avg_seconds_snap * 1000:.1f}",
+            f"{result.avg_seconds_hist * 1000:.1f}",
+            f"{paper_paths:g}",
+            f"{paper_snap * 1000:g}",
+            f"{paper_hist * 1000:g}",
+        ])
+    print()
+    print(f"== {title} ==")
+    print(
+        format_table(
+            ["type", "#paths", "snap ms", "hist ms",
+             "paper #paths", "paper snap ms", "paper hist ms"],
+            table_rows,
+        )
+    )
+
+
+def timed_subset(env: BenchEnv, kind: str, count: int = 10):
+    """A callable running a fixed workload slice (for pytest-benchmark)."""
+    instances = env.workload_snap[kind][:count]
+    planner = env.planner(env.snap)
+    programs = [planner.compile(instance.rpe) for instance in instances]
+    scope = TimeScope.current()
+
+    def run() -> int:
+        total = 0
+        for program in programs:
+            total += len(env.snap.find_pathways(program, scope))
+        return total
+
+    return run

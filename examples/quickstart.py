@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Quickstart: build a small inventory, ask Nepal path questions.
+
+Run: ``python examples/quickstart.py``
+
+Walks the basics in five minutes: defining elements under the built-in
+layered network schema, pathway queries with class generalization, joins,
+and a first taste of time travel.
+"""
+
+from repro import NepalDB
+from repro.temporal.clock import TransactionClock
+
+T0 = 1_700_000_000.0  # a fixed epoch so the output is reproducible
+
+
+def build_inventory(db: NepalDB) -> dict:
+    """A two-rack micro-datacenter running one firewall VNF."""
+    uids = {}
+    # Physical layer ------------------------------------------------------
+    uids["host_a"] = db.insert_node("Host", {"name": "host-a", "cpu_cores": 64})
+    uids["host_b"] = db.insert_node("Host", {"name": "host-b", "cpu_cores": 32})
+    uids["tor_a"] = db.insert_node("TorSwitch", {"name": "tor-a", "ports": 48})
+    uids["tor_b"] = db.insert_node("TorSwitch", {"name": "tor-b", "ports": 48})
+    db.connect("ServerSwitch", uids["host_a"], uids["tor_a"],
+               {"server_interface": "eth0", "switch_interface": "ge-0/0"})
+    db.connect("ServerSwitch", uids["host_b"], uids["tor_b"],
+               {"server_interface": "eth0", "switch_interface": "ge-0/1"})
+    db.connect("SwitchSwitch", uids["tor_a"], uids["tor_b"])
+
+    # Virtualization layer ---------------------------------------------------
+    uids["vm_1"] = db.insert_node("VMWare", {"name": "vm-1", "status": "Green", "vcpus": 4})
+    uids["vm_2"] = db.insert_node("OnMetal", {"name": "vm-2", "status": "Green", "vcpus": 8})
+    uids["net"] = db.insert_node("VirtualNetwork", {"name": "tenant-net", "cidr": "10.1.0.0/24"})
+    db.insert_edge("OnServer", uids["vm_1"], uids["host_a"])
+    db.insert_edge("OnServer", uids["vm_2"], uids["host_b"])
+    db.connect("VmNetwork", uids["vm_1"], uids["net"], {"ip_address": "10.1.0.2"})
+    db.connect("VmNetwork", uids["vm_2"], uids["net"], {"ip_address": "10.1.0.3"})
+
+    # Service layers ------------------------------------------------------------
+    uids["service"] = db.insert_node(
+        "Service", {"name": "vpn-east", "customer": "acme", "service_type": "vpn"}
+    )
+    uids["fw"] = db.insert_node(
+        "Firewall", {"name": "fw-east", "status": "Green", "ruleset_version": "42"}
+    )
+    uids["proxy"] = db.insert_node("ProxyVFC", {"name": "fw-proxy", "role": "active"})
+    uids["engine"] = db.insert_node("PacketCoreVFC", {"name": "fw-engine", "role": "active"})
+    db.insert_edge("ComposedOf", uids["service"], uids["fw"])
+    db.insert_edge("ComposedOf", uids["fw"], uids["proxy"])
+    db.insert_edge("ComposedOf", uids["fw"], uids["engine"])
+    db.insert_edge("OnVM", uids["proxy"], uids["vm_1"])
+    db.insert_edge("OnVM", uids["engine"], uids["vm_2"])
+    return uids
+
+
+def main() -> None:
+    db = NepalDB(clock=TransactionClock(start=T0))
+    uids = build_inventory(db)
+    print(db.store.describe())
+
+    # 1. The paper's flagship question: which VNFs depend on host-a?
+    #    The Vertical superclass spares us knowing the exact edge chain.
+    print("\n-- VNFs affected by replacing host-a --")
+    result = db.query(
+        f"Select source(P).name From PATHS P "
+        f"Where P MATCHES VNF()->[Vertical()]{{1,6}}->Host(id={uids['host_a']})"
+    )
+    print(result.to_table())
+
+    # 2. Pathways are first-class: Retrieve returns them whole.
+    print("\n-- how fw-east reaches its hardware --")
+    for pathway in db.find_paths(
+        f"VNF(id={uids['fw']})->[Vertical()]{{1,6}}->Host()"
+    ):
+        print(" ", pathway.render())
+
+    # 3. A join: the physical route between the two VMs' hosts.
+    print("\n-- physical route between the firewall's two hosts --")
+    result = db.query(
+        f"Retrieve Phys From PATHS D1, PATHS D2, PATHS Phys "
+        f"Where D1 MATCHES VM(id={uids['vm_1']})->OnServer()->Host() "
+        f"And D2 MATCHES VM(id={uids['vm_2']})->OnServer()->Host() "
+        f"And Phys MATCHES [ConnectedTo()]{{1,4}} "
+        f"And source(Phys)=target(D1) And target(Phys)=target(D2)"
+    )
+    for row in result:
+        print(" ", row.pathway("Phys").render())
+
+    # 4. Time travel: migrate vm-1, then ask about the past.
+    db.clock.advance(3600)
+    placement = db.find_paths(f"VM(id={uids['vm_1']})->OnServer()->Host()")[0]
+    db.delete(placement.edges[0].uid)
+    db.insert_edge("OnServer", uids["vm_1"], uids["host_b"])
+
+    print("\n-- where is vm-1 now, and where was it an hour ago? --")
+    now = db.query(
+        f"Select target(P).name From PATHS P "
+        f"Where P MATCHES VM(id={uids['vm_1']})->OnServer()->Host()"
+    )
+    then = db.query(
+        f"AT {T0 + 60} Select target(P).name From PATHS P "
+        f"Where P MATCHES VM(id={uids['vm_1']})->OnServer()->Host()"
+    )
+    print(f"  now:  {now.scalars()}")
+    print(f"  then: {then.scalars()}")
+
+    # 5. A time-range query returns maximal validity intervals.
+    print("\n-- placement history of vm-1 (maximal ranges) --")
+    for pathway in db.find_paths(
+        f"VM(id={uids['vm_1']})->OnServer()->Host()", between=(T0, T0 + 7200)
+    ):
+        print(f"  {pathway.render()}")
+        for interval in pathway.validity:
+            print(f"    valid {interval}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Troubleshooting a dropped-calls incident with time travel (§2.3.2, §4).
+
+Run: ``python examples/troubleshooting.py``
+
+The scenario the paper opens Section 4 with: "to diagnose an increase in
+dropped calls starting at 10:00 am, the network engineer needs to consult
+the state of the network at 10:00 am, not the current 1:00 pm state."
+
+We build the full virtualized service topology, replay three days of
+incidents (a ToR uplink flap, a VM migration, a host going Red), then
+investigate after the fact:
+
+1. a timeslice query reconstructs the 10:00 am state;
+2. a time-range query finds which service paths flowed through the flapping
+   link, with their maximal validity intervals;
+3. ``FIRST TIME WHEN EXISTS`` pins down when the degraded placement began;
+4. a path-evolution query lists every field change on the suspect pathway;
+5. a shared-fate query sizes the blast radius of the Red host.
+"""
+
+import random
+
+from repro import NepalDB
+from repro.inventory.virtualized import TopologyParams, VirtualizedServiceTopology
+from repro.storage.base import TimeScope
+from repro.temporal.interval import format_timestamp
+from repro.temporal.clock import TransactionClock
+
+T0 = 1_700_000_000.0
+HOUR = 3600.0
+
+
+def main() -> None:
+    db = NepalDB(clock=TransactionClock(start=T0))
+    params = TopologyParams(
+        services=4, vms=150, virtual_networks=40, virtual_routers=12,
+        racks=6, hosts_per_rack=5, spine_switches=4, routers=3,
+    )
+    handles = VirtualizedServiceTopology(params).apply(db.store)
+    print(f"inventory: {handles.summary()}")
+    rng = random.Random(42)
+
+    # ----- the incident timeline (what actually happened) -----------------
+    scope = TimeScope.current()
+    vnf = handles.vnfs[0]
+    vfc = handles.vnf_vfcs[vnf][0]
+    vm = handles.vfc_vm[vfc]
+    old_host = handles.vm_host[vm]
+
+    # 09:30 — a ToR uplink starts flapping.
+    tor_uplink = next(
+        edge
+        for switch in handles.switches
+        for edge in db.store.out_edges(switch, scope)
+        if edge.cls.name == "SwitchSwitch"
+    )
+    db.clock.set(T0 + 9.5 * HOUR)
+    db.delete(tor_uplink.uid)
+    db.clock.set(T0 + 9.75 * HOUR)
+    db.insert_edge("SwitchSwitch", tor_uplink.source_uid, tor_uplink.target_uid,
+                   uid=tor_uplink.uid)
+
+    # 10:00 — the VM behind the complaining service is migrated (to a host
+    # that is healthy at migration time).
+    db.clock.set(T0 + 10 * HOUR)
+    placement = next(
+        e for e in db.store.out_edges(vm, scope) if e.cls.name == "OnServer"
+    )
+    new_host = rng.choice([
+        h for h in handles.hosts
+        if h != old_host and db.store.get_element(h, scope).get("status") == "Green"
+    ])
+    db.delete(placement.uid)
+    db.insert_edge("OnServer", vm, new_host)
+
+    # 10:20 — the destination host degrades.
+    db.clock.set(T0 + 10.33 * HOUR)
+    db.update(new_host, {"status": "Red"})
+
+    # 13:00 — the engineer starts investigating.
+    db.clock.set(T0 + 13 * HOUR)
+
+    # ----- 1. reconstruct the 10:00 am state -------------------------------
+    print("\n== where did the service's VNF run at 10:05, vs now? ==")
+    for label, clause in (("10:05", f"AT {T0 + 10.08 * HOUR} "), ("now", "")):
+        result = db.query(
+            f"{clause}Select target(P).name, target(P).status From PATHS P "
+            f"Where P MATCHES VNF(id={vnf})->VFC(id={vfc})->VM()->Host()"
+        )
+        print(f"  {label}: {result.value_rows()}")
+
+    # ----- 2. which paths flowed through the flapping link? ----------------
+    print("\n== paths through the flapping ToR uplink, 09:00–11:00 ==")
+    paths = db.find_paths(
+        f"Switch()->SwitchSwitch(id={tor_uplink.uid})->Switch()",
+        between=(T0 + 9 * HOUR, T0 + 11 * HOUR),
+    )
+    for pathway in paths:
+        print(f"  {pathway.render()}")
+        for interval in pathway.validity:
+            end = format_timestamp(interval.end) or "(still up)"
+            print(f"    up {format_timestamp(interval.start)} .. {end}")
+
+    # ----- 3. when did the degraded placement start? ------------------------
+    print("\n== first time the VNF's component sat on the degraded host ==")
+    first = db.query(
+        f"FIRST TIME WHEN EXISTS AT {T0 + 9 * HOUR} : {T0 + 13 * HOUR} "
+        f"Retrieve P From PATHS P "
+        f"Where P MATCHES VNF(id={vnf})->[Vertical()]{{1,6}}->Host(id={new_host}, status='Red')"
+    )
+    for value in first.scalars():
+        print(f"  {format_timestamp(value)}")
+
+    # ----- 4. how did the suspect pathway evolve? ----------------------------
+    print("\n== evolution of the current placement pathway ==")
+    current = db.find_paths(
+        f"VNF(id={vnf})->VFC(id={vfc})->VM(id={vm})->Host(id={new_host})"
+    )
+    if current:
+        evolution = db.path_evolution(
+            current[0], between=(T0 + 9 * HOUR, T0 + 13 * HOUR)
+        )
+        print(evolution.render())
+
+    # ----- 5. blast radius of the Red host -----------------------------------
+    print("\n== every VNF that depends on the Red host right now ==")
+    blast = db.query(
+        f"Select source(P).name From PATHS P "
+        f"Where P MATCHES VNF()->[Vertical()]{{1,6}}->Host(id={new_host})"
+    )
+    for name in sorted(set(blast.scalars())):
+        print(f"  {name}")
+
+
+if __name__ == "__main__":
+    main()

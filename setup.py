@@ -1,0 +1,4 @@
+"""Legacy shim so editable installs work on offline machines without wheel."""
+from setuptools import setup
+
+setup()

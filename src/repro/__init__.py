@@ -1,0 +1,58 @@
+"""Nepal — a model-driven temporal graph database for network inventory.
+
+Reproduction of "A Graph Database for a Virtualized Network Infrastructure"
+(SIGMOD 2018).  See README.md for a tour and DESIGN.md for the system
+inventory.
+
+Quick start::
+
+    from repro import NepalDB
+
+    db = NepalDB()                         # built-in layered network schema
+    host = db.insert_node("Host", {"name": "server-1"})
+    vm = db.insert_node("VM", {"name": "vm-1", "status": "Green"})
+    db.insert_edge("OnServer", vm, host)
+
+    result = db.query(
+        "Retrieve P From PATHS P Where P MATCHES VM()->OnServer()->Host()"
+    )
+    for row in result:
+        print(row.pathway().render())
+"""
+
+from repro.core.database import NepalDB
+from repro.core.federation import Federation
+from repro.errors import NepalError
+from repro.query.parser import parse_query
+from repro.query.results import QueryResult, ResultRow
+from repro.rpe.parser import parse_rpe
+from repro.schema.builtin import build_network_schema
+from repro.schema.registry import Schema
+from repro.schema.tosca import schema_from_tosca, schema_from_tosca_file
+from repro.storage.base import GraphStore, TimeScope
+from repro.storage.memgraph.store import MemGraphStore
+from repro.storage.relational.store import RelationalStore
+from repro.storage.snapshot import Snapshot, SnapshotLoader, export_snapshot
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Federation",
+    "GraphStore",
+    "MemGraphStore",
+    "NepalDB",
+    "NepalError",
+    "QueryResult",
+    "RelationalStore",
+    "ResultRow",
+    "Schema",
+    "Snapshot",
+    "SnapshotLoader",
+    "TimeScope",
+    "build_network_schema",
+    "export_snapshot",
+    "parse_query",
+    "parse_rpe",
+    "schema_from_tosca",
+    "schema_from_tosca_file",
+]

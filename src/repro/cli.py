@@ -1,0 +1,189 @@
+"""``nepal`` — an interactive NPQL shell and batch query runner.
+
+Usage::
+
+    nepal --demo                 # load the virtualized service topology
+    nepal --schema my.yaml       # start with a TOSCA-style schema
+    nepal --demo -c "Select source(P).name From PATHS P Where P MATCHES VNF()"
+
+Inside the shell::
+
+    nepal> Retrieve P From PATHS P Where P MATCHES VM()->OnServer()->Host()
+    nepal> .explain Retrieve P From PATHS P Where P MATCHES VNF()
+    nepal> .schema            — print the class hierarchies
+    nepal> .stats             — store census
+    nepal> .quit
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.database import NepalDB
+from repro.errors import NepalError
+from repro.query.results import QueryResult
+from repro.schema.tosca import schema_from_tosca_file
+from repro.temporal.clock import TransactionClock
+from repro.temporal.interval import format_timestamp
+
+_PROMPT = "nepal> "
+
+
+def build_database(args: argparse.Namespace) -> NepalDB:
+    """Construct the database the CLI flags describe."""
+    schema = None
+    if args.schema:
+        schema = schema_from_tosca_file(args.schema)
+    clock = TransactionClock(start=args.epoch) if args.epoch is not None else None
+    db = NepalDB(schema=schema, backend=args.backend, clock=clock)
+    if args.demo:
+        from repro.inventory.virtualized import VirtualizedServiceTopology
+
+        handles = VirtualizedServiceTopology().apply(db.store)
+        print(f"loaded demo topology: {handles.summary()}", file=sys.stderr)
+    if args.snapshot:
+        from repro.storage.snapshot import Snapshot, SnapshotLoader
+
+        stats = SnapshotLoader(db.store).apply(Snapshot.load(args.snapshot))
+        print(
+            f"loaded snapshot {args.snapshot}: +{stats.inserted_nodes} nodes, "
+            f"+{stats.inserted_edges} edges",
+            file=sys.stderr,
+        )
+    return db
+
+
+def render_result(result: QueryResult) -> str:
+    """Format a query result (and any validity ranges) for the terminal."""
+    if not result.rows:
+        return "(no results)"
+    lines = [result.to_table()]
+    temporal = [row for row in result.rows if row.validity is not None]
+    if temporal:
+        lines.append("")
+        lines.append("validity ranges:")
+        for index, row in enumerate(result.rows):
+            if row.validity is None:
+                continue
+            ranges = ", ".join(
+                f"[{format_timestamp(i.start)!r}, "
+                + (f"{format_timestamp(i.end)!r})" if not i.is_current else ")")
+                for i in row.validity
+            )
+            lines.append(f"  row {index}: {ranges}")
+    lines.append(f"({len(result.rows)} rows)")
+    return "\n".join(lines)
+
+
+def run_statement(db: NepalDB, statement: str) -> str:
+    """Execute one shell statement (a query or a dot-command)."""
+    statement = statement.strip()
+    if not statement:
+        return ""
+    if statement in (".quit", ".exit"):
+        raise EOFError
+    if statement == ".schema":
+        return db.schema.describe()
+    if statement == ".stats":
+        return db.describe()
+    if statement == ".help":
+        return (
+            "enter an NPQL query, or:\n"
+            "  .explain <query>   show the operator plan\n"
+            "  .translate <query> generate the equivalent Python program\n"
+            "  .dump <path>       export the graph as a JSON snapshot\n"
+            "  .paths <rpe>       evaluate a bare pathway expression\n"
+            "  .schema / .stats / .quit"
+        )
+    if statement.startswith(".explain "):
+        return db.explain(statement[len(".explain "):])
+    if statement.startswith(".translate "):
+        return db.translate(statement[len(".translate "):])
+    if statement.startswith(".dump "):
+        from repro.storage.snapshot import export_snapshot
+
+        path = statement[len(".dump "):].strip()
+        snapshot = export_snapshot(db.store)
+        snapshot.save(path)
+        return f"wrote {len(snapshot.nodes)} nodes / {len(snapshot.edges)} edges to {path}"
+    if statement.startswith(".paths "):
+        pathways = db.find_paths(statement[len(".paths "):])
+        body = "\n".join(p.render() for p in pathways) or "(no pathways)"
+        return f"{body}\n({len(pathways)} pathways)"
+    return render_result(db.query(statement))
+
+
+def repl(db: NepalDB) -> int:
+    """The interactive read-eval-print loop."""
+    print("Nepal shell — .help for commands, .quit to leave", file=sys.stderr)
+    while True:
+        try:
+            line = input(_PROMPT)
+        except (EOFError, KeyboardInterrupt):
+            print(file=sys.stderr)
+            return 0
+        try:
+            output = run_statement(db, line)
+        except EOFError:
+            return 0
+        except NepalError as error:
+            print(f"error: {error}", file=sys.stderr)
+            continue
+        if output:
+            print(output)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (the ``nepal`` console script)."""
+    parser = argparse.ArgumentParser(
+        prog="nepal",
+        description="Nepal — path-first temporal network-inventory database",
+    )
+    parser.add_argument(
+        "--backend", choices=("memory", "relational"), default="memory",
+        help="storage backend (default: memory)",
+    )
+    parser.add_argument("--schema", help="TOSCA-style YAML schema file")
+    parser.add_argument(
+        "--demo", action="store_true",
+        help="pre-load the synthetic virtualized service topology",
+    )
+    parser.add_argument(
+        "--epoch", type=float, default=None,
+        help="pin the transaction clock at this epoch timestamp",
+    )
+    parser.add_argument(
+        "--snapshot", help="load a JSON snapshot (see the .dump command)"
+    )
+    parser.add_argument(
+        "-c", "--command", action="append", default=[],
+        help="run this statement and exit (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        db = build_database(args)
+    except NepalError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.command:
+        status = 0
+        for statement in args.command:
+            try:
+                output = run_statement(db, statement)
+            except EOFError:
+                break
+            except NepalError as error:
+                print(f"error: {error}", file=sys.stderr)
+                status = 1
+                continue
+            if output:
+                print(output)
+        return status
+    return repl(db)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""The public Nepal facade."""
+
+from repro.core.database import NepalDB
+from repro.core.federation import Federation
+
+__all__ = ["Federation", "NepalDB"]

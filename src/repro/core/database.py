@@ -1,0 +1,246 @@
+"""``NepalDB`` — the user-facing database object.
+
+Bundles a schema, one or more backends, the planner and the query executor
+behind a small API:
+
+>>> from repro import NepalDB
+>>> db = NepalDB()                        # built-in network schema, in-memory
+>>> host = db.insert_node("Host", {"name": "server-1"})
+>>> result = db.query("Retrieve P From PATHS P Where P MATCHES Host()")
+>>> len(result)
+1
+
+Backends: ``backend="memory"`` (default) uses the property-graph engine,
+``backend="relational"`` the SQL-generating engine on SQLite.  Additional
+stores can be attached for federated queries (``From PATHS@legacy P``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import FederationError, NepalError
+from repro.model.pathway import Pathway
+from repro.plan.executor import QueryExecutor
+from repro.plan.planner import Planner, PlannerOptions
+from repro.query.ast import Query
+from repro.query.results import QueryResult
+from repro.query.temporal_agg import PathEvolution, path_evolution
+from repro.schema.builtin import build_network_schema
+from repro.schema.registry import Schema
+from repro.stats.cardinality import CardinalityEstimator
+from repro.storage.base import GraphStore, TimeScope
+from repro.temporal.clock import TransactionClock
+from repro.temporal.interval import Interval, parse_timestamp
+
+DEFAULT_STORE_NAME = "default"
+
+
+def _build_store(
+    backend: str, schema: Schema, clock: TransactionClock | None, name: str
+) -> GraphStore:
+    if backend == "memory":
+        from repro.storage.memgraph.store import MemGraphStore
+
+        return MemGraphStore(schema, clock=clock, name=name)
+    if backend == "relational":
+        from repro.storage.relational.store import RelationalStore
+
+        return RelationalStore(schema, clock=clock, name=name)
+    raise NepalError(f"unknown backend {backend!r} (expected 'memory' or 'relational')")
+
+
+class NepalDB:
+    """A Nepal database instance."""
+
+    def __init__(
+        self,
+        schema: Schema | None = None,
+        backend: str = "memory",
+        clock: TransactionClock | None = None,
+        planner_options: PlannerOptions | None = None,
+    ):
+        self.schema = schema or build_network_schema()
+        self.clock = clock or TransactionClock()
+        self._stores: dict[str, GraphStore] = {
+            DEFAULT_STORE_NAME: _build_store(backend, self.schema, self.clock, DEFAULT_STORE_NAME)
+        }
+        self._planner_options = planner_options or PlannerOptions()
+        self._executor: QueryExecutor | None = None
+
+    # ------------------------------------------------------------------
+    # stores & federation
+    # ------------------------------------------------------------------
+
+    @property
+    def store(self) -> GraphStore:
+        """The default backend."""
+        return self._stores[DEFAULT_STORE_NAME]
+
+    def attach_store(self, name: str, store: GraphStore) -> None:
+        """Register an additional backend for ``PATHS@name`` variables."""
+        if name in self._stores:
+            raise FederationError(f"store name {name!r} already attached")
+        self._stores[name] = store
+        self._executor = None
+
+    def stores(self) -> dict[str, GraphStore]:
+        """All attached stores by catalog name."""
+        return dict(self._stores)
+
+    def executor(self) -> QueryExecutor:
+        """The (lazily built) query executor over the attached stores."""
+        if self._executor is None:
+            self._executor = QueryExecutor(
+                self._stores, DEFAULT_STORE_NAME, self._planner_options
+            )
+        return self._executor
+
+    # ------------------------------------------------------------------
+    # write path (default store)
+    # ------------------------------------------------------------------
+
+    def _dirty(self) -> None:
+        if self._executor is not None:
+            self._executor.invalidate_statistics()
+
+    def insert_node(
+        self, class_name: str, fields: Mapping[str, Any] | None = None, uid: int | None = None
+) -> int:
+        """Insert a node into the default store; returns its uid."""
+        uid = self.store.insert_node(class_name, fields, uid=uid)
+        self._dirty()
+        return uid
+
+    def insert_edge(
+        self,
+        class_name: str,
+        source: int,
+        target: int,
+        fields: Mapping[str, Any] | None = None,
+        uid: int | None = None,
+) -> int:
+        """Insert an edge into the default store; returns its uid."""
+        uid = self.store.insert_edge(class_name, source, target, fields, uid=uid)
+        self._dirty()
+        return uid
+
+    def connect(
+        self,
+        class_name: str,
+        left: int,
+        right: int,
+        fields: Mapping[str, Any] | None = None,
+    ) -> tuple[int, ...]:
+        """Insert a connectivity edge, reciprocally when the class is symmetric."""
+        edge_class = self.schema.edge_class(class_name)
+        if edge_class.symmetric:
+            uids = self.store.insert_symmetric_edge(class_name, left, right, fields)
+        else:
+            uids = (self.store.insert_edge(class_name, left, right, fields),)
+        self._dirty()
+        return uids
+
+    def update(self, uid: int, changes: Mapping[str, Any]) -> None:
+        """Apply field changes (``None`` removes a field); versions history."""
+        self.store.update_element(uid, changes)
+        self._dirty()
+
+    def delete(self, uid: int) -> None:
+        """Logically delete an element (nodes cascade to incident edges)."""
+        self.store.delete_element(uid)
+        self._dirty()
+
+    # ------------------------------------------------------------------
+    # query path
+    # ------------------------------------------------------------------
+
+    def define_view(self, name: str, rpe_text: str) -> None:
+        """Register a named pathway view usable as a From source (§3.4).
+
+        >>> db.define_view("PLACEMENTS", "VM()->OnServer()->Host()")
+        >>> db.query("Retrieve P From PLACEMENTS P")  # doctest: +SKIP
+        """
+        self.executor().define_view(name, rpe_text)
+
+    def query(self, query: Query | str) -> QueryResult:
+        """Execute an NPQL query (see :mod:`repro.query`)."""
+        return self.executor().execute(query)
+
+    def explain(self, query: Query | str) -> str:
+        """The per-variable operator plans, without executing."""
+        return self.executor().explain(query)
+
+    def translate(self, query: Query | str) -> str:
+        """Generate a standalone Python program for *query* (§3.1)."""
+        return self.executor().translate(query)
+
+    def find_paths(
+        self,
+        rpe: str,
+        at: str | float | None = None,
+        between: tuple[str | float, str | float] | None = None,
+        store: str = DEFAULT_STORE_NAME,
+    ) -> list[Pathway]:
+        """Shortcut: evaluate one RPE and return the matching pathways.
+
+        ``at`` runs a timeslice query, ``between`` a time-range query (the
+        returned pathways carry their maximal validity sets).
+        """
+        target = self._stores[store]
+        planner = Planner(
+            target.schema, CardinalityEstimator(target), self._planner_options
+        )
+        program = planner.compile(rpe)
+        if at is not None and between is not None:
+            raise NepalError("pass either at= or between=, not both")
+        if at is not None:
+            scope = TimeScope.at(parse_timestamp(at))
+        elif between is not None:
+            scope = TimeScope.between(
+                parse_timestamp(between[0]), parse_timestamp(between[1])
+            )
+        else:
+            scope = TimeScope.current()
+        pathways = target.find_pathways(program, scope)
+        if scope.is_range:
+            from repro.temporal.interval import IntervalSet
+            from repro.temporal.validity import pathway_validity
+
+            window = IntervalSet([scope.window()])
+            kept = []
+            for pathway in pathways:
+                validity = pathway_validity(target, pathway, program.matcher)
+                if not validity.intersect(window).is_empty():
+                    kept.append(pathway.with_validity(validity))
+            return kept
+        return pathways
+
+    def path_evolution(
+        self,
+        pathway: Pathway,
+        between: tuple[str | float, str | float],
+        store: str = DEFAULT_STORE_NAME,
+    ) -> PathEvolution:
+        """Track how a specific pathway's elements changed over a window."""
+        window = Interval(parse_timestamp(between[0]), parse_timestamp(between[1]))
+        return path_evolution(self._stores[store], pathway, window)
+
+    # ------------------------------------------------------------------
+    # bulk loading
+    # ------------------------------------------------------------------
+
+    def load(self, builder: "Iterable | object") -> None:
+        """Load a generated topology (anything with ``apply(store)``)."""
+        apply = getattr(builder, "apply", None)
+        if apply is None:
+            raise NepalError(f"{builder!r} does not provide an apply(store) method")
+        apply(self.store)
+        self._dirty()
+
+    def describe(self) -> str:
+        """A human-readable census of schema and stores."""
+        lines = [self.schema.describe()]
+        for name, store in self._stores.items():
+            lines.append(f"[{name}] {store.describe()}")
+        return "\n".join(lines)

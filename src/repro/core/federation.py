@@ -1,0 +1,80 @@
+"""Federated querying over multiple inventories (Sections 1 and 3.1).
+
+"It may be impractical to assume that the complete network inventory and
+topology is stored in a single unified database" — a :class:`Federation`
+collects independently owned stores (possibly on different backends with
+different schemas) and executes NPQL queries whose range variables name
+their store: ``From PATHS@cloud P, PATHS@legacy Q``.  Joins between
+variables happen in the Python layer, shipping endpoint sets between
+backends exactly as the paper's generated programs do.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import FederationError
+from repro.plan.executor import QueryExecutor
+from repro.plan.planner import PlannerOptions
+from repro.query.ast import Query
+from repro.query.results import QueryResult
+from repro.storage.base import GraphStore
+
+
+class Federation:
+    """A named collection of stores with one designated default."""
+
+    def __init__(
+        self,
+        stores: Mapping[str, GraphStore],
+        default: str | None = None,
+        planner_options: PlannerOptions | None = None,
+    ):
+        if not stores:
+            raise FederationError("a federation needs at least one store")
+        self._stores = dict(stores)
+        self._default = default or next(iter(self._stores))
+        if self._default not in self._stores:
+            raise FederationError(f"default store {self._default!r} not in federation")
+        self._executor = QueryExecutor(
+            self._stores, self._default, planner_options or PlannerOptions()
+        )
+
+    @property
+    def default_store(self) -> GraphStore:
+        """The store unqualified ``PATHS`` variables use."""
+        return self._stores[self._default]
+
+    def store(self, name: str) -> GraphStore:
+        """Look up a member store by name."""
+        try:
+            return self._stores[name]
+        except KeyError:
+            raise FederationError(f"unknown store {name!r}") from None
+
+    def names(self) -> list[str]:
+        """Member store names, sorted."""
+        return sorted(self._stores)
+
+    def define_view(self, name: str, rpe_text: str) -> None:
+        """Register a named pathway view for every member store."""
+        self._executor.define_view(name, rpe_text)
+
+    def query(self, query: Query | str) -> QueryResult:
+        """Execute an NPQL query across the federation."""
+        return self._executor.execute(query)
+
+    def explain(self, query: Query | str) -> str:
+        """Per-variable operator plans, annotated with their stores."""
+        return self._executor.explain(query)
+
+    def invalidate_statistics(self) -> None:
+        """Drop cached cardinalities after bulk loads."""
+        self._executor.invalidate_statistics()
+
+    def describe(self) -> str:
+        """A one-line-per-store census."""
+        lines = [f"federation (default: {self._default})"]
+        for name in self.names():
+            lines.append(f"  [{name}] {self._stores[name].describe()}")
+        return "\n".join(lines)

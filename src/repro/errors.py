@@ -1,0 +1,73 @@
+"""Exception hierarchy for the Nepal reproduction.
+
+Every error raised by the library derives from :class:`NepalError` so callers
+can catch library failures with a single except clause.  The hierarchy mirrors
+the subsystems: schema definition and validation, query parsing and
+compilation, planning, storage, and temporal processing.
+"""
+
+from __future__ import annotations
+
+
+class NepalError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class SchemaError(NepalError):
+    """Invalid schema definition (bad inheritance, duplicate class, ...)."""
+
+
+class DataTypeError(SchemaError):
+    """Invalid data-type definition or cyclic type composition."""
+
+
+class ValidationError(NepalError):
+    """A record violates the schema (unknown field, wrong type, bad edge)."""
+
+
+class UniquenessError(ValidationError):
+    """An element id is reused across the database."""
+
+
+class ParseError(NepalError):
+    """Syntactic error in an RPE or NPQL query text."""
+
+    def __init__(self, message: str, position: int | None = None, text: str | None = None):
+        self.position = position
+        self.text = text
+        if position is not None and text is not None:
+            snippet = text[max(0, position - 20):position + 20]
+            message = f"{message} (at offset {position}, near {snippet!r})"
+        super().__init__(message)
+
+
+class TypeCheckError(NepalError):
+    """Semantic error in a query (unknown class, unknown field, bad join)."""
+
+
+class PlanningError(NepalError):
+    """The planner cannot produce a plan (unanchored or unbounded RPE)."""
+
+
+class UnanchoredQueryError(PlanningError):
+    """The RPE has no usable anchor atom (e.g. only ``{0,m}`` repetitions)."""
+
+
+class UnboundedQueryError(PlanningError):
+    """The RPE admits pathways of unbounded length."""
+
+
+class StorageError(NepalError):
+    """Backend-level failure."""
+
+
+class UnknownElementError(StorageError):
+    """An element id was referenced that the store does not contain."""
+
+
+class TemporalError(NepalError):
+    """Invalid temporal specification (bad interval, time travel misuse)."""
+
+
+class FederationError(NepalError):
+    """Misconfigured multi-backend catalog or cross-backend operation."""

@@ -1,0 +1,20 @@
+"""Synthetic network inventories.
+
+The paper evaluates Nepal on two proprietary AT&T data sets: a virtualized
+network service (~2k nodes / 11k edges) and a legacy topology (1.6M nodes /
+7.1M edges), each with two months of history.  These generators produce
+synthetic equivalents that preserve the structural properties the
+evaluation depends on — layer fan-outs, path-length parity, hub nodes with
+irrelevant edges, and realistic churn rates — at laptop scale.
+"""
+
+from repro.inventory.churn import ChurnSimulator
+from repro.inventory.legacy import LegacyTopology, build_legacy_schema
+from repro.inventory.virtualized import VirtualizedServiceTopology
+
+__all__ = [
+    "ChurnSimulator",
+    "LegacyTopology",
+    "VirtualizedServiceTopology",
+    "build_legacy_schema",
+]

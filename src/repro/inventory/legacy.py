@@ -1,0 +1,256 @@
+"""Generator for the legacy network topology (Section 6, Table 2).
+
+The paper's legacy graph arrived "as a collection of nodes and edges with
+type_indicators" and was first loaded with one node class and one edge
+class; reloading it with 66 edge subclasses made the bottom-up query ~14×
+faster.  This generator reproduces the structures that drive those numbers:
+
+* **service chains** — linear customer → access → aggregation → core paths
+  over *circuit* edge types; many chains funnel into few core nodes, which
+  is what makes the reverse service-path query explode;
+* **service placement** — vertical service → port → card chains: every
+  customer service terminates on 1–2 ports, and ports concentrate on a
+  small set of active cards, so the length-3 top-down query (one service
+  down to its card) returns a handful of paths while the bottom-up query
+  (one card up to everything it carries) returns dozens — the asymmetry of
+  the paper's Table 2;
+* **equipment hierarchy** — site → device → shelf → card chains over the
+  same *vertical* edge family;
+* **hub pollution** — active cards receive large numbers of
+  *noise*-type edges (monitoring, billing, discovery relationships) that
+  are irrelevant to every query; with a single edge class they must all be
+  fetched and filtered, with subclasses they are never touched.
+
+66 concrete edge types exist in three families (20 circuit, 10 vertical,
+36 noise).  :func:`build_legacy_schema` builds either the single-class
+schema (types kept as the ``category``/``kind`` fields) or the subclassed
+schema (one edge class per type under ``CircuitEdge``/``VerticalEdge``/
+``NoiseEdge`` parents), so the same generated graph exercises both loads.
+
+Defaults are scaled to ~1/40 of the paper's 1.6M nodes / 7.1M edges.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.schema.registry import Schema
+from repro.storage.base import GraphStore
+
+CIRCUIT_TYPES = tuple(f"circuit_{i:02d}" for i in range(20))
+VERTICAL_TYPES = tuple(f"vertical_{i:02d}" for i in range(10))
+NOISE_TYPES = tuple(f"noise_{i:02d}" for i in range(36))
+ALL_TYPES = CIRCUIT_TYPES + VERTICAL_TYPES + NOISE_TYPES
+
+
+def type_class_name(type_indicator: str) -> str:
+    """Edge class name for a type indicator in the subclassed schema."""
+    return "T_" + type_indicator
+
+
+def build_legacy_schema(subclassed: bool) -> Schema:
+    """The legacy store schema in either of the paper's two variants."""
+    suffix = "subclassed" if subclassed else "flat"
+    schema = Schema(f"legacy-{suffix}")
+    schema.define_node(
+        "Entity",
+        fields={"kind": "string", "status": "string"},
+        description="a legacy inventory element (multiple type indicators)",
+        expected_count=50_000,
+    )
+    edge_fields = {"category": "string", "kind": "string"}
+    if not subclassed:
+        schema.define_edge(
+            "GenericEdge", fields=edge_fields,
+            description="every legacy relationship, types kept as fields",
+            expected_count=200_000,
+        )
+    else:
+        schema.define_edge("GenericEdge", fields=edge_fields, abstract=True)
+        families = {
+            "CircuitEdge": CIRCUIT_TYPES,
+            "VerticalEdge": VERTICAL_TYPES,
+            "NoiseEdge": NOISE_TYPES,
+        }
+        for family, types in families.items():
+            schema.define_edge(family, parent="GenericEdge", abstract=True)
+            for type_indicator in types:
+                schema.define_edge(
+                    type_class_name(type_indicator), parent=family,
+                    description=f"legacy type_indicator {type_indicator}",
+                )
+    schema.validate()
+    return schema
+
+
+@dataclass(frozen=True)
+class LegacyParams:
+    """Size knobs; defaults ≈ 1/40 of the paper's legacy graph."""
+
+    chains: int = 4000
+    chain_length: int = 4
+    core_nodes: int = 60
+    aggregation_nodes: int = 400
+    sites: int = 120
+    devices_per_site: int = 12
+    shelves_per_device: int = 2
+    cards_per_shelf: int = 3
+    ports_per_active_card: int = 25
+    noise_hubs: int = 40
+    noise_edges_per_hub: int = 4000
+    agg_noise_edges: int = 10_000
+    seed: int = 20180611
+
+
+@dataclass
+class LegacyHandles:
+    """uids of interesting elements for workload sampling."""
+
+    chain_heads: list[int] = field(default_factory=list)
+    chain_cores: list[int] = field(default_factory=list)
+    site_tops: list[int] = field(default_factory=list)
+    cards: list[int] = field(default_factory=list)
+    active_cards: list[int] = field(default_factory=list)
+    hub_cards: list[int] = field(default_factory=list)
+    all_uids: list[int] = field(default_factory=list)
+    nodes: int = 0
+    edges: int = 0
+
+    def summary(self) -> str:
+        """One-line census for logs and benchmarks."""
+        return (
+            f"{self.nodes} nodes, {self.edges} edges, "
+            f"{len(self.chain_heads)} chains, {len(self.hub_cards)} hub cards"
+        )
+
+
+class LegacyTopology:
+    """Builds the legacy graph into a store with either schema variant."""
+
+    def __init__(self, params: LegacyParams | None = None, subclassed: bool = False):
+        self.params = params or LegacyParams()
+        self.subclassed = subclassed
+        self.handles = LegacyHandles()
+
+    def _edge_class(self, type_indicator: str) -> str:
+        if self.subclassed:
+            return type_class_name(type_indicator)
+        return "GenericEdge"
+
+    def _category(self, type_indicator: str) -> str:
+        if type_indicator.startswith("circuit"):
+            return "circuit"
+        if type_indicator.startswith("vertical"):
+            return "vertical"
+        return "noise"
+
+    def _add_edge(
+        self, store: GraphStore, source: int, target: int, type_indicator: str
+    ) -> int:
+        uid = store.insert_edge(
+            self._edge_class(type_indicator),
+            source,
+            target,
+            {"category": self._category(type_indicator), "kind": type_indicator},
+        )
+        self.handles.edges += 1
+        return uid
+
+    def _add_node(self, store: GraphStore, kind: str, name: str) -> int:
+        uid = store.insert_node("Entity", {"name": name, "kind": kind, "status": "up"})
+        self.handles.nodes += 1
+        self.handles.all_uids.append(uid)
+        return uid
+
+    def apply(self, store: GraphStore) -> LegacyHandles:
+        """Generate the graph into *store*; returns the sampling handles."""
+        rng = random.Random(self.params.seed)
+        handles = self.handles = LegacyHandles()
+        p = self.params
+        with store.bulk():
+            cores = [
+                self._add_node(store, "core", f"core-{i}") for i in range(p.core_nodes)
+            ]
+            handles.chain_cores = cores
+            aggs = [
+                self._add_node(store, "agg", f"agg-{i}")
+                for i in range(p.aggregation_nodes)
+            ]
+            # Service chains: customer -> access -> agg -> core.
+            for chain in range(p.chains):
+                head = self._add_node(store, "customer", f"cust-{chain}")
+                handles.chain_heads.append(head)
+                previous = head
+                for hop in range(p.chain_length - 2):
+                    node = self._add_node(store, "access", f"acc-{chain}-{hop}")
+                    self._add_edge(
+                        store, previous, node, rng.choice(CIRCUIT_TYPES)
+                    )
+                    previous = node
+                agg = rng.choice(aggs)
+                self._add_edge(store, previous, agg, rng.choice(CIRCUIT_TYPES))
+                self._add_edge(store, agg, rng.choice(cores), rng.choice(CIRCUIT_TYPES))
+            # Equipment hierarchy: site -> device -> shelf -> card (top-down).
+            for site_index in range(p.sites):
+                site = self._add_node(store, "site", f"site-{site_index}")
+                handles.site_tops.append(site)
+                for device_index in range(p.devices_per_site):
+                    device = self._add_node(
+                        store, "device", f"dev-{site_index}-{device_index}"
+                    )
+                    self._add_edge(store, site, device, rng.choice(VERTICAL_TYPES))
+                    for shelf_index in range(p.shelves_per_device):
+                        shelf = self._add_node(
+                            store, "shelf",
+                            f"shelf-{site_index}-{device_index}-{shelf_index}",
+                        )
+                        self._add_edge(store, device, shelf, rng.choice(VERTICAL_TYPES))
+                        for card_index in range(p.cards_per_shelf):
+                            card = self._add_node(
+                                store, "card",
+                                f"card-{site_index}-{device_index}-"
+                                f"{shelf_index}-{card_index}",
+                            )
+                            self._add_edge(
+                                store, shelf, card, rng.choice(VERTICAL_TYPES)
+                            )
+                            handles.cards.append(card)
+            # Service placement: every chain head (a customer service)
+            # terminates on 1-2 ports; ports concentrate on few cards.
+            total_ports = int(len(handles.chain_heads) * 1.5)
+            active_count = max(1, total_ports // p.ports_per_active_card)
+            handles.active_cards = rng.sample(
+                handles.cards, k=min(active_count, len(handles.cards))
+            )
+            for index, service in enumerate(handles.chain_heads):
+                port_count = 1 + (index % 2)
+                for port_index in range(port_count):
+                    port = self._add_node(store, "port", f"port-{index}-{port_index}")
+                    self._add_edge(store, service, port, rng.choice(VERTICAL_TYPES))
+                    self._add_edge(
+                        store, port, rng.choice(handles.active_cards),
+                        rng.choice(VERTICAL_TYPES),
+                    )
+            # Hub pollution: monitoring/billing edges into active cards.
+            monitors = [
+                self._add_node(store, "monitor", f"mon-{i}")
+                for i in range(max(1, p.noise_hubs // 4))
+            ]
+            hub_cards = rng.sample(
+                handles.active_cards, k=min(p.noise_hubs, len(handles.active_cards))
+            )
+            handles.hub_cards = hub_cards
+            for card in hub_cards:
+                for _ in range(p.noise_edges_per_hub):
+                    self._add_edge(
+                        store, rng.choice(monitors), card, rng.choice(NOISE_TYPES)
+                    )
+            # Aggregation nodes also attract discovery/billing noise, which
+            # is what keeps the reverse-path query only "moderately faster"
+            # after subclassing (§6): its fanout is mostly relevant edges.
+            for _ in range(p.agg_noise_edges):
+                self._add_edge(
+                    store, rng.choice(monitors), rng.choice(aggs), rng.choice(NOISE_TYPES)
+                )
+        return handles

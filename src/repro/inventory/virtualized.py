@@ -1,0 +1,304 @@
+"""Generator for the virtualized network service topology (Figure 2).
+
+Builds the four-layer model the paper describes:
+
+* **Service layer** — services composed of VNFs, with designed FlowsTo
+  data flows between the VNFs of a service;
+* **Logical layer** — each VNF decomposed into VFCs (proxies, web servers,
+  databases, packet cores), with VFC-level flows;
+* **Virtualization layer** — each VFC hosted on a VM or Docker container,
+  VMs attached to virtual networks, virtual networks joined by virtual
+  routers (the overlay);
+* **Physical layer** — VMs executed on hosts in racks, hosts wired to
+  top-of-rack switches, ToRs to spines, spines to routers (the underlay).
+
+Physical and virtual connectivity edges are inserted reciprocally, which is
+why host-level paths have even hop counts — the property the paper leans on
+when it extends the Host-Host query from 4 to 6 hops.
+
+Default parameters produce roughly the paper's 2,000 nodes and 11,000 edges
+(check ``handles.summary()``).  The generator is deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.storage.base import GraphStore
+
+_STATUSES = ("Green", "Green", "Green", "Green", "Yellow", "Red")
+_VNF_KINDS = ("DNS", "Firewall", "LoadBalancer", "EPC")
+_VFC_KINDS = ("ProxyVFC", "WebServerVFC", "DatabaseVFC", "PacketCoreVFC")
+_VM_KINDS = ("VMWare", "VMWare", "VMWare", "OnMetal", "OnMetal", "Docker")
+
+
+@dataclass(frozen=True)
+class TopologyParams:
+    """Size knobs; defaults approximate the paper's service graph."""
+
+    services: int = 10
+    vnfs_per_service: tuple[int, int] = (3, 5)
+    vfcs_per_vnf: tuple[int, int] = (8, 16)
+    racks: int = 25
+    hosts_per_rack: int = 8
+    tor_uplinks: int = 1
+    spine_switches: int = 10
+    routers: int = 6
+    vms: int = 1000
+    virtual_networks: int = 200
+    virtual_routers: int = 50
+    networks_per_vrouter: int = 3
+    networks_per_vm: tuple[int, int] = (1, 3)
+    flows_per_service: tuple[int, int] = (2, 4)
+    seed: int = 20180610
+
+
+@dataclass
+class TopologyHandles:
+    """uids of the generated elements, grouped by role.
+
+    Workload samplers and the churn simulator draw from these lists.
+    """
+
+    services: list[int] = field(default_factory=list)
+    vnfs: list[int] = field(default_factory=list)
+    vfcs: list[int] = field(default_factory=list)
+    vms: list[int] = field(default_factory=list)
+    hosts: list[int] = field(default_factory=list)
+    switches: list[int] = field(default_factory=list)
+    routers: list[int] = field(default_factory=list)
+    virtual_networks: list[int] = field(default_factory=list)
+    virtual_routers: list[int] = field(default_factory=list)
+    vertical_edges: list[int] = field(default_factory=list)
+    horizontal_edges: list[int] = field(default_factory=list)
+    vm_host: dict[int, int] = field(default_factory=dict)
+    vfc_vm: dict[int, int] = field(default_factory=dict)
+    vnf_vfcs: dict[int, list[int]] = field(default_factory=dict)
+
+    def all_nodes(self) -> list[int]:
+        """Every generated node uid (for churn population sampling)."""
+        return (
+            self.services + self.vnfs + self.vfcs + self.vms + self.hosts
+            + self.switches + self.routers + self.virtual_networks
+            + self.virtual_routers
+        )
+
+    def all_edges(self) -> list[int]:
+        """Every generated edge uid."""
+        return self.vertical_edges + self.horizontal_edges
+
+    def summary(self) -> str:
+        """One-line census for logs and benchmarks."""
+        return (
+            f"{len(self.all_nodes())} nodes, {len(self.all_edges())} edges "
+            f"({len(self.vnfs)} VNFs, {len(self.vfcs)} VFCs, {len(self.vms)} VMs, "
+            f"{len(self.hosts)} hosts)"
+        )
+
+
+class VirtualizedServiceTopology:
+    """Builds the layered service graph into a store."""
+
+    def __init__(self, params: TopologyParams | None = None):
+        self.params = params or TopologyParams()
+        self.handles = TopologyHandles()
+
+    def apply(self, store: GraphStore) -> TopologyHandles:
+        """Generate the layered graph into *store*; returns the handles."""
+        rng = random.Random(self.params.seed)
+        handles = self.handles = TopologyHandles()
+        with store.bulk():
+            self._physical_layer(store, rng, handles)
+            self._virtualization_layer(store, rng, handles)
+            self._service_layers(store, rng, handles)
+        return handles
+
+    # ------------------------------------------------------------------
+
+    def _connect(
+        self, store: GraphStore, handles: TopologyHandles, cls: str, left: int, right: int,
+        **fields,
+    ) -> None:
+        uids = store.insert_symmetric_edge(cls, left, right, fields or None)
+        handles.horizontal_edges.extend(uids)
+
+    def _physical_layer(
+        self, store: GraphStore, rng: random.Random, handles: TopologyHandles
+    ) -> None:
+        p = self.params
+        for router_index in range(p.routers):
+            table = [
+                {
+                    "address": f"10.{router_index}.{entry}.0",
+                    "mask": 24,
+                    "interface": f"ge-0/0/{entry}",
+                }
+                for entry in range(rng.randint(2, 6))
+            ]
+            uid = store.insert_node(
+                "Router",
+                {
+                    "name": f"core-router-{router_index}",
+                    "status": rng.choice(_STATUSES),
+                    "routing_table": table,
+                },
+            )
+            handles.routers.append(uid)
+        # Core routers form a ring.
+        for left, right in zip(handles.routers, handles.routers[1:] + handles.routers[:1]):
+            if left != right:
+                self._connect(store, handles, "RouterRouter", left, right)
+        spines = []
+        for spine_index in range(p.spine_switches):
+            uid = store.insert_node(
+                "SpineSwitch",
+                {"name": f"spine-{spine_index}", "ports": 64,
+                 "status": rng.choice(_STATUSES)},
+            )
+            spines.append(uid)
+            handles.switches.append(uid)
+            for router in rng.sample(handles.routers, k=min(2, len(handles.routers))):
+                self._connect(store, handles, "SwitchRouter", uid, router)
+        for rack in range(p.racks):
+            tor = store.insert_node(
+                "TorSwitch",
+                {"name": f"tor-{rack}", "ports": 48, "rack": f"rack-{rack}",
+                 "status": rng.choice(_STATUSES)},
+            )
+            handles.switches.append(tor)
+            for spine in rng.sample(spines, k=min(p.tor_uplinks, len(spines))):
+                self._connect(store, handles, "SwitchSwitch", tor, spine)
+            for slot in range(p.hosts_per_rack):
+                host = store.insert_node(
+                    "Host",
+                    {
+                        "name": f"host-{rack}-{slot}",
+                        "rack": f"rack-{rack}",
+                        "cpu_cores": rng.choice((32, 48, 64)),
+                        "memory_gb": float(rng.choice((128, 256, 512))),
+                        "hypervisor": rng.choice(("kvm", "esxi")),
+                        "status": rng.choice(_STATUSES),
+                    },
+                )
+                handles.hosts.append(host)
+                self._connect(
+                    store, handles, "ServerSwitch", host, tor,
+                    server_interface="eth0", switch_interface=f"ge-0/{slot}",
+                )
+
+    def _virtualization_layer(
+        self, store: GraphStore, rng: random.Random, handles: TopologyHandles
+    ) -> None:
+        p = self.params
+        for net_index in range(p.virtual_networks):
+            uid = store.insert_node(
+                "VirtualNetwork",
+                {"name": f"vnet-{net_index}", "cidr": f"172.16.{net_index}.0/24",
+                 "status": "Green"},
+            )
+            handles.virtual_networks.append(uid)
+        for vrouter_index in range(p.virtual_routers):
+            uid = store.insert_node(
+                "VirtualRouter",
+                {"name": f"vrouter-{vrouter_index}", "status": "Green"},
+            )
+            handles.virtual_routers.append(uid)
+            count = min(p.networks_per_vrouter, len(handles.virtual_networks))
+            for net in rng.sample(handles.virtual_networks, k=count):
+                self._connect(store, handles, "NetworkVRouter", net, uid)
+        for vm_index in range(p.vms):
+            kind = rng.choice(_VM_KINDS)
+            fields = {
+                "name": f"vm-{vm_index}",
+                "status": rng.choice(_STATUSES),
+                "image": rng.choice(("ubuntu-22.04", "rhel-9", "alpine-3.19")),
+            }
+            if kind != "Docker":
+                fields["vcpus"] = rng.choice((2, 4, 8))
+                fields["flavor"] = rng.choice(("m1.small", "m1.large", "c2.xlarge"))
+            vm = store.insert_node(kind, fields)
+            handles.vms.append(vm)
+            host = rng.choice(handles.hosts)
+            edge = store.insert_edge("OnServer", vm, host)
+            handles.vertical_edges.append(edge)
+            handles.vm_host[vm] = host
+            count = rng.randint(*p.networks_per_vm)
+            for net_index, net in enumerate(rng.sample(handles.virtual_networks, k=count)):
+                self._connect(
+                    store, handles, "VmNetwork", vm, net,
+                    ip_address=f"172.16.{handles.virtual_networks.index(net)}."
+                    f"{(vm_index % 250) + 2}",
+                )
+
+    def _service_layers(
+        self, store: GraphStore, rng: random.Random, handles: TopologyHandles
+    ) -> None:
+        p = self.params
+        free_vms = list(handles.vms)
+        rng.shuffle(free_vms)
+        for service_index in range(p.services):
+            service = store.insert_node(
+                "Service",
+                {
+                    "name": f"service-{service_index}",
+                    "customer": f"customer-{service_index % 7}",
+                    "service_type": rng.choice(("vpn", "firewall", "mobility", "sdwan")),
+                },
+            )
+            handles.services.append(service)
+            service_vnfs = []
+            for vnf_slot in range(rng.randint(*p.vnfs_per_service)):
+                kind = rng.choice(_VNF_KINDS)
+                vnf = store.insert_node(
+                    kind,
+                    {
+                        "name": f"vnf-{service_index}-{vnf_slot}",
+                        "status": rng.choice(_STATUSES),
+                        "descriptor": {"vendor": rng.choice(("acme", "initech")),
+                                       "version": "2.1"},
+                    },
+                )
+                handles.vnfs.append(vnf)
+                service_vnfs.append(vnf)
+                edge = store.insert_edge("ComposedOf", service, vnf)
+                handles.vertical_edges.append(edge)
+                handles.vnf_vfcs[vnf] = []
+                for vfc_slot in range(rng.randint(*p.vfcs_per_vnf)):
+                    vfc = store.insert_node(
+                        rng.choice(_VFC_KINDS),
+                        {
+                            "name": f"vfc-{service_index}-{vnf_slot}-{vfc_slot}",
+                            "role": rng.choice(("active", "standby")),
+                            "status": rng.choice(_STATUSES),
+                        },
+                    )
+                    handles.vfcs.append(vfc)
+                    handles.vnf_vfcs[vnf].append(vfc)
+                    edge = store.insert_edge("ComposedOf", vnf, vfc)
+                    handles.vertical_edges.append(edge)
+                    if not free_vms:
+                        free_vms = list(handles.vms)
+                        rng.shuffle(free_vms)
+                    vm = free_vms.pop()
+                    edge = store.insert_edge("OnVM", vfc, vm)
+                    handles.vertical_edges.append(edge)
+                    handles.vfc_vm[vfc] = vm
+                # Logical-layer flow chain through the VNF's components.
+                chain = handles.vnf_vfcs[vnf]
+                for upstream, downstream in zip(chain, chain[1:]):
+                    edge = store.insert_edge(
+                        "FlowsTo", upstream, downstream,
+                        {"protocol": "tcp", "port": 8080},
+                    )
+                    handles.horizontal_edges.append(edge)
+            # Designed service flows between this service's VNFs.
+            for _ in range(rng.randint(*p.flows_per_service)):
+                if len(service_vnfs) < 2:
+                    break
+                src, dst = rng.sample(service_vnfs, k=2)
+                edge = store.insert_edge(
+                    "FlowsTo", src, dst,
+                    {"protocol": rng.choice(("tcp", "udp")), "port": rng.choice((53, 443, 8080))},
+                )
+                handles.horizontal_edges.append(edge)

@@ -1,0 +1,142 @@
+"""Workload samplers — the query instances of Tables 1 and 2.
+
+The paper runs 50 instances per query type (33 for top-down, since there
+are only 33 distinct VNFs), "avoiding instances that result in zero paths".
+These samplers generate the same instance streams against a generated
+topology, parameterized by uids drawn from the generator handles.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.inventory.legacy import LegacyHandles
+from repro.inventory.virtualized import TopologyHandles
+
+
+@dataclass(frozen=True)
+class QueryInstance:
+    """One concrete query of a workload: a label plus the RPE text."""
+
+    kind: str
+    rpe: str
+
+
+def _sample(rng: random.Random, population: list[int], count: int) -> list[int]:
+    if count >= len(population):
+        return list(population)
+    return rng.sample(population, k=count)
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — virtualized service graph
+# ---------------------------------------------------------------------------
+
+
+def table1_workload(
+    handles: TopologyHandles, instances: int = 50, seed: int = 4711
+) -> dict[str, list[QueryInstance]]:
+    """The five query types of Table 1.
+
+    * top-down: ``VNF(id=…) -> [Vertical()]{1,6} -> Host()`` — anchor at the
+      start of the RPE, forwards extension (one instance per distinct VNF,
+      like the paper's 33);
+    * bottom-up: ``VNF() -> [Vertical()]{1,6} -> Host(id=…)`` — anchor at the
+      end, backwards extension;
+    * VM-VM (4): overlay navigation through virtual networks and routers;
+    * Host-Host (4) and (6): underlay navigation through switches/routers.
+    """
+    rng = random.Random(seed)
+    workload: dict[str, list[QueryInstance]] = {}
+    workload["top-down"] = [
+        QueryInstance("top-down", f"VNF(id={vnf})->[Vertical()]{{1,6}}->Host()")
+        for vnf in handles.vnfs
+    ]
+    hosts_with_vms = sorted({host for host in handles.vm_host.values()})
+    workload["bottom-up"] = [
+        QueryInstance("bottom-up", f"VNF()->[Vertical()]{{1,6}}->Host(id={host})")
+        for host in _sample(rng, hosts_with_vms, instances)
+    ]
+    vms_on_networks = handles.vms
+    workload["VM-VM (4)"] = [
+        QueryInstance("VM-VM (4)", f"VM(id={vm})->[ConnectedTo()]{{1,4}}->VM()")
+        for vm in _sample(rng, vms_on_networks, instances)
+    ]
+    workload["Host-Host (4)"] = [
+        QueryInstance("Host-Host (4)", f"Host(id={host})->[ConnectedTo()]{{1,4}}->Host()")
+        for host in _sample(rng, handles.hosts, instances)
+    ]
+    workload["Host-Host (6)"] = [
+        QueryInstance("Host-Host (6)", f"Host(id={host})->[ConnectedTo()]{{1,6}}->Host()")
+        for host in _sample(rng, handles.hosts, instances)
+    ]
+    return workload
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — legacy topology
+# ---------------------------------------------------------------------------
+
+
+def _legacy_atom(family: str, subclassed: bool) -> str:
+    """The edge atom of a legacy query, per schema variant.
+
+    With the flat single-class load the type family is a field predicate on
+    the one edge class; with the subclassed load it is a class atom — the
+    whole point of the §6 experiment.
+    """
+    if subclassed:
+        return {"circuit": "CircuitEdge()", "vertical": "VerticalEdge()"}[family]
+    return f"GenericEdge(category='{family}')"
+
+
+def table2_workload(
+    handles: LegacyHandles,
+    subclassed: bool,
+    instances: int = 50,
+    seed: int = 4712,
+) -> dict[str, list[QueryInstance]]:
+    """The four query types of Table 2, in either schema variant.
+
+    * service path: forwards from a chain head over circuit edges (length 4);
+    * reverse path: backwards from a shared core node (the huge-fanout one);
+    * top-down: forwards from a customer service down its vertical
+      placement (service → port → card, length 3) — few paths;
+    * bottom-up: backwards from an active card up to everything it carries —
+      many paths, and a third of the sampled cards are the noise hubs that
+      made the paper's flat load slow.
+    """
+    rng = random.Random(seed)
+    circuit = _legacy_atom("circuit", subclassed)
+    vertical = _legacy_atom("vertical", subclassed)
+    workload: dict[str, list[QueryInstance]] = {}
+    workload["service path"] = [
+        QueryInstance("service path", f"Entity(id={head})->[{circuit}]{{1,4}}->Entity()")
+        for head in _sample(rng, handles.chain_heads, instances)
+    ]
+    workload["reverse path"] = [
+        QueryInstance("reverse path", f"Entity()->[{circuit}]{{1,4}}->Entity(id={core})")
+        for core in _sample(rng, handles.chain_cores, instances)
+    ]
+    workload["top-down"] = [
+        QueryInstance("top-down", f"Entity(id={service})->[{vertical}]{{1,3}}->Entity()")
+        for service in _sample(rng, handles.chain_heads, instances)
+    ]
+    hub_share = instances // 3
+    hub_set = set(handles.hub_cards)
+    bottom_targets = _sample(rng, handles.hub_cards, hub_share) + _sample(
+        rng, [c for c in handles.active_cards if c not in hub_set],
+        instances - hub_share,
+    )
+    rng.shuffle(bottom_targets)
+    workload["bottom-up"] = [
+        QueryInstance("bottom-up", f"Entity()->[{vertical}]{{1,3}}->Entity(id={card})")
+        for card in bottom_targets
+    ]
+    return workload
+
+
+#: Signature of a query runner used by the benchmark harness.
+QueryRunner = Callable[[QueryInstance], int]

@@ -1,0 +1,6 @@
+"""Runtime data model: typed element versions and pathways."""
+
+from repro.model.elements import EdgeRecord, ElementRecord, NodeRecord
+from repro.model.pathway import Pathway
+
+__all__ = ["EdgeRecord", "ElementRecord", "NodeRecord", "Pathway"]

@@ -1,0 +1,168 @@
+"""Pathways — the first-class citizens of the Nepal query language (§3.3).
+
+A pathway is an alternating sequence of nodes and edges that always starts
+and ends with a node: ``n1, e1, ..., e(k-1), nk``.  A single node is a
+pathway; a single edge implies its endpoint nodes.  Queries range over
+pathways and return pathways, which is what makes the language closed under
+composition.
+
+For time-range queries a pathway additionally carries its *validity* — the
+maximal :class:`~repro.temporal.interval.IntervalSet` during which every
+element version in the pathway coexisted (§4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.errors import NepalError
+from repro.model.elements import EdgeRecord, ElementRecord, NodeRecord
+from repro.temporal.interval import IntervalSet, intersect_all
+
+
+class Pathway:
+    """An immutable alternating node/edge sequence with optional validity."""
+
+    __slots__ = ("_elements", "_validity", "_key")
+
+    def __init__(
+        self,
+        elements: Sequence[ElementRecord],
+        validity: IntervalSet | None = None,
+    ):
+        if not elements:
+            raise NepalError("a pathway must contain at least one node")
+        for position, element in enumerate(elements):
+            expect_node = position % 2 == 0
+            if expect_node and not isinstance(element, NodeRecord):
+                raise NepalError(
+                    f"pathway position {position} must be a node, got {element}"
+                )
+            if not expect_node and not isinstance(element, EdgeRecord):
+                raise NepalError(
+                    f"pathway position {position} must be an edge, got {element}"
+                )
+        if len(elements) % 2 == 0:
+            raise NepalError("a pathway must start and end with a node")
+        self._elements: tuple[ElementRecord, ...] = tuple(elements)
+        self._validity = validity
+        self._key: tuple[int, ...] | None = None
+
+    # -- accessors -------------------------------------------------------
+
+    @property
+    def elements(self) -> tuple[ElementRecord, ...]:
+        """The alternating node/edge sequence."""
+        return self._elements
+
+    @property
+    def source(self) -> NodeRecord:
+        """The first node — the ``source(P)`` pathway function."""
+        return self._elements[0]  # type: ignore[return-value]
+
+    @property
+    def target(self) -> NodeRecord:
+        """The last node — the ``target(P)`` pathway function."""
+        return self._elements[-1]  # type: ignore[return-value]
+
+    @property
+    def nodes(self) -> tuple[NodeRecord, ...]:
+        """The node elements, in pathway order."""
+        return self._elements[0::2]  # type: ignore[return-value]
+
+    @property
+    def edges(self) -> tuple[EdgeRecord, ...]:
+        """The edge elements, in pathway order."""
+        return self._elements[1::2]  # type: ignore[return-value]
+
+    @property
+    def hop_count(self) -> int:
+        """Number of edges."""
+        return len(self._elements) // 2
+
+    @property
+    def validity(self) -> IntervalSet | None:
+        """Maximal transaction-time ranges during which the pathway existed.
+
+        ``None`` for snapshot-query results, where validity is not computed.
+        """
+        return self._validity
+
+    def key(self) -> tuple[int, ...]:
+        """The identity of the pathway: the uid sequence (used for dedup)."""
+        if self._key is None:
+            self._key = tuple(element.uid for element in self._elements)
+        return self._key
+
+    def uid_set(self) -> frozenset[int]:
+        """The ids of all elements (for disjointness checks)."""
+        return frozenset(element.uid for element in self._elements)
+
+    def is_simple(self) -> bool:
+        """No element repeats — the paper's SQL enforces this during Extend."""
+        key = self.key()
+        return len(set(key)) == len(key)
+
+    # -- derivation ---------------------------------------------------------
+
+    def with_validity(self, validity: IntervalSet) -> "Pathway":
+        """A copy carrying temporal validity (time-range results)."""
+        return Pathway(self._elements, validity=validity)
+
+    def computed_validity(self) -> IntervalSet:
+        """Intersection of all element version periods."""
+        return intersect_all(
+            [IntervalSet([element.period]) for element in self._elements]
+        )
+
+    def reversed(self) -> "Pathway":
+        """The same elements in reverse order.
+
+        Note this flips traversal order only — edge records keep their own
+        source/target orientation.  Used internally when backward extension
+        results are stitched onto an anchor.
+        """
+        return Pathway(tuple(reversed(self._elements)), validity=self._validity)
+
+    def concat(self, other: "Pathway") -> "Pathway":
+        """Join two pathways that share an endpoint node."""
+        if self.target.uid != other.source.uid:
+            raise NepalError(
+                f"cannot concatenate: target {self.target} != source {other.source}"
+            )
+        validity: IntervalSet | None = None
+        if self._validity is not None and other._validity is not None:
+            validity = self._validity.intersect(other._validity)
+        return Pathway(self._elements + other._elements[1:], validity=validity)
+
+    # -- dunder ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __iter__(self) -> Iterator[ElementRecord]:
+        return iter(self._elements)
+
+    def __getitem__(self, index: int) -> ElementRecord:
+        return self._elements[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pathway):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        return f"Pathway({self.render()})"
+
+    def render(self) -> str:
+        """Human-readable ``node -edge-> node`` rendering."""
+        parts: list[str] = []
+        for position, element in enumerate(self._elements):
+            if position % 2 == 0:
+                parts.append(str(element))
+            else:
+                parts.append(f"-{element.cls.name}->")
+        return " ".join(parts)

@@ -1,0 +1,15 @@
+"""Query planning and execution (Section 5).
+
+The planner normalizes an RPE, selects the cheapest anchor, splits the RPE
+around it and compiles forward/backward automata; the result is a
+:class:`~repro.plan.program.MatchProgram` every backend can evaluate.  The
+generic evaluator (:mod:`repro.plan.traverse`) drives frontier expansion
+against any store; the relational backend substitutes set-at-a-time SQL.
+The query-level executor (:mod:`repro.plan.executor`) handles joins across
+range variables, subqueries and temporal post-processing.
+"""
+
+from repro.plan.planner import Planner, PlannerOptions
+from repro.plan.program import CompiledSplit, MatchProgram
+
+__all__ = ["CompiledSplit", "MatchProgram", "Planner", "PlannerOptions"]

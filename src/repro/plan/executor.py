@@ -1,0 +1,592 @@
+"""Query execution across range variables, stores and time (Sections 3–5).
+
+The executor is the Python program the paper's code generator emits: it
+"issues queries to one or more target databases ... primarily performing
+query sequence management", performs processing not available in the target
+databases, and ships partial results between backends for federated joins.
+
+Execution outline:
+
+1. typecheck, resolve each range variable to its store and time scope;
+2. compile a match program per variable and order variables by anchor cost;
+3. evaluate each variable — importing the anchor from an equality join when
+   the variable's own anchor is too expensive (the ``Phys`` variable of the
+   paper's physical-communication-path example);
+4. nested-loop join with early predicate application, temporal semantics per
+   §4 (joint validity under a query-level AT range, independent validities
+   under per-variable timestamps);
+5. apply [NOT] EXISTS subqueries per joined binding;
+6. project (Retrieve pathways / Select expressions) and apply temporal
+   aggregates (FIRST/LAST TIME WHEN EXISTS, WHEN EXISTS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import FederationError, TemporalError, TypeCheckError
+from repro.model.pathway import Pathway
+from repro.plan.planner import Planner, PlannerOptions
+from repro.plan.program import MatchProgram
+from repro.plan.traverse import evaluate_from_endpoints
+from repro.query.ast import (
+    FIRST_TIME,
+    LAST_TIME,
+    RETRIEVE,
+    WHEN_EXISTS,
+    AggregateCall,
+    ComparePredicate,
+    ExistsPredicate,
+    FunctionCall,
+    Query,
+    RangeVariable,
+    TemporalSpec,
+    VariableRef,
+)
+from repro.query.functions import compare_values, evaluate_expression
+from repro.query.parser import parse_query
+from repro.query.results import QueryResult, ResultRow
+from repro.query.typecheck import CheckedQuery, typecheck_query
+from repro.stats.cardinality import CardinalityEstimator
+from repro.storage.base import GraphStore, TimeScope
+from repro.temporal.interval import FOREVER, Interval, IntervalSet
+from repro.temporal.validity import pathway_validity
+
+DEFAULT_STORE = "default"
+
+
+@dataclass
+class _EvaluatedVariable:
+    variable: RangeVariable
+    store: GraphStore
+    scope: TimeScope
+    program: MatchProgram
+    extra_matcher: "object | None" = None
+    pathways: list[Pathway] | None = None
+    validities: list[IntervalSet] | None = None
+
+    @property
+    def name(self) -> str:
+        """The range-variable name."""
+        return self.variable.name
+
+
+class QueryExecutor:
+    """Executes NPQL queries over a catalog of named stores."""
+
+    def __init__(
+        self,
+        stores: Mapping[str, GraphStore],
+        default_store: str = DEFAULT_STORE,
+        planner_options: PlannerOptions | None = None,
+    ):
+        if default_store not in stores:
+            raise FederationError(
+                f"default store {default_store!r} is not in the catalog "
+                f"({sorted(stores)})"
+            )
+        self._stores = dict(stores)
+        self._default = default_store
+        self._planner_options = planner_options or PlannerOptions()
+        self._estimators: dict[str, CardinalityEstimator] = {}
+        self._views: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+
+    def store_for(self, variable: RangeVariable) -> GraphStore:
+        """Resolve a range variable's target store from the catalog."""
+        name = variable.store or self._default
+        try:
+            return self._stores[name]
+        except KeyError:
+            raise FederationError(
+                f"range variable {variable.name!r} targets unknown store {name!r}"
+            ) from None
+
+    def _estimator(self, store: GraphStore) -> CardinalityEstimator:
+        estimator = self._estimators.get(store.name)
+        if estimator is None:
+            estimator = CardinalityEstimator(store)
+            self._estimators[store.name] = estimator
+        return estimator
+
+    def define_view(self, name: str, rpe_text: str) -> None:
+        """Register a named pathway view (§3.4's non-PATHS sources).
+
+        The RPE text is validated lazily, against the schema of whichever
+        store a query's variable targets.
+        """
+        self._views[name.upper()] = rpe_text
+
+    def view_rpe(self, name: str) -> str | None:
+        """The defining RPE text of a view, or None when undefined."""
+        return self._views.get(name.upper())
+
+    def invalidate_statistics(self) -> None:
+        """Drop cached cardinalities (call after bulk loads)."""
+        for estimator in self._estimators.values():
+            estimator.invalidate()
+
+    # ------------------------------------------------------------------
+
+    def execute(self, query: Query | str) -> QueryResult:
+        """Parse (if text), typecheck, plan, evaluate and project *query*."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        checked = typecheck_query(
+            query, lambda var: self.store_for(var).schema, view_rpe=self.view_rpe
+        )
+        bindings = self._solve(checked, outer_bindings={}, cache={})
+        return self._project(checked, bindings)
+
+    def translate(self, query: Query | str) -> str:
+        """Generate the Python program for *query* (§3.1's code generation).
+
+        The returned source defines ``run(stores)``; executing it against
+        the same stores reproduces :meth:`execute`'s rows for the covered
+        query subset (see :mod:`repro.plan.codegen`).
+        """
+        from repro.plan.codegen import translate_query
+
+        if isinstance(query, str):
+            query = parse_query(query)
+        checked = typecheck_query(
+            query, lambda var: self.store_for(var).schema, view_rpe=self.view_rpe
+        )
+        store_names = {
+            variable.name: variable.store or self._default
+            for variable in query.variables
+        }
+        return translate_query(checked, store_names)
+
+    def explain(self, query: Query | str) -> str:
+        """Render the per-variable plans without executing."""
+        from repro.plan.explain import explain_program
+
+        if isinstance(query, str):
+            query = parse_query(query)
+        checked = typecheck_query(
+            query, lambda var: self.store_for(var).schema, view_rpe=self.view_rpe
+        )
+        sections = []
+        for variable in query.variables:
+            evaluated = self._prepare_variable(checked, variable)
+            sections.append(
+                f"variable {variable.name} on store "
+                f"{evaluated.store.name} ({evaluated.scope}):\n"
+                + explain_program(evaluated.program)
+            )
+        return "\n\n".join(sections)
+
+    # ------------------------------------------------------------------
+    # variable evaluation
+    # ------------------------------------------------------------------
+
+    def _scope_for(self, query: Query, variable: RangeVariable) -> TimeScope:
+        spec = variable.at or query.at
+        return _scope_from_spec(spec)
+
+    def _prepare_variable(
+        self, checked: CheckedQuery, variable: RangeVariable
+    ) -> _EvaluatedVariable:
+        store = self.store_for(variable)
+        scope = self._scope_for(checked.query, variable)
+        planner = Planner(
+            store.schema, self._estimator(store), self._planner_options
+        )
+        program = planner.compile(checked.bound_matches[variable.name], bound=True)
+        extra_matcher = None
+        extra = checked.extra_matches.get(variable.name)
+        if extra is not None:
+            from repro.rpe.match import compile_matcher
+
+            extra_matcher = compile_matcher(extra)
+        return _EvaluatedVariable(variable, store, scope, program,
+                                  extra_matcher=extra_matcher)
+
+    def _prepared_variables(
+        self, checked: CheckedQuery, cache: dict
+    ) -> list[_EvaluatedVariable]:
+        """Plan and evaluate every range variable of *checked*, cached.
+
+        Variable evaluation never depends on outer bindings (anchor imports
+        draw on sibling variables only), so a correlated subquery evaluates
+        its MATCHES predicates once and re-joins per outer binding — the
+        "query sequence management" a generated program performs.
+        """
+        key = id(checked)
+        prepared = cache.get(key)
+        if prepared is not None:
+            return prepared
+        query = checked.query
+        prepared = [self._prepare_variable(checked, v) for v in query.variables]
+        # Cheap anchors first; expensive ones may import anchors from joins.
+        prepared.sort(key=lambda item: item.program.anchor_cost)
+        compare_predicates = [
+            p for p in query.predicates if isinstance(p, ComparePredicate)
+        ]
+        evaluated_names: set[str] = set()
+        for item in prepared:
+            self._evaluate_variable(item, prepared, compare_predicates, evaluated_names)
+            evaluated_names.add(item.name)
+        cache[key] = prepared
+        return prepared
+
+    def _solve(
+        self,
+        checked: CheckedQuery,
+        outer_bindings: Mapping[str, Pathway],
+        cache: dict,
+    ) -> list[dict[str, Pathway]]:
+        """Evaluate and join every range variable; returns joined bindings.
+
+        Joint time-range validity is attached afterwards by the projector;
+        here each binding dict may also carry per-pathway validity through
+        the Pathway objects themselves.
+        """
+        query = checked.query
+        prepared = self._prepared_variables(checked, cache)
+
+        compare_predicates = [
+            p for p in query.predicates if isinstance(p, ComparePredicate)
+        ]
+        exists_predicates = [
+            (index, p)
+            for index, p in enumerate(query.predicates)
+            if isinstance(p, ExistsPredicate)
+        ]
+
+        partial: list[dict[str, Pathway]] = [dict(outer_bindings)]
+        applied: set[int] = set()
+        bound_names: set[str] = set(outer_bindings)
+
+        for item in prepared:
+            assert item.pathways is not None
+            next_partial: list[dict[str, Pathway]] = []
+            bound_names.add(item.name)
+            ready = [
+                (index, predicate)
+                for index, predicate in enumerate(compare_predicates)
+                if index not in applied and predicate.variables() <= bound_names
+            ]
+            applied.update(index for index, _ in ready)
+            for binding in partial:
+                for pathway in item.pathways:
+                    candidate = dict(binding)
+                    candidate[item.name] = pathway
+                    if all(
+                        self._compare(predicate, candidate)
+                        for _, predicate in ready
+                    ):
+                        next_partial.append(candidate)
+            partial = next_partial
+            if not partial:
+                break
+
+        # Comparisons referencing only outer variables (fully correlated).
+        for index, predicate in enumerate(compare_predicates):
+            if index in applied:
+                continue
+            partial = [b for b in partial if self._compare(predicate, b)]
+
+        for index, predicate in exists_predicates:
+            sub_checked = checked.subqueries[index]
+            partial = [
+                binding
+                for binding in partial
+                if self._exists(sub_checked, predicate, binding, cache)
+            ]
+        return partial
+
+    def _evaluate_variable(
+        self,
+        item: _EvaluatedVariable,
+        prepared: list[_EvaluatedVariable],
+        compare_predicates: list[ComparePredicate],
+        bound_names: set[str],
+    ) -> None:
+        imported = None
+        if item.program.anchor_cost > self._planner_options.import_threshold:
+            imported = self._imported_anchor(item, prepared, compare_predicates, bound_names)
+        if imported is not None:
+            end, uids = imported
+            pathways = evaluate_from_endpoints(
+                item.store, item.program, item.scope, uids, end
+            )
+        else:
+            pathways = item.store.find_pathways(item.program, item.scope)
+        if item.extra_matcher is not None:
+            from repro.rpe.match import matches_pathway
+
+            pathways = [
+                p for p in pathways if matches_pathway(item.extra_matcher, p)
+            ]
+        if item.scope.is_range:
+            window = IntervalSet([item.scope.window()])
+            kept: list[Pathway] = []
+            for pathway in pathways:
+                validity = pathway_validity(item.store, pathway, item.program.matcher)
+                # The window decides qualification; the attached range stays
+                # maximal over the whole timeline (§4's 06:30 example).
+                if not validity.intersect(window).is_empty():
+                    kept.append(pathway.with_validity(validity))
+            pathways = kept
+        item.pathways = pathways
+
+    def _imported_anchor(
+        self,
+        item: _EvaluatedVariable,
+        prepared: list[_EvaluatedVariable],
+        compare_predicates: list[ComparePredicate],
+        bound_names: set[str],
+    ) -> tuple[str, list[int]] | None:
+        """Find ``source(V)=target(U)``-style joins providing anchor seeds."""
+        evaluated = {p.name: p for p in prepared if p.pathways is not None}
+        for predicate in compare_predicates:
+            if predicate.op != "=":
+                continue
+            sides = (predicate.left, predicate.right)
+            if not all(isinstance(side, FunctionCall) for side in sides):
+                continue
+            left, right = sides  # type: ignore[assignment]
+            pair = None
+            if left.variable == item.name and right.variable in evaluated:
+                pair = (left, right)
+            elif right.variable == item.name and left.variable in evaluated:
+                pair = (right, left)
+            if pair is None:
+                continue
+            mine, theirs = pair
+            if mine.function not in ("source", "target"):
+                continue
+            if theirs.function not in ("source", "target"):
+                continue
+            other = evaluated[theirs.variable]
+            assert other.pathways is not None
+            uids = sorted(
+                {
+                    (pathway.source if theirs.function == "source" else pathway.target).uid
+                    for pathway in other.pathways
+                }
+            )
+            return mine.function, uids
+        return None
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+
+    def _compare(self, predicate: ComparePredicate, bindings: Mapping[str, Pathway]) -> bool:
+        left = evaluate_expression(predicate.left, bindings)
+        right = evaluate_expression(predicate.right, bindings)
+        return compare_values(left, predicate.op, right)
+
+    def _exists(
+        self,
+        sub_checked: CheckedQuery,
+        predicate: ExistsPredicate,
+        outer_bindings: Mapping[str, Pathway],
+        cache: dict,
+    ) -> bool:
+        rows = self._solve(sub_checked, outer_bindings, cache)
+        found = bool(rows)
+        return (not found) if predicate.negated else found
+
+    # ------------------------------------------------------------------
+    # projection & temporal post-processing
+    # ------------------------------------------------------------------
+
+    def _project(
+        self, checked: CheckedQuery, bindings: list[dict[str, Pathway]]
+    ) -> QueryResult:
+        query = checked.query
+        declared = query.declared_variables()
+        query_range = query.at is not None and query.at.is_range
+
+        rows: list[ResultRow] = []
+        for binding in bindings:
+            own_binding = {
+                name: pathway for name, pathway in binding.items() if name in declared
+            }
+            validity: IntervalSet | None = None
+            variable_validity: dict[str, IntervalSet] | None = None
+            if query_range:
+                assert query.at is not None and query.at.end is not None
+                window = IntervalSet.of(query.at.start, query.at.end)
+                joint = IntervalSet.always()
+                for variable in query.variables:
+                    if variable.at is not None:
+                        continue
+                    pathway_val = own_binding[variable.name].validity
+                    if pathway_val is not None:
+                        joint = joint.intersect(pathway_val)
+                validity = joint
+                # Under a joint AT all pathways must coexist at some instant
+                # inside the window; the reported range stays maximal.
+                if validity.intersect(window).is_empty():
+                    continue
+            per_var = {
+                variable.name: own_binding[variable.name].validity
+                for variable in query.variables
+                if variable.at is not None
+                and variable.at.is_range
+                and own_binding[variable.name].validity is not None
+            }
+            if per_var:
+                variable_validity = per_var  # type: ignore[assignment]
+            if any(isinstance(p, AggregateCall) for p in query.projections):
+                # Inner expressions are evaluated per row; the aggregation
+                # itself happens after all rows are collected.
+                values = tuple(
+                    None
+                    if isinstance(p, AggregateCall) and isinstance(p.argument, VariableRef)
+                    else evaluate_expression(
+                        p.argument if isinstance(p, AggregateCall) else p, binding
+                    )
+                    for p in query.projections
+                )
+            else:
+                values = tuple(
+                    evaluate_expression(projection, binding)
+                    for projection in query.projections
+                )
+            rows.append(
+                ResultRow(
+                    values=values,
+                    bindings=own_binding,
+                    validity=validity,
+                    variable_validity=variable_validity,
+                )
+            )
+
+        rows = _dedup_rows(rows, query)
+        columns = tuple(projection.render() for projection in query.projections)
+
+        if query.temporal_op is not None:
+            return _apply_temporal_aggregate(query, rows, columns)
+        if any(isinstance(p, AggregateCall) for p in query.projections):
+            return _apply_set_aggregates(query, rows, columns)
+        rows = _order_and_limit(query, rows)
+        return QueryResult(columns, rows)
+
+
+def _order_value(value):
+    """A total-order key over heterogeneous result values."""
+    from repro.model.elements import ElementRecord
+
+    if value is None:
+        return (0, 0)
+    if isinstance(value, ElementRecord):
+        return (1, value.uid)
+    if isinstance(value, bool):
+        return (2, int(value))
+    if isinstance(value, (int, float)):
+        return (2, value)
+    return (3, str(value))
+
+
+def _order_and_limit(query: Query, rows: list[ResultRow]) -> list[ResultRow]:
+    """Apply ``Order By`` keys (stable, per direction) and ``Limit``."""
+    if query.order_by:
+        for key in reversed(query.order_by):
+            rows = sorted(
+                rows,
+                key=lambda row: _order_value(
+                    evaluate_expression(key.expression, row.bindings)
+                ),
+                reverse=key.descending,
+            )
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return rows
+
+
+def _apply_set_aggregates(
+    query: Query, rows: list[ResultRow], columns: tuple[str, ...]
+) -> QueryResult:
+    """Collapse the result set into one aggregate row (§8 future work)."""
+    import statistics
+
+    values = []
+    for index, projection in enumerate(query.projections):
+        assert isinstance(projection, AggregateCall)
+        if projection.function == "count":
+            values.append(len(rows))
+            continue
+        samples = [
+            row.values[index] for row in rows if row.values[index] is not None
+        ]
+        if not samples:
+            values.append(None)
+        elif projection.function == "min":
+            values.append(min(samples))
+        elif projection.function == "max":
+            values.append(max(samples))
+        elif projection.function == "sum":
+            values.append(sum(samples))
+        else:  # avg
+            values.append(statistics.mean(samples))
+    return QueryResult(columns, [ResultRow(values=tuple(values))])
+
+
+def _dedup_rows(rows: list[ResultRow], query: Query) -> list[ResultRow]:
+    """Retrieve results are pathway sets — drop duplicate bindings."""
+    if query.mode != RETRIEVE:
+        return rows
+    seen: set[tuple] = set()
+    deduped: list[ResultRow] = []
+    for row in rows:
+        key = tuple(
+            (name, row.bindings[name].key()) for name in sorted(row.bindings)
+        )
+        if key not in seen:
+            seen.add(key)
+            deduped.append(row)
+    return deduped
+
+
+def _scope_from_spec(spec: TemporalSpec | None) -> TimeScope:
+    if spec is None:
+        return TimeScope.current()
+    if spec.is_range:
+        assert spec.end is not None
+        return TimeScope.between(spec.start, spec.end)
+    return TimeScope.at(spec.start)
+
+
+def _apply_temporal_aggregate(
+    query: Query, rows: list[ResultRow], columns: tuple[str, ...]
+) -> QueryResult:
+    """FIRST/LAST TIME WHEN EXISTS and WHEN EXISTS (§4 / [18])."""
+    if query.at is None or not query.at.is_range:
+        raise TemporalError(
+            "temporal aggregates require a query-level AT '<t1>' : '<t2>' range"
+        )
+    union = IntervalSet.empty()
+    for row in rows:
+        if row.validity is not None:
+            union = union.union(row.validity)
+    # Aggregates ask about instants *during* the window.
+    assert query.at.end is not None
+    union = union.clip(Interval(query.at.start, query.at.end))
+    if query.temporal_op == WHEN_EXISTS:
+        value_rows = [
+            ResultRow(values=((interval.start, None if interval.is_current else interval.end),))
+            for interval in union
+        ]
+        return QueryResult(("when_exists",), value_rows)
+    if query.temporal_op == FIRST_TIME:
+        instant = union.first_instant()
+    elif query.temporal_op == LAST_TIME:
+        last = union.last_instant()
+        instant = None if last is None else (None if last == FOREVER else last)
+        if last == FOREVER:
+            # Still satisfied at the end of the window: report the window end.
+            instant = query.at.end
+    else:  # pragma: no cover - parser restricts the values
+        raise TypeCheckError(f"unknown temporal aggregate {query.temporal_op!r}")
+    column = "first_time" if query.temporal_op == FIRST_TIME else "last_time"
+    if instant is None:
+        return QueryResult((column,), [])
+    return QueryResult((column,), [ResultRow(values=(instant,))])

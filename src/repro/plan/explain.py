@@ -1,0 +1,42 @@
+"""Human-readable plan explanation.
+
+Renders the compiled program the way the paper narrates its plans: the
+chosen anchor with its estimated cardinality, then the forwards/backwards
+Extend/Union operator lists derived from the affix automata, e.g. for
+``VNF(id=55)->[Connects(){1,5}]->VM(id=66)``:
+
+    Compute VM(id=55)|Docker(id=66)
+    Extend forwards by ...
+    Extend backwards by ...
+"""
+
+from __future__ import annotations
+
+from repro.plan.operators import fuse_extend_blocks, lower_affix
+from repro.plan.program import MatchProgram
+from repro.util.text import indent_block
+
+
+def explain_program(program: MatchProgram, fuse_blocks: bool = True) -> str:
+    """Render the operator DAG of a compiled match program."""
+    lines: list[str] = [f"MATCHES {program.rpe.render()}"]
+    lines.append(
+        f"anchor plan ({len(program.splits)} split"
+        f"{'s' if len(program.splits) != 1 else ''}, "
+        f"estimated cardinality {program.anchor_cost:g})"
+    )
+    for index, compiled in enumerate(program.splits):
+        lines.append(f"split {index}: Select[{compiled.split.anchor.render()}]")
+        for direction, nfa, affix in (
+            ("forwards", compiled.forward_nfa, compiled.split.suffix),
+            ("backwards", compiled.backward_nfa, compiled.split.prefix),
+        ):
+            rendered = affix.render() if affix is not None else "ε"
+            operators = lower_affix(nfa)
+            if fuse_blocks:
+                operators = fuse_extend_blocks(operators)
+            body = "\n".join(op.render() for op in operators) or "(nothing to do)"
+            lines.append(f"  extend {direction} by {rendered}:")
+            lines.append(indent_block(body, "    "))
+    lines.append(f"pathway length limit: {program.max_elements} elements")
+    return "\n".join(lines)

@@ -1,0 +1,218 @@
+"""The database-operator DAG (Section 5.1).
+
+"The normalized RPE and the selected best anchor are then converted into a
+collection of database operators ... The basic operators are Select, Extend
+and Union.  Select operators evaluate the anchor atom(s).  Extend operators
+evaluate the non-anchor atoms.  Union operators collect results where
+multiple paths are possible (Alternation and Repetition) — replacing epsilon
+transitions."
+
+This module lowers a compiled affix automaton into that operator list: one
+Extend per consuming transition, one Union per epsilon transition, in
+topological order.  The generic executor does not need this form (it drives
+the automaton directly), but the relational backend executes exactly this
+list as TEMP-table SQL, and ``explain()`` renders it.
+
+The Extend operator "can be subclassed along three dimensions: does it
+extend a node or an edge?  does it extend from a node or an edge?  does it
+extend a path forwards or backwards?" — captured by :class:`ExtendOp`'s
+``consumes`` field and the direction of the owning program.  ExtendBlock
+(§5.2) fuses a linear edge+node chain into one operator to avoid
+materializing the intermediate state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rpe.ast import Atom
+from repro.rpe.nfa import ANY, ANY_EDGE, ANY_NODE, PAD_NODE, AtomLabel, PathwayNfa
+
+
+@dataclass(frozen=True)
+class SelectOp:
+    """Evaluate an anchor atom — the seed scan."""
+
+    atom: Atom
+
+    def render(self) -> str:
+        return f"Select[{self.atom.render()}]"
+
+
+@dataclass(frozen=True)
+class ExtendOp:
+    """Extend partial paths in *from_state* by one element into *to_state*.
+
+    ``consumes`` is ``"node"``, ``"edge"`` or ``"any"``; ``atom`` constrains
+    the consumed element (``None`` for wildcards).
+    """
+
+    from_state: int
+    to_state: int
+    consumes: str
+    atom: Atom | None = None
+
+    def render(self) -> str:
+        constraint = self.atom.render() if self.atom else f"<{self.consumes}>"
+        return f"Extend[s{self.from_state} -> s{self.to_state} by {constraint}]"
+
+
+@dataclass(frozen=True)
+class UnionOp:
+    """Copy partial paths between states — a reified epsilon transition."""
+
+    from_state: int
+    to_state: int
+
+    def render(self) -> str:
+        return f"Union[s{self.from_state} -> s{self.to_state}]"
+
+
+@dataclass(frozen=True)
+class ExtendBlockOp:
+    """A fused chain of Extend operators (§5.2's loop-unrolling operator).
+
+    The payload is restricted exactly as the paper restricts it: "it must be
+    a sequence of atoms or alternations of atoms" — here, a linear chain of
+    consuming transitions with no branching in between.
+    """
+
+    steps: tuple[ExtendOp, ...]
+
+    @property
+    def from_state(self) -> int:
+        return self.steps[0].from_state
+
+    @property
+    def to_state(self) -> int:
+        return self.steps[-1].to_state
+
+    def render(self) -> str:
+        inner = "; ".join(step.render() for step in self.steps)
+        return f"ExtendBlock[{inner}]"
+
+
+Operator = SelectOp | ExtendOp | UnionOp | ExtendBlockOp
+
+
+def lower_affix(nfa: PathwayNfa) -> list[ExtendOp | UnionOp]:
+    """Lower an affix automaton to Extend/Union operators in topological order."""
+    operators: list[ExtendOp | UnionOp] = []
+    for state in nfa.topological_states():
+        for label, target in nfa.transitions.get(state, ()):
+            if label == ANY:
+                consumes, atom = "any", None
+            elif label in (ANY_NODE, PAD_NODE):
+                consumes, atom = "node", None
+            elif label == ANY_EDGE:
+                consumes, atom = "edge", None
+            else:
+                assert isinstance(label, AtomLabel)
+                consumes = "node" if label.atom.is_node_atom else "edge"
+                atom = label.atom
+            operators.append(ExtendOp(state, target, consumes, atom))
+        for target in nfa.epsilon_transitions.get(state, ()):
+            operators.append(UnionOp(state, target))
+    return operators
+
+
+def contract_pass_through_unions(
+    operators: list[ExtendOp | UnionOp],
+    protect: frozenset[int] = frozenset(),
+) -> list[ExtendOp | UnionOp]:
+    """Eliminate unions that merely rename a state.
+
+    A Union ``A -> B`` whose source has no other outgoing operator and
+    whose target has no other incoming operator copies a table verbatim;
+    aliasing ``B := A`` removes it.  States in *protect* (the seed and
+    accept states, whose tables the runner touches by name) are never
+    aliased away.
+    """
+    incoming: dict[int, int] = {}
+    outgoing: dict[int, int] = {}
+    for op in operators:
+        outgoing[op.from_state] = outgoing.get(op.from_state, 0) + 1
+        incoming[op.to_state] = incoming.get(op.to_state, 0) + 1
+
+    alias: dict[int, int] = {}
+
+    def resolve(state: int) -> int:
+        while state in alias:
+            state = alias[state]
+        return state
+
+    remaining: list[ExtendOp | UnionOp] = []
+    for op in operators:
+        if (
+            isinstance(op, UnionOp)
+            and op.to_state not in protect
+            and outgoing.get(op.from_state, 0) == 1
+            and incoming.get(op.to_state, 0) == 1
+        ):
+            alias[op.to_state] = op.from_state
+        else:
+            remaining.append(op)
+
+    remapped: list[ExtendOp | UnionOp] = []
+    for op in remaining:
+        source, target = resolve(op.from_state), resolve(op.to_state)
+        if isinstance(op, UnionOp):
+            remapped.append(UnionOp(source, target))
+        else:
+            remapped.append(ExtendOp(source, target, op.consumes, op.atom))
+    return remapped
+
+
+def fuse_extend_blocks(
+    operators: list[ExtendOp | UnionOp],
+    protect: frozenset[int] = frozenset(),
+) -> list[ExtendOp | UnionOp | ExtendBlockOp]:
+    """Fuse maximal linear Extend chains into ExtendBlock operators.
+
+    Pass-through unions are contracted first; a chain ``s1 -e-> s2 -n-> s3``
+    is then fusable when the intermediate states have exactly one incoming
+    and one outgoing operator, so the intermediate table would never be
+    read by anyone else.  *protect* lists states whose tables the runner
+    reads by name (seed/accept); they are never fused away.
+    """
+    operators = contract_pass_through_unions(operators, protect)
+    incoming: dict[int, int] = {}
+    outgoing: dict[int, int] = {}
+    for op in operators:
+        outgoing[op.from_state] = outgoing.get(op.from_state, 0) + 1
+        incoming[op.to_state] = incoming.get(op.to_state, 0) + 1
+
+    by_source: dict[int, ExtendOp] = {
+        op.from_state: op
+        for op in operators
+        if isinstance(op, ExtendOp)
+        and outgoing.get(op.from_state, 0) == 1
+    }
+
+    fused: list[ExtendOp | UnionOp | ExtendBlockOp] = []
+    consumed: set[int] = set()  # from_states already folded into a block
+    for op in operators:
+        if isinstance(op, UnionOp):
+            fused.append(op)
+            continue
+        if op.from_state in consumed:
+            continue
+        chain = [op]
+        cursor = op
+        while True:
+            candidate = cursor.to_state
+            nxt = by_source.get(candidate)
+            if (
+                nxt is None
+                or candidate in protect
+                or incoming.get(candidate, 0) != 1
+            ):
+                break
+            chain.append(nxt)
+            consumed.add(nxt.from_state)
+            cursor = nxt
+        if len(chain) > 1:
+            fused.append(ExtendBlockOp(tuple(chain)))
+        else:
+            fused.append(op)
+    return fused

@@ -1,0 +1,59 @@
+"""Compiled match programs — the planner's output, the backends' input."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rpe.anchors import AnchorPlan, Split
+from repro.rpe.ast import RpeNode
+from repro.rpe.nfa import PathwayNfa
+
+
+@dataclass(frozen=True)
+class CompiledSplit:
+    """One anchor atom with executable affix automata.
+
+    ``forward_nfa`` consumes pathway elements after the anchor (the suffix
+    side); ``backward_nfa`` consumes elements before it, in reverse order
+    (it is built from the mirrored prefix).  Both embed the concatenation
+    seam toward the anchor and the implicit endpoint-node padding at the
+    pathway boundary.
+    """
+
+    split: Split
+    forward_nfa: PathwayNfa
+    backward_nfa: PathwayNfa
+
+
+@dataclass(frozen=True)
+class MatchProgram:
+    """Everything a backend needs to find the pathways matching one RPE."""
+
+    rpe: RpeNode
+    """The bound, normalized RPE."""
+
+    anchor_plan: AnchorPlan
+    splits: tuple[CompiledSplit, ...]
+
+    matcher: PathwayNfa
+    """Whole-pathway acceptance automaton (verification, temporal validity)."""
+
+    reversed_matcher: PathwayNfa
+    """Acceptance automaton of the mirrored RPE — consumes pathways from the
+    target end, used when a join imports the anchor at the target (§3.3:
+    "In join queries, an anchor can be imported from a joined path")."""
+
+    max_elements: int
+    """Upper bound on elements per pathway (finite by construction)."""
+
+    anchor_cost: float = 0.0
+    seeds: tuple[int, ...] | None = None
+    """Optional pre-resolved anchor uids (anchors imported from a join)."""
+
+    def describe(self) -> str:
+        lines = [f"match {self.rpe.render()}"]
+        lines.append(f"  anchor {self.anchor_plan.render()}")
+        for compiled in self.splits:
+            lines.append(f"  split {compiled.split.render()}")
+        lines.append(f"  max elements {self.max_elements}")
+        return "\n".join(lines)

@@ -1,0 +1,198 @@
+"""Generic pathway traversal: evaluate a match program against any store.
+
+This is the tuple-at-a-time realization of the paper's operator DAG:
+
+* the anchor scan is the **Select** operator;
+* each automaton step over the graph is an **Extend** operator, following
+  edges forwards or backwards from the anchor (§5.1: "If the selected
+  anchor is in the middle of the RPE, the query plan will have both
+  forwards and backwards Extend operators");
+* results from the several splits of an alternation anchor are **Union**-ed
+  with pathway-level deduplication.
+
+Expansion is pruned with the automaton's outgoing labels: when every next
+label names edge classes, only the adjacency lists of those class subtrees
+are touched — the model-driven pruning whose effect §6 measures.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.model.elements import EdgeRecord, ElementRecord, NodeRecord
+from repro.model.pathway import Pathway
+from repro.rpe.nfa import PathwayNfa
+from repro.storage.base import GraphStore, TimeScope
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.plan.program import CompiledSplit, MatchProgram
+
+FORWARD = "forward"
+BACKWARD = "backward"
+
+
+def evaluate_program(
+    store: GraphStore, program: "MatchProgram", scope: TimeScope
+) -> list[Pathway]:
+    """All distinct pathways of *store* under *scope* matching the program."""
+    results: dict[tuple[int, ...], Pathway] = {}
+    for compiled in program.splits:
+        for pathway in _evaluate_split(store, program, compiled, scope):
+            results.setdefault(pathway.key(), pathway)
+    return list(results.values())
+
+
+def _evaluate_split(
+    store: GraphStore,
+    program: "MatchProgram",
+    compiled: "CompiledSplit",
+    scope: TimeScope,
+):
+    seeds = _anchor_seeds(store, program, compiled, scope)
+    for seed in seeds:
+        forwards = _extensions(store, seed, compiled.forward_nfa, FORWARD, scope, program)
+        if not forwards:
+            continue
+        backwards = _extensions(store, seed, compiled.backward_nfa, BACKWARD, scope, program)
+        for backward in backwards:
+            backward_uids = {element.uid for element in backward}
+            for forward in forwards:
+                if backward_uids and not backward_uids.isdisjoint(
+                    element.uid for element in forward
+                ):
+                    continue
+                elements = [*reversed(backward), seed, *forward]
+                if len(elements) > program.max_elements:
+                    continue
+                if not isinstance(elements[0], NodeRecord):
+                    continue
+                if not isinstance(elements[-1], NodeRecord):
+                    continue
+                yield Pathway(elements)
+
+
+def evaluate_from_endpoints(
+    store: GraphStore,
+    program: "MatchProgram",
+    scope: TimeScope,
+    endpoint_uids: list[int],
+    end: str,
+) -> list[Pathway]:
+    """Evaluate a match with the anchor *imported from a join* (§3.3).
+
+    Instead of scanning the RPE's own anchor atom — which may be hopeless,
+    like ``ConnectsTo(){1,8}`` over the whole graph — traversal starts at
+    the given node uids, which a previously evaluated joined variable pinned
+    as the pathway's ``source`` or ``target``.
+    """
+    matcher = program.matcher if end == "source" else program.reversed_matcher
+    direction = FORWARD if end == "source" else BACKWARD
+    results: dict[tuple[int, ...], Pathway] = {}
+    for uid in endpoint_uids:
+        node = store.get_element(uid, scope)
+        if not isinstance(node, NodeRecord):
+            continue
+        initial = matcher.step(matcher.initial_states(), node)
+        if not initial:
+            continue
+        stack: list[tuple[list[ElementRecord], frozenset[int], frozenset[int]]] = [
+            ([node], initial, frozenset((uid,)))
+        ]
+        while stack:
+            consumed, states, used = stack.pop()
+            if matcher.is_accepting(states) and isinstance(consumed[-1], NodeRecord):
+                elements = consumed if end == "source" else list(reversed(consumed))
+                pathway = Pathway(elements)
+                results.setdefault(pathway.key(), pathway)
+            if len(consumed) >= program.max_elements or matcher.is_dead(states):
+                continue
+            for candidate in _neighbors(store, consumed[-1], direction, scope, matcher, states):
+                if candidate.uid in used:
+                    continue
+                next_states = matcher.step(states, candidate)
+                if next_states:
+                    stack.append(
+                        ([*consumed, candidate], next_states, used | {candidate.uid})
+                    )
+    return list(results.values())
+
+
+def _anchor_seeds(
+    store: GraphStore,
+    program: "MatchProgram",
+    compiled: "CompiledSplit",
+    scope: TimeScope,
+) -> list[ElementRecord]:
+    """The Select operator, honouring anchors imported from a join."""
+    if program.seeds is not None:
+        records = []
+        for uid in program.seeds:
+            record = store.get_element(uid, scope)
+            if record is not None and compiled.split.anchor.matches(record):
+                records.append(record)
+        return records
+    return store.scan_atom(compiled.split.anchor, scope)
+
+
+def _extensions(
+    store: GraphStore,
+    seed: ElementRecord,
+    nfa: PathwayNfa,
+    direction: str,
+    scope: TimeScope,
+    program: "MatchProgram",
+) -> list[list[ElementRecord]]:
+    """All element sequences by which *seed* can be extended per *nfa*.
+
+    Returned sequences are in traversal order (away from the anchor); the
+    empty sequence appears when the automaton accepts immediately.
+    """
+    completions: list[list[ElementRecord]] = []
+    seen_completions: set[tuple[int, ...]] = set()
+    initial = nfa.initial_states()
+    if not initial:
+        return completions
+    # Depth-first over (consumed elements, automaton states, used uids).
+    stack: list[tuple[list[ElementRecord], frozenset[int], frozenset[int]]] = [
+        ([], initial, frozenset((seed.uid,)))
+    ]
+    budget = program.max_elements
+    while stack:
+        consumed, states, used = stack.pop()
+        if nfa.is_accepting(states):
+            key = tuple(element.uid for element in consumed)
+            if key not in seen_completions:
+                seen_completions.add(key)
+                completions.append(consumed)
+        if len(consumed) >= budget or nfa.is_dead(states):
+            continue
+        last = consumed[-1] if consumed else seed
+        for candidate in _neighbors(store, last, direction, scope, nfa, states):
+            if candidate.uid in used:
+                continue
+            next_states = nfa.step(states, candidate)
+            if next_states:
+                stack.append(
+                    ([*consumed, candidate], next_states, used | {candidate.uid})
+                )
+    return completions
+
+
+def _neighbors(
+    store: GraphStore,
+    element: ElementRecord,
+    direction: str,
+    scope: TimeScope,
+    nfa: PathwayNfa,
+    states: frozenset[int],
+) -> list[ElementRecord]:
+    """Graph elements that may follow *element* in traversal order."""
+    if isinstance(element, NodeRecord):
+        classes = nfa.edge_class_filter(states)
+        if direction == FORWARD:
+            return list(store.out_edges(element.uid, scope, classes))
+        return list(store.in_edges(element.uid, scope, classes))
+    assert isinstance(element, EdgeRecord)
+    next_uid = element.target_uid if direction == FORWARD else element.source_uid
+    node = store.get_element(next_uid, scope)
+    return [node] if node is not None else []

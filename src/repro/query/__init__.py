@@ -1,0 +1,44 @@
+"""The Nepal query language (NPQL), Sections 3.3–4.
+
+An SQL-like surface over pathways::
+
+    AT '2017-02-15 10:00:00'
+    Select source(P)
+    From PATHS P
+    Where P MATCHES VNF()->[HostedOn()]{1,6}->Host(id=23245)
+
+``Retrieve`` returns pathways; ``Select`` post-processes them with pathway
+functions (``source``, ``target``, ...).  Range variables may carry their
+own timestamps (``PATHS P(@'...')``), queries may join pathway variables,
+nest ``NOT EXISTS`` subqueries, and prefix temporal aggregates
+(``FIRST TIME WHEN EXISTS``, ``LAST TIME WHEN EXISTS``, ``WHEN EXISTS``).
+"""
+
+from repro.query.ast import (
+    ComparePredicate,
+    ExistsPredicate,
+    FieldAccess,
+    FunctionCall,
+    Literal,
+    MatchesPredicate,
+    Query,
+    RangeVariable,
+    TemporalSpec,
+)
+from repro.query.parser import parse_query
+from repro.query.results import QueryResult, ResultRow
+
+__all__ = [
+    "ComparePredicate",
+    "ExistsPredicate",
+    "FieldAccess",
+    "FunctionCall",
+    "Literal",
+    "MatchesPredicate",
+    "Query",
+    "QueryResult",
+    "RangeVariable",
+    "ResultRow",
+    "TemporalSpec",
+    "parse_query",
+]

@@ -1,0 +1,277 @@
+"""Abstract syntax of NPQL queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.rpe.ast import RpeNode
+
+RETRIEVE = "retrieve"
+SELECT = "select"
+
+FIRST_TIME = "first_time"
+LAST_TIME = "last_time"
+WHEN_EXISTS = "when_exists"
+
+
+@dataclass(frozen=True)
+class TemporalSpec:
+    """An ``AT`` clause: a time point or a time range (epoch seconds)."""
+
+    start: float
+    end: float | None = None
+
+    @property
+    def is_range(self) -> bool:
+        return self.end is not None
+
+    def render(self) -> str:
+        if self.end is None:
+            return f"AT {self.start}"
+        return f"AT {self.start} : {self.end}"
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+
+class Expression:
+    """Base class of value expressions in Where and Select clauses."""
+
+    def variables(self) -> set[str]:
+        return set()
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    value: Any
+
+    def render(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """A pathway function applied to a range variable, e.g. ``source(P)``."""
+
+    function: str
+    variable: str
+
+    def variables(self) -> set[str]:
+        return {self.variable}
+
+    def render(self) -> str:
+        return f"{self.function}({self.variable})"
+
+
+@dataclass(frozen=True)
+class FieldAccess(Expression):
+    """Field access on a pathway function result, e.g. ``source(P).name``."""
+
+    base: FunctionCall
+    field_name: str
+
+    def variables(self) -> set[str]:
+        return self.base.variables()
+
+    def render(self) -> str:
+        return f"{self.base.render()}.{self.field_name}"
+
+
+@dataclass(frozen=True)
+class AggregateCall(Expression):
+    """An aggregate over the whole pathway set, e.g. ``count(P)`` or
+    ``avg(length(P))`` — the "aggregation queries on pathway sets" the paper
+    lists as future work (§8)."""
+
+    function: str
+    argument: "Expression"
+
+    def variables(self) -> set[str]:
+        return self.argument.variables()
+
+    def render(self) -> str:
+        return f"{self.function}({self.argument.render()})"
+
+
+@dataclass(frozen=True)
+class VariableRef(Expression):
+    """A bare range variable in a Retrieve list."""
+
+    name: str
+
+    def variables(self) -> set[str]:
+        return {self.name}
+
+    def render(self) -> str:
+        return self.name
+
+
+# ---------------------------------------------------------------------------
+# predicates
+# ---------------------------------------------------------------------------
+
+
+class Predicate:
+    """Base class of Where-clause conjuncts."""
+
+    def variables(self) -> set[str]:
+        return set()
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class MatchesPredicate(Predicate):
+    """``P MATCHES <rpe>`` — constrains one pathway variable."""
+
+    variable: str
+    rpe: RpeNode
+
+    def variables(self) -> set[str]:
+        return {self.variable}
+
+    def render(self) -> str:
+        return f"{self.variable} MATCHES {self.rpe.render()}"
+
+
+@dataclass(frozen=True)
+class ComparePredicate(Predicate):
+    """A comparison between two expressions, e.g. ``source(P) = target(Q)``."""
+
+    left: Expression
+    op: str
+    right: Expression
+
+    def variables(self) -> set[str]:
+        return self.left.variables() | self.right.variables()
+
+    def render(self) -> str:
+        return f"{self.left.render()} {self.op} {self.right.render()}"
+
+
+@dataclass(frozen=True)
+class ExistsPredicate(Predicate):
+    """``[NOT] EXISTS (<subquery>)`` — possibly correlated with outer vars."""
+
+    query: "Query"
+    negated: bool = False
+
+    def variables(self) -> set[str]:
+        # Correlated references are the sub-query's free variables.
+        return self.query.free_variables()
+
+    def render(self) -> str:
+        keyword = "NOT EXISTS" if self.negated else "EXISTS"
+        return f"{keyword} ({self.query.render()})"
+
+
+# ---------------------------------------------------------------------------
+# queries
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RangeVariable:
+    """One ``From PATHS P`` item, with optional timestamp and store.
+
+    ``view`` names a defined pathway view instead of the universal PATHS
+    source ("The source is an unmaterialized view of pathways, and the view
+    PATHS is the set of all pathways.  Additional views can be defined",
+    §3.4): the variable then ranges over pathways satisfying the view's
+    RPE, and any explicit MATCHES is an additional (conjunctive) filter.
+    """
+
+    name: str
+    at: TemporalSpec | None = None
+    store: str | None = None
+    """Federation: name of the backend this variable ranges over."""
+
+    view: str | None = None
+    """Name of a defined pathway view (None = the universal PATHS view)."""
+
+    def render(self) -> str:
+        source = self.view or "PATHS"
+        if self.store is not None:
+            source += f"@{self.store}"
+        suffix = ""
+        if self.at is not None:
+            timestamp = f"@{self.at.start}"
+            if self.at.end is not None:
+                timestamp += f":{self.at.end}"
+            suffix = f"({timestamp})"
+        return f"{source} {self.name}{suffix}"
+
+
+@dataclass(frozen=True)
+class OrderKey:
+    """One ``Order By`` key: an expression plus direction."""
+
+    expression: Expression
+    descending: bool = False
+
+    def render(self) -> str:
+        return self.expression.render() + (" Desc" if self.descending else "")
+
+
+@dataclass(frozen=True)
+class Query:
+    """A complete NPQL query."""
+
+    mode: str
+    projections: tuple[Expression, ...]
+    variables: tuple[RangeVariable, ...]
+    predicates: tuple[Predicate, ...]
+    at: TemporalSpec | None = None
+    temporal_op: str | None = field(default=None)
+    """``first_time`` / ``last_time`` / ``when_exists`` aggregate prefix."""
+
+    order_by: tuple[OrderKey, ...] = ()
+    limit: int | None = None
+
+    def declared_variables(self) -> set[str]:
+        return {variable.name for variable in self.variables}
+
+    def free_variables(self) -> set[str]:
+        """Variables referenced but not declared (correlation with outer)."""
+        referenced: set[str] = set()
+        for projection in self.projections:
+            referenced |= projection.variables()
+        for predicate in self.predicates:
+            referenced |= predicate.variables()
+        return referenced - self.declared_variables()
+
+    def matches_for(self, variable: str) -> MatchesPredicate | None:
+        for predicate in self.predicates:
+            if isinstance(predicate, MatchesPredicate) and predicate.variable == variable:
+                return predicate
+        return None
+
+    def render(self) -> str:
+        parts: list[str] = []
+        if self.temporal_op == FIRST_TIME:
+            parts.append("FIRST TIME WHEN EXISTS")
+        elif self.temporal_op == LAST_TIME:
+            parts.append("LAST TIME WHEN EXISTS")
+        elif self.temporal_op == WHEN_EXISTS:
+            parts.append("WHEN EXISTS")
+        if self.at is not None:
+            parts.append(self.at.render())
+        keyword = "Retrieve" if self.mode == RETRIEVE else "Select"
+        parts.append(f"{keyword} " + ", ".join(p.render() for p in self.projections))
+        parts.append("From " + ", ".join(v.render() for v in self.variables))
+        if self.predicates:
+            parts.append("Where " + " And ".join(p.render() for p in self.predicates))
+        if self.order_by:
+            parts.append("Order By " + ", ".join(k.render() for k in self.order_by))
+        if self.limit is not None:
+            parts.append(f"Limit {self.limit}")
+        return " ".join(parts)

@@ -1,0 +1,91 @@
+"""Pathway functions (Section 3.4).
+
+"The most basic functions are source(P) and target(P), which return the
+source and target nodes of P" — plus ``length``/``hops``.  Expression
+evaluation over a variable binding lives here, shared by the Where-clause
+comparator and the Select projection.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import TypeCheckError
+from repro.model.elements import NodeRecord
+from repro.model.pathway import Pathway
+from repro.query.ast import (
+    Expression,
+    FieldAccess,
+    FunctionCall,
+    Literal,
+    VariableRef,
+)
+
+
+def apply_function(function: str, pathway: Pathway) -> Any:
+    if function == "source":
+        return pathway.source
+    if function == "target":
+        return pathway.target
+    if function in ("length", "hops"):
+        return pathway.hop_count
+    raise TypeCheckError(f"unknown pathway function {function!r}")
+
+
+def evaluate_expression(expression: Expression, bindings: Mapping[str, Pathway]) -> Any:
+    """Evaluate an expression against pathway bindings."""
+    if isinstance(expression, Literal):
+        return expression.value
+    if isinstance(expression, FunctionCall):
+        pathway = _lookup(expression.variable, bindings)
+        return apply_function(expression.function, pathway)
+    if isinstance(expression, FieldAccess):
+        base = evaluate_expression(expression.base, bindings)
+        if not isinstance(base, NodeRecord):
+            raise TypeCheckError(
+                f"field access {expression.render()} applies to a node, got {base!r}"
+            )
+        return base.get(expression.field_name)
+    if isinstance(expression, VariableRef):
+        return _lookup(expression.name, bindings)
+    raise TypeCheckError(f"cannot evaluate expression {expression!r}")
+
+
+def compare_values(left: Any, op: str, right: Any) -> bool:
+    """Comparison semantics for Where predicates.
+
+    Node-to-node equality compares element identity (uid), as in
+    ``source(Phys) = target(D1)``; everything else is plain value comparison
+    with type mismatches evaluating to false rather than raising.
+    """
+    if isinstance(left, NodeRecord) and isinstance(right, NodeRecord):
+        left, right = left.uid, right.uid
+    elif isinstance(left, NodeRecord) or isinstance(right, NodeRecord):
+        # Comparing a node against e.g. an id literal compares the uid.
+        if isinstance(left, NodeRecord):
+            left = left.uid
+        if isinstance(right, NodeRecord):
+            right = right.uid
+    try:
+        if op == "=":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError:
+        return False
+    raise TypeCheckError(f"unknown comparison operator {op!r}")
+
+
+def _lookup(variable: str, bindings: Mapping[str, Pathway]) -> Pathway:
+    try:
+        return bindings[variable]
+    except KeyError:
+        raise TypeCheckError(f"unbound range variable {variable!r}") from None

@@ -1,0 +1,60 @@
+"""Tokenizer for NPQL query text.
+
+Shares the RPE token shapes (so the parser can delimit a MATCHES expression
+by scanning tokens) and adds the query-level punctuation: ``@`` for
+per-variable timestamps and store names, ``.`` for field access, and a bare
+``:`` for time ranges.  Keywords are ordinary name tokens classified by the
+parser, keeping class names like ``Select`` usable inside RPEs.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<arrow>->)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*(?::[A-Za-z_][A-Za-z_0-9]*)*)
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<string>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+  | (?P<op><=|>=|!=|=|<|>)
+  | (?P<punct>[()\[\]{},|@.:])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class QueryToken:
+    kind: str
+    value: str
+    position: int
+
+    @property
+    def end(self) -> int:
+        return self.position + len(self.value)
+
+    def is_keyword(self, *keywords: str) -> bool:
+        return self.kind == "name" and self.value.lower() in keywords
+
+    def is_punct(self, value: str) -> bool:
+        return self.kind == "punct" and self.value == value
+
+
+def tokenize_query(text: str) -> list[QueryToken]:
+    """Split query text into tokens, raising :class:`ParseError` on junk."""
+    tokens: list[QueryToken] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError("unexpected character", position=position, text=text)
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(QueryToken(kind, match.group(), position))
+        position = match.end()
+    return tokens

@@ -1,0 +1,359 @@
+"""Recursive-descent parser for NPQL.
+
+Grammar (keywords case-insensitive)::
+
+    query      := [temporal_op] [at_clause] verb projections
+                  FROM from_item (',' from_item)*
+                  [WHERE predicate (AND predicate)*]
+    temporal_op:= FIRST TIME WHEN EXISTS | LAST TIME WHEN EXISTS | WHEN EXISTS
+    at_clause  := AT timestamp [':' timestamp]
+    verb       := RETRIEVE | SELECT
+    from_item  := PATHS ['@' store] NAME ['(' '@' timestamp [':' timestamp] ')']
+    predicate  := NAME MATCHES <rpe>
+               | [NOT] EXISTS '(' query ')'
+               | expr cmp expr
+    expr       := func '(' NAME ')' ['.' NAME]
+               | agg '(' expr ')'          -- count/min/max/sum/avg
+               | NAME | literal
+
+The MATCHES right-hand side is delimited by token scanning (a depth-zero
+``AND``, comma, or closing parenthesis of an enclosing subquery ends it) and
+handed to the RPE parser, so the full RPE syntax is available verbatim.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.query.ast import (
+    FIRST_TIME,
+    LAST_TIME,
+    RETRIEVE,
+    SELECT,
+    WHEN_EXISTS,
+    AggregateCall,
+    ComparePredicate,
+    ExistsPredicate,
+    Expression,
+    FieldAccess,
+    FunctionCall,
+    Literal,
+    MatchesPredicate,
+    Predicate,
+    Query,
+    RangeVariable,
+    TemporalSpec,
+    OrderKey,
+    VariableRef,
+)
+from repro.query.lexer import QueryToken, tokenize_query
+from repro.rpe.parser import parse_rpe
+from repro.temporal.interval import parse_timestamp
+
+_OPENERS = {"(", "[", "{"}
+_CLOSERS = {")", "]", "}"}
+_COMPARE_OPS = {"=", "!=", "<", "<=", ">", ">="}
+_PATHWAY_FUNCTIONS = {"source", "target", "length", "hops"}
+_AGGREGATE_FUNCTIONS = {"count", "min", "max", "sum", "avg"}
+
+
+class _QueryParser:
+    def __init__(self, text: str, tokens: list[QueryToken], offset: int = 0):
+        self.text = text
+        self.tokens = tokens
+        self.index = offset
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> QueryToken | None:
+        index = self.index + ahead
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def advance(self) -> QueryToken:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of query", len(self.text), self.text)
+        self.index += 1
+        return token
+
+    def expect_keyword(self, *keywords: str) -> QueryToken:
+        token = self.advance()
+        if not token.is_keyword(*keywords):
+            raise ParseError(
+                f"expected {' or '.join(k.upper() for k in keywords)}, got {token.value!r}",
+                token.position,
+                self.text,
+            )
+        return token
+
+    def expect_name(self) -> QueryToken:
+        token = self.advance()
+        if token.kind != "name":
+            raise ParseError(f"expected a name, got {token.value!r}", token.position, self.text)
+        return token
+
+    def expect_punct(self, value: str) -> QueryToken:
+        token = self.advance()
+        if not token.is_punct(value):
+            raise ParseError(
+                f"expected {value!r}, got {token.value!r}", token.position, self.text
+            )
+        return token
+
+    def at_keyword(self, *keywords: str, ahead: int = 0) -> bool:
+        token = self.peek(ahead)
+        return token is not None and token.is_keyword(*keywords)
+
+    def eat_punct(self, value: str) -> bool:
+        token = self.peek()
+        if token is not None and token.is_punct(value):
+            self.index += 1
+            return True
+        return False
+
+    # -- clauses --------------------------------------------------------------
+
+    def parse(self, top_level: bool = True) -> Query:
+        temporal_op = self._temporal_op()
+        at = self._at_clause()
+        if at is None and temporal_op is not None:
+            at = self._at_clause()
+        verb = self.expect_keyword("retrieve", "select")
+        mode = RETRIEVE if verb.value.lower() == "retrieve" else SELECT
+        projections = self._projections(mode)
+        self.expect_keyword("from")
+        variables = [self._from_item()]
+        while self.eat_punct(","):
+            variables.append(self._from_item())
+        predicates: list[Predicate] = []
+        if self.at_keyword("where"):
+            self.advance()
+            predicates.append(self._predicate())
+            while self.at_keyword("and"):
+                self.advance()
+                predicates.append(self._predicate())
+        order_by: list[OrderKey] = []
+        if self.at_keyword("order"):
+            self.advance()
+            self.expect_keyword("by")
+            order_by.append(self._order_key())
+            while self.eat_punct(","):
+                order_by.append(self._order_key())
+        limit: int | None = None
+        if self.at_keyword("limit"):
+            self.advance()
+            token = self.advance()
+            if token.kind != "number" or "." in token.value or int(token.value) < 0:
+                raise ParseError(
+                    "Limit needs a non-negative integer", token.position, self.text
+                )
+            limit = int(token.value)
+        if top_level:
+            trailing = self.peek()
+            if trailing is not None:
+                raise ParseError(
+                    f"trailing input {trailing.value!r}", trailing.position, self.text
+                )
+        return Query(
+            mode=mode,
+            projections=tuple(projections),
+            variables=tuple(variables),
+            predicates=tuple(predicates),
+            at=at,
+            temporal_op=temporal_op,
+            order_by=tuple(order_by),
+            limit=limit,
+        )
+
+    def _order_key(self) -> OrderKey:
+        expression = self._expression()
+        descending = False
+        if self.at_keyword("desc"):
+            self.advance()
+            descending = True
+        elif self.at_keyword("asc"):
+            self.advance()
+        return OrderKey(expression, descending)
+
+    def _temporal_op(self) -> str | None:
+        if self.at_keyword("first", "last") and self.at_keyword("time", ahead=1):
+            which = self.advance().value.lower()
+            self.advance()  # TIME
+            self.expect_keyword("when")
+            self.expect_keyword("exists")
+            return FIRST_TIME if which == "first" else LAST_TIME
+        if self.at_keyword("when") and self.at_keyword("exists", ahead=1):
+            self.advance()
+            self.advance()
+            return WHEN_EXISTS
+        return None
+
+    def _timestamp(self) -> float:
+        token = self.advance()
+        if token.kind == "string":
+            return parse_timestamp(token.value[1:-1])
+        if token.kind == "number":
+            return float(token.value)
+        raise ParseError(
+            f"expected a timestamp literal, got {token.value!r}", token.position, self.text
+        )
+
+    def _at_clause(self) -> TemporalSpec | None:
+        if not self.at_keyword("at"):
+            return None
+        self.advance()
+        start = self._timestamp()
+        end: float | None = None
+        if self.eat_punct(":"):
+            end = self._timestamp()
+        return TemporalSpec(start, end)
+
+    def _projections(self, mode: str) -> list[Expression]:
+        projections = [self._projection(mode)]
+        while True:
+            token = self.peek()
+            if token is not None and token.is_punct(","):
+                # Stop if the comma belongs to the FROM list (defensive; the
+                # FROM keyword always intervenes in well-formed queries).
+                self.index += 1
+                projections.append(self._projection(mode))
+            else:
+                break
+        return projections
+
+    def _projection(self, mode: str) -> Expression:
+        if mode == RETRIEVE:
+            return VariableRef(self.expect_name().value)
+        return self._expression()
+
+    def _from_item(self) -> RangeVariable:
+        source = self.expect_name().value
+        view = None if source.lower() == "paths" else source
+        store: str | None = None
+        if self.eat_punct("@"):
+            store = self.expect_name().value
+        name = self.expect_name().value
+        at: TemporalSpec | None = None
+        if self.eat_punct("("):
+            self.expect_punct("@")
+            start = self._timestamp()
+            end: float | None = None
+            if self.eat_punct(":"):
+                end = self._timestamp()
+            self.expect_punct(")")
+            at = TemporalSpec(start, end)
+        return RangeVariable(name, at=at, store=store, view=view)
+
+    # -- predicates -------------------------------------------------------------
+
+    def _predicate(self) -> Predicate:
+        if self.at_keyword("not"):
+            self.advance()
+            self.expect_keyword("exists")
+            return self._exists(negated=True)
+        if self.at_keyword("exists"):
+            self.advance()
+            return self._exists(negated=False)
+        if (
+            self.peek() is not None
+            and self.peek().kind == "name"
+            and self.at_keyword("matches", ahead=1)
+        ):
+            variable = self.expect_name().value
+            self.advance()  # MATCHES
+            return MatchesPredicate(variable, self._rpe())
+        left = self._expression()
+        op_token = self.advance()
+        if op_token.kind != "op" or op_token.value not in _COMPARE_OPS:
+            raise ParseError(
+                f"expected a comparison operator, got {op_token.value!r}",
+                op_token.position,
+                self.text,
+            )
+        right = self._expression()
+        return ComparePredicate(left, op_token.value, right)
+
+    def _exists(self, negated: bool) -> ExistsPredicate:
+        self.expect_punct("(")
+        inner = _QueryParser(self.text, self.tokens, self.index)
+        subquery = inner.parse(top_level=False)
+        self.index = inner.index
+        self.expect_punct(")")
+        return ExistsPredicate(subquery, negated=negated)
+
+    def _rpe(self):
+        """Delimit the MATCHES right-hand side and hand it to the RPE parser."""
+        start_token = self.peek()
+        if start_token is None:
+            raise ParseError("missing pathway expression", len(self.text), self.text)
+        depth = 0
+        last_end = start_token.position
+        while True:
+            token = self.peek()
+            if token is None:
+                break
+            if depth == 0 and (
+                token.is_keyword("and", "from", "where", "order", "limit")
+                or token.is_punct(",")
+            ):
+                break
+            if token.kind == "punct" and token.value in _CLOSERS and depth == 0:
+                break  # closing parenthesis of an enclosing subquery
+            if token.kind == "punct" and token.value in _OPENERS:
+                depth += 1
+            elif token.kind == "punct" and token.value in _CLOSERS:
+                depth -= 1
+            last_end = token.end
+            self.index += 1
+        snippet = self.text[start_token.position:last_end]
+        if not snippet.strip():
+            raise ParseError(
+                "missing pathway expression", start_token.position, self.text
+            )
+        return parse_rpe(snippet)
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _expression(self) -> Expression:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of expression", len(self.text), self.text)
+        if token.kind == "number":
+            self.advance()
+            return Literal(float(token.value) if "." in token.value else int(token.value))
+        if token.kind == "string":
+            self.advance()
+            return Literal(token.value[1:-1])
+        if token.kind == "name":
+            if token.value.lower() in ("true", "false"):
+                self.advance()
+                return Literal(token.value.lower() == "true")
+            name = self.advance().value
+            if self.eat_punct("("):
+                lowered = name.lower()
+                if lowered in _AGGREGATE_FUNCTIONS:
+                    inner = self._expression()
+                    self.expect_punct(")")
+                    return AggregateCall(lowered, inner)
+                if lowered not in _PATHWAY_FUNCTIONS:
+                    raise ParseError(
+                        f"unknown pathway function {name!r}", token.position, self.text
+                    )
+                variable = self.expect_name().value
+                self.expect_punct(")")
+                call = FunctionCall(lowered, variable)
+                if self.eat_punct("."):
+                    field_name = self.expect_name().value
+                    return FieldAccess(call, field_name)
+                return call
+            return VariableRef(name)
+        raise ParseError(
+            f"unexpected token {token.value!r} in expression", token.position, self.text
+        )
+
+
+def parse_query(text: str) -> Query:
+    """Parse NPQL *text* into a :class:`~repro.query.ast.Query`."""
+    tokens = tokenize_query(text)
+    if not tokens:
+        raise ParseError("empty query", 0, text)
+    return _QueryParser(text, tokens).parse()

@@ -1,0 +1,86 @@
+"""Query results.
+
+A row carries the projected values, the pathway bound to each range
+variable, and — for time-range queries — validity interval sets: one joint
+set under a query-level ``AT`` range ("all results must coexist during the
+associated time range"), or per-variable sets when each range variable has
+its own timestamp (§4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.model.pathway import Pathway
+from repro.temporal.interval import IntervalSet, format_timestamp
+from repro.util.text import format_table
+
+
+@dataclass(frozen=True)
+class ResultRow:
+    values: tuple[Any, ...]
+    bindings: dict[str, Pathway] = field(default_factory=dict)
+    validity: IntervalSet | None = None
+    variable_validity: dict[str, IntervalSet] | None = None
+
+    def pathway(self, variable: str | None = None) -> Pathway:
+        """The pathway bound to *variable* (or the only variable)."""
+        if variable is None:
+            if len(self.bindings) != 1:
+                raise KeyError(
+                    f"row binds {sorted(self.bindings)}; name the variable explicitly"
+                )
+            return next(iter(self.bindings.values()))
+        return self.bindings[variable]
+
+    def times(self) -> list[tuple[str, str]]:
+        """The joint validity rendered the way the paper prints results."""
+        if self.validity is None:
+            return []
+        return [
+            (format_timestamp(interval.start),
+             format_timestamp(interval.end) if not interval.is_current else "")
+            for interval in self.validity
+        ]
+
+
+class QueryResult:
+    """An ordered collection of result rows with column labels."""
+
+    def __init__(self, columns: tuple[str, ...], rows: list[ResultRow]):
+        self.columns = columns
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[ResultRow]:
+        return iter(self.rows)
+
+    def __getitem__(self, index: int) -> ResultRow:
+        return self.rows[index]
+
+    def pathways(self, variable: str | None = None) -> list[Pathway]:
+        """All pathways bound to a variable across rows (Retrieve results)."""
+        return [row.pathway(variable) for row in self.rows]
+
+    def scalars(self) -> list[Any]:
+        """First projected value of each row (single-column Select results)."""
+        return [row.values[0] for row in self.rows]
+
+    def value_rows(self) -> list[tuple[Any, ...]]:
+        return [row.values for row in self.rows]
+
+    def to_table(self) -> str:
+        def cell(value: Any) -> str:
+            if isinstance(value, Pathway):
+                return value.render()
+            return str(value)
+
+        return format_table(
+            self.columns, [[cell(v) for v in row.values] for row in self.rows]
+        )
+
+    def __repr__(self) -> str:
+        return f"<QueryResult {len(self.rows)} rows x {len(self.columns)} columns>"

@@ -1,0 +1,135 @@
+"""Targeted temporal queries (Section 4 / reference [18]).
+
+Besides the ``FIRST TIME / LAST TIME / WHEN EXISTS`` aggregates (available
+as query prefixes and re-exposed here as functions), this module implements
+the *path evolution query*: "tracks the changes of the field values in a
+specific pathway (i.e. with specific node and edge ids)".  It powers
+visualization applications where an engineer picks one returned path and
+explores how it changed over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.model.pathway import Pathway
+from repro.storage.base import GraphStore
+from repro.temporal.interval import (
+    Interval,
+    IntervalSet,
+    format_timestamp,
+    intersect_all,
+)
+
+
+@dataclass(frozen=True)
+class FieldChange:
+    """One observed change of one field on one pathway element."""
+
+    at: float
+    uid: int
+    class_name: str
+    field_name: str
+    old_value: Any
+    new_value: Any
+
+    def render(self) -> str:
+        return (
+            f"{format_timestamp(self.at)}  {self.class_name}#{self.uid} "
+            f"{self.field_name}: {self.old_value!r} -> {self.new_value!r}"
+        )
+
+
+@dataclass(frozen=True)
+class PathEvolution:
+    """The full history of a specific pathway over a window."""
+
+    pathway: Pathway
+    window: Interval
+    existence: IntervalSet
+    """Instants at which every element of the pathway structurally existed."""
+
+    changes: tuple[FieldChange, ...]
+    """Field changes on any element, in time order."""
+
+    def render(self) -> str:
+        lines = [f"evolution of {self.pathway.render()}"]
+        lines.append(
+            "existed during: "
+            + (
+                ", ".join(str(interval) for interval in self.existence)
+                or "(never within window)"
+            )
+        )
+        for change in self.changes:
+            lines.append("  " + change.render())
+        return "\n".join(lines)
+
+
+def path_evolution(
+    store: GraphStore,
+    pathway: Pathway,
+    window: Interval,
+) -> PathEvolution:
+    """Compute the evolution of *pathway* within *window*.
+
+    Existence is the intersection of the structural validity of every
+    element; field changes are diffs between consecutive versions of each
+    element whose transition instant falls inside the window.
+    """
+    element_sets: list[IntervalSet] = []
+    changes: list[FieldChange] = []
+    for element in pathway.elements:
+        versions = store.versions(element.uid, window)
+        element_sets.append(
+            IntervalSet(version.period for version in versions)
+        )
+        # Fetch the full chain overlapping the window to diff fields.
+        for previous, current in zip(versions, versions[1:]):
+            transition = current.period.start
+            if not window.contains(transition):
+                continue
+            fields = set(previous.fields) | set(current.fields)
+            for field_name in sorted(fields):
+                old = previous.fields.get(field_name)
+                new = current.fields.get(field_name)
+                if old != new:
+                    changes.append(
+                        FieldChange(
+                            at=transition,
+                            uid=element.uid,
+                            class_name=element.cls.name,
+                            field_name=field_name,
+                            old_value=old,
+                            new_value=new,
+                        )
+                    )
+    existence = intersect_all(element_sets).clip(window)
+    changes.sort(key=lambda change: (change.at, change.uid, change.field_name))
+    return PathEvolution(
+        pathway=pathway, window=window, existence=existence, changes=tuple(changes)
+    )
+
+
+def first_time_when_exists(validities: list[IntervalSet]) -> float | None:
+    """Earliest instant covered by any validity set."""
+    instants = [v.first_instant() for v in validities if not v.is_empty()]
+    return min(instants) if instants else None
+
+
+def last_time_when_exists(validities: list[IntervalSet]) -> float | None:
+    """Latest instant covered by any validity set (``FOREVER`` = still now)."""
+    union = IntervalSet.empty()
+    for validity in validities:
+        union = union.union(validity)
+    last = union.last_instant()
+    return last
+
+
+def when_exists(validities: list[IntervalSet]) -> IntervalSet:
+    """Union of all validity sets — the intervals a match can be found."""
+    union = IntervalSet.empty()
+    for validity in validities:
+        union = union.union(validity)
+    return union

@@ -1,0 +1,266 @@
+"""Semantic analysis of NPQL queries (Section 3.4).
+
+Checks performed before planning:
+
+* every range variable has a MATCHES predicate ("Each pathway variable must
+  have a MATCHES predicate"), and only one;
+* every RPE binds against the schema of the variable's store (atom classes
+  exist, predicate fields are fields of the atom's class);
+* expressions reference declared variables (or variables of an enclosing
+  query, for correlated subqueries);
+* field accesses like ``source(P).name`` are validated against the *least
+  common ancestor* of every class the MATCHES analysis says could appear at
+  that endpoint — the typing rule the paper gives for pathway functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import TypeCheckError
+from repro.query.ast import (
+    AggregateCall,
+    ComparePredicate,
+    ExistsPredicate,
+    Expression,
+    FieldAccess,
+    FunctionCall,
+    MatchesPredicate,
+    Query,
+    RangeVariable,
+    VariableRef,
+)
+from repro.rpe.ast import Alternation, Atom, Repetition, RpeNode, Sequence
+from repro.rpe.normalize import length_bounds, normalize
+from repro.schema.classes import EdgeClass, ElementClass, NodeClass, least_common_ancestor
+from repro.schema.registry import Schema
+
+SchemaResolver = Callable[[RangeVariable], Schema]
+
+#: Maps a view name to its defining RPE text, or None when undefined.
+ViewResolver = Callable[[str], "str | None"]
+
+
+@dataclass
+class CheckedQuery:
+    """A query plus the artifacts of successful typechecking."""
+
+    query: Query
+    bound_matches: dict[str, RpeNode]
+    source_class: dict[str, ElementClass]
+    target_class: dict[str, ElementClass]
+    subqueries: dict[int, "CheckedQuery"] = field(default_factory=dict)
+    extra_matches: dict[str, RpeNode] = field(default_factory=dict)
+    """Additional conjunctive RPEs for variables ranging over a view whose
+    query also has an explicit MATCHES predicate."""
+
+
+def boundary_atoms(rpe: RpeNode, end: str) -> list[Atom]:
+    """Atoms that can match the first (``end='source'``) or last element."""
+    atoms: list[Atom] = []
+
+    def first_of(node: RpeNode) -> None:
+        if isinstance(node, Atom):
+            atoms.append(node)
+        elif isinstance(node, Sequence):
+            parts = node.parts if end == "source" else tuple(reversed(node.parts))
+            for part in parts:
+                first_of(part)
+                if length_bounds(part)[0] > 0:
+                    break
+        elif isinstance(node, Alternation):
+            for alternative in node.alternatives:
+                first_of(alternative)
+        elif isinstance(node, Repetition):
+            first_of(node.body)
+
+    first_of(rpe)
+    return atoms
+
+
+def endpoint_class(rpe: RpeNode, schema: Schema, end: str) -> ElementClass:
+    """The class of ``source(P)``/``target(P)`` per the paper's LCA rule."""
+    classes: list[ElementClass] = []
+    for atom in boundary_atoms(rpe, end):
+        cls = atom.cls
+        assert cls is not None, "endpoint analysis requires a bound RPE"
+        if isinstance(cls, NodeClass):
+            classes.append(cls)
+        elif isinstance(cls, EdgeClass):
+            # The endpoint is the edge's implicit node: constrained only by
+            # the edge class's endpoint rules.
+            rules = cls.endpoint_rules
+            if rules:
+                key = "source" if end == "source" else "target"
+                classes.extend(getattr(rule, key) for rule in rules)
+            else:
+                classes.append(schema.node_root)
+    if not classes:
+        return schema.node_root
+    return least_common_ancestor(classes) or schema.node_root
+
+
+def typecheck_query(
+    query: Query,
+    schema_for: SchemaResolver,
+    outer_variables: dict[str, tuple[ElementClass, ElementClass]] | None = None,
+    view_rpe: ViewResolver | None = None,
+) -> CheckedQuery:
+    """Validate *query*; returns bound RPEs and endpoint classes."""
+    declared = query.declared_variables()
+    outer = dict(outer_variables or {})
+
+    duplicate_check: set[str] = set()
+    for variable in query.variables:
+        if variable.name in duplicate_check:
+            raise TypeCheckError(f"range variable {variable.name!r} declared twice")
+        duplicate_check.add(variable.name)
+        if variable.name in outer:
+            raise TypeCheckError(
+                f"range variable {variable.name!r} shadows an outer variable"
+            )
+
+    bound_matches: dict[str, RpeNode] = {}
+    extra_matches: dict[str, RpeNode] = {}
+    source_class: dict[str, ElementClass] = {}
+    target_class: dict[str, ElementClass] = {}
+    schemas = {variable.name: schema_for(variable) for variable in query.variables}
+
+    # Variables over a defined view carry the view's RPE implicitly.
+    from repro.rpe.parser import parse_rpe as _parse_rpe
+
+    view_based: set[str] = set()
+    for variable in query.variables:
+        if variable.view is None:
+            continue
+        definition = view_rpe(variable.view) if view_rpe is not None else None
+        if definition is None:
+            raise TypeCheckError(
+                f"unknown pathway view {variable.view!r} "
+                f"(variable {variable.name!r})"
+            )
+        schema = schemas[variable.name]
+        bound = normalize(_parse_rpe(definition).bind(schema))
+        bound_matches[variable.name] = bound
+        source_class[variable.name] = endpoint_class(bound, schema, "source")
+        target_class[variable.name] = endpoint_class(bound, schema, "target")
+        view_based.add(variable.name)
+
+    for predicate in query.predicates:
+        if not isinstance(predicate, MatchesPredicate):
+            continue
+        if predicate.variable not in declared:
+            raise TypeCheckError(
+                f"MATCHES references undeclared variable {predicate.variable!r}"
+            )
+        schema = schemas[predicate.variable]
+        bound = normalize(predicate.rpe.bind(schema))
+        if predicate.variable in view_based:
+            # An explicit MATCHES on a view variable is an additional,
+            # conjunctive constraint ("unless one is implicit in the
+            # pathway view source", §3.4).
+            if predicate.variable in extra_matches:
+                raise TypeCheckError(
+                    f"variable {predicate.variable!r} has more than one "
+                    "MATCHES predicate"
+                )
+            extra_matches[predicate.variable] = bound
+            continue
+        if predicate.variable in bound_matches:
+            raise TypeCheckError(
+                f"variable {predicate.variable!r} has more than one MATCHES predicate"
+            )
+        bound_matches[predicate.variable] = bound
+        source_class[predicate.variable] = endpoint_class(bound, schema, "source")
+        target_class[predicate.variable] = endpoint_class(bound, schema, "target")
+
+    missing = declared - set(bound_matches)
+    if missing:
+        raise TypeCheckError(
+            f"range variables without a MATCHES predicate: {sorted(missing)}"
+        )
+
+    endpoint_classes = {
+        name: (source_class[name], target_class[name]) for name in bound_matches
+    }
+    visible = {**outer, **endpoint_classes}
+
+    checked = CheckedQuery(
+        query=query,
+        bound_matches=bound_matches,
+        source_class=source_class,
+        target_class=target_class,
+        extra_matches=extra_matches,
+    )
+
+    for index, predicate in enumerate(query.predicates):
+        if isinstance(predicate, ComparePredicate):
+            _check_expression(predicate.left, visible)
+            _check_expression(predicate.right, visible)
+        elif isinstance(predicate, ExistsPredicate):
+            checked.subqueries[index] = typecheck_query(
+                predicate.query, schema_for, outer_variables=visible,
+                view_rpe=view_rpe,
+            )
+
+    aggregates = [
+        p for p in query.projections if isinstance(p, AggregateCall)
+    ]
+    if aggregates and len(aggregates) != len(query.projections):
+        raise TypeCheckError(
+            "aggregate and non-aggregate projections cannot be mixed "
+            "(no GROUP BY in NPQL)"
+        )
+    for key in query.order_by:
+        _check_expression(key.expression, visible)
+    for projection in query.projections:
+        if isinstance(projection, AggregateCall):
+            if projection.function != "count" and isinstance(
+                projection.argument, VariableRef
+            ):
+                raise TypeCheckError(
+                    f"{projection.render()}: {projection.function}() needs a "
+                    "value expression, e.g. length(P) or source(P).vcpus"
+                )
+            _check_expression(projection.argument, visible)
+        else:
+            _check_expression(projection, visible)
+
+    return checked
+
+
+def _check_expression(
+    expression: Expression,
+    visible: dict[str, tuple[ElementClass, ElementClass]],
+) -> None:
+    if isinstance(expression, AggregateCall):
+        raise TypeCheckError(
+            f"{expression.render()}: aggregates are only allowed as Select "
+            "projections"
+        )
+    if isinstance(expression, VariableRef):
+        if expression.name not in visible:
+            raise TypeCheckError(f"reference to undeclared variable {expression.name!r}")
+        return
+    if isinstance(expression, FunctionCall):
+        if expression.variable not in visible:
+            raise TypeCheckError(
+                f"{expression.render()} references undeclared variable "
+                f"{expression.variable!r}"
+            )
+        return
+    if isinstance(expression, FieldAccess):
+        _check_expression(expression.base, visible)
+        endpoint = 0 if expression.base.function == "source" else 1
+        if expression.base.function in ("length", "hops"):
+            raise TypeCheckError(
+                f"{expression.render()}: {expression.base.function}() returns a "
+                "number, not a node"
+            )
+        cls = visible[expression.base.variable][endpoint]
+        if expression.field_name != "id" and not cls.has_field(expression.field_name):
+            raise TypeCheckError(
+                f"{expression.render()}: class {cls.path} has no field "
+                f"{expression.field_name!r}"
+            )

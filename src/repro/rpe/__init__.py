@@ -1,0 +1,35 @@
+"""Regular Pathway Expressions (Section 3.3).
+
+RPEs are the pattern language of Nepal: atoms constrain single nodes or
+edges (symmetrically — unlike RPQ languages that only label edges),
+``->`` concatenates with the paper's four-way overlap rule, ``|`` alternates
+and ``[r]{i,j}`` repeats with finite bounds.  This package provides the AST,
+a text parser, normalization to the four-block form of §5.1, the NFA used
+for graph traversal, anchor enumeration/costing, and a reference matcher
+used as the test oracle.
+"""
+
+from repro.rpe.ast import Alternation, Atom, FieldPredicate, Repetition, RpeNode, Sequence
+from repro.rpe.parser import parse_rpe
+from repro.rpe.normalize import length_bounds, normalize
+from repro.rpe.nfa import PathwayNfa, build_nfa
+from repro.rpe.anchors import AnchorPlan, Split, enumerate_anchor_plans
+from repro.rpe.match import matches_pathway
+
+__all__ = [
+    "Alternation",
+    "AnchorPlan",
+    "Atom",
+    "FieldPredicate",
+    "PathwayNfa",
+    "Repetition",
+    "RpeNode",
+    "Sequence",
+    "Split",
+    "build_nfa",
+    "enumerate_anchor_plans",
+    "length_bounds",
+    "matches_pathway",
+    "normalize",
+    "parse_rpe",
+]

@@ -1,0 +1,131 @@
+"""Anchor enumeration, costing and RPE splitting (Section 5.1).
+
+An *anchor* is an atom expected to have few satisfying records — evaluation
+starts there and extends outwards, which is what makes anchored RPEs cheap
+on large graphs.  The rules implemented verbatim from the paper:
+
+* **Atom**: the atom itself is a candidate anchor.
+* **Sequence**: candidates from every part.
+* **Alternation**: an anchor must *split* the RPE, so it needs one atom per
+  branch; to avoid the cross-product blowup the implementation costs each
+  branch independently and unions each branch's best anchor.
+* **Repetition** ``[r]{n,m}`` with ``n >= 1``: rewrite as
+  ``Sequence(r, [r]{n-1,m-1})`` and anchor in the first copy.  ``{0,m}``
+  blocks cannot be anchored (the empty pathway satisfies them).
+
+Each chosen anchor atom comes with the *split* of the RPE around it — the
+prefix to evaluate backwards and the suffix to evaluate forwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.rpe.ast import (
+    Alternation,
+    Atom,
+    Repetition,
+    RpeNode,
+    Sequence,
+    sequence_of,
+)
+
+#: Maps an atom to its estimated cardinality (see repro.stats.cardinality).
+CostFunction = Callable[[Atom], float]
+
+
+@dataclass(frozen=True)
+class Split:
+    """One anchor atom with the RPE parts on either side of it."""
+
+    anchor: Atom
+    prefix: RpeNode | None
+    suffix: RpeNode | None
+
+    def render(self) -> str:
+        prefix = self.prefix.render() if self.prefix else "ε"
+        suffix = self.suffix.render() if self.suffix else "ε"
+        return f"{prefix} <|{self.anchor.render()}|> {suffix}"
+
+
+@dataclass(frozen=True)
+class AnchorPlan:
+    """A complete anchor: one split per alternation branch it must cover."""
+
+    splits: tuple[Split, ...]
+    cost: float
+
+    def render(self) -> str:
+        return f"cost={self.cost:g}: " + " ∪ ".join(s.anchor.render() for s in self.splits)
+
+
+def enumerate_anchor_plans(rpe: RpeNode, cost: CostFunction) -> list[AnchorPlan]:
+    """All candidate anchor plans for *rpe*, each with its estimated cost.
+
+    Returns an empty list when the RPE cannot be anchored (only optional
+    blocks); the planner turns that into :class:`UnanchoredQueryError`.
+    """
+    if isinstance(rpe, Atom):
+        return [AnchorPlan((Split(rpe, None, None),), cost(rpe))]
+
+    if isinstance(rpe, Sequence):
+        plans: list[AnchorPlan] = []
+        for index, part in enumerate(rpe.parts):
+            before = list(rpe.parts[:index])
+            after = list(rpe.parts[index + 1:])
+            for inner in enumerate_anchor_plans(part, cost):
+                wrapped = tuple(
+                    Split(
+                        split.anchor,
+                        sequence_of(before + ([split.prefix] if split.prefix else [])),
+                        sequence_of(([split.suffix] if split.suffix else []) + after),
+                    )
+                    for split in inner.splits
+                )
+                plans.append(AnchorPlan(wrapped, inner.cost))
+        return plans
+
+    if isinstance(rpe, Alternation):
+        branch_best: list[AnchorPlan] = []
+        for alternative in rpe.alternatives:
+            candidates = enumerate_anchor_plans(alternative, cost)
+            if not candidates:
+                # One unanchorable branch sinks the whole alternation: an
+                # anchor set must split *every* way the RPE can match.
+                return []
+            branch_best.append(min(candidates, key=lambda plan: plan.cost))
+        splits = tuple(split for plan in branch_best for split in plan.splits)
+        return [AnchorPlan(splits, sum(plan.cost for plan in branch_best))]
+
+    if isinstance(rpe, Repetition):
+        if rpe.low == 0:
+            return []
+        tail: RpeNode | None = None
+        if rpe.high - 1 >= 1:
+            tail = Repetition(rpe.body, rpe.low - 1, rpe.high - 1)
+        plans = []
+        for inner in enumerate_anchor_plans(rpe.body, cost):
+            wrapped = tuple(
+                Split(
+                    split.anchor,
+                    split.prefix,
+                    sequence_of(
+                        ([split.suffix] if split.suffix else [])
+                        + ([tail] if tail is not None else [])
+                    ),
+                )
+                for split in inner.splits
+            )
+            plans.append(AnchorPlan(wrapped, inner.cost))
+        return plans
+
+    raise TypeError(f"not an RPE node: {rpe!r}")
+
+
+def select_anchor_plan(rpe: RpeNode, cost: CostFunction) -> AnchorPlan | None:
+    """The lowest-cost anchor plan, or ``None`` when the RPE is unanchored."""
+    plans = enumerate_anchor_plans(rpe, cost)
+    if not plans:
+        return None
+    return min(plans, key=lambda plan: plan.cost)

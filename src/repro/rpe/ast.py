@@ -1,0 +1,291 @@
+"""RPE abstract syntax (Section 3.3 / normalized blocks of Section 5.1).
+
+The normalized form has four block types:
+
+* :class:`Atom` — a node or edge predicate, e.g. ``VM(status='Green')``;
+* :class:`Sequence` — concatenation ``(R1)->(R2)->...->(Rn)``;
+* :class:`Alternation` — disjunction ``(R1)|...|(Rn)``;
+* :class:`Repetition` — ``[R]{i,j}`` with finite bounds.
+
+Atoms are created *unbound* (class referenced by name) by the parser and
+bound against a schema by :meth:`RpeNode.bind`, which resolves the class,
+checks that predicate fields exist (atoms are strongly typed), and records
+whether the atom is a node or an edge atom.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterator
+
+from repro.errors import TypeCheckError
+from repro.model.elements import ElementRecord
+from repro.schema.classes import EdgeClass, ElementClass, NodeClass
+from repro.schema.registry import Schema
+
+_OPERATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+@dataclass(frozen=True)
+class FieldPredicate:
+    """A single comparison inside an atom, e.g. ``status='Green'``.
+
+    The field name may be a dotted path into structured data, e.g.
+    ``routing_table.address='10.1.2.0'`` on a Router whose routing table is
+    a ``list[routingTableEntry]``.  Traversal is *existential*: stepping
+    through a list or set tries every entry, stepping through a map tries
+    the named key, and the predicate holds when any reached leaf satisfies
+    the comparison — the natural reading of "the router has a route to X".
+    (Query access to structured data is listed as still under development
+    in §5 of the paper; this implements it.)
+    """
+
+    name: str
+    op: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPERATORS:
+            raise TypeCheckError(f"unsupported predicate operator {self.op!r}")
+
+    @property
+    def path(self) -> tuple[str, ...]:
+        return tuple(self.name.split("."))
+
+    def evaluate(self, record: ElementRecord) -> bool:
+        """Apply the comparison to a record; absent fields never match."""
+        segments = self.path
+        leaves = _walk_path(record.get(segments[0]), segments[1:])
+        compare = _OPERATORS[self.op]
+        for leaf in leaves:
+            if leaf is None:
+                continue
+            try:
+                if compare(leaf, self.value):
+                    return True
+            except TypeError:
+                continue
+        return False
+
+    def render(self) -> str:
+        value = f"'{self.value}'" if isinstance(self.value, str) else repr(self.value)
+        return f"{self.name}{self.op}{value}"
+
+
+def _check_structured_path(
+    field_type: Any, segments: tuple[str, ...], class_name: str
+) -> None:
+    """Validate a dotted predicate path against the schema's data types.
+
+    Containers are stepped through implicitly (a path into a
+    ``list[routingTableEntry]`` names the entry's fields directly); map
+    entry types are descended without a key check (keys are data).
+    """
+    from repro.schema.datatypes import CompositeType, ContainerType
+
+    current = field_type
+    for segment in segments[1:]:
+        while isinstance(current, ContainerType):
+            current = current.entry_type
+        if isinstance(current, CompositeType):
+            if segment not in current.fields:
+                raise TypeCheckError(
+                    f"atom {class_name}(...): data type {current.name!r} has no "
+                    f"field {segment!r} (known: {sorted(current.fields)})"
+                )
+            current = current.fields[segment].type
+        else:
+            raise TypeCheckError(
+                f"atom {class_name}(...): cannot descend into primitive type "
+                f"{current.name!r} with {segment!r}"
+            )
+
+
+def _walk_path(value: Any, segments: tuple[str, ...]) -> Iterator[Any]:
+    """Yield every leaf reachable by *segments* from *value*."""
+    if value is None:
+        return
+    if isinstance(value, (list, tuple, set)):
+        for entry in value:
+            yield from _walk_path(entry, segments)
+        return
+    if not segments:
+        yield value
+        return
+    if isinstance(value, dict):
+        yield from _walk_path(value.get(segments[0]), segments[1:])
+
+
+class RpeNode:
+    """Base class for RPE syntax nodes."""
+
+    def bind(self, schema: Schema) -> "RpeNode":
+        """Resolve class names and typecheck predicates against *schema*."""
+        raise NotImplementedError
+
+    def atoms(self) -> Iterator["Atom"]:
+        """All atom occurrences, left to right."""
+        raise NotImplementedError
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass(frozen=True)
+class Atom(RpeNode):
+    """A node or edge predicate.
+
+    The class name refers to a strongly typed concept: the atom is satisfied
+    by every record whose class is the named class or a transitive subclass,
+    provided all field predicates hold.
+    """
+
+    class_name: str
+    predicates: tuple[FieldPredicate, ...] = ()
+    cls: ElementClass | None = field(default=None, compare=False)
+
+    @property
+    def bound(self) -> bool:
+        return self.cls is not None
+
+    @property
+    def is_node_atom(self) -> bool:
+        self._require_bound()
+        return isinstance(self.cls, NodeClass)
+
+    @property
+    def is_edge_atom(self) -> bool:
+        self._require_bound()
+        return isinstance(self.cls, EdgeClass)
+
+    def _require_bound(self) -> None:
+        if self.cls is None:
+            raise TypeCheckError(f"atom {self.class_name}() has not been bound to a schema")
+
+    def bind(self, schema: Schema) -> "Atom":
+        cls = schema.resolve(self.class_name)
+        for predicate in self.predicates:
+            if predicate.name == "id":
+                continue
+            segments = predicate.path
+            if not cls.has_field(segments[0]):
+                raise TypeCheckError(
+                    f"atom {self.class_name}(...) references unknown field "
+                    f"{segments[0]!r}; fields of {cls.path}: {sorted(cls.fields)}"
+                )
+            _check_structured_path(cls.field(segments[0]).type, segments, self.class_name)
+        return replace(self, cls=cls)
+
+    def matches(self, record: ElementRecord) -> bool:
+        """The subclassing-aware satisfaction test of §3.3."""
+        self._require_bound()
+        if record.is_node != isinstance(self.cls, NodeClass):
+            return False
+        if not record.instance_of(self.cls):
+            return False
+        return all(predicate.evaluate(record) for predicate in self.predicates)
+
+    def equality_value(self, field_name: str) -> Any | None:
+        """The value of an ``field = literal`` predicate, if present."""
+        for predicate in self.predicates:
+            if predicate.name == field_name and predicate.op == "=":
+                return predicate.value
+        return None
+
+    def atoms(self) -> Iterator["Atom"]:
+        yield self
+
+    def render(self) -> str:
+        inner = ", ".join(p.render() for p in self.predicates)
+        return f"{self.class_name}({inner})"
+
+
+@dataclass(frozen=True)
+class Sequence(RpeNode):
+    """Concatenation ``r1->r2->...->rn``."""
+
+    parts: tuple[RpeNode, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 1:
+            raise TypeCheckError("a sequence needs at least one part")
+
+    def bind(self, schema: Schema) -> "Sequence":
+        return Sequence(tuple(part.bind(schema) for part in self.parts))
+
+    def atoms(self) -> Iterator[Atom]:
+        for part in self.parts:
+            yield from part.atoms()
+
+    def render(self) -> str:
+        return "->".join(
+            f"({part.render()})" if isinstance(part, Alternation) else part.render()
+            for part in self.parts
+        )
+
+
+@dataclass(frozen=True)
+class Alternation(RpeNode):
+    """Disjunction ``(r1|r2|...|rn)``."""
+
+    alternatives: tuple[RpeNode, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.alternatives) < 1:
+            raise TypeCheckError("an alternation needs at least one alternative")
+
+    def bind(self, schema: Schema) -> "Alternation":
+        return Alternation(tuple(alt.bind(schema) for alt in self.alternatives))
+
+    def atoms(self) -> Iterator[Atom]:
+        for alternative in self.alternatives:
+            yield from alternative.atoms()
+
+    def render(self) -> str:
+        return "(" + "|".join(alt.render() for alt in self.alternatives) + ")"
+
+
+@dataclass(frozen=True)
+class Repetition(RpeNode):
+    """Bounded repetition ``[r]{low,high}`` (both bounds inclusive)."""
+
+    body: RpeNode
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < self.low:
+            raise TypeCheckError(
+                f"invalid repetition bounds {{{self.low},{self.high}}}"
+            )
+        if self.high == 0:
+            raise TypeCheckError("repetition upper bound must be at least 1")
+
+    def bind(self, schema: Schema) -> "Repetition":
+        return Repetition(self.body.bind(schema), self.low, self.high)
+
+    def atoms(self) -> Iterator[Atom]:
+        yield from self.body.atoms()
+
+    def render(self) -> str:
+        return f"[{self.body.render()}]{{{self.low},{self.high}}}"
+
+
+def sequence_of(parts: list[RpeNode]) -> RpeNode | None:
+    """Build a Sequence, unwrapping singletons; ``None`` for an empty list."""
+    if not parts:
+        return None
+    if len(parts) == 1:
+        return parts[0]
+    return Sequence(tuple(parts))

@@ -1,0 +1,42 @@
+"""Reference matcher: does an explicit pathway satisfy an RPE?
+
+This is the executable form of the satisfaction definition in §3.3 and the
+oracle against which the planner/executor is property-tested: enumerating
+all pathways of a small graph and filtering with this matcher must agree
+with the anchored traversal engine.
+
+It is also used at runtime by the executor to re-verify pathways shipped in
+from another backend during federated joins.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TypeCheckError
+from repro.model.pathway import Pathway
+from repro.rpe.ast import RpeNode
+from repro.rpe.nfa import PathwayNfa, build_nfa
+
+
+def compile_matcher(rpe: RpeNode) -> PathwayNfa:
+    """Compile a bound RPE into a whole-pathway acceptance automaton."""
+    for atom in rpe.atoms():
+        if not atom.bound:
+            raise TypeCheckError(
+                f"cannot match with unbound atom {atom.class_name}(); bind the RPE first"
+            )
+    return build_nfa(rpe, leading="pad", trailing="pad").kind_refined()
+
+
+def matches_pathway(rpe: RpeNode | PathwayNfa, pathway: Pathway) -> bool:
+    """True when *pathway* (all of it) satisfies *rpe*.
+
+    Accepts either a bound RPE (compiled on the fly) or a pre-compiled
+    automaton from :func:`compile_matcher` for repeated use.
+    """
+    nfa = rpe if isinstance(rpe, PathwayNfa) else compile_matcher(rpe)
+    states = nfa.initial_states()
+    for element in pathway.elements:
+        states = nfa.step(states, element)
+        if not states:
+            return False
+    return nfa.is_accepting(states)

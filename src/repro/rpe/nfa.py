@@ -1,0 +1,604 @@
+"""NFA construction for RPE matching (the automaton of Section 5.1).
+
+The paper converts a normalized RPE "into a collection of database operators
+with a conversion technique based on implementing a nondeterministic finite
+automaton".  This module builds that automaton.  The alphabet is pathway
+*elements* (node and edge versions); transition labels are:
+
+* ``AtomLabel`` — consume one element satisfying an atom;
+* ``ANY`` — consume any single element: the optional glue at a concatenation
+  seam, implementing the four-way split rule of §3.3 (between two matched
+  segments, at most one unconstrained element may be skipped);
+* ``ANY_NODE`` — consume any single *node*: the implicit endpoint nodes of
+  edge atoms ("e1 is shorthand for n, e1, n'"), applied as optional padding
+  at the start and end of a whole-pathway match.
+
+Because repetition bounds are finite the automaton is acyclic, so traversal
+over the graph always terminates.  The same NFA drives three consumers: the
+reference matcher over explicit pathways, forward graph extension from an
+anchor, and (built from the reversed RPE) backward extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.model.elements import ElementRecord, NodeRecord
+from repro.rpe.ast import Alternation, Atom, Repetition, RpeNode, Sequence
+
+ANY = "ANY"
+ANY_NODE = "ANY_NODE"
+ANY_EDGE = "ANY_EDGE"
+PAD_NODE = "PAD_NODE"
+
+
+@dataclass(frozen=True)
+class AtomLabel:
+    """A transition that consumes one element satisfying *atom*."""
+
+    atom: Atom
+
+    def admits(self, element: ElementRecord) -> bool:
+        return self.atom.matches(element)
+
+
+Label = AtomLabel | str  # AtomLabel, ANY, ANY_NODE or ANY_EDGE
+
+
+def reverse_rpe(rpe: RpeNode) -> RpeNode:
+    """The mirror image of an RPE (matches exactly the reversed sequences)."""
+    if isinstance(rpe, Atom):
+        return rpe
+    if isinstance(rpe, Sequence):
+        return Sequence(tuple(reverse_rpe(part) for part in reversed(rpe.parts)))
+    if isinstance(rpe, Alternation):
+        return Alternation(tuple(reverse_rpe(alt) for alt in rpe.alternatives))
+    if isinstance(rpe, Repetition):
+        return Repetition(reverse_rpe(rpe.body), rpe.low, rpe.high)
+    raise TypeError(f"not an RPE node: {rpe!r}")
+
+
+class _Builder:
+    """Allocates states and records transitions during construction."""
+
+    def __init__(self) -> None:
+        self.transitions: dict[int, list[tuple[Label, int]]] = {}
+        self.epsilon: dict[int, list[int]] = {}
+        self.pending_glues: list[tuple[int, int]] = []
+        self._next_state = 0
+
+    def new_state(self) -> int:
+        state = self._next_state
+        self._next_state += 1
+        return state
+
+    def add(self, source: int, label: Label, target: int) -> None:
+        self.transitions.setdefault(source, []).append((label, target))
+
+    def add_epsilon(self, source: int, target: int) -> None:
+        self.epsilon.setdefault(source, []).append(target)
+
+    def glue(self, source: int, target: int) -> None:
+        """Concatenation seam: continue directly, or skip one element.
+
+        The four-way split rule of §3.3 only permits *same-kind* skips — a
+        node is skipped between two edge-matching segments and an edge
+        between two node-matching segments — so the skip is recorded as
+        provisional and specialized by :meth:`resolve_glues` to the kind
+        opposite to whatever the following fragment consumes first.  This
+        is semantically exact (a general wildcard would die one step later
+        anyway) and it lets the executor keep pruning expansion by edge
+        class across concatenation seams.
+        """
+        self.add_epsilon(source, target)
+        self.pending_glues.append((source, target))
+
+    def resolve_glues(self) -> None:
+        """Replace provisional glues with kind-specialized skip transitions.
+
+        Must run *before* endpoint padding is added: the skipped element
+        sits strictly between the two concatenated segment matches, so only
+        real atom consumption (or a later glue's skip, for empty-matching
+        ``{0,m}`` blocks that collapse the seam) may follow it.  A fixpoint
+        iteration handles chains of glues across empty-matching fragments.
+        """
+        glue_kinds: dict[int, set[str]] = {
+            index: {"node", "edge"} for index in range(len(self.pending_glues))
+        }
+        glues_at_source: dict[int, list[int]] = {}
+        for index, (source, _) in enumerate(self.pending_glues):
+            glues_at_source.setdefault(source, []).append(index)
+
+        def consumable_from(state: int, kinds: dict[int, set[str]]) -> set[str]:
+            result: set[str] = set()
+            seen = {state}
+            stack = [state]
+            while stack:
+                current = stack.pop()
+                for label, _ in self.transitions.get(current, ()):
+                    if isinstance(label, AtomLabel):
+                        result.add("node" if label.atom.is_node_atom else "edge")
+                    elif label == ANY:
+                        result.update(("node", "edge"))
+                    elif label == ANY_NODE:
+                        result.add("node")
+                    elif label == ANY_EDGE:
+                        result.add("edge")
+                for glue_index in glues_at_source.get(current, ()):
+                    result |= kinds[glue_index]
+                for nxt in self.epsilon.get(current, ()):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append(nxt)
+            return result
+
+        changed = True
+        while changed:
+            changed = False
+            for index, (_, target) in enumerate(self.pending_glues):
+                following = consumable_from(target, glue_kinds)
+                # A skip of kind K is useful only when the next consumed
+                # element — necessarily of the opposite kind — is possible.
+                allowed = set()
+                if "edge" in following:
+                    allowed.add("node")
+                if "node" in following:
+                    allowed.add("edge")
+                if allowed != glue_kinds[index]:
+                    glue_kinds[index] = allowed
+                    changed = True
+
+        for index, (source, target) in enumerate(self.pending_glues):
+            allowed = glue_kinds[index]
+            if allowed == {"node", "edge"}:
+                self.add(source, ANY, target)
+            elif allowed == {"node"}:
+                self.add(source, ANY_NODE, target)
+            elif allowed == {"edge"}:
+                self.add(source, ANY_EDGE, target)
+            # Empty: the seam collapses, the epsilon alone suffices.
+        self.pending_glues.clear()
+
+    def fragment(self, rpe: RpeNode) -> tuple[int, int]:
+        """Build a fragment for *rpe*; returns (start, accept) states."""
+        if isinstance(rpe, Atom):
+            start, accept = self.new_state(), self.new_state()
+            self.add(start, AtomLabel(rpe), accept)
+            return start, accept
+        if isinstance(rpe, Sequence):
+            start, accept = self.fragment(rpe.parts[0])
+            for part in rpe.parts[1:]:
+                part_start, part_accept = self.fragment(part)
+                self.glue(accept, part_start)
+                accept = part_accept
+            return start, accept
+        if isinstance(rpe, Alternation):
+            start, accept = self.new_state(), self.new_state()
+            for alternative in rpe.alternatives:
+                alt_start, alt_accept = self.fragment(alternative)
+                self.add_epsilon(start, alt_start)
+                self.add_epsilon(alt_accept, accept)
+            return start, accept
+        if isinstance(rpe, Repetition):
+            start = self.new_state()
+            accept = self.new_state()
+            if rpe.low == 0:
+                self.add_epsilon(start, accept)
+            current = start
+            for copy_index in range(rpe.high):
+                body_start, body_accept = self.fragment(rpe.body)
+                if copy_index == 0:
+                    self.add_epsilon(current, body_start)
+                else:
+                    self.glue(current, body_start)
+                current = body_accept
+                if copy_index + 1 >= rpe.low:
+                    self.add_epsilon(current, accept)
+            return start, accept
+        raise TypeError(f"not an RPE node: {rpe!r}")
+
+
+class PathwayNfa:
+    """An executable NFA over pathway elements."""
+
+    def __init__(
+        self,
+        transitions: dict[int, list[tuple[Label, int]]],
+        epsilon: dict[int, list[int]],
+        start: int,
+        accept: int,
+    ):
+        self._transitions = transitions
+        self._epsilon = epsilon
+        self._start = start
+        self._accept = accept
+        self._closure_cache: dict[int, frozenset[int]] = {}
+
+    # -- kind refinement ----------------------------------------------------
+
+    def kind_refined(
+        self, start_kind: str | None = None, start_consumer: str = "none"
+    ) -> "PathwayNfa":
+        """An equivalent automaton with kind- and consumer-aware states.
+
+        Two facts about §3.3's satisfaction rules cannot be expressed by
+        plain transitions:
+
+        * pathways alternate nodes and edges, so from a state whose last
+          consumed element was an edge, only node consumption can fire;
+        * every fragment match begins and ends with an *atom* consumption —
+          a glue skip must sit between two atom consumptions, an endpoint
+          pad must sit at the pathway boundary next to an edge-atom match,
+          and acceptance never directly follows a skip.
+
+        Splitting states by ``(last kind, last consumer)`` enforces both,
+        then pruning states that cannot reach acceptance removes every dead
+        arc.  The result accepts exactly the matching element sequences,
+        exposes linear operator chains (enabling the ExtendBlock fusion of
+        §5.2) and keeps live state sets small during traversal.
+
+        For affix automata the planner passes the anchor's kind as
+        ``start_kind`` and ``start_consumer="atom"`` (the anchor is an atom
+        match the affix continues from); whole-pathway matchers start with
+        ``(None, "none")``.
+        """
+        mapping: dict[tuple[int, str | None, str], int] = {}
+
+        def sid(state: int, kind: str | None, consumer: str) -> int:
+            key = (state, kind, consumer)
+            if key not in mapping:
+                mapping[key] = len(mapping)
+            return mapping[key]
+
+        transitions: dict[int, list[tuple[Label, int]]] = {}
+        epsilon: dict[int, list[int]] = {}
+        initial = (self._start, start_kind, start_consumer)
+        start = sid(*initial)
+        queue = [initial]
+        seen = {initial}
+        while queue:
+            state, kind, consumer = queue.pop()
+            source = sid(state, kind, consumer)
+            for target in self._epsilon.get(state, ()):
+                key = (target, kind, consumer)
+                epsilon.setdefault(source, []).append(sid(*key))
+                if key not in seen:
+                    seen.add(key)
+                    queue.append(key)
+            allowed = {"node", "edge"} if kind is None else (
+                {"edge"} if kind == "node" else {"node"}
+            )
+            for label, target in self._transitions.get(state, ()):
+                if isinstance(label, AtomLabel):
+                    label_kinds = {"node"} if label.atom.is_node_atom else {"edge"}
+                    next_consumer = "atom"
+                elif label == PAD_NODE:
+                    # Leading pad before anything, or trailing pad right
+                    # after an edge-atom match ("implicit endpoint nodes").
+                    if not (
+                        consumer == "none"
+                        or (consumer == "atom" and kind == "edge")
+                    ):
+                        continue
+                    label_kinds = {"node"}
+                    next_consumer = "pad"
+                else:
+                    # A glue skip: strictly between two atom consumptions.
+                    if consumer != "atom":
+                        continue
+                    if label == ANY_NODE:
+                        label_kinds = {"node"}
+                    elif label == ANY_EDGE:
+                        label_kinds = {"edge"}
+                    else:
+                        label_kinds = {"node", "edge"}
+                    next_consumer = "skip"
+                for consumed in label_kinds & allowed:
+                    if isinstance(label, AtomLabel):
+                        refined_label: Label = label
+                    elif label == PAD_NODE:
+                        refined_label = PAD_NODE
+                    else:
+                        refined_label = ANY_NODE if consumed == "node" else ANY_EDGE
+                    key = (target, consumed, next_consumer)
+                    transitions.setdefault(source, []).append(
+                        (refined_label, sid(*key))
+                    )
+                    if key not in seen:
+                        seen.add(key)
+                        queue.append(key)
+
+        final = len(mapping)
+        for (state, _kind, consumer), refined in list(mapping.items()):
+            # A match ends with an atom or a pad, never with a bare skip.
+            if state == self._accept and consumer != "skip":
+                epsilon.setdefault(refined, []).append(final)
+
+        return _prune_dead_states(transitions, epsilon, start, final)
+
+    # -- structure (read-only, used by plan lowering and explain) ----------
+
+    @property
+    def transitions(self) -> dict[int, list[tuple[Label, int]]]:
+        return self._transitions
+
+    @property
+    def epsilon_transitions(self) -> dict[int, list[int]]:
+        return self._epsilon
+
+    @property
+    def start_state(self) -> int:
+        return self._start
+
+    @property
+    def accept_state(self) -> int:
+        return self._accept
+
+    def states(self) -> list[int]:
+        """All states in a deterministic order."""
+        found = {self._start, self._accept}
+        for source, arcs in self._transitions.items():
+            found.add(source)
+            found.update(target for _, target in arcs)
+        for source, targets in self._epsilon.items():
+            found.add(source)
+            found.update(targets)
+        return sorted(found)
+
+    def topological_states(self) -> list[int]:
+        """States ordered so every arc goes forward (the NFA is acyclic)."""
+        order: list[int] = []
+        visited: set[int] = set()
+
+        def visit(state: int, trail: frozenset[int]) -> None:
+            if state in visited:
+                return
+            if state in trail:  # pragma: no cover - bounded RPEs are acyclic
+                raise ValueError("cycle in pathway automaton")
+            successors = [target for _, target in self._transitions.get(state, ())]
+            successors.extend(self._epsilon.get(state, ()))
+            for successor in successors:
+                visit(successor, trail | {state})
+            visited.add(state)
+            order.append(state)
+
+        for state in self.states():
+            visit(state, frozenset())
+        order.reverse()
+        return order
+
+    # -- state-set machinery ----------------------------------------------
+
+    def _closure_of(self, state: int) -> frozenset[int]:
+        cached = self._closure_cache.get(state)
+        if cached is not None:
+            return cached
+        seen = {state}
+        stack = [state]
+        while stack:
+            current = stack.pop()
+            for nxt in self._epsilon.get(current, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        result = frozenset(seen)
+        self._closure_cache[state] = result
+        return result
+
+    def closure(self, states: Iterable[int]) -> frozenset[int]:
+        result: set[int] = set()
+        for state in states:
+            result |= self._closure_of(state)
+        return frozenset(result)
+
+    def initial_states(self) -> frozenset[int]:
+        return self._closure_of(self._start)
+
+    def step(self, states: frozenset[int], element: ElementRecord) -> frozenset[int]:
+        """Consume *element* from every state in *states*."""
+        is_node = isinstance(element, NodeRecord)
+        reached: set[int] = set()
+        for state in states:
+            for label, target in self._transitions.get(state, ()):
+                if label == ANY:
+                    reached.add(target)
+                elif label in (ANY_NODE, PAD_NODE):
+                    if is_node:
+                        reached.add(target)
+                elif label == ANY_EDGE:
+                    if not is_node:
+                        reached.add(target)
+                elif isinstance(label, AtomLabel) and label.admits(element):
+                    reached.add(target)
+        return self.closure(reached)
+
+    def is_accepting(self, states: frozenset[int]) -> bool:
+        return self._accept in states
+
+    def is_dead(self, states: frozenset[int]) -> bool:
+        """No transitions can ever leave this state set."""
+        return all(not self._transitions.get(state) for state in states)
+
+    # -- interval-weighted execution (exact time-range validity, §4) -------
+
+    def interval_initial(self, always: "object") -> dict[int, object]:
+        """Initial state→IntervalSet map for :meth:`interval_step`."""
+        return {state: always for state in self.initial_states()}
+
+    def interval_step(
+        self,
+        state_intervals: dict[int, object],
+        versions: list[tuple[ElementRecord, object]],
+    ) -> dict[int, object]:
+        """Advance an interval-weighted run by one pathway element.
+
+        *versions* lists every stored version of the element together with
+        the interval set during which that version was asserted.  A target
+        state accumulates the union over (state, transition, version)
+        triples of ``intervals(state) ∩ intervals(version)``, so predicates
+        that only held during part of the window clip the result — this is
+        how a field change invalidates a pathway in the paper's time-range
+        example.  Epsilon closure then propagates the accumulated sets.
+        """
+        reached: dict[int, object] = {}
+        for state, intervals in state_intervals.items():
+            for label, target in self._transitions.get(state, ()):
+                for version, version_intervals in versions:
+                    if label == ANY:
+                        admitted = True
+                    elif label in (ANY_NODE, PAD_NODE):
+                        admitted = isinstance(version, NodeRecord)
+                    elif label == ANY_EDGE:
+                        admitted = not isinstance(version, NodeRecord)
+                    else:
+                        assert isinstance(label, AtomLabel)
+                        admitted = label.admits(version)
+                    if not admitted:
+                        continue
+                    overlap = intervals.intersect(version_intervals)  # type: ignore[attr-defined]
+                    if overlap.is_empty():
+                        continue
+                    if target in reached:
+                        reached[target] = reached[target].union(overlap)  # type: ignore[attr-defined]
+                    else:
+                        reached[target] = overlap
+        # Propagate through epsilon closure.
+        closed: dict[int, object] = {}
+        for state, intervals in reached.items():
+            for member in self._closure_of(state):
+                if member in closed:
+                    closed[member] = closed[member].union(intervals)  # type: ignore[attr-defined]
+                else:
+                    closed[member] = intervals
+        return closed
+
+    def accepting_intervals(self, state_intervals: dict[int, object]) -> object | None:
+        return state_intervals.get(self._accept)
+
+    # -- planner support -----------------------------------------------------
+
+    def outgoing_labels(self, states: frozenset[int]) -> list[Label]:
+        """All labels leaving *states* — used for traversal pruning.
+
+        When every outgoing label is an edge atom, the executor restricts
+        graph expansion to the named edge-class subtrees; this is the
+        model-driven pruning that the per-class partitioning of §6 rewards.
+        """
+        labels: list[Label] = []
+        for state in states:
+            labels.extend(label for label, _ in self._transitions.get(state, ()))
+        return labels
+
+    def edge_class_filter(self, states: frozenset[int]) -> tuple | None:
+        """Edge classes admissible as the next consumed *edge*, or ``None``.
+
+        Used when expanding a pathway from a node, where the next element is
+        necessarily an edge: node-consuming labels cannot fire and are
+        ignored, edge atoms contribute their class subtrees, and an
+        unconstrained edge wildcard disables pruning (``None``).  An empty
+        tuple means no edge can be consumed at all.
+        """
+        classes = []
+        for label in self.outgoing_labels(states):
+            if label in (ANY, ANY_EDGE):
+                return None
+            if label in (ANY_NODE, PAD_NODE):
+                continue
+            assert isinstance(label, AtomLabel)
+            if label.atom.is_node_atom:
+                continue
+            classes.append(label.atom.cls)
+        return tuple(classes)
+
+
+def _prune_dead_states(
+    transitions: dict[int, list[tuple[Label, int]]],
+    epsilon: dict[int, list[int]],
+    start: int,
+    accept: int,
+) -> PathwayNfa:
+    """Drop states that cannot reach acceptance (and their arcs)."""
+    reverse: dict[int, set[int]] = {}
+    for source, arcs in transitions.items():
+        for _, target in arcs:
+            reverse.setdefault(target, set()).add(source)
+    for source, targets in epsilon.items():
+        for target in targets:
+            reverse.setdefault(target, set()).add(source)
+    live = {accept}
+    stack = [accept]
+    while stack:
+        current = stack.pop()
+        for predecessor in reverse.get(current, ()):
+            if predecessor not in live:
+                live.add(predecessor)
+                stack.append(predecessor)
+    live.add(start)  # keep the start even when the language is empty
+    pruned_transitions = {
+        source: [(label, target) for label, target in arcs if target in live]
+        for source, arcs in transitions.items()
+        if source in live
+    }
+    pruned_transitions = {s: arcs for s, arcs in pruned_transitions.items() if arcs}
+    pruned_epsilon = {
+        source: [target for target in targets if target in live]
+        for source, targets in epsilon.items()
+        if source in live
+    }
+    pruned_epsilon = {s: targets for s, targets in pruned_epsilon.items() if targets}
+    return PathwayNfa(pruned_transitions, pruned_epsilon, start, accept)
+
+
+def build_nfa(
+    rpe: RpeNode | None,
+    leading: str = "pad",
+    trailing: str = "pad",
+) -> PathwayNfa:
+    """Build an executable NFA.
+
+    *leading* controls what precedes the expression:
+
+    * ``"pad"`` — an optional implicit endpoint node (whole-pathway matching,
+      where an RPE that begins with an edge atom still matches a pathway
+      that begins with a node);
+    * ``"glue"`` — the concatenation seam used when the automaton continues
+      a pathway from an anchor element (the anchor→affix seam of §3.3's
+      four-way split rule);
+    * ``"none"`` — nothing (the anchor sits at the very start of the RPE).
+
+    *trailing* is ``"pad"`` or ``"none"`` with the same meanings at the end.
+
+    ``rpe=None`` builds the empty expression: it accepts zero elements, with
+    the requested padding still applied — the automaton used when an anchor
+    sits at the very start or end of the RPE.
+    """
+    builder = _Builder()
+    if rpe is None:
+        core_start = builder.new_state()
+        core_accept = core_start
+    else:
+        core_start, core_accept = builder.fragment(rpe)
+
+    if leading not in ("glue", "pad", "none"):
+        raise ValueError(f"unknown leading mode {leading!r}")
+    if trailing not in ("pad", "none"):
+        raise ValueError(f"unknown trailing mode {trailing!r}")
+
+    start = builder.new_state()
+    accept = builder.new_state()
+    builder.add_epsilon(start, core_start)
+    builder.add_epsilon(core_accept, accept)
+    if leading == "glue":
+        builder.pending_glues.append((start, core_start))
+
+    # Glue skips must be specialized before padding exists: the skipped
+    # element sits between real segment matches, never next to a pad.
+    builder.resolve_glues()
+
+    if leading == "pad":
+        builder.add(start, PAD_NODE, core_start)
+    if trailing == "pad":
+        builder.add(core_accept, PAD_NODE, accept)
+
+    return PathwayNfa(builder.transitions, builder.epsilon, start, accept)

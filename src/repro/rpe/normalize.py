@@ -1,0 +1,85 @@
+"""RPE normalization (Section 5.1).
+
+Nepal first transforms an RPE into a normalized form of the four block
+types: Atom, Sequence, Alternation, Repetition.  The parser already produces
+that shape; normalization here flattens directly nested sequences and
+alternations, unwraps singletons, deduplicates identical alternation
+branches, and computes element-count bounds used to enforce the
+length-limited requirement of §3.3.
+
+Nested repetitions are deliberately *not* collapsed: ``[[r]{3,3}]{1,2}``
+admits 3 or 6 copies of ``r`` but not 4 — a single ``{3,6}`` block would be
+wrong.
+"""
+
+from __future__ import annotations
+
+from repro.rpe.ast import Alternation, Atom, Repetition, RpeNode, Sequence
+
+
+def normalize(rpe: RpeNode) -> RpeNode:
+    """Return the normalized equivalent of *rpe*."""
+    if isinstance(rpe, Atom):
+        return rpe
+    if isinstance(rpe, Sequence):
+        parts: list[RpeNode] = []
+        for part in rpe.parts:
+            normalized = normalize(part)
+            if isinstance(normalized, Sequence):
+                parts.extend(normalized.parts)
+            else:
+                parts.append(normalized)
+        if len(parts) == 1:
+            return parts[0]
+        return Sequence(tuple(parts))
+    if isinstance(rpe, Alternation):
+        alternatives: list[RpeNode] = []
+        for alternative in rpe.alternatives:
+            normalized = normalize(alternative)
+            if isinstance(normalized, Alternation):
+                candidates = normalized.alternatives
+            else:
+                candidates = (normalized,)
+            for candidate in candidates:
+                if candidate not in alternatives:
+                    alternatives.append(candidate)
+        if len(alternatives) == 1:
+            return alternatives[0]
+        return Alternation(tuple(alternatives))
+    if isinstance(rpe, Repetition):
+        body = normalize(rpe.body)
+        if rpe.low == 1 and rpe.high == 1:
+            return body
+        return Repetition(body, rpe.low, rpe.high)
+    raise TypeError(f"not an RPE node: {rpe!r}")
+
+
+def length_bounds(rpe: RpeNode) -> tuple[int, int]:
+    """(min, max) number of elements a match of *rpe* can consume.
+
+    The maximum accounts for the optional one-element glue at every
+    concatenation seam (the four-way split rule of §3.3).  Both bounds are
+    always finite because repetition bounds are finite by construction; the
+    planner still asserts this before traversal.
+    """
+    if isinstance(rpe, Atom):
+        return (1, 1)
+    if isinstance(rpe, Sequence):
+        bounds = [length_bounds(part) for part in rpe.parts]
+        low = sum(b[0] for b in bounds)
+        high = sum(b[1] for b in bounds) + (len(bounds) - 1)
+        return (low, high)
+    if isinstance(rpe, Alternation):
+        bounds = [length_bounds(alt) for alt in rpe.alternatives]
+        return (min(b[0] for b in bounds), max(b[1] for b in bounds))
+    if isinstance(rpe, Repetition):
+        body_low, body_high = length_bounds(rpe.body)
+        low = rpe.low * body_low
+        high = rpe.high * body_high + max(0, rpe.high - 1)
+        return (low, high)
+    raise TypeError(f"not an RPE node: {rpe!r}")
+
+
+def admits_empty(rpe: RpeNode) -> bool:
+    """True when the empty pathway satisfies *rpe* (a malformed query, §3.3)."""
+    return length_bounds(rpe)[0] == 0

@@ -1,0 +1,220 @@
+"""Text parser for regular pathway expressions.
+
+Accepts the syntax of the paper's examples, including its notational
+variants::
+
+    VNF()->VFC()->VM()->Host(id=23245)
+    VNF()->[Vertical()]{1,6}->Host(id=23245)
+    VNF(id=55)->(VM(id=55)|Docker(id=66))->HostedOn(){1,2}->Host()
+    Host(name='src')->[Connects()]{1,6}->Host(name='tgt')
+
+Repetition bounds may follow a bracketed group (``[r]{i,j}``) or an atom
+directly (``Vertical(){1,6}``); ``{n}`` abbreviates ``{n,n}``.  Alternation
+binds loosest, then concatenation, then repetition.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+from repro.rpe.ast import (
+    Alternation,
+    Atom,
+    FieldPredicate,
+    Repetition,
+    RpeNode,
+    Sequence,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<arrow>->)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*(?::[A-Za-z_][A-Za-z_0-9]*)*)
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<string>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+  | (?P<op><=|>=|!=|=|<|>)
+  | (?P<punct>[()\[\]{},|.])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    position: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split RPE text into tokens, raising :class:`ParseError` on junk."""
+    tokens: list[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError("unexpected character", position=position, text=text)
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(Token(kind, match.group(), position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over a token list."""
+
+    def __init__(self, text: str, tokens: list[Token]):
+        self.text = text
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self) -> Token | None:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of expression", len(self.text), self.text)
+        self.index += 1
+        return token
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        token = self.advance()
+        if token.kind != kind or (value is not None and token.value != value):
+            wanted = value or kind
+            raise ParseError(
+                f"expected {wanted!r}, got {token.value!r}", token.position, self.text
+            )
+        return token
+
+    def at_punct(self, value: str) -> bool:
+        token = self.peek()
+        return token is not None and token.kind == "punct" and token.value == value
+
+    def eat_punct(self, value: str) -> bool:
+        if self.at_punct(value):
+            self.index += 1
+            return True
+        return False
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse(self) -> RpeNode:
+        node = self.alternation()
+        trailing = self.peek()
+        if trailing is not None:
+            raise ParseError(
+                f"trailing input {trailing.value!r}", trailing.position, self.text
+            )
+        return node
+
+    def alternation(self) -> RpeNode:
+        alternatives = [self.concatenation()]
+        while self.eat_punct("|"):
+            alternatives.append(self.concatenation())
+        if len(alternatives) == 1:
+            return alternatives[0]
+        return Alternation(tuple(alternatives))
+
+    def concatenation(self) -> RpeNode:
+        parts = [self.repeated()]
+        while True:
+            token = self.peek()
+            if token is not None and token.kind == "arrow":
+                self.index += 1
+                parts.append(self.repeated())
+            else:
+                break
+        if len(parts) == 1:
+            return parts[0]
+        return Sequence(tuple(parts))
+
+    def repeated(self) -> RpeNode:
+        node = self.primary()
+        while self.at_punct("{"):
+            node = self._repetition_bounds(node)
+        return node
+
+    def _repetition_bounds(self, body: RpeNode) -> Repetition:
+        self.expect("punct", "{")
+        low_token = self.expect("number")
+        low = self._int(low_token)
+        if self.eat_punct(","):
+            high = self._int(self.expect("number"))
+        else:
+            high = low
+        self.expect("punct", "}")
+        return Repetition(body, low, high)
+
+    def _int(self, token: Token) -> int:
+        try:
+            return int(token.value)
+        except ValueError:
+            raise ParseError(
+                f"repetition bound must be an integer, got {token.value!r}",
+                token.position,
+                self.text,
+            ) from None
+
+    def primary(self) -> RpeNode:
+        if self.eat_punct("("):
+            node = self.alternation()
+            self.expect("punct", ")")
+            return node
+        if self.eat_punct("["):
+            node = self.alternation()
+            self.expect("punct", "]")
+            return node
+        token = self.peek()
+        if token is not None and token.kind == "name":
+            return self.atom()
+        position = token.position if token else len(self.text)
+        raise ParseError("expected an atom, '(' or '['", position, self.text)
+
+    def atom(self) -> Atom:
+        name_token = self.expect("name")
+        self.expect("punct", "(")
+        predicates: list[FieldPredicate] = []
+        if not self.at_punct(")"):
+            predicates.append(self.predicate())
+            while self.eat_punct(","):
+                predicates.append(self.predicate())
+        self.expect("punct", ")")
+        return Atom(name_token.value, tuple(predicates))
+
+    def predicate(self) -> FieldPredicate:
+        field_token = self.expect("name")
+        path = field_token.value
+        # Dotted paths reach into structured data: routing_table.address.
+        while self.eat_punct("."):
+            path += "." + self.expect("name").value
+        op_token = self.expect("op")
+        value = self.literal()
+        return FieldPredicate(path, op_token.value, value)
+
+    def literal(self):
+        token = self.advance()
+        if token.kind == "number":
+            return float(token.value) if "." in token.value else int(token.value)
+        if token.kind == "string":
+            body = token.value[1:-1]
+            return re.sub(r"\\(.)", r"\1", body)
+        if token.kind == "name" and token.value.lower() in ("true", "false"):
+            return token.value.lower() == "true"
+        raise ParseError(
+            f"expected a literal, got {token.value!r}", token.position, self.text
+        )
+
+
+def parse_rpe(text: str) -> RpeNode:
+    """Parse RPE *text* into an (unbound) AST."""
+    tokens = tokenize(text)
+    if not tokens:
+        raise ParseError("empty pathway expression", 0, text)
+    return _Parser(text, tokens).parse()

@@ -1,0 +1,41 @@
+"""Strongly-typed schema system (Section 3.2 of the paper).
+
+Nepal departs from property-graph schemalessness: every node and edge belongs
+to a class in a single-rooted hierarchy, classes carry typed fields (possibly
+structured, with list/set/map containers), and the graph schema constrains
+which edge classes may connect which node classes.  The schema system is what
+enables query-time generalization (``VM()`` matching every VM subclass),
+early rejection of garbage data, and the per-class physical partitioning the
+evaluation section credits for large speedups.
+"""
+
+from repro.schema.classes import EdgeClass, ElementClass, EndpointRule, Field, NodeClass
+from repro.schema.datatypes import (
+    CompositeType,
+    ContainerKind,
+    ContainerType,
+    DataType,
+    PrimitiveType,
+    TypeRegistry,
+)
+from repro.schema.registry import Schema
+from repro.schema.builtin import build_network_schema
+from repro.schema.tosca import schema_from_tosca, schema_from_tosca_file
+
+__all__ = [
+    "CompositeType",
+    "ContainerKind",
+    "ContainerType",
+    "DataType",
+    "EdgeClass",
+    "ElementClass",
+    "EndpointRule",
+    "Field",
+    "NodeClass",
+    "PrimitiveType",
+    "Schema",
+    "TypeRegistry",
+    "build_network_schema",
+    "schema_from_tosca",
+    "schema_from_tosca_file",
+]

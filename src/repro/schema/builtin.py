@@ -1,0 +1,213 @@
+"""The built-in ONAP-style layered network schema (Figures 2 and 3).
+
+This is the schema the paper's virtualized-service evaluation runs on: four
+layers (Service, Logical, Virtualization, Physical), ``Vertical`` edges for
+HostedOn/ComposedOf relationships across layers and ``Horizontal`` edges for
+connectivity within a layer.  The class names follow the paper's examples —
+``VM:VMWare``/``VM:OnMetal`` node subclasses, ``ConnectedTo:ServerSwitch``
+extending ``ConnectedTo`` with interface fields, ``ConnectedTo:VmNetwork``
+adding an IP address, and a ``Router`` node carrying a structured routing
+table (``List[routingTableEntry]``).
+
+The schema is deliberately richer than the minimum required by the example
+queries so that query-time generalization has real work to do: atoms like
+``VNF()``, ``Vertical()`` or ``ConnectedTo()`` each cover several concrete
+classes.
+"""
+
+from __future__ import annotations
+
+from repro.schema.registry import Schema
+
+
+def build_network_schema(name: str = "onap-network") -> Schema:
+    """Construct the layered virtualized-network schema used throughout.
+
+    Returns a fully validated :class:`~repro.schema.registry.Schema`.
+    """
+    schema = Schema(name)
+
+    # ----- structured data types (Section 3.2.1) ------------------------
+    schema.types.define(
+        "routingTableEntry",
+        {"address": "ipaddress", "mask": "integer", "interface": "string"},
+        description="one route: destination prefix, mask length, out interface",
+    )
+    schema.types.define(
+        "alarm",
+        {"severity": "string", "message": "string", "raised_at": "timestamp"},
+        description="an active alarm on a network element",
+    )
+    schema.types.define(
+        "vnfDescriptor",
+        {"vendor": "string", "version": "string"},
+        description="TOSCA-style descriptor metadata for a VNF",
+    )
+
+    # ----- node hierarchy -------------------------------------------------
+    schema.define_node(
+        "NetworkElement", abstract=True,
+        fields={"status": "string", "region": "string", "alarms": "list[alarm]"},
+        description="any managed element of the network",
+    )
+
+    # Physical layer ------------------------------------------------------
+    schema.define_node(
+        "PhysicalElement", parent="NetworkElement", abstract=True,
+        fields={"rack": "string", "serial_number": "string"},
+    )
+    schema.define_node(
+        "Host", parent="PhysicalElement",
+        fields={"cpu_cores": "integer", "memory_gb": "float", "hypervisor": "string"},
+        description="a physical compute server",
+        expected_count=200,
+    )
+    schema.define_node(
+        "Switch", parent="PhysicalElement",
+        fields={"ports": "integer"},
+        expected_count=50,
+    )
+    schema.define_node("TorSwitch", parent="Switch",
+                       description="top-of-rack switch", expected_count=40)
+    schema.define_node("SpineSwitch", parent="Switch",
+                       description="spine/aggregation switch", expected_count=10)
+    schema.define_node(
+        "Router", parent="PhysicalElement",
+        fields={"routing_table": "list[routingTableEntry]"},
+        expected_count=10,
+    )
+
+    # Virtualization layer --------------------------------------------------
+    schema.define_node(
+        "VirtualElement", parent="NetworkElement", abstract=True,
+        description="elements of the overlay network",
+    )
+    schema.define_node(
+        "Container", parent="VirtualElement", abstract=True,
+        fields={"image": "string"},
+        description="any virtualization container",
+    )
+    schema.define_node(
+        "VM", parent="Container",
+        fields={"vcpus": "integer", "flavor": "string"},
+        expected_count=800,
+    )
+    schema.define_node("VMWare", parent="VM", expected_count=500)
+    schema.define_node("OnMetal", parent="VM", expected_count=300)
+    schema.define_node("Docker", parent="Container", expected_count=100)
+    schema.define_node(
+        "VirtualNetwork", parent="VirtualElement",
+        fields={"cidr": "string"},
+        expected_count=60,
+    )
+    schema.define_node("VirtualRouter", parent="VirtualElement", expected_count=30)
+
+    # Logical layer ---------------------------------------------------------
+    schema.define_node(
+        "VFC", parent="VirtualElement", abstract=True,
+        fields={"role": "string"},
+        description="virtual function component — indivisible unit of a VNF",
+    )
+    schema.define_node("ProxyVFC", parent="VFC", expected_count=150)
+    schema.define_node("WebServerVFC", parent="VFC", expected_count=150)
+    schema.define_node("DatabaseVFC", parent="VFC", expected_count=100)
+    schema.define_node("PacketCoreVFC", parent="VFC", expected_count=100)
+
+    # Service layer -----------------------------------------------------------
+    schema.define_node(
+        "VNF", parent="VirtualElement", abstract=True,
+        fields={"descriptor": "vnfDescriptor"},
+        description="virtualized network function",
+    )
+    schema.define_node("DNS", parent="VNF", expected_count=10)
+    schema.define_node("Firewall", parent="VNF",
+                       fields={"ruleset_version": "string"}, expected_count=10)
+    schema.define_node("LoadBalancer", parent="VNF", expected_count=10)
+    schema.define_node("EPC", parent="VNF",
+                       description="evolved packet core", expected_count=5)
+    schema.define_node(
+        "Service", parent="Node",
+        fields={"customer": "string", "service_type": "string"},
+        description="an end-to-end network service stitched from VNFs",
+        expected_count=10,
+    )
+
+    # ----- edge hierarchy --------------------------------------------------
+    schema.define_edge(
+        "Vertical", abstract=True,
+        description="cross-layer implementation relationships",
+    )
+    schema.define_edge(
+        "ComposedOf", parent="Vertical",
+        endpoints=[("Service", "VNF"), ("VNF", "VFC")],
+        description="decomposition: service into VNFs, VNF into VFCs",
+        expected_count=400,
+    )
+    schema.define_edge(
+        "HostedOn", parent="Vertical", abstract=True,
+        description="execution placement",
+    )
+    schema.define_edge(
+        "OnVM", parent="HostedOn",
+        endpoints=[("VFC", "Container")],
+        description="a VFC runs inside a container or VM",
+        expected_count=500,
+    )
+    schema.define_edge(
+        "OnServer", parent="HostedOn",
+        endpoints=[("Container", "Host")],
+        description="a container/VM executes on a physical host",
+        expected_count=900,
+    )
+
+    schema.define_edge(
+        "Horizontal", abstract=True,
+        description="communication relationships within a layer",
+    )
+    schema.define_edge(
+        "ConnectedTo", parent="Horizontal", abstract=True, symmetric=True,
+        description="generic connectivity",
+    )
+    schema.define_edge(
+        "ServerSwitch", parent="ConnectedTo",
+        fields={"server_interface": "string", "switch_interface": "string"},
+        endpoints=[("Host", "Switch"), ("Switch", "Host")],
+        expected_count=800,
+    )
+    schema.define_edge(
+        "SwitchSwitch", parent="ConnectedTo",
+        endpoints=[("Switch", "Switch")],
+        expected_count=200,
+    )
+    schema.define_edge(
+        "SwitchRouter", parent="ConnectedTo",
+        endpoints=[("Switch", "Router"), ("Router", "Switch")],
+        expected_count=100,
+    )
+    schema.define_edge(
+        "RouterRouter", parent="ConnectedTo",
+        endpoints=[("Router", "Router")],
+        expected_count=40,
+    )
+    schema.define_edge(
+        "VmNetwork", parent="ConnectedTo",
+        fields={"ip_address": "ipaddress"},
+        endpoints=[("Container", "VirtualNetwork"), ("VirtualNetwork", "Container")],
+        description="a VM's attachment to a virtual network, with its IP",
+        expected_count=1600,
+    )
+    schema.define_edge(
+        "NetworkVRouter", parent="ConnectedTo",
+        endpoints=[("VirtualNetwork", "VirtualRouter"), ("VirtualRouter", "VirtualNetwork")],
+        expected_count=120,
+    )
+    schema.define_edge(
+        "FlowsTo", parent="Horizontal",
+        fields={"protocol": "string", "port": "integer"},
+        endpoints=[("VNF", "VNF"), ("VFC", "VFC")],
+        description="designed data/control flow at the service or logical layer",
+        expected_count=300,
+    )
+
+    schema.validate()
+    return schema

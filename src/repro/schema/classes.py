@@ -1,0 +1,276 @@
+"""Node and edge class hierarchies (Section 3.2).
+
+All nodes and edges in a Nepal schema belong to a specific class within a
+single-rooted hierarchy: the base class defines the properties of every
+database entry and has the two subclasses ``Node`` and ``Edge``.  A subclass
+inherits every field of its parent and may add more — e.g. the generic
+``ConnectedTo`` edge is extended by ``ConnectedTo:ServerSwitch`` with
+``server_interface``/``switch_interface`` fields and by ``ConnectedTo:VmNetwork``
+with an ``ip_address`` field.
+
+Edge classes additionally carry *endpoint rules* — the (source node class,
+target node class) pairs the graph schema permits, in the spirit of TOSCA
+capability types.  A rule is satisfied by any subclass of its endpoint
+classes, so ``hosted_on: (Container, PhysicalServer)`` admits a
+``VM -> OnMetalServer`` edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.errors import SchemaError
+from repro.schema.datatypes import TypedField
+
+#: Element fields and data-type fields share one representation.
+Field = TypedField
+
+_NAME_ALPHABET = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_")
+
+
+def _check_name(name: str, what: str) -> str:
+    if not name or not set(name) <= _NAME_ALPHABET or name[0].isdigit():
+        raise SchemaError(f"invalid {what} name: {name!r}")
+    return name
+
+
+class ElementClass:
+    """Common machinery of node and edge classes."""
+
+    kind: str = "element"
+
+    def __init__(
+        self,
+        name: str,
+        parent: "ElementClass | None" = None,
+        fields: Mapping[str, Field] | None = None,
+        abstract: bool = False,
+        description: str = "",
+        expected_count: int | None = None,
+    ):
+        self.name = _check_name(name, "class")
+        self.parent = parent
+        self.abstract = abstract
+        self.description = description
+        #: Optional schema hint for anchor costing when no statistics exist.
+        self.expected_count = expected_count
+        self._own_fields: dict[str, Field] = dict(fields or {})
+        self._children: list[ElementClass] = []
+        if parent is not None:
+            clash = set(self._own_fields) & set(parent.fields)
+            if clash:
+                raise SchemaError(
+                    f"class {name!r} redefines inherited fields: {sorted(clash)}"
+                )
+            parent._children.append(self)
+
+    # -- hierarchy -----------------------------------------------------
+
+    @property
+    def children(self) -> tuple["ElementClass", ...]:
+        return tuple(self._children)
+
+    @property
+    def path(self) -> str:
+        """The inheritance path label, e.g. ``Node:VM:VMWare``.
+
+        This is exactly the label the paper's Gremlin implementation stores on
+        every element so that subtree membership reduces to prefix matching.
+        """
+        parts = []
+        current: ElementClass | None = self
+        while current is not None:
+            parts.append(current.name)
+            current = current.parent
+        return ":".join(reversed(parts))
+
+    def ancestors(self) -> list["ElementClass"]:
+        """Self first, then parents up to the root."""
+        chain: list[ElementClass] = []
+        current: ElementClass | None = self
+        while current is not None:
+            chain.append(current)
+            current = current.parent
+        return chain
+
+    def subtree(self) -> list["ElementClass"]:
+        """Self plus all transitive subclasses, preorder."""
+        result: list[ElementClass] = [self]
+        for child in self._children:
+            result.extend(child.subtree())
+        return result
+
+    def concrete_subtree(self) -> list["ElementClass"]:
+        """The instantiable classes of the subtree."""
+        return [cls for cls in self.subtree() if not cls.abstract]
+
+    def is_subclass_of(self, other: "ElementClass") -> bool:
+        current: ElementClass | None = self
+        while current is not None:
+            if current is other:
+                return True
+            current = current.parent
+        return False
+
+    # -- fields ---------------------------------------------------------
+
+    @property
+    def fields(self) -> dict[str, Field]:
+        """All fields including inherited ones (root fields first)."""
+        merged: dict[str, Field] = dict(self.parent.fields) if self.parent else {}
+        merged.update(self._own_fields)
+        return merged
+
+    @property
+    def own_fields(self) -> dict[str, Field]:
+        return dict(self._own_fields)
+
+    def field(self, name: str) -> Field:
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise SchemaError(f"class {self.path} has no field {name!r}") from None
+
+    def has_field(self, name: str) -> bool:
+        return name in self.fields
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.path}>"
+
+
+class NodeClass(ElementClass):
+    """A class of network entities (hosts, VMs, VNFs, services, ...)."""
+
+    kind = "node"
+
+
+@dataclass(frozen=True)
+class EndpointRule:
+    """One permitted (source, target) node-class pair for an edge class."""
+
+    source: NodeClass
+    target: NodeClass
+
+    def admits(self, source_class: NodeClass, target_class: NodeClass) -> bool:
+        return source_class.is_subclass_of(self.source) and target_class.is_subclass_of(
+            self.target
+        )
+
+
+class EdgeClass(ElementClass):
+    """A class of relationships (HostedOn, ConnectedTo, ComposedOf, ...).
+
+    ``symmetric`` marks relationship classes that model undirected physical
+    or virtual adjacency; loaders may materialize the reciprocal edge (the
+    core engine always traverses source → target, as the paper's SQL does).
+    """
+
+    kind = "edge"
+
+    def __init__(
+        self,
+        name: str,
+        parent: "EdgeClass | None" = None,
+        fields: Mapping[str, Field] | None = None,
+        abstract: bool = False,
+        description: str = "",
+        endpoints: Iterable[EndpointRule] = (),
+        symmetric: bool | None = None,
+        expected_count: int | None = None,
+    ):
+        super().__init__(
+            name,
+            parent=parent,
+            fields=fields,
+            abstract=abstract,
+            description=description,
+            expected_count=expected_count,
+        )
+        self._own_endpoints: tuple[EndpointRule, ...] = tuple(endpoints)
+        self._symmetric = symmetric
+
+    @property
+    def symmetric(self) -> bool:
+        """Inherited unless overridden; the root edge class is directed."""
+        if self._symmetric is not None:
+            return self._symmetric
+        if isinstance(self.parent, EdgeClass):
+            return self.parent.symmetric
+        return False
+
+    @property
+    def endpoint_rules(self) -> tuple[EndpointRule, ...]:
+        """Own rules plus inherited ones (a subclass narrows, never widens)."""
+        inherited: tuple[EndpointRule, ...] = ()
+        if isinstance(self.parent, EdgeClass):
+            inherited = self.parent.endpoint_rules
+        return self._own_endpoints + inherited
+
+    def admits(self, source_class: NodeClass, target_class: NodeClass) -> bool:
+        """Does the graph schema allow this edge between these node classes?
+
+        An edge class with no rules anywhere in its ancestry is unconstrained
+        (useful for generic/legacy data, cf. the single-edge-class load of
+        Section 6).
+        """
+        rules = self.endpoint_rules
+        if not rules:
+            return True
+        return any(rule.admits(source_class, target_class) for rule in rules)
+
+
+def make_roots() -> tuple[NodeClass, EdgeClass]:
+    """Create the standard ``Node``/``Edge`` roots with base fields.
+
+    Every Nepal entry has a unique ``id`` and a human ``name``; these live on
+    the roots so every atom predicate may reference them.
+    """
+    from repro.schema.datatypes import STRING
+
+    # ``id`` is virtual — it is the store-assigned uid, addressable in atom
+    # predicates and field accesses but never supplied as a field value.
+    base_fields = {
+        "name": Field("name", STRING, description="human-readable label"),
+    }
+    node_root = NodeClass("Node", fields=base_fields, abstract=True,
+                          description="root of all node classes")
+    edge_root = EdgeClass("Edge", fields=dict(base_fields), abstract=True,
+                          description="root of all edge classes")
+    return node_root, edge_root
+
+
+def least_common_ancestor(classes: Iterable[ElementClass]) -> ElementClass | None:
+    """The most specific class every given class derives from.
+
+    Used to type ``source(P)``/``target(P)`` expressions: the class of the
+    endpoint is the least common ancestor of every class the MATCHES analysis
+    says could appear there (§3.4).
+    """
+    iterator = iter(classes)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        return None
+    common: list[ElementClass] = list(reversed(first.ancestors()))
+    for cls in iterator:
+        chain = list(reversed(cls.ancestors()))
+        keep = 0
+        for a, b in zip(common, chain):
+            if a is b:
+                keep += 1
+            else:
+                break
+        common = common[:keep]
+        if not common:
+            return None
+    return common[-1] if common else None
+
+
+def field_value_key(value: Any) -> Any:
+    """Hashable key for index lookups over possibly-unhashable field values."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, field_value_key(v)) for k, v in value.items()))
+    if isinstance(value, (list, set, tuple)):
+        return tuple(field_value_key(v) for v in value)
+    return value

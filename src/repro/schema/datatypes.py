@@ -1,0 +1,308 @@
+"""Data types for node and edge fields (Section 3.2.1).
+
+The paper's schema language, derived from TOSCA, supports:
+
+* primitive types (string, integer, float, boolean, timestamp),
+* composite ``data_types`` whose fields may themselves be of defined data
+  types, with the composition DAG required to be acyclic,
+* container fields — ``list``, ``set`` and ``map`` of a payload type,
+* inheritance between data types (a subtype adds fields).
+
+The running example is a router's routing table::
+
+    routingTableEntry = (IPAddress address, Int mask, String interface)
+    Router.routingTable : List[routingTableEntry]
+
+Values are represented with plain Python objects (str/int/float/bool,
+dict for composites, list/set/dict for containers); :meth:`DataType.validate`
+checks and normalizes a value against the type.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Mapping
+
+from repro.errors import DataTypeError, ValidationError
+
+
+class ContainerKind(str, Enum):
+    """TOSCA container kinds available for fields."""
+
+    LIST = "list"
+    SET = "set"
+    MAP = "map"
+
+
+class DataType:
+    """Abstract base for all field types."""
+
+    name: str
+
+    def validate(self, value: Any, path: str = "value") -> Any:
+        """Check *value* against the type; return the normalized value.
+
+        Raises :class:`ValidationError` on mismatch.  Subclasses may coerce
+        (e.g. int → float) but never silently drop information.
+        """
+        raise NotImplementedError
+
+    def is_subtype_of(self, other: "DataType") -> bool:
+        """Nominal subtyping: only composite types form hierarchies."""
+        return self is other or self.name == other.name
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class PrimitiveType(DataType):
+    """A scalar type with a dedicated validator."""
+
+    def __init__(self, name: str, python_types: tuple[type, ...], coerce=None):
+        self.name = name
+        self._python_types = python_types
+        self._coerce = coerce
+
+    def validate(self, value: Any, path: str = "value") -> Any:
+        if isinstance(value, bool) and bool not in self._python_types:
+            # bool is an int subclass; refuse it for integer/float fields.
+            raise ValidationError(f"{path}: expected {self.name}, got boolean {value!r}")
+        if isinstance(value, self._python_types) and self._coerce is None:
+            return value
+        if self._coerce is not None:
+            try:
+                return self._coerce(value)
+            except (TypeError, ValueError) as exc:
+                raise ValidationError(f"{path}: cannot coerce {value!r} to {self.name}") from exc
+        raise ValidationError(f"{path}: expected {self.name}, got {type(value).__name__}")
+
+
+def _validate_ip(value: Any) -> str:
+    text = str(value)
+    try:
+        ipaddress.ip_address(text)
+    except ValueError as exc:
+        raise ValueError(f"not an IP address: {text!r}") from exc
+    return text
+
+
+#: The built-in primitive types, always present in a :class:`TypeRegistry`.
+STRING = PrimitiveType("string", (str,))
+INTEGER = PrimitiveType("integer", (int,))
+FLOAT = PrimitiveType("float", (float, int), coerce=float)
+BOOLEAN = PrimitiveType("boolean", (bool,))
+TIMESTAMP = PrimitiveType("timestamp", (float, int), coerce=float)
+IPADDRESS = PrimitiveType("ipaddress", (str,), coerce=_validate_ip)
+
+_BUILTINS: dict[str, PrimitiveType] = {
+    t.name: t for t in (STRING, INTEGER, FLOAT, BOOLEAN, TIMESTAMP, IPADDRESS)
+}
+# Friendly aliases accepted in schema definitions (TOSCA uses lowercase).
+_ALIASES = {
+    "str": "string",
+    "text": "string",
+    "int": "integer",
+    "double": "float",
+    "number": "float",
+    "bool": "boolean",
+    "ip": "ipaddress",
+}
+
+
+@dataclass(frozen=True)
+class TypedField:
+    """A named, typed field of a composite type (or of an element class)."""
+
+    name: str
+    type: DataType
+    required: bool = False
+    default: Any = None
+    description: str = ""
+
+    def validate(self, value: Any, path: str) -> Any:
+        return self.type.validate(value, path=f"{path}.{self.name}")
+
+
+class CompositeType(DataType):
+    """A TOSCA ``data_type``: named fields, optional parent type."""
+
+    def __init__(
+        self,
+        name: str,
+        fields: Mapping[str, TypedField],
+        parent: "CompositeType | None" = None,
+        description: str = "",
+    ):
+        self.name = name
+        self.parent = parent
+        self.description = description
+        self._own_fields = dict(fields)
+        duplicated = set(self._own_fields) & set(parent.fields if parent else {})
+        if duplicated:
+            raise DataTypeError(
+                f"data type {name!r} redefines inherited fields: {sorted(duplicated)}"
+            )
+
+    @property
+    def fields(self) -> dict[str, TypedField]:
+        """All fields, inherited ones first."""
+        merged: dict[str, TypedField] = dict(self.parent.fields) if self.parent else {}
+        merged.update(self._own_fields)
+        return merged
+
+    @property
+    def own_fields(self) -> dict[str, TypedField]:
+        return dict(self._own_fields)
+
+    def is_subtype_of(self, other: DataType) -> bool:
+        current: CompositeType | None = self
+        while current is not None:
+            if current.name == other.name:
+                return True
+            current = current.parent
+        return False
+
+    def validate(self, value: Any, path: str = "value") -> Any:
+        if not isinstance(value, Mapping):
+            raise ValidationError(
+                f"{path}: expected a mapping for composite type {self.name}, "
+                f"got {type(value).__name__}"
+            )
+        known = self.fields
+        unknown = set(value) - set(known)
+        if unknown:
+            raise ValidationError(
+                f"{path}: unknown fields {sorted(unknown)} for data type {self.name}"
+            )
+        normalized: dict[str, Any] = {}
+        for field_name, spec in known.items():
+            if field_name in value and value[field_name] is not None:
+                normalized[field_name] = spec.validate(value[field_name], path)
+            elif spec.required:
+                raise ValidationError(
+                    f"{path}: missing required field {field_name!r} of {self.name}"
+                )
+            elif spec.default is not None:
+                normalized[field_name] = spec.default
+        return normalized
+
+
+class ContainerType(DataType):
+    """A list/set/map of a payload type.
+
+    Maps have string keys (the TOSCA convention); sets are normalized to
+    sorted tuples so values stay hashable and deterministic.
+    """
+
+    def __init__(self, kind: ContainerKind, entry_type: DataType):
+        self.kind = kind
+        self.entry_type = entry_type
+        self.name = f"{kind.value}[{entry_type.name}]"
+
+    def validate(self, value: Any, path: str = "value") -> Any:
+        if self.kind is ContainerKind.MAP:
+            if not isinstance(value, Mapping):
+                raise ValidationError(f"{path}: expected a map, got {type(value).__name__}")
+            result = {}
+            for key, entry in value.items():
+                if not isinstance(key, str):
+                    raise ValidationError(f"{path}: map keys must be strings, got {key!r}")
+                result[key] = self.entry_type.validate(entry, path=f"{path}[{key!r}]")
+            return result
+        if isinstance(value, (str, bytes, Mapping)) or not hasattr(value, "__iter__"):
+            raise ValidationError(
+                f"{path}: expected a {self.kind.value}, got {type(value).__name__}"
+            )
+        entries = [
+            self.entry_type.validate(entry, path=f"{path}[{i}]")
+            for i, entry in enumerate(value)
+        ]
+        if self.kind is ContainerKind.SET:
+            deduped = []
+            for entry in entries:
+                if entry not in deduped:
+                    deduped.append(entry)
+            return deduped
+        return entries
+
+
+class TypeRegistry:
+    """Holds the data types of a schema; checks acyclicity of composition.
+
+    The composition DAG requirement of §3.2.1 is enforced incrementally:
+    a composite type may only reference types already registered, so a cycle
+    can never be constructed through the public API, and :meth:`define` is
+    the single entry point for composite definitions.
+    """
+
+    def __init__(self) -> None:
+        self._types: dict[str, DataType] = dict(_BUILTINS)
+
+    def resolve(self, name: str) -> DataType:
+        """Look up a type by name (honouring aliases and container syntax).
+
+        Container syntax: ``list[routingTableEntry]``, ``map[string]`` etc.
+        """
+        key = name.strip()
+        lowered = key.lower()
+        if "[" in key and key.endswith("]"):
+            kind_name, _, inner = key.partition("[")
+            try:
+                kind = ContainerKind(kind_name.strip().lower())
+            except ValueError as exc:
+                raise DataTypeError(f"unknown container kind in {name!r}") from exc
+            return ContainerType(kind, self.resolve(inner[:-1]))
+        lowered = _ALIASES.get(lowered, lowered)
+        if lowered in self._types:
+            return self._types[lowered]
+        if key in self._types:
+            return self._types[key]
+        raise DataTypeError(f"unknown data type: {name!r}")
+
+    def define(
+        self,
+        name: str,
+        fields: Mapping[str, "DataType | str | TypedField"],
+        parent: str | None = None,
+        description: str = "",
+    ) -> CompositeType:
+        """Register a composite data type.
+
+        *fields* maps field names to types (by object, by name, or as a full
+        :class:`TypedField`).
+        """
+        if name in self._types or name.lower() in _BUILTINS or name.lower() in _ALIASES:
+            raise DataTypeError(f"data type {name!r} already defined")
+        parent_type: CompositeType | None = None
+        if parent is not None:
+            resolved = self.resolve(parent)
+            if not isinstance(resolved, CompositeType):
+                raise DataTypeError(f"data type parent {parent!r} is not a composite type")
+            parent_type = resolved
+        typed_fields: dict[str, TypedField] = {}
+        for field_name, spec in fields.items():
+            if isinstance(spec, TypedField):
+                typed_fields[field_name] = spec
+            elif isinstance(spec, DataType):
+                typed_fields[field_name] = TypedField(field_name, spec)
+            else:
+                typed_fields[field_name] = TypedField(field_name, self.resolve(spec))
+        composite = CompositeType(name, typed_fields, parent=parent_type, description=description)
+        self._types[name] = composite
+        return composite
+
+    def composite_types(self) -> dict[str, CompositeType]:
+        return {
+            name: data_type
+            for name, data_type in self._types.items()
+            if isinstance(data_type, CompositeType)
+        }
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            self.resolve(name)
+        except DataTypeError:
+            return False
+        return True

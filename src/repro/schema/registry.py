@@ -1,0 +1,244 @@
+"""The :class:`Schema` — registry of classes and data types for one database.
+
+A schema owns one ``Node`` root and one ``Edge`` root, a
+:class:`~repro.schema.datatypes.TypeRegistry` for structured field types,
+and provides the lookups the rest of the system builds on: name resolution
+with class generalization, subtree enumeration (for query-time
+generalization), least-common-ancestor typing, and the allowed-edge matrix
+used for model-driven traversal pruning.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import SchemaError
+from repro.schema.classes import (
+    EdgeClass,
+    ElementClass,
+    EndpointRule,
+    Field,
+    NodeClass,
+    least_common_ancestor,
+    make_roots,
+)
+from repro.schema.datatypes import DataType, TypeRegistry, TypedField
+
+
+class Schema:
+    """A complete Nepal schema: class hierarchies plus data types.
+
+    >>> schema = Schema("example")
+    >>> vm = schema.define_node("VM", parent="Node", fields={"status": "string"})
+    >>> schema.define_node("VMWare", parent="VM")
+    <NodeClass Node:VM:VMWare>
+    >>> [cls.name for cls in schema.resolve("VM").subtree()]
+    ['VM', 'VMWare']
+    """
+
+    def __init__(self, name: str = "schema"):
+        self.name = name
+        self.types = TypeRegistry()
+        self.node_root, self.edge_root = make_roots()
+        self._classes: dict[str, ElementClass] = {
+            self.node_root.name: self.node_root,
+            self.edge_root.name: self.edge_root,
+        }
+
+    # -- definition ------------------------------------------------------
+
+    def _register(self, cls: ElementClass) -> ElementClass:
+        if cls.name in self._classes:
+            raise SchemaError(f"class name {cls.name!r} already defined in schema {self.name!r}")
+        self._classes[cls.name] = cls
+        return cls
+
+    def _build_fields(self, fields: Mapping[str, object] | None) -> dict[str, Field]:
+        built: dict[str, Field] = {}
+        for field_name, spec in (fields or {}).items():
+            if isinstance(spec, TypedField):
+                built[field_name] = spec
+            elif isinstance(spec, DataType):
+                built[field_name] = Field(field_name, spec)
+            elif isinstance(spec, str):
+                built[field_name] = Field(field_name, self.types.resolve(spec))
+            else:
+                raise SchemaError(
+                    f"field {field_name!r}: expected a type name, DataType or Field, "
+                    f"got {type(spec).__name__}"
+                )
+        return built
+
+    def define_node(
+        self,
+        name: str,
+        parent: str = "Node",
+        fields: Mapping[str, object] | None = None,
+        abstract: bool = False,
+        description: str = "",
+        expected_count: int | None = None,
+    ) -> NodeClass:
+        """Define a node class deriving from *parent* (default: the root)."""
+        parent_class = self.node_class(parent)
+        node = NodeClass(
+            name,
+            parent=parent_class,
+            fields=self._build_fields(fields),
+            abstract=abstract,
+            description=description,
+            expected_count=expected_count,
+        )
+        self._register(node)
+        return node
+
+    def define_edge(
+        self,
+        name: str,
+        parent: str = "Edge",
+        fields: Mapping[str, object] | None = None,
+        abstract: bool = False,
+        description: str = "",
+        endpoints: Iterable[tuple[str, str]] = (),
+        symmetric: bool | None = None,
+        expected_count: int | None = None,
+    ) -> EdgeClass:
+        """Define an edge class; *endpoints* are (source, target) class names."""
+        parent_class = self.edge_class(parent)
+        rules = tuple(
+            EndpointRule(self.node_class(src), self.node_class(dst)) for src, dst in endpoints
+        )
+        edge = EdgeClass(
+            name,
+            parent=parent_class,
+            fields=self._build_fields(fields),
+            abstract=abstract,
+            description=description,
+            endpoints=rules,
+            symmetric=symmetric,
+            expected_count=expected_count,
+        )
+        self._register(edge)
+        return edge
+
+    # -- lookup ------------------------------------------------------------
+
+    def resolve(self, name: str) -> ElementClass:
+        """Resolve a class by simple name or by inheritance path.
+
+        ``VM``, ``VM:VMWare`` and ``Node:VM:VMWare`` all resolve (the paper:
+        "if the name of the subclass is unique, the inheritance chain can be
+        discarded").
+        """
+        if name in self._classes:
+            return self._classes[name]
+        if ":" in name:
+            leaf = name.rsplit(":", 1)[1]
+            cls = self._classes.get(leaf)
+            if cls is not None and cls.path.endswith(name):
+                return cls
+        raise SchemaError(f"unknown class {name!r} in schema {self.name!r}")
+
+    def node_class(self, name: str) -> NodeClass:
+        cls = self.resolve(name)
+        if not isinstance(cls, NodeClass):
+            raise SchemaError(f"{name!r} is an edge class, expected a node class")
+        return cls
+
+    def edge_class(self, name: str) -> EdgeClass:
+        cls = self.resolve(name)
+        if not isinstance(cls, EdgeClass):
+            raise SchemaError(f"{name!r} is a node class, expected an edge class")
+        return cls
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            self.resolve(name)
+        except SchemaError:
+            return False
+        return True
+
+    def classes(self) -> list[ElementClass]:
+        """Every class, roots included."""
+        return list(self._classes.values())
+
+    def node_classes(self) -> list[NodeClass]:
+        return [cls for cls in self._classes.values() if isinstance(cls, NodeClass)]
+
+    def edge_classes(self) -> list[EdgeClass]:
+        return [cls for cls in self._classes.values() if isinstance(cls, EdgeClass)]
+
+    def least_common_ancestor(self, names: Iterable[str]) -> ElementClass | None:
+        return least_common_ancestor(self.resolve(name) for name in names)
+
+    # -- graph-schema reasoning ---------------------------------------------
+
+    def edge_classes_between(
+        self, source: NodeClass, target: NodeClass
+    ) -> list[EdgeClass]:
+        """Concrete edge classes the schema permits from *source* to *target*."""
+        return [
+            edge
+            for edge in self.edge_root.concrete_subtree()
+            if isinstance(edge, EdgeClass) and edge.admits(source, target)
+        ]
+
+    def outgoing_edge_classes(self, source: NodeClass) -> list[EdgeClass]:
+        """Concrete edge classes that may leave a *source* node.
+
+        Drives model-driven pruning during traversal: when extending a
+        pathway from a node, only these edge classes need be considered.
+        """
+        permitted = []
+        for edge in self.edge_root.concrete_subtree():
+            if not isinstance(edge, EdgeClass):
+                continue
+            rules = edge.endpoint_rules
+            if not rules:
+                permitted.append(edge)
+                continue
+            if any(
+                source.is_subclass_of(rule.source) or rule.source.is_subclass_of(source)
+                for rule in rules
+            ):
+                permitted.append(edge)
+        return permitted
+
+    def validate(self) -> None:
+        """Whole-schema sanity checks, raising :class:`SchemaError` on failure.
+
+        Checks: every class reachable from a root, endpoint rules reference
+        node classes of this schema, and at least one concrete class exists
+        per hierarchy (an all-abstract schema cannot store anything).
+        """
+        for cls in self._classes.values():
+            root = cls.ancestors()[-1]
+            if root not in (self.node_root, self.edge_root):
+                raise SchemaError(f"class {cls.path} is not attached to a schema root")
+        for edge in self.edge_classes():
+            for rule in edge.endpoint_rules:
+                for endpoint in (rule.source, rule.target):
+                    if self._classes.get(endpoint.name) is not endpoint:
+                        raise SchemaError(
+                            f"edge class {edge.name} endpoint {endpoint.name} "
+                            f"is not part of schema {self.name!r}"
+                        )
+        if not self.node_root.concrete_subtree():
+            raise SchemaError(f"schema {self.name!r} defines no concrete node class")
+
+    def describe(self) -> str:
+        """A human-readable rendering of the class hierarchies."""
+        lines: list[str] = [f"schema {self.name}"]
+
+        def walk(cls: ElementClass, depth: int) -> None:
+            fields = ", ".join(
+                f"{f.name}:{f.type.name}" for f in cls.own_fields.values()
+            )
+            marker = " (abstract)" if cls.abstract else ""
+            suffix = f" [{fields}]" if fields else ""
+            lines.append("  " * depth + f"- {cls.name}{marker}{suffix}")
+            for child in cls.children:
+                walk(child, depth + 1)
+
+        walk(self.node_root, 1)
+        walk(self.edge_root, 1)
+        return "\n".join(lines)

@@ -1,0 +1,200 @@
+"""TOSCA-style schema loading (Section 3.2).
+
+ONAP models services with TOSCA; the Nepal schema language "is derived from
+the Tosca schema language (data_types, node_types, capability_types),
+allowing automatic translation from Tosca to a Nepal schema".  This module
+implements that translation for a pragmatic YAML dialect:
+
+.. code-block:: yaml
+
+    schema: my-network
+    data_types:
+      routingTableEntry:
+        properties:
+          address: ipaddress
+          mask: integer
+          interface: string
+    node_types:
+      VM:
+        derived_from: Container
+        properties:
+          vcpus: integer
+          flavor: {type: string, required: false}
+    relationship_types:
+      OnVM:
+        derived_from: HostedOn
+        valid_endpoints: [[VFC, Container]]
+
+``relationship_types`` corresponds to TOSCA capability/relationship types —
+edge classes whose ``valid_endpoints`` entries populate the allowed-edge
+matrix.  ``derived_from`` expresses inheritance for all three sections; the
+loader topologically sorts definitions so parents are created first.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Mapping
+
+import yaml
+
+from repro.errors import SchemaError
+from repro.schema.classes import Field
+from repro.schema.registry import Schema
+
+_NODE_ROOT = "Node"
+_EDGE_ROOT = "Edge"
+
+
+def schema_from_tosca_file(path: str | Path) -> Schema:
+    """Load a schema from a TOSCA-style YAML file."""
+    with open(path, encoding="utf-8") as handle:
+        document = yaml.safe_load(handle)
+    return schema_from_tosca(document)
+
+
+def schema_from_tosca(document: Mapping[str, Any]) -> Schema:
+    """Build a :class:`Schema` from a parsed TOSCA-style document."""
+    if not isinstance(document, Mapping):
+        raise SchemaError("TOSCA document must be a mapping")
+    schema = Schema(str(document.get("schema", "tosca-schema")))
+    _load_data_types(schema, document.get("data_types") or {})
+    _load_classes(schema, document.get("node_types") or {}, kind="node")
+    _load_classes(
+        schema,
+        document.get("relationship_types") or document.get("capability_types") or {},
+        kind="edge",
+    )
+    schema.validate()
+    return schema
+
+
+def _ordered_by_inheritance(
+    definitions: Mapping[str, Mapping[str, Any]], builtin_parents: set[str]
+) -> list[str]:
+    """Topologically sort definitions so ``derived_from`` parents come first."""
+    remaining = dict(definitions)
+    done: set[str] = set(builtin_parents)
+    order: list[str] = []
+    while remaining:
+        progress = False
+        for name in list(remaining):
+            definition = remaining[name] or {}
+            parent = definition.get("derived_from")
+            if parent is None or parent in done:
+                order.append(name)
+                done.add(name)
+                del remaining[name]
+                progress = True
+        if not progress:
+            raise SchemaError(
+                f"cyclic or dangling derived_from chain among: {sorted(remaining)}"
+            )
+    return order
+
+
+def _parse_properties(schema: Schema, properties: Mapping[str, Any] | None) -> dict[str, Field]:
+    fields: dict[str, Field] = {}
+    for prop_name, spec in (properties or {}).items():
+        if isinstance(spec, str):
+            fields[prop_name] = Field(prop_name, schema.types.resolve(spec))
+        elif isinstance(spec, Mapping):
+            type_name = spec.get("type")
+            if not type_name:
+                raise SchemaError(f"property {prop_name!r} is missing its type")
+            entry = spec.get("entry_schema")
+            if entry:
+                # TOSCA spells list-of-X as type: list + entry_schema: X.
+                type_name = f"{type_name}[{entry if isinstance(entry, str) else entry['type']}]"
+            fields[prop_name] = Field(
+                prop_name,
+                schema.types.resolve(str(type_name)),
+                required=bool(spec.get("required", False)),
+                default=spec.get("default"),
+                description=str(spec.get("description", "")),
+            )
+        else:
+            raise SchemaError(f"property {prop_name!r}: unsupported spec {spec!r}")
+    return fields
+
+
+def _load_data_types(schema: Schema, definitions: Mapping[str, Any]) -> None:
+    for name in _ordered_by_inheritance(definitions, builtin_parents=set()):
+        definition = definitions[name] or {}
+        properties = _parse_properties(schema, definition.get("properties"))
+        schema.types.define(
+            name,
+            properties,
+            parent=definition.get("derived_from"),
+            description=str(definition.get("description", "")),
+        )
+
+
+def _load_classes(schema: Schema, definitions: Mapping[str, Any], kind: str) -> None:
+    root = _NODE_ROOT if kind == "node" else _EDGE_ROOT
+    for name in _ordered_by_inheritance(definitions, builtin_parents={root}):
+        definition = definitions[name] or {}
+        fields = _parse_properties(schema, definition.get("properties"))
+        common = {
+            "parent": definition.get("derived_from", root),
+            "fields": fields,
+            "abstract": bool(definition.get("abstract", False)),
+            "description": str(definition.get("description", "")),
+            "expected_count": definition.get("expected_count"),
+        }
+        if kind == "node":
+            schema.define_node(name, **common)
+        else:
+            endpoints = [
+                (str(src), str(dst))
+                for src, dst in (definition.get("valid_endpoints") or [])
+            ]
+            schema.define_edge(
+                name,
+                endpoints=endpoints,
+                symmetric=definition.get("symmetric"),
+                **common,
+            )
+
+
+def schema_to_tosca(schema: Schema) -> dict[str, Any]:
+    """Render a schema back to the TOSCA-style document form.
+
+    Useful for round-trip tests and for exporting schemas to ONAP tooling.
+    """
+    document: dict[str, Any] = {
+        "schema": schema.name,
+        "data_types": {},
+        "node_types": {},
+        "relationship_types": {},
+    }
+    for name, data_type in schema.types.composite_types().items():
+        document["data_types"][name] = {
+            "description": data_type.description,
+            "properties": {
+                f.name: {"type": f.type.name, "required": f.required}
+                for f in data_type.own_fields.values()
+            },
+        }
+        if data_type.parent is not None:
+            document["data_types"][name]["derived_from"] = data_type.parent.name
+    for cls in schema.classes():
+        if cls.parent is None:
+            continue
+        section = "node_types" if cls.kind == "node" else "relationship_types"
+        entry: dict[str, Any] = {
+            "derived_from": cls.parent.name,
+            "abstract": cls.abstract,
+            "properties": {
+                f.name: {"type": f.type.name, "required": f.required}
+                for f in cls.own_fields.values()
+            },
+        }
+        if cls.kind == "edge":
+            own_rules = getattr(cls, "_own_endpoints", ())
+            if own_rules:
+                entry["valid_endpoints"] = [
+                    [rule.source.name, rule.target.name] for rule in own_rules
+                ]
+        document[section][cls.name] = entry
+    return document

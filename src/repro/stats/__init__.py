@@ -1,0 +1,5 @@
+"""Cardinality statistics for anchor costing (Section 5.1)."""
+
+from repro.stats.cardinality import CardinalityEstimator
+
+__all__ = ["CardinalityEstimator"]

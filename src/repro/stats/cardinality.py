@@ -1,0 +1,79 @@
+"""Anchor cost estimation.
+
+"The costing of an anchor is currently performed by estimating the
+cardinality of the anchor (number of nodes/edges).  Database statistics are
+used if available; otherwise schema hints are used." (§5.1)
+
+The estimator asks the store for live per-class counts when it has a store,
+falling back to the ``expected_count`` hints on schema classes.  Predicate
+selectivities follow the classic System-R defaults: equality on the unique
+``id`` pins cardinality to one, equality on ``name`` is treated as
+near-unique, other equalities divide by ten, and inequalities keep a third.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.rpe.ast import Atom
+from repro.schema.classes import ElementClass
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.base import GraphStore
+
+_DEFAULT_CLASS_COUNT = 1000.0
+_EQ_NAME_SELECTIVITY = 1e-6  # names are near-unique in inventories
+_EQ_SELECTIVITY = 0.1
+_RANGE_SELECTIVITY = 1.0 / 3.0
+_NEQ_SELECTIVITY = 2.0 / 3.0
+
+
+class CardinalityEstimator:
+    """Estimates the number of elements satisfying an atom."""
+
+    def __init__(self, store: "GraphStore | None" = None):
+        self._store = store
+        self._class_count_cache: dict[str, float] = {}
+
+    def class_cardinality(self, cls: ElementClass) -> float:
+        cached = self._class_count_cache.get(cls.name)
+        if cached is not None:
+            return cached
+        count: float | None = None
+        if self._store is not None:
+            count = float(self._store.class_count(cls.name))
+        if count is None or count == 0.0:
+            hints = [
+                float(concrete.expected_count)
+                for concrete in cls.concrete_subtree()
+                if concrete.expected_count is not None
+            ]
+            if hints:
+                count = max(sum(hints), count or 0.0)
+        if count is None or count == 0.0:
+            count = _DEFAULT_CLASS_COUNT
+        self._class_count_cache[cls.name] = count
+        return count
+
+    def estimate(self, atom: Atom) -> float:
+        """Expected number of elements satisfying *atom* (≥ a small epsilon)."""
+        if atom.cls is None:
+            return _DEFAULT_CLASS_COUNT
+        cardinality = self.class_cardinality(atom.cls)
+        for predicate in atom.predicates:
+            if predicate.name == "id" and predicate.op == "=":
+                return 1.0
+            if predicate.op == "=":
+                if predicate.name == "name":
+                    cardinality = max(cardinality * _EQ_NAME_SELECTIVITY, 1.0)
+                else:
+                    cardinality *= _EQ_SELECTIVITY
+            elif predicate.op == "!=":
+                cardinality *= _NEQ_SELECTIVITY
+            else:
+                cardinality *= _RANGE_SELECTIVITY
+        return max(cardinality, 0.5)
+
+    def invalidate(self) -> None:
+        """Drop cached counts (call after bulk loads)."""
+        self._class_count_cache.clear()

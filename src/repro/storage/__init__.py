@@ -1,0 +1,25 @@
+"""Graph data management layer (Section 3.1).
+
+Nepal "works as a layer over one or more underlying databases": this package
+defines the backend interface (:class:`~repro.storage.base.GraphStore`), the
+temporal write path shared by backends, the update-by-snapshot service for
+feeds that deliver periodic dumps instead of change streams, and the two
+backends — an in-memory property-graph engine (the Gremlin stand-in) and a
+SQL-generating relational engine on SQLite (the PostgreSQL stand-in).
+"""
+
+from repro.storage.base import GraphStore, TimeScope
+from repro.storage.memgraph.store import MemGraphStore
+from repro.storage.relational.store import RelationalStore
+from repro.storage.snapshot import Snapshot, SnapshotLoader, SnapshotStats, export_snapshot
+
+__all__ = [
+    "GraphStore",
+    "MemGraphStore",
+    "RelationalStore",
+    "Snapshot",
+    "SnapshotLoader",
+    "SnapshotStats",
+    "TimeScope",
+    "export_snapshot",
+]

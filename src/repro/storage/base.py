@@ -1,0 +1,237 @@
+"""Backend interface and time scopes.
+
+A :class:`GraphStore` is a transaction-time temporal graph database: every
+write is stamped by the store's clock, superseded versions move to history,
+and reads are parameterized by a :class:`TimeScope` — the current snapshot,
+a past time point (``AT '<ts>'``), or a time range (``AT '<t1>' : '<t2>'``).
+
+Backends implement element-level reads (scan by atom, adjacency expansion,
+version retrieval); pathway finding has a generic frontier-based
+implementation (:mod:`repro.plan.traverse`) which the relational backend
+overrides with set-at-a-time SQL (§5.2).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
+
+from repro.errors import TemporalError
+from repro.model.elements import EdgeRecord, ElementRecord, NodeRecord
+from repro.rpe.ast import Atom
+from repro.schema.classes import EdgeClass
+from repro.schema.registry import Schema
+from repro.temporal.clock import TransactionClock
+from repro.temporal.interval import FOREVER, Interval
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.model.pathway import Pathway
+    from repro.plan.program import MatchProgram
+
+
+@dataclass(frozen=True)
+class TimeScope:
+    """Which temporal slice of the database a read observes.
+
+    * ``current`` — the live snapshot (open system periods only);
+    * ``at`` — a time point: versions whose period contains ``start``;
+    * ``range`` — a window ``[start, end)``: versions overlapping the window.
+    """
+
+    kind: str
+    start: float = 0.0
+    end: float = FOREVER
+
+    CURRENT = "current"
+    AT = "at"
+    RANGE = "range"
+
+    @classmethod
+    def current(cls) -> "TimeScope":
+        return cls(cls.CURRENT)
+
+    @classmethod
+    def at(cls, timestamp: float) -> "TimeScope":
+        return cls(cls.AT, start=timestamp)
+
+    @classmethod
+    def between(cls, start: float, end: float) -> "TimeScope":
+        if start >= end:
+            raise TemporalError(f"empty time range [{start}, {end})")
+        return cls(cls.RANGE, start=start, end=end)
+
+    @property
+    def is_current(self) -> bool:
+        return self.kind == self.CURRENT
+
+    @property
+    def is_range(self) -> bool:
+        return self.kind == self.RANGE
+
+    def window(self) -> Interval:
+        """The scope as an interval (time points become minimal intervals)."""
+        if self.kind == self.CURRENT:
+            return Interval(-FOREVER, FOREVER)
+        if self.kind == self.AT:
+            return Interval.at(self.start)
+        return Interval(self.start, self.end)
+
+    def admits(self, period: Interval) -> bool:
+        """Is a version with this system period visible under the scope?"""
+        if self.kind == self.CURRENT:
+            return period.is_current
+        if self.kind == self.AT:
+            return period.contains(self.start)
+        return period.overlaps(self.window())
+
+    def __str__(self) -> str:
+        if self.kind == self.CURRENT:
+            return "current"
+        if self.kind == self.AT:
+            return f"at {self.start}"
+        return f"range [{self.start}, {self.end})"
+
+
+class GraphStore(ABC):
+    """Abstract temporal graph backend."""
+
+    def __init__(self, schema: Schema, clock: TransactionClock | None = None, name: str = ""):
+        self.schema = schema
+        self.clock = clock or TransactionClock()
+        self.name = name or type(self).__name__
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def insert_node(
+        self, class_name: str, fields: Mapping[str, Any] | None = None, uid: int | None = None
+    ) -> int:
+        """Insert a node; returns its uid.  Validates against the schema."""
+
+    @abstractmethod
+    def insert_edge(
+        self,
+        class_name: str,
+        source: int,
+        target: int,
+        fields: Mapping[str, Any] | None = None,
+        uid: int | None = None,
+    ) -> int:
+        """Insert an edge between existing nodes; returns its uid."""
+
+    @abstractmethod
+    def update_element(self, uid: int, changes: Mapping[str, Any]) -> None:
+        """Apply field changes, closing the current version into history."""
+
+    @abstractmethod
+    def delete_element(self, uid: int) -> None:
+        """Logically delete: close the current version.  Deleting a node
+        cascades to its incident edges, as a cloud-inventory feed would."""
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def scan_atom(self, atom: Atom, scope: TimeScope) -> list[ElementRecord]:
+        """All elements (one representative version per uid) satisfying
+        *atom* under *scope*.  Under a range scope an element qualifies when
+        *some* version in the window satisfies the atom."""
+
+    @abstractmethod
+    def get_element(self, uid: int, scope: TimeScope) -> ElementRecord | None:
+        """The representative version of *uid* under *scope* (or None)."""
+
+    @abstractmethod
+    def versions(self, uid: int, window: Interval) -> list[ElementRecord]:
+        """Every version of *uid* overlapping *window* (for exact validity)."""
+
+    @abstractmethod
+    def out_edges(
+        self,
+        node_uid: int,
+        scope: TimeScope,
+        classes: Sequence[EdgeClass] | None = None,
+    ) -> list[EdgeRecord]:
+        """Edges leaving *node_uid*, optionally restricted to class subtrees."""
+
+    @abstractmethod
+    def in_edges(
+        self,
+        node_uid: int,
+        scope: TimeScope,
+        classes: Sequence[EdgeClass] | None = None,
+    ) -> list[EdgeRecord]:
+        """Edges entering *node_uid*, optionally restricted to class subtrees."""
+
+    # ------------------------------------------------------------------
+    # statistics & accounting
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def class_count(self, class_name: str) -> int:
+        """Number of current elements in the class subtree (for costing)."""
+
+    @abstractmethod
+    def counts(self) -> dict[str, int]:
+        """Census: current nodes/edges and history versions."""
+
+    @abstractmethod
+    def storage_cells(self) -> int:
+        """Rough storage footprint in stored field cells (for E4)."""
+
+    # ------------------------------------------------------------------
+    # pathway finding (generic; relational backend overrides)
+    # ------------------------------------------------------------------
+
+    def find_pathways(self, program: "MatchProgram", scope: TimeScope) -> "list[Pathway]":
+        """Evaluate a compiled match program; default frontier traversal."""
+        from repro.plan.traverse import evaluate_program
+
+        return evaluate_program(self, program, scope)
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+
+    def bulk(self):
+        """Context manager batching many writes; no-op by default.
+
+        The relational backend overrides this with a SQLite transaction;
+        generators and the snapshot loader wrap their loads in it.
+        """
+        from contextlib import nullcontext
+
+        return nullcontext()
+
+    def node(self, uid: int, scope: TimeScope | None = None) -> NodeRecord | None:
+        record = self.get_element(uid, scope or TimeScope.current())
+        return record if isinstance(record, NodeRecord) else None
+
+    def insert_symmetric_edge(
+        self,
+        class_name: str,
+        left: int,
+        right: int,
+        fields: Mapping[str, Any] | None = None,
+    ) -> tuple[int, int]:
+        """Insert reciprocal edges for symmetric connectivity classes."""
+        forward = self.insert_edge(class_name, left, right, fields)
+        backward = self.insert_edge(class_name, right, left, fields)
+        return forward, backward
+
+    def bulk_insert_nodes(
+        self, rows: Iterable[tuple[str, Mapping[str, Any]]]
+    ) -> list[int]:
+        return [self.insert_node(class_name, fields) for class_name, fields in rows]
+
+    def describe(self) -> str:
+        counts = self.counts()
+        return (
+            f"{self.name} [{self.schema.name}]: "
+            f"{counts.get('nodes', 0)} nodes, {counts.get('edges', 0)} edges, "
+            f"{counts.get('history_versions', 0)} history versions"
+        )

@@ -1,0 +1,12 @@
+"""In-memory temporal property-graph engine (the Gremlin target stand-in).
+
+Implements the storage idioms of the paper's Gremlin backend: class
+inheritance encoded as label paths with prefix matching, adjacency indexes
+per edge class (so class-filtered expansion never touches irrelevant
+edges), and per-element version chains for transaction time.
+"""
+
+from repro.storage.memgraph.store import MemGraphStore
+from repro.storage.memgraph.traversal import Traversal
+
+__all__ = ["MemGraphStore", "Traversal"]

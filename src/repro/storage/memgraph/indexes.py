@@ -1,0 +1,117 @@
+"""Index structures for the in-memory backend.
+
+Three indexes mirror what the paper's Gremlin deployment relies on:
+
+* a class index over *current* elements (label-prefix matching turns into
+  subtree unions, since an element's class never changes);
+* per-edge-class adjacency lists in both directions — the in-memory
+  analogue of the per-class edge tables whose benefit §6 quantifies;
+* an equality index on selected fields of current elements, used to seed
+  anchors like ``Host(name='src')`` without a class scan.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.schema.classes import field_value_key
+
+
+class ClassIndex:
+    """uids of current elements per concrete class name."""
+
+    def __init__(self) -> None:
+        self._members: dict[str, set[int]] = defaultdict(set)
+
+    def add(self, class_name: str, uid: int) -> None:
+        self._members[class_name].add(uid)
+
+    def discard(self, class_name: str, uid: int) -> None:
+        self._members[class_name].discard(uid)
+
+    def members(self, class_names: Iterable[str]) -> set[int]:
+        result: set[int] = set()
+        for name in class_names:
+            result |= self._members.get(name, set())
+        return result
+
+    def count(self, class_names: Iterable[str]) -> int:
+        return sum(len(self._members.get(name, ())) for name in class_names)
+
+
+class AdjacencyIndex:
+    """edge uids incident to a node, partitioned by concrete edge class.
+
+    Membership is *structural* (an edge stays listed after logical deletion);
+    visibility under a time scope is checked by the store on access, exactly
+    like a row surviving in a history table.
+    """
+
+    def __init__(self) -> None:
+        self._edges: dict[int, dict[str, list[int]]] = {}
+
+    def add(self, node_uid: int, class_name: str, edge_uid: int) -> None:
+        per_class = self._edges.setdefault(node_uid, {})
+        per_class.setdefault(class_name, []).append(edge_uid)
+
+    def edges(self, node_uid: int, class_names: Iterable[str] | None = None) -> list[int]:
+        per_class = self._edges.get(node_uid)
+        if per_class is None:
+            return []
+        if class_names is None:
+            result: list[int] = []
+            for uids in per_class.values():
+                result.extend(uids)
+            return result
+        result = []
+        for name in class_names:
+            result.extend(per_class.get(name, ()))
+        return result
+
+    def degree(self, node_uid: int) -> int:
+        per_class = self._edges.get(node_uid)
+        if per_class is None:
+            return 0
+        return sum(len(uids) for uids in per_class.values())
+
+
+class FieldEqualityIndex:
+    """(class, field, value) → uids of current elements."""
+
+    def __init__(self, indexed_fields: tuple[str, ...] = ("name",)):
+        self.indexed_fields = indexed_fields
+        self._entries: dict[tuple[str, str], dict[object, set[int]]] = defaultdict(dict)
+
+    def add(self, class_name: str, uid: int, fields: dict) -> None:
+        for field_name in self.indexed_fields:
+            value = fields.get(field_name)
+            if value is None:
+                continue
+            bucket = self._entries[(class_name, field_name)]
+            bucket.setdefault(field_value_key(value), set()).add(uid)
+
+    def discard(self, class_name: str, uid: int, fields: dict) -> None:
+        for field_name in self.indexed_fields:
+            value = fields.get(field_name)
+            if value is None:
+                continue
+            bucket = self._entries.get((class_name, field_name))
+            if bucket is not None:
+                members = bucket.get(field_value_key(value))
+                if members is not None:
+                    members.discard(uid)
+
+    def lookup(
+        self, class_names: Iterable[str], field_name: str, value: object
+    ) -> set[int] | None:
+        """uids matching the equality, or None when the field is unindexed."""
+        if field_name not in self.indexed_fields:
+            return None
+        key = field_value_key(value)
+        result: set[int] = set()
+        for class_name in class_names:
+            bucket = self._entries.get((class_name, field_name))
+            if bucket is not None:
+                result |= bucket.get(key, set())
+        return result

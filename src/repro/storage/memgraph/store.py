@@ -1,0 +1,353 @@
+"""The in-memory temporal property-graph store.
+
+Every element (node or edge) is a *version chain*: the open current version
+plus closed historical versions.  Updates close the current version at the
+transaction time and open a new one; deletes just close it.  This is the
+in-memory equivalent of the ``temporal_tables`` current/history pair the
+paper uses on Postgres (§5.3), and it yields the same modest history
+overhead the evaluation reports, because only changed elements grow chains.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.errors import (
+    StorageError,
+    UniquenessError,
+    UnknownElementError,
+)
+from repro.model.elements import EdgeRecord, ElementRecord, NodeRecord
+from repro.rpe.ast import Atom
+from repro.schema.classes import EdgeClass, ElementClass
+from repro.schema.registry import Schema
+from repro.schema.validate import validate_edge_endpoints, validate_fields
+from repro.storage.base import GraphStore, TimeScope
+from repro.storage.memgraph.indexes import AdjacencyIndex, ClassIndex, FieldEqualityIndex
+from repro.temporal.clock import TransactionClock
+from repro.temporal.interval import FOREVER, Interval
+from repro.util.ids import IdAllocator
+
+
+class MemGraphStore(GraphStore):
+    """Temporal graph database held in Python dictionaries."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        clock: TransactionClock | None = None,
+        name: str = "memgraph",
+        indexed_fields: tuple[str, ...] = ("name",),
+    ):
+        super().__init__(schema, clock=clock, name=name)
+        self._ids = IdAllocator()
+        self._current: dict[int, ElementRecord] = {}
+        self._history: dict[int, list[ElementRecord]] = {}
+        self._class_of: dict[int, ElementClass] = {}
+        self._class_index = ClassIndex()
+        self._field_index = FieldEqualityIndex(indexed_fields)
+        self._out = AdjacencyIndex()
+        self._in = AdjacencyIndex()
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+
+    def _allocate_uid(self, uid: int | None, cls: ElementClass) -> tuple[int, bool]:
+        """Returns (uid, revived): revived means the uid existed before and
+        is being brought back by a snapshot feed (class must match)."""
+        if uid is None:
+            return self._ids.next(), False
+        existing = self._class_of.get(uid)
+        if existing is None:
+            self._ids.observe(uid)
+            return uid, False
+        if uid in self._current:
+            raise UniquenessError(f"element id {uid} already exists")
+        if existing is not cls:
+            raise UniquenessError(
+                f"element id {uid} was a {existing.name}, cannot revive as {cls.name}"
+            )
+        return uid, True
+
+    def insert_node(
+        self, class_name: str, fields: Mapping[str, Any] | None = None, uid: int | None = None
+    ) -> int:
+        cls = self.schema.node_class(class_name)
+        normalized = validate_fields(cls, fields or {})
+        uid, _ = self._allocate_uid(uid, cls)
+        record = NodeRecord(
+            uid=uid, cls=cls, fields=normalized,
+            period=Interval(self.clock.now(), FOREVER),
+        )
+        self._admit(record)
+        return uid
+
+    def insert_edge(
+        self,
+        class_name: str,
+        source: int,
+        target: int,
+        fields: Mapping[str, Any] | None = None,
+        uid: int | None = None,
+    ) -> int:
+        cls = self.schema.edge_class(class_name)
+        source_record = self._current.get(source)
+        target_record = self._current.get(target)
+        if not isinstance(source_record, NodeRecord):
+            raise UnknownElementError(f"edge source {source} is not a current node")
+        if not isinstance(target_record, NodeRecord):
+            raise UnknownElementError(f"edge target {target} is not a current node")
+        validate_edge_endpoints(self.schema, cls, source_record.cls, target_record.cls)
+        normalized = validate_fields(cls, fields or {})
+        uid, revived = self._allocate_uid(uid, cls)
+        if revived:
+            history = self._history.get(uid)
+            assert history, "revived uid must have history"
+            last = history[-1]
+            assert isinstance(last, EdgeRecord)
+            if (last.source_uid, last.target_uid) != (source, target):
+                raise UniquenessError(
+                    f"edge {uid} endpoints are immutable: "
+                    f"({last.source_uid}->{last.target_uid}) != ({source}->{target})"
+                )
+        record = EdgeRecord(
+            uid=uid, cls=cls, fields=normalized,
+            period=Interval(self.clock.now(), FOREVER),
+            source_uid=source, target_uid=target,
+        )
+        self._admit(record)
+        if not revived:
+            self._out.add(source, cls.name, uid)
+            self._in.add(target, cls.name, uid)
+        return uid
+
+    def _admit(self, record: ElementRecord) -> None:
+        self._current[record.uid] = record
+        self._class_of[record.uid] = record.cls
+        self._class_index.add(record.cls.name, record.uid)
+        self._field_index.add(record.cls.name, record.uid, dict(record.fields))
+
+    def update_element(self, uid: int, changes: Mapping[str, Any]) -> None:
+        current = self._current.get(uid)
+        if current is None:
+            raise UnknownElementError(f"cannot update unknown or deleted element {uid}")
+        merged = dict(current.fields)
+        for field_name, value in changes.items():
+            if value is None:
+                merged.pop(field_name, None)
+            else:
+                merged[field_name] = value
+        normalized = validate_fields(current.cls, merged)
+        now = self.clock.now()
+        self._field_index.discard(current.cls.name, uid, dict(current.fields))
+        if now > current.period.start:
+            closed = current.with_period(Interval(current.period.start, now))
+            self._history.setdefault(uid, []).append(closed)
+        # else: the version opened at this same instant; overwrite in place.
+        replacement = self._reopen(current, normalized, now)
+        self._current[uid] = replacement
+        self._field_index.add(current.cls.name, uid, normalized)
+
+    @staticmethod
+    def _reopen(
+        previous: ElementRecord, fields: dict[str, Any], start: float
+    ) -> ElementRecord:
+        period = Interval(start, FOREVER)
+        if isinstance(previous, EdgeRecord):
+            return EdgeRecord(
+                uid=previous.uid, cls=previous.cls, fields=fields, period=period,
+                source_uid=previous.source_uid, target_uid=previous.target_uid,
+            )
+        return NodeRecord(
+            uid=previous.uid, cls=previous.cls, fields=fields, period=period
+        )
+
+    def delete_element(self, uid: int) -> None:
+        current = self._current.get(uid)
+        if current is None:
+            raise UnknownElementError(f"cannot delete unknown or deleted element {uid}")
+        if isinstance(current, NodeRecord):
+            for edge_uid in list(self._out.edges(uid)) + list(self._in.edges(uid)):
+                if edge_uid in self._current:
+                    self.delete_element(edge_uid)
+        now = self.clock.now()
+        if now > current.period.start:
+            closed = current.with_period(Interval(current.period.start, now))
+            self._history.setdefault(uid, []).append(closed)
+        # A version opened and deleted at the same instant never existed.
+        del self._current[uid]
+        self._class_index.discard(current.cls.name, uid)
+        self._field_index.discard(current.cls.name, uid, dict(current.fields))
+
+    def reinsert(self, uid: int, fields: Mapping[str, Any] | None = None,
+                 source: int | None = None, target: int | None = None) -> int:
+        """Bring a previously deleted element back (same uid, same class).
+
+        Snapshot feeds commonly flap elements; the version chain records the
+        gap, which is exactly what makes time-range queries interesting.
+        """
+        if uid in self._current:
+            raise UniquenessError(f"element {uid} is already current")
+        versions = self._history.get(uid)
+        if not versions:
+            raise UnknownElementError(f"element {uid} was never stored")
+        last = versions[-1]
+        normalized = validate_fields(last.cls, dict(fields or last.fields))
+        if source is not None or target is not None:
+            raise StorageError("edge endpoints are immutable; insert a new edge instead")
+        record = self._reopen(last, normalized, self.clock.now())
+        if isinstance(record, EdgeRecord):
+            for endpoint in (record.source_uid, record.target_uid):
+                if not isinstance(self._current.get(endpoint), NodeRecord):
+                    raise UnknownElementError(
+                        f"cannot reinsert edge {uid}: endpoint {endpoint} is not current"
+                    )
+        self._current[uid] = record
+        self._class_index.add(record.cls.name, uid)
+        self._field_index.add(record.cls.name, uid, dict(record.fields))
+        return uid
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    def _visible_versions(self, uid: int, scope: TimeScope) -> list[ElementRecord]:
+        result: list[ElementRecord] = []
+        if not scope.is_current:
+            for version in self._history.get(uid, ()):
+                if scope.admits(version.period):
+                    result.append(version)
+        current = self._current.get(uid)
+        if current is not None and scope.admits(current.period):
+            result.append(current)
+        return result
+
+    def get_element(self, uid: int, scope: TimeScope) -> ElementRecord | None:
+        versions = self._visible_versions(uid, scope)
+        return versions[-1] if versions else None
+
+    def versions(self, uid: int, window: Interval) -> list[ElementRecord]:
+        result = [
+            version
+            for version in self._history.get(uid, ())
+            if version.period.overlaps(window)
+        ]
+        current = self._current.get(uid)
+        if current is not None and current.period.overlaps(window):
+            result.append(current)
+        return result
+
+    def _representative(self, uid: int, atom: Atom, scope: TimeScope) -> ElementRecord | None:
+        """Latest visible version satisfying *atom*, or None."""
+        for version in reversed(self._visible_versions(uid, scope)):
+            if atom.matches(version):
+                return version
+        return None
+
+    def scan_atom(self, atom: Atom, scope: TimeScope) -> list[ElementRecord]:
+        if atom.cls is None:
+            raise StorageError(f"atom {atom.class_name}() must be bound before scanning")
+        class_names = [cls.name for cls in atom.cls.concrete_subtree()]
+
+        candidate_uids = self._anchor_candidates(atom, class_names, scope)
+        results: list[ElementRecord] = []
+        for uid in sorted(candidate_uids):
+            record = self._representative(uid, atom, scope)
+            if record is not None:
+                results.append(record)
+        return results
+
+    def _anchor_candidates(
+        self, atom: Atom, class_names: list[str], scope: TimeScope
+    ) -> set[int]:
+        uid_value = atom.equality_value("id")
+        if uid_value is not None:
+            cls = self._class_of.get(int(uid_value))
+            if cls is None or not cls.is_subclass_of(atom.cls):
+                return set()
+            return {int(uid_value)}
+        if scope.is_current:
+            for predicate in atom.predicates:
+                if predicate.op != "=":
+                    continue
+                indexed = self._field_index.lookup(class_names, predicate.name, predicate.value)
+                if indexed is not None:
+                    return indexed
+            return self._class_index.members(class_names)
+        # Historical scopes scan the full extent of the class subtree.
+        return {
+            uid for uid, cls in self._class_of.items() if cls.name in set(class_names)
+        }
+
+    def _expand(
+        self,
+        adjacency: AdjacencyIndex,
+        node_uid: int,
+        scope: TimeScope,
+        classes: Sequence[EdgeClass] | None,
+    ) -> list[EdgeRecord]:
+        class_names: list[str] | None = None
+        if classes is not None:
+            names: set[str] = set()
+            for cls in classes:
+                names.update(concrete.name for concrete in cls.concrete_subtree())
+            class_names = sorted(names)
+        records: list[EdgeRecord] = []
+        for edge_uid in adjacency.edges(node_uid, class_names):
+            versions = self._visible_versions(edge_uid, scope)
+            if versions:
+                record = versions[-1]
+                assert isinstance(record, EdgeRecord)
+                records.append(record)
+        return records
+
+    def out_edges(
+        self, node_uid: int, scope: TimeScope, classes: Sequence[EdgeClass] | None = None
+    ) -> list[EdgeRecord]:
+        return self._expand(self._out, node_uid, scope, classes)
+
+    def in_edges(
+        self, node_uid: int, scope: TimeScope, classes: Sequence[EdgeClass] | None = None
+    ) -> list[EdgeRecord]:
+        return self._expand(self._in, node_uid, scope, classes)
+
+    # ------------------------------------------------------------------
+    # statistics & accounting
+    # ------------------------------------------------------------------
+
+    def class_count(self, class_name: str) -> int:
+        cls = self.schema.resolve(class_name)
+        return self._class_index.count(c.name for c in cls.concrete_subtree())
+
+    def counts(self) -> dict[str, int]:
+        nodes = sum(1 for r in self._current.values() if isinstance(r, NodeRecord))
+        edges = len(self._current) - nodes
+        history = sum(len(chain) for chain in self._history.values())
+        return {
+            "nodes": nodes,
+            "edges": edges,
+            "current_versions": len(self._current),
+            "history_versions": history,
+        }
+
+    def storage_cells(self) -> int:
+        """Stored cells across all versions (id + class + period + fields)."""
+        total = 0
+        for record in self._current.values():
+            total += 3 + len(record.fields)
+        for chain in self._history.values():
+            for record in chain:
+                total += 3 + len(record.fields)
+        return total
+
+    # ------------------------------------------------------------------
+    # introspection used by tests and the traversal API
+    # ------------------------------------------------------------------
+
+    def current_uids(self) -> list[int]:
+        return sorted(self._current)
+
+    def degree(self, node_uid: int) -> tuple[int, int]:
+        """Structural (out, in) degree — includes historical edges."""
+        return self._out.degree(node_uid), self._in.degree(node_uid)

@@ -1,0 +1,178 @@
+"""A small Gremlin-flavoured traversal API over the in-memory store.
+
+Nepal compiles RPEs to traversal operators; this module exposes the same
+primitive steps directly (``V().hasLabel(...).out(...)``) so tests can
+cross-check the compiled plans against hand-written traversals, and so
+examples can show what Nepal saves the user from writing.
+
+Label matching follows the paper's Gremlin encoding: the label of an element
+is its inheritance path (``Node:VM:VMWare``) and ``hasLabel('VM')`` matches
+by class subtree — the prefix-matching trick of §5.2.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.model.elements import EdgeRecord, ElementRecord, NodeRecord
+from repro.storage.base import TimeScope
+from repro.storage.memgraph.store import MemGraphStore
+
+
+class Traversal:
+    """A lazily evaluated chain of traversal steps."""
+
+    def __init__(
+        self,
+        store: MemGraphStore,
+        scope: TimeScope | None = None,
+        source: Iterable[ElementRecord] | None = None,
+    ):
+        self._store = store
+        self._scope = scope or TimeScope.current()
+        self._source = source
+
+    # -- step plumbing ------------------------------------------------------
+
+    def _stream(self) -> Iterable[ElementRecord]:
+        if self._source is None:
+            return []
+        return self._source
+
+    def _derive(self, generator: Iterable[ElementRecord]) -> "Traversal":
+        return Traversal(self._store, self._scope, generator)
+
+    # -- start steps ----------------------------------------------------------
+
+    def V(self, *uids: int) -> "Traversal":
+        """All current-scope nodes, or the ones with the given uids."""
+        scope = self._scope
+
+        def generate() -> Iterable[ElementRecord]:
+            if uids:
+                for uid in uids:
+                    record = self._store.get_element(uid, scope)
+                    if isinstance(record, NodeRecord):
+                        yield record
+            else:
+                for uid in self._store.current_uids():
+                    record = self._store.get_element(uid, scope)
+                    if isinstance(record, NodeRecord):
+                        yield record
+
+        return self._derive(generate())
+
+    # -- filter steps -----------------------------------------------------------
+
+    def hasLabel(self, class_name: str) -> "Traversal":
+        cls = self._store.schema.resolve(class_name)
+
+        def generate() -> Iterable[ElementRecord]:
+            for record in self._stream():
+                if record.instance_of(cls):
+                    yield record
+
+        return self._derive(generate())
+
+    def has(self, field_name: str, value: Any) -> "Traversal":
+        def generate() -> Iterable[ElementRecord]:
+            for record in self._stream():
+                if record.get(field_name) == value:
+                    yield record
+
+        return self._derive(generate())
+
+    def filter(self, predicate: Callable[[ElementRecord], bool]) -> "Traversal":
+        return self._derive(r for r in self._stream() if predicate(r))
+
+    def dedup(self) -> "Traversal":
+        def generate() -> Iterable[ElementRecord]:
+            seen: set[int] = set()
+            for record in self._stream():
+                if record.uid not in seen:
+                    seen.add(record.uid)
+                    yield record
+
+        return self._derive(generate())
+
+    def limit(self, count: int) -> "Traversal":
+        def generate() -> Iterable[ElementRecord]:
+            for index, record in enumerate(self._stream()):
+                if index >= count:
+                    return
+                yield record
+
+        return self._derive(generate())
+
+    # -- move steps ---------------------------------------------------------------
+
+    def _edge_classes(self, class_name: str | None):
+        if class_name is None:
+            return None
+        return [self._store.schema.edge_class(class_name)]
+
+    def outE(self, class_name: str | None = None) -> "Traversal":
+        classes = self._edge_classes(class_name)
+
+        def generate() -> Iterable[ElementRecord]:
+            for record in self._stream():
+                if isinstance(record, NodeRecord):
+                    yield from self._store.out_edges(record.uid, self._scope, classes)
+
+        return self._derive(generate())
+
+    def inE(self, class_name: str | None = None) -> "Traversal":
+        classes = self._edge_classes(class_name)
+
+        def generate() -> Iterable[ElementRecord]:
+            for record in self._stream():
+                if isinstance(record, NodeRecord):
+                    yield from self._store.in_edges(record.uid, self._scope, classes)
+
+        return self._derive(generate())
+
+    def inV(self) -> "Traversal":
+        """The head (target) node of each edge on the stream."""
+
+        def generate() -> Iterable[ElementRecord]:
+            for record in self._stream():
+                if isinstance(record, EdgeRecord):
+                    node = self._store.get_element(record.target_uid, self._scope)
+                    if node is not None:
+                        yield node
+
+        return self._derive(generate())
+
+    def outV(self) -> "Traversal":
+        """The tail (source) node of each edge on the stream."""
+
+        def generate() -> Iterable[ElementRecord]:
+            for record in self._stream():
+                if isinstance(record, EdgeRecord):
+                    node = self._store.get_element(record.source_uid, self._scope)
+                    if node is not None:
+                        yield node
+
+        return self._derive(generate())
+
+    def out(self, class_name: str | None = None) -> "Traversal":
+        return self.outE(class_name).inV()
+
+    def in_(self, class_name: str | None = None) -> "Traversal":
+        return self.inE(class_name).outV()
+
+    # -- terminal steps ---------------------------------------------------------------
+
+    def to_list(self) -> list[ElementRecord]:
+        return list(self._stream())
+
+    def values(self, field_name: str) -> list[Any]:
+        return [record.get(field_name) for record in self._stream()]
+
+    def count(self) -> int:
+        return sum(1 for _ in self._stream())
+
+
+def g(store: MemGraphStore, scope: TimeScope | None = None) -> Traversal:
+    """Gremlin-style entry point: ``g(store).V().hasLabel('VM')``."""
+    return Traversal(store, scope)

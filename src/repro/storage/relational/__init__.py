@@ -1,0 +1,25 @@
+"""Relational backend: Nepal's PostgreSQL target, reproduced on SQLite.
+
+The paper stores "one table for each distinct Node and Edge class", uses
+Postgres ``INHERITS`` for class hierarchies, the ``temporal_tables``
+extension for transaction time, and evaluates Extend operators as bulk
+joins materializing TEMP tables of partial paths (§5.2–5.3).
+
+SQLite has none of those extensions, so this package regenerates their
+behaviour with plain SQL — which the paper itself sanctions: "The INHERITS
+feature of Postgres is implemented by view management, so its function can
+be replicated in other relational systems."
+
+* ``ddl.py`` — per-concrete-class tables plus per-class UNION ALL views
+  (``v_X`` current, ``vh_X`` current+history) replicating INHERITS;
+* ``temporal.py`` — the current/history table pair and the write path that
+  ``temporal_tables`` triggers would perform;
+* ``sqlgen.py`` — the Select/Extend/Union TEMP-table SQL of §5.2, with
+  uid-list cycle checks and optional ExtendBlock fusion;
+* ``store.py`` — the :class:`~repro.storage.base.GraphStore` implementation
+  and the set-at-a-time ``find_pathways`` override.
+"""
+
+from repro.storage.relational.store import RelationalStore
+
+__all__ = ["RelationalStore"]

@@ -1,0 +1,135 @@
+"""DDL generation: per-class tables and INHERITS-replicating views.
+
+For every *concrete* class ``X`` two physical tables exist:
+
+* ``c_X`` — current rows (open system period);
+* ``h_X`` — history rows (closed system period).
+
+For *every* class (abstract included) two views exist:
+
+* ``v_X`` — the current extent of the class subtree, i.e. what Postgres
+  ``SELECT * FROM X`` gives with INHERITS;
+* ``vh_X`` — the historical extent (current + history), the analogue of the
+  paper's ``X__historical`` view over ``temporal_tables``.
+
+Each view projects the columns of ``X`` itself (a subclass row seen through
+a parent view exposes only the parent's fields — Postgres semantics) plus a
+``class_`` literal naming the concrete class so rows can be materialized
+back into typed records.
+
+Field columns are prefixed ``f_`` to avoid keyword collisions; structured
+fields (containers, composites) are stored as JSON text.
+"""
+
+from __future__ import annotations
+
+from repro.schema.classes import EdgeClass, ElementClass
+from repro.schema.registry import Schema
+
+INF_SQL = "9e999"  # SQLite parses this as +Infinity — the open period bound.
+
+
+def field_column(field_name: str) -> str:
+    return f"f_{field_name}"
+
+
+def current_table(cls: ElementClass) -> str:
+    return f"c_{cls.name}"
+
+
+def history_table(cls: ElementClass) -> str:
+    return f"h_{cls.name}"
+
+
+def current_view(cls: ElementClass) -> str:
+    return f"v_{cls.name}"
+
+
+def historical_view(cls: ElementClass) -> str:
+    return f"vh_{cls.name}"
+
+
+def base_columns(cls: ElementClass) -> list[str]:
+    """The non-field columns every table carries."""
+    columns = ["id_", "sys_start", "sys_end"]
+    if isinstance(cls, EdgeClass):
+        columns += ["source_id_", "target_id_"]
+    return columns
+
+
+def view_columns(cls: ElementClass) -> list[str]:
+    """Columns a view of *cls* projects (base + own-and-inherited fields)."""
+    columns = base_columns(cls)
+    columns += [field_column(name) for name in cls.fields if name != "id"]
+    return columns
+
+
+def _column_type(cls: ElementClass, field_name: str) -> str:
+    type_name = cls.fields[field_name].type.name
+    if type_name == "integer":
+        return "INTEGER"
+    if type_name in ("float", "timestamp"):
+        return "REAL"
+    if type_name == "boolean":
+        return "INTEGER"
+    return "TEXT"  # strings, ip addresses, JSON-encoded structures
+
+
+def create_statements(schema: Schema) -> list[str]:
+    """All CREATE TABLE / CREATE VIEW / CREATE INDEX statements."""
+    statements: list[str] = [
+        "CREATE TABLE elements (id_ INTEGER PRIMARY KEY, class_name TEXT NOT NULL)"
+    ]
+    for root in (schema.node_root, schema.edge_root):
+        for cls in root.subtree():
+            if not cls.abstract:
+                statements.extend(_table_statements(cls))
+            statements.extend(_view_statements(cls))
+    return statements
+
+
+def _table_statements(cls: ElementClass) -> list[str]:
+    columns = ["id_ INTEGER NOT NULL", "sys_start REAL NOT NULL", "sys_end REAL NOT NULL"]
+    if isinstance(cls, EdgeClass):
+        columns += ["source_id_ INTEGER NOT NULL", "target_id_ INTEGER NOT NULL"]
+    for field_name in cls.fields:
+        if field_name == "id":
+            continue
+        columns.append(f"{field_column(field_name)} {_column_type(cls, field_name)}")
+    statements = []
+    for table in (current_table(cls), history_table(cls)):
+        statements.append(f"CREATE TABLE {table} ({', '.join(columns)})")
+        statements.append(f"CREATE INDEX idx_{table}_id ON {table} (id_)")
+        if isinstance(cls, EdgeClass):
+            statements.append(
+                f"CREATE INDEX idx_{table}_src ON {table} (source_id_)"
+            )
+            statements.append(
+                f"CREATE INDEX idx_{table}_tgt ON {table} (target_id_)"
+            )
+    return statements
+
+
+def _view_statements(cls: ElementClass) -> list[str]:
+    projected = view_columns(cls)
+    concrete = cls.concrete_subtree()
+    current_branches = []
+    historical_branches = []
+    for sub in concrete:
+        select_list = ", ".join(projected) + f", '{sub.name}' AS class_"
+        current_branches.append(f"SELECT {select_list} FROM {current_table(sub)}")
+        historical_branches.append(f"SELECT {select_list} FROM {current_table(sub)}")
+        historical_branches.append(f"SELECT {select_list} FROM {history_table(sub)}")
+    if not concrete:
+        # An abstract leaf (schema oddity): empty views keep SQL generation uniform.
+        select_list = ", ".join(f"NULL AS {column}" for column in projected)
+        empty = f"SELECT {select_list}, NULL AS class_ WHERE 0"
+        current_branches = [empty]
+        historical_branches = [empty]
+    statements = [
+        f"CREATE VIEW {current_view(cls)} AS "
+        + " UNION ALL ".join(current_branches),
+        f"CREATE VIEW {historical_view(cls)} AS "
+        + " UNION ALL ".join(historical_branches),
+    ]
+    return statements

@@ -1,0 +1,300 @@
+"""SQL generation for set-at-a-time pathway evaluation (Section 5.2).
+
+Partial paths live in TEMP tables, one per automaton state, with the layout
+of the paper's examples: a ``uid_list`` of the elements consumed so far (a
+comma-separated list standing in for the Postgres array), the ``frontier``
+node id where the path currently sits, the kind of the last consumed
+element, and the anchor uid for reassembly.  The operators:
+
+* **Select** seeds the start-state table from the anchor atom's class view;
+* **Extend** inserts into the successor state's table by joining the edge or
+  node class view on the frontier, appending to ``uid_list`` and enforcing
+  the no-cycle predicate — the paper's
+  ``H.id_ != ANY(T.uid_list)`` becomes an ``instr`` check on the CSV;
+* **Union** copies rows between state tables (reified epsilon transitions);
+* **ExtendBlock** fuses a linear chain of Extends into a single multi-join
+  insert, "keeping the data in the database for multiple operators" (§5.2).
+
+Backward evaluation uses the same operators with source/target swapped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+from repro.plan.operators import ExtendOp
+from repro.rpe.ast import Atom
+from repro.schema.classes import NodeClass
+from repro.schema.datatypes import PrimitiveType
+from repro.schema.registry import Schema
+from repro.storage.base import TimeScope
+from repro.storage.relational import ddl
+from repro.storage.relational.temporal import scope_predicate
+
+FORWARD = "forward"
+BACKWARD = "backward"
+
+_OP_SQL = {"=": "=", "!=": "<>", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+@dataclass(frozen=True)
+class Statement:
+    sql: str
+    params: tuple = ()
+
+
+def state_table(tag: str, state: int) -> str:
+    return f"tmp_{tag}_s{state}"
+
+
+def create_state_table(name: str) -> Statement:
+    return Statement(
+        f"CREATE TEMP TABLE {name} ("
+        "uid_list TEXT PRIMARY KEY, "
+        "frontier INTEGER NOT NULL, "
+        "last_kind TEXT NOT NULL, "
+        "anchor_uid INTEGER NOT NULL) WITHOUT ROWID"
+    )
+
+
+def drop_state_table(name: str) -> Statement:
+    return Statement(f"DROP TABLE IF EXISTS {name}")
+
+
+def _cycle_check(path_alias: str, element_alias: str) -> str:
+    return (
+        f"instr(',' || {path_alias}.uid_list || ',', "
+        f"',' || {element_alias}.id_ || ',') = 0"
+    )
+
+
+def atom_conditions(
+    atom: Atom, alias: str, scope: TimeScope
+) -> tuple[list[str], list, bool]:
+    """WHERE conjuncts (and params) for an atom; third value reports whether
+    some predicate could not be pushed into SQL (caller must post-verify)."""
+    assert atom.cls is not None
+    conditions: list[str] = []
+    params: list = []
+    needs_post_filter = False
+    predicate_sql, predicate_params = scope_predicate(alias, scope)
+    conditions.append(predicate_sql)
+    params.extend(predicate_params)
+    for predicate in atom.predicates:
+        if predicate.name == "id":
+            conditions.append(f"{alias}.id_ {_OP_SQL[predicate.op]} ?")
+            params.append(predicate.value)
+            continue
+        if "." in predicate.name:
+            # Dotted path into JSON-encoded structured data: post-verify.
+            needs_post_filter = True
+            continue
+        field = atom.cls.fields[predicate.name]
+        if isinstance(field.type, PrimitiveType):
+            value = predicate.value
+            if isinstance(value, bool):
+                value = int(value)
+            conditions.append(
+                f"{alias}.{ddl.field_column(predicate.name)} {_OP_SQL[predicate.op]} ?"
+            )
+            params.append(value)
+        else:
+            # Structured fields are JSON text; evaluated in Python afterwards.
+            needs_post_filter = True
+    return conditions, params, needs_post_filter
+
+
+class PathSql:
+    """Generates the statements of one directional evaluation pass."""
+
+    def __init__(self, schema: Schema, scope: TimeScope, direction: str, tag: str):
+        if direction not in (FORWARD, BACKWARD):
+            raise StorageError(f"unknown direction {direction!r}")
+        self.schema = schema
+        self.scope = scope
+        self.direction = direction
+        self.tag = tag
+        self.needs_post_filter = False
+
+    # -- helpers ------------------------------------------------------------
+
+    def _view(self, cls) -> str:
+        if self.scope.is_current:
+            return ddl.current_view(cls)
+        return ddl.historical_view(cls)
+
+    def _edge_join(self, alias: str) -> tuple[str, str]:
+        """(join condition on frontier, next-frontier expression)."""
+        if self.direction == FORWARD:
+            return f"{alias}.source_id_ = T.frontier", f"{alias}.target_id_"
+        return f"{alias}.target_id_ = T.frontier", f"{alias}.source_id_"
+
+    def _edge_seed_frontier(self) -> str:
+        return "target_id_" if self.direction == FORWARD else "source_id_"
+
+    # -- Select -------------------------------------------------------------------
+
+    def anchor_select(self, table: str, atom: Atom, seed_uids=None) -> Statement:
+        """Seed the start-state table from the anchor atom."""
+        assert atom.cls is not None
+        conditions, params, post = atom_conditions(atom, "A", self.scope)
+        self.needs_post_filter |= post
+        if seed_uids is not None:
+            placeholders = ", ".join("?" for _ in seed_uids)
+            conditions.append(f"A.id_ IN ({placeholders})")
+            params.extend(seed_uids)
+        if isinstance(atom.cls, NodeClass):
+            frontier, kind = "A.id_", "node"
+        else:
+            frontier, kind = f"A.{self._edge_seed_frontier()}", "edge"
+        sql = (
+            f"INSERT OR IGNORE INTO {table} (uid_list, frontier, last_kind, anchor_uid) "
+            f"SELECT CAST(A.id_ AS TEXT), {frontier}, '{kind}', A.id_ "
+            f"FROM {self._view(atom.cls)} A WHERE " + " AND ".join(conditions)
+        )
+        return Statement(sql, tuple(params))
+
+    # -- Extend -------------------------------------------------------------------
+
+    def extend(self, op: ExtendOp, from_table: str, to_table: str) -> list[Statement]:
+        """One-element extension; wildcards expand to edge + node variants."""
+        statements: list[Statement] = []
+        if op.consumes in ("edge", "any"):
+            atom = op.atom if op.atom is not None and op.atom.is_edge_atom else None
+            statements.append(self._extend_edge(from_table, to_table, atom))
+        if op.consumes in ("node", "any"):
+            atom = op.atom if op.atom is not None and op.atom.is_node_atom else None
+            statements.append(self._extend_node(from_table, to_table, atom))
+        return statements
+
+    def _extend_edge(self, from_table: str, to_table: str, atom: Atom | None) -> Statement:
+        cls = atom.cls if atom is not None else self.schema.edge_root
+        join, next_frontier = self._edge_join("H")
+        conditions = [
+            "T.last_kind = 'node'",
+            join,
+            _cycle_check("T", "H"),
+        ]
+        params: list = []
+        if atom is not None:
+            atom_sql, atom_params, post = atom_conditions(atom, "H", self.scope)
+            self.needs_post_filter |= post
+            conditions += atom_sql
+            params += atom_params
+        else:
+            predicate_sql, predicate_params = scope_predicate("H", self.scope)
+            conditions.append(predicate_sql)
+            params += predicate_params
+        sql = (
+            f"INSERT OR IGNORE INTO {to_table} (uid_list, frontier, last_kind, anchor_uid) "
+            f"SELECT T.uid_list || ',' || H.id_, {next_frontier}, 'edge', T.anchor_uid "
+            f"FROM {from_table} T JOIN {self._view(cls)} H ON {join} "
+            f"WHERE " + " AND ".join(conditions)
+        )
+        return Statement(sql, tuple(params))
+
+    def _extend_node(self, from_table: str, to_table: str, atom: Atom | None) -> Statement:
+        cls = atom.cls if atom is not None else self.schema.node_root
+        conditions = [
+            "T.last_kind = 'edge'",
+            _cycle_check("T", "V"),
+        ]
+        params: list = []
+        if atom is not None:
+            atom_sql, atom_params, post = atom_conditions(atom, "V", self.scope)
+            self.needs_post_filter |= post
+            conditions += atom_sql
+            params += atom_params
+        else:
+            predicate_sql, predicate_params = scope_predicate("V", self.scope)
+            conditions.append(predicate_sql)
+            params += predicate_params
+        sql = (
+            f"INSERT OR IGNORE INTO {to_table} (uid_list, frontier, last_kind, anchor_uid) "
+            f"SELECT T.uid_list || ',' || V.id_, V.id_, 'node', T.anchor_uid "
+            f"FROM {from_table} T JOIN {self._view(cls)} V ON V.id_ = T.frontier "
+            f"WHERE " + " AND ".join(conditions)
+        )
+        return Statement(sql, tuple(params))
+
+    # -- ExtendBlock ----------------------------------------------------------------
+
+    @staticmethod
+    def fusable(steps: tuple[ExtendOp, ...]) -> bool:
+        """Steps of known kind (atoms or node/edge wildcards) alternating
+        node/edge can be fused into one multi-join insert."""
+        kinds = [step.consumes for step in steps]
+        if "any" in kinds:
+            return False
+        return all(a != b for a, b in zip(kinds, kinds[1:]))
+
+    def extend_block(
+        self, steps: tuple[ExtendOp, ...], from_table: str, to_table: str
+    ) -> Statement:
+        """Fused multi-join Extend — one insert for the whole chain."""
+        assert self.fusable(steps)
+        joins: list[str] = []
+        conditions: list[str] = []
+        params: list = []
+        frontier = "T.frontier"
+        uid_parts = ["T.uid_list"]
+        first_kind = "node" if steps[0].consumes == "edge" else "edge"
+        conditions.append(f"T.last_kind = '{first_kind}'")
+        last_kind = first_kind
+        aliases_so_far: list[str] = []
+        for index, step in enumerate(steps):
+            atom = step.atom
+            alias = f"X{index}"
+            if step.consumes == "edge":
+                join_cond = (
+                    f"{alias}.source_id_ = {frontier}"
+                    if self.direction == FORWARD
+                    else f"{alias}.target_id_ = {frontier}"
+                )
+                next_frontier = (
+                    f"{alias}.target_id_" if self.direction == FORWARD else f"{alias}.source_id_"
+                )
+                frontier = next_frontier
+                last_kind = "edge"
+            else:
+                join_cond = f"{alias}.id_ = {frontier}"
+                last_kind = "node"
+            if atom is not None:
+                view = self._view(atom.cls)
+            else:
+                wildcard_root = (
+                    self.schema.edge_root if step.consumes == "edge" else self.schema.node_root
+                )
+                view = self._view(wildcard_root)
+            joins.append(f"JOIN {view} {alias} ON {join_cond}")
+            conditions.append(_cycle_check("T", alias))
+            for other in aliases_so_far:
+                conditions.append(f"{alias}.id_ <> {other}.id_")
+            if atom is not None:
+                atom_sql, atom_params, post = atom_conditions(atom, alias, self.scope)
+                self.needs_post_filter |= post
+                conditions += atom_sql
+                params += atom_params
+            else:
+                predicate_sql, predicate_params = scope_predicate(alias, self.scope)
+                conditions.append(predicate_sql)
+                params += predicate_params
+            uid_parts.append(f"{alias}.id_")
+            aliases_so_far.append(alias)
+        uid_expression = " || ',' || ".join(uid_parts)
+        sql = (
+            f"INSERT OR IGNORE INTO {to_table} (uid_list, frontier, last_kind, anchor_uid) "
+            f"SELECT {uid_expression}, {frontier}, '{last_kind}', T.anchor_uid "
+            f"FROM {from_table} T " + " ".join(joins) + " WHERE " + " AND ".join(conditions)
+        )
+        return Statement(sql, tuple(params))
+
+    # -- Union -----------------------------------------------------------------------
+
+    @staticmethod
+    def union(from_table: str, to_table: str) -> Statement:
+        return Statement(
+            f"INSERT OR IGNORE INTO {to_table} "
+            f"SELECT uid_list, frontier, last_kind, anchor_uid FROM {from_table}"
+        )

@@ -1,0 +1,661 @@
+"""The relational (SQLite) implementation of :class:`GraphStore`.
+
+One current + one history table per concrete class (the per-class
+partitioning whose payoff §6 measures), INHERITS-style views for class
+subtree scans, and a set-at-a-time ``find_pathways`` that executes the
+Select/Extend/Union TEMP-table program of §5.2 entirely inside SQLite,
+shipping only the final uid lists back to Python for materialization.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from contextlib import contextmanager
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.errors import (
+    StorageError,
+    UniquenessError,
+    UnknownElementError,
+)
+from repro.model.elements import EdgeRecord, ElementRecord, NodeRecord
+from repro.model.pathway import Pathway
+from repro.plan.operators import ExtendOp, UnionOp, fuse_extend_blocks, lower_affix
+from repro.plan.program import CompiledSplit, MatchProgram
+from repro.rpe.ast import Atom
+from repro.rpe.match import matches_pathway
+from repro.rpe.nfa import PathwayNfa
+from repro.schema.classes import EdgeClass, ElementClass, NodeClass
+from repro.schema.datatypes import BOOLEAN, PrimitiveType
+from repro.schema.registry import Schema
+from repro.schema.validate import validate_edge_endpoints, validate_fields
+from repro.storage.base import GraphStore, TimeScope
+from repro.storage.relational import ddl, sqlgen
+from repro.storage.relational.temporal import scope_predicate
+from repro.temporal.clock import TransactionClock
+from repro.temporal.interval import Interval
+from repro.util.ids import IdAllocator
+
+
+class RelationalStore(GraphStore):
+    """Temporal graph database on SQLite with generated SQL."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        clock: TransactionClock | None = None,
+        name: str = "relational",
+        path: str = ":memory:",
+        use_extend_block: bool = True,
+    ):
+        super().__init__(schema, clock=clock, name=name)
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._conn.isolation_level = None  # explicit transaction control
+        self._conn.execute("PRAGMA synchronous = OFF")
+        self._conn.execute("PRAGMA temp_store = MEMORY")
+        self.use_extend_block = use_extend_block
+        self._ids = IdAllocator()
+        self._class_of: dict[int, ElementClass] = {}
+        self._is_current: dict[int, bool] = {}
+        self._edge_endpoints: dict[int, tuple[int, int]] = {}
+        self._temp_counter = 0
+        existing = self._conn.execute(
+            "SELECT name FROM sqlite_master WHERE type='table' AND name='elements'"
+        ).fetchone()
+        if existing is None:
+            for statement in ddl.create_statements(schema):
+                self._conn.execute(statement)
+        else:
+            self._rebuild_caches()
+
+    def _rebuild_caches(self) -> None:
+        """Reopen an existing database file: restore the in-memory indexes.
+
+        The tables are the source of truth; the uid allocator, class map,
+        currency flags and edge endpoints are all derivable from them, so a
+        relational store is fully durable across processes.
+        """
+        for uid, class_name in self._conn.execute(
+            "SELECT id_, class_name FROM elements"
+        ):
+            try:
+                cls = self.schema.resolve(class_name)
+            except Exception as exc:  # pragma: no cover - schema mismatch
+                raise StorageError(
+                    f"database contains class {class_name!r} unknown to "
+                    f"schema {self.schema.name!r}"
+                ) from exc
+            self._class_of[uid] = cls
+            self._is_current[uid] = False
+            self._ids.observe(uid)
+        for root in (self.schema.node_root, self.schema.edge_root):
+            for cls in root.concrete_subtree():
+                for row in self._conn.execute(
+                    f"SELECT id_ FROM {ddl.current_table(cls)}"
+                ):
+                    self._is_current[row[0]] = True
+                if isinstance(cls, EdgeClass):
+                    for table in (ddl.current_table(cls), ddl.history_table(cls)):
+                        for uid, source, target in self._conn.execute(
+                            f"SELECT id_, source_id_, target_id_ FROM {table}"
+                        ):
+                            self._edge_endpoints[uid] = (source, target)
+        # Transaction time must keep moving forward across restarts.
+        latest = 0.0
+        for root in (self.schema.node_root, self.schema.edge_root):
+            for cls in root.concrete_subtree():
+                for table in (ddl.current_table(cls), ddl.history_table(cls)):
+                    row = self._conn.execute(
+                        f"SELECT MAX(sys_start) FROM {table}"
+                    ).fetchone()
+                    if row[0] is not None:
+                        latest = max(latest, row[0])
+        if latest and self.clock.now() < latest:
+            self.clock.set(latest)
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+
+    def _encode_fields(self, cls: ElementClass, fields: Mapping[str, Any]) -> dict[str, Any]:
+        encoded: dict[str, Any] = {}
+        for field_name, spec in cls.fields.items():
+            if field_name == "id":
+                continue
+            value = fields.get(field_name)
+            column = ddl.field_column(field_name)
+            if value is None:
+                encoded[column] = None
+            elif isinstance(spec.type, PrimitiveType):
+                encoded[column] = int(value) if spec.type is BOOLEAN else value
+            else:
+                encoded[column] = json.dumps(value)
+        return encoded
+
+    def _decode_row(self, cls: ElementClass, row: sqlite3.Row) -> dict[str, Any]:
+        fields: dict[str, Any] = {}
+        for field_name, spec in cls.fields.items():
+            if field_name == "id":
+                continue
+            value = row[ddl.field_column(field_name)]
+            if value is None:
+                continue
+            if isinstance(spec.type, PrimitiveType):
+                fields[field_name] = bool(value) if spec.type is BOOLEAN else value
+            else:
+                fields[field_name] = json.loads(value)
+        return fields
+
+    def _record_from_row(self, cls: ElementClass, row: sqlite3.Row) -> ElementRecord:
+        period = Interval(row["sys_start"], row["sys_end"])
+        fields = self._decode_row(cls, row)
+        if isinstance(cls, EdgeClass):
+            return EdgeRecord(
+                uid=row["id_"], cls=cls, fields=fields, period=period,
+                source_uid=row["source_id_"], target_uid=row["target_id_"],
+            )
+        return NodeRecord(uid=row["id_"], cls=cls, fields=fields, period=period)
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def bulk(self) -> Iterator[None]:
+        """Wrap many writes in one SQLite transaction (bulk loading)."""
+        self._conn.execute("BEGIN")
+        try:
+            yield
+        except Exception:
+            self._conn.execute("ROLLBACK")
+            raise
+        self._conn.execute("COMMIT")
+
+    def _allocate_uid(self, uid: int | None, cls: ElementClass) -> tuple[int, bool]:
+        if uid is None:
+            return self._ids.next(), False
+        existing = self._class_of.get(uid)
+        if existing is None:
+            self._ids.observe(uid)
+            return uid, False
+        if self._is_current.get(uid, False):
+            raise UniquenessError(f"element id {uid} already exists")
+        if existing is not cls:
+            raise UniquenessError(
+                f"element id {uid} was a {existing.name}, cannot revive as {cls.name}"
+            )
+        return uid, True
+
+    def _insert_row(
+        self,
+        cls: ElementClass,
+        uid: int,
+        fields: Mapping[str, Any],
+        endpoints: tuple[int, int] | None,
+        revived: bool = False,
+    ) -> None:
+        encoded = self._encode_fields(cls, fields)
+        columns = ["id_", "sys_start", "sys_end"]
+        values: list[Any] = [uid, self.clock.now(), float("inf")]
+        if endpoints is not None:
+            columns += ["source_id_", "target_id_"]
+            values += list(endpoints)
+        columns += list(encoded)
+        values += list(encoded.values())
+        placeholders = ", ".join("?" for _ in values)
+        self._conn.execute(
+            f"INSERT INTO {ddl.current_table(cls)} ({', '.join(columns)}) "
+            f"VALUES ({placeholders})",
+            values,
+        )
+        if not revived:
+            self._conn.execute(
+                "INSERT INTO elements (id_, class_name) VALUES (?, ?)", (uid, cls.name)
+            )
+        self._class_of[uid] = cls
+        self._is_current[uid] = True
+        if endpoints is not None:
+            self._edge_endpoints[uid] = endpoints
+
+    def insert_node(
+        self, class_name: str, fields: Mapping[str, Any] | None = None, uid: int | None = None
+    ) -> int:
+        cls = self.schema.node_class(class_name)
+        normalized = validate_fields(cls, fields or {})
+        uid, revived = self._allocate_uid(uid, cls)
+        self._insert_row(cls, uid, normalized, endpoints=None, revived=revived)
+        return uid
+
+    def insert_edge(
+        self,
+        class_name: str,
+        source: int,
+        target: int,
+        fields: Mapping[str, Any] | None = None,
+        uid: int | None = None,
+    ) -> int:
+        cls = self.schema.edge_class(class_name)
+        for endpoint in (source, target):
+            endpoint_cls = self._class_of.get(endpoint)
+            if endpoint_cls is None or not self._is_current.get(endpoint, False):
+                raise UnknownElementError(f"edge endpoint {endpoint} is not a current node")
+            if not isinstance(endpoint_cls, NodeClass):
+                raise UnknownElementError(f"edge endpoint {endpoint} is not a node")
+        validate_edge_endpoints(
+            self.schema, cls, self._class_of[source], self._class_of[target]  # type: ignore[arg-type]
+        )
+        normalized = validate_fields(cls, fields or {})
+        uid, revived = self._allocate_uid(uid, cls)
+        if revived and self._edge_endpoints.get(uid) != (source, target):
+            raise UniquenessError(
+                f"edge {uid} endpoints are immutable: "
+                f"{self._edge_endpoints.get(uid)} != ({source}, {target})"
+            )
+        self._insert_row(cls, uid, normalized, endpoints=(source, target), revived=revived)
+        return uid
+
+    def _close_current_row(self, cls: ElementClass, uid: int, now: float) -> sqlite3.Row:
+        """Move the current row of *uid* into history, returning it."""
+        self._conn.row_factory = sqlite3.Row
+        cursor = self._conn.execute(
+            f"SELECT * FROM {ddl.current_table(cls)} WHERE id_ = ?", (uid,)
+        )
+        row = cursor.fetchone()
+        self._conn.row_factory = None
+        if row is None:
+            raise UnknownElementError(f"element {uid} has no current version")
+        if now > row["sys_start"]:
+            columns = row.keys()
+            values = [row[column] for column in columns]
+            values[columns.index("sys_end")] = now
+            placeholders = ", ".join("?" for _ in values)
+            self._conn.execute(
+                f"INSERT INTO {ddl.history_table(cls)} ({', '.join(columns)}) "
+                f"VALUES ({placeholders})",
+                values,
+            )
+        self._conn.execute(
+            f"DELETE FROM {ddl.current_table(cls)} WHERE id_ = ?", (uid,)
+        )
+        return row
+
+    def update_element(self, uid: int, changes: Mapping[str, Any]) -> None:
+        cls = self._class_of.get(uid)
+        if cls is None or not self._is_current.get(uid, False):
+            raise UnknownElementError(f"cannot update unknown or deleted element {uid}")
+        current = self.get_element(uid, TimeScope.current())
+        if current is None:
+            raise UnknownElementError(f"element {uid} has no current version")
+        fields = dict(current.fields)
+        for field_name, value in changes.items():
+            if value is None:
+                fields.pop(field_name, None)
+            else:
+                fields[field_name] = value
+        # Validate *before* touching the tables: a rejected update must not
+        # close the current version.
+        normalized = validate_fields(cls, fields)
+        now = self.clock.now()
+        row = self._close_current_row(cls, uid, now)
+        encoded = self._encode_fields(cls, normalized)
+        columns = ["id_", "sys_start", "sys_end"]
+        values: list[Any] = [uid, now, float("inf")]
+        if isinstance(cls, EdgeClass):
+            columns += ["source_id_", "target_id_"]
+            values += [row["source_id_"], row["target_id_"]]
+        columns += list(encoded)
+        values += list(encoded.values())
+        placeholders = ", ".join("?" for _ in values)
+        self._conn.execute(
+            f"INSERT INTO {ddl.current_table(cls)} ({', '.join(columns)}) "
+            f"VALUES ({placeholders})",
+            values,
+        )
+
+    def delete_element(self, uid: int) -> None:
+        cls = self._class_of.get(uid)
+        if cls is None or not self._is_current.get(uid, False):
+            raise UnknownElementError(f"cannot delete unknown or deleted element {uid}")
+        if isinstance(cls, NodeClass):
+            for edge_uid, (source, target) in list(self._edge_endpoints.items()):
+                if self._is_current.get(edge_uid) and uid in (source, target):
+                    self.delete_element(edge_uid)
+        now = self.clock.now()
+        self._close_current_row(cls, uid, now)
+        self._is_current[uid] = False
+
+    # ------------------------------------------------------------------
+    # read path (element level)
+    # ------------------------------------------------------------------
+
+    def _scan_tables(self, cls: ElementClass, scope: TimeScope) -> list[str]:
+        tables = [ddl.current_table(cls)]
+        if not scope.is_current:
+            tables.append(ddl.history_table(cls))
+        return tables
+
+    def _query_rows(
+        self, sql: str, params: Sequence[Any]
+    ) -> list[sqlite3.Row]:
+        self._conn.row_factory = sqlite3.Row
+        rows = self._conn.execute(sql, params).fetchall()
+        self._conn.row_factory = None
+        return rows
+
+    def scan_atom(self, atom: Atom, scope: TimeScope) -> list[ElementRecord]:
+        if atom.cls is None:
+            raise StorageError(f"atom {atom.class_name}() must be bound before scanning")
+        best: dict[int, ElementRecord] = {}
+        for concrete in atom.cls.concrete_subtree():
+            for table in self._scan_tables(concrete, scope):
+                predicate_sql, params = scope_predicate("", scope)
+                rows = self._query_rows(
+                    f"SELECT * FROM {table} WHERE {predicate_sql}", params
+                )
+                for row in rows:
+                    record = self._record_from_row(concrete, row)
+                    if not atom.matches(record):
+                        continue
+                    existing = best.get(record.uid)
+                    if existing is None or record.period.start > existing.period.start:
+                        best[record.uid] = record
+        return [best[uid] for uid in sorted(best)]
+
+    def get_element(self, uid: int, scope: TimeScope) -> ElementRecord | None:
+        cls = self._class_of.get(uid)
+        if cls is None:
+            return None
+        best: ElementRecord | None = None
+        for table in self._scan_tables(cls, scope):
+            predicate_sql, params = scope_predicate("", scope)
+            rows = self._query_rows(
+                f"SELECT * FROM {table} WHERE id_ = ? AND {predicate_sql}",
+                [uid, *params],
+            )
+            for row in rows:
+                record = self._record_from_row(cls, row)
+                if best is None or record.period.start > best.period.start:
+                    best = record
+        return best
+
+    def versions(self, uid: int, window: Interval) -> list[ElementRecord]:
+        cls = self._class_of.get(uid)
+        if cls is None:
+            return []
+        records: list[ElementRecord] = []
+        for table in (ddl.history_table(cls), ddl.current_table(cls)):
+            rows = self._query_rows(
+                f"SELECT * FROM {table} WHERE id_ = ? AND sys_start < ? AND sys_end > ?",
+                [uid, window.end, window.start],
+            )
+            records.extend(self._record_from_row(cls, row) for row in rows)
+        records.sort(key=lambda record: record.period.start)
+        return records
+
+    def _adjacent(
+        self,
+        node_uid: int,
+        scope: TimeScope,
+        classes: Sequence[EdgeClass] | None,
+        column: str,
+    ) -> list[EdgeRecord]:
+        if classes is None:
+            roots: list[EdgeClass] = [self.schema.edge_root]  # type: ignore[list-item]
+        else:
+            roots = list(classes)
+        concrete: dict[str, EdgeClass] = {}
+        for root in roots:
+            for cls in root.concrete_subtree():
+                concrete[cls.name] = cls  # type: ignore[assignment]
+        results: list[EdgeRecord] = []
+        best: dict[int, EdgeRecord] = {}
+        for cls in concrete.values():
+            for table in self._scan_tables(cls, scope):
+                predicate_sql, params = scope_predicate("", scope)
+                rows = self._query_rows(
+                    f"SELECT * FROM {table} WHERE {column} = ? AND {predicate_sql}",
+                    [node_uid, *params],
+                )
+                for row in rows:
+                    record = self._record_from_row(cls, row)
+                    assert isinstance(record, EdgeRecord)
+                    existing = best.get(record.uid)
+                    if existing is None or record.period.start > existing.period.start:
+                        best[record.uid] = record
+        results = [best[uid] for uid in sorted(best)]
+        return results
+
+    def out_edges(
+        self, node_uid: int, scope: TimeScope, classes: Sequence[EdgeClass] | None = None
+    ) -> list[EdgeRecord]:
+        return self._adjacent(node_uid, scope, classes, "source_id_")
+
+    def in_edges(
+        self, node_uid: int, scope: TimeScope, classes: Sequence[EdgeClass] | None = None
+    ) -> list[EdgeRecord]:
+        return self._adjacent(node_uid, scope, classes, "target_id_")
+
+    # ------------------------------------------------------------------
+    # statistics & accounting
+    # ------------------------------------------------------------------
+
+    def class_count(self, class_name: str) -> int:
+        cls = self.schema.resolve(class_name)
+        total = 0
+        for concrete in cls.concrete_subtree():
+            cursor = self._conn.execute(
+                f"SELECT COUNT(*) FROM {ddl.current_table(concrete)}"
+            )
+            total += cursor.fetchone()[0]
+        return total
+
+    def counts(self) -> dict[str, int]:
+        nodes = self.class_count(self.schema.node_root.name)
+        edges = self.class_count(self.schema.edge_root.name)
+        history = 0
+        for root in (self.schema.node_root, self.schema.edge_root):
+            for cls in root.concrete_subtree():
+                cursor = self._conn.execute(
+                    f"SELECT COUNT(*) FROM {ddl.history_table(cls)}"
+                )
+                history += cursor.fetchone()[0]
+        return {
+            "nodes": nodes,
+            "edges": edges,
+            "current_versions": nodes + edges,
+            "history_versions": history,
+        }
+
+    def storage_cells(self) -> int:
+        total = 0
+        for root in (self.schema.node_root, self.schema.edge_root):
+            for cls in root.concrete_subtree():
+                width = len(ddl.base_columns(cls)) + len(cls.fields) - 1
+                for table in (ddl.current_table(cls), ddl.history_table(cls)):
+                    cursor = self._conn.execute(f"SELECT COUNT(*) FROM {table}")
+                    total += width * cursor.fetchone()[0]
+        return total
+
+    # ------------------------------------------------------------------
+    # set-at-a-time pathway evaluation (the §5.2 program)
+    # ------------------------------------------------------------------
+
+    def find_pathways(self, program: MatchProgram, scope: TimeScope) -> list[Pathway]:
+        results: dict[tuple[int, ...], Pathway] = {}
+        record_cache: dict[int, ElementRecord] = {}
+        needs_verify = False
+        for compiled in program.splits:
+            forward_rows, forward_post = self._run_direction(
+                compiled, compiled.forward_nfa, sqlgen.FORWARD, scope, program
+            )
+            if not forward_rows:
+                continue
+            backward_rows, backward_post = self._run_direction(
+                compiled, compiled.backward_nfa, sqlgen.BACKWARD, scope, program
+            )
+            needs_verify |= forward_post or backward_post
+            by_anchor: dict[int, list[list[int]]] = {}
+            for anchor_uid, uids in backward_rows:
+                by_anchor.setdefault(anchor_uid, []).append(uids)
+            for anchor_uid, forward_uids in forward_rows:
+                for backward_uids in by_anchor.get(anchor_uid, ()):  # noqa: B020
+                    tail = forward_uids[1:]
+                    head = backward_uids[1:]
+                    if head and tail and not set(head).isdisjoint(tail):
+                        continue
+                    sequence = [*reversed(head), anchor_uid, *tail]
+                    if len(sequence) > program.max_elements:
+                        continue
+                    key = tuple(sequence)
+                    if key in results:
+                        continue
+                    pathway = self._materialize(sequence, scope, record_cache)
+                    if pathway is not None:
+                        results[key] = pathway
+        pathways = list(results.values())
+        if needs_verify and not scope.is_range:
+            # JSON-typed predicates were not pushed into SQL: re-verify.
+            pathways = [p for p in pathways if matches_pathway(program.matcher, p)]
+        return pathways
+
+    def _run_direction(
+        self,
+        compiled: CompiledSplit,
+        nfa: PathwayNfa,
+        direction: str,
+        scope: TimeScope,
+        program: MatchProgram,
+    ) -> tuple[list[tuple[int, list[int]]], bool]:
+        """Run one directional state-table program; returns (anchor, uid list)
+        rows from the accept state, plus the post-filter flag."""
+        self._temp_counter += 1
+        tag = f"{direction[0]}{self._temp_counter}"
+        generator = sqlgen.PathSql(self.schema, scope, direction, tag)
+        states = nfa.states()
+        tables = {state: sqlgen.state_table(tag, state) for state in states}
+        try:
+            for state in states:
+                self._conn.execute(sqlgen.create_state_table(tables[state]).sql)
+            seed = generator.anchor_select(
+                tables[nfa.start_state],
+                compiled.split.anchor,
+                seed_uids=program.seeds,
+            )
+            self._conn.execute(seed.sql, seed.params)
+
+            operators = lower_affix(nfa)
+            if self.use_extend_block:
+                protect = frozenset((nfa.start_state, nfa.accept_state))
+                operators = self._fuse(operators, generator, protect)
+            for op in operators:
+                self._execute_operator(op, generator, tables)
+
+            rows = self._conn.execute(
+                f"SELECT anchor_uid, uid_list FROM {tables[nfa.accept_state]}"
+            ).fetchall()
+            parsed = [
+                (anchor_uid, [int(part) for part in uid_list.split(",")])
+                for anchor_uid, uid_list in rows
+            ]
+            return parsed, generator.needs_post_filter
+        finally:
+            for table in tables.values():
+                self._conn.execute(sqlgen.drop_state_table(table).sql)
+
+    def _fuse(self, operators, generator: sqlgen.PathSql, protect: frozenset):
+        fused = fuse_extend_blocks(operators, protect)
+        # Unfuse blocks SQL cannot express (wildcards, same-kind repeats).
+        flattened = []
+        for op in fused:
+            if hasattr(op, "steps") and not generator.fusable(op.steps):
+                flattened.extend(op.steps)
+            else:
+                flattened.append(op)
+        return flattened
+
+    def _execute_operator(self, op, generator: sqlgen.PathSql, tables) -> None:
+        if isinstance(op, UnionOp):
+            statement = generator.union(tables[op.from_state], tables[op.to_state])
+            self._conn.execute(statement.sql, statement.params)
+        elif isinstance(op, ExtendOp):
+            for statement in generator.extend(
+                op, tables[op.from_state], tables[op.to_state]
+            ):
+                self._conn.execute(statement.sql, statement.params)
+        else:  # ExtendBlockOp
+            statement = generator.extend_block(
+                op.steps, tables[op.from_state], tables[op.to_state]
+            )
+            self._conn.execute(statement.sql, statement.params)
+
+    def _materialize(
+        self,
+        uid_sequence: list[int],
+        scope: TimeScope,
+        cache: dict[int, ElementRecord],
+    ) -> Pathway | None:
+        elements: list[ElementRecord] = []
+        for position, uid in enumerate(uid_sequence):
+            record = cache.get(uid)
+            if record is None:
+                record = self.get_element(uid, scope)
+                if record is None:
+                    return None
+                cache[uid] = record
+            expect_node = position % 2 == 0
+            if expect_node != record.is_node:
+                return None
+            elements.append(record)
+        if len(elements) % 2 == 0:
+            return None
+        return Pathway(elements)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def sql_trace(self, program: MatchProgram, scope: TimeScope) -> list[str]:
+        """The SQL a program would run (for tests and documentation)."""
+        statements: list[str] = []
+        for compiled in program.splits:
+            for nfa, direction in (
+                (compiled.forward_nfa, sqlgen.FORWARD),
+                (compiled.backward_nfa, sqlgen.BACKWARD),
+            ):
+                generator = sqlgen.PathSql(self.schema, scope, direction, "x")
+                tables = {state: sqlgen.state_table("x", state) for state in nfa.states()}
+                statements.append(
+                    generator.anchor_select(
+                        tables[nfa.start_state], compiled.split.anchor
+                    ).sql
+                )
+                operators = lower_affix(nfa)
+                if self.use_extend_block:
+                    operators = self._fuse(
+                        operators, generator,
+                        frozenset((nfa.start_state, nfa.accept_state)),
+                    )
+                for op in operators:
+                    if isinstance(op, UnionOp):
+                        statements.append(
+                            generator.union(tables[op.from_state], tables[op.to_state]).sql
+                        )
+                    elif isinstance(op, ExtendOp):
+                        statements.extend(
+                            s.sql
+                            for s in generator.extend(
+                                op, tables[op.from_state], tables[op.to_state]
+                            )
+                        )
+                    else:
+                        statements.append(
+                            generator.extend_block(
+                                op.steps, tables[op.from_state], tables[op.to_state]
+                            ).sql
+                        )
+        return statements
+
+    def connection(self) -> sqlite3.Connection:
+        """The raw SQLite connection (mixing graph and relational data, §6.1)."""
+        return self._conn

@@ -1,0 +1,40 @@
+"""Temporal predicates — the SQL side of the ``temporal_tables`` emulation.
+
+The paper evaluates a timeslice query by "adding the following predicate to
+the Select and Extend queries: ``H.sys_period @> '...'::timestamptz``".
+SQLite has no range type, so the system period is the (sys_start, sys_end)
+column pair with ``sys_end = +Infinity`` for current rows; the predicates
+here are the expansion of the ``@>`` (containment) and ``&&`` (overlap)
+operators.
+"""
+
+from __future__ import annotations
+
+from repro.storage.base import TimeScope
+
+
+def scope_predicate(alias: str, scope: TimeScope) -> tuple[str, list[float]]:
+    """SQL predicate (with parameters) selecting versions visible in *scope*.
+
+    Meant for the ``vh_*`` historical views; under a current scope, callers
+    should prefer the ``v_*`` views (the predicate returned here still works
+    but scans history needlessly).
+    """
+    prefix = f"{alias}." if alias else ""
+    if scope.is_current:
+        return (f"{prefix}sys_end = 9e999", [])
+    if scope.kind == TimeScope.AT:
+        return (
+            f"({prefix}sys_start <= ? AND ? < {prefix}sys_end)",
+            [scope.start, scope.start],
+        )
+    # range: version period overlaps [start, end)
+    return (
+        f"({prefix}sys_start < ? AND {prefix}sys_end > ?)",
+        [scope.end, scope.start],
+    )
+
+
+def view_for_scope(cls_view_current: str, cls_view_historical: str, scope: TimeScope) -> str:
+    """Pick the narrower view when the scope only needs current rows."""
+    return cls_view_current if scope.is_current else cls_view_historical

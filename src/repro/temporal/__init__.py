@@ -1,0 +1,25 @@
+"""Transaction-time temporal support.
+
+Nepal is a transaction-time temporal database (Snodgrass & Ahn [31]): every
+node and edge version carries a system period recording when the database
+asserted it.  This package provides the interval algebra used to compute
+pathway validity ranges, timestamp parsing, and a logical clock for stores.
+"""
+
+from repro.temporal.clock import TransactionClock
+from repro.temporal.interval import (
+    FOREVER,
+    Interval,
+    IntervalSet,
+    format_timestamp,
+    parse_timestamp,
+)
+
+__all__ = [
+    "FOREVER",
+    "Interval",
+    "IntervalSet",
+    "TransactionClock",
+    "format_timestamp",
+    "parse_timestamp",
+]

@@ -1,0 +1,67 @@
+"""Transaction clock for stores.
+
+Backends stamp every insert/update/delete with a transaction time.  Real
+deployments use wall-clock time; tests, generators and the churn simulator
+need deterministic, monotone, controllable time.  :class:`TransactionClock`
+supports both: it returns wall-clock time by default but can be pinned,
+advanced manually, and always enforces monotonicity (a requirement of
+transaction-time databases — system periods never move backwards).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.errors import TemporalError
+
+
+class TransactionClock:
+    """Monotone source of transaction timestamps.
+
+    >>> clock = TransactionClock(start=100.0)
+    >>> clock.now()
+    100.0
+    >>> clock.advance(10)
+    110.0
+    """
+
+    def __init__(self, start: float | None = None):
+        self._pinned = start is not None
+        self._current = start if start is not None else 0.0
+
+    @property
+    def pinned(self) -> bool:
+        """True when the clock is under manual control."""
+        return self._pinned
+
+    def now(self) -> float:
+        """Current transaction time; wall clock unless pinned."""
+        if self._pinned:
+            return self._current
+        self._current = max(self._current, time.time())
+        return self._current
+
+    def set(self, timestamp: float) -> float:
+        """Pin the clock at *timestamp* (must not move backwards)."""
+        if timestamp < self._current:
+            raise TemporalError(
+                f"transaction time may not move backwards: {timestamp} < {self._current}"
+            )
+        self._pinned = True
+        self._current = timestamp
+        return self._current
+
+    def advance(self, seconds: float) -> float:
+        """Pin the clock and move it forward by *seconds*."""
+        if seconds < 0 or not math.isfinite(seconds):
+            raise TemporalError(f"advance requires a finite non-negative delta, got {seconds}")
+        self._pinned = True
+        self._current = self.now() + seconds
+        return self._current
+
+    def tick(self) -> float:
+        """Advance by the smallest representable step and return the new time."""
+        self._pinned = True
+        self._current = math.nextafter(self._current, math.inf)
+        return self._current

@@ -1,0 +1,51 @@
+"""Exact pathway validity for time-range queries (Section 4).
+
+"Every pathway returned by this query has a time range during which it can
+be asserted in the database.  Furthermore, this range is the maximal such
+range."  Note the paper's own example: a 9:00–11:00 query returns a result
+whose range starts at 06:30 — the window decides *which* pathways qualify
+(they must hold at some instant inside it), but the reported ranges are
+maximal over the whole timeline.
+
+Traversal under a range scope is optimistic: an element qualifies when any
+of its versions in the window satisfies the automaton.  This function then
+computes the exact maximal validity of each emitted pathway by running an
+interval-weighted copy of the match automaton over the pathway's element
+positions, feeding *every* stored version of each element: the interval set
+reaching the accept state is precisely the set of instants at which some
+version combination satisfies the RPE.  Field changes clip it (a predicate
+that stopped holding at 9:45 ends the range at 9:45), structural deletions
+clip it, and still-current versions leave it open-ended.
+"""
+
+from __future__ import annotations
+
+from repro.model.pathway import Pathway
+from repro.rpe.nfa import PathwayNfa
+from repro.storage.base import GraphStore
+from repro.temporal.interval import FOREVER, Interval, IntervalSet
+
+_ALL_TIME = Interval(-FOREVER, FOREVER)
+
+
+def pathway_validity(
+    store: GraphStore,
+    pathway: Pathway,
+    matcher: PathwayNfa,
+) -> IntervalSet:
+    """Maximal interval set during which *pathway* satisfies the matcher."""
+    state_intervals = matcher.interval_initial(IntervalSet.always())
+    for element in pathway.elements:
+        versions = [
+            (version, IntervalSet([version.period]))
+            for version in store.versions(element.uid, _ALL_TIME)
+        ]
+        if not versions:
+            return IntervalSet.empty()
+        state_intervals = matcher.interval_step(state_intervals, versions)
+        if not state_intervals:
+            return IntervalSet.empty()
+    accepted = matcher.accepting_intervals(state_intervals)
+    if accepted is None:
+        return IntervalSet.empty()
+    return accepted  # type: ignore[return-value]

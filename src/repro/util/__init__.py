@@ -1,0 +1,6 @@
+"""Small shared utilities (id generation, text helpers)."""
+
+from repro.util.ids import IdAllocator
+from repro.util.text import format_table, indent_block
+
+__all__ = ["IdAllocator", "format_table", "indent_block"]

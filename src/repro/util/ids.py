@@ -1,0 +1,49 @@
+"""Unique element-id allocation.
+
+Nepal requires database-wide unique identifiers for nodes and edges (the
+Postgres implementation keeps "a table to ensure that unique identifiers are
+indeed unique").  The allocator hands out monotonically increasing integer
+ids and can be advanced past externally supplied ids so generated and loaded
+data can coexist.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+
+class IdAllocator:
+    """Thread-safe monotonically increasing id source.
+
+    >>> alloc = IdAllocator()
+    >>> alloc.next()
+    1
+    >>> alloc.observe(10)
+    >>> alloc.next()
+    11
+    """
+
+    def __init__(self, start: int = 1):
+        self._lock = threading.Lock()
+        self._counter = itertools.count(start)
+        self._last = start - 1
+
+    def next(self) -> int:
+        """Return the next unused id."""
+        with self._lock:
+            value = next(self._counter)
+            self._last = value
+            return value
+
+    def observe(self, external_id: int) -> None:
+        """Record an externally assigned id so it is never handed out again."""
+        with self._lock:
+            if external_id > self._last:
+                self._last = external_id
+                self._counter = itertools.count(external_id + 1)
+
+    @property
+    def last(self) -> int:
+        """The highest id seen or allocated so far."""
+        return self._last

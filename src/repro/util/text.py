@@ -1,0 +1,42 @@
+"""Text formatting helpers used by explain output, the CLI and benchmarks."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a simple fixed-width text table.
+
+    Used by ``explain()`` output and by the benchmark harness to print
+    paper-style result tables.
+
+    >>> print(format_table(["a", "b"], [[1, 22], [333, 4]]))
+    a   | b
+    ----+---
+    1   | 22
+    333 | 4
+    """
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip()
+    separator = "-+-".join("-" * w for w in widths)
+    body = [
+        " | ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+        for row in str_rows
+    ]
+    return "\n".join([header_line, separator, *body])
+
+
+def indent_block(text: str, prefix: str = "  ") -> str:
+    """Indent every line of *text* with *prefix*."""
+    return "\n".join(prefix + line for line in text.splitlines())
+
+
+def pluralize(count: int, singular: str, plural: str | None = None) -> str:
+    """Return ``"<count> <noun>"`` with naive pluralization."""
+    noun = singular if count == 1 else (plural or singular + "s")
+    return f"{count} {noun}"

@@ -1,0 +1,119 @@
+"""Shared fixtures: schemas, stores, and a small deterministic inventory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schema.builtin import build_network_schema
+from repro.schema.registry import Schema
+from repro.storage.memgraph.store import MemGraphStore
+from repro.storage.relational.store import RelationalStore
+from repro.temporal.clock import TransactionClock
+
+T0 = 1_000_000.0
+"""Base transaction time used by pinned-clock fixtures."""
+
+
+@pytest.fixture(scope="session")
+def network_schema() -> Schema:
+    return build_network_schema()
+
+
+@pytest.fixture
+def clock() -> TransactionClock:
+    return TransactionClock(start=T0)
+
+
+@pytest.fixture
+def mem_store(network_schema, clock) -> MemGraphStore:
+    return MemGraphStore(network_schema, clock=clock)
+
+
+@pytest.fixture
+def rel_store(network_schema, clock) -> RelationalStore:
+    return RelationalStore(network_schema, clock=clock)
+
+
+@pytest.fixture(params=["memory", "relational"])
+def any_store(request, network_schema, clock):
+    """Parametrized over both backends — behaviour must be identical."""
+    if request.param == "memory":
+        return MemGraphStore(network_schema, clock=clock)
+    return RelationalStore(network_schema, clock=clock)
+
+
+class SmallInventory:
+    """A tiny, fully known topology used by many tests.
+
+    Layout (all edges left-to-right)::
+
+        service-1 -ComposedOf-> fw (Firewall) -ComposedOf-> vfc1 (ProxyVFC)
+                                                -ComposedOf-> vfc2 (WebServerVFC)
+        vfc1 -OnVM-> vm1 (VMWare) -OnServer-> host1
+        vfc2 -OnVM-> vm2 (OnMetal) -OnServer-> host2
+        host1 <-ServerSwitch-> tor1 <-SwitchSwitch-> tor2 <-...-> host2
+        vm1 <-VmNetwork-> net1 <-VmNetwork-> vm2
+    """
+
+    def __init__(self, store):
+        self.store = store
+        self.service = store.insert_node(
+            "Service", {"name": "service-1", "customer": "acme", "service_type": "vpn"}
+        )
+        self.firewall = store.insert_node(
+            "Firewall", {"name": "fw-1", "status": "Green", "ruleset_version": "7"}
+        )
+        self.vfc1 = store.insert_node("ProxyVFC", {"name": "vfc-1", "status": "Green"})
+        self.vfc2 = store.insert_node(
+            "WebServerVFC", {"name": "vfc-2", "status": "Yellow"}
+        )
+        self.vm1 = store.insert_node(
+            "VMWare", {"name": "vm-1", "status": "Green", "vcpus": 4}
+        )
+        self.vm2 = store.insert_node(
+            "OnMetal", {"name": "vm-2", "status": "Green", "vcpus": 8}
+        )
+        self.host1 = store.insert_node(
+            "Host", {"name": "host-1", "cpu_cores": 64, "status": "Green"}
+        )
+        self.host2 = store.insert_node(
+            "Host", {"name": "host-2", "cpu_cores": 32, "status": "Green"}
+        )
+        self.tor1 = store.insert_node("TorSwitch", {"name": "tor-1", "ports": 48})
+        self.tor2 = store.insert_node("TorSwitch", {"name": "tor-2", "ports": 48})
+        self.net1 = store.insert_node(
+            "VirtualNetwork", {"name": "net-1", "cidr": "10.0.0.0/24"}
+        )
+
+        self.e_service_fw = store.insert_edge("ComposedOf", self.service, self.firewall)
+        self.e_fw_vfc1 = store.insert_edge("ComposedOf", self.firewall, self.vfc1)
+        self.e_fw_vfc2 = store.insert_edge("ComposedOf", self.firewall, self.vfc2)
+        self.e_vfc1_vm1 = store.insert_edge("OnVM", self.vfc1, self.vm1)
+        self.e_vfc2_vm2 = store.insert_edge("OnVM", self.vfc2, self.vm2)
+        self.e_vm1_host1 = store.insert_edge("OnServer", self.vm1, self.host1)
+        self.e_vm2_host2 = store.insert_edge("OnServer", self.vm2, self.host2)
+        store.insert_symmetric_edge(
+            "ServerSwitch", self.host1, self.tor1,
+            {"server_interface": "eth0", "switch_interface": "ge-0/0"},
+        )
+        store.insert_symmetric_edge("SwitchSwitch", self.tor1, self.tor2)
+        store.insert_symmetric_edge(
+            "ServerSwitch", self.host2, self.tor2,
+            {"server_interface": "eth0", "switch_interface": "ge-0/1"},
+        )
+        store.insert_symmetric_edge(
+            "VmNetwork", self.vm1, self.net1, {"ip_address": "10.0.0.2"}
+        )
+        store.insert_symmetric_edge(
+            "VmNetwork", self.vm2, self.net1, {"ip_address": "10.0.0.3"}
+        )
+
+
+@pytest.fixture
+def small_inventory(mem_store) -> SmallInventory:
+    return SmallInventory(mem_store)
+
+
+@pytest.fixture
+def small_inventory_any(any_store) -> SmallInventory:
+    return SmallInventory(any_store)

@@ -1,0 +1,132 @@
+"""The NepalDB facade."""
+
+import pytest
+
+from repro import NepalDB
+from repro.errors import NepalError
+from repro.plan.planner import PlannerOptions
+from repro.temporal.clock import TransactionClock
+from tests.conftest import T0
+
+
+@pytest.fixture(params=["memory", "relational"])
+def db(request):
+    return NepalDB(backend=request.param, clock=TransactionClock(start=T0))
+
+
+def populate(db):
+    host = db.insert_node("Host", {"name": "h1"})
+    vm = db.insert_node("VM", {"name": "v1", "status": "Green"})
+    edge = db.insert_edge("OnServer", vm, host)
+    return host, vm, edge
+
+
+class TestLifecycle:
+    def test_default_schema_is_network_schema(self):
+        db = NepalDB()
+        assert "VNF" in db.schema
+        assert "ConnectedTo" in db.schema
+
+    def test_unknown_backend(self):
+        with pytest.raises(NepalError, match="unknown backend"):
+            NepalDB(backend="paper-tape")
+
+    def test_crud_and_query(self, db):
+        host, vm, edge = populate(db)
+        result = db.query("Retrieve P From PATHS P Where P MATCHES VM()->OnServer()->Host()")
+        assert len(result) == 1
+        db.clock.advance(10)
+        db.update(vm, {"status": "Red"})
+        result = db.query(
+            "Retrieve P From PATHS P Where P MATCHES VM(status='Green')"
+        )
+        assert len(result) == 0
+
+    def test_connect_inserts_reciprocal_for_symmetric(self, db):
+        h1 = db.insert_node("Host", {"name": "h1"})
+        tor = db.insert_node("TorSwitch", {"name": "t1"})
+        uids = db.connect("ServerSwitch", h1, tor)
+        assert len(uids) == 2
+        # Directed classes get one edge.
+        vm = db.insert_node("VM", {"name": "v"})
+        uids = db.connect("OnServer", vm, h1)
+        assert len(uids) == 1
+
+    def test_delete(self, db):
+        host, vm, edge = populate(db)
+        db.clock.advance(10)
+        db.delete(vm)
+        assert len(db.query("Retrieve P From PATHS P Where P MATCHES VM()")) == 0
+
+
+class TestFindPaths:
+    def test_snapshot(self, db):
+        populate(db)
+        paths = db.find_paths("VM()->OnServer()->Host()")
+        assert len(paths) == 1
+        assert paths[0].validity is None
+
+    def test_at(self, db):
+        host, vm, edge = populate(db)
+        db.clock.advance(100)
+        db.delete(edge)
+        assert db.find_paths("VM()->OnServer()->Host()") == []
+        past = db.find_paths("VM()->OnServer()->Host()", at=T0 + 50)
+        assert len(past) == 1
+
+    def test_between_attaches_validity(self, db):
+        host, vm, edge = populate(db)
+        db.clock.advance(100)
+        db.delete(edge)
+        paths = db.find_paths("VM()->OnServer()->Host()", between=(T0, T0 + 1000))
+        assert len(paths) == 1
+        assert paths[0].validity.intervals[0].end == T0 + 100
+
+    def test_at_and_between_mutually_exclusive(self, db):
+        populate(db)
+        with pytest.raises(NepalError):
+            db.find_paths("VM()", at=T0, between=(T0, T0 + 1))
+
+
+class TestPathEvolution:
+    def test_facade_wiring(self, db):
+        host, vm, edge = populate(db)
+        db.clock.advance(100)
+        db.update(vm, {"status": "Red"})
+        path = db.find_paths("VM()->OnServer()->Host()")[0]
+        evolution = db.path_evolution(path, between=(T0, T0 + 1000))
+        assert any(c.field_name == "status" for c in evolution.changes)
+
+
+class TestLoaderProtocol:
+    def test_load_requires_apply(self, db):
+        with pytest.raises(NepalError, match="apply"):
+            db.load(object())
+
+    def test_load_generator(self, db):
+        from repro.inventory.virtualized import TopologyParams, VirtualizedServiceTopology
+
+        params = TopologyParams(
+            services=2, vms=30, virtual_networks=8, virtual_routers=3,
+            racks=2, hosts_per_rack=3,
+        )
+        db.load(VirtualizedServiceTopology(params))
+        assert len(db.query("Retrieve P From PATHS P Where P MATCHES Service()")) == 2
+
+    def test_describe(self, db):
+        populate(db)
+        text = db.describe()
+        assert "nodes" in text and "schema" in text
+
+
+class TestOptionsPassThrough:
+    def test_planner_options_flow_to_executor(self):
+        db = NepalDB(planner_options=PlannerOptions(max_pathway_elements=3))
+        populate(db)
+        from repro.errors import UnboundedQueryError
+
+        with pytest.raises(UnboundedQueryError):
+            db.query(
+                "Retrieve P From PATHS P "
+                "Where P MATCHES VM()->OnServer()->Host()->ServerSwitch()->Switch()"
+            )

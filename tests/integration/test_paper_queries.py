@@ -1,0 +1,142 @@
+"""End-to-end runs of every query the paper presents (§3.4, §4)."""
+
+import pytest
+
+from repro import NepalDB
+from repro.inventory.virtualized import TopologyParams, VirtualizedServiceTopology
+from repro.temporal.clock import TransactionClock
+
+T0 = 1_000_000.0
+
+
+@pytest.fixture(scope="module", params=["memory", "relational"])
+def loaded(request):
+    db = NepalDB(backend=request.param, clock=TransactionClock(start=T0))
+    params = TopologyParams(
+        services=4, vms=120, virtual_networks=30, virtual_routers=10,
+        racks=5, hosts_per_rack=4, spine_switches=3, routers=2,
+    )
+    handles = VirtualizedServiceTopology(params).apply(db.store)
+    return db, handles
+
+
+def test_server_replacement_impact(loaded):
+    """§3.4 example 1: all VNFs affected by replacing a server."""
+    db, handles = loaded
+    host = handles.vm_host[handles.vfc_vm[handles.vnf_vfcs[handles.vnfs[0]][0]]]
+    explicit = db.query(
+        f"Retrieve P From PATHS P "
+        f"Where P MATCHES VNF()->VFC()->VM()->Host(id={host})"
+    )
+    generic = db.query(
+        f"Retrieve P From PATHS P "
+        f"Where P MATCHES VNF()->[Vertical()]{{1,6}}->Host(id={host})"
+    )
+    assert len(explicit) >= 1
+    # The generic Vertical query is a superset of the explicit chain.
+    explicit_keys = {row.pathway().key() for row in explicit}
+    generic_keys = {row.pathway().key() for row in generic}
+    assert explicit_keys <= generic_keys
+    assert handles.vnfs[0] in {row.pathway().source.uid for row in explicit}
+
+
+def test_physical_communication_path_join(loaded):
+    """§3.4 example 3: physical path between the hosts of two VNFs."""
+    db, handles = loaded
+    vnf_a, vnf_b = handles.vnfs[0], handles.vnfs[1]
+    result = db.query(
+        f"Retrieve Phys From PATHS D1, PATHS D2, PATHS Phys "
+        f"Where D1 MATCHES VNF(id={vnf_a})->[Vertical()]{{1,6}}->Host() "
+        f"And D2 MATCHES VNF(id={vnf_b})->[Vertical()]{{1,6}}->Host() "
+        f"And Phys MATCHES [ConnectedTo()]{{1,6}} "
+        f"And source(Phys)=target(D1) And target(Phys)=target(D2)"
+    )
+    assert len(result) >= 1
+    for row in result:
+        phys = row.pathway("Phys")
+        assert all(
+            e.cls.is_subclass_of(db.schema.resolve("ConnectedTo"))
+            for e in phys.edges
+        )
+
+
+def test_idle_vm_subquery(loaded):
+    """§3.4 example 4: VMs hosting no VNF or VFC, via NOT EXISTS."""
+    db, handles = loaded
+    result = db.query(
+        "Select source(V).name, source(V).id From PATHS V "
+        "Where V MATCHES VM() "
+        "And NOT EXISTS( Retrieve P from PATHS P "
+        "Where P MATCHES (VNF()|VFC())->[HostedOn()]{1,5}->VM() "
+        "And target(V) = target(P) )"
+    )
+    hosting = {handles.vfc_vm[vfc] for vfc in handles.vfcs}
+    idle = set(handles.vms) - hosting
+    assert {row.values[1] for row in result} == idle
+
+
+def test_select_vs_retrieve(loaded):
+    """Changing Retrieve to Select post-processes the same pathway set."""
+    db, handles = loaded
+    retrieve = db.query(
+        "Retrieve V From PATHS V Where V MATCHES VM(status='Red')"
+    )
+    select = db.query(
+        "Select source(V).name From PATHS V Where V MATCHES VM(status='Red')"
+    )
+    assert len(retrieve) == len(select)
+    assert {row.pathway().source.get("name") for row in retrieve} == set(
+        select.scalars()
+    )
+
+
+def test_anchor_alternation_example(loaded):
+    """§5.1's anchor-set example: (VM(id=..)|Docker(id=..)) in the middle."""
+    db, handles = loaded
+    # Find one VM and one Docker container with placements.
+    store = db.store
+    from repro.storage.base import TimeScope
+
+    vm_uid = next(
+        uid for uid in handles.vms
+        if store.get_element(uid, TimeScope.current()).cls.name in ("VMWare", "OnMetal")
+    )
+    docker_uid = next(
+        uid for uid in handles.vms
+        if store.get_element(uid, TimeScope.current()).cls.name == "Docker"
+    )
+    result = db.query(
+        f"Retrieve P From PATHS P Where P MATCHES "
+        f"(VM(id={vm_uid})|Docker(id={docker_uid}))->[HostedOn()]{{1,2}}->Host()"
+    )
+    sources = {row.pathway().source.uid for row in result}
+    assert sources == {vm_uid, docker_uid}
+
+
+def test_time_travel_snapshot_query(loaded):
+    """§4: the 10:00 am state, not the current one."""
+    db, handles = loaded
+    vm = handles.vms[0]
+    old_host = handles.vm_host[vm]
+    # Migrate the VM an hour later.
+    db.clock.set(T0 + 3600)
+    from repro.storage.base import TimeScope
+
+    placement = [
+        e for e in db.store.out_edges(vm, TimeScope.current())
+        if e.cls.name == "OnServer"
+    ][0]
+    new_host = next(h for h in handles.hosts if h != old_host)
+    db.store.delete_element(placement.uid)
+    db.store.insert_edge("OnServer", vm, new_host)
+
+    current = db.query(
+        f"Select target(P) From PATHS P "
+        f"Where P MATCHES VM(id={vm})->OnServer()->Host()"
+    )
+    assert [row.values[0].uid for row in current] == [new_host]
+    past = db.query(
+        f"AT {T0 + 1800} Select target(P) From PATHS P "
+        f"Where P MATCHES VM(id={vm})->OnServer()->Host()"
+    )
+    assert [row.values[0].uid for row in past] == [old_host]

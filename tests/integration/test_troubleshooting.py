@@ -1,0 +1,163 @@
+"""The §2.3.2 path-calculation scenarios: routes, induced paths, shared
+fate, service footprints and history-based troubleshooting."""
+
+import pytest
+
+from repro import NepalDB
+from repro.inventory.virtualized import TopologyParams, VirtualizedServiceTopology
+from repro.storage.base import TimeScope
+from repro.temporal.clock import TransactionClock
+
+T0 = 1_000_000.0
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = NepalDB(clock=TransactionClock(start=T0))
+    params = TopologyParams(
+        services=4, vms=120, virtual_networks=30, virtual_routers=10,
+        racks=5, hosts_per_rack=4, spine_switches=3, routers=2,
+    )
+    handles = VirtualizedServiceTopology(params).apply(database.store)
+    return database, handles
+
+
+class TestCalculatingRoutes:
+    def test_all_paths_between_two_vms(self, db):
+        database, handles = db
+        vm_a = handles.vms[0]
+        paths = database.find_paths(f"VM(id={vm_a})->[ConnectedTo()]{{1,4}}->VM()")
+        assert paths
+        # Closed under composition: results are pathways we can reason over.
+        assert all(p.source.uid == vm_a for p in paths)
+
+    def test_paths_constrained_through_element(self, db):
+        # "require the paths to pass through a set of routers".
+        database, handles = db
+        host = handles.hosts[0]
+        via_switch = database.find_paths(
+            f"Host(id={host})->ServerSwitch()->Switch()->[ConnectedTo()]{{1,2}}->Host()"
+        )
+        for pathway in via_switch:
+            kinds = [e.cls.name for e in pathway.edges]
+            assert kinds[0] == "ServerSwitch"
+
+
+class TestSharedFate:
+    def test_server_failure_blast_radius(self, db):
+        """'To determine all the VMs, and VNFs affected by the failure of a
+        physical server, one computes the vertical paths from that server'."""
+        database, handles = db
+        host = handles.vm_host[handles.vfc_vm[handles.vnf_vfcs[handles.vnfs[0]][0]]]
+        affected = database.query(
+            f"Select source(P) From PATHS P "
+            f"Where P MATCHES VNF()->[Vertical()]{{1,6}}->Host(id={host})"
+        )
+        expected = {
+            vnf
+            for vnf, vfcs in handles.vnf_vfcs.items()
+            if any(handles.vm_host[handles.vfc_vm[vfc]] == host for vfc in vfcs)
+        }
+        assert {row.values[0].uid for row in affected} == expected
+
+    def test_vnf_footprint(self, db):
+        """'the footprint of a VNF at the Virtualization layer (all VMs
+        implementing that VNF), and Physical layer'."""
+        database, handles = db
+        vnf = handles.vnfs[0]
+        vms = database.query(
+            f"Select target(P) From PATHS P "
+            f"Where P MATCHES VNF(id={vnf})->VFC()->[HostedOn()]{{1,1}}->Container()"
+        )
+        expected_vms = {handles.vfc_vm[vfc] for vfc in handles.vnf_vfcs[vnf]}
+        assert {row.values[0].uid for row in vms} == expected_vms
+        hosts = database.query(
+            f"Select target(P) From PATHS P "
+            f"Where P MATCHES VNF(id={vnf})->[Vertical()]{{1,6}}->Host()"
+        )
+        expected_hosts = {handles.vm_host[vm] for vm in expected_vms}
+        assert {row.values[0].uid for row in hosts} == expected_hosts
+
+
+class TestInducedPaths:
+    def test_logical_flow_induces_physical_path(self, db):
+        """A service flow VFC->VFC induces a physical path between the
+        hosts executing the two VFCs (§2.3.2 'Calculating induced paths')."""
+        database, handles = db
+        flows = database.query(
+            "Retrieve F From PATHS F Where F MATCHES VFC()->FlowsTo()->VFC()"
+        )
+        assert len(flows) >= 1
+        flow = flows[0].pathway()
+        src_vfc, dst_vfc = flow.source.uid, flow.target.uid
+        induced = database.query(
+            f"Retrieve Phys From PATHS D1, PATHS D2, PATHS Phys "
+            f"Where D1 MATCHES VFC(id={src_vfc})->[Vertical()]{{1,4}}->Host() "
+            f"And D2 MATCHES VFC(id={dst_vfc})->[Vertical()]{{1,4}}->Host() "
+            f"And Phys MATCHES [ConnectedTo()]{{1,6}} "
+            f"And source(Phys)=target(D1) And target(Phys)=target(D2)"
+        )
+        host_src = handles.vm_host[handles.vfc_vm[src_vfc]]
+        host_dst = handles.vm_host[handles.vfc_vm[dst_vfc]]
+        if host_src != host_dst:
+            assert len(induced) >= 1
+            for row in induced:
+                assert row.pathway("Phys").source.uid == host_src
+
+
+class TestHistoryBasedTroubleshooting:
+    def test_which_paths_flowed_through_element(self, db):
+        """'Between timestamps t1 and t2, which network paths flowed
+        through a given network element?'"""
+        database, handles = db
+        # Break and restore a ToR uplink to create history.
+        tor_edge = None
+        scope = TimeScope.current()
+        for switch in handles.switches:
+            for edge in database.store.out_edges(switch, scope):
+                if edge.cls.name == "SwitchSwitch":
+                    tor_edge = edge
+                    break
+            if tor_edge:
+                break
+        assert tor_edge is not None
+        database.clock.set(T0 + 100)
+        database.store.delete_element(tor_edge.uid)
+        database.clock.set(T0 + 200)
+        database.store.insert_edge(
+            "SwitchSwitch", tor_edge.source_uid, tor_edge.target_uid, uid=tor_edge.uid
+        )
+        paths = database.find_paths(
+            f"Switch(id={tor_edge.source_uid})->SwitchSwitch(id={tor_edge.uid})->Switch()",
+            between=(T0, T0 + 1000),
+        )
+        assert len(paths) == 1
+        validity = paths[0].validity
+        # The outage splits the validity into two maximal ranges.
+        assert len(validity.intervals) == 2
+        assert validity.intervals[0].end == T0 + 100
+        assert validity.intervals[1].start == T0 + 200
+
+    def test_footprint_evolution_over_time(self, db):
+        """'What was the physical and virtual footprint of a VNF, and how
+        did it evolve over time?'"""
+        database, handles = db
+        vnf = handles.vnfs[2]
+        vfc = handles.vnf_vfcs[vnf][0]
+        vm = handles.vfc_vm[vfc]
+        old_host = handles.vm_host[vm]
+        new_host = next(h for h in handles.hosts if h != old_host)
+        database.clock.set(T0 + 500)
+        placement = [
+            e for e in database.store.out_edges(vm, TimeScope.current())
+            if e.cls.name == "OnServer"
+        ][0]
+        database.store.delete_element(placement.uid)
+        database.store.insert_edge("OnServer", vm, new_host)
+
+        rows = database.query(
+            f"AT {T0 + 1} : {T0 + 1000} Select target(P) From PATHS P "
+            f"Where P MATCHES VNF(id={vnf})->VFC(id={vfc})->VM()->Host()"
+        )
+        hosts_over_time = {row.values[0].uid for row in rows}
+        assert {old_host, new_host} <= hosts_over_time

@@ -1,0 +1,108 @@
+"""Churn simulation: history growth, migrations, outage windows."""
+
+import pytest
+
+from repro.errors import NepalError
+from repro.inventory.churn import ChurnParams, ChurnSimulator, DAY_SECONDS
+from repro.inventory.virtualized import TopologyParams, VirtualizedServiceTopology
+from repro.schema.builtin import build_network_schema
+from repro.storage.base import TimeScope
+from repro.storage.memgraph.store import MemGraphStore
+from repro.temporal.clock import TransactionClock
+
+T0 = 1_000_000.0
+
+PARAMS = TopologyParams(
+    services=2, vms=40, virtual_networks=10, virtual_routers=4,
+    racks=3, hosts_per_rack=3, spine_switches=2, routers=2,
+)
+
+
+@pytest.fixture
+def populated():
+    store = MemGraphStore(build_network_schema(), clock=TransactionClock(start=T0))
+    handles = VirtualizedServiceTopology(PARAMS).apply(store)
+    return store, handles
+
+
+def run_churn(store, handles, **overrides):
+    params = ChurnParams(**{"days": 20, "growth_ratio": 0.10, "seed": 7, **overrides})
+    simulator = ChurnSimulator(store, params)
+    migratable = {vm: handles.hosts for vm in handles.vms}
+    return simulator.run(handles.all_nodes(), handles.all_edges(), migratable)
+
+
+def test_requires_pinned_clock():
+    store = MemGraphStore(build_network_schema())  # wall clock
+    with pytest.raises(NepalError, match="pinned"):
+        ChurnSimulator(store)
+
+
+def test_clock_advances_by_days(populated):
+    store, handles = populated
+    report = run_churn(store, handles)
+    assert report.end_time >= report.start_time + 20 * DAY_SECONDS
+    assert report.days == 20
+
+
+def test_history_growth_near_target(populated):
+    store, handles = populated
+    report = run_churn(store, handles)
+    assert report.history_versions > 0
+    # Within a loose band of the requested ratio (some events are no-ops,
+    # and migrations/flaps write two rows).
+    assert 0.02 <= report.growth <= 0.30
+
+
+def test_current_graph_stays_consistent(populated):
+    store, handles = populated
+    run_churn(store, handles)
+    scope = TimeScope.current()
+    # Every VM still has exactly one current placement.
+    for vm in handles.vms:
+        placements = [
+            e for e in store.out_edges(vm, scope) if e.cls.name == "OnServer"
+        ]
+        assert len(placements) == 1, vm
+
+
+def test_migrations_visible_in_time_travel(populated):
+    store, handles = populated
+    report = run_churn(store, handles, migration_fraction=0.6, growth_ratio=0.2)
+    scope_then = TimeScope.at(report.start_time + 1)
+    scope_now = TimeScope.current()
+    moved = 0
+    for vm in handles.vms:
+        then = {e.target_uid for e in store.out_edges(vm, scope_then)
+                if e.cls.name == "OnServer"}
+        now = {e.target_uid for e in store.out_edges(vm, scope_now)
+               if e.cls.name == "OnServer"}
+        if then and now and then != now:
+            moved += 1
+    assert moved >= 3
+
+
+def test_flaps_create_outage_gaps(populated):
+    from repro.temporal.interval import Interval, IntervalSet
+
+    store, handles = populated
+    report = run_churn(store, handles, flap_fraction=0.5, growth_ratio=0.2)
+    window = Interval(report.start_time, report.end_time + 1)
+    gaps = 0
+    for uid in handles.all_edges():
+        versions = store.versions(uid, window)
+        if len(versions) > 1:
+            existence = IntervalSet(v.period for v in versions)
+            if len(existence) > 1:
+                gaps += 1
+    assert gaps >= 3
+
+
+def test_deterministic(populated):
+    store_a, handles_a = populated
+    report_a = run_churn(store_a, handles_a)
+    store_b = MemGraphStore(build_network_schema(), clock=TransactionClock(start=T0))
+    handles_b = VirtualizedServiceTopology(PARAMS).apply(store_b)
+    report_b = run_churn(store_b, handles_b)
+    assert report_a.events == report_b.events
+    assert report_a.history_versions == report_b.history_versions

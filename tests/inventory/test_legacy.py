@@ -1,0 +1,137 @@
+"""Legacy topology generator and its two schema variants (§6)."""
+
+import pytest
+
+from repro.inventory.legacy import (
+    ALL_TYPES,
+    CIRCUIT_TYPES,
+    NOISE_TYPES,
+    VERTICAL_TYPES,
+    LegacyParams,
+    LegacyTopology,
+    build_legacy_schema,
+    type_class_name,
+)
+from repro.inventory.workload import table2_workload
+from repro.plan.planner import Planner
+from repro.stats.cardinality import CardinalityEstimator
+from repro.storage.base import TimeScope
+from repro.storage.memgraph.store import MemGraphStore
+from repro.temporal.clock import TransactionClock
+
+CURRENT = TimeScope.current()
+
+SMALL = LegacyParams(
+    chains=60, core_nodes=5, aggregation_nodes=12, sites=4,
+    noise_hubs=2, noise_edges_per_hub=150, agg_noise_edges=100,
+)
+
+
+def build(subclassed: bool):
+    store = MemGraphStore(
+        build_legacy_schema(subclassed), clock=TransactionClock(start=1.0)
+    )
+    handles = LegacyTopology(SMALL, subclassed=subclassed).apply(store)
+    return store, handles
+
+
+def test_sixty_six_edge_types():
+    # The paper created 66 subclasses, one per type_indicator value.
+    assert len(ALL_TYPES) == 66
+    assert len(CIRCUIT_TYPES) + len(VERTICAL_TYPES) + len(NOISE_TYPES) == 66
+
+
+def test_flat_schema_single_classes():
+    schema = build_legacy_schema(False)
+    assert len(schema.node_root.concrete_subtree()) == 1
+    assert len(schema.edge_root.concrete_subtree()) == 1
+
+
+def test_subclassed_schema_has_one_class_per_type():
+    schema = build_legacy_schema(True)
+    concrete = schema.edge_root.concrete_subtree()
+    assert len(concrete) == 66
+    assert schema.resolve(type_class_name("circuit_00")).is_subclass_of(
+        schema.resolve("CircuitEdge")
+    )
+
+
+def test_same_graph_under_both_schemas():
+    _, flat = build(False)
+    _, sub = build(True)
+    assert flat.nodes == sub.nodes
+    assert flat.edges == sub.edges
+    assert flat.chain_heads == sub.chain_heads
+    assert flat.hub_cards == sub.hub_cards
+
+
+def test_hub_cards_have_large_irrelevant_indegree():
+    store, handles = build(True)
+    noise = store.schema.edge_class("NoiseEdge")
+    vertical = store.schema.edge_class("VerticalEdge")
+    hub = handles.hub_cards[0]
+    noise_in = store.in_edges(hub, CURRENT, [noise])
+    vertical_in = store.in_edges(hub, CURRENT, [vertical])
+    # Relevant in-edges: the shelf link plus the ports the card carries.
+    assert 2 <= len(vertical_in) <= 200
+    # Noise dominates: this is what the flat load must wade through.
+    assert len(noise_in) >= 3 * len(vertical_in)
+
+
+def test_active_cards_carry_ports():
+    store, handles = build(True)
+    vertical = store.schema.edge_class("VerticalEdge")
+    active = [len(store.in_edges(c, CURRENT, [vertical])) for c in handles.active_cards[:10]]
+    inactive = [
+        len(store.in_edges(c, CURRENT, [vertical]))
+        for c in handles.cards[:10] if c not in set(handles.active_cards)
+    ]
+    assert min(active) >= 2
+    assert all(count <= 1 for count in inactive)
+
+
+def test_chains_reach_cores():
+    store, handles = build(True)
+    planner = Planner(store.schema, CardinalityEstimator(store))
+    head = handles.chain_heads[0]
+    program = planner.compile(f"Entity(id={head})->[CircuitEdge()]{{1,4}}->Entity()")
+    found = store.find_pathways(program, CURRENT)
+    targets = {p.target.get("kind") for p in found}
+    assert "core" in targets
+
+
+@pytest.mark.parametrize("subclassed", [False, True])
+def test_workload_instances_runnable(subclassed):
+    store, handles = build(subclassed)
+    planner = Planner(store.schema, CardinalityEstimator(store))
+    workload = table2_workload(handles, subclassed, instances=3)
+    assert set(workload) == {"service path", "reverse path", "top-down", "bottom-up"}
+    for kind, instances in workload.items():
+        assert instances, kind
+        program = planner.compile(instances[0].rpe)
+        store.find_pathways(program, CURRENT)  # must not raise
+
+
+def test_both_variants_return_identical_paths():
+    # The §6 reload must not change query *results*, only their speed.
+    flat_store, flat_handles = build(False)
+    sub_store, sub_handles = build(True)
+    flat_wl = table2_workload(flat_handles, False, instances=4)
+    sub_wl = table2_workload(sub_handles, True, instances=4)
+    for kind in flat_wl:
+        for flat_instance, sub_instance in zip(flat_wl[kind], sub_wl[kind]):
+            flat_planner = Planner(flat_store.schema, CardinalityEstimator(flat_store))
+            sub_planner = Planner(sub_store.schema, CardinalityEstimator(sub_store))
+            flat_paths = {
+                p.key()
+                for p in flat_store.find_pathways(
+                    flat_planner.compile(flat_instance.rpe), CURRENT
+                )
+            }
+            sub_paths = {
+                p.key()
+                for p in sub_store.find_pathways(
+                    sub_planner.compile(sub_instance.rpe), CURRENT
+                )
+            }
+            assert flat_paths == sub_paths, kind

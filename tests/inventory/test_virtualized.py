@@ -1,0 +1,106 @@
+"""The virtualized service topology reproduces the Figure 2 layer model."""
+
+import pytest
+
+from repro.inventory.virtualized import TopologyParams, VirtualizedServiceTopology
+from repro.storage.base import TimeScope
+from repro.storage.memgraph.store import MemGraphStore
+from repro.schema.builtin import build_network_schema
+from repro.temporal.clock import TransactionClock
+
+CURRENT = TimeScope.current()
+
+SMALL = TopologyParams(
+    services=3, vms=60, virtual_networks=15, virtual_routers=6,
+    racks=4, hosts_per_rack=4, spine_switches=3, routers=2,
+)
+
+
+@pytest.fixture(scope="module")
+def topology():
+    store = MemGraphStore(build_network_schema(), clock=TransactionClock(start=1.0))
+    handles = VirtualizedServiceTopology(SMALL).apply(store)
+    return store, handles
+
+
+def test_deterministic_per_seed():
+    store_a = MemGraphStore(build_network_schema(), clock=TransactionClock(start=1.0))
+    store_b = MemGraphStore(build_network_schema(), clock=TransactionClock(start=1.0))
+    a = VirtualizedServiceTopology(SMALL).apply(store_a)
+    b = VirtualizedServiceTopology(SMALL).apply(store_b)
+    assert a.summary() == b.summary()
+    assert a.vm_host == b.vm_host
+
+
+def test_layer_population(topology):
+    _, handles = topology
+    assert len(handles.services) == 3
+    assert len(handles.hosts) == 16
+    assert len(handles.vms) == 60
+    assert handles.vnfs and handles.vfcs
+    # Every VFC runs on exactly one container, every VM on one host.
+    assert set(handles.vfc_vm) == set(handles.vfcs)
+    assert set(handles.vm_host) == set(handles.vms)
+
+
+def test_default_scale_approximates_paper():
+    store = MemGraphStore(build_network_schema(), clock=TransactionClock(start=1.0))
+    handles = VirtualizedServiceTopology().apply(store)
+    nodes, edges = len(handles.all_nodes()), len(handles.all_edges())
+    # Paper: ~2,000 nodes and ~11,000 edges; we accept the right magnitude.
+    assert 1500 <= nodes <= 2600
+    assert 5000 <= edges <= 13000
+    # Paper: 33 distinct VNFs; ours lands nearby.
+    assert 25 <= len(handles.vnfs) <= 60
+
+
+def test_vertical_edges_descend_layers(topology):
+    store, handles = topology
+    for uid in handles.vertical_edges[:200]:
+        edge = store.get_element(uid, CURRENT)
+        source = store.get_element(edge.source_uid, CURRENT)
+        target = store.get_element(edge.target_uid, CURRENT)
+        if edge.cls.name == "ComposedOf":
+            assert source.instance_of(store.schema.resolve("Service")) or source.instance_of(
+                store.schema.resolve("VNF")
+            )
+        elif edge.cls.name == "OnVM":
+            assert source.instance_of(store.schema.resolve("VFC"))
+            assert target.instance_of(store.schema.resolve("Container"))
+        elif edge.cls.name == "OnServer":
+            assert source.instance_of(store.schema.resolve("Container"))
+            assert target.instance_of(store.schema.resolve("Host"))
+
+
+def test_physical_connectivity_is_reciprocal(topology):
+    # Figure 2's underlay: paths between hosts have even hop counts because
+    # every physical link is stored in both directions.
+    store, handles = topology
+    host = handles.hosts[0]
+    out_peers = {
+        edge.target_uid for edge in store.out_edges(host, CURRENT)
+        if edge.cls.name == "ServerSwitch"
+    }
+    in_peers = {
+        edge.source_uid for edge in store.in_edges(host, CURRENT)
+        if edge.cls.name == "ServerSwitch"
+    }
+    assert out_peers == in_peers and out_peers
+
+
+def test_vnf_to_host_path_exists_for_every_vnf(topology):
+    from repro.plan.planner import Planner
+    from repro.stats.cardinality import CardinalityEstimator
+
+    store, handles = topology
+    planner = Planner(store.schema, CardinalityEstimator(store))
+    for vnf in handles.vnfs:
+        program = planner.compile(f"VNF(id={vnf})->[Vertical()]{{1,6}}->Host()")
+        assert store.find_pathways(program, CURRENT), f"VNF {vnf} unreachable"
+
+
+def test_routers_carry_routing_tables(topology):
+    store, handles = topology
+    router = store.get_element(handles.routers[0], CURRENT)
+    table = router.get("routing_table")
+    assert table and all("address" in entry for entry in table)

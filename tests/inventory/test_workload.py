@@ -1,0 +1,90 @@
+"""Workload samplers produce the paper's instance streams."""
+
+from repro.inventory.legacy import LegacyParams, LegacyTopology, build_legacy_schema
+from repro.inventory.virtualized import TopologyParams, VirtualizedServiceTopology
+from repro.inventory.workload import table1_workload, table2_workload
+from repro.storage.memgraph.store import MemGraphStore
+from repro.schema.builtin import build_network_schema
+from repro.temporal.clock import TransactionClock
+
+
+def service_handles():
+    store = MemGraphStore(build_network_schema(), clock=TransactionClock(start=1.0))
+    params = TopologyParams(
+        services=3, vms=50, virtual_networks=12, virtual_routers=4,
+        racks=3, hosts_per_rack=3,
+    )
+    return VirtualizedServiceTopology(params).apply(store)
+
+
+def legacy_handles(subclassed):
+    store = MemGraphStore(build_legacy_schema(subclassed), clock=TransactionClock(start=1.0))
+    params = LegacyParams(
+        chains=120, core_nodes=4, aggregation_nodes=8, sites=3,
+        noise_hubs=2, noise_edges_per_hub=30, agg_noise_edges=40,
+    )
+    return LegacyTopology(params, subclassed=subclassed).apply(store)
+
+
+class TestTable1Workload:
+    def test_five_query_types(self):
+        workload = table1_workload(service_handles(), instances=10)
+        assert set(workload) == {
+            "top-down", "bottom-up", "VM-VM (4)", "Host-Host (4)", "Host-Host (6)",
+        }
+
+    def test_top_down_covers_every_vnf(self):
+        # "there are only 33 distinct VNFs so we evaluated only 33 queries".
+        handles = service_handles()
+        workload = table1_workload(handles, instances=50)
+        assert len(workload["top-down"]) == len(handles.vnfs)
+
+    def test_instance_counts_capped_by_population(self):
+        handles = service_handles()
+        workload = table1_workload(handles, instances=7)
+        assert len(workload["VM-VM (4)"]) == 7
+        assert len(workload["Host-Host (4)"]) == 7
+
+    def test_instances_are_deterministic(self):
+        handles = service_handles()
+        first = table1_workload(handles, instances=5, seed=1)
+        second = table1_workload(handles, instances=5, seed=1)
+        assert first == second
+        shuffled = table1_workload(handles, instances=5, seed=2)
+        assert shuffled != first
+
+    def test_rpe_shapes(self):
+        workload = table1_workload(service_handles(), instances=3)
+        assert "[Vertical()]{1,6}" in workload["top-down"][0].rpe
+        assert workload["top-down"][0].rpe.startswith("VNF(id=")
+        assert workload["bottom-up"][0].rpe.endswith(")")
+        assert "{1,6}" in workload["Host-Host (6)"][0].rpe
+
+
+class TestTable2Workload:
+    def test_flat_variant_uses_field_predicates(self):
+        workload = table2_workload(legacy_handles(False), subclassed=False, instances=4)
+        assert "GenericEdge(category='circuit')" in workload["service path"][0].rpe
+        assert "GenericEdge(category='vertical')" in workload["bottom-up"][0].rpe
+
+    def test_subclassed_variant_uses_concept_atoms(self):
+        workload = table2_workload(legacy_handles(True), subclassed=True, instances=4)
+        assert "CircuitEdge()" in workload["service path"][0].rpe
+        assert "VerticalEdge()" in workload["bottom-up"][0].rpe
+
+    def test_bottom_up_mixes_hubs_and_regular_cards(self):
+        handles = legacy_handles(True)
+        workload = table2_workload(handles, subclassed=True, instances=6)
+        targets = {
+            int(instance.rpe.rsplit("id=", 1)[1].rstrip(")"))
+            for instance in workload["bottom-up"]
+        }
+        assert targets & set(handles.hub_cards)
+        assert targets - set(handles.hub_cards)
+
+    def test_reverse_anchors_at_cores(self):
+        handles = legacy_handles(True)
+        workload = table2_workload(handles, subclassed=True, instances=3)
+        for instance in workload["reverse path"]:
+            target = int(instance.rpe.rsplit("id=", 1)[1].rstrip(")"))
+            assert target in handles.chain_cores

@@ -1,0 +1,77 @@
+"""Element records: typing, versions, field access."""
+
+import pytest
+
+from repro.model.elements import EdgeRecord, NodeRecord
+from repro.schema.builtin import build_network_schema
+from repro.temporal.interval import FOREVER, Interval
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return build_network_schema()
+
+
+def make_node(schema, uid=1, cls="VMWare", fields=None, period=None):
+    return NodeRecord(
+        uid=uid,
+        cls=schema.resolve(cls),
+        fields=fields or {"name": "vm-1", "status": "Green"},
+        period=period or Interval(10.0, FOREVER),
+    )
+
+
+def test_node_identity_and_kind(schema):
+    node = make_node(schema)
+    assert node.is_node and not node.is_edge
+    assert node.is_current
+
+
+def test_virtual_id_field(schema):
+    node = make_node(schema, uid=42)
+    assert node.get("id") == 42
+    assert node.get("name") == "vm-1"
+    assert node.get("missing", "default") == "default"
+
+
+def test_instance_of_generalization(schema):
+    node = make_node(schema)
+    assert node.instance_of(schema.resolve("VM"))
+    assert node.instance_of(schema.resolve("Container"))
+    assert node.instance_of(schema.resolve("Node"))
+    assert not node.instance_of(schema.resolve("Docker"))
+
+
+def test_with_period_closes_version(schema):
+    node = make_node(schema)
+    closed = node.with_period(Interval(10.0, 20.0))
+    assert not closed.is_current
+    assert closed.uid == node.uid
+    assert closed.fields == node.fields
+
+
+def test_edge_endpoints(schema):
+    edge = EdgeRecord(
+        uid=7,
+        cls=schema.resolve("OnServer"),
+        fields={},
+        period=Interval(0.0, FOREVER),
+        source_uid=1,
+        target_uid=2,
+    )
+    assert edge.is_edge
+    assert edge.other_end(1) == 2
+    assert edge.other_end(2) == 1
+    assert "1->2" in str(edge)
+
+
+def test_str_includes_name(schema):
+    assert "[vm-1]" in str(make_node(schema))
+    unnamed = make_node(schema, fields={"status": "Green"})
+    assert "[" not in str(unnamed)
+
+
+def test_describe_drops_empty_fields(schema):
+    node = make_node(schema, fields={"name": "vm-1", "status": "", "flavor": None})
+    assert "status" not in node.describe()
+    assert "vm-1" in node.describe()

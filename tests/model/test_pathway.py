@@ -1,0 +1,113 @@
+"""Pathway structure, functions and temporal derivation."""
+
+import pytest
+
+from repro.errors import NepalError
+from repro.model.elements import EdgeRecord, NodeRecord
+from repro.model.pathway import Pathway
+from repro.schema.builtin import build_network_schema
+from repro.temporal.interval import FOREVER, Interval, IntervalSet
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return build_network_schema()
+
+
+def node(schema, uid, cls="Host", start=0.0, end=FOREVER):
+    return NodeRecord(
+        uid=uid, cls=schema.resolve(cls), fields={"name": f"n{uid}"},
+        period=Interval(start, end),
+    )
+
+
+def edge(schema, uid, src, dst, cls="SwitchSwitch", start=0.0, end=FOREVER):
+    return EdgeRecord(
+        uid=uid, cls=schema.resolve(cls), fields={},
+        period=Interval(start, end), source_uid=src, target_uid=dst,
+    )
+
+
+@pytest.fixture
+def chain(schema):
+    n1 = node(schema, 1, "TorSwitch")
+    n2 = node(schema, 3, "TorSwitch")
+    n3 = node(schema, 5, "TorSwitch")
+    e1 = edge(schema, 2, 1, 3)
+    e2 = edge(schema, 4, 3, 5)
+    return Pathway([n1, e1, n2, e2, n3])
+
+
+class TestStructure:
+    def test_single_node_is_a_pathway(self, schema):
+        p = Pathway([node(schema, 1)])
+        assert p.hop_count == 0
+        assert p.source is p.target
+
+    def test_must_start_and_end_with_node(self, schema):
+        with pytest.raises(NepalError):
+            Pathway([node(schema, 1), edge(schema, 2, 1, 3)])
+        with pytest.raises(NepalError):
+            Pathway([edge(schema, 2, 1, 3)])
+        with pytest.raises(NepalError):
+            Pathway([])
+
+    def test_alternation_enforced(self, schema):
+        with pytest.raises(NepalError):
+            Pathway([node(schema, 1), node(schema, 2), node(schema, 3)])
+
+    def test_accessors(self, chain):
+        assert chain.source.uid == 1
+        assert chain.target.uid == 5
+        assert chain.hop_count == 2
+        assert [n.uid for n in chain.nodes] == [1, 3, 5]
+        assert [e.uid for e in chain.edges] == [2, 4]
+        assert len(chain) == 5
+        assert chain[0].uid == 1
+
+    def test_key_and_equality(self, chain, schema):
+        same = Pathway(list(chain.elements))
+        assert chain == same
+        assert hash(chain) == hash(same)
+        assert chain.key() == (1, 2, 3, 4, 5)
+
+    def test_is_simple(self, chain, schema):
+        assert chain.is_simple()
+        n1 = node(schema, 1)
+        loop = Pathway([n1, edge(schema, 2, 1, 1), n1])
+        assert not loop.is_simple()
+
+
+class TestDerivation:
+    def test_concat(self, schema):
+        a = Pathway([node(schema, 1), edge(schema, 2, 1, 3), node(schema, 3)])
+        b = Pathway([node(schema, 3), edge(schema, 4, 3, 5), node(schema, 5)])
+        joined = a.concat(b)
+        assert joined.key() == (1, 2, 3, 4, 5)
+
+    def test_concat_requires_shared_endpoint(self, schema):
+        a = Pathway([node(schema, 1)])
+        b = Pathway([node(schema, 2)])
+        with pytest.raises(NepalError):
+            a.concat(b)
+
+    def test_reversed(self, chain):
+        assert chain.reversed().key() == (5, 4, 3, 2, 1)
+
+    def test_computed_validity_intersects_periods(self, schema):
+        n1 = node(schema, 1, start=0, end=100)
+        e1 = edge(schema, 2, 1, 3, start=10, end=50)
+        n2 = node(schema, 3, start=20, end=FOREVER)
+        p = Pathway([n1, e1, n2])
+        assert p.computed_validity().intervals == (Interval(20, 50),)
+
+    def test_with_validity(self, chain):
+        validity = IntervalSet([Interval(0, 1)])
+        stamped = chain.with_validity(validity)
+        assert stamped.validity == validity
+        assert chain.validity is None
+
+    def test_render(self, chain):
+        text = chain.render()
+        assert "-SwitchSwitch->" in text
+        assert text.startswith("TorSwitch#1")

@@ -1,0 +1,279 @@
+"""Query execution: joins, subqueries, temporal semantics, federation."""
+
+import pytest
+
+from repro.errors import FederationError, TemporalError, TypeCheckError
+from repro.plan.executor import QueryExecutor
+from repro.plan.planner import PlannerOptions
+from repro.storage.memgraph.store import MemGraphStore
+from repro.temporal.clock import TransactionClock
+from tests.conftest import T0, SmallInventory
+
+
+@pytest.fixture
+def executor(mem_store, small_inventory):
+    return QueryExecutor({"default": mem_store}), small_inventory
+
+
+class TestRetrieve:
+    def test_paper_first_example(self, executor):
+        # "Retrieve P From PATHS P WHERE P MATCHES
+        #  VNF()->VFC()->VM()->Host(id=23245)"
+        ex, inv = executor
+        result = ex.execute(
+            f"Retrieve P From PATHS P "
+            f"Where P MATCHES VNF()->VFC()->VM()->Host(id={inv.host1})"
+        )
+        assert len(result) == 1
+        pathway = result[0].pathway()
+        assert pathway.source.uid == inv.firewall
+        assert pathway.target.uid == inv.host1
+
+    def test_results_deduplicated(self, executor):
+        ex, inv = executor
+        result = ex.execute(
+            "Retrieve P From PATHS P Where P MATCHES VM()->OnServer()->Host()"
+        )
+        keys = [row.pathway().key() for row in result]
+        assert len(keys) == len(set(keys)) == 2
+
+    def test_multi_variable_retrieve(self, executor):
+        ex, inv = executor
+        result = ex.execute(
+            f"Retrieve P, Q From PATHS P, PATHS Q "
+            f"Where P MATCHES VM(id={inv.vm1}) And Q MATCHES VM(id={inv.vm2})"
+        )
+        assert len(result) == 1
+        assert result[0].bindings["P"].source.uid == inv.vm1
+        assert result[0].bindings["Q"].source.uid == inv.vm2
+
+
+class TestSelect:
+    def test_projection_with_field_access(self, executor):
+        ex, inv = executor
+        result = ex.execute(
+            "Select source(P).name, target(P).name From PATHS P "
+            "Where P MATCHES VM()->OnServer()->Host()"
+        )
+        rows = set(result.value_rows())
+        assert rows == {("vm-1", "host-1"), ("vm-2", "host-2")}
+
+    def test_length_function(self, executor):
+        ex, inv = executor
+        result = ex.execute(
+            f"Select length(P) From PATHS P "
+            f"Where P MATCHES VNF()->[Vertical()]{{1,6}}->Host(id={inv.host1})"
+        )
+        assert result.scalars() == [3]
+
+    def test_columns_named_after_expressions(self, executor):
+        ex, _ = executor
+        result = ex.execute(
+            "Select source(P).name From PATHS P Where P MATCHES Host()"
+        )
+        assert result.columns == ("source(P).name",)
+
+
+class TestJoins:
+    def test_paper_physical_path_join(self, executor):
+        # The §3.4 join: physical path between the hosts implementing two
+        # VNFs... here between the hosts hosting vm1 and vm2.
+        ex, inv = executor
+        result = ex.execute(
+            f"Retrieve Phys From PATHS D1, PATHS D2, PATHS Phys "
+            f"Where D1 MATCHES VM(id={inv.vm1})->OnServer()->Host() "
+            f"And D2 MATCHES VM(id={inv.vm2})->OnServer()->Host() "
+            f"And Phys MATCHES [ConnectedTo()]{{1,4}} "
+            f"And source(Phys)=target(D1) And target(Phys)=target(D2)"
+        )
+        assert len(result) >= 1
+        for row in result:
+            phys = row.pathway("Phys")
+            assert phys.source.uid == inv.host1
+            assert phys.target.uid == inv.host2
+
+    def test_join_on_equality_of_nodes(self, executor):
+        ex, inv = executor
+        result = ex.execute(
+            "Retrieve P, Q From PATHS P, PATHS Q "
+            "Where P MATCHES VFC()->OnVM()->VM() "
+            "And Q MATCHES VM()->OnServer()->Host() "
+            "And target(P) = source(Q)"
+        )
+        assert len(result) == 2
+        for row in result:
+            assert row.bindings["P"].target.uid == row.bindings["Q"].source.uid
+
+    def test_anchor_import_used_for_expensive_variable(
+        self, mem_store, small_inventory
+    ):
+        # Force a tiny import threshold so [ConnectedTo()]{1,4} must import
+        # its anchor from the joined variable.
+        ex = QueryExecutor(
+            {"default": mem_store},
+            planner_options=PlannerOptions(import_threshold=1.5),
+        )
+        inv = small_inventory
+        result = ex.execute(
+            f"Retrieve Phys From PATHS D1, PATHS Phys "
+            f"Where D1 MATCHES VM(id={inv.vm1})->OnServer()->Host() "
+            f"And Phys MATCHES [ConnectedTo()]{{1,4}} "
+            f"And source(Phys)=target(D1)"
+        )
+        assert len(result) >= 1
+        assert all(r.pathway("Phys").source.uid == inv.host1 for r in result)
+
+
+class TestSubqueries:
+    def test_paper_not_exists(self, executor):
+        # VMs that do not host a VFC or VNF (§3.4).  vm1/vm2 host VFCs; an
+        # idle VM added here must be the only result.
+        ex, inv = executor
+        idle = inv.store.insert_node("VMWare", {"name": "idle-vm"})
+        result = ex.execute(
+            "Retrieve V From PATHS V Where V MATCHES VM() "
+            "And NOT EXISTS( Retrieve P from PATHS P "
+            "Where P MATCHES (VNF()|VFC())->[HostedOn()]{1,5}->VM() "
+            "And target(V) = target(P) )"
+        )
+        assert {row.pathway().source.uid for row in result} == {idle}
+
+    def test_exists_positive(self, executor):
+        ex, inv = executor
+        result = ex.execute(
+            "Retrieve V From PATHS V Where V MATCHES VM() "
+            "And EXISTS( Retrieve P from PATHS P "
+            "Where P MATCHES VFC()->OnVM()->VM() And target(V) = target(P) )"
+        )
+        assert {row.pathway().source.uid for row in result} == {inv.vm1, inv.vm2}
+
+
+class TestTemporal:
+    @pytest.fixture
+    def timeline(self, network_schema):
+        clock = TransactionClock(start=T0)
+        store = MemGraphStore(network_schema, clock=clock)
+        inv = SmallInventory(store)
+        # t0+100: vm1 migrates from host1 to host2.
+        clock.set(T0 + 100)
+        store.delete_element(inv.e_vm1_host1)
+        migrated = store.insert_edge("OnServer", inv.vm1, inv.host2)
+        # t0+200: vm1 turns Red.
+        clock.set(T0 + 200)
+        store.update_element(inv.vm1, {"status": "Red"})
+        executor = QueryExecutor({"default": store})
+        return executor, inv, migrated
+
+    def test_time_point_query(self, timeline):
+        ex, inv, _ = timeline
+        past = ex.execute(
+            f"AT {T0 + 50} Retrieve P From PATHS P "
+            f"Where P MATCHES VM(id={inv.vm1})->OnServer()->Host()"
+        )
+        assert [r.pathway().target.uid for r in past] == [inv.host1]
+        now = ex.execute(
+            f"Retrieve P From PATHS P "
+            f"Where P MATCHES VM(id={inv.vm1})->OnServer()->Host()"
+        )
+        assert [r.pathway().target.uid for r in now] == [inv.host2]
+
+    def test_time_range_returns_maximal_ranges(self, timeline):
+        ex, inv, migrated = timeline
+        result = ex.execute(
+            f"AT {T0 + 10} : {T0 + 1000} Retrieve P From PATHS P "
+            f"Where P MATCHES VM(id={inv.vm1})->OnServer()->Host()"
+        )
+        by_target = {
+            row.pathway().target.uid: row.validity for row in result
+        }
+        assert set(by_target) == {inv.host1, inv.host2}
+        old = by_target[inv.host1]
+        # Maximal: starts at creation (T0), before the window start.
+        assert old.intervals[0].start == T0
+        assert old.intervals[0].end == T0 + 100
+        new = by_target[inv.host2]
+        assert new.intervals[0].start == T0 + 100
+        assert new.intervals[0].is_current
+
+    def test_field_change_clips_validity(self, timeline):
+        ex, inv, _ = timeline
+        result = ex.execute(
+            f"AT {T0} : {T0 + 1000} Retrieve P From PATHS P "
+            f"Where P MATCHES VM(id={inv.vm1}, status='Green')->OnServer()->Host(id={inv.host2})"
+        )
+        assert len(result) == 1
+        validity = result[0].validity
+        # Green only until T0+200.
+        assert validity.intervals[-1].end == T0 + 200
+
+    def test_per_variable_timestamps(self, timeline):
+        # The §4 join: same VNF on different hosts at different times —
+        # here: vm1 on host1 at t0+50 and on host2 at t0+150.
+        ex, inv, _ = timeline
+        result = ex.execute(
+            f"Select source(P) From PATHS P(@{T0 + 50}), PATHS Q(@{T0 + 150}) "
+            f"Where P MATCHES VM()->OnServer()->Host(id={inv.host1}) "
+            f"And Q MATCHES VM()->OnServer()->Host(id={inv.host2}) "
+            f"And source(P) = source(Q)"
+        )
+        assert [row.values[0].uid for row in result] == [inv.vm1]
+
+    def test_joint_at_requires_coexistence(self, timeline):
+        ex, inv, _ = timeline
+        # Under a joint AT range, P on host1 and Q on host2 for the same VM
+        # never coexist (the migration separates them).
+        result = ex.execute(
+            f"AT {T0} : {T0 + 1000} Retrieve P, Q From PATHS P, PATHS Q "
+            f"Where P MATCHES VM()->OnServer()->Host(id={inv.host1}) "
+            f"And Q MATCHES VM()->OnServer()->Host(id={inv.host2}) "
+            f"And source(P) = source(Q)"
+        )
+        assert len(result) == 0
+
+    def test_temporal_aggregates(self, timeline):
+        ex, inv, _ = timeline
+        first = ex.execute(
+            f"FIRST TIME WHEN EXISTS AT {T0 + 10} : {T0 + 1000} "
+            f"Retrieve P From PATHS P "
+            f"Where P MATCHES VM(id={inv.vm1})->OnServer()->Host(id={inv.host2})"
+        )
+        assert first.scalars() == [T0 + 100]
+        when = ex.execute(
+            f"WHEN EXISTS AT {T0 + 10} : {T0 + 1000} "
+            f"Retrieve P From PATHS P "
+            f"Where P MATCHES VM(id={inv.vm1})->OnServer()->Host()"
+        )
+        # Covered continuously (host1 until the migration, host2 after).
+        assert len(when) == 1
+
+    def test_aggregate_requires_range(self, timeline):
+        ex, inv, _ = timeline
+        with pytest.raises(TemporalError):
+            ex.execute(
+                f"FIRST TIME WHEN EXISTS AT {T0 + 10} Retrieve P From PATHS P "
+                f"Where P MATCHES VM()"
+            )
+
+
+class TestErrors:
+    def test_unknown_store(self, executor):
+        ex, _ = executor
+        with pytest.raises(FederationError):
+            ex.execute("Retrieve P From PATHS@nowhere P Where P MATCHES VM()")
+
+    def test_variable_without_matches(self, executor):
+        ex, _ = executor
+        with pytest.raises(TypeCheckError, match="without a MATCHES"):
+            ex.execute("Retrieve P From PATHS P, PATHS Q Where P MATCHES VM()")
+
+    def test_default_store_must_exist(self, mem_store):
+        with pytest.raises(FederationError):
+            QueryExecutor({"other": mem_store})
+
+    def test_explain_does_not_execute(self, executor):
+        ex, inv = executor
+        text = ex.explain(
+            f"Retrieve P From PATHS P Where P MATCHES VNF()->[Vertical()]{{1,6}}->Host(id={inv.host1})"
+        )
+        assert "variable P on store memgraph" in text
+        assert "Select[" in text

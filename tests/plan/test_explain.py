@@ -1,0 +1,63 @@
+"""Explain output mirrors the paper's plan narration."""
+
+import pytest
+
+from repro.plan.explain import explain_program
+from repro.plan.planner import Planner, PlannerOptions
+from repro.stats.cardinality import CardinalityEstimator
+from tests.rpe.util import SCHEMA
+
+
+@pytest.fixture
+def planner():
+    return Planner(SCHEMA, CardinalityEstimator())
+
+
+def test_paper_plan_shape(planner):
+    # §5.1's example plan: "Compute VM(id=55)|Docker(id=66); Extend forwards
+    # ...; Extend backwards ...".
+    program = planner.compile(
+        "VNF()->[HostedOn()]{1,3}->(VM(id=55)|Docker(id=66))->[HostedOn()]{1,2}->Host()"
+    )
+    text = explain_program(program)
+    assert "Select[VM(id=55)]" in text
+    assert "Select[Docker(id=66)]" in text
+    assert "extend forwards by [HostedOn()]{1,2}->Host()" in text
+    assert "extend backwards by" in text
+    assert "VNF()" in text
+
+
+def test_forward_only_plan(planner):
+    program = planner.compile("VNF(id=1)->ComposedOf()->VFC()")
+    text = explain_program(program)
+    forwards = text.index("extend forwards")
+    backwards = text.index("extend backwards by ε")
+    assert forwards < backwards
+    assert "(nothing to do)" in text
+
+
+def test_anchor_cardinality_reported(planner):
+    program = planner.compile("Host(id=7)")
+    assert "estimated cardinality 1" in explain_program(program)
+
+
+def test_operators_listed_in_topological_order(planner):
+    program = planner.compile("VNF(id=1)->[Vertical()]{1,3}->Host()")
+    text = explain_program(program, fuse_blocks=False)
+    lines = [line for line in text.splitlines() if "Extend[" in line or "Union[" in line]
+    assert len(lines) >= 4
+
+
+def test_fused_vs_unfused_rendering(planner):
+    program = planner.compile("VNF(id=1)->ComposedOf()->VFC()->OnVM()->VM()")
+    fused = explain_program(program, fuse_blocks=True)
+    unfused = explain_program(program, fuse_blocks=False)
+    assert "ExtendBlock[" in fused
+    assert "ExtendBlock[" not in unfused
+    assert len(unfused.splitlines()) >= len(fused.splitlines())
+
+
+def test_length_limit_reported():
+    planner = Planner(SCHEMA, options=PlannerOptions(max_pathway_elements=9))
+    program = planner.compile("VNF(id=1)->[Vertical()]{1,6}->Host()")
+    assert "pathway length limit: 9 elements" in explain_program(program)

@@ -1,0 +1,99 @@
+"""Planner behaviour: anchoring, bounds, options, explain output."""
+
+import pytest
+
+from repro.errors import PlanningError, UnanchoredQueryError, UnboundedQueryError
+from repro.plan.explain import explain_program
+from repro.plan.planner import Planner, PlannerOptions
+from repro.stats.cardinality import CardinalityEstimator
+from tests.rpe.util import SCHEMA
+
+
+@pytest.fixture
+def planner():
+    return Planner(SCHEMA, CardinalityEstimator())
+
+
+def test_compile_from_text(planner):
+    program = planner.compile("VNF(id=1)->[Vertical()]{1,6}->Host()")
+    assert program.anchor_plan.splits[0].anchor.class_name == "VNF"
+    assert program.max_elements == 17
+    assert len(program.splits) == 1
+
+
+def test_unanchored_rejected(planner):
+    with pytest.raises(UnanchoredQueryError, match="empty pathway"):
+        planner.compile("[VNF()]{0,4}->[Vertical()]{0,4}")
+
+
+def test_optional_only_blocks_rejected(planner):
+    with pytest.raises(UnanchoredQueryError):
+        planner.compile("[Vertical()]{0,3}")
+
+
+def test_max_pathway_elements_limit():
+    planner = Planner(
+        SCHEMA, options=PlannerOptions(max_pathway_elements=5)
+    )
+    program = planner.compile("VNF(id=1)->[Vertical()]{1,6}->Host()")
+    assert program.max_elements == 5
+    with pytest.raises(UnboundedQueryError):
+        planner.compile("VNF(id=1)->[Vertical()]{6,6}->Host()")
+
+
+def test_forced_anchor():
+    planner = Planner(SCHEMA, options=PlannerOptions(forced_anchor="Host"))
+    program = planner.compile("VNF(id=1)->[Vertical()]{1,6}->Host()")
+    assert program.anchor_plan.splits[0].anchor.class_name == "Host"
+
+
+def test_forced_anchor_must_occur():
+    planner = Planner(SCHEMA, options=PlannerOptions(forced_anchor="Router"))
+    with pytest.raises(PlanningError, match="does not occur"):
+        planner.compile("VNF(id=1)->Host()")
+
+
+def test_estimator_prefers_id_anchor(mem_store, small_inventory):
+    # Several VNFs make the id-pinned Host atom the strictly cheapest anchor.
+    for index in range(5):
+        mem_store.insert_node("DNS", {"name": f"dns-{index}"})
+    planner = Planner(SCHEMA, CardinalityEstimator(mem_store))
+    program = planner.compile(f"VNF()->[Vertical()]{{1,6}}->Host(id={small_inventory.host1})")
+    assert program.anchor_plan.splits[0].anchor.class_name == "Host"
+    assert program.anchor_cost == 1.0
+
+
+def test_live_statistics_shift_anchor(mem_store):
+    # Many hosts, one firewall: the VNF end becomes the cheap anchor even
+    # without predicates.
+    for index in range(50):
+        mem_store.insert_node("Host", {"name": f"h{index}"})
+    mem_store.insert_node("Firewall", {"name": "fw"})
+    planner = Planner(SCHEMA, CardinalityEstimator(mem_store))
+    program = planner.compile("VNF()->[Vertical()]{1,6}->Host()")
+    assert program.anchor_plan.splits[0].anchor.class_name == "VNF"
+
+
+def test_alternation_anchor_produces_multiple_splits(planner):
+    program = planner.compile(
+        "VNF()->[HostedOn()]{1,3}->(VM(id=55)|Docker(id=66))->[HostedOn()]{1,2}->Host()"
+    )
+    assert len(program.splits) == 2
+
+
+def test_explain_mentions_operators(planner):
+    program = planner.compile("VNF(id=55)->[OnVM()]{1,5}->VM(id=66)")
+    text = explain_program(program)
+    assert "Select[" in text
+    assert "Extend" in text
+    assert "extend forwards" in text
+    assert "extend backwards" in text
+    assert "pathway length limit" in text
+
+
+def test_explain_shows_extendblock_fusion(planner):
+    program = planner.compile("VNF(id=1)->ComposedOf()->VFC()")
+    fused = explain_program(program, fuse_blocks=True)
+    unfused = explain_program(program, fuse_blocks=False)
+    assert "ExtendBlock[" in fused
+    assert "ExtendBlock[" not in unfused

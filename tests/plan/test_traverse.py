@@ -1,0 +1,123 @@
+"""Generic frontier traversal: direction, pruning, dedup, seeded entry."""
+
+import pytest
+
+from repro.plan.planner import Planner
+from repro.plan.traverse import evaluate_from_endpoints
+from repro.stats.cardinality import CardinalityEstimator
+from repro.storage.base import TimeScope
+
+
+@pytest.fixture
+def planner(mem_store):
+    # Bind against the *store's* schema: class identity matters.
+    return Planner(mem_store.schema, CardinalityEstimator(mem_store))
+
+
+CURRENT = TimeScope.current()
+
+
+def keys(pathways):
+    return {p.key() for p in pathways}
+
+
+class TestDirections:
+    def test_forward_from_start_anchor(self, mem_store, small_inventory, planner):
+        inv = small_inventory
+        program = planner.compile(f"VNF(id={inv.firewall})->[Vertical()]{{1,6}}->Host()")
+        found = mem_store.find_pathways(program, CURRENT)
+        targets = {p.target.uid for p in found}
+        assert targets == {inv.host1, inv.host2}
+        # Full chains VNF -> VFC -> VM -> Host appear.
+        assert any(p.hop_count == 3 for p in found)
+
+    def test_backward_from_end_anchor(self, mem_store, small_inventory, planner):
+        inv = small_inventory
+        program = planner.compile(f"VNF()->[Vertical()]{{1,6}}->Host(id={inv.host1})")
+        found = mem_store.find_pathways(program, CURRENT)
+        assert {p.source.uid for p in found} == {inv.firewall}
+        assert {p.target.uid for p in found} == {inv.host1}
+
+    def test_middle_anchor_joins_both_directions(self, mem_store, small_inventory, planner):
+        inv = small_inventory
+        program = planner.compile(
+            f"VNF()->[Vertical()]{{1,2}}->VM(id={inv.vm1})->OnServer()->Host()"
+        )
+        found = mem_store.find_pathways(program, CURRENT)
+        assert found
+        for pathway in found:
+            assert pathway.source.uid == inv.firewall
+            assert pathway.target.uid == inv.host1
+            assert inv.vm1 in pathway.key()
+
+    def test_edge_anchor(self, mem_store, small_inventory, planner):
+        inv = small_inventory
+        program = planner.compile(f"OnServer(id={inv.e_vm1_host1})")
+        found = mem_store.find_pathways(program, CURRENT)
+        assert keys(found) == {(inv.vm1, inv.e_vm1_host1, inv.host1)}
+
+
+class TestResultProperties:
+    def test_simple_paths_only(self, mem_store, small_inventory, planner):
+        inv = small_inventory
+        program = planner.compile(f"Host(id={inv.host1})->[ConnectedTo()]{{1,6}}->Host()")
+        for pathway in mem_store.find_pathways(program, CURRENT):
+            assert pathway.is_simple()
+
+    def test_no_duplicates(self, mem_store, small_inventory, planner):
+        inv = small_inventory
+        program = planner.compile(f"VM(id={inv.vm1})->[ConnectedTo()]{{1,4}}->VM()")
+        found = mem_store.find_pathways(program, CURRENT)
+        assert len(found) == len(keys(found))
+
+    def test_reciprocal_edges_not_bounced(self, mem_store, small_inventory, planner):
+        # vm1 <-> net1 <-> vm2: no pathway may use a reciprocal pair to
+        # revisit a node (simple-path rule).
+        inv = small_inventory
+        program = planner.compile(f"VM(id={inv.vm1})->[VmNetwork()]{{1,4}}->VM()")
+        found = mem_store.find_pathways(program, CURRENT)
+        assert {p.target.uid for p in found} == {inv.vm2}
+
+
+class TestSeededEvaluation:
+    def test_seeds_bypass_anchor_scan(self, mem_store, small_inventory, planner):
+        import dataclasses
+
+        inv = small_inventory
+        program = planner.compile("VM()->OnServer()->Host()")
+        seeded = dataclasses.replace(program, seeds=(inv.vm1,))
+        found = mem_store.find_pathways(seeded, CURRENT)
+        assert keys(found) == {(inv.vm1, inv.e_vm1_host1, inv.host1)}
+
+    def test_endpoint_import_source(self, mem_store, small_inventory, planner):
+        inv = small_inventory
+        # host1 -> tor1 -> tor2 -> host2 is the only host-to-host walk.
+        program = planner.compile("Host()->[ConnectedTo()]{1,4}->Host()")
+        found = evaluate_from_endpoints(
+            mem_store, program, CURRENT, [inv.host1], end="source"
+        )
+        assert found
+        assert all(p.source.uid == inv.host1 for p in found)
+        assert {p.target.uid for p in found} == {inv.host2}
+
+    def test_endpoint_import_target(self, mem_store, small_inventory, planner):
+        inv = small_inventory
+        program = planner.compile("VNF()->[Vertical()]{1,6}->Host()")
+        found = evaluate_from_endpoints(
+            mem_store, program, CURRENT, [inv.host2], end="target"
+        )
+        assert found
+        assert all(p.target.uid == inv.host2 for p in found)
+        assert {p.source.uid for p in found} == {inv.firewall}
+
+    def test_endpoint_import_matches_anchor_scan(self, mem_store, small_inventory, planner):
+        # Seeding with *every* possible endpoint must equal the plain scan.
+        inv = small_inventory
+        program = planner.compile("VM()->OnServer()->Host()")
+        plain = keys(mem_store.find_pathways(program, CURRENT))
+        seeded = keys(
+            evaluate_from_endpoints(
+                mem_store, program, CURRENT, [inv.vm1, inv.vm2, inv.host1], end="source"
+            )
+        )
+        assert seeded == plain

@@ -1,0 +1,112 @@
+"""Pathway-set aggregation in Select (the paper's §8 future work)."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.plan.executor import QueryExecutor
+from repro.query.ast import AggregateCall
+from repro.query.parser import parse_query
+
+
+@pytest.fixture
+def executor(mem_store, small_inventory):
+    return QueryExecutor({"default": mem_store}), small_inventory
+
+
+class TestParsing:
+    def test_count_parses(self):
+        query = parse_query("Select count(P) From PATHS P Where P MATCHES VM()")
+        assert query.projections == (AggregateCall("count", __import__(
+            "repro.query.ast", fromlist=["VariableRef"]).VariableRef("P")),)
+
+    def test_nested_expression(self):
+        query = parse_query(
+            "Select avg(length(P)) From PATHS P Where P MATCHES VM()"
+        )
+        aggregate = query.projections[0]
+        assert isinstance(aggregate, AggregateCall)
+        assert aggregate.function == "avg"
+        assert aggregate.render() == "avg(length(P))"
+
+
+class TestExecution:
+    def test_count_rows(self, executor):
+        ex, inv = executor
+        result = ex.execute("Select count(P) From PATHS P Where P MATCHES VM()")
+        assert result.value_rows() == [(2,)]
+        assert result.columns == ("count(P)",)
+
+    def test_count_empty_is_zero(self, executor):
+        ex, _ = executor
+        result = ex.execute("Select count(P) From PATHS P Where P MATCHES Router()")
+        assert result.value_rows() == [(0,)]
+
+    def test_length_statistics(self, executor):
+        ex, inv = executor
+        result = ex.execute(
+            "Select count(P), min(length(P)), max(length(P)), avg(length(P)) "
+            f"From PATHS P Where P MATCHES VNF()->[Vertical()]{{1,6}}->Host()"
+        )
+        count, low, high, mean = result.value_rows()[0]
+        assert count > 0
+        assert 1 <= low <= high
+        assert low <= mean <= high
+
+    def test_field_aggregates(self, executor):
+        ex, inv = executor
+        result = ex.execute(
+            "Select max(target(P).cpu_cores), sum(target(P).cpu_cores) "
+            "From PATHS P Where P MATCHES VM()->OnServer()->Host()"
+        )
+        assert result.value_rows() == [(64, 96)]
+
+    def test_empty_value_aggregate_is_none(self, executor):
+        ex, _ = executor
+        result = ex.execute(
+            "Select max(length(P)) From PATHS P Where P MATCHES Router()"
+        )
+        assert result.value_rows() == [(None,)]
+
+    def test_aggregate_over_join(self, executor):
+        ex, inv = executor
+        result = ex.execute(
+            "Select count(P) From PATHS P, PATHS Q "
+            "Where P MATCHES VFC()->OnVM()->VM() "
+            "And Q MATCHES VM()->OnServer()->Host() "
+            "And target(P) = source(Q)"
+        )
+        assert result.value_rows() == [(2,)]
+
+    def test_aggregate_with_time_range(self, executor, clock):
+        ex, inv = executor
+        clock.advance(100)
+        inv.store.delete_element(inv.e_vm1_host1)
+        from tests.conftest import T0
+
+        result = ex.execute(
+            f"AT {T0} : {T0 + 1000} Select count(P) From PATHS P "
+            f"Where P MATCHES VM()->OnServer()->Host()"
+        )
+        # Both placements existed at some point in the range.
+        assert result.value_rows() == [(2,)]
+
+
+class TestRejections:
+    def test_mixed_projections(self, executor):
+        ex, _ = executor
+        with pytest.raises(TypeCheckError, match="mixed"):
+            ex.execute(
+                "Select count(P), source(P).name From PATHS P Where P MATCHES VM()"
+            )
+
+    def test_value_aggregate_needs_expression(self, executor):
+        ex, _ = executor
+        with pytest.raises(TypeCheckError, match="value expression"):
+            ex.execute("Select avg(P) From PATHS P Where P MATCHES VM()")
+
+    def test_aggregate_in_where_rejected(self, executor):
+        ex, _ = executor
+        with pytest.raises(TypeCheckError, match="projections"):
+            ex.execute(
+                "Retrieve P From PATHS P Where P MATCHES VM() And count(P) > 1"
+            )

@@ -1,0 +1,71 @@
+"""Expression evaluation and comparison semantics."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.query.ast import FieldAccess, FunctionCall, Literal, VariableRef
+from repro.query.functions import apply_function, compare_values, evaluate_expression
+from tests.rpe.util import pathway
+
+
+@pytest.fixture
+def chain():
+    return pathway(
+        "VMWare:1 OnServer:2 Host:3",
+        f1={"name": "vm-1", "vcpus": 4},
+        f3={"name": "host-1", "cpu_cores": 64},
+    )
+
+
+def test_source_target_length(chain):
+    assert apply_function("source", chain).uid == 1
+    assert apply_function("target", chain).uid == 3
+    assert apply_function("length", chain) == 1
+    assert apply_function("hops", chain) == 1
+    with pytest.raises(TypeCheckError):
+        apply_function("middle", chain)
+
+
+def test_evaluate_function_call(chain):
+    assert evaluate_expression(FunctionCall("source", "P"), {"P": chain}).uid == 1
+
+
+def test_evaluate_field_access(chain):
+    expr = FieldAccess(FunctionCall("target", "P"), "cpu_cores")
+    assert evaluate_expression(expr, {"P": chain}) == 64
+    virtual_id = FieldAccess(FunctionCall("target", "P"), "id")
+    assert evaluate_expression(virtual_id, {"P": chain}) == 3
+
+
+def test_evaluate_literal_and_varref(chain):
+    assert evaluate_expression(Literal(42), {}) == 42
+    assert evaluate_expression(VariableRef("P"), {"P": chain}) is chain
+
+
+def test_unbound_variable(chain):
+    with pytest.raises(TypeCheckError, match="unbound"):
+        evaluate_expression(FunctionCall("source", "Q"), {"P": chain})
+
+
+class TestCompare:
+    def test_node_equality_by_uid(self, chain):
+        other = pathway("OnMetal:9 OnServer:10 Host:3")
+        assert compare_values(chain.target, "=", other.target)
+        assert not compare_values(chain.source, "=", other.source)
+
+    def test_node_vs_literal_compares_uid(self, chain):
+        assert compare_values(chain.source, "=", 1)
+        assert compare_values(3, "=", chain.target)
+
+    def test_value_comparisons(self):
+        assert compare_values(2, "<", 3)
+        assert compare_values("a", "!=", "b")
+        assert compare_values(3, ">=", 3)
+        assert not compare_values(2, ">", 3)
+
+    def test_type_mismatch_is_false(self):
+        assert not compare_values(2, "<", "three")
+
+    def test_unknown_operator(self):
+        with pytest.raises(TypeCheckError):
+            compare_values(1, "~", 2)

@@ -1,0 +1,62 @@
+"""Query tokenizer details."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query.lexer import tokenize_query
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize_query(text)]
+
+
+def test_names_keep_colons():
+    assert kinds("VM:VMWare")[0] == ("name", "VM:VMWare")
+
+
+def test_bare_colon_is_punct():
+    tokens = kinds("AT '1' : '2'")
+    assert ("punct", ":") in tokens
+
+
+def test_strings_swallow_colons_and_spaces():
+    tokens = kinds("AT '2017-02-15 9:00' : '2017-02-15 11:00'")
+    strings = [t for t in tokens if t[0] == "string"]
+    assert len(strings) == 2
+    assert strings[0][1] == "'2017-02-15 9:00'"
+
+
+def test_arrow_vs_comparison():
+    tokens = kinds("a->b >= 3")
+    assert ("arrow", "->") in tokens
+    assert ("op", ">=") in tokens
+
+
+def test_at_and_dot_punct():
+    tokens = kinds("PATHS@legacy source(P).name")
+    values = [t[1] for t in tokens if t[0] == "punct"]
+    assert "@" in values and "." in values
+
+
+def test_positions_and_end():
+    tokens = tokenize_query("Retrieve  P")
+    assert tokens[0].position == 0
+    assert tokens[0].end == 8
+    assert tokens[1].position == 10
+
+
+def test_keyword_detection_case_insensitive():
+    token = tokenize_query("WhErE")[0]
+    assert token.is_keyword("where")
+    assert not token.is_keyword("from")
+
+
+def test_rejects_junk():
+    with pytest.raises(ParseError):
+        tokenize_query("Retrieve $ From")
+
+
+def test_numbers_with_fractions_and_sign():
+    tokens = kinds("AT -1.5 : 200")
+    assert ("number", "-1.5") in tokens
+    assert ("number", "200") in tokens

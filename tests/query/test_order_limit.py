@@ -1,0 +1,101 @@
+"""Order By and Limit clauses."""
+
+import pytest
+
+from repro.errors import ParseError, TypeCheckError
+from repro.plan.executor import QueryExecutor
+from repro.query.parser import parse_query
+
+
+@pytest.fixture
+def executor(mem_store):
+    for index, cores in enumerate((16, 64, 32, 64)):
+        mem_store.insert_node(
+            "Host", {"name": f"h{index}", "cpu_cores": cores, "status": "Green"}
+        )
+    return QueryExecutor({"default": mem_store})
+
+
+class TestParsing:
+    def test_order_and_limit_parse(self):
+        query = parse_query(
+            "Select source(P).name From PATHS P Where P MATCHES Host() "
+            "Order By source(P).cpu_cores Desc, source(P).name Limit 5"
+        )
+        assert len(query.order_by) == 2
+        assert query.order_by[0].descending
+        assert not query.order_by[1].descending
+        assert query.limit == 5
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(ParseError):
+            parse_query("Retrieve P From PATHS P Where P MATCHES Host() Limit 2.5")
+        with pytest.raises(ParseError):
+            parse_query("Retrieve P From PATHS P Where P MATCHES Host() Limit many")
+
+    def test_render_round_trips(self):
+        text = (
+            "Select source(P).name From PATHS P Where P MATCHES Host() "
+            "Order By source(P).name Desc Limit 3"
+        )
+        first = parse_query(text)
+        assert parse_query(first.render()).render() == first.render()
+        assert "Order By" in first.render() and "Limit 3" in first.render()
+
+
+class TestExecution:
+    def test_order_ascending_default(self, executor):
+        result = executor.execute(
+            "Select source(P).cpu_cores From PATHS P Where P MATCHES Host() "
+            "Order By source(P).cpu_cores"
+        )
+        assert result.scalars() == [16, 32, 64, 64]
+
+    def test_order_descending(self, executor):
+        result = executor.execute(
+            "Select source(P).cpu_cores From PATHS P Where P MATCHES Host() "
+            "Order By source(P).cpu_cores Desc"
+        )
+        assert result.scalars() == [64, 64, 32, 16]
+
+    def test_secondary_key_breaks_ties(self, executor):
+        result = executor.execute(
+            "Select source(P).name From PATHS P Where P MATCHES Host() "
+            "Order By source(P).cpu_cores Desc, source(P).name Desc"
+        )
+        assert result.scalars() == ["h3", "h1", "h2", "h0"]
+
+    def test_limit_truncates(self, executor):
+        result = executor.execute(
+            "Select source(P).name From PATHS P Where P MATCHES Host() "
+            "Order By source(P).name Limit 2"
+        )
+        assert result.scalars() == ["h0", "h1"]
+
+    def test_limit_zero(self, executor):
+        result = executor.execute(
+            "Retrieve P From PATHS P Where P MATCHES Host() Limit 0"
+        )
+        assert len(result) == 0
+
+    def test_order_by_node_sorts_by_uid(self, executor):
+        result = executor.execute(
+            "Select source(P) From PATHS P Where P MATCHES Host() "
+            "Order By source(P) Desc Limit 1"
+        )
+        uids = [row.values[0].uid for row in result]
+        assert uids == [4]
+
+    def test_order_key_typechecked(self, executor):
+        with pytest.raises(TypeCheckError):
+            executor.execute(
+                "Retrieve P From PATHS P Where P MATCHES Host() "
+                "Order By source(Q).name"
+            )
+
+    def test_retrieve_with_order_and_limit(self, executor):
+        result = executor.execute(
+            "Retrieve P From PATHS P Where P MATCHES Host() "
+            "Order By source(P).cpu_cores Limit 1"
+        )
+        assert result[0].pathway().source.get("cpu_cores") == 16

@@ -1,0 +1,207 @@
+"""NPQL parsing: all clause forms from Sections 3.4 and 4."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query.ast import (
+    FIRST_TIME,
+    LAST_TIME,
+    RETRIEVE,
+    SELECT,
+    WHEN_EXISTS,
+    ComparePredicate,
+    ExistsPredicate,
+    FieldAccess,
+    FunctionCall,
+    MatchesPredicate,
+    VariableRef,
+)
+from repro.query.parser import parse_query
+from repro.temporal.interval import parse_timestamp
+
+
+class TestBasicForms:
+    def test_paper_retrieve(self):
+        query = parse_query(
+            "Retrieve P From PATHS P "
+            "WHERE P MATCHES VNF()->VFC()->VM()->Host(id=23245)"
+        )
+        assert query.mode == RETRIEVE
+        assert query.projections == (VariableRef("P"),)
+        assert [v.name for v in query.variables] == ["P"]
+        matches = query.matches_for("P")
+        assert matches is not None
+        assert "Host(id=23245)" in matches.rpe.render()
+
+    def test_paper_select_with_field_access(self):
+        query = parse_query(
+            "Select source(V).name, source(V).id From PATHS V Where V MATCHES VM()"
+        )
+        assert query.mode == SELECT
+        assert query.projections[0] == FieldAccess(FunctionCall("source", "V"), "name")
+        assert query.projections[1] == FieldAccess(FunctionCall("source", "V"), "id")
+
+    def test_keywords_case_insensitive(self):
+        query = parse_query("retrieve p FROM paths p wHeRe p matches VM()")
+        assert query.mode == RETRIEVE
+
+    def test_join_query(self):
+        query = parse_query(
+            "Retrieve Phys From PATHS D1, PATHS D2, PATHS Phys "
+            "Where D1 MATCHES VNF(id=123)->[Vertical()]{1,6}->Host() "
+            "And D2 MATCHES VNF(id=234)->[Vertical()]{1,6}->Host() "
+            "And Phys MATCHES [ConnectedTo()]{1,8} "
+            "And source(Phys)=target(D1) And target(Phys)=target(D2)"
+        )
+        assert len(query.variables) == 3
+        compares = [p for p in query.predicates if isinstance(p, ComparePredicate)]
+        assert len(compares) == 2
+        assert compares[0].left == FunctionCall("source", "Phys")
+        assert compares[0].right == FunctionCall("target", "D1")
+
+    def test_not_exists_subquery(self):
+        query = parse_query(
+            "Retrieve V From PATHS V Where V MATCHES VM() "
+            "And NOT EXISTS( Retrieve P from PATHS P "
+            "Where P MATCHES (VNF()|VFC())->[HostedOn()]{1,5}->VM() "
+            "And target(V) = target(P) )"
+        )
+        exists = [p for p in query.predicates if isinstance(p, ExistsPredicate)]
+        assert len(exists) == 1
+        assert exists[0].negated
+        sub = exists[0].query
+        assert sub.declared_variables() == {"P"}
+        assert sub.free_variables() == {"V"}
+
+    def test_literal_comparisons(self):
+        query = parse_query(
+            "Retrieve P From PATHS P Where P MATCHES VM() And length(P) >= 2"
+        )
+        compare = query.predicates[1]
+        assert isinstance(compare, ComparePredicate)
+        assert compare.op == ">="
+        assert compare.right.value == 2
+
+
+class TestTemporalClauses:
+    def test_query_level_at_point(self):
+        query = parse_query(
+            "AT '2017-02-15 10:00:00' Select source(P) From PATHS P "
+            "Where P MATCHES VNF()->[HostedOn()]{1,6}->Host(id=23245)"
+        )
+        assert query.at is not None
+        assert not query.at.is_range
+        assert query.at.start == parse_timestamp("2017-02-15 10:00:00")
+
+    def test_query_level_at_range(self):
+        query = parse_query(
+            "AT '2017-02-15 9:00' : '2017-02-15 11:00' Select source(P) "
+            "From PATHS P Where P MATCHES VM()"
+        )
+        assert query.at.is_range
+        assert query.at.end > query.at.start
+
+    def test_per_variable_timestamps(self):
+        # §4: PATHS P(@'2017-02-15 10:00'), Q(@'2017-02-15 11:00')
+        query = parse_query(
+            "Select source(P) From PATHS P(@'2017-02-15 10:00'), "
+            "PATHS Q(@'2017-02-15 11:00') "
+            "Where P MATCHES VM() And Q MATCHES VM() And source(P) = source(Q)"
+        )
+        assert query.variables[0].at.start == parse_timestamp("2017-02-15 10:00")
+        assert query.variables[1].at.start == parse_timestamp("2017-02-15 11:00")
+
+    def test_per_variable_range(self):
+        query = parse_query(
+            "Retrieve P From PATHS P(@100:200) Where P MATCHES VM()"
+        )
+        assert query.variables[0].at.is_range
+
+    def test_numeric_timestamps(self):
+        query = parse_query("AT 1500 Retrieve P From PATHS P Where P MATCHES VM()")
+        assert query.at.start == 1500.0
+
+    @pytest.mark.parametrize(
+        "prefix,op",
+        [
+            ("FIRST TIME WHEN EXISTS", FIRST_TIME),
+            ("LAST TIME WHEN EXISTS", LAST_TIME),
+            ("WHEN EXISTS", WHEN_EXISTS),
+        ],
+    )
+    def test_temporal_aggregates(self, prefix, op):
+        query = parse_query(
+            f"{prefix} AT 0 : 100 Retrieve P From PATHS P Where P MATCHES VM()"
+        )
+        assert query.temporal_op == op
+        assert query.at.is_range
+
+
+class TestViews:
+    def test_view_source_parses(self):
+        query = parse_query("Retrieve P From PLACEMENTS P")
+        assert query.variables[0].view == "PLACEMENTS"
+        assert "PLACEMENTS P" in query.render()
+
+    def test_paths_is_not_a_view(self):
+        query = parse_query("Retrieve P From PATHS P Where P MATCHES VM()")
+        assert query.variables[0].view is None
+
+    def test_view_with_store_and_timestamp(self):
+        query = parse_query("Retrieve P From PLACEMENTS@legacy P(@100)")
+        variable = query.variables[0]
+        assert variable.view == "PLACEMENTS"
+        assert variable.store == "legacy"
+        assert variable.at.start == 100.0
+
+
+class TestFederation:
+    def test_store_qualified_paths(self):
+        query = parse_query(
+            "Retrieve P, Q From PATHS@cloud P, PATHS@legacy Q "
+            "Where P MATCHES VM() And Q MATCHES Entity()"
+        )
+        assert query.variables[0].store == "cloud"
+        assert query.variables[1].store == "legacy"
+
+    def test_default_store_is_none(self):
+        query = parse_query("Retrieve P From PATHS P Where P MATCHES VM()")
+        assert query.variables[0].store is None
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "Retrieve From PATHS P",
+            "Retrieve P PATHS P",
+            "Retrieve P From PATHS P Where",
+            "Retrieve P From PATHS P Where P MATCHES",
+            "Retrieve P From PATHS P Where P MATCHES VM() And",
+            "Select source() From PATHS P Where P MATCHES VM()",
+            "Select mangle(P) From PATHS P Where P MATCHES VM()",
+            "AT Retrieve P From PATHS P Where P MATCHES VM()",
+            "Retrieve P From PATHS P Where P MATCHES VM() trailing",
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(ParseError):
+            parse_query(bad)
+
+
+class TestRendering:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "Retrieve P From PATHS P Where P MATCHES VM()",
+            "Select source(P).name From PATHS P Where P MATCHES VM()->Host()",
+            "AT 100 Retrieve P From PATHS P Where P MATCHES VM()",
+            "AT 100 : 200 Retrieve P From PATHS P Where P MATCHES VM()",
+            "WHEN EXISTS AT 100 : 200 Retrieve P From PATHS P Where P MATCHES VM()",
+        ],
+    )
+    def test_render_reparse_stable(self, text):
+        first = parse_query(text)
+        second = parse_query(first.render())
+        assert first.render() == second.render()

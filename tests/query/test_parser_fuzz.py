@@ -1,0 +1,139 @@
+"""Property tests: random query ASTs render → reparse to the same AST."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.query.ast import (
+    RETRIEVE,
+    SELECT,
+    AggregateCall,
+    ComparePredicate,
+    FieldAccess,
+    FunctionCall,
+    Literal,
+    MatchesPredicate,
+    OrderKey,
+    Query,
+    RangeVariable,
+    TemporalSpec,
+    VariableRef,
+)
+from repro.query.parser import parse_query
+from repro.rpe.parser import parse_rpe
+
+_names = st.sampled_from(["P", "Q", "R2", "Phys"])
+_classes = st.sampled_from(["VM", "Host", "VNF", "ConnectedTo"])
+_fields = st.sampled_from(["name", "status", "vcpus"])
+
+
+@st.composite
+def rpe_texts(draw):
+    parts = []
+    for _ in range(draw(st.integers(1, 3))):
+        cls = draw(_classes)
+        if draw(st.booleans()):
+            parts.append(f"{cls}()")
+        else:
+            parts.append(f"[{cls}()]{{1,{draw(st.integers(1, 4))}}}")
+    return "->".join(parts)
+
+
+@st.composite
+def expressions(draw, allow_aggregate=False):
+    kind = draw(st.sampled_from(
+        ["func", "field", "literal"] + (["agg"] if allow_aggregate else [])
+    ))
+    if kind == "func":
+        return FunctionCall(draw(st.sampled_from(["source", "target", "length"])),
+                            draw(_names))
+    if kind == "field":
+        return FieldAccess(
+            FunctionCall(draw(st.sampled_from(["source", "target"])), draw(_names)),
+            draw(_fields),
+        )
+    if kind == "literal":
+        return Literal(draw(st.one_of(
+            st.integers(-100, 100),
+            st.text(alphabet="abcz ", min_size=0, max_size=5),
+        )))
+    return AggregateCall(
+        draw(st.sampled_from(["min", "max", "sum", "avg"])),
+        FunctionCall("length", draw(_names)),
+    )
+
+
+@st.composite
+def queries(draw):
+    variables = tuple(
+        RangeVariable(name)
+        for name in draw(st.lists(_names, min_size=1, max_size=3, unique=True))
+    )
+    predicates = [
+        MatchesPredicate(v.name, parse_rpe(draw(rpe_texts()))) for v in variables
+    ]
+    for _ in range(draw(st.integers(0, 2))):
+        predicates.append(
+            ComparePredicate(
+                draw(expressions()),
+                draw(st.sampled_from(["=", "!=", "<", ">="])),
+                draw(expressions()),
+            )
+        )
+    mode = draw(st.sampled_from([RETRIEVE, SELECT]))
+    if mode == RETRIEVE:
+        projections = tuple(VariableRef(v.name) for v in variables)
+    else:
+        projections = tuple(
+            draw(expressions())
+            for _ in range(draw(st.integers(1, 2)))
+        )
+    at = draw(st.one_of(
+        st.none(),
+        st.builds(TemporalSpec, st.integers(0, 10**6).map(float)),
+        st.builds(
+            TemporalSpec,
+            st.just(100.0),
+            st.integers(200, 10**6).map(float),
+        ),
+    ))
+    order_by = tuple(
+        OrderKey(draw(expressions()), draw(st.booleans()))
+        for _ in range(draw(st.integers(0, 2)))
+    )
+    limit = draw(st.one_of(st.none(), st.integers(0, 50)))
+    return Query(
+        mode=mode,
+        projections=projections,
+        variables=variables,
+        predicates=tuple(predicates),
+        at=at,
+        order_by=order_by,
+        limit=limit,
+    )
+
+
+def _strip(query: Query) -> tuple:
+    """Comparable digest ignoring RPE object identity (compare rendered)."""
+    return (
+        query.mode,
+        tuple(p.render() for p in query.projections),
+        tuple(v.render() for v in query.variables),
+        tuple(p.render() for p in query.predicates),
+        None if query.at is None else (query.at.start, query.at.end),
+        tuple(k.render() for k in query.order_by),
+        query.limit,
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(queries())
+def test_render_reparse_roundtrip(query):
+    reparsed = parse_query(query.render())
+    assert _strip(reparsed) == _strip(query)
+
+
+@settings(max_examples=80, deadline=None)
+@given(queries())
+def test_render_is_stable(query):
+    once = parse_query(query.render()).render()
+    twice = parse_query(once).render()
+    assert once == twice

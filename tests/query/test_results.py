@@ -1,0 +1,66 @@
+"""Result rows and rendering."""
+
+import pytest
+
+from repro.query.results import QueryResult, ResultRow
+from repro.temporal.interval import FOREVER, Interval, IntervalSet
+from tests.rpe.util import pathway
+
+
+@pytest.fixture
+def chain():
+    return pathway("VMWare:1 OnServer:2 Host:3", f1={"name": "vm-1"})
+
+
+def test_pathway_accessor_single_binding(chain):
+    row = ResultRow(values=(chain,), bindings={"P": chain})
+    assert row.pathway() is chain
+    assert row.pathway("P") is chain
+
+
+def test_pathway_accessor_requires_name_when_ambiguous(chain):
+    other = pathway("Docker:9")
+    row = ResultRow(values=(chain, other), bindings={"P": chain, "Q": other})
+    with pytest.raises(KeyError):
+        row.pathway()
+    assert row.pathway("Q") is other
+
+
+def test_times_render_like_the_paper(chain):
+    validity = IntervalSet([
+        Interval(1_000_000.0, 2_000_000.0),
+        Interval(3_000_000.0, FOREVER),
+    ])
+    row = ResultRow(values=(chain,), bindings={"P": chain}, validity=validity)
+    times = row.times()
+    assert len(times) == 2
+    # A still-current interval renders with an empty upper bound, like the
+    # paper's `times: ['2017-02-15 09:15', ]`.
+    assert times[1][1] == ""
+
+
+def test_result_collection_protocols(chain):
+    rows = [ResultRow(values=(i,), bindings={"P": chain}) for i in range(3)]
+    result = QueryResult(("n",), rows)
+    assert len(result) == 3
+    assert [row.values[0] for row in result] == [0, 1, 2]
+    assert result[1].values == (1,)
+    assert result.scalars() == [0, 1, 2]
+    assert result.value_rows() == [(0,), (1,), (2,)]
+    assert "3 rows" in repr(result)
+
+
+def test_pathways_helper(chain):
+    rows = [ResultRow(values=(chain,), bindings={"P": chain})]
+    result = QueryResult(("P",), rows)
+    assert result.pathways() == [chain]
+    assert result.pathways("P") == [chain]
+
+
+def test_to_table_renders_pathways(chain):
+    result = QueryResult(
+        ("P", "n"), [ResultRow(values=(chain, 42), bindings={"P": chain})]
+    )
+    table = result.to_table()
+    assert "-OnServer->" in table
+    assert "42" in table

@@ -1,0 +1,90 @@
+"""Path evolution and temporal aggregate helpers (§4 / [18])."""
+
+import pytest
+
+from repro.model.pathway import Pathway
+from repro.query.temporal_agg import (
+    first_time_when_exists,
+    last_time_when_exists,
+    path_evolution,
+    when_exists,
+)
+from repro.storage.base import TimeScope
+from repro.temporal.interval import FOREVER, Interval, IntervalSet
+from tests.conftest import T0
+
+
+@pytest.fixture
+def evolved(mem_store, clock):
+    vm = mem_store.insert_node("VM", {"name": "vm", "status": "Green"})
+    host = mem_store.insert_node("Host", {"name": "host", "status": "Green"})
+    edge = mem_store.insert_edge("OnServer", vm, host)
+    clock.set(T0 + 100)
+    mem_store.update_element(vm, {"status": "Red"})
+    clock.set(T0 + 200)
+    mem_store.delete_element(edge)
+    clock.set(T0 + 300)
+    mem_store.insert_edge("OnServer", vm, host, uid=edge)
+    scope = TimeScope.current()
+    elements = [
+        mem_store.get_element(vm, scope),
+        mem_store.get_element(edge, scope),
+        mem_store.get_element(host, scope),
+    ]
+    return mem_store, Pathway(elements), (vm, edge, host)
+
+
+class TestPathEvolution:
+    def test_existence_reflects_edge_outage(self, evolved):
+        store, pathway, _ = evolved
+        evolution = path_evolution(store, pathway, Interval(T0, T0 + 1000))
+        assert evolution.existence.intervals == (
+            Interval(T0, T0 + 200),
+            Interval(T0 + 300, T0 + 1000),
+        )
+
+    def test_field_changes_tracked(self, evolved):
+        store, pathway, (vm, _, _) = evolved
+        evolution = path_evolution(store, pathway, Interval(T0, T0 + 1000))
+        status_changes = [
+            change for change in evolution.changes if change.field_name == "status"
+        ]
+        assert len(status_changes) == 1
+        change = status_changes[0]
+        assert change.at == T0 + 100
+        assert change.uid == vm
+        assert (change.old_value, change.new_value) == ("Green", "Red")
+
+    def test_changes_outside_window_ignored(self, evolved):
+        store, pathway, _ = evolved
+        evolution = path_evolution(store, pathway, Interval(T0 + 150, T0 + 1000))
+        assert all(change.at >= T0 + 150 for change in evolution.changes)
+        assert not any(
+            change.field_name == "status" for change in evolution.changes
+        )
+
+    def test_render(self, evolved):
+        store, pathway, _ = evolved
+        evolution = path_evolution(store, pathway, Interval(T0, T0 + 1000))
+        text = evolution.render()
+        assert "evolution of" in text
+        assert "status" in text
+
+
+class TestAggregateHelpers:
+    def test_first_last_when(self):
+        validities = [
+            IntervalSet([Interval(10, 20)]),
+            IntervalSet([Interval(5, 8), Interval(30, FOREVER)]),
+        ]
+        assert first_time_when_exists(validities) == 5
+        assert last_time_when_exists(validities) == FOREVER
+        union = when_exists(validities)
+        assert union.intervals == (
+            Interval(5, 8), Interval(10, 20), Interval(30, FOREVER),
+        )
+
+    def test_empty(self):
+        assert first_time_when_exists([]) is None
+        assert first_time_when_exists([IntervalSet.empty()]) is None
+        assert when_exists([]).is_empty()

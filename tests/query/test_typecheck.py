@@ -1,0 +1,131 @@
+"""Semantic validation of queries, incl. the LCA endpoint-typing rule."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.query.parser import parse_query
+from repro.query.typecheck import boundary_atoms, endpoint_class, typecheck_query
+from repro.rpe.normalize import normalize
+from repro.rpe.parser import parse_rpe
+from repro.schema.builtin import build_network_schema
+
+SCHEMA = build_network_schema()
+
+
+def check(text):
+    return typecheck_query(parse_query(text), lambda variable: SCHEMA)
+
+
+class TestStructure:
+    def test_valid_query_passes(self):
+        checked = check("Retrieve P From PATHS P Where P MATCHES VM()->Host()")
+        assert "P" in checked.bound_matches
+
+    def test_variable_without_matches(self):
+        with pytest.raises(TypeCheckError, match="without a MATCHES"):
+            check("Retrieve P From PATHS P, PATHS Q Where P MATCHES VM()")
+
+    def test_double_matches_rejected(self):
+        with pytest.raises(TypeCheckError, match="more than one MATCHES"):
+            check(
+                "Retrieve P From PATHS P Where P MATCHES VM() And P MATCHES Host()"
+            )
+
+    def test_duplicate_variable_rejected(self):
+        with pytest.raises(TypeCheckError, match="declared twice"):
+            check(
+                "Retrieve P From PATHS P, PATHS P "
+                "Where P MATCHES VM() And P MATCHES VM()"
+            )
+
+    def test_matches_on_undeclared_variable(self):
+        with pytest.raises(TypeCheckError, match="undeclared"):
+            check("Retrieve P From PATHS P Where P MATCHES VM() And Q MATCHES VM()")
+
+    def test_expression_on_undeclared_variable(self):
+        with pytest.raises(TypeCheckError, match="undeclared"):
+            check(
+                "Select source(Q) From PATHS P Where P MATCHES VM()"
+            )
+
+    def test_rpe_binding_errors_surface(self):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            check("Retrieve P From PATHS P Where P MATCHES Unicorn()")
+        with pytest.raises(TypeCheckError, match="unknown field"):
+            check("Retrieve P From PATHS P Where P MATCHES VM(altitude=3)")
+
+    def test_subquery_sees_outer_variables(self):
+        checked = check(
+            "Retrieve V From PATHS V Where V MATCHES VM() "
+            "And NOT EXISTS( Retrieve P from PATHS P "
+            "Where P MATCHES VFC()->OnVM()->VM() And target(V) = target(P) )"
+        )
+        assert 1 in checked.subqueries
+
+    def test_subquery_shadowing_rejected(self):
+        with pytest.raises(TypeCheckError, match="shadows"):
+            check(
+                "Retrieve V From PATHS V Where V MATCHES VM() "
+                "And EXISTS( Retrieve V from PATHS V Where V MATCHES Host() )"
+            )
+
+
+class TestEndpointTyping:
+    def endpoint(self, rpe_text, end):
+        rpe = normalize(parse_rpe(rpe_text).bind(SCHEMA))
+        return endpoint_class(rpe, SCHEMA, end)
+
+    def test_simple_node_endpoints(self):
+        assert self.endpoint("VM()->OnServer()->Host()", "source").name == "VM"
+        assert self.endpoint("VM()->OnServer()->Host()", "target").name == "Host"
+
+    def test_lca_over_alternation(self):
+        # VMWare | Docker generalize to Container.
+        assert self.endpoint("(VMWare()|Docker())->Host()", "source").name == "Container"
+
+    def test_edge_atom_endpoint_uses_rules(self):
+        # OnServer: Container -> Host.
+        assert self.endpoint("OnServer()", "source").name == "Container"
+        assert self.endpoint("OnServer()", "target").name == "Host"
+
+    def test_optional_prefix_widens(self):
+        cls = self.endpoint("[VM()]{0,2}->Host()", "source")
+        # Source may be a VM (one or more copies) or the Host itself.
+        assert cls.name in ("NetworkElement", "Node")
+
+    def test_boundary_atoms_through_repetition(self):
+        rpe = normalize(parse_rpe("[ConnectedTo()]{1,4}").bind(SCHEMA))
+        atoms = boundary_atoms(rpe, "source")
+        assert [a.class_name for a in atoms] == ["ConnectedTo"]
+
+    def test_field_access_validated_against_endpoint(self):
+        check(
+            "Select target(P).cpu_cores From PATHS P "
+            "Where P MATCHES VM()->OnServer()->Host()"
+        )
+        with pytest.raises(TypeCheckError, match="no field"):
+            check(
+                "Select target(P).vcpus From PATHS P "
+                "Where P MATCHES VM()->OnServer()->Host()"
+            )
+
+    def test_subclass_field_rejected_on_generalized_endpoint(self):
+        # Source class is Container (LCA), which has no vcpus.
+        with pytest.raises(TypeCheckError, match="no field"):
+            check(
+                "Select source(P).vcpus From PATHS P "
+                "Where P MATCHES (VMWare()|Docker())->Host()"
+            )
+
+    def test_id_always_available(self):
+        check(
+            "Select source(P).id From PATHS P Where P MATCHES (VMWare()|Docker())"
+        )
+
+    def test_field_access_on_length_rejected(self):
+        with pytest.raises(TypeCheckError, match="returns a"):
+            check(
+                "Select length(P).name From PATHS P Where P MATCHES VM()"
+            )

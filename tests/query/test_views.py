@@ -1,0 +1,88 @@
+"""Named pathway views (§3.4 "Additional views can be defined")."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.plan.executor import QueryExecutor
+
+
+@pytest.fixture
+def executor(mem_store, small_inventory):
+    ex = QueryExecutor({"default": mem_store})
+    ex.define_view("PLACEMENTS", "VM()->OnServer()->Host()")
+    ex.define_view("FOOTPRINT", "VNF()->[Vertical()]{1,6}->Host()")
+    return ex, small_inventory
+
+
+def test_view_variable_needs_no_matches(executor):
+    ex, inv = executor
+    result = ex.execute("Retrieve P From PLACEMENTS P")
+    assert len(result) == 2
+    assert {row.pathway().target.uid for row in result} == {inv.host1, inv.host2}
+
+
+def test_view_names_case_insensitive(executor):
+    ex, _ = executor
+    assert len(ex.execute("Retrieve P From placements P")) == 2
+
+
+def test_extra_matches_is_conjunctive(executor):
+    ex, inv = executor
+    result = ex.execute(
+        "Retrieve P From PLACEMENTS P "
+        "Where P MATCHES VM()->OnServer()->Host(name='host-1')"
+    )
+    assert [row.pathway().target.uid for row in result] == [inv.host1]
+
+
+def test_view_with_projection_and_join(executor):
+    ex, inv = executor
+    result = ex.execute(
+        "Select source(F).name From FOOTPRINT F, PLACEMENTS P "
+        "Where target(F) = target(P) And source(P).name = 'vm-1'"
+    )
+    assert set(result.scalars()) == {"fw-1"}
+
+
+def test_view_in_subquery(executor):
+    ex, inv = executor
+    idle = inv.store.insert_node("VMWare", {"name": "idle"})
+    result = ex.execute(
+        "Retrieve V From PATHS V Where V MATCHES VM() "
+        "And NOT EXISTS( Retrieve P From PLACEMENTS P "
+        "Where source(V) = source(P) )"
+    )
+    assert {row.pathway().source.uid for row in result} == {idle}
+
+
+def test_unknown_view_rejected(executor):
+    ex, _ = executor
+    with pytest.raises(TypeCheckError, match="unknown pathway view"):
+        ex.execute("Retrieve P From MYSTERY P")
+
+
+def test_view_rpe_validated_against_store_schema(mem_store):
+    ex = QueryExecutor({"default": mem_store})
+    ex.define_view("BROKEN", "Unicorn()")
+    from repro.errors import SchemaError
+
+    with pytest.raises(SchemaError):
+        ex.execute("Retrieve P From BROKEN P")
+
+
+def test_view_with_temporal_scope(network_schema):
+    from repro.storage.memgraph.store import MemGraphStore
+    from repro.temporal.clock import TransactionClock
+    from tests.conftest import T0, SmallInventory
+
+    clock = TransactionClock(start=T0)
+    store = MemGraphStore(network_schema, clock=clock)
+    inv = SmallInventory(store)
+    clock.advance(100)
+    store.delete_element(inv.e_vm1_host1)
+    ex = QueryExecutor({"default": store})
+    ex.define_view("PLACEMENTS", "VM()->OnServer()->Host()")
+    now = ex.execute("Retrieve P From PLACEMENTS P")
+    assert len(now) == 1
+    then = ex.execute(f"AT {T0 + 50} Retrieve P From PLACEMENTS P")
+    assert len(then) == 2

@@ -1,0 +1,122 @@
+"""Anchor enumeration, costing and splitting (Section 5.1)."""
+
+import pytest
+
+from repro.rpe.anchors import enumerate_anchor_plans, select_anchor_plan
+from tests.rpe.util import rpe
+
+#: Deterministic cost model: id-equality anchors are tiny, classes have
+#: fixed sizes — mirrors what the CardinalityEstimator does with hints.
+_CLASS_COST = {
+    "VNF": 30, "VFC": 400, "VM": 800, "Docker": 100, "Host": 200,
+    "Vertical": 2000, "HostedOn": 1400, "ConnectedTo": 5000,
+}
+
+
+def cost(atom):
+    if atom.equality_value("id") is not None:
+        return 1.0
+    return float(_CLASS_COST.get(atom.class_name, 1000))
+
+
+class TestEnumeration:
+    def test_atom_is_its_own_anchor(self):
+        plans = enumerate_anchor_plans(rpe("VM()"), cost)
+        assert len(plans) == 1
+        assert plans[0].cost == 800
+
+    def test_sequence_offers_every_part(self):
+        plans = enumerate_anchor_plans(rpe("VNF()->VFC()->Host()"), cost)
+        anchors = {plan.splits[0].anchor.class_name for plan in plans}
+        assert anchors == {"VNF", "VFC", "Host"}
+
+    def test_repetition_unrolls_into_first_copy(self):
+        # [r]{n,m} -> Sequence(r, [r]{n-1,m-1}); the anchor lives in the
+        # first copy and the suffix carries the remaining repetitions.
+        plans = enumerate_anchor_plans(rpe("[HostedOn()]{2,4}"), cost)
+        assert len(plans) == 1
+        split = plans[0].splits[0]
+        assert split.anchor.class_name == "HostedOn"
+        assert split.prefix is None
+        assert "{1,3}" in split.suffix.render()
+
+    def test_optional_repetition_unanchorable(self):
+        assert enumerate_anchor_plans(rpe("[HostedOn()]{0,4}"), cost) == []
+
+    def test_paper_malformed_rpe_has_no_anchor(self):
+        malformed = rpe("[VNF()]{0,4}->[Vertical()]{0,4}")
+        assert enumerate_anchor_plans(malformed, cost) == []
+
+    def test_alternation_needs_one_anchor_per_branch(self):
+        plans = enumerate_anchor_plans(rpe("(VM(id=55)|Docker(id=66))"), cost)
+        assert len(plans) == 1
+        plan = plans[0]
+        assert len(plan.splits) == 2
+        assert plan.cost == 2.0  # two id-equality atoms
+
+    def test_alternation_with_unanchorable_branch_sinks_all(self):
+        expr = rpe("(VM(id=55)|[HostedOn()]{0,3})")
+        assert enumerate_anchor_plans(expr, cost) == []
+
+
+class TestSelection:
+    def test_id_predicate_wins(self):
+        # §3.4's first example: the Host(id=...) atom is the obvious anchor.
+        plan = select_anchor_plan(rpe("VNF()->VFC()->VM()->Host(id=23245)"), cost)
+        assert plan.splits[0].anchor.class_name == "Host"
+        assert plan.cost == 1.0
+
+    def test_anchor_at_start_gives_forward_only_split(self):
+        plan = select_anchor_plan(rpe("VNF(id=1)->[Vertical()]{1,6}->Host()"), cost)
+        split = plan.splits[0]
+        assert split.anchor.class_name == "VNF"
+        assert split.prefix is None
+        assert split.suffix is not None
+
+    def test_anchor_at_end_gives_backward_only_split(self):
+        plan = select_anchor_plan(rpe("VNF()->[Vertical()]{1,6}->Host(id=5)"), cost)
+        split = plan.splits[0]
+        assert split.anchor.class_name == "Host"
+        assert split.suffix is None
+        assert split.prefix is not None
+
+    def test_middle_anchor_splits_both_ways(self):
+        # §5.1: "If the selected anchor is in the middle of the RPE, the
+        # query plan will have both forwards and backwards Extend operators."
+        expr = rpe(
+            "VNF()->[HostedOn()]{1,3}->(VM(id=55)|Docker(id=66))"
+            "->[HostedOn()]{1,2}->Host()"
+        )
+        plan = select_anchor_plan(expr, cost)
+        assert {s.anchor.class_name for s in plan.splits} == {"VM", "Docker"}
+        for split in plan.splits:
+            assert split.prefix is not None and split.suffix is not None
+            assert "VNF" in split.prefix.render()
+            assert "Host" in split.suffix.render()
+
+    def test_per_branch_best_avoids_cross_product(self):
+        # Each branch contributes exactly its best anchor; the number of
+        # splits equals the number of branches, not their product.
+        expr = rpe("(VNF()->Host(id=1)|VFC()->VM(id=2))->Vertical()")
+        plans = enumerate_anchor_plans(expr, cost)
+        best = min(plans, key=lambda p: p.cost)
+        assert len(best.splits) == 2
+        assert {s.anchor.class_name for s in best.splits} == {"Host", "VM"}
+
+    def test_unanchored_returns_none(self):
+        assert select_anchor_plan(rpe("[Vertical()]{0,3}"), cost) is None
+
+
+class TestSplitReconstruction:
+    def test_split_parts_cover_the_rpe(self):
+        expr = rpe("VNF()->VFC(id=9)->VM()->Host()")
+        plan = select_anchor_plan(expr, cost)
+        split = plan.splits[0]
+        assert split.anchor.class_name == "VFC"
+        assert split.prefix.render() == "VNF()"
+        assert split.suffix.render() == "VM()->Host()"
+
+    def test_render_smoke(self):
+        plan = select_anchor_plan(rpe("VNF(id=1)->Host()"), cost)
+        assert "VNF" in plan.render()
+        assert "ε" in plan.splits[0].render()

@@ -1,0 +1,96 @@
+"""Atom binding, predicate evaluation and strongly-typed concepts."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.rpe.ast import Atom, FieldPredicate
+from repro.rpe.parser import parse_rpe
+from tests.rpe.util import SCHEMA, pathway, rpe
+
+
+class TestBinding:
+    def test_bind_resolves_class(self):
+        atom = rpe("VM(status='Green')")
+        assert atom.bound
+        assert atom.cls.name == "VM"
+        assert atom.is_node_atom and not atom.is_edge_atom
+
+    def test_bind_edge_atom(self):
+        atom = rpe("HostedOn()")
+        assert atom.is_edge_atom
+
+    def test_unknown_class_rejected(self):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            rpe("Quantum()")
+
+    def test_unknown_field_rejected(self):
+        # Atoms are strongly typed: "only the VM fields can be referenced".
+        with pytest.raises(TypeCheckError, match="unknown field"):
+            rpe("Container(vcpus=4)")
+
+    def test_id_always_allowed(self):
+        atom = rpe("VM(id=55)")
+        assert atom.equality_value("id") == 55
+
+    def test_unbound_atom_refuses_matching(self):
+        atom = parse_rpe("VM()")
+        with pytest.raises(TypeCheckError):
+            atom.is_node_atom
+        with pytest.raises(TypeCheckError):
+            atom.matches(pathway("VMWare:1").source)
+
+
+class TestMatching:
+    def test_subclass_generalization(self):
+        # "The atom VM(...) refers to both VMWare nodes and OnMetal nodes".
+        vm_atom = rpe("VM()")
+        assert vm_atom.matches(pathway("VMWare:1").source)
+        assert vm_atom.matches(pathway("OnMetal:1").source)
+        # "...and does not refer to any Docker container."
+        assert not vm_atom.matches(pathway("Docker:1").source)
+
+    def test_kind_mismatch(self):
+        p = pathway("VMWare:1 OnServer:2 Host:3")
+        assert not rpe("VM()").matches(p.edges[0])
+        assert not rpe("OnServer()").matches(p.nodes[0])
+
+    def test_predicate_on_fields(self):
+        p = pathway("VMWare:1", f1={"status": "Green", "vcpus": 4})
+        assert rpe("VM(status='Green')").matches(p.source)
+        assert not rpe("VM(status='Red')").matches(p.source)
+        assert rpe("VM(vcpus>2)").matches(p.source)
+        assert not rpe("VM(vcpus>8)").matches(p.source)
+
+    def test_absent_field_never_matches(self):
+        p = pathway("VMWare:1")
+        assert not rpe("VM(status='Green')").matches(p.source)
+        assert not rpe("VM(status!='Green')").matches(p.source)
+
+    def test_id_predicate_uses_uid(self):
+        p = pathway("VMWare:7")
+        assert rpe("VM(id=7)").matches(p.source)
+        assert not rpe("VM(id=8)").matches(p.source)
+
+    def test_type_mismatch_comparison_is_false(self):
+        p = pathway("VMWare:1", f1={"vcpus": 4})
+        assert not rpe("VM(vcpus>'many')").matches(p.source)
+
+
+class TestPredicates:
+    def test_unsupported_operator_rejected(self):
+        with pytest.raises(TypeCheckError):
+            FieldPredicate("x", "~", 1)
+
+    def test_render(self):
+        assert FieldPredicate("status", "=", "Green").render() == "status='Green'"
+        assert FieldPredicate("vcpus", ">=", 4).render() == "vcpus>=4"
+
+
+class TestAtomIteration:
+    def test_atoms_left_to_right(self):
+        expr = rpe("VNF()->(VM()|Docker())->[HostedOn()]{1,2}->Host()")
+        assert [a.class_name for a in expr.atoms()] == [
+            "VNF", "VM", "Docker", "HostedOn", "Host",
+        ]

@@ -1,0 +1,198 @@
+"""Whole-pathway satisfaction semantics (Section 3.3).
+
+These tests pin down the subtle parts of the matching definition: the
+four-way concatenation split (same-kind skips only), implicit endpoint
+nodes of edge atoms, bounded repetition with glue between copies, and the
+collapse of empty-matching ``{0,m}`` seams.
+"""
+
+import pytest
+
+from repro.rpe.match import matches_pathway
+from repro.rpe.nfa import ANY, ANY_EDGE, ANY_NODE, build_nfa, reverse_rpe
+from tests.rpe.util import pathway, rpe
+
+
+def matches(rpe_text: str, spec: str, **fields) -> bool:
+    return matches_pathway(rpe(rpe_text), pathway(spec, **fields))
+
+
+class TestAtoms:
+    def test_single_node_atom(self):
+        assert matches("Host()", "Host:1")
+        assert not matches("Host()", "VMWare:1")
+
+    def test_single_node_atom_rejects_longer_paths(self):
+        assert not matches("Host()", "Host:1 SwitchSwitch:2 Host:3")
+
+    def test_edge_atom_has_implicit_endpoint_nodes(self):
+        # "e1 is shorthand for n, e1, n'" — a lone edge atom matches a
+        # 3-element pathway with unconstrained endpoints.
+        assert matches("OnServer()", "VMWare:1 OnServer:2 Host:3")
+        assert not matches("OnServer()", "VMWare:1 OnVM:2 Host:3")
+        assert not matches("OnServer()", "Host:1")
+
+
+class TestConcatenation:
+    def test_node_edge_adjacent(self):
+        assert matches("VM()->OnServer()", "VMWare:1 OnServer:2 Host:3")
+
+    def test_node_node_skips_one_edge(self):
+        # Condition 3: the edge between two node-matched segments is
+        # skipped and unconstrained.
+        assert matches("VM()->Host()", "VMWare:1 OnServer:2 Host:3")
+        assert matches("VM()->Host()", "VMWare:1 ServerSwitch:2 Host:3")
+
+    def test_node_node_cannot_skip_two(self):
+        assert not matches(
+            "VM()->Host()", "VMWare:1 VmNetwork:2 VirtualNetwork:3 NetworkVRouter:4 VirtualRouter:5"
+        )
+        assert not matches(
+            "VNF:DNS()->Host()",
+            "DNS:1 ComposedOf:2 ProxyVFC:3 OnVM:4 VMWare:5",
+        )
+
+    def test_edge_edge_skips_one_node(self):
+        # Condition 4: the node between two edge-matched segments is skipped.
+        assert matches(
+            "OnVM()->OnServer()", "ProxyVFC:1 OnVM:2 VMWare:3 OnServer:4 Host:5"
+        )
+
+    def test_paper_vertical_chain(self):
+        # §3.4's first example: VNF()->VFC()->VM()->Host(id=...).
+        spec = "Firewall:1 ComposedOf:2 ProxyVFC:3 OnVM:4 VMWare:5 OnServer:6 Host:7"
+        assert matches("VNF()->VFC()->VM()->Host(id=7)", spec)
+        assert not matches("VNF()->VFC()->VM()->Host(id=8)", spec)
+
+    def test_mixed_node_and_edge_atoms(self):
+        spec = "Firewall:1 ComposedOf:2 ProxyVFC:3 OnVM:4 VMWare:5"
+        assert matches("VNF()->ComposedOf()->VFC()->OnVM()->VM()", spec)
+        assert matches("VNF()->ComposedOf()->OnVM()->VM()", spec)  # skip VFC node
+        assert matches("VNF()->VFC()->OnVM()", spec)  # trailing pad VM node
+
+
+class TestRepetition:
+    def test_bounded_range(self):
+        two_hops = "Host:1 SwitchSwitch:2 TorSwitch:3 SwitchSwitch:4 Host:5"
+        assert matches("Host()->[ConnectedTo()]{1,4}->Host()", two_hops)
+        assert matches("Host()->[ConnectedTo()]{2,2}->Host()", two_hops)
+        assert not matches("Host()->[ConnectedTo()]{3,4}->Host()", two_hops)
+
+    def test_repetition_glues_between_copies(self):
+        # Each Connects copy consumes one edge; the nodes between copies are
+        # the same-kind skips of the r->r->...->r expansion.
+        assert matches(
+            "[SwitchSwitch()]{2,2}",
+            "TorSwitch:1 SwitchSwitch:2 TorSwitch:3 SwitchSwitch:4 TorSwitch:5",
+        )
+
+    def test_vertical_generalization(self):
+        # §3.4's second example with the Vertical superclass.
+        spec = (
+            "Firewall:1 ComposedOf:2 ProxyVFC:3 OnVM:4 VMWare:5 OnServer:6 Host:7"
+        )
+        assert matches("VNF()->[Vertical()]{1,6}->Host(id=7)", spec)
+        # FlowsTo is Horizontal, not Vertical.
+        bad = "Firewall:1 FlowsTo:2 DNS:3"
+        assert not matches("VNF()->[Vertical()]{1,6}->VNF()", bad)
+
+    def test_zero_minimum_block_collapses(self):
+        # With zero copies the expression collapses to VM()->VM(), which
+        # still needs two distinct VM nodes (and the skipped edge between) —
+        # a single node is NOT a match.
+        assert not matches("VM()->[ConnectedTo()]{0,2}->VM()", "VMWare:1")
+        assert matches(
+            "VM()->[FlowsTo()]{0,2}->VM()", "VMWare:1 VmNetwork:2 OnMetal:3"
+        )
+        assert matches(
+            "VM()->[ConnectedTo()]{0,2}->VM()",
+            "VMWare:1 VmNetwork:2 VirtualNetwork:3 VmNetwork:4 OnMetal:5",
+        )
+
+    def test_zero_minimum_does_not_invent_elements(self):
+        # With zero copies the seam collapses: VM()->[r]{0,m} matched by a
+        # lone VM must not absorb a dangling edge+node.
+        assert not matches(
+            "VM()->[FlowsTo()]{0,2}", "VMWare:1 VmNetwork:2 VirtualNetwork:3"
+        )
+
+
+class TestAlternation:
+    def test_either_branch(self):
+        assert matches("(VM()|Docker())", "Docker:1")
+        assert matches("(VM()|Docker())", "OnMetal:1")
+        assert not matches("(VM()|Docker())", "Host:1")
+
+    def test_paper_alternating_anchor_example(self):
+        spec = (
+            "Firewall:1 ComposedOf:2 ProxyVFC:3 OnVM:4 Docker:5 OnServer:6 Host:7"
+        )
+        expr = (
+            "VNF()->[Vertical()]{1,2}->(VM(id=5)|Docker(id=5))"
+            "->[Vertical()]{1,2}->Host()"
+        )
+        assert matches(expr, spec)
+
+    def test_branches_of_different_kind(self):
+        expr = "VFC()->(OnVM()|VM())"
+        # Edge branch: OnVM() consumes the edge, the VM node is padding.
+        assert matches(expr, "ProxyVFC:1 OnVM:2 VMWare:3")
+        # Node branch: the edge is the same-kind skip, VM() takes the node.
+        assert matches(expr, "ProxyVFC:1 OnVM:2 OnMetal:3")
+        # Neither branch admits a VFC at the end.
+        assert not matches(expr, "ProxyVFC:1 FlowsTo:2 WebServerVFC:3")
+
+
+class TestEndpointPadding:
+    def test_leading_pad_for_edge_start(self):
+        assert matches("OnServer()->Host()", "VMWare:1 OnServer:2 Host:3")
+
+    def test_pad_nodes_are_single(self):
+        # Padding is one node, not a whole prefix.
+        assert not matches(
+            "OnServer()", "ProxyVFC:1 OnVM:2 VMWare:3 OnServer:4 Host:5"
+        )
+
+
+class TestReverse:
+    def test_reverse_matches_mirror(self):
+        expr = rpe("VNF()->VFC()->VM()")
+        spec = "Firewall:1 ComposedOf:2 ProxyVFC:3 OnVM:4 VMWare:5"
+        forward = pathway(spec)
+        assert matches_pathway(expr, forward)
+        mirrored = forward.reversed()
+        assert matches_pathway(reverse_rpe(expr), mirrored)
+        assert not matches_pathway(reverse_rpe(expr), forward)
+
+
+class TestGlueSpecialization:
+    def test_node_node_seam_allows_edge_skip_only(self):
+        nfa = build_nfa(rpe("VM()->Host()"), leading="none", trailing="none")
+        labels = {
+            label
+            for arcs in nfa.transitions.values()
+            for label, _ in arcs
+            if isinstance(label, str)
+        }
+        assert ANY_EDGE in labels
+        assert ANY not in labels
+        assert ANY_NODE not in labels
+
+    def test_edge_edge_seam_allows_node_skip_only(self):
+        nfa = build_nfa(rpe("OnVM()->OnServer()"), leading="none", trailing="none")
+        labels = {
+            label
+            for arcs in nfa.transitions.values()
+            for label, _ in arcs
+            if isinstance(label, str)
+        }
+        assert ANY_NODE in labels
+        assert ANY_EDGE not in labels
+
+    def test_acyclic(self):
+        nfa = build_nfa(rpe("VNF()->[Vertical()]{1,6}->Host()"))
+        order = nfa.topological_states()
+        position = {state: index for index, state in enumerate(order)}
+        for source, arcs in nfa.transitions.items():
+            for _, target in arcs:
+                assert position[source] < position[target]

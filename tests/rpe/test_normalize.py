@@ -1,0 +1,73 @@
+"""Normalization and length bounds."""
+
+import pytest
+
+from repro.rpe.ast import Alternation, Atom, Repetition, Sequence
+from repro.rpe.normalize import admits_empty, length_bounds, normalize
+from repro.rpe.parser import parse_rpe
+
+
+def test_flatten_nested_sequences():
+    raw = Sequence((parse_rpe("A()->B()"), parse_rpe("C()")))
+    flat = normalize(raw)
+    assert isinstance(flat, Sequence)
+    assert [a.class_name for a in flat.atoms()] == ["A", "B", "C"]
+    assert all(isinstance(part, Atom) for part in flat.parts)
+
+
+def test_flatten_nested_alternations_and_dedup():
+    raw = Alternation(
+        (parse_rpe("A()|B()"), parse_rpe("B()|C()"))
+    )
+    flat = normalize(raw)
+    assert isinstance(flat, Alternation)
+    assert [a.class_name for a in flat.atoms()] == ["A", "B", "C"]
+
+
+def test_singleton_unwrap():
+    assert isinstance(normalize(Sequence((parse_rpe("A()"),))), Atom)
+    assert isinstance(normalize(Alternation((parse_rpe("A()"),))), Atom)
+    assert isinstance(normalize(parse_rpe("[A()]{1,1}")), Atom)
+
+
+def test_nested_repetitions_not_collapsed():
+    # [[r]{3,3}]{1,2} admits 3 or 6 copies but never 4 — collapsing to
+    # {3,6} would be wrong.
+    expr = normalize(parse_rpe("[[A()]{3,3}]{1,2}"))
+    assert isinstance(expr, Repetition)
+    assert isinstance(expr.body, Repetition)
+
+
+class TestLengthBounds:
+    def test_atom(self):
+        assert length_bounds(parse_rpe("A()")) == (1, 1)
+
+    def test_sequence_counts_glue(self):
+        # Two atoms: at least 2 elements, at most 3 (one skipped element).
+        assert length_bounds(parse_rpe("A()->B()")) == (2, 3)
+        assert length_bounds(parse_rpe("A()->B()->C()")) == (3, 5)
+
+    def test_alternation_spans(self):
+        assert length_bounds(parse_rpe("A()|(B()->C())")) == (1, 3)
+
+    def test_repetition(self):
+        assert length_bounds(parse_rpe("[A()]{2,4}")) == (2, 7)
+        assert length_bounds(parse_rpe("[A()]{0,4}")) == (0, 7)
+
+    def test_paper_query_bound(self):
+        low, high = length_bounds(
+            parse_rpe("VNF()->[Vertical()]{1,6}->Host(id=23245)")
+        )
+        assert low == 3  # VNF, one Vertical, Host
+        assert high == 15  # 1 + 6 + 5 (inner glue) + 1 + 2 (outer glue)
+
+
+class TestAdmitsEmpty:
+    def test_paper_malformed_example(self):
+        # [VNF()]{0,4}->[Vertical()]{0,4} "does not have an anchor because
+        # the empty path satisfies the RPE" (§3.3).
+        assert admits_empty(parse_rpe("[VNF()]{0,4}->[Vertical()]{0,4}"))
+
+    def test_anchored_rpes_do_not(self):
+        assert not admits_empty(parse_rpe("VNF()->[Vertical()]{0,4}"))
+        assert not admits_empty(parse_rpe("A()"))

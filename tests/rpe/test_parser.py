@@ -1,0 +1,147 @@
+"""RPE text parsing, including the paper's notational variants."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.rpe.ast import Alternation, Atom, Repetition, Sequence
+from repro.rpe.parser import parse_rpe
+
+
+class TestAtoms:
+    def test_bare_atom(self):
+        atom = parse_rpe("VM()")
+        assert isinstance(atom, Atom)
+        assert atom.class_name == "VM"
+        assert atom.predicates == ()
+
+    def test_atom_with_predicates(self):
+        atom = parse_rpe("VM(status='Green', vcpus>=4)")
+        assert [p.name for p in atom.predicates] == ["status", "vcpus"]
+        assert atom.predicates[0].op == "=" and atom.predicates[0].value == "Green"
+        assert atom.predicates[1].op == ">=" and atom.predicates[1].value == 4
+
+    def test_numeric_and_boolean_literals(self):
+        atom = parse_rpe("X(a=1, b=2.5, c=-3, d=true, e=false)")
+        values = [p.value for p in atom.predicates]
+        assert values == [1, 2.5, -3, True, False]
+
+    def test_double_quoted_and_escaped_strings(self):
+        atom = parse_rpe('X(a="it", b=\'o\\\'k\')')
+        assert atom.predicates[0].value == "it"
+        assert atom.predicates[1].value == "o'k"
+
+    def test_qualified_class_name(self):
+        atom = parse_rpe("VM:VMWare()")
+        assert atom.class_name == "VM:VMWare"
+
+
+class TestCombinators:
+    def test_concatenation(self):
+        seq = parse_rpe("VNF()->VFC()->VM()")
+        assert isinstance(seq, Sequence)
+        assert [a.class_name for a in seq.atoms()] == ["VNF", "VFC", "VM"]
+
+    def test_paper_bracket_repetition(self):
+        # VNF()->[Vertical()]{1,6}->Host(id=23245)   (§3.4)
+        seq = parse_rpe("VNF()->[Vertical()]{1,6}->Host(id=23245)")
+        rep = seq.parts[1]
+        assert isinstance(rep, Repetition)
+        assert (rep.low, rep.high) == (1, 6)
+        assert isinstance(rep.body, Atom)
+
+    def test_paper_suffix_repetition(self):
+        # Vertical(){1,6} — the paper's other spelling.
+        seq = parse_rpe("VNF(id=123)->Vertical(){1,6}->Host()")
+        rep = seq.parts[1]
+        assert isinstance(rep, Repetition)
+        assert (rep.low, rep.high) == (1, 6)
+
+    def test_paper_bracket_inside(self):
+        # [HostedOn(){1,5}] — brackets as pure grouping.
+        rep = parse_rpe("[HostedOn(){1,5}]")
+        assert isinstance(rep, Repetition)
+        assert (rep.low, rep.high) == (1, 5)
+
+    def test_exact_repetition_shorthand(self):
+        rep = parse_rpe("[VM()]{3}")
+        assert (rep.low, rep.high) == (3, 3)
+
+    def test_alternation(self):
+        # (VM(id=55)|Docker(id=66))   (§5.1)
+        alt = parse_rpe("(VM(id=55)|Docker(id=66))")
+        assert isinstance(alt, Alternation)
+        assert [a.class_name for a in alt.atoms()] == ["VM", "Docker"]
+
+    def test_alternation_binds_loosest(self):
+        expr = parse_rpe("VM()->Host()|Docker()")
+        assert isinstance(expr, Alternation)
+        assert isinstance(expr.alternatives[0], Sequence)
+
+    def test_paper_full_example(self):
+        # §5.1's running example.
+        expr = parse_rpe(
+            "VNF()->[HostedOn()]{1,3}->(VM(id=55)|Docker(id=66))"
+            "->HostedOn(){1,2}->Host()"
+        )
+        names = [a.class_name for a in expr.atoms()]
+        assert names == ["VNF", "HostedOn", "VM", "Docker", "HostedOn", "Host"]
+
+    def test_nested_repetition(self):
+        expr = parse_rpe("[[VM()]{2,2}]{1,3}")
+        assert isinstance(expr, Repetition)
+        assert isinstance(expr.body, Repetition)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "VM",
+            "VM(",
+            "VM()->",
+            "->VM()",
+            "VM(){1,}",
+            "VM(){,3}",
+            "VM(status=)",
+            "VM(=5)",
+            "VM() Host()",
+            "VM()}{",
+            "(VM()",
+            "[VM()",
+            "VM(status~'x')",
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(ParseError):
+            parse_rpe(bad)
+
+    def test_bad_repetition_bounds(self):
+        from repro.errors import TypeCheckError
+
+        with pytest.raises(TypeCheckError):
+            parse_rpe("[VM()]{3,1}")
+        with pytest.raises(TypeCheckError):
+            parse_rpe("[VM()]{0,0}")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_rpe("VM(status='Green'")
+        assert excinfo.value.position is not None
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "VM()",
+            "VM(status='Green')",
+            "VNF()->VFC()->VM()->Host(id=23245)",
+            "VNF()->[Vertical()]{1,6}->Host(id=23245)",
+            "(VM(id=55)|Docker(id=66))",
+            "VNF()->[HostedOn()]{1,3}->(VM(id=55)|Docker(id=66))->[HostedOn()]{1,2}->Host()",
+        ],
+    )
+    def test_render_reparse_fixpoint(self, text):
+        parsed = parse_rpe(text)
+        assert parse_rpe(parsed.render()) == parsed

@@ -1,0 +1,128 @@
+"""Dotted-path predicates into structured data.
+
+The paper lists "full query access to structured data" as still under
+development (§5); this implements and pins down its semantics: container
+steps are implicit and existential — ``Router(routing_table.address=X)``
+matches a router if *any* routing-table entry has that address.
+"""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.rpe.parser import parse_rpe
+from repro.storage.base import TimeScope
+from tests.rpe.util import SCHEMA, rpe
+
+CURRENT = TimeScope.current()
+
+TABLE = [
+    {"address": "10.0.0.0", "mask": 8, "interface": "ge0"},
+    {"address": "192.168.1.0", "mask": 24, "interface": "ge1"},
+]
+
+
+class TestParsing:
+    def test_dotted_path_parses(self):
+        atom = parse_rpe("Router(routing_table.address='10.0.0.0')")
+        assert atom.predicates[0].name == "routing_table.address"
+        assert atom.predicates[0].path == ("routing_table", "address")
+
+    def test_render_round_trips(self):
+        atom = parse_rpe("Router(routing_table.mask>=8)")
+        assert parse_rpe(atom.render()) == atom
+
+
+class TestBinding:
+    def test_valid_path_binds(self):
+        bound = rpe("Router(routing_table.address='10.0.0.0')")
+        assert bound.bound
+
+    def test_unknown_leaf_rejected(self):
+        with pytest.raises(TypeCheckError, match="has no"):
+            rpe("Router(routing_table.bogus=1)")
+
+    def test_descending_into_primitive_rejected(self):
+        with pytest.raises(TypeCheckError, match="primitive"):
+            rpe("Router(routing_table.mask.bits=1)")
+
+    def test_unknown_root_field_rejected(self):
+        with pytest.raises(TypeCheckError, match="unknown field"):
+            rpe("Router(forwarding_table.address='10.0.0.0')")
+
+    def test_composite_field_path(self):
+        # descriptor is a composite (not a container) on VNF.
+        bound = rpe("VNF(descriptor.vendor='acme')")
+        assert bound.bound
+
+
+class TestMatching:
+    # Bind atoms against the store's own schema: class identity matters.
+    def make_router(self, store):
+        return store.insert_node("Router", {"name": "r1", "routing_table": TABLE})
+
+    def test_existential_over_list(self, mem_store):
+        uid = self.make_router(mem_store)
+        record = mem_store.get_element(uid, CURRENT)
+        schema = mem_store.schema
+        assert rpe("Router(routing_table.address='10.0.0.0')", schema).matches(record)
+        assert rpe("Router(routing_table.address='192.168.1.0')", schema).matches(record)
+        assert not rpe("Router(routing_table.address='8.8.8.8')", schema).matches(record)
+
+    def test_comparisons_on_nested_numbers(self, mem_store):
+        record = mem_store.get_element(self.make_router(mem_store), CURRENT)
+        schema = mem_store.schema
+        assert rpe("Router(routing_table.mask>=24)", schema).matches(record)
+        assert not rpe("Router(routing_table.mask>24)", schema).matches(record)
+
+    def test_composite_member(self, mem_store):
+        uid = mem_store.insert_node(
+            "DNS", {"name": "d", "descriptor": {"vendor": "acme", "version": "2"}}
+        )
+        record = mem_store.get_element(uid, CURRENT)
+        schema = mem_store.schema
+        assert rpe("VNF(descriptor.vendor='acme')", schema).matches(record)
+        assert not rpe("VNF(descriptor.vendor='initech')", schema).matches(record)
+
+    def test_absent_structure_never_matches(self, mem_store):
+        uid = mem_store.insert_node("Router", {"name": "bare"})
+        record = mem_store.get_element(uid, CURRENT)
+        assert not rpe("Router(routing_table.mask>=0)", mem_store.schema).matches(record)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("backend", ["memory", "relational"])
+    def test_query_on_both_backends(self, backend):
+        from repro import NepalDB
+        from repro.temporal.clock import TransactionClock
+
+        db = NepalDB(backend=backend, clock=TransactionClock(start=1.0))
+        r1 = db.insert_node("Router", {"name": "r1", "routing_table": TABLE})
+        db.insert_node("Router", {"name": "r2", "routing_table": [
+            {"address": "172.16.0.0", "mask": 12, "interface": "xe0"},
+        ]})
+        result = db.query(
+            "Select source(P).name From PATHS P "
+            "Where P MATCHES Router(routing_table.address='10.0.0.0')"
+        )
+        assert result.scalars() == ["r1"]
+
+    def test_context_dependent_traversal(self, mem_store, clock):
+        """The §8 'context-dependent RPE evaluation (e.g. routing tables)'
+        direction: constrain a hop by the router's table contents."""
+        from repro.plan.planner import Planner
+        from repro.stats.cardinality import CardinalityEstimator
+
+        r1 = mem_store.insert_node("Router", {"name": "r1", "routing_table": TABLE})
+        r2 = mem_store.insert_node("Router", {"name": "r2", "routing_table": [
+            {"address": "172.16.0.0", "mask": 12, "interface": "xe0"},
+        ]})
+        spine = mem_store.insert_node("SpineSwitch", {"name": "s", "ports": 64})
+        mem_store.insert_symmetric_edge("SwitchRouter", spine, r1)
+        mem_store.insert_symmetric_edge("SwitchRouter", spine, r2)
+        planner = Planner(mem_store.schema, CardinalityEstimator(mem_store))
+        program = planner.compile(
+            f"Switch(id={spine})->SwitchRouter()"
+            "->Router(routing_table.address='10.0.0.0')"
+        )
+        found = mem_store.find_pathways(program, CURRENT)
+        assert {p.target.uid for p in found} == {r1}

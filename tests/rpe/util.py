@@ -1,0 +1,48 @@
+"""Helpers for RPE tests: build bound RPEs and explicit pathways."""
+
+from __future__ import annotations
+
+from repro.model.elements import EdgeRecord, NodeRecord
+from repro.model.pathway import Pathway
+from repro.rpe.parser import parse_rpe
+from repro.schema.builtin import build_network_schema
+from repro.schema.registry import Schema
+from repro.temporal.interval import FOREVER, Interval
+
+SCHEMA: Schema = build_network_schema()
+
+
+def rpe(text: str, schema: Schema | None = None):
+    """Parse and bind an RPE against the (default network) schema."""
+    return parse_rpe(text).bind(schema or SCHEMA)
+
+
+def pathway(spec: str, schema: Schema | None = None, **field_overrides) -> Pathway:
+    """Build a pathway from a compact spec string.
+
+    Spec: ``"VMWare:1 OnServer:2 Host:3"`` — alternating ``Class:uid``
+    element descriptions.  Edge endpoints are inferred from neighbours.
+    ``field_overrides`` maps uid (as str) to a field dict.
+    """
+    schema = schema or SCHEMA
+    parts = spec.split()
+    elements = []
+    for position, part in enumerate(parts):
+        class_name, _, uid_text = part.partition(":")
+        uid = int(uid_text)
+        fields = dict(field_overrides.get(f"f{uid}", {}))
+        fields.setdefault("name", f"el{uid}")
+        cls = schema.resolve(class_name)
+        period = Interval(0.0, FOREVER)
+        if position % 2 == 0:
+            elements.append(NodeRecord(uid=uid, cls=cls, fields=fields, period=period))
+        else:
+            source = int(parts[position - 1].rpartition(":")[2])
+            target = int(parts[position + 1].rpartition(":")[2])
+            elements.append(
+                EdgeRecord(
+                    uid=uid, cls=cls, fields=fields, period=period,
+                    source_uid=source, target_uid=target,
+                )
+            )
+    return Pathway(elements)

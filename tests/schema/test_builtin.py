@@ -1,0 +1,93 @@
+"""The built-in ONAP network schema reproduces Figure 3's structure."""
+
+import pytest
+
+from repro.schema.builtin import build_network_schema
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return build_network_schema()
+
+
+def test_paper_example_vm_subclasses(schema):
+    # "The schema might have two different kinds of VMs, VM:VMWare and
+    # VM:OnMetal" (§3.3).
+    vm = schema.resolve("VM")
+    names = {cls.name for cls in vm.subtree()}
+    assert {"VM", "VMWare", "OnMetal"} <= names
+    # "VM might be subclassed from Container, with sibling Container:Docker"
+    container = schema.resolve("Container")
+    assert vm.is_subclass_of(container)
+    docker = schema.resolve("Docker")
+    assert docker.is_subclass_of(container)
+    assert not docker.is_subclass_of(vm)
+
+
+def test_vertical_edge_family(schema):
+    # composed_of and hosted_on both derive from Vertical (Figure 3).
+    vertical = schema.resolve("Vertical")
+    for name in ("ComposedOf", "OnVM", "OnServer"):
+        assert schema.resolve(name).is_subclass_of(vertical)
+    assert schema.resolve("OnVM").is_subclass_of(schema.resolve("HostedOn"))
+
+
+def test_connected_to_extensions(schema):
+    # "ConnectedTo:ServerSwitch ... adds fields ServerInterface and
+    # SwitchInterface while ConnectedTo:VmRouter extends ConnectedTo by
+    # adding field IpAddress" (§3.2).
+    server_switch = schema.resolve("ServerSwitch")
+    assert {"server_interface", "switch_interface"} <= set(server_switch.own_fields)
+    vm_network = schema.resolve("VmNetwork")
+    assert "ip_address" in vm_network.own_fields
+    connected = schema.resolve("ConnectedTo")
+    assert server_switch.is_subclass_of(connected)
+    assert vm_network.is_subclass_of(connected)
+
+
+def test_no_direct_vnf_to_host_edge(schema):
+    # "one cannot directly link a VNF to a physical_server as no such edge
+    # is permitted by the graph schema" (Figure 3 caption).
+    vnf = schema.node_class("DNS")
+    host = schema.node_class("Host")
+    assert schema.edge_classes_between(vnf, host) == []
+
+
+def test_vnf_to_host_reachable_through_vertical_chain(schema):
+    # VNF -> VFC (ComposedOf), VFC -> VM (OnVM), VM -> Host (OnServer).
+    vnf, vfc = schema.node_class("Firewall"), schema.node_class("ProxyVFC")
+    vm, host = schema.node_class("VMWare"), schema.node_class("Host")
+    assert any(
+        cls.name == "ComposedOf" for cls in schema.edge_classes_between(vnf, vfc)
+    )
+    assert any(cls.name == "OnVM" for cls in schema.edge_classes_between(vfc, vm))
+    assert any(cls.name == "OnServer" for cls in schema.edge_classes_between(vm, host))
+
+
+def test_router_routing_table_structure(schema):
+    # §3.2.1's structured-data example.
+    router = schema.resolve("Router")
+    table_field = router.field("routing_table")
+    assert table_field.type.name == "list[routingTableEntry]"
+    entry = schema.types.resolve("routingTableEntry")
+    assert set(entry.fields) == {"address", "mask", "interface"}
+
+
+def test_connectivity_classes_are_symmetric(schema):
+    for name in ("ServerSwitch", "SwitchSwitch", "VmNetwork", "NetworkVRouter"):
+        assert schema.edge_class(name).symmetric, name
+    for name in ("ComposedOf", "OnVM", "OnServer", "FlowsTo"):
+        assert not schema.edge_class(name).symmetric, name
+
+
+def test_generalization_counts(schema):
+    # Query-time generalization has real work: these abstractions each cover
+    # several concrete classes.
+    assert len(schema.resolve("VNF").concrete_subtree()) >= 4
+    assert len(schema.resolve("VFC").concrete_subtree()) >= 4
+    assert len(schema.resolve("ConnectedTo").concrete_subtree()) >= 6
+    assert len(schema.resolve("Vertical").concrete_subtree()) >= 3
+
+
+def test_schema_validates(schema):
+    schema.validate()

@@ -1,0 +1,97 @@
+"""Direct tests of the class-model primitives."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.classes import (
+    EdgeClass,
+    EndpointRule,
+    NodeClass,
+    field_value_key,
+    least_common_ancestor,
+    make_roots,
+)
+
+
+@pytest.fixture
+def roots():
+    return make_roots()
+
+
+def test_roots_are_abstract_with_name_field(roots):
+    node_root, edge_root = roots
+    assert node_root.abstract and edge_root.abstract
+    assert "name" in node_root.fields
+    assert node_root.path == "Node"
+    assert edge_root.kind == "edge" and node_root.kind == "node"
+
+
+def test_invalid_names_rejected(roots):
+    node_root, _ = roots
+    with pytest.raises(SchemaError):
+        NodeClass("1bad", parent=node_root)
+    with pytest.raises(SchemaError):
+        NodeClass("has space", parent=node_root)
+    with pytest.raises(SchemaError):
+        NodeClass("", parent=node_root)
+
+
+def test_children_and_subtree_order(roots):
+    node_root, _ = roots
+    a = NodeClass("A", parent=node_root)
+    a1 = NodeClass("A1", parent=a)
+    a2 = NodeClass("A2", parent=a)
+    assert a.children == (a1, a2)
+    assert [c.name for c in a.subtree()] == ["A", "A1", "A2"]
+    assert [c.name for c in node_root.ancestors()] == ["Node"]
+    assert [c.name for c in a1.ancestors()] == ["A1", "A", "Node"]
+
+
+def test_endpoint_rule_admits_subclasses(roots):
+    node_root, edge_root = roots
+    container = NodeClass("Container", parent=node_root, abstract=True)
+    vm = NodeClass("VM", parent=container)
+    host = NodeClass("Host", parent=node_root)
+    rule = EndpointRule(container, host)
+    assert rule.admits(vm, host)
+    assert rule.admits(container, host)
+    assert not rule.admits(host, vm)
+
+
+def test_edge_endpoint_rules_inherit_and_narrow(roots):
+    node_root, edge_root = roots
+    a = NodeClass("A", parent=node_root)
+    b = NodeClass("B", parent=node_root)
+    base = EdgeClass("Base", parent=edge_root, endpoints=(EndpointRule(a, b),))
+    child = EdgeClass("Child", parent=base)
+    # Child inherits the parent's rules.
+    assert child.admits(a, b)
+    assert not child.admits(b, a)
+    widened = EdgeClass("Widened", parent=base, endpoints=(EndpointRule(b, a),))
+    assert widened.admits(b, a) and widened.admits(a, b)
+
+
+def test_symmetric_flag_inheritance(roots):
+    _, edge_root = roots
+    base = EdgeClass("Conn", parent=edge_root, symmetric=True)
+    child = EdgeClass("Fast", parent=base)
+    overridden = EdgeClass("OneWay", parent=base, symmetric=False)
+    assert base.symmetric and child.symmetric
+    assert not overridden.symmetric
+    assert not edge_root.symmetric
+
+
+def test_lca_edge_cases(roots):
+    node_root, _ = roots
+    a = NodeClass("A", parent=node_root)
+    b = NodeClass("B", parent=a)
+    assert least_common_ancestor([b]) is b
+    assert least_common_ancestor([a, b]) is a
+    assert least_common_ancestor([]) is None
+
+
+def test_field_value_key_hashable():
+    key = field_value_key({"a": [1, 2], "b": {"c": 3}})
+    assert hash(key) == hash(field_value_key({"b": {"c": 3}, "a": [1, 2]}))
+    assert field_value_key(5) == 5
+    assert field_value_key([1, [2]]) == (1, (2,))

@@ -1,0 +1,149 @@
+"""Data types: primitives, composites, containers, inheritance, acyclicity."""
+
+import pytest
+
+from repro.errors import DataTypeError, ValidationError
+from repro.schema.datatypes import ContainerKind, ContainerType, TypeRegistry
+
+
+@pytest.fixture
+def registry() -> TypeRegistry:
+    return TypeRegistry()
+
+
+class TestPrimitives:
+    def test_builtin_lookup_and_aliases(self, registry):
+        assert registry.resolve("string").name == "string"
+        assert registry.resolve("int").name == "integer"
+        assert registry.resolve("double").name == "float"
+        assert registry.resolve("bool").name == "boolean"
+
+    def test_string_validation(self, registry):
+        t = registry.resolve("string")
+        assert t.validate("abc") == "abc"
+        with pytest.raises(ValidationError):
+            t.validate(5)
+
+    def test_integer_rejects_bool(self, registry):
+        # bool is an int subclass in Python; the schema must not accept it.
+        with pytest.raises(ValidationError):
+            registry.resolve("integer").validate(True)
+
+    def test_float_coerces_int(self, registry):
+        assert registry.resolve("float").validate(3) == 3.0
+
+    def test_ipaddress_validation(self, registry):
+        t = registry.resolve("ipaddress")
+        assert t.validate("10.1.2.3") == "10.1.2.3"
+        assert t.validate("::1") == "::1"
+        with pytest.raises(ValidationError):
+            t.validate("999.1.2.3")
+
+    def test_unknown_type(self, registry):
+        with pytest.raises(DataTypeError):
+            registry.resolve("quaternion")
+
+
+class TestComposites:
+    def test_define_and_validate(self, registry):
+        registry.define(
+            "routingTableEntry",
+            {"address": "ipaddress", "mask": "integer", "interface": "string"},
+        )
+        entry = registry.resolve("routingTableEntry")
+        value = entry.validate({"address": "10.0.0.0", "mask": 24, "interface": "ge0"})
+        assert value == {"address": "10.0.0.0", "mask": 24, "interface": "ge0"}
+
+    def test_unknown_field_rejected(self, registry):
+        registry.define("point", {"x": "float", "y": "float"})
+        with pytest.raises(ValidationError):
+            registry.resolve("point").validate({"x": 1.0, "z": 2.0})
+
+    def test_required_field(self, registry):
+        from repro.schema.datatypes import TypedField
+
+        registry.define(
+            "pinned", {"key": TypedField("key", registry.resolve("string"), required=True)}
+        )
+        with pytest.raises(ValidationError):
+            registry.resolve("pinned").validate({})
+
+    def test_non_mapping_rejected(self, registry):
+        registry.define("point", {"x": "float"})
+        with pytest.raises(ValidationError):
+            registry.resolve("point").validate([1.0])
+
+    def test_duplicate_definition_rejected(self, registry):
+        registry.define("point", {"x": "float"})
+        with pytest.raises(DataTypeError):
+            registry.define("point", {"y": "float"})
+        with pytest.raises(DataTypeError):
+            registry.define("string", {})
+
+    def test_inheritance_adds_fields(self, registry):
+        registry.define("base", {"a": "string"})
+        registry.define("derived", {"b": "integer"}, parent="base")
+        derived = registry.resolve("derived")
+        assert set(derived.fields) == {"a", "b"}
+        assert derived.is_subtype_of(registry.resolve("base"))
+        assert not registry.resolve("base").is_subtype_of(derived)
+
+    def test_inheritance_cannot_redefine(self, registry):
+        registry.define("base", {"a": "string"})
+        with pytest.raises(DataTypeError):
+            registry.define("clash", {"a": "integer"}, parent="base")
+
+    def test_parent_must_be_composite(self, registry):
+        with pytest.raises(DataTypeError):
+            registry.define("weird", {"a": "string"}, parent="integer")
+
+    def test_composition_dag_no_cycles_possible(self, registry):
+        # A composite can only reference already-registered types, so a
+        # cycle cannot be constructed through the public API.
+        registry.define("leaf", {"v": "integer"})
+        registry.define("inner", {"leaf": "leaf"})
+        registry.define("outer", {"inner": "inner"})
+        value = registry.resolve("outer").validate(
+            {"inner": {"leaf": {"v": 3}}}
+        )
+        assert value["inner"]["leaf"]["v"] == 3
+        with pytest.raises(DataTypeError):
+            registry.resolve("not_yet_defined")
+
+
+class TestContainers:
+    def test_list_syntax(self, registry):
+        registry.define("rte", {"address": "ipaddress", "mask": "integer"})
+        t = registry.resolve("list[rte]")
+        assert isinstance(t, ContainerType)
+        assert t.kind is ContainerKind.LIST
+        value = t.validate([{"address": "10.0.0.0", "mask": 8}])
+        assert value[0]["mask"] == 8
+
+    def test_list_of_primitives(self, registry):
+        t = registry.resolve("list[string]")
+        assert t.validate(["a", "b"]) == ["a", "b"]
+        with pytest.raises(ValidationError):
+            t.validate("not-a-list")
+        with pytest.raises(ValidationError):
+            t.validate([1])
+
+    def test_set_dedupes(self, registry):
+        t = registry.resolve("set[integer]")
+        assert t.validate([3, 1, 3, 2]) == [3, 1, 2]
+
+    def test_map_requires_string_keys(self, registry):
+        t = registry.resolve("map[integer]")
+        assert t.validate({"a": 1}) == {"a": 1}
+        with pytest.raises(ValidationError):
+            t.validate({1: 1})
+        with pytest.raises(ValidationError):
+            t.validate([("a", 1)])
+
+    def test_nested_containers(self, registry):
+        t = registry.resolve("list[list[integer]]")
+        assert t.validate([[1], [2, 3]]) == [[1], [2, 3]]
+
+    def test_unknown_container_kind(self, registry):
+        with pytest.raises(DataTypeError):
+            registry.resolve("bag[string]")

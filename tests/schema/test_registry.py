@@ -1,0 +1,150 @@
+"""Schema registry: class definition, resolution, subtree logic, LCA."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.classes import least_common_ancestor
+from repro.schema.registry import Schema
+
+
+@pytest.fixture
+def schema() -> Schema:
+    s = Schema("test")
+    s.define_node("Element", abstract=True, fields={"status": "string"})
+    s.define_node("Container", parent="Element", abstract=True)
+    s.define_node("VM", parent="Container", fields={"vcpus": "integer"})
+    s.define_node("VMWare", parent="VM")
+    s.define_node("OnMetal", parent="VM")
+    s.define_node("Docker", parent="Container")
+    s.define_node("Host", parent="Element", fields={"cores": "integer"})
+    s.define_edge("Vertical", abstract=True)
+    s.define_edge("HostedOn", parent="Vertical", endpoints=[("Container", "Host")])
+    s.define_edge("Connects", symmetric=True, endpoints=[("Host", "Host")])
+    return s
+
+
+class TestDefinition:
+    def test_path_labels(self, schema):
+        assert schema.resolve("VMWare").path == "Node:Element:Container:VM:VMWare"
+        assert schema.resolve("HostedOn").path == "Edge:Vertical:HostedOn"
+
+    def test_duplicate_name_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.define_node("VM")
+
+    def test_bad_name_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.define_node("9lives")
+        with pytest.raises(SchemaError):
+            schema.define_node("has space")
+
+    def test_field_shadowing_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.define_node("BadVM", parent="VM", fields={"status": "integer"})
+
+    def test_node_parent_must_be_node(self, schema):
+        with pytest.raises(SchemaError):
+            schema.define_node("Weird", parent="Vertical")
+        with pytest.raises(SchemaError):
+            schema.define_edge("Weirder", parent="VM")
+
+
+class TestResolution:
+    def test_resolve_by_simple_name(self, schema):
+        assert schema.resolve("VM").name == "VM"
+
+    def test_resolve_by_path_suffix(self, schema):
+        assert schema.resolve("VM:VMWare").name == "VMWare"
+        assert schema.resolve("Container:VM").name == "VM"
+
+    def test_wrong_path_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.resolve("Host:VMWare")
+
+    def test_unknown_class(self, schema):
+        with pytest.raises(SchemaError):
+            schema.resolve("Router")
+        assert "Router" not in schema
+        assert "VM" in schema
+
+    def test_kind_checked_accessors(self, schema):
+        with pytest.raises(SchemaError):
+            schema.node_class("HostedOn")
+        with pytest.raises(SchemaError):
+            schema.edge_class("VM")
+
+
+class TestHierarchy:
+    def test_subtree(self, schema):
+        names = [cls.name for cls in schema.resolve("Container").subtree()]
+        assert names == ["Container", "VM", "VMWare", "OnMetal", "Docker"]
+
+    def test_concrete_subtree_excludes_abstract(self, schema):
+        names = {cls.name for cls in schema.resolve("Element").concrete_subtree()}
+        assert names == {"VM", "VMWare", "OnMetal", "Docker", "Host"}
+
+    def test_is_subclass_of(self, schema):
+        assert schema.resolve("VMWare").is_subclass_of(schema.resolve("Container"))
+        assert not schema.resolve("Docker").is_subclass_of(schema.resolve("VM"))
+
+    def test_fields_inherited(self, schema):
+        fields = schema.resolve("VMWare").fields
+        assert set(fields) == {"name", "status", "vcpus"}
+
+    def test_least_common_ancestor(self, schema):
+        lca = least_common_ancestor(
+            [schema.resolve("VMWare"), schema.resolve("Docker")]
+        )
+        assert lca.name == "Container"
+        lca = least_common_ancestor([schema.resolve("VM"), schema.resolve("Host")])
+        assert lca.name == "Element"
+        assert least_common_ancestor([]) is None
+
+    def test_lca_across_hierarchies_is_none(self, schema):
+        assert (
+            least_common_ancestor(
+                [schema.resolve("VM"), schema.resolve("HostedOn")]
+            )
+            is None
+        )
+
+
+class TestGraphSchema:
+    def test_endpoint_rules_respect_inheritance(self, schema):
+        hosted = schema.edge_class("HostedOn")
+        assert hosted.admits(schema.node_class("VMWare"), schema.node_class("Host"))
+        assert hosted.admits(schema.node_class("Docker"), schema.node_class("Host"))
+        assert not hosted.admits(schema.node_class("Host"), schema.node_class("VM"))
+
+    def test_unconstrained_edge_admits_everything(self, schema):
+        schema.define_edge("Wildcard")
+        wildcard = schema.edge_class("Wildcard")
+        assert wildcard.admits(schema.node_class("Host"), schema.node_class("VM"))
+
+    def test_edge_classes_between(self, schema):
+        between = schema.edge_classes_between(
+            schema.node_class("VM"), schema.node_class("Host")
+        )
+        assert [cls.name for cls in between] == ["HostedOn"]
+
+    def test_outgoing_edge_classes(self, schema):
+        outgoing = {cls.name for cls in schema.outgoing_edge_classes(schema.node_class("VM"))}
+        assert outgoing == {"HostedOn"}
+        outgoing = {cls.name for cls in schema.outgoing_edge_classes(schema.node_class("Host"))}
+        assert outgoing == {"Connects"}
+
+    def test_symmetric_inherited(self, schema):
+        schema.define_edge("FastConnects", parent="Connects")
+        assert schema.edge_class("FastConnects").symmetric
+        assert not schema.edge_class("HostedOn").symmetric
+
+
+class TestValidation:
+    def test_valid_schema_passes(self, schema):
+        schema.validate()
+
+    def test_describe_renders_hierarchy(self, schema):
+        text = schema.describe()
+        assert "VMWare" in text
+        assert "(abstract)" in text
+        assert "vcpus:integer" in text

@@ -1,0 +1,129 @@
+"""TOSCA-style schema loading and round-tripping."""
+
+import pytest
+import yaml
+
+from repro.errors import SchemaError
+from repro.schema.tosca import schema_from_tosca, schema_from_tosca_file, schema_to_tosca
+
+DOCUMENT = {
+    "schema": "tosca-test",
+    "data_types": {
+        "routingTableEntry": {
+            "properties": {
+                "address": "ipaddress",
+                "mask": "integer",
+                "interface": {"type": "string", "required": True},
+            }
+        },
+    },
+    "node_types": {
+        "Element": {"abstract": True, "properties": {"status": "string"}},
+        "VM": {
+            "derived_from": "Container",
+            "properties": {"vcpus": "integer"},
+        },
+        "Container": {"derived_from": "Element", "abstract": True},
+        "Host": {
+            "derived_from": "Element",
+            "properties": {
+                "routes": {"type": "list", "entry_schema": "routingTableEntry"},
+            },
+        },
+    },
+    "relationship_types": {
+        "HostedOn": {
+            "valid_endpoints": [["Container", "Host"]],
+        },
+        "Connects": {"symmetric": True, "valid_endpoints": [["Host", "Host"]]},
+    },
+}
+
+
+def test_load_resolves_out_of_order_inheritance():
+    # VM is declared before its parent Container: the topological sort
+    # must handle it.
+    schema = schema_from_tosca(DOCUMENT)
+    assert schema.resolve("VM").parent.name == "Container"
+    assert schema.resolve("VM").path == "Node:Element:Container:VM"
+
+
+def test_load_entry_schema_containers():
+    schema = schema_from_tosca(DOCUMENT)
+    routes = schema.resolve("Host").field("routes")
+    assert routes.type.name == "list[routingTableEntry]"
+
+
+def test_load_endpoints_and_symmetry():
+    schema = schema_from_tosca(DOCUMENT)
+    hosted = schema.edge_class("HostedOn")
+    assert hosted.admits(schema.node_class("VM"), schema.node_class("Host"))
+    assert schema.edge_class("Connects").symmetric
+    assert not hosted.symmetric
+
+
+def test_required_property():
+    schema = schema_from_tosca(DOCUMENT)
+    entry = schema.types.resolve("routingTableEntry")
+    assert entry.fields["interface"].required
+    assert not entry.fields["mask"].required
+
+
+def test_cyclic_derivation_rejected():
+    bad = {
+        "node_types": {
+            "A": {"derived_from": "B"},
+            "B": {"derived_from": "A"},
+        }
+    }
+    with pytest.raises(SchemaError, match="cyclic or dangling"):
+        schema_from_tosca(bad)
+
+
+def test_dangling_parent_rejected():
+    bad = {"node_types": {"A": {"derived_from": "Ghost"}}}
+    with pytest.raises(SchemaError):
+        schema_from_tosca(bad)
+
+
+def test_property_without_type_rejected():
+    bad = {"node_types": {"A": {"properties": {"x": {"required": True}}}}}
+    with pytest.raises(SchemaError, match="missing its type"):
+        schema_from_tosca(bad)
+
+
+def test_non_mapping_document_rejected():
+    with pytest.raises(SchemaError):
+        schema_from_tosca(["not", "a", "mapping"])
+
+
+def test_yaml_file_round_trip(tmp_path):
+    path = tmp_path / "schema.yaml"
+    path.write_text(yaml.safe_dump(DOCUMENT))
+    schema = schema_from_tosca_file(path)
+    assert schema.name == "tosca-test"
+    assert "VM" in schema
+
+
+def test_export_reimport_preserves_structure():
+    schema = schema_from_tosca(DOCUMENT)
+    exported = schema_to_tosca(schema)
+    reloaded = schema_from_tosca(exported)
+    assert {c.name for c in reloaded.classes()} == {c.name for c in schema.classes()}
+    assert reloaded.resolve("VM").parent.name == "Container"
+    hosted = reloaded.edge_class("HostedOn")
+    assert hosted.admits(reloaded.node_class("VM"), reloaded.node_class("Host"))
+
+
+def test_builtin_schema_survives_tosca_round_trip():
+    from repro.schema.builtin import build_network_schema
+
+    original = build_network_schema()
+    reloaded = schema_from_tosca(schema_to_tosca(original))
+    assert {c.name for c in reloaded.classes()} == {
+        c.name for c in original.classes()
+    }
+    assert reloaded.resolve("VMWare").path == original.resolve("VMWare").path
+    assert reloaded.resolve("Router").field("routing_table").type.name == (
+        "list[routingTableEntry]"
+    )

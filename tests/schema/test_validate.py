@@ -1,0 +1,84 @@
+"""Record validation: the strong typing that keeps garbage out (§6.1)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.schema.builtin import build_network_schema
+from repro.schema.validate import (
+    check_atom_fields,
+    validate_edge_endpoints,
+    validate_fields,
+)
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return build_network_schema()
+
+
+class TestFieldValidation:
+    def test_valid_fields_normalized(self, schema):
+        fields = validate_fields(
+            schema.resolve("VMWare"), {"name": "vm-1", "vcpus": 4, "status": "Green"}
+        )
+        assert fields == {"name": "vm-1", "vcpus": 4, "status": "Green"}
+
+    def test_unknown_field_rejected(self, schema):
+        with pytest.raises(ValidationError, match="unknown fields"):
+            validate_fields(schema.resolve("Host"), {"name": "h", "colour": "red"})
+
+    def test_unknown_field_dropped_when_lenient(self, schema):
+        fields = validate_fields(
+            schema.resolve("Host"), {"name": "h", "colour": "red"}, strict=False
+        )
+        assert fields == {"name": "h"}
+
+    def test_wrong_type_rejected(self, schema):
+        with pytest.raises(ValidationError):
+            validate_fields(schema.resolve("VMWare"), {"vcpus": "four"})
+
+    def test_abstract_class_not_instantiable(self, schema):
+        with pytest.raises(ValidationError, match="abstract"):
+            validate_fields(schema.resolve("VNF"), {"name": "x"})
+
+    def test_structured_field_validated(self, schema):
+        fields = validate_fields(
+            schema.resolve("Router"),
+            {"routing_table": [{"address": "10.0.0.0", "mask": 8, "interface": "ge0"}]},
+        )
+        assert fields["routing_table"][0]["mask"] == 8
+        with pytest.raises(ValidationError):
+            validate_fields(
+                schema.resolve("Router"),
+                {"routing_table": [{"address": "not-an-ip", "mask": 8}]},
+            )
+
+
+class TestEdgeEndpoints:
+    def test_allowed_edge_passes(self, schema):
+        validate_edge_endpoints(
+            schema,
+            schema.edge_class("OnServer"),
+            schema.node_class("VMWare"),
+            schema.node_class("Host"),
+        )
+
+    def test_figure3_rule_vnf_not_on_server(self, schema):
+        with pytest.raises(ValidationError, match="does not admit"):
+            validate_edge_endpoints(
+                schema,
+                schema.edge_class("OnServer"),
+                schema.node_class("Firewall"),
+                schema.node_class("Host"),
+            )
+
+
+class TestAtomFields:
+    def test_known_fields_pass(self, schema):
+        check_atom_fields(schema.resolve("VM"), ["status", "vcpus", "name"])
+
+    def test_subclass_only_field_rejected_on_parent_atom(self, schema):
+        # VM(...) may match Firewall? No — this checks that an atom over VM
+        # cannot reference a VMWare-only field; only VM fields are legal.
+        with pytest.raises(ValidationError, match="unknown field"):
+            check_atom_fields(schema.resolve("Container"), ["vcpus"])

@@ -1,0 +1,58 @@
+"""Raw legacy-feed loading with type-indicator class mapping (§6)."""
+
+from repro.inventory.legacy import build_legacy_schema, type_class_name
+from repro.storage.base import TimeScope
+from repro.storage.bulkload import RawEdge, RawNode, load_raw_graph
+from repro.storage.memgraph.store import MemGraphStore
+from repro.temporal.clock import TransactionClock
+
+CURRENT = TimeScope.current()
+
+NODES = [
+    RawNode(1, ("customer",), {"name": "c1"}),
+    RawNode(2, ("access", "leaf"), {"name": "a1"}),
+    RawNode(3, ("core",), {"name": "x1"}),
+]
+EDGES = [
+    RawEdge(10, 1, 2, "circuit_00"),
+    RawEdge(11, 2, 3, "circuit_05"),
+    RawEdge(12, 3, 3, "noise_00"),
+    RawEdge(13, 1, 99, "circuit_00"),  # dangling target
+]
+
+
+def test_single_class_load():
+    store = MemGraphStore(build_legacy_schema(False), clock=TransactionClock(start=1.0))
+    report = load_raw_graph(
+        store, NODES, EDGES, node_class="Entity", edge_mapper=None
+    )
+    assert report.nodes == 3
+    assert report.edges == 3
+    assert report.skipped_edges == 1
+    assert store.class_count("GenericEdge") == 3
+    # Type indicators preserved as fields for predicate-based querying.
+    edge = store.get_element(10, CURRENT)
+    assert edge.get("kind") == "circuit_00"
+
+    # Multiple node type indicators fold into the kind field.
+    node = store.get_element(2, CURRENT)
+    assert node.get("kind") == "access,leaf"
+
+
+def test_subclassed_load():
+    store = MemGraphStore(build_legacy_schema(True), clock=TransactionClock(start=1.0))
+    report = load_raw_graph(
+        store, NODES, EDGES, node_class="Entity", edge_mapper=type_class_name
+    )
+    assert report.edges == 3
+    # Per-class partitioning: each type indicator is its own class.
+    assert store.class_count("T_circuit_00") == 1
+    assert store.class_count("CircuitEdge") == 2
+    assert store.class_count("NoiseEdge") == 1
+
+
+def test_external_uids_coexist_with_allocated():
+    store = MemGraphStore(build_legacy_schema(False), clock=TransactionClock(start=1.0))
+    load_raw_graph(store, NODES, EDGES[:2], node_class="Entity")
+    fresh = store.insert_node("Entity", {"name": "after"})
+    assert fresh > 11

@@ -1,0 +1,98 @@
+"""Relational backend durability: reopening a database file."""
+
+import pytest
+
+from repro.errors import UniquenessError
+from repro.plan.executor import QueryExecutor
+from repro.schema.builtin import build_network_schema
+from repro.storage.base import TimeScope
+from repro.storage.relational.store import RelationalStore
+from repro.temporal.clock import TransactionClock
+from repro.temporal.interval import Interval
+
+T0 = 1_000.0
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return str(tmp_path / "nepal.db")
+
+
+def create(db_path, start=T0):
+    return RelationalStore(
+        build_network_schema(), clock=TransactionClock(start=start), path=db_path
+    )
+
+
+def test_reopen_preserves_current_and_history(db_path):
+    store = create(db_path)
+    host = store.insert_node("Host", {"name": "h1"})
+    vm = store.insert_node("VM", {"name": "v1", "status": "Green"})
+    store.insert_edge("OnServer", vm, host)
+    store.clock.advance(50)
+    store.update_element(vm, {"status": "Red"})
+    store.connection().close()
+
+    reopened = create(db_path, start=T0 + 100)
+    executor = QueryExecutor({"default": reopened})
+    now = executor.execute(
+        "Select source(P).status From PATHS P "
+        "Where P MATCHES VM()->OnServer()->Host()"
+    )
+    assert now.scalars() == ["Red"]
+    past = executor.execute(f"AT {T0 + 10} Select source(P).status From PATHS P Where P MATCHES VM()")
+    assert past.scalars() == ["Green"]
+    versions = reopened.versions(vm, Interval(0, float("inf")))
+    assert len(versions) == 2
+
+
+def test_reopen_restores_uid_allocator(db_path):
+    store = create(db_path)
+    uids = [store.insert_node("Host", {"name": f"h{i}"}) for i in range(3)]
+    store.connection().close()
+
+    reopened = create(db_path, start=T0 + 1)
+    fresh = reopened.insert_node("Host", {"name": "later"})
+    assert fresh > max(uids)
+    with pytest.raises(UniquenessError):
+        reopened.insert_node("Host", {"name": "dup"}, uid=uids[0])
+
+
+def test_reopen_restores_edge_endpoints_for_cascade(db_path):
+    store = create(db_path)
+    host = store.insert_node("Host", {"name": "h1"})
+    vm = store.insert_node("VM", {"name": "v1"})
+    edge = store.insert_edge("OnServer", vm, host)
+    store.connection().close()
+
+    reopened = create(db_path, start=T0 + 100)
+    reopened.clock.advance(1)
+    reopened.delete_element(vm)  # must cascade to the edge
+    assert reopened.get_element(edge, TimeScope.current()) is None
+
+
+def test_reopen_bumps_clock_past_stored_times(db_path):
+    store = create(db_path, start=T0 + 500)
+    store.insert_node("Host", {"name": "h1"})
+    store.connection().close()
+
+    # Reopening with an earlier clock must not produce backwards time.
+    reopened = create(db_path, start=T0)
+    assert reopened.clock.now() >= T0 + 500
+    uid = reopened.insert_node("Host", {"name": "h2"})
+    record = reopened.get_element(uid, TimeScope.current())
+    assert record.period.start >= T0 + 500
+
+
+def test_reopen_counts_match(db_path):
+    store = create(db_path)
+    host = store.insert_node("Host", {"name": "h1"})
+    vm = store.insert_node("VM", {"name": "v1"})
+    store.insert_edge("OnServer", vm, host)
+    store.clock.advance(10)
+    store.delete_element(vm)
+    before = store.counts()
+    store.connection().close()
+
+    reopened = create(db_path, start=T0 + 100)
+    assert reopened.counts() == before

@@ -1,0 +1,229 @@
+"""In-memory store: CRUD, versioning, scans, adjacency, accounting."""
+
+import pytest
+
+from repro.errors import (
+    UniquenessError,
+    UnknownElementError,
+    ValidationError,
+)
+from repro.rpe.ast import Atom
+from repro.storage.base import TimeScope
+from repro.temporal.interval import Interval
+from tests.conftest import T0
+
+CURRENT = TimeScope.current()
+
+
+def bound(store, text_class, **predicates):
+    from repro.rpe.parser import parse_rpe
+
+    inner = ", ".join(f"{k}={v!r}" for k, v in predicates.items())
+    return parse_rpe(f"{text_class}({inner})").bind(store.schema)
+
+
+class TestWrites:
+    def test_insert_assigns_sequential_uids(self, mem_store):
+        a = mem_store.insert_node("Host", {"name": "a"})
+        b = mem_store.insert_node("Host", {"name": "b"})
+        assert b == a + 1
+
+    def test_explicit_uid_respected_and_reserved(self, mem_store):
+        uid = mem_store.insert_node("Host", {"name": "a"}, uid=100)
+        assert uid == 100
+        assert mem_store.insert_node("Host", {"name": "b"}) == 101
+        with pytest.raises(UniquenessError):
+            mem_store.insert_node("Host", {"name": "c"}, uid=100)
+
+    def test_garbage_rejected_at_load(self, mem_store):
+        # §6.1: strong typing "prevented us from loading garbage data".
+        with pytest.raises(ValidationError):
+            mem_store.insert_node("Host", {"name": "x", "altitude": 3})
+        with pytest.raises(ValidationError):
+            mem_store.insert_node("VM", {"vcpus": "many"})
+
+    def test_edge_requires_current_endpoints(self, mem_store):
+        host = mem_store.insert_node("Host", {"name": "h"})
+        with pytest.raises(UnknownElementError):
+            mem_store.insert_edge("OnServer", 999, host)
+
+    def test_edge_endpoint_rules_enforced(self, mem_store):
+        host = mem_store.insert_node("Host", {"name": "h"})
+        fw = mem_store.insert_node("Firewall", {"name": "fw"})
+        with pytest.raises(ValidationError, match="does not admit"):
+            mem_store.insert_edge("OnServer", fw, host)
+
+    def test_update_unknown_element(self, mem_store):
+        with pytest.raises(UnknownElementError):
+            mem_store.update_element(5, {"name": "x"})
+
+    def test_update_validates(self, mem_store):
+        vm = mem_store.insert_node("VM", {"name": "v", "vcpus": 2})
+        with pytest.raises(ValidationError):
+            mem_store.update_element(vm, {"vcpus": "eight"})
+
+    def test_update_with_none_removes_field(self, mem_store, clock):
+        vm = mem_store.insert_node("VM", {"name": "v", "status": "Green"})
+        clock.advance(10)
+        mem_store.update_element(vm, {"status": None})
+        record = mem_store.get_element(vm, CURRENT)
+        assert "status" not in record.fields
+
+
+class TestVersioning:
+    def test_update_closes_previous_version(self, mem_store, clock):
+        vm = mem_store.insert_node("VM", {"name": "v", "status": "Green"})
+        clock.advance(50)
+        mem_store.update_element(vm, {"status": "Red"})
+        versions = mem_store.versions(vm, Interval(0, float("inf")))
+        assert len(versions) == 2
+        assert versions[0].period == Interval(T0, T0 + 50)
+        assert versions[0].get("status") == "Green"
+        assert versions[1].is_current
+        assert versions[1].get("status") == "Red"
+
+    def test_same_instant_update_overwrites_in_place(self, mem_store):
+        vm = mem_store.insert_node("VM", {"name": "v", "status": "Green"})
+        mem_store.update_element(vm, {"status": "Red"})  # clock not advanced
+        versions = mem_store.versions(vm, Interval(0, float("inf")))
+        assert len(versions) == 1
+        assert versions[0].get("status") == "Red"
+
+    def test_delete_closes_version(self, mem_store, clock):
+        vm = mem_store.insert_node("VM", {"name": "v"})
+        clock.advance(10)
+        mem_store.delete_element(vm)
+        assert mem_store.get_element(vm, CURRENT) is None
+        assert mem_store.get_element(vm, TimeScope.at(T0 + 5)) is not None
+
+    def test_node_delete_cascades_to_edges(self, mem_store, clock):
+        vm = mem_store.insert_node("VM", {"name": "v"})
+        host = mem_store.insert_node("Host", {"name": "h"})
+        edge = mem_store.insert_edge("OnServer", vm, host)
+        clock.advance(10)
+        mem_store.delete_element(host)
+        assert mem_store.get_element(edge, CURRENT) is None
+        assert mem_store.get_element(vm, CURRENT) is not None
+
+    def test_revival_resumes_version_chain(self, mem_store, clock):
+        vm = mem_store.insert_node("VM", {"name": "v"})
+        clock.advance(10)
+        mem_store.delete_element(vm)
+        clock.advance(10)
+        mem_store.insert_node("VM", {"name": "v2"}, uid=vm)
+        versions = mem_store.versions(vm, Interval(0, float("inf")))
+        assert len(versions) == 2
+        gap = Interval(versions[0].period.end, versions[1].period.start)
+        assert gap.duration() == 10
+        # During the gap the element is invisible.
+        assert mem_store.get_element(vm, TimeScope.at(T0 + 15)) is None
+
+    def test_revival_cannot_change_class(self, mem_store, clock):
+        vm = mem_store.insert_node("VM", {"name": "v"})
+        clock.advance(10)
+        mem_store.delete_element(vm)
+        with pytest.raises(UniquenessError, match="revive"):
+            mem_store.insert_node("Host", {"name": "h"}, uid=vm)
+
+    def test_edge_revival_endpoints_immutable(self, mem_store, clock):
+        vm = mem_store.insert_node("VM", {"name": "v"})
+        h1 = mem_store.insert_node("Host", {"name": "h1"})
+        h2 = mem_store.insert_node("Host", {"name": "h2"})
+        edge = mem_store.insert_edge("OnServer", vm, h1)
+        clock.advance(10)
+        mem_store.delete_element(edge)
+        with pytest.raises(UniquenessError, match="immutable"):
+            mem_store.insert_edge("OnServer", vm, h2, uid=edge)
+
+
+class TestScans:
+    def test_scan_atom_generalizes_over_subtree(self, mem_store):
+        mem_store.insert_node("VMWare", {"name": "a"})
+        mem_store.insert_node("OnMetal", {"name": "b"})
+        mem_store.insert_node("Docker", {"name": "c"})
+        vms = mem_store.scan_atom(bound(mem_store, "VM"), CURRENT)
+        assert {r.get("name") for r in vms} == {"a", "b"}
+        containers = mem_store.scan_atom(bound(mem_store, "Container"), CURRENT)
+        assert len(containers) == 3
+
+    def test_scan_with_predicates(self, mem_store):
+        mem_store.insert_node("VM", {"name": "a", "status": "Green"})
+        mem_store.insert_node("VM", {"name": "b", "status": "Red"})
+        greens = mem_store.scan_atom(
+            bound(mem_store, "VM", status="Green"), CURRENT
+        )
+        assert [r.get("name") for r in greens] == ["a"]
+
+    def test_scan_by_id_uses_fast_path(self, mem_store):
+        uid = mem_store.insert_node("VM", {"name": "a"})
+        hits = mem_store.scan_atom(bound(mem_store, "VM", id=uid), CURRENT)
+        assert [r.uid for r in hits] == [uid]
+        # A wrong class with the right id returns nothing.
+        assert mem_store.scan_atom(bound(mem_store, "Host", id=uid), CURRENT) == []
+
+    def test_scan_by_indexed_name(self, mem_store):
+        mem_store.insert_node("VM", {"name": "target"})
+        mem_store.insert_node("VM", {"name": "other"})
+        hits = mem_store.scan_atom(bound(mem_store, "VM", name="target"), CURRENT)
+        assert len(hits) == 1
+
+    def test_historical_scan_sees_past_values(self, mem_store, clock):
+        vm = mem_store.insert_node("VM", {"name": "v", "status": "Green"})
+        clock.advance(100)
+        mem_store.update_element(vm, {"status": "Red"})
+        past_green = mem_store.scan_atom(
+            bound(mem_store, "VM", status="Green"), TimeScope.at(T0 + 50)
+        )
+        assert [r.uid for r in past_green] == [vm]
+        now_green = mem_store.scan_atom(
+            bound(mem_store, "VM", status="Green"), CURRENT
+        )
+        assert now_green == []
+
+
+class TestAdjacency:
+    def test_class_filtered_expansion(self, mem_store, small_inventory):
+        inv = small_inventory
+        hosted = mem_store.schema.edge_class("HostedOn")
+        edges = mem_store.out_edges(inv.vfc1, CURRENT, [hosted])
+        assert [e.uid for e in edges] == [inv.e_vfc1_vm1]
+        # The ComposedOf edge into vfc1 is invisible through this filter.
+        assert mem_store.in_edges(inv.vfc1, CURRENT, [hosted]) == []
+
+    def test_empty_filter_expands_nothing(self, mem_store, small_inventory):
+        assert mem_store.out_edges(small_inventory.vm1, CURRENT, []) == []
+
+    def test_deleted_edges_invisible_current(self, mem_store, small_inventory, clock):
+        inv = small_inventory
+        clock.advance(10)
+        mem_store.delete_element(inv.e_vm1_host1)
+        assert inv.e_vm1_host1 not in [
+            e.uid for e in mem_store.out_edges(inv.vm1, CURRENT)
+        ]
+        past = mem_store.out_edges(inv.vm1, TimeScope.at(T0 + 5))
+        assert inv.e_vm1_host1 in [e.uid for e in past]
+
+
+class TestAccounting:
+    def test_counts(self, mem_store, small_inventory, clock):
+        counts = mem_store.counts()
+        assert counts["nodes"] == 11
+        assert counts["edges"] == 17
+        assert counts["history_versions"] == 0
+        clock.advance(10)
+        mem_store.update_element(small_inventory.vm1, {"status": "Red"})
+        assert mem_store.counts()["history_versions"] == 1
+
+    def test_class_count(self, mem_store, small_inventory):
+        assert mem_store.class_count("VM") == 2
+        assert mem_store.class_count("Container") == 2
+        assert mem_store.class_count("ConnectedTo") == 10
+
+    def test_storage_cells_grow_only_with_change(self, mem_store, small_inventory, clock):
+        before = mem_store.storage_cells()
+        clock.advance(10)
+        mem_store.update_element(small_inventory.vm1, {"status": "Red"})
+        after = mem_store.storage_cells()
+        assert after > before
+        # One history version, not a full copy of the graph.
+        assert after - before < before / 10

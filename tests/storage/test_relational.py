@@ -1,0 +1,205 @@
+"""Relational backend: DDL shape, INHERITS views, SQL programs, temporal."""
+
+import pytest
+
+from repro.errors import UniquenessError, ValidationError
+from repro.plan.planner import Planner
+from repro.rpe.parser import parse_rpe
+from repro.stats.cardinality import CardinalityEstimator
+from repro.storage.base import TimeScope
+from repro.storage.relational import ddl
+from repro.temporal.interval import Interval
+from tests.conftest import T0, SmallInventory
+
+CURRENT = TimeScope.current()
+
+
+class TestDdl:
+    def test_one_table_per_concrete_class(self, rel_store):
+        # "The Postgres implementation of Nepal uses one table for each
+        # distinct Node and Edge class" (§5.2).
+        conn = rel_store.connection()
+        tables = {
+            row[0]
+            for row in conn.execute(
+                "SELECT name FROM sqlite_master WHERE type='table'"
+            )
+        }
+        assert "c_Host" in tables and "h_Host" in tables
+        assert "c_VMWare" in tables
+        assert "c_ServerSwitch" in tables
+        # Abstract classes get no physical tables.
+        assert "c_VNF" not in tables
+        assert "c_Container" not in tables
+
+    def test_inherits_views_union_subtrees(self, rel_store):
+        # "Every VMWare node is also a VM node, and also a Node node."
+        inv = SmallInventory(rel_store)
+        conn = rel_store.connection()
+        assert conn.execute("SELECT COUNT(*) FROM v_VM").fetchone()[0] == 2
+        assert conn.execute("SELECT COUNT(*) FROM v_Container").fetchone()[0] == 2
+        assert conn.execute("SELECT COUNT(*) FROM v_Node").fetchone()[0] == 11
+        names = {
+            row[0]
+            for row in conn.execute("SELECT f_name FROM v_VM")
+        }
+        assert names == {"vm-1", "vm-2"}
+
+    def test_parent_view_projects_parent_columns_only(self, rel_store):
+        SmallInventory(rel_store)
+        conn = rel_store.connection()
+        columns = [d[0] for d in conn.execute("SELECT * FROM v_VM LIMIT 1").description]
+        assert "f_vcpus" in columns  # VM field
+        assert "f_name" in columns   # inherited
+        assert "class_" in columns   # concrete class marker
+        parent_columns = [
+            d[0] for d in conn.execute("SELECT * FROM v_Container LIMIT 1").description
+        ]
+        assert "f_vcpus" not in parent_columns
+
+    def test_historical_view_unions_history(self, rel_store, clock):
+        vm = rel_store.insert_node("VM", {"name": "v", "status": "Green"})
+        clock.advance(10)
+        rel_store.update_element(vm, {"status": "Red"})
+        conn = rel_store.connection()
+        assert conn.execute("SELECT COUNT(*) FROM v_VM").fetchone()[0] == 1
+        assert conn.execute("SELECT COUNT(*) FROM vh_VM").fetchone()[0] == 2
+
+
+class TestWritesAndReads:
+    def test_round_trip_structured_fields(self, rel_store):
+        table = [{"address": "10.0.0.0", "mask": 8, "interface": "ge0"}]
+        router = rel_store.insert_node(
+            "Router", {"name": "r1", "routing_table": table}
+        )
+        record = rel_store.get_element(router, CURRENT)
+        assert record.get("routing_table") == table
+
+    def test_boolean_round_trip(self, network_schema, clock):
+        # Booleans are stored as integers; add a throwaway schema field.
+        from repro.schema.registry import Schema
+        from repro.storage.relational.store import RelationalStore
+
+        schema = Schema("booltest")
+        schema.define_node("Flag", fields={"enabled": "boolean"})
+        store = RelationalStore(schema, clock=clock)
+        uid = store.insert_node("Flag", {"enabled": True})
+        assert store.get_element(uid, CURRENT).get("enabled") is True
+
+    def test_uniqueness_via_elements_table(self, rel_store):
+        rel_store.insert_node("Host", {"name": "h"}, uid=7)
+        with pytest.raises(UniquenessError):
+            rel_store.insert_node("VM", {"name": "v"}, uid=7)
+
+    def test_validation_identical_to_memgraph(self, rel_store):
+        with pytest.raises(ValidationError):
+            rel_store.insert_node("Host", {"name": "x", "altitude": 3})
+
+    def test_versions_and_revival(self, rel_store, clock):
+        vm = rel_store.insert_node("VM", {"name": "v"})
+        clock.advance(10)
+        rel_store.delete_element(vm)
+        clock.advance(10)
+        rel_store.insert_node("VM", {"name": "v"}, uid=vm)
+        versions = rel_store.versions(vm, Interval(0, float("inf")))
+        assert len(versions) == 2
+        assert not versions[0].is_current
+        assert versions[1].is_current
+
+    def test_cascade_delete(self, rel_store, clock):
+        inv = SmallInventory(rel_store)
+        clock.advance(5)
+        rel_store.delete_element(inv.vm1)
+        assert rel_store.get_element(inv.e_vm1_host1, CURRENT) is None
+        assert rel_store.get_element(inv.e_vfc1_vm1, CURRENT) is None
+
+
+class TestSqlPrograms:
+    @pytest.fixture
+    def loaded(self, rel_store):
+        inv = SmallInventory(rel_store)
+        planner = Planner(rel_store.schema, CardinalityEstimator(rel_store))
+        return rel_store, inv, planner
+
+    def test_sql_trace_has_paper_shape(self, loaded):
+        store, inv, planner = loaded
+        program = planner.compile(f"VNF(id={inv.firewall})->ComposedOf()->VFC()")
+        trace = store.sql_trace(program, CURRENT)
+        text = "\n".join(trace)
+        # The §5.2 idioms: uid_list concatenation and the no-cycle instr check.
+        assert "uid_list" in text
+        assert "instr(" in text
+        assert "INSERT OR IGNORE" in text
+        assert any("v_ComposedOf" in stmt for stmt in trace)
+
+    def test_temporal_predicate_in_sql(self, loaded):
+        store, inv, planner = loaded
+        program = planner.compile("VM()->OnServer()->Host()")
+        trace = store.sql_trace(program, TimeScope.at(T0 + 1))
+        text = "\n".join(trace)
+        assert "sys_start <= ?" in text
+        assert "vh_" in text  # historical views
+
+    def test_find_pathways_matches_expectation(self, loaded):
+        store, inv, planner = loaded
+        program = planner.compile(f"VNF()->[Vertical()]{{1,6}}->Host(id={inv.host1})")
+        found = store.find_pathways(program, CURRENT)
+        assert {p.source.uid for p in found} == {inv.firewall}
+
+    def test_extendblock_toggle_same_results(self, network_schema, clock):
+        from repro.storage.relational.store import RelationalStore
+
+        results = []
+        for fuse in (True, False):
+            store = RelationalStore(
+                network_schema, clock=clock, use_extend_block=fuse
+            )
+            inv = SmallInventory(store)
+            planner = Planner(store.schema, CardinalityEstimator(store))
+            program = planner.compile(
+                f"VNF()->[Vertical()]{{1,6}}->Host(id={inv.host1})"
+            )
+            results.append({p.key() for p in store.find_pathways(program, CURRENT)})
+        assert results[0] == results[1]
+        assert results[0]
+
+    def test_json_predicate_post_filtered(self, loaded):
+        # Predicates on structured fields cannot be pushed into SQL; the
+        # matcher re-verifies.  (descriptor is a composite type.)
+        store, inv, planner = loaded
+        dns = store.insert_node(
+            "DNS", {"name": "dns", "descriptor": {"vendor": "acme", "version": "1"}}
+        )
+        atom = parse_rpe("VNF()").bind(store.schema)
+        hits = store.scan_atom(atom, CURRENT)
+        assert dns in {r.uid for r in hits}
+
+    def test_time_point_query_via_sql(self, rel_store, clock):
+        inv = SmallInventory(rel_store)
+        clock.advance(100)
+        rel_store.delete_element(inv.e_vm1_host1)
+        rel_store.insert_edge("OnServer", inv.vm1, inv.host2)
+        planner = Planner(rel_store.schema, CardinalityEstimator(rel_store))
+        program = planner.compile(f"VM(id={inv.vm1})->OnServer()->Host()")
+        now = rel_store.find_pathways(program, CURRENT)
+        assert {p.target.uid for p in now} == {inv.host2}
+        past = rel_store.find_pathways(program, TimeScope.at(T0 + 50))
+        assert {p.target.uid for p in past} == {inv.host1}
+
+
+class TestAccounting:
+    def test_counts_and_cells(self, rel_store, clock):
+        inv = SmallInventory(rel_store)
+        counts = rel_store.counts()
+        assert counts["nodes"] == 11
+        assert counts["edges"] == 17
+        before = rel_store.storage_cells()
+        clock.advance(10)
+        rel_store.update_element(inv.vm1, {"status": "Red"})
+        assert rel_store.counts()["history_versions"] == 1
+        assert rel_store.storage_cells() > before
+
+    def test_class_count(self, rel_store):
+        SmallInventory(rel_store)
+        assert rel_store.class_count("VM") == 2
+        assert rel_store.class_count("ConnectedTo") == 10

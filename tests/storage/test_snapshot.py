@@ -1,0 +1,128 @@
+"""Update-by-snapshot diff service."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.storage.base import TimeScope
+from repro.storage.snapshot import Snapshot, SnapshotLoader
+from repro.temporal.interval import Interval
+
+CURRENT = TimeScope.current()
+
+
+def base_snapshot() -> Snapshot:
+    snap = Snapshot()
+    snap.add_node(1, "Host", name="host-1", cpu_cores=64)
+    snap.add_node(2, "VM", name="vm-1", status="Green")
+    snap.add_edge(3, "OnServer", 2, 1)
+    return snap
+
+
+@pytest.fixture
+def loaded(any_store):
+    loader = SnapshotLoader(any_store)
+    stats = loader.apply(base_snapshot())
+    return any_store, loader, stats
+
+
+class TestInitialLoad:
+    def test_everything_inserted(self, loaded):
+        store, _, stats = loaded
+        assert stats.inserted_nodes == 2
+        assert stats.inserted_edges == 1
+        assert stats.deleted == stats.updated == 0
+        assert store.get_element(1, CURRENT).get("name") == "host-1"
+
+    def test_duplicate_uid_rejected(self, any_store):
+        snap = Snapshot()
+        snap.add_node(1, "Host", name="a")
+        snap.add_node(1, "VM", name="b")
+        with pytest.raises(ValidationError, match="reuses a uid"):
+            SnapshotLoader(any_store).apply(snap)
+
+
+class TestIncremental:
+    def test_idempotent_reapply(self, loaded):
+        store, loader, _ = loaded
+        stats = loader.apply(base_snapshot())
+        assert stats.total_changes() == 0
+        assert stats.unchanged == 3
+        assert store.counts()["history_versions"] == 0
+
+    def test_field_change_becomes_update(self, loaded, clock):
+        store, loader, _ = loaded
+        clock.advance(60)
+        snap = base_snapshot()
+        snap.nodes[1] = snap.nodes[1].__class__(
+            2, "VM", {"name": "vm-1", "status": "Red"}
+        )
+        stats = loader.apply(snap)
+        assert stats.updated == 1
+        assert stats.unchanged == 2
+        assert store.get_element(2, CURRENT).get("status") == "Red"
+        assert store.counts()["history_versions"] == 1
+
+    def test_missing_element_deleted(self, loaded, clock):
+        store, loader, _ = loaded
+        clock.advance(60)
+        snap = Snapshot()
+        snap.add_node(1, "Host", name="host-1", cpu_cores=64)
+        stats = loader.apply(snap)
+        # vm and its OnServer edge disappear (edge explicitly, by diff).
+        assert stats.deleted == 2
+        assert store.get_element(2, CURRENT) is None
+        assert store.get_element(3, CURRENT) is None
+
+    def test_flapping_element_revived(self, loaded, clock):
+        store, loader, _ = loaded
+        clock.advance(60)
+        shrunk = Snapshot()
+        shrunk.add_node(1, "Host", name="host-1", cpu_cores=64)
+        loader.apply(shrunk)
+        clock.advance(60)
+        stats = loader.apply(base_snapshot())
+        assert stats.inserted_nodes == 1
+        assert stats.inserted_edges == 1
+        versions = store.versions(2, Interval(0, float("inf")))
+        assert len(versions) == 2  # original + revival
+
+    def test_new_elements_added(self, loaded, clock):
+        store, loader, _ = loaded
+        clock.advance(60)
+        snap = base_snapshot()
+        snap.add_node(4, "VM", name="vm-2")
+        snap.add_edge(5, "OnServer", 4, 1)
+        stats = loader.apply(snap)
+        assert stats.inserted_nodes == 1
+        assert stats.inserted_edges == 1
+        assert store.get_element(4, CURRENT) is not None
+
+    def test_class_change_rejected(self, loaded, clock):
+        store, loader, _ = loaded
+        clock.advance(60)
+        snap = Snapshot()
+        snap.add_node(1, "Host", name="host-1", cpu_cores=64)
+        snap.add_node(2, "Docker", name="vm-1")  # was a VM!
+        snap.add_edge(3, "OnServer", 2, 1)
+        with pytest.raises(ValidationError, match="classes are immutable"):
+            loader.apply(snap)
+
+    def test_history_overhead_stays_small(self, loaded, clock):
+        # Sixty daily snapshots with one changing field: history grows by
+        # one version per change, not one graph copy per day (§6.1).
+        store, loader, _ = loaded
+        for day in range(1, 61):
+            clock.advance(86_400)
+            snap = base_snapshot()
+            if day % 10 == 0:  # occasional change
+                snap.nodes[1] = snap.nodes[1].__class__(
+                    2, "VM", {"name": "vm-1", "status": f"state-{day}"}
+                )
+            else:
+                snap.nodes[1] = snap.nodes[1].__class__(
+                    2, "VM", {"name": "vm-1", "status": "state-stable"}
+                )
+            loader.apply(snap)
+        counts = store.counts()
+        # 6 real changes (+1 for the first flip back) — far below 60 copies.
+        assert counts["history_versions"] <= 13

@@ -1,0 +1,157 @@
+"""SQL generation details (§5.2 idioms)."""
+
+import pytest
+
+from repro.plan.operators import ExtendOp
+from repro.rpe.parser import parse_rpe
+from repro.schema.builtin import build_network_schema
+from repro.storage.base import TimeScope
+from repro.storage.relational import ddl, sqlgen
+from repro.storage.relational.sqlgen import PathSql, atom_conditions
+from repro.storage.relational.temporal import scope_predicate
+
+SCHEMA = build_network_schema()
+
+
+def atom(text):
+    return parse_rpe(text).bind(SCHEMA)
+
+
+@pytest.fixture
+def forward():
+    return PathSql(SCHEMA, TimeScope.current(), sqlgen.FORWARD, "t")
+
+
+@pytest.fixture
+def backward():
+    return PathSql(SCHEMA, TimeScope.current(), sqlgen.BACKWARD, "t")
+
+
+class TestTemporalPredicates:
+    def test_current(self):
+        sql, params = scope_predicate("H", TimeScope.current())
+        assert sql == "H.sys_end = 9e999"
+        assert params == []
+
+    def test_at_containment(self):
+        sql, params = scope_predicate("H", TimeScope.at(5.0))
+        assert "sys_start <= ?" in sql and "< H.sys_end" in sql
+        assert params == [5.0, 5.0]
+
+    def test_range_overlap(self):
+        sql, params = scope_predicate("H", TimeScope.between(1.0, 2.0))
+        assert "sys_start < ?" in sql and "sys_end > ?" in sql
+        assert params == [2.0, 1.0]
+
+
+class TestAtomConditions:
+    def test_primitive_predicates_pushed(self):
+        conditions, params, post = atom_conditions(
+            atom("VM(status='Green', vcpus>=4)"), "A", TimeScope.current()
+        )
+        text = " AND ".join(conditions)
+        assert "A.f_status = ?" in text
+        assert "A.f_vcpus >= ?" in text
+        assert params[-2:] == ["Green", 4]
+        assert not post
+
+    def test_id_predicate_uses_id_column(self):
+        conditions, params, _ = atom_conditions(
+            atom("VM(id=55)"), "A", TimeScope.current()
+        )
+        assert any("A.id_ = ?" in c for c in conditions)
+        assert 55 in params
+
+    def test_structured_predicates_post_filtered(self):
+        _, _, post = atom_conditions(
+            atom("Router(routing_table.mask>=8)"), "A", TimeScope.current()
+        )
+        assert post
+
+    def test_json_field_post_filtered(self):
+        _, _, post = atom_conditions(
+            atom("VNF(descriptor.vendor='acme')"), "A", TimeScope.current()
+        )
+        assert post
+
+
+class TestStatements:
+    def test_anchor_select_shape(self, forward):
+        statement = forward.anchor_select("tmp_t_s0", atom("VM(id=5)"))
+        assert "INSERT OR IGNORE INTO tmp_t_s0" in statement.sql
+        assert "FROM v_VM A" in statement.sql
+        assert "'node'" in statement.sql
+
+    def test_edge_anchor_frontier_direction(self, forward, backward):
+        fwd = forward.anchor_select("tmp_t_s0", atom("OnServer(id=9)"))
+        assert "A.target_id_" in fwd.sql
+        back = backward.anchor_select("tmp_t_s0", atom("OnServer(id=9)"))
+        assert "A.source_id_" in back.sql
+
+    def test_extend_edge_has_cycle_check(self, forward):
+        op = ExtendOp(0, 1, "edge", atom("OnServer()"))
+        statements = forward.extend(op, "tmp_t_s0", "tmp_t_s1")
+        assert len(statements) == 1
+        sql = statements[0].sql
+        assert "instr(',' || T.uid_list || ','" in sql
+        assert "H.source_id_ = T.frontier" in sql
+        assert "T.last_kind = 'node'" in sql
+
+    def test_extend_backward_swaps_endpoints(self, backward):
+        op = ExtendOp(0, 1, "edge", atom("OnServer()"))
+        sql = backward.extend(op, "a", "b")[0].sql
+        assert "H.target_id_ = T.frontier" in sql
+        assert "H.source_id_, 'edge'" in sql
+
+    def test_wildcard_any_emits_both_variants(self, forward):
+        op = ExtendOp(0, 1, "any", None)
+        statements = forward.extend(op, "a", "b")
+        assert len(statements) == 2
+        assert any("v_Edge" in s.sql for s in statements)
+        assert any("v_Node" in s.sql for s in statements)
+
+    def test_union_copies_rows(self, forward):
+        statement = forward.union("a", "b")
+        assert statement.sql.startswith("INSERT OR IGNORE INTO b")
+
+    def test_fusable_rules(self):
+        edge_op = ExtendOp(0, 1, "edge", atom("OnServer()"))
+        node_op = ExtendOp(1, 2, "node", atom("VM()"))
+        wildcard_node = ExtendOp(1, 2, "node", None)
+        any_op = ExtendOp(1, 2, "any", None)
+        assert PathSql.fusable((edge_op, node_op))
+        assert PathSql.fusable((edge_op, wildcard_node))
+        assert not PathSql.fusable((edge_op, ExtendOp(1, 2, "edge", atom("OnVM()"))))
+        assert not PathSql.fusable((edge_op, any_op))
+
+    def test_extend_block_multi_join(self, forward):
+        steps = (
+            ExtendOp(0, 1, "edge", atom("OnServer()")),
+            ExtendOp(1, 2, "node", atom("Host()")),
+        )
+        statement = forward.extend_block(steps, "a", "b")
+        assert statement.sql.count("JOIN") == 2
+        assert "X0" in statement.sql and "X1" in statement.sql
+        assert "X1.id_ <> X0.id_" in statement.sql
+
+
+class TestDdlHelpers:
+    def test_table_and_view_names(self):
+        host = SCHEMA.resolve("Host")
+        assert ddl.current_table(host) == "c_Host"
+        assert ddl.history_table(host) == "h_Host"
+        assert ddl.current_view(host) == "v_Host"
+        assert ddl.historical_view(host) == "vh_Host"
+
+    def test_edge_base_columns(self):
+        on_server = SCHEMA.resolve("OnServer")
+        assert "source_id_" in ddl.base_columns(on_server)
+        assert "source_id_" not in ddl.base_columns(SCHEMA.resolve("Host"))
+
+    def test_create_statements_cover_all_concrete_classes(self):
+        statements = "\n".join(ddl.create_statements(SCHEMA))
+        for cls in SCHEMA.node_root.concrete_subtree():
+            assert f"CREATE TABLE c_{cls.name} " in statements
+        # Abstract classes only get views.
+        assert "CREATE TABLE c_VNF " not in statements
+        assert "CREATE VIEW v_VNF " in statements

@@ -1,0 +1,53 @@
+"""TimeScope visibility semantics."""
+
+import pytest
+
+from repro.errors import TemporalError
+from repro.storage.base import TimeScope
+from repro.temporal.interval import FOREVER, Interval
+
+
+def test_current_admits_only_open_periods():
+    scope = TimeScope.current()
+    assert scope.admits(Interval(0, FOREVER))
+    assert not scope.admits(Interval(0, 10))
+    assert scope.is_current and not scope.is_range
+
+
+def test_at_admits_containing_periods():
+    scope = TimeScope.at(5.0)
+    assert scope.admits(Interval(0, 10))
+    assert scope.admits(Interval(5, 10))  # inclusive start
+    assert not scope.admits(Interval(0, 5))  # exclusive end
+    assert scope.admits(Interval(0, FOREVER))
+
+
+def test_range_admits_overlaps():
+    scope = TimeScope.between(10, 20)
+    assert scope.admits(Interval(0, 11))
+    assert scope.admits(Interval(19, 30))
+    assert scope.admits(Interval(12, 15))
+    assert not scope.admits(Interval(0, 10))  # touches only
+    assert not scope.admits(Interval(20, 30))
+    assert scope.is_range
+
+
+def test_empty_range_rejected():
+    with pytest.raises(TemporalError):
+        TimeScope.between(10, 10)
+    with pytest.raises(TemporalError):
+        TimeScope.between(20, 10)
+
+
+def test_window_shapes():
+    assert TimeScope.current().window().contains(-1e18)
+    at = TimeScope.at(5.0).window()
+    assert at.contains(5.0) and at.duration() > 0
+    rng = TimeScope.between(1, 2).window()
+    assert (rng.start, rng.end) == (1, 2)
+
+
+def test_str_forms():
+    assert str(TimeScope.current()) == "current"
+    assert "at 5" in str(TimeScope.at(5.0))
+    assert "range" in str(TimeScope.between(1, 2))

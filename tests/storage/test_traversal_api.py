@@ -1,0 +1,102 @@
+"""The Gremlin-flavoured traversal API over the in-memory store."""
+
+from repro.storage.base import TimeScope
+from repro.storage.memgraph.traversal import g
+from tests.conftest import T0
+
+
+def test_v_and_haslabel(mem_store, small_inventory):
+    assert g(mem_store).V().count() == 11
+    # hasLabel matches by class subtree — the label-prefix trick.
+    assert g(mem_store).V().hasLabel("VM").count() == 2
+    assert g(mem_store).V().hasLabel("Container").count() == 2
+    assert g(mem_store).V().hasLabel("PhysicalElement").count() == 4
+
+
+def test_v_by_uid(mem_store, small_inventory):
+    inv = small_inventory
+    records = g(mem_store).V(inv.vm1, inv.host1).to_list()
+    assert [r.uid for r in records] == [inv.vm1, inv.host1]
+
+
+def test_has_filter_and_values(mem_store, small_inventory):
+    names = g(mem_store).V().hasLabel("VM").has("status", "Green").values("name")
+    assert sorted(names) == ["vm-1", "vm-2"]
+
+
+def test_out_steps(mem_store, small_inventory):
+    inv = small_inventory
+    hosts = g(mem_store).V(inv.vm1).out("OnServer").values("name")
+    assert hosts == ["host-1"]
+    # Two-step: VFC -> VM -> Host.
+    hosts = g(mem_store).V(inv.vfc1).out("OnVM").out("OnServer").values("name")
+    assert hosts == ["host-1"]
+
+
+def test_in_steps(mem_store, small_inventory):
+    inv = small_inventory
+    vfcs = g(mem_store).V(inv.vm1).in_("OnVM").values("name")
+    assert vfcs == ["vfc-1"]
+
+
+def test_edge_steps(mem_store, small_inventory):
+    inv = small_inventory
+    edges = g(mem_store).V(inv.vm1).outE("OnServer").to_list()
+    assert [e.uid for e in edges] == [inv.e_vm1_host1]
+    nodes = g(mem_store).V(inv.vm1).outE("OnServer").inV().values("name")
+    assert nodes == ["host-1"]
+
+
+def test_dedup_and_limit(mem_store, small_inventory):
+    inv = small_inventory
+    # vm1 and vm2 both sit on net1.
+    vms = (
+        g(mem_store)
+        .V(inv.net1)
+        .out("VmNetwork")
+        .dedup()
+        .to_list()
+    )
+    assert {r.uid for r in vms} == {inv.vm1, inv.vm2}
+    assert g(mem_store).V().limit(3).count() == 3
+
+
+def test_filter_with_callable(mem_store, small_inventory):
+    big = (
+        g(mem_store)
+        .V()
+        .hasLabel("Host")
+        .filter(lambda r: (r.get("cpu_cores") or 0) > 32)
+        .values("name")
+    )
+    assert big == ["host-1"]
+
+
+def test_time_scoped_traversal(mem_store, small_inventory, clock):
+    inv = small_inventory
+    clock.advance(100)
+    mem_store.delete_element(inv.e_vm1_host1)
+    now = g(mem_store).V(inv.vm1).out("OnServer").count()
+    assert now == 0
+    past = g(mem_store, TimeScope.at(T0 + 50)).V(inv.vm1).out("OnServer").count()
+    assert past == 1
+
+
+def test_traversal_matches_nepal_query(mem_store, small_inventory):
+    """The traversal API and the compiled RPE agree — the §6.1 claim that
+    the class system 'streamlines query development' without changing
+    results."""
+    from repro.plan.planner import Planner
+    from repro.stats.cardinality import CardinalityEstimator
+
+    inv = small_inventory
+    by_hand = {
+        record.uid
+        for record in g(mem_store).V().hasLabel("VFC").out("OnVM").out("OnServer").to_list()
+    }
+    planner = Planner(mem_store.schema, CardinalityEstimator(mem_store))
+    program = planner.compile("VFC()->OnVM()->VM()->OnServer()->Host()")
+    by_nepal = {
+        p.target.uid for p in mem_store.find_pathways(program, TimeScope.current())
+    }
+    assert by_hand == by_nepal

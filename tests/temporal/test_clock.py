@@ -1,0 +1,61 @@
+"""Transaction clock behaviour."""
+
+import time
+
+import pytest
+
+from repro.errors import TemporalError
+from repro.temporal.clock import TransactionClock
+
+
+def test_pinned_clock_is_deterministic():
+    clock = TransactionClock(start=100.0)
+    assert clock.pinned
+    assert clock.now() == 100.0
+    assert clock.now() == 100.0
+
+
+def test_advance_moves_forward():
+    clock = TransactionClock(start=100.0)
+    assert clock.advance(50) == 150.0
+    assert clock.now() == 150.0
+
+
+def test_advance_rejects_negative_and_nan():
+    clock = TransactionClock(start=0.0)
+    with pytest.raises(TemporalError):
+        clock.advance(-1)
+    with pytest.raises(TemporalError):
+        clock.advance(float("nan"))
+
+
+def test_set_cannot_move_backwards():
+    clock = TransactionClock(start=100.0)
+    with pytest.raises(TemporalError):
+        clock.set(50.0)
+    assert clock.set(200.0) == 200.0
+
+
+def test_tick_is_strictly_monotone():
+    clock = TransactionClock(start=100.0)
+    first = clock.now()
+    second = clock.tick()
+    assert second > first
+    assert clock.now() == second
+
+
+def test_wall_clock_mode_tracks_time():
+    clock = TransactionClock()
+    assert not clock.pinned
+    a = clock.now()
+    assert a <= time.time() + 1
+    b = clock.now()
+    assert b >= a
+
+
+def test_pinning_a_wall_clock():
+    clock = TransactionClock()
+    future = time.time() + 1000
+    clock.set(future)
+    assert clock.pinned
+    assert clock.now() == future

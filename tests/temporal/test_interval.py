@@ -1,0 +1,204 @@
+"""Interval algebra: unit tests plus hypothesis laws."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TemporalError
+from repro.temporal.interval import (
+    FOREVER,
+    Interval,
+    IntervalSet,
+    format_timestamp,
+    intersect_all,
+    parse_timestamp,
+)
+
+
+class TestTimestampParsing:
+    def test_parse_paper_literal(self):
+        ts = parse_timestamp("2017-02-15 10:00:00")
+        assert format_timestamp(ts) == "2017-02-15 10:00:00"
+
+    def test_parse_short_forms(self):
+        assert parse_timestamp("2017-02-15 10:00") == parse_timestamp(
+            "2017-02-15 10:00:00"
+        )
+        assert parse_timestamp("2017-02-15") < parse_timestamp("2017-02-15 10:00")
+
+    def test_parse_numbers_pass_through(self):
+        assert parse_timestamp(12.5) == 12.5
+        assert parse_timestamp(3) == 3.0
+
+    def test_parse_quoted(self):
+        assert parse_timestamp("'2017-02-15 10:00:00'") == parse_timestamp(
+            "2017-02-15 10:00:00"
+        )
+
+    def test_parse_garbage_raises(self):
+        with pytest.raises(TemporalError):
+            parse_timestamp("yesterday-ish")
+
+    def test_format_forever_is_open(self):
+        assert format_timestamp(FOREVER) == ""
+
+
+class TestInterval:
+    def test_empty_interval_rejected(self):
+        with pytest.raises(TemporalError):
+            Interval(5.0, 5.0)
+        with pytest.raises(TemporalError):
+            Interval(6.0, 5.0)
+
+    def test_half_open_membership(self):
+        interval = Interval(1.0, 2.0)
+        assert interval.contains(1.0)
+        assert not interval.contains(2.0)
+        assert interval.contains(1.999)
+
+    def test_still_current(self):
+        assert Interval.since(10.0).is_current
+        assert not Interval(1.0, 2.0).is_current
+
+    def test_at_point(self):
+        point = Interval.at(42.0)
+        assert point.contains(42.0)
+        assert point.duration() > 0
+
+    def test_overlap_vs_meet(self):
+        a, b = Interval(0.0, 1.0), Interval(1.0, 2.0)
+        assert not a.overlaps(b)  # half-open: they only touch
+        assert a.meets_or_overlaps(b)
+
+    def test_intersect(self):
+        assert Interval(0, 5).intersect(Interval(3, 9)) == Interval(3, 5)
+        assert Interval(0, 3).intersect(Interval(3, 9)) is None
+
+
+class TestIntervalSet:
+    def test_normalization_merges_touching(self):
+        merged = IntervalSet([Interval(0, 1), Interval(1, 2), Interval(5, 6)])
+        assert merged.intervals == (Interval(0, 2), Interval(5, 6))
+
+    def test_normalization_merges_overlapping_unordered(self):
+        merged = IntervalSet([Interval(3, 9), Interval(0, 4)])
+        assert merged.intervals == (Interval(0, 9),)
+
+    def test_contained_interval_absorbed(self):
+        merged = IntervalSet([Interval(0, 10), Interval(2, 3)])
+        assert merged.intervals == (Interval(0, 10),)
+
+    def test_contains_binary_search(self):
+        s = IntervalSet([Interval(0, 1), Interval(2, 3), Interval(4, 5)])
+        assert s.contains(2.5)
+        assert not s.contains(3.5)
+        assert not s.contains(3.0)  # half-open
+
+    def test_intersect(self):
+        a = IntervalSet([Interval(0, 5), Interval(10, 15)])
+        b = IntervalSet([Interval(3, 12)])
+        assert a.intersect(b).intervals == (Interval(3, 5), Interval(10, 12))
+
+    def test_union(self):
+        a = IntervalSet([Interval(0, 2)])
+        b = IntervalSet([Interval(1, 4)])
+        assert a.union(b).intervals == (Interval(0, 4),)
+
+    def test_complement(self):
+        s = IntervalSet([Interval(2, 3), Interval(5, 6)])
+        gaps = s.complement(Interval(0, 10))
+        assert gaps.intervals == (Interval(0, 2), Interval(3, 5), Interval(6, 10))
+
+    def test_complement_of_empty_is_window(self):
+        assert IntervalSet.empty().complement(Interval(0, 1)).intervals == (
+            Interval(0, 1),
+        )
+
+    def test_clip(self):
+        s = IntervalSet([Interval(0, 10)])
+        assert s.clip(Interval(3, 5)).intervals == (Interval(3, 5),)
+
+    def test_first_last_instant(self):
+        s = IntervalSet([Interval(2, 3), Interval.since(7)])
+        assert s.first_instant() == 2
+        assert s.last_instant() == FOREVER
+        assert IntervalSet.empty().first_instant() is None
+
+    def test_total_duration(self):
+        s = IntervalSet([Interval(0, 2), Interval(5, 6)])
+        assert s.total_duration() == 3.0
+
+    def test_intersect_all(self):
+        sets = [
+            IntervalSet([Interval(0, 10)]),
+            IntervalSet([Interval(5, 20)]),
+            IntervalSet([Interval(0, 7)]),
+        ]
+        assert intersect_all(sets).intervals == (Interval(5, 7),)
+        assert intersect_all([]).contains(12345.0)
+
+    def test_empty_and_always_singletons(self):
+        assert IntervalSet.empty().is_empty()
+        assert IntervalSet.always().contains(-1e18)
+        assert not IntervalSet.empty()
+        assert IntervalSet.always()
+
+
+# ---------------------------------------------------------------------------
+# property-based laws
+# ---------------------------------------------------------------------------
+
+_times = st.floats(
+    min_value=0, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def interval_sets(draw):
+    pairs = draw(st.lists(st.tuples(_times, _times), max_size=6))
+    intervals = [
+        Interval(min(a, b), max(a, b)) for a, b in pairs if not math.isclose(a, b)
+    ]
+    return IntervalSet(intervals)
+
+
+@given(interval_sets(), interval_sets())
+def test_intersection_commutative(a, b):
+    assert a.intersect(b) == b.intersect(a)
+
+
+@given(interval_sets(), interval_sets())
+def test_union_commutative(a, b):
+    assert a.union(b) == b.union(a)
+
+
+@given(interval_sets(), interval_sets(), interval_sets())
+def test_intersection_associative(a, b, c):
+    assert a.intersect(b).intersect(c) == a.intersect(b.intersect(c))
+
+
+@given(interval_sets(), interval_sets(), _times)
+def test_membership_homomorphic(a, b, point):
+    assert a.intersect(b).contains(point) == (a.contains(point) and b.contains(point))
+    assert a.union(b).contains(point) == (a.contains(point) or b.contains(point))
+
+
+@given(interval_sets())
+def test_normalization_is_canonical(s):
+    # Re-normalizing the normalized intervals must be a no-op.
+    assert IntervalSet(s.intervals) == s
+    # Adjacent intervals never touch after normalization.
+    for left, right in zip(s.intervals, s.intervals[1:]):
+        assert left.end < right.start
+
+
+@given(interval_sets(), _times, _times)
+def test_complement_partitions_window(s, a, b):
+    if math.isclose(a, b):
+        return
+    window = Interval(min(a, b), max(a, b))
+    inside = s.clip(window)
+    outside = s.complement(window)
+    assert inside.intersect(outside).is_empty()
+    assert inside.union(outside).clip(window) == IntervalSet([window])

@@ -1,0 +1,96 @@
+"""Exact pathway validity (the §4 maximal-range semantics)."""
+
+import pytest
+
+from repro.model.pathway import Pathway
+from repro.rpe.match import compile_matcher
+from repro.rpe.parser import parse_rpe
+from repro.storage.base import TimeScope
+from repro.temporal.interval import Interval
+from repro.temporal.validity import pathway_validity
+from tests.conftest import T0
+
+
+def matcher(store, text):
+    return compile_matcher(parse_rpe(text).bind(store.schema))
+
+
+def current_pathway(store, *uids):
+    # Fetch representatives as of creation time so the pathway can be built
+    # even after later deletions (validity only keys on uids).
+    scope = TimeScope.at(T0 + 0.5)
+    return Pathway([store.get_element(uid, scope) for uid in uids])
+
+
+@pytest.fixture
+def placed(mem_store, clock):
+    host = mem_store.insert_node("Host", {"name": "h"})
+    vm = mem_store.insert_node("VM", {"name": "v", "status": "Green"})
+    edge = mem_store.insert_edge("OnServer", vm, host)
+    return mem_store, clock, vm, edge, host
+
+
+def test_structural_lifetime(placed):
+    store, clock, vm, edge, host = placed
+    pathway = current_pathway(store, vm, edge, host)
+    validity = pathway_validity(store, pathway, matcher(store, "VM()->OnServer()->Host()"))
+    assert validity.intervals == (Interval.since(T0),)
+
+
+def test_edge_outage_splits_ranges(placed):
+    store, clock, vm, edge, host = placed
+    clock.set(T0 + 100)
+    store.delete_element(edge)
+    clock.set(T0 + 200)
+    store.insert_edge("OnServer", vm, host, uid=edge)
+    pathway = current_pathway(store, vm, edge, host)
+    validity = pathway_validity(store, pathway, matcher(store, "VM()->OnServer()->Host()"))
+    assert validity.intervals == (
+        Interval(T0, T0 + 100),
+        Interval.since(T0 + 200),
+    )
+
+
+def test_field_predicate_clips(placed):
+    # The range ends when the *predicate* stops holding, not when the
+    # element disappears — the subtle case the paper's result1 illustrates.
+    store, clock, vm, edge, host = placed
+    clock.set(T0 + 100)
+    store.update_element(vm, {"status": "Red"})
+    clock.set(T0 + 300)
+    store.update_element(vm, {"status": "Green"})
+    pathway = current_pathway(store, vm, edge, host)
+    validity = pathway_validity(
+        store, pathway, matcher(store, "VM(status='Green')->OnServer()->Host()")
+    )
+    assert validity.intervals == (
+        Interval(T0, T0 + 100),
+        Interval.since(T0 + 300),
+    )
+
+
+def test_mismatched_pathway_is_never_valid(placed):
+    store, clock, vm, edge, host = placed
+    pathway = current_pathway(store, vm, edge, host)
+    validity = pathway_validity(store, pathway, matcher(store, "Docker()->OnServer()->Host()"))
+    assert validity.is_empty()
+
+
+def test_validity_is_maximal_not_clipped_to_window(placed):
+    # pathway_validity knows nothing about query windows; the executor
+    # clips for qualification only.  Ranges start at creation time.
+    store, clock, vm, edge, host = placed
+    pathway = current_pathway(store, vm, edge, host)
+    validity = pathway_validity(store, pathway, matcher(store, "VM()->OnServer()->Host()"))
+    assert validity.first_instant() == T0
+
+
+def test_wildcard_elements_contribute_their_periods(placed):
+    # VM()->Host(): the edge is a skipped element but its existence still
+    # bounds the pathway's validity.
+    store, clock, vm, edge, host = placed
+    clock.set(T0 + 50)
+    store.delete_element(edge)
+    pathway = current_pathway(store, vm, edge, host)
+    validity = pathway_validity(store, pathway, matcher(store, "VM()->Host()"))
+    assert validity.intervals == (Interval(T0, T0 + 50),)

@@ -1,0 +1,109 @@
+"""The nepal CLI: batch commands and shell statements."""
+
+import pytest
+
+from repro.cli import build_database, main, run_statement
+from repro.core.database import NepalDB
+from repro.temporal.clock import TransactionClock
+
+
+@pytest.fixture
+def db():
+    database = NepalDB(clock=TransactionClock(start=100.0))
+    host = database.insert_node("Host", {"name": "h1"})
+    vm = database.insert_node("VM", {"name": "v1"})
+    database.insert_edge("OnServer", vm, host)
+    return database
+
+
+def test_query_statement(db):
+    output = run_statement(
+        db, "Select source(P).name From PATHS P Where P MATCHES VM()"
+    )
+    assert "v1" in output
+    assert "(1 rows)" in output
+
+
+def test_no_results(db):
+    output = run_statement(db, "Retrieve P From PATHS P Where P MATCHES Router()")
+    assert output == "(no results)"
+
+
+def test_paths_dot_command(db):
+    output = run_statement(db, ".paths VM()->OnServer()->Host()")
+    assert "-OnServer->" in output
+    assert "(1 pathways)" in output
+
+
+def test_explain_dot_command(db):
+    output = run_statement(db, ".explain Retrieve P From PATHS P Where P MATCHES VM()")
+    assert "Select[" in output
+
+
+def test_schema_and_stats(db):
+    assert "VMWare" in run_statement(db, ".schema")
+    assert "nodes" in run_statement(db, ".stats")
+    assert "NPQL" in run_statement(db, ".help") or "query" in run_statement(db, ".help")
+
+
+def test_quit_raises_eof(db):
+    with pytest.raises(EOFError):
+        run_statement(db, ".quit")
+
+
+def test_temporal_output(db):
+    db.clock.advance(50)
+    db.delete(3)  # the OnServer edge
+    output = run_statement(
+        db, "AT 0 : 1000 Retrieve P From PATHS P Where P MATCHES VM()->OnServer()->Host()"
+    )
+    assert "validity ranges" in output
+
+
+def test_main_with_commands(capsys):
+    status = main([
+        "--epoch", "100",
+        "-c", "Retrieve P From PATHS P Where P MATCHES Host()",
+    ])
+    assert status == 0
+    assert "(no results)" in capsys.readouterr().out
+
+
+def test_main_reports_query_errors(capsys):
+    status = main(["--epoch", "100", "-c", "Retrieve From Nowhere"])
+    assert status == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_demo_flag_loads_topology(capsys):
+    status = main([
+        "--demo", "--epoch", "100",
+        "-c", "Select source(P).name From PATHS P Where P MATCHES Service()",
+    ])
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "service-0" in out
+
+
+def test_build_database_with_tosca_schema(tmp_path):
+    import argparse
+
+    import yaml
+
+    schema_file = tmp_path / "schema.yaml"
+    schema_file.write_text(
+        yaml.safe_dump(
+            {
+                "schema": "cli-test",
+                "node_types": {"Thing": {"properties": {"status": "string"}}},
+                "relationship_types": {"Link": {}},
+            }
+        )
+    )
+    args = argparse.Namespace(
+        schema=str(schema_file), backend="memory", demo=False, epoch=50.0,
+        snapshot=None,
+    )
+    db = build_database(args)
+    assert "Thing" in db.schema
+    assert db.clock.now() == 50.0

@@ -1,0 +1,89 @@
+"""Shared utilities and the error hierarchy."""
+
+import threading
+
+import pytest
+
+from repro import errors
+from repro.util.ids import IdAllocator
+from repro.util.text import format_table, indent_block, pluralize
+
+
+class TestIdAllocator:
+    def test_monotone(self):
+        alloc = IdAllocator()
+        assert [alloc.next() for _ in range(3)] == [1, 2, 3]
+        assert alloc.last == 3
+
+    def test_observe_skips_past_external_ids(self):
+        alloc = IdAllocator()
+        alloc.observe(100)
+        assert alloc.next() == 101
+        alloc.observe(50)  # lower observations never rewind
+        assert alloc.next() == 102
+
+    def test_custom_start(self):
+        assert IdAllocator(start=10).next() == 10
+
+    def test_thread_safety(self):
+        alloc = IdAllocator()
+        seen = []
+
+        def grab():
+            for _ in range(500):
+                seen.append(alloc.next())
+
+        threads = [threading.Thread(target=grab) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(seen) == len(set(seen)) == 2000
+
+
+class TestText:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = table.splitlines()
+        assert lines[0].startswith("a ")
+        assert "-+-" in lines[1]
+        assert lines[2].startswith("1 ")
+        assert lines[3].startswith("333")
+
+    def test_format_table_empty_rows(self):
+        table = format_table(["col"], [])
+        assert "col" in table
+
+    def test_indent_block(self):
+        assert indent_block("a\nb", "> ") == "> a\n> b"
+
+    def test_pluralize(self):
+        assert pluralize(1, "path") == "1 path"
+        assert pluralize(2, "path") == "2 paths"
+        assert pluralize(2, "query", "queries") == "2 queries"
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "SchemaError", "DataTypeError", "ValidationError", "UniquenessError",
+            "ParseError", "TypeCheckError", "PlanningError",
+            "UnanchoredQueryError", "UnboundedQueryError", "StorageError",
+            "UnknownElementError", "TemporalError", "FederationError",
+        ],
+    )
+    def test_everything_derives_from_nepal_error(self, name):
+        error_class = getattr(errors, name)
+        assert issubclass(error_class, errors.NepalError)
+
+    def test_specializations(self):
+        assert issubclass(errors.UniquenessError, errors.ValidationError)
+        assert issubclass(errors.DataTypeError, errors.SchemaError)
+        assert issubclass(errors.UnanchoredQueryError, errors.PlanningError)
+        assert issubclass(errors.UnknownElementError, errors.StorageError)
+
+    def test_parse_error_snippet(self):
+        error = errors.ParseError("boom", position=5, text="0123456789")
+        assert "offset 5" in str(error)
+        assert error.position == 5
