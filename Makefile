@@ -1,15 +1,32 @@
 # Convenience targets for the Nepal reproduction.
 
-.PHONY: install test bench sweep examples all
+.PHONY: install test lint ci bench bench-smoke sweep examples all
 
 install:
-	python setup.py develop
+	pip install -e ".[dev]"
 
 test:
-	pytest tests/
+	PYTHONPATH=src python -m pytest -x -q
+
+# Skips with a warning when ruff is not installed (it is optional locally;
+# the CI lint job always has it).
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check .; \
+	else \
+		echo "warning: ruff not installed; skipping lint (CI runs it)"; \
+	fi
+
+# Mirror of .github/workflows/ci.yml: lint, then the tier-1 suite.
+ci: lint test
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Reduced-scale smoke of the Table 1 workload (CI's non-blocking bench job).
+bench-smoke:
+	NEPAL_BENCH_INSTANCES=5 NEPAL_CHURN_DAYS=5 NEPAL_BENCH_SCALE=small \
+		PYTHONPATH=src python -m pytest benchmarks/bench_table1.py -s --benchmark-disable -k snapshot
 
 # The paper-style comparison tables (Tables 1-2, ablations, storage).
 sweep:

@@ -1,0 +1,150 @@
+"""Plan-cache ablation: warm vs cold planning on the Table 1 workload.
+
+The paper's workloads sample 50 instances per query type and production
+monitors re-issue the same instances continuously, so after one pass every
+plan is a cache hit.  This bench measures exactly that lever:
+
+* **cold** — every instance planned from scratch (parse, normalize, anchor
+  costing, NFA construction), the seed repo's behaviour;
+* **warm** — the same instances served by a primed
+  :class:`~repro.plan.cache.PlanCache`, planning reduced to a key lookup.
+
+The printed table shows per-type planning latency and the end-to-end
+(plan + execute) effect; the assertion guards the ≥1.5× planning speedup
+the cache exists to provide (in practice it is orders of magnitude).
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.support import INSTANCES, BenchEnv
+from repro.plan.cache import PlanCache
+from repro.plan.planner import Planner, PlannerOptions
+from repro.stats.cardinality import CardinalityEstimator
+from repro.storage.base import TimeScope
+from repro.util.text import format_table
+
+MIN_SPEEDUP = 1.5
+
+
+def _cold_plan(env: BenchEnv, kind: str) -> float:
+    """Seconds to plan every instance of *kind* with no caching at all."""
+    store = env.snap
+    estimator = CardinalityEstimator(store)
+    options = PlannerOptions()
+    started = time.perf_counter()
+    for instance in env.workload_snap[kind]:
+        Planner(store.schema, estimator, options).compile(instance.rpe)
+    return time.perf_counter() - started
+
+
+def _warm_plan(env: BenchEnv, kind: str, cache: PlanCache) -> float:
+    """Seconds to 'plan' every instance of *kind* through a primed cache."""
+    store = env.snap
+    estimator = CardinalityEstimator(store)
+    options = PlannerOptions()
+
+    def fetch(rpe_text: str):
+        key = PlanCache.key_for(rpe_text, "default", store, estimator, options)
+        return cache.get_or_compile(
+            key,
+            lambda: Planner(
+                store.schema, estimator, options, nfa_memo=cache.nfa_memo
+            ).compile(rpe_text),
+        )
+
+    for instance in env.workload_snap[kind]:  # priming pass (not timed)
+        fetch(instance.rpe)
+    started = time.perf_counter()
+    for instance in env.workload_snap[kind]:
+        fetch(instance.rpe)
+    return time.perf_counter() - started
+
+
+def _end_to_end(env: BenchEnv, kind: str, cache: PlanCache | None) -> float:
+    """Seconds to plan *and* execute every instance of *kind* once."""
+    store = env.snap
+    estimator = CardinalityEstimator(store)
+    options = PlannerOptions()
+    scope = TimeScope.current()
+    started = time.perf_counter()
+    for instance in env.workload_snap[kind]:
+        if cache is None:
+            program = Planner(store.schema, estimator, options).compile(instance.rpe)
+        else:
+            key = PlanCache.key_for(instance.rpe, "default", store, estimator, options)
+            program = cache.get_or_compile(
+                key,
+                lambda: Planner(
+                    store.schema, estimator, options, nfa_memo=cache.nfa_memo
+                ).compile(instance.rpe),
+            )
+        store.find_pathways(program, scope)
+    return time.perf_counter() - started
+
+
+def test_plan_cache_warm_vs_cold(service_env):
+    """Warm planning must beat cold planning by ≥1.5× on every query type."""
+    # One cache, sized for the whole workload (5 types × INSTANCES texts).
+    total_instances = sum(len(v) for v in service_env.workload_snap.values())
+    cache = PlanCache(max_size=max(2 * total_instances, 64))
+
+    rows = []
+    total_cold = total_warm = 0.0
+    for kind in service_env.workload_snap:
+        instances = len(service_env.workload_snap[kind])
+        cold = _cold_plan(service_env, kind)
+        warm = _warm_plan(service_env, kind, cache)
+        total_cold += cold
+        total_warm += warm
+        speedup = cold / warm if warm > 0 else float("inf")
+        rows.append([
+            kind,
+            f"{1000 * cold / instances:.3f}",
+            f"{1000 * warm / instances:.3f}",
+            f"{speedup:.1f}x",
+        ])
+
+    print()
+    print(f"== Plan cache — Table 1 workload, {INSTANCES} instances/type ==")
+    print(format_table(["type", "cold plan ms", "warm plan ms", "speedup"], rows))
+    counters = cache.stats()
+    print(
+        f"cache: {counters['entries']} entries, "
+        f"{counters['hits']} hits / {counters['misses']} misses"
+    )
+
+    overall = total_cold / total_warm if total_warm > 0 else float("inf")
+    print(f"overall planning speedup: {overall:.1f}x")
+    assert overall >= MIN_SPEEDUP, (
+        f"warm planning only {overall:.2f}x faster than cold "
+        f"(required ≥{MIN_SPEEDUP}x)"
+    )
+
+
+def test_plan_cache_end_to_end(service_env):
+    """Plan+execute with a warm cache never loses to planning from scratch.
+
+    Execution dominates the heavy horizontal types, so the end-to-end win
+    is modest there — the guard is that caching is not a pessimization,
+    and the printed table records how much of each type's latency was
+    planning.
+    """
+    total_instances = sum(len(v) for v in service_env.workload_snap.values())
+    cache = PlanCache(max_size=max(2 * total_instances, 64))
+    rows = []
+    total_cold = total_warm = 0.0
+    for kind in service_env.workload_snap:
+        _end_to_end(service_env, kind, cache)  # prime
+        cold = _end_to_end(service_env, kind, None)
+        warm = _end_to_end(service_env, kind, cache)
+        total_cold += cold
+        total_warm += warm
+        rows.append([kind, f"{1000 * cold:.1f}", f"{1000 * warm:.1f}"])
+    print()
+    print("== Plan cache — end-to-end (plan + execute), total ms ==")
+    print(format_table(["type", "cold total ms", "warm total ms"], rows))
+    # Generous slack: execution noise must not fail the suite, only a real
+    # regression where cache lookups cost more than planning would.
+    assert total_warm <= total_cold * 1.2

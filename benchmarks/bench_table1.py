@@ -61,3 +61,26 @@ def test_bench_table1(benchmark, service_env, kind):
     run = timed_subset(service_env, kind, count=10)
     total = benchmark(run)
     assert total >= 0
+
+
+def test_table1_snapshot_smoke(service_env):
+    """CI's non-blocking smoke: the snapshot-store workload end to end.
+
+    Runs every query type against the snapshot store only (no history
+    sweep) and prints the per-type timings, so the bench job's logs show
+    plan-cache or traversal regressions at reduced scale
+    (``NEPAL_BENCH_INSTANCES`` / ``NEPAL_CHURN_DAYS``).  Selected with
+    ``-k snapshot``.
+    """
+    from benchmarks.support import run_instances
+
+    for kind in KINDS:
+        instances = service_env.workload_snap[kind]
+        paths, seconds = run_instances(
+            service_env.snap, service_env.planner(service_env.snap), instances
+        )
+        print(
+            f"snapshot {kind}: {paths:.1f} avg paths, "
+            f"{1000 * seconds:.2f} ms avg over {len(instances)} instances"
+        )
+        assert seconds < 5.0, f"{kind} snapshot query took {seconds:.2f}s on average"

@@ -14,6 +14,9 @@ out).  Two conventions:
 Scale: ``NEPAL_BENCH_SCALE=paper`` uses the largest (slowest) legacy graph;
 the default ``medium`` keeps the full suite under ~10 minutes.  The
 virtualized service graph always runs at the paper's scale (~2k nodes).
+``NEPAL_BENCH_INSTANCES`` overrides the per-type instance count and
+``NEPAL_CHURN_DAYS`` the simulated history length — CI's bench smoke job
+shrinks both so plan-cache regressions surface in minutes, not hours.
 """
 
 from __future__ import annotations
@@ -25,7 +28,7 @@ from dataclasses import dataclass, field
 
 from repro.inventory.churn import ChurnParams, ChurnSimulator
 from repro.inventory.legacy import LegacyParams, LegacyTopology, build_legacy_schema
-from repro.inventory.virtualized import TopologyParams, VirtualizedServiceTopology
+from repro.inventory.virtualized import VirtualizedServiceTopology
 from repro.inventory.workload import QueryInstance, table1_workload, table2_workload
 from repro.plan.planner import Planner, PlannerOptions
 from repro.stats.cardinality import CardinalityEstimator
@@ -50,7 +53,11 @@ LEGACY_PARAMS = {
     "paper": LegacyParams(),  # generator defaults (~1/40 of AT&T's graph)
 }[SCALE if SCALE in ("small", "medium", "paper") else "medium"]
 
-INSTANCES = 50  # the paper's instance count per query type
+INSTANCES = int(os.environ.get("NEPAL_BENCH_INSTANCES", "50"))
+"""Per-type instance count (the paper uses 50)."""
+
+CHURN_DAYS = int(os.environ.get("NEPAL_CHURN_DAYS", "60"))
+"""Simulated history length in days (the paper's stores carry 60)."""
 
 
 @dataclass
@@ -99,7 +106,7 @@ def build_service_env() -> BenchEnv:
                          name="service-hist")
     hist_handles = build(hist)
     churn = ChurnSimulator(
-        hist, ChurnParams(days=60, growth_ratio=0.06, seed=97)
+        hist, ChurnParams(days=CHURN_DAYS, growth_ratio=0.06, seed=97)
     ).run(
         hist_handles.all_nodes(), hist_handles.all_edges(),
         migratable={vm: hist_handles.hosts for vm in hist_handles.vms},
@@ -130,7 +137,7 @@ def build_legacy_env(subclassed: bool) -> BenchEnv:
                          name=f"legacy-hist-{subclassed}")
     hist_handles = build(hist)
     churn = ChurnSimulator(
-        hist, ChurnParams(days=60, growth_ratio=0.16, seed=98,
+        hist, ChurnParams(days=CHURN_DAYS, growth_ratio=0.16, seed=98,
                           migration_fraction=0.0, flap_fraction=0.1)
     ).run(hist_handles.all_uids, [], migratable=None)
     return BenchEnv(

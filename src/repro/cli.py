@@ -86,7 +86,11 @@ def run_statement(db: NepalDB, statement: str) -> str:
     if statement == ".schema":
         return db.schema.describe()
     if statement == ".stats":
-        return db.describe()
+        return (
+            db.describe()
+            + "\ncache statistics:\n"
+            + db.metrics.describe()
+        )
     if statement == ".help":
         return (
             "enter an NPQL query, or:\n"

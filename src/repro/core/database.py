@@ -21,6 +21,7 @@ from typing import Any, Mapping
 
 from repro.errors import FederationError, NepalError
 from repro.model.pathway import Pathway
+from repro.plan.cache import PlanCache
 from repro.plan.executor import QueryExecutor
 from repro.plan.planner import Planner, PlannerOptions
 from repro.query.ast import Query
@@ -28,7 +29,7 @@ from repro.query.results import QueryResult
 from repro.query.temporal_agg import PathEvolution, path_evolution
 from repro.schema.builtin import build_network_schema
 from repro.schema.registry import Schema
-from repro.stats.cardinality import CardinalityEstimator
+from repro.stats.metrics import MetricsRegistry
 from repro.storage.base import GraphStore, TimeScope
 from repro.temporal.clock import TransactionClock
 from repro.temporal.interval import Interval, parse_timestamp
@@ -66,6 +67,8 @@ class NepalDB:
             DEFAULT_STORE_NAME: _build_store(backend, self.schema, self.clock, DEFAULT_STORE_NAME)
         }
         self._planner_options = planner_options or PlannerOptions()
+        self._metrics = MetricsRegistry()
+        self._plan_cache = PlanCache(metrics=self._metrics)
         self._executor: QueryExecutor | None = None
 
     # ------------------------------------------------------------------
@@ -89,10 +92,20 @@ class NepalDB:
         return dict(self._stores)
 
     def executor(self) -> QueryExecutor:
-        """The (lazily built) query executor over the attached stores."""
+        """The (lazily built) query executor over the attached stores.
+
+        The plan cache and metrics outlive executor rebuilds (a rebuild
+        happens when a store is attached): cache keys embed the store,
+        its schema version and the statistics epoch, so surviving entries
+        stay valid for the stores that didn't change.
+        """
         if self._executor is None:
             self._executor = QueryExecutor(
-                self._stores, DEFAULT_STORE_NAME, self._planner_options
+                self._stores,
+                DEFAULT_STORE_NAME,
+                self._planner_options,
+                plan_cache=self._plan_cache,
+                metrics=self._metrics,
             )
         return self._executor
 
@@ -185,13 +198,24 @@ class NepalDB:
         """Shortcut: evaluate one RPE and return the matching pathways.
 
         ``at`` runs a timeslice query, ``between`` a time-range query (the
-        returned pathways carry their maximal validity sets).
+        returned pathways carry their maximal validity sets).  Compilation
+        goes through the same plan cache as full NPQL queries, so repeated
+        expressions skip planning entirely.
         """
         target = self._stores[store]
-        planner = Planner(
-            target.schema, CardinalityEstimator(target), self._planner_options
-        )
-        program = planner.compile(rpe)
+        executor = self.executor()
+        estimator = executor.estimator_for(target)
+        key = PlanCache.key_for(rpe, store, target, estimator, self._planner_options)
+        with self._metrics.timings.measure("plan"):
+            program = self._plan_cache.get_or_compile(
+                key,
+                lambda: Planner(
+                    target.schema,
+                    estimator,
+                    self._planner_options,
+                    nfa_memo=self._plan_cache.nfa_memo,
+                ).compile(rpe),
+            )
         if at is not None and between is not None:
             raise NepalError("pass either at= or between=, not both")
         if at is not None:
@@ -244,3 +268,33 @@ class NepalDB:
         for name, store in self._stores.items():
             lines.append(f"[{name}] {store.describe()}")
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # cache observability
+    # ------------------------------------------------------------------
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """Counters and per-stage timings for this database's pipeline."""
+        return self._metrics
+
+    def cache_stats(self) -> dict[str, object]:
+        """A JSON-ready snapshot of cache effectiveness and stage timings.
+
+        Keys: ``plan`` (compiled-program cache, with occupancy), ``parse``,
+        ``typecheck`` and ``nfa`` (memo counters), and ``timings`` (per
+        stage cumulative seconds and call counts).
+        """
+        snapshot = self._metrics.snapshot()
+        caches = dict(snapshot["caches"])  # type: ignore[arg-type]
+        caches["plan"] = self._plan_cache.stats()
+        return {**caches, "timings": snapshot["timings"]}
+
+    def clear_plan_cache(self) -> int:
+        """Drop every cached compiled plan; returns how many were held.
+
+        Rarely needed — version counters retire stale entries on their
+        own — but useful for benchmarking cold planning and after
+        in-place schema surgery that bypasses :class:`Schema` methods.
+        """
+        return self._plan_cache.invalidate()

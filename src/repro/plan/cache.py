@@ -1,0 +1,225 @@
+"""The compiled-plan cache (ROADMAP: caching & hot-path speedups).
+
+Planning an NPQL query repeats the whole §5 pipeline — normalization,
+anchor enumeration and costing, RPE splitting, NFA construction and kind
+refinement — on every call, even though production workloads (and the
+paper's Table 1/2 sweeps) sample many instances of a few query templates.
+Compiled :class:`~repro.plan.program.MatchProgram` objects are immutable
+and contain no data, only plan shape, so they are safe to reuse as long as
+the inputs that shaped them are unchanged.
+
+A :class:`PlanCache` is a bounded LRU of compiled programs keyed on:
+
+* the RPE text (bound-and-normalized render for query variables, the raw
+  expression text for :meth:`NepalDB.find_paths`);
+* the catalog store name **and** the store object itself (federated
+  queries over distinct stores never share entries, even when two attached
+  stores carry the same display name);
+* the store's schema object and its monotonic ``version`` counter
+  (schema changes and schema reloads drop plans);
+* the statistics epoch of the store's
+  :class:`~repro.stats.cardinality.CardinalityEstimator` (stats drift may
+  change plan *choice*, so stale-stats plans are replaced — correctness
+  never depends on it, because programs carry no data);
+* the :class:`~repro.plan.planner.PlannerOptions` in effect.
+
+Entries whose key went stale (same RPE/store, newer schema version or
+stats epoch) are purged when the replacement is stored and counted as
+invalidations; capacity overflow evicts in LRU order.  All counters feed a
+:class:`~repro.stats.metrics.MetricsRegistry` so ``NepalDB.cache_stats()``
+and the CLI's ``.stats`` command can show hit rates.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Hashable
+
+from repro.stats.metrics import CacheCounters, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.plan.planner import PlannerOptions
+    from repro.plan.program import MatchProgram
+    from repro.schema.registry import Schema
+    from repro.stats.cardinality import CardinalityEstimator
+    from repro.storage.base import GraphStore
+
+DEFAULT_PLAN_CACHE_SIZE = 256
+DEFAULT_MEMO_SIZE = 512
+
+
+class LruCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    ``get`` counts a hit or miss and refreshes recency; ``put`` evicts the
+    oldest entry once ``max_size`` is exceeded (counted as an eviction).
+    """
+
+    def __init__(self, max_size: int, counters: CacheCounters | None = None):
+        if max_size < 1:
+            raise ValueError(f"cache size must be positive, got {max_size}")
+        self.max_size = max_size
+        self.counters = counters or CacheCounters()
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def keys(self) -> list[Hashable]:
+        return list(self._entries)
+
+    def get(self, key: Hashable) -> Any | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.counters.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.counters.hits += 1
+        return entry
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_size:
+            self._entries.popitem(last=False)
+            self.counters.evictions += 1
+
+    def remove(self, key: Hashable) -> bool:
+        """Drop *key* without touching the eviction counter."""
+        return self._entries.pop(key, None) is not None
+
+    def clear(self) -> int:
+        """Drop everything; returns (and counts) the entries invalidated."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.counters.invalidations += dropped
+        return dropped
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        entry = self.get(key)
+        if entry is None:
+            entry = factory()
+            self.put(key, entry)
+        return entry
+
+
+@dataclass(frozen=True)
+class PlanCacheKey:
+    """Identity of one compiled program (see the module docstring).
+
+    ``schema`` and ``store_ref`` compare by object identity — two schemas
+    or stores are never "equal enough" to share a compiled plan unless
+    they are the same object at the same version/epoch.
+    """
+
+    rpe_text: str
+    store: str
+    store_ref: "GraphStore | None"
+    schema: "Schema | None"
+    schema_version: int
+    stats_epoch: int
+    options: "PlannerOptions | None"
+
+    def template(self) -> tuple:
+        """The version-free part: what identifies a *query template*."""
+        return (self.rpe_text, self.store, id(self.store_ref), self.options)
+
+
+class PlanCache:
+    """Bounded LRU of compiled match programs with versioned invalidation."""
+
+    def __init__(
+        self,
+        max_size: int = DEFAULT_PLAN_CACHE_SIZE,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.metrics = metrics or MetricsRegistry()
+        self._programs = LruCache(max_size, self.metrics.counters("plan"))
+        #: template -> the full key last stored for it (stale-entry purging).
+        self._latest: dict[tuple, PlanCacheKey] = {}
+        #: shared memo for affix-NFA construction; survives stats-epoch
+        #: drift because automata depend only on the RPE and the schema.
+        self.nfa_memo = LruCache(DEFAULT_MEMO_SIZE, self.metrics.counters("nfa"))
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def key_for(
+        rpe_text: str,
+        store_name: str,
+        store: "GraphStore",
+        estimator: "CardinalityEstimator",
+        options: "PlannerOptions",
+    ) -> PlanCacheKey:
+        """Build the cache key for *rpe_text* planned against *store*."""
+        return PlanCacheKey(
+            rpe_text=rpe_text,
+            store=store_name,
+            store_ref=store,
+            schema=store.schema,
+            schema_version=store.schema.version,
+            stats_epoch=estimator.stats_epoch,
+            options=options,
+        )
+
+    def lookup(self, key: PlanCacheKey) -> "MatchProgram | None":
+        return self._programs.get(key)
+
+    def store(self, key: PlanCacheKey, program: "MatchProgram") -> None:
+        """Insert *program*, purging any stale entry for the same template."""
+        template = key.template()
+        previous = self._latest.get(template)
+        if previous is not None and previous != key:
+            if self._programs.remove(previous):
+                self._programs.counters.invalidations += 1
+        self._latest[template] = key
+        self._programs.put(key, program)
+        if len(self._latest) > 4 * self._programs.max_size:
+            # The template index only exists for purging; keep it bounded.
+            live = set(self._programs.keys())
+            self._latest = {
+                tpl: full for tpl, full in self._latest.items() if full in live
+            }
+
+    def get_or_compile(
+        self, key: PlanCacheKey, factory: Callable[[], "MatchProgram"]
+    ) -> "MatchProgram":
+        program = self.lookup(key)
+        if program is None:
+            program = factory()
+            self.store(key, program)
+        return program
+
+    # ------------------------------------------------------------------
+
+    def invalidate(self, store_name: str | None = None) -> int:
+        """Drop every entry (or only *store_name*'s); returns the count."""
+        if store_name is None:
+            self._latest.clear()
+            return self._programs.clear()
+        dropped = 0
+        for key in self._programs.keys():
+            if isinstance(key, PlanCacheKey) and key.store == store_name:
+                self._programs.remove(key)
+                self._latest.pop(key.template(), None)
+                dropped += 1
+        self._programs.counters.invalidations += dropped
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._programs)
+
+    @property
+    def max_size(self) -> int:
+        return self._programs.max_size
+
+    def stats(self) -> dict[str, object]:
+        """Counter snapshot plus occupancy, for ``cache_stats()``."""
+        snapshot = self._programs.counters.snapshot()
+        snapshot["entries"] = len(self._programs)
+        snapshot["max_size"] = self._programs.max_size
+        return snapshot

@@ -27,6 +27,7 @@ from typing import Mapping
 
 from repro.errors import FederationError, TemporalError, TypeCheckError
 from repro.model.pathway import Pathway
+from repro.plan.cache import LruCache, PlanCache
 from repro.plan.planner import Planner, PlannerOptions
 from repro.plan.program import MatchProgram
 from repro.plan.traverse import evaluate_from_endpoints
@@ -49,6 +50,7 @@ from repro.query.parser import parse_query
 from repro.query.results import QueryResult, ResultRow
 from repro.query.typecheck import CheckedQuery, typecheck_query
 from repro.stats.cardinality import CardinalityEstimator
+from repro.stats.metrics import MetricsRegistry
 from repro.storage.base import GraphStore, TimeScope
 from repro.temporal.interval import FOREVER, Interval, IntervalSet
 from repro.temporal.validity import pathway_validity
@@ -80,6 +82,8 @@ class QueryExecutor:
         stores: Mapping[str, GraphStore],
         default_store: str = DEFAULT_STORE,
         planner_options: PlannerOptions | None = None,
+        plan_cache: PlanCache | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         if default_store not in stores:
             raise FederationError(
@@ -89,8 +93,17 @@ class QueryExecutor:
         self._stores = dict(stores)
         self._default = default_store
         self._planner_options = planner_options or PlannerOptions()
-        self._estimators: dict[str, CardinalityEstimator] = {}
+        self._estimators: dict[int, CardinalityEstimator] = {}
         self._views: dict[str, str] = {}
+        self._views_version = 0
+        if metrics is None:
+            metrics = plan_cache.metrics if plan_cache is not None else MetricsRegistry()
+        self.metrics = metrics
+        # Careful: an empty PlanCache is falsy (it has __len__), so test
+        # against None rather than truthiness.
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache(metrics=metrics)
+        self._parse_cache = LruCache(256, self.metrics.counters("parse"))
+        self._typecheck_cache = LruCache(256, self.metrics.counters("typecheck"))
 
     # ------------------------------------------------------------------
 
@@ -104,41 +117,99 @@ class QueryExecutor:
                 f"range variable {variable.name!r} targets unknown store {name!r}"
             ) from None
 
-    def _estimator(self, store: GraphStore) -> CardinalityEstimator:
-        estimator = self._estimators.get(store.name)
+    def estimator_for(self, store: GraphStore) -> CardinalityEstimator:
+        """The (memoized) cardinality estimator for *store*.
+
+        Keyed on store identity, not display name: two attached stores may
+        legitimately share a name, and their statistics must not mix.
+        """
+        estimator = self._estimators.get(id(store))
         if estimator is None:
             estimator = CardinalityEstimator(store)
-            self._estimators[store.name] = estimator
+            self._estimators[id(store)] = estimator
         return estimator
 
     def define_view(self, name: str, rpe_text: str) -> None:
         """Register a named pathway view (§3.4's non-PATHS sources).
 
         The RPE text is validated lazily, against the schema of whichever
-        store a query's variable targets.
+        store a query's variable targets.  (Re)defining a view changes what
+        typechecking produces, so cached checked queries are retired.
         """
         self._views[name.upper()] = rpe_text
+        self._views_version += 1
 
     def view_rpe(self, name: str) -> str | None:
         """The defining RPE text of a view, or None when undefined."""
         return self._views.get(name.upper())
 
     def invalidate_statistics(self) -> None:
-        """Drop cached cardinalities (call after bulk loads)."""
+        """Drop cached cardinalities (call after bulk loads).
+
+        Bumping every estimator's epoch retires this executor's cached
+        plans lazily: their keys embed the old epoch, so the next lookup
+        misses and replans.  Estimators also self-refresh against their
+        store's ``data_version``, which covers writes that bypass this
+        executor entirely.
+        """
         for estimator in self._estimators.values():
             estimator.invalidate()
 
     # ------------------------------------------------------------------
+    # parse & typecheck memoization
+    # ------------------------------------------------------------------
+
+    def _parse(self, text: str) -> Query:
+        """Parse query text, memoized (the AST is immutable and shareable)."""
+        cached = self._parse_cache.get(text)
+        if cached is None:
+            with self.metrics.timings.measure("parse"):
+                cached = parse_query(text)
+            self._parse_cache.put(text, cached)
+        return cached
+
+    def _catalog_state(self) -> tuple:
+        """What typechecking depends on besides the query text itself:
+        each store's schema (by identity and version) and the view set."""
+        return (
+            tuple(
+                (name, id(store.schema), store.schema.version)
+                for name, store in sorted(self._stores.items())
+            ),
+            self._views_version,
+        )
+
+    def _checked(self, query: Query | str) -> CheckedQuery:
+        """Typecheck *query*, memoized on (normalized text, catalog state)."""
+        if isinstance(query, str):
+            query = self._parse(query)
+        key = (query.render(), self._catalog_state())
+        cached = self._typecheck_cache.get(key)
+        if cached is None:
+            with self.metrics.timings.measure("typecheck"):
+                cached = typecheck_query(
+                    query,
+                    lambda var: self.store_for(var).schema,
+                    view_rpe=self.view_rpe,
+                )
+            self._typecheck_cache.put(key, cached)
+        return cached
+
+    # ------------------------------------------------------------------
 
     def execute(self, query: Query | str) -> QueryResult:
-        """Parse (if text), typecheck, plan, evaluate and project *query*."""
-        if isinstance(query, str):
-            query = parse_query(query)
-        checked = typecheck_query(
-            query, lambda var: self.store_for(var).schema, view_rpe=self.view_rpe
-        )
-        bindings = self._solve(checked, outer_bindings={}, cache={})
-        return self._project(checked, bindings)
+        """Parse (if text), typecheck, plan, evaluate and project *query*.
+
+        Every stage ahead of evaluation is served from caches when the
+        same query template was seen before: parse and typecheck memoize
+        on the query text, compiled per-variable programs come from the
+        plan cache (``metrics.timings`` separates ``plan`` time from the
+        enclosing ``execute`` total).
+        """
+        checked = self._checked(query)
+        with self.metrics.timings.measure("execute"):
+            bindings = self._solve(checked, outer_bindings={}, cache={})
+            return self._project(checked, bindings)
 
     def translate(self, query: Query | str) -> str:
         """Generate the Python program for *query* (§3.1's code generation).
@@ -150,10 +221,8 @@ class QueryExecutor:
         from repro.plan.codegen import translate_query
 
         if isinstance(query, str):
-            query = parse_query(query)
-        checked = typecheck_query(
-            query, lambda var: self.store_for(var).schema, view_rpe=self.view_rpe
-        )
+            query = self._parse(query)
+        checked = self._checked(query)
         store_names = {
             variable.name: variable.store or self._default
             for variable in query.variables
@@ -165,10 +234,8 @@ class QueryExecutor:
         from repro.plan.explain import explain_program
 
         if isinstance(query, str):
-            query = parse_query(query)
-        checked = typecheck_query(
-            query, lambda var: self.store_for(var).schema, view_rpe=self.view_rpe
-        )
+            query = self._parse(query)
+        checked = self._checked(query)
         sections = []
         for variable in query.variables:
             evaluated = self._prepare_variable(checked, variable)
@@ -192,10 +259,25 @@ class QueryExecutor:
     ) -> _EvaluatedVariable:
         store = self.store_for(variable)
         scope = self._scope_for(checked.query, variable)
-        planner = Planner(
-            store.schema, self._estimator(store), self._planner_options
+        estimator = self.estimator_for(store)
+        rpe = checked.bound_matches[variable.name]
+        key = PlanCache.key_for(
+            rpe.render(),
+            variable.store or self._default,
+            store,
+            estimator,
+            self._planner_options,
         )
-        program = planner.compile(checked.bound_matches[variable.name], bound=True)
+        with self.metrics.timings.measure("plan"):
+            program = self.plan_cache.get_or_compile(
+                key,
+                lambda: Planner(
+                    store.schema,
+                    estimator,
+                    self._planner_options,
+                    nfa_memo=self.plan_cache.nfa_memo,
+                ).compile(rpe, bound=True),
+            )
         extra_matcher = None
         extra = checked.extra_matches.get(variable.name)
         if extra is not None:

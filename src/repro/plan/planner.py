@@ -16,11 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import PlanningError, UnanchoredQueryError, UnboundedQueryError
+from repro.plan.cache import LruCache
 from repro.plan.program import CompiledSplit, MatchProgram
 from repro.rpe.anchors import AnchorPlan, enumerate_anchor_plans
 from repro.rpe.ast import RpeNode
 from repro.rpe.match import compile_matcher
-from repro.rpe.nfa import build_nfa, reverse_rpe
+from repro.rpe.nfa import PathwayNfa, build_nfa, reverse_rpe
 from repro.rpe.normalize import admits_empty, length_bounds, normalize
 from repro.rpe.parser import parse_rpe
 from repro.schema.registry import Schema
@@ -54,10 +55,12 @@ class Planner:
         schema: Schema,
         estimator: CardinalityEstimator | None = None,
         options: PlannerOptions | None = None,
+        nfa_memo: "LruCache | None" = None,
     ):
         self.schema = schema
         self.estimator = estimator or CardinalityEstimator()
         self.options = options or PlannerOptions()
+        self._nfa_memo = nfa_memo
 
     def compile(self, rpe: RpeNode | str, bound: bool = False) -> MatchProgram:
         """Plan the RPE; raises on unanchored/unbounded expressions."""
@@ -85,16 +88,12 @@ class Planner:
         splits = []
         for split in plan.splits:
             anchor_kind = "node" if split.anchor.is_node_atom else "edge"
-            forward_nfa = build_nfa(
-                split.suffix,
-                leading="glue" if split.suffix is not None else "none",
-                trailing="pad",
-            ).kind_refined(start_kind=anchor_kind, start_consumer="atom")
-            backward_nfa = build_nfa(
+            forward_nfa = self._affix_nfa(split.suffix, "forward", anchor_kind)
+            backward_nfa = self._affix_nfa(
                 reverse_rpe(split.prefix) if split.prefix is not None else None,
-                leading="glue" if split.prefix is not None else "none",
-                trailing="pad",
-            ).kind_refined(start_kind=anchor_kind, start_consumer="atom")
+                "backward",
+                anchor_kind,
+            )
             splits.append(
                 CompiledSplit(
                     split=split, forward_nfa=forward_nfa, backward_nfa=backward_nfa
@@ -110,6 +109,36 @@ class Planner:
             max_elements=max_elements,
             anchor_cost=plan.cost,
         )
+
+    def _affix_nfa(
+        self, affix: RpeNode | None, direction: str, anchor_kind: str
+    ) -> "PathwayNfa":
+        """Build (or reuse) the kind-refined automaton for one split affix.
+
+        Automata depend only on the affix expression and the schema its
+        atoms are bound to — not on statistics — so the memo keys on the
+        schema object, its version and the rendered affix.  It survives
+        stats-epoch drift, which is where replanning under churn recovers
+        most of its cost.
+        """
+
+        def build() -> "PathwayNfa":
+            return build_nfa(
+                affix,
+                leading="glue" if affix is not None else "none",
+                trailing="pad",
+            ).kind_refined(start_kind=anchor_kind, start_consumer="atom")
+
+        if self._nfa_memo is None:
+            return build()
+        key = (
+            self.schema,
+            self.schema.version,
+            direction,
+            anchor_kind,
+            affix.render() if affix is not None else None,
+        )
+        return self._nfa_memo.get_or_create(key, build)
 
     def _select_anchor(self, rpe: RpeNode) -> AnchorPlan:
         candidates = enumerate_anchor_plans(rpe, self.estimator.estimate)

@@ -40,6 +40,12 @@ class Schema:
         self.name = name
         self.types = TypeRegistry()
         self.node_root, self.edge_root = make_roots()
+        self.version = 0
+        """Monotonic counter bumped on every class definition (or
+        :meth:`touch`).  Compiled plans embed schema knowledge — anchor
+        candidates, allowed-edge pruning, subtree expansions — so the plan
+        cache keys on (schema identity, version) and drops entries when
+        the schema evolves."""
         self._classes: dict[str, ElementClass] = {
             self.node_root.name: self.node_root,
             self.edge_root.name: self.edge_root,
@@ -47,10 +53,15 @@ class Schema:
 
     # -- definition ------------------------------------------------------
 
+    def touch(self) -> None:
+        """Mark the schema as changed (retires cached compiled plans)."""
+        self.version += 1
+
     def _register(self, cls: ElementClass) -> ElementClass:
         if cls.name in self._classes:
             raise SchemaError(f"class name {cls.name!r} already defined in schema {self.name!r}")
         self._classes[cls.name] = cls
+        self.touch()
         return cls
 
     def _build_fields(self, fields: Mapping[str, object] | None) -> dict[str, Field]:

@@ -1,5 +1,11 @@
-"""Cardinality statistics for anchor costing (Section 5.1)."""
+"""Cardinality statistics for anchor costing (Section 5.1) and metrics."""
 
 from repro.stats.cardinality import CardinalityEstimator
+from repro.stats.metrics import CacheCounters, MetricsRegistry, StageTimings
 
-__all__ = ["CardinalityEstimator"]
+__all__ = [
+    "CacheCounters",
+    "CardinalityEstimator",
+    "MetricsRegistry",
+    "StageTimings",
+]

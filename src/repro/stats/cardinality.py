@@ -29,13 +29,43 @@ _NEQ_SELECTIVITY = 2.0 / 3.0
 
 
 class CardinalityEstimator:
-    """Estimates the number of elements satisfying an atom."""
+    """Estimates the number of elements satisfying an atom.
+
+    The estimator carries a monotonic *statistics epoch*: it advances
+    whenever the cached per-class counts are dropped, either explicitly
+    via :meth:`invalidate` or automatically when the backing store's
+    ``data_version`` drifts past the version last sampled.  The plan
+    cache keys compiled programs on the epoch, so plans chosen under
+    stale statistics are replanned — a correctness-neutral refresh, since
+    statistics only steer anchor *choice* (§5.1), never result sets.
+    """
 
     def __init__(self, store: "GraphStore | None" = None):
         self._store = store
         self._class_count_cache: dict[str, float] = {}
+        self._epoch = 0
+        self._seen_data_version = store.data_version if store is not None else 0
+
+    @property
+    def stats_epoch(self) -> int:
+        """The current statistics epoch (refreshes against the store)."""
+        self._refresh()
+        return self._epoch
+
+    def _refresh(self) -> None:
+        if self._store is None:
+            return
+        version = self._store.data_version
+        if version != self._seen_data_version:
+            self._seen_data_version = version
+            self._bump()
+
+    def _bump(self) -> None:
+        self._class_count_cache.clear()
+        self._epoch += 1
 
     def class_cardinality(self, cls: ElementClass) -> float:
+        self._refresh()
         cached = self._class_count_cache.get(cls.name)
         if cached is not None:
             return cached
@@ -75,5 +105,7 @@ class CardinalityEstimator:
         return max(cardinality, 0.5)
 
     def invalidate(self) -> None:
-        """Drop cached counts (call after bulk loads)."""
-        self._class_count_cache.clear()
+        """Drop cached counts and advance the epoch (call after bulk loads)."""
+        if self._store is not None:
+            self._seen_data_version = self._store.data_version
+        self._bump()

@@ -1,0 +1,132 @@
+"""Lightweight execution metrics for the query pipeline.
+
+The plan cache and the executor record counters (cache hits, misses,
+invalidations, evictions) and per-stage wall-clock timings (parse,
+typecheck, plan, execute) here.  A :class:`MetricsRegistry` is owned by
+each :class:`~repro.core.database.NepalDB` and surfaced through
+``NepalDB.cache_stats()`` and the CLI's ``.stats`` command, so the effect
+of the compiled-plan cache is observable without a profiler.
+
+Counters are plain integers and timings plain float sums — cheap enough
+to stay enabled unconditionally.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class CacheCounters:
+    """Hit/miss/invalidation accounting for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never used)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.invalidations = self.evictions = 0
+
+
+@dataclass
+class StageTimings:
+    """Cumulative wall-clock per pipeline stage, in seconds."""
+
+    seconds: dict[str, float] = field(default_factory=dict)
+    calls: dict[str, int] = field(default_factory=dict)
+
+    def record(self, stage: str, elapsed: float) -> None:
+        self.seconds[stage] = self.seconds.get(stage, 0.0) + elapsed
+        self.calls[stage] = self.calls.get(stage, 0) + 1
+
+    @contextmanager
+    def measure(self, stage: str) -> Iterator[None]:
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(stage, time.perf_counter() - started)
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        return {
+            stage: {
+                "seconds": round(self.seconds[stage], 6),
+                "calls": self.calls.get(stage, 0),
+            }
+            for stage in sorted(self.seconds)
+        }
+
+    def reset(self) -> None:
+        self.seconds.clear()
+        self.calls.clear()
+
+
+class MetricsRegistry:
+    """Named cache counters plus the pipeline stage timings."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, CacheCounters] = {}
+        self.timings = StageTimings()
+
+    def counters(self, name: str) -> CacheCounters:
+        """The counter block for cache *name*, created on first use."""
+        block = self._counters.get(name)
+        if block is None:
+            block = CacheCounters()
+            self._counters[name] = block
+        return block
+
+    def snapshot(self) -> dict[str, object]:
+        """A JSON-ready dump of every counter block and the timings."""
+        return {
+            "caches": {
+                name: block.snapshot()
+                for name, block in sorted(self._counters.items())
+            },
+            "timings": self.timings.snapshot(),
+        }
+
+    def reset(self) -> None:
+        for block in self._counters.values():
+            block.reset()
+        self.timings.reset()
+
+    def describe(self) -> str:
+        """Human-readable rendering for the CLI's ``.stats`` command."""
+        lines: list[str] = []
+        for name, block in sorted(self._counters.items()):
+            lines.append(
+                f"  {name}: {block.hits} hits / {block.misses} misses "
+                f"({100 * block.hit_rate:.1f}% hit rate), "
+                f"{block.invalidations} invalidations, "
+                f"{block.evictions} evictions"
+            )
+        for stage, total in sorted(self.timings.seconds.items()):
+            calls = self.timings.calls.get(stage, 0)
+            lines.append(f"  {stage}: {1000 * total:.2f} ms over {calls} calls")
+        if not lines:
+            return "  (no cache activity yet)"
+        return "\n".join(lines)

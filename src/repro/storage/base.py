@@ -100,6 +100,28 @@ class GraphStore(ABC):
         self.schema = schema
         self.clock = clock or TransactionClock()
         self.name = name or type(self).__name__
+        self._data_version = 0
+
+    # ------------------------------------------------------------------
+    # data versioning
+    # ------------------------------------------------------------------
+
+    @property
+    def data_version(self) -> int:
+        """Monotonic counter bumped on every write or bulk load.
+
+        Cardinality estimators compare it against the version they last
+        sampled and refresh their statistics epoch when it drifts, which
+        in turn retires stale compiled plans (:mod:`repro.plan.cache`).
+        The counter says nothing about *what* changed — only that reads
+        planned against older statistics may now be suboptimal.
+        """
+        return self._data_version
+
+    def bump_data_version(self) -> None:
+        """Record that the stored data changed (backends call this on
+        every successful write; loaders may call it once per batch)."""
+        self._data_version += 1
 
     # ------------------------------------------------------------------
     # write path

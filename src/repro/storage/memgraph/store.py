@@ -127,6 +127,7 @@ class MemGraphStore(GraphStore):
         self._class_of[record.uid] = record.cls
         self._class_index.add(record.cls.name, record.uid)
         self._field_index.add(record.cls.name, record.uid, dict(record.fields))
+        self.bump_data_version()
 
     def update_element(self, uid: int, changes: Mapping[str, Any]) -> None:
         current = self._current.get(uid)
@@ -148,6 +149,7 @@ class MemGraphStore(GraphStore):
         replacement = self._reopen(current, normalized, now)
         self._current[uid] = replacement
         self._field_index.add(current.cls.name, uid, normalized)
+        self.bump_data_version()
 
     @staticmethod
     def _reopen(
@@ -179,6 +181,7 @@ class MemGraphStore(GraphStore):
         del self._current[uid]
         self._class_index.discard(current.cls.name, uid)
         self._field_index.discard(current.cls.name, uid, dict(current.fields))
+        self.bump_data_version()
 
     def reinsert(self, uid: int, fields: Mapping[str, Any] | None = None,
                  source: int | None = None, target: int | None = None) -> int:
@@ -206,6 +209,7 @@ class MemGraphStore(GraphStore):
         self._current[uid] = record
         self._class_index.add(record.cls.name, uid)
         self._field_index.add(record.cls.name, uid, dict(record.fields))
+        self.bump_data_version()
         return uid
 
     # ------------------------------------------------------------------

@@ -217,6 +217,7 @@ class RelationalStore(GraphStore):
         self._is_current[uid] = True
         if endpoints is not None:
             self._edge_endpoints[uid] = endpoints
+        self.bump_data_version()
 
     def insert_node(
         self, class_name: str, fields: Mapping[str, Any] | None = None, uid: int | None = None
@@ -312,6 +313,7 @@ class RelationalStore(GraphStore):
             f"VALUES ({placeholders})",
             values,
         )
+        self.bump_data_version()
 
     def delete_element(self, uid: int) -> None:
         cls = self._class_of.get(uid)
@@ -324,6 +326,7 @@ class RelationalStore(GraphStore):
         now = self.clock.now()
         self._close_current_row(cls, uid, now)
         self._is_current[uid] = False
+        self.bump_data_version()
 
     # ------------------------------------------------------------------
     # read path (element level)

@@ -1,0 +1,111 @@
+"""Property: cached plans and fresh plans always agree, even under churn.
+
+The plan cache's safety argument is that compiled programs carry only plan
+shape, never data, so a stale-stats plan can at worst be *slower* than a
+fresh one — the answer is identical.  This property test drives a database
+through randomized churn (inserts, edge additions, status updates,
+deletes, clock advances) and after every write compares the warm-cache
+answer of several query shapes with the answer after dropping every cached
+plan.  Any divergence is a cache-invalidation bug.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.database import NepalDB
+from repro.storage.base import TimeScope
+from repro.temporal.clock import TransactionClock
+from tests.conftest import T0, SmallInventory
+
+QUERIES = (
+    "Retrieve P From PATHS P Where P MATCHES VM()->OnServer()->Host()",
+    "Retrieve P From PATHS P Where P MATCHES VFC()->OnVM()->VM()",
+    "Retrieve P From PATHS P Where P MATCHES VNF()->[Vertical()]{1,6}->Host()",
+    "Select source(P).name From PATHS P Where P MATCHES VM()->OnServer()->Host()",
+)
+
+#: One churn step: (op name, rng draw used to pick targets/fields).
+OPS = ("insert_pair", "insert_vm", "update_status", "delete_vm", "advance")
+
+
+def _answer(db: NepalDB, query: str) -> list[tuple]:
+    """A comparable rendering of a query result (order-insensitive)."""
+    rows = []
+    for row in db.query(query).rows:
+        cells = []
+        for value in row.values:
+            key = getattr(value, "key", None)
+            cells.append(tuple(key()) if callable(key) else value)
+        rows.append(tuple(cells))
+    return sorted(rows, key=repr)
+
+
+def _apply(db: NepalDB, inv: SmallInventory, op: str, pick: int, step: int) -> None:
+    vms = [inv.vm1, inv.vm2]
+    hosts = [inv.host1, inv.host2]
+    if op == "insert_pair":
+        host = db.insert_node("Host", {"name": f"churn-host-{step}"})
+        vm = db.insert_node("VMWare", {"name": f"churn-vm-{step}"})
+        db.insert_edge("OnServer", vm, host)
+    elif op == "insert_vm":
+        vm = db.insert_node("OnMetal", {"name": f"churn-bare-{step}"})
+        db.insert_edge("OnServer", vm, hosts[pick % len(hosts)])
+    elif op == "update_status":
+        status = ("Green", "Yellow", "Red")[pick % 3]
+        db.update(hosts[pick % len(hosts)], {"status": status})
+    elif op == "delete_vm":
+        victim = vms[pick % len(vms)]
+        if db.store.get_element(victim, TimeScope.current()) is not None:
+            db.delete(victim)
+    elif op == "advance":
+        db.clock.advance(60 * (1 + pick % 10))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    steps=st.lists(
+        st.tuples(st.sampled_from(OPS), st.integers(min_value=0, max_value=999)),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_cached_plans_match_fresh_plans_under_churn(steps):
+    db = NepalDB(clock=TransactionClock(start=T0))
+    inv = SmallInventory(db.store)
+    for query in QUERIES:  # prime the cache on the initial topology
+        db.query(query)
+
+    for step, (op, pick) in enumerate(steps):
+        _apply(db, inv, op, pick, step)
+        for query in QUERIES:
+            warm = _answer(db, query)  # served via the (possibly stale) cache
+            db.clear_plan_cache()
+            fresh = _answer(db, query)  # replanned from scratch
+            assert warm == fresh, (
+                f"cache divergence after {op!r} (step {step}) on {query!r}"
+            )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    steps=st.lists(
+        st.tuples(st.sampled_from(OPS), st.integers(min_value=0, max_value=999)),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_two_databases_same_writes_same_answers(steps):
+    """A db that caches across churn equals a twin that never reuses plans."""
+    caching = NepalDB(clock=TransactionClock(start=T0))
+    pristine = NepalDB(clock=TransactionClock(start=T0))
+    inv_caching = SmallInventory(caching.store)
+    inv_pristine = SmallInventory(pristine.store)
+    for query in QUERIES:
+        caching.query(query)
+
+    for step, (op, pick) in enumerate(steps):
+        _apply(caching, inv_caching, op, pick, step)
+        _apply(pristine, inv_pristine, op, pick, step)
+        pristine.clear_plan_cache()
+        for query in QUERIES:
+            assert _answer(caching, query) == _answer(pristine, query)

@@ -13,7 +13,6 @@ from repro.query.ast import (
     ExistsPredicate,
     FieldAccess,
     FunctionCall,
-    MatchesPredicate,
     VariableRef,
 )
 from repro.query.parser import parse_query

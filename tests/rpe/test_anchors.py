@@ -1,6 +1,5 @@
 """Anchor enumeration, costing and splitting (Section 5.1)."""
 
-import pytest
 
 from repro.rpe.anchors import enumerate_anchor_plans, select_anchor_plan
 from tests.rpe.util import rpe

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import TypeCheckError
 from repro.rpe.ast import Atom, FieldPredicate
 from repro.rpe.parser import parse_rpe
-from tests.rpe.util import SCHEMA, pathway, rpe
+from tests.rpe.util import pathway, rpe
 
 
 class TestBinding:

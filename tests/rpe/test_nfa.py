@@ -6,7 +6,6 @@ nodes of edge atoms, bounded repetition with glue between copies, and the
 collapse of empty-matching ``{0,m}`` seams.
 """
 
-import pytest
 
 from repro.rpe.match import matches_pathway
 from repro.rpe.nfa import ANY, ANY_EDGE, ANY_NODE, build_nfa, reverse_rpe

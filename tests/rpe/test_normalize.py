@@ -1,6 +1,5 @@
 """Normalization and length bounds."""
 
-import pytest
 
 from repro.rpe.ast import Alternation, Atom, Repetition, Sequence
 from repro.rpe.normalize import admits_empty, length_bounds, normalize

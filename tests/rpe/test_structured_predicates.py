@@ -11,7 +11,7 @@ import pytest
 from repro.errors import TypeCheckError
 from repro.rpe.parser import parse_rpe
 from repro.storage.base import TimeScope
-from tests.rpe.util import SCHEMA, rpe
+from tests.rpe.util import rpe
 
 CURRENT = TimeScope.current()
 
@@ -96,7 +96,7 @@ class TestEndToEnd:
         from repro.temporal.clock import TransactionClock
 
         db = NepalDB(backend=backend, clock=TransactionClock(start=1.0))
-        r1 = db.insert_node("Router", {"name": "r1", "routing_table": TABLE})
+        db.insert_node("Router", {"name": "r1", "routing_table": TABLE})
         db.insert_node("Router", {"name": "r2", "routing_table": [
             {"address": "172.16.0.0", "mask": 12, "interface": "xe0"},
         ]})

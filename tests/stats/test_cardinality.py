@@ -66,10 +66,19 @@ def test_estimates_never_zero(mem_store):
 
 def test_cache_and_invalidate(mem_store):
     estimator = CardinalityEstimator(mem_store)
+    epoch = estimator.stats_epoch
     before = estimator.estimate(atom(mem_store, "Host()"))
+    # Counts stay cached while the store is unchanged, epoch holds steady.
+    assert estimator.estimate(atom(mem_store, "Host()")) == before
+    assert estimator.stats_epoch == epoch
     for index in range(50):
         mem_store.insert_node("Host", {"name": f"h{index}"})
-    # Cached value until invalidated.
-    assert estimator.estimate(atom(mem_store, "Host()")) == before
+    # Store writes bump data_version; the estimator notices on its own and
+    # advances the statistics epoch (retiring cached plans keyed on it).
+    assert estimator.estimate(atom(mem_store, "Host()")) == 50.0
+    assert estimator.stats_epoch > epoch
+    # Explicit invalidation still forces a refresh.
+    epoch = estimator.stats_epoch
     estimator.invalidate()
+    assert estimator.stats_epoch > epoch
     assert estimator.estimate(atom(mem_store, "Host()")) == 50.0

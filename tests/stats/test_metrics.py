@@ -1,0 +1,79 @@
+"""Unit tests for the cache/timing instrumentation registry."""
+
+import pytest
+
+from repro.stats.metrics import CacheCounters, MetricsRegistry, StageTimings
+
+
+class TestCacheCounters:
+    def test_starts_at_zero(self):
+        counters = CacheCounters()
+        assert counters.hits == counters.misses == 0
+        assert counters.invalidations == counters.evictions == 0
+        assert counters.hit_rate == 0.0
+
+    def test_hit_rate(self):
+        counters = CacheCounters(hits=3, misses=1)
+        assert counters.hit_rate == pytest.approx(0.75)
+
+    def test_snapshot_is_detached(self):
+        counters = CacheCounters(hits=2)
+        snap = counters.snapshot()
+        counters.hits = 99
+        assert snap["hits"] == 2
+        assert set(snap) >= {"hits", "misses", "invalidations", "evictions", "hit_rate"}
+
+    def test_reset(self):
+        counters = CacheCounters(hits=5, misses=4, invalidations=3, evictions=2)
+        counters.reset()
+        assert counters.snapshot()["hits"] == 0
+        assert counters.snapshot()["evictions"] == 0
+
+
+class TestStageTimings:
+    def test_record_accumulates(self):
+        timings = StageTimings()
+        timings.record("plan", 0.25)
+        timings.record("plan", 0.75)
+        snap = timings.snapshot()["plan"]
+        assert snap["calls"] == 2
+        assert snap["seconds"] == pytest.approx(1.0)
+
+    def test_measure_context_manager(self):
+        timings = StageTimings()
+        with timings.measure("execute"):
+            pass
+        snap = timings.snapshot()["execute"]
+        assert snap["calls"] == 1
+        assert snap["seconds"] >= 0.0
+
+    def test_measure_records_on_exception(self):
+        timings = StageTimings()
+        with pytest.raises(RuntimeError):
+            with timings.measure("boom"):
+                raise RuntimeError("stage failed")
+        assert timings.snapshot()["boom"]["calls"] == 1
+
+
+class TestMetricsRegistry:
+    def test_counters_are_singletons_per_name(self):
+        registry = MetricsRegistry()
+        registry.counters("plan").hits += 1
+        assert registry.counters("plan").hits == 1
+        assert registry.counters("other").hits == 0
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counters("plan").misses += 2
+        registry.timings.record("plan", 0.5)
+        snap = registry.snapshot()
+        assert snap["caches"]["plan"]["misses"] == 2
+        assert snap["timings"]["plan"]["calls"] == 1
+
+    def test_describe_mentions_every_block(self):
+        registry = MetricsRegistry()
+        registry.counters("plan").hits += 1
+        registry.timings.record("execute", 0.001)
+        text = registry.describe()
+        assert "plan" in text
+        assert "execute" in text

@@ -7,7 +7,6 @@ from repro.errors import (
     UnknownElementError,
     ValidationError,
 )
-from repro.rpe.ast import Atom
 from repro.storage.base import TimeScope
 from repro.temporal.interval import Interval
 from tests.conftest import T0

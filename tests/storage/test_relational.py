@@ -7,7 +7,6 @@ from repro.plan.planner import Planner
 from repro.rpe.parser import parse_rpe
 from repro.stats.cardinality import CardinalityEstimator
 from repro.storage.base import TimeScope
-from repro.storage.relational import ddl
 from repro.temporal.interval import Interval
 from tests.conftest import T0, SmallInventory
 
@@ -34,7 +33,7 @@ class TestDdl:
 
     def test_inherits_views_union_subtrees(self, rel_store):
         # "Every VMWare node is also a VM node, and also a Node node."
-        inv = SmallInventory(rel_store)
+        SmallInventory(rel_store)
         conn = rel_store.connection()
         assert conn.execute("SELECT COUNT(*) FROM v_VM").fetchone()[0] == 2
         assert conn.execute("SELECT COUNT(*) FROM v_Container").fetchone()[0] == 2

@@ -1,6 +1,5 @@
 """Snapshot export/import: JSON round trips and backend migration."""
 
-import pytest
 
 from repro.storage.base import TimeScope
 from repro.storage.memgraph.store import MemGraphStore

@@ -89,7 +89,6 @@ def test_traversal_matches_nepal_query(mem_store, small_inventory):
     from repro.plan.planner import Planner
     from repro.stats.cardinality import CardinalityEstimator
 
-    inv = small_inventory
     by_hand = {
         record.uid
         for record in g(mem_store).V().hasLabel("VFC").out("OnVM").out("OnServer").to_list()
