@@ -1,6 +1,9 @@
 # Convenience targets for the Nepal reproduction.
 
-.PHONY: install test lint ci bench bench-smoke sweep examples all
+.PHONY: install test lint coverage ci bench bench-smoke sweep examples all
+
+# Minimum line coverage enforced by `make coverage` and the CI test job.
+COVERAGE_FLOOR ?= 80
 
 install:
 	pip install -e ".[dev]"
@@ -17,8 +20,21 @@ lint:
 		echo "warning: ruff not installed; skipping lint (CI runs it)"; \
 	fi
 
-# Mirror of .github/workflows/ci.yml: lint, then the tier-1 suite.
-ci: lint test
+# Tier-1 suite under pytest-cov with the coverage floor.  Skips with a
+# warning when pytest-cov is not installed (optional locally, like ruff;
+# the CI test job always has it).
+coverage:
+	@if python -c "import pytest_cov" >/dev/null 2>&1; then \
+		PYTHONPATH=src python -m pytest -x -q \
+			--cov=repro --cov-report=term \
+			--cov-report=xml:coverage.xml \
+			--cov-fail-under=$(COVERAGE_FLOOR); \
+	else \
+		echo "warning: pytest-cov not installed; skipping coverage (CI runs it)"; \
+	fi
+
+# Mirror of .github/workflows/ci.yml: lint, the tier-1 suite, coverage.
+ci: lint test coverage
 
 bench:
 	pytest benchmarks/ --benchmark-only

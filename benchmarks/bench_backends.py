@@ -30,6 +30,7 @@ T0 = 1_600_000_000.0
 PARAMS = TopologyParams(
     services=6, vms=400, virtual_networks=80, virtual_routers=20,
     racks=10, hosts_per_rack=6, spine_switches=5, routers=3,
+    seed=20180610,
 )
 
 
@@ -46,7 +47,7 @@ def twin_stores():
 
 def _run_kind(store, handles, kind, count=10):
     planner = Planner(store.schema, CardinalityEstimator(store))
-    workload = table1_workload(handles, instances=count)[kind][:count]
+    workload = table1_workload(handles, instances=count, seed=4711)[kind][:count]
     durations = []
     keys = set()
     for instance in workload:

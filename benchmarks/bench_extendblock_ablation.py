@@ -31,6 +31,7 @@ T0 = 1_600_000_000.0
 PARAMS = TopologyParams(
     services=6, vms=400, virtual_networks=80, virtual_routers=20,
     racks=10, hosts_per_rack=6, spine_switches=5, routers=3,
+    seed=20180610,
 )
 
 
@@ -50,7 +51,7 @@ def stores():
 def _workload(handles, count=12):
     from repro.inventory.workload import table1_workload
 
-    return table1_workload(handles, instances=count)["top-down"][:count]
+    return table1_workload(handles, instances=count, seed=4711)["top-down"][:count]
 
 
 def _run(store, handles, count=12):

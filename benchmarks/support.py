@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 
 from repro.inventory.churn import ChurnParams, ChurnSimulator
 from repro.inventory.legacy import LegacyParams, LegacyTopology, build_legacy_schema
-from repro.inventory.virtualized import VirtualizedServiceTopology
+from repro.inventory.virtualized import TopologyParams, VirtualizedServiceTopology
 from repro.inventory.workload import QueryInstance, table1_workload, table2_workload
 from repro.plan.planner import Planner, PlannerOptions
 from repro.stats.cardinality import CardinalityEstimator
@@ -41,16 +41,25 @@ T0 = 1_600_000_000.0
 
 SCALE = os.environ.get("NEPAL_BENCH_SCALE", "medium")
 
+#: Every generator below runs with an explicit seed so a benchmark anomaly
+#: (or a test failure against a bench-built store) reproduces exactly.
+TOPOLOGY_SEED = 20180610
+LEGACY_SEED = 20180611
+WORKLOAD_SEED = 4711
+
 LEGACY_PARAMS = {
     "small": LegacyParams(
         chains=800, core_nodes=25, aggregation_nodes=120, sites=30,
         noise_hubs=12, noise_edges_per_hub=2500, agg_noise_edges=3000,
+        seed=LEGACY_SEED,
     ),
     "medium": LegacyParams(
         chains=2500, core_nodes=40, aggregation_nodes=250, sites=60,
         noise_hubs=25, noise_edges_per_hub=5000, agg_noise_edges=6000,
+        seed=LEGACY_SEED,
     ),
-    "paper": LegacyParams(),  # generator defaults (~1/40 of AT&T's graph)
+    # generator defaults (~1/40 of AT&T's graph)
+    "paper": LegacyParams(seed=LEGACY_SEED),
 }[SCALE if SCALE in ("small", "medium", "paper") else "medium"]
 
 INSTANCES = int(os.environ.get("NEPAL_BENCH_INSTANCES", "50"))
@@ -94,7 +103,7 @@ class SweepResult:
 def build_service_env() -> BenchEnv:
     """The virtualized service graph at paper scale, with 60-day history."""
     def build(store: GraphStore):
-        return VirtualizedServiceTopology().apply(store)
+        return VirtualizedServiceTopology(TopologyParams(seed=TOPOLOGY_SEED)).apply(store)
 
     from repro.schema.builtin import build_network_schema
 
@@ -115,8 +124,10 @@ def build_service_env() -> BenchEnv:
         snap=snap,
         hist=hist,
         handles=handles,
-        workload_snap=table1_workload(handles, instances=INSTANCES),
-        workload_hist=table1_workload(hist_handles, instances=INSTANCES),
+        workload_snap=table1_workload(handles, instances=INSTANCES, seed=WORKLOAD_SEED),
+        workload_hist=table1_workload(
+            hist_handles, instances=INSTANCES, seed=WORKLOAD_SEED
+        ),
         churn_growth=churn.growth,
         history_mid=(churn.start_time + churn.end_time) / 2,
     )
@@ -144,8 +155,12 @@ def build_legacy_env(subclassed: bool) -> BenchEnv:
         snap=snap,
         hist=hist,
         handles=handles,
-        workload_snap=table2_workload(handles, subclassed, instances=INSTANCES),
-        workload_hist=table2_workload(hist_handles, subclassed, instances=INSTANCES),
+        workload_snap=table2_workload(
+            handles, subclassed, instances=INSTANCES, seed=WORKLOAD_SEED + 1
+        ),
+        workload_hist=table2_workload(
+            hist_handles, subclassed, instances=INSTANCES, seed=WORKLOAD_SEED + 1
+        ),
         churn_growth=churn.growth,
         history_mid=(churn.start_time + churn.end_time) / 2,
     )

@@ -22,7 +22,9 @@ Quick start::
 
 from repro.core.database import NepalDB
 from repro.core.federation import Federation
+from repro.core.resilience import CircuitBreaker, ResiliencePolicy, ResilientStore
 from repro.errors import NepalError
+from repro.storage.chaos import FaultInjectingStore, FaultPlan
 from repro.query.parser import parse_query
 from repro.query.results import QueryResult, ResultRow
 from repro.rpe.parser import parse_rpe
@@ -37,6 +39,9 @@ from repro.storage.snapshot import Snapshot, SnapshotLoader, export_snapshot
 __version__ = "1.0.0"
 
 __all__ = [
+    "CircuitBreaker",
+    "FaultInjectingStore",
+    "FaultPlan",
     "Federation",
     "GraphStore",
     "MemGraphStore",
@@ -44,6 +49,8 @@ __all__ = [
     "NepalError",
     "QueryResult",
     "RelationalStore",
+    "ResiliencePolicy",
+    "ResilientStore",
     "ResultRow",
     "Schema",
     "Snapshot",

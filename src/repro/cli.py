@@ -51,14 +51,44 @@ def build_database(args: argparse.Namespace) -> NepalDB:
             f"+{stats.inserted_edges} edges",
             file=sys.stderr,
         )
+    # Chaos is injected after loading so the data arrives intact; queries
+    # then run against a flaky backend and lean on the retry layer.
+    # (getattr: callers build partial Namespaces programmatically.)
+    chaos_seed = getattr(args, "chaos_seed", None)
+    retry_attempts = getattr(args, "retry_attempts", None)
+    if chaos_seed is not None:
+        from repro.storage.chaos import FaultPlan
+
+        error_rate = getattr(args, "chaos_error_rate", 0.05)
+        latency = getattr(args, "chaos_latency", 0.0)
+        db.inject_faults(
+            FaultPlan(seed=chaos_seed, error_rate=error_rate, latency=latency)
+        )
+        print(
+            f"chaos enabled on default store (seed={chaos_seed}, "
+            f"error_rate={error_rate}, latency={latency}s)",
+            file=sys.stderr,
+        )
+    if chaos_seed is not None or retry_attempts is not None:
+        from repro.core.resilience import ResiliencePolicy
+
+        db.set_resilience(
+            ResiliencePolicy(
+                max_attempts=retry_attempts or 6,
+                base_delay=0.01,
+                seed=chaos_seed,
+            ),
+            allow_partial=getattr(args, "allow_partial", False),
+        )
     return db
 
 
 def render_result(result: QueryResult) -> str:
     """Format a query result (and any validity ranges) for the terminal."""
+    warning_lines = [f"warning: {w}" for w in result.warnings]
     if not result.rows:
-        return "(no results)"
-    lines = [result.to_table()]
+        return "\n".join(warning_lines + ["(no results)"])
+    lines = warning_lines + [result.to_table()]
     temporal = [row for row in result.rows if row.validity is not None]
     if temporal:
         lines.append("")
@@ -163,6 +193,29 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "-c", "--command", action="append", default=[],
         help="run this statement and exit (repeatable)",
+    )
+    parser.add_argument(
+        "--chaos-seed", type=int, default=None, metavar="SEED",
+        help="wrap the default store in a fault injector with this seed",
+    )
+    parser.add_argument(
+        "--chaos-error-rate", type=float, default=0.05, metavar="RATE",
+        help="per-call transient failure probability under --chaos-seed "
+             "(default: 0.05)",
+    )
+    parser.add_argument(
+        "--chaos-latency", type=float, default=0.0, metavar="SECONDS",
+        help="fixed injected latency per backend call under --chaos-seed",
+    )
+    parser.add_argument(
+        "--retry-attempts", type=int, default=None, metavar="N",
+        help="enable the resilience layer with this retry budget "
+             "(implied, with N=6, by --chaos-seed)",
+    )
+    parser.add_argument(
+        "--allow-partial", action="store_true",
+        help="degrade federated queries when a backend stays down "
+             "(warnings instead of errors)",
     )
     args = parser.parse_args(argv)
 

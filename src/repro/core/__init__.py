@@ -2,5 +2,12 @@
 
 from repro.core.database import NepalDB
 from repro.core.federation import Federation
+from repro.core.resilience import CircuitBreaker, ResiliencePolicy, ResilientStore
 
-__all__ = ["Federation", "NepalDB"]
+__all__ = [
+    "CircuitBreaker",
+    "Federation",
+    "NepalDB",
+    "ResiliencePolicy",
+    "ResilientStore",
+]

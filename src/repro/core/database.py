@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Mapping
 
+from repro.core.resilience import ResiliencePolicy
 from repro.errors import FederationError, NepalError
 from repro.model.pathway import Pathway
 from repro.plan.cache import PlanCache
@@ -60,6 +61,8 @@ class NepalDB:
         backend: str = "memory",
         clock: TransactionClock | None = None,
         planner_options: PlannerOptions | None = None,
+        resilience: ResiliencePolicy | None = None,
+        allow_partial: bool = False,
     ):
         self.schema = schema or build_network_schema()
         self.clock = clock or TransactionClock()
@@ -69,6 +72,8 @@ class NepalDB:
         self._planner_options = planner_options or PlannerOptions()
         self._metrics = MetricsRegistry()
         self._plan_cache = PlanCache(metrics=self._metrics)
+        self._resilience = resilience
+        self._allow_partial = allow_partial
         self._executor: QueryExecutor | None = None
 
     # ------------------------------------------------------------------
@@ -106,8 +111,48 @@ class NepalDB:
                 self._planner_options,
                 plan_cache=self._plan_cache,
                 metrics=self._metrics,
+                resilience=self._resilience,
+                allow_partial=self._allow_partial,
             )
         return self._executor
+
+    # ------------------------------------------------------------------
+    # resilience & fault injection
+    # ------------------------------------------------------------------
+
+    def set_resilience(
+        self, policy: ResiliencePolicy | None, allow_partial: bool | None = None
+    ) -> None:
+        """(Re)configure retry/breaker behaviour for backend calls.
+
+        ``policy=None`` turns the resilience layer off.  ``allow_partial``
+        opts federated queries into degraded execution: when a backend
+        stays down past the retry budget its range variables are dropped
+        and the result carries ``warnings`` naming them, instead of the
+        default typed :class:`~repro.errors.FederationError`.
+        """
+        self._resilience = policy
+        if allow_partial is not None:
+            self._allow_partial = allow_partial
+        self._executor = None
+
+    def inject_faults(
+        self, plan: "object | None" = None, store: str = DEFAULT_STORE_NAME
+    ):
+        """Wrap an attached store in a :class:`FaultInjectingStore`.
+
+        Returns the wrapper (whose ``chaos`` counters and ``heal()`` /
+        ``set_hard_down()`` controls drive chaos experiments).  Wrapping is
+        idempotent per store name — injecting twice stacks wrappers, so
+        callers normally do it once, right after construction or loading.
+        """
+        from repro.storage.chaos import FaultInjectingStore, FaultPlan
+
+        inner = self._stores[store]
+        wrapper = FaultInjectingStore(inner, plan or FaultPlan())
+        self._stores[store] = wrapper
+        self._executor = None
+        return wrapper
 
     # ------------------------------------------------------------------
     # write path (default store)
@@ -226,7 +271,8 @@ class NepalDB:
             )
         else:
             scope = TimeScope.current()
-        pathways = target.find_pathways(program, scope)
+        guarded = executor.guarded(target)
+        pathways = guarded.find_pathways(program, scope)
         if scope.is_range:
             from repro.temporal.interval import IntervalSet
             from repro.temporal.validity import pathway_validity
@@ -234,7 +280,7 @@ class NepalDB:
             window = IntervalSet([scope.window()])
             kept = []
             for pathway in pathways:
-                validity = pathway_validity(target, pathway, program.matcher)
+                validity = pathway_validity(guarded, pathway, program.matcher)
                 if not validity.intersect(window).is_empty():
                     kept.append(pathway.with_validity(validity))
             return kept
@@ -263,10 +309,16 @@ class NepalDB:
         self._dirty()
 
     def describe(self) -> str:
-        """A human-readable census of schema and stores."""
+        """A human-readable census of schema and stores.
+
+        The census reads go through the executor's guarded stores, so a
+        flaky backend is retried under the resilience policy instead of
+        surfacing an injected fault from ``.stats``.
+        """
+        executor = self.executor()
         lines = [self.schema.describe()]
         for name, store in self._stores.items():
-            lines.append(f"[{name}] {store.describe()}")
+            lines.append(f"[{name}] {executor.guarded(store).describe()}")
         return "\n".join(lines)
 
     # ------------------------------------------------------------------
@@ -282,13 +334,18 @@ class NepalDB:
         """A JSON-ready snapshot of cache effectiveness and stage timings.
 
         Keys: ``plan`` (compiled-program cache, with occupancy), ``parse``,
-        ``typecheck`` and ``nfa`` (memo counters), and ``timings`` (per
+        ``typecheck`` and ``nfa`` (memo counters), ``events`` (resilience
+        retries, breaker trips, degradations, ...), and ``timings`` (per
         stage cumulative seconds and call counts).
         """
         snapshot = self._metrics.snapshot()
         caches = dict(snapshot["caches"])  # type: ignore[arg-type]
         caches["plan"] = self._plan_cache.stats()
-        return {**caches, "timings": snapshot["timings"]}
+        return {
+            **caches,
+            "events": snapshot["events"],
+            "timings": snapshot["timings"],
+        }
 
     def clear_plan_cache(self) -> int:
         """Drop every cached compiled plan; returns how many were held.

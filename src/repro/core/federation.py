@@ -13,22 +13,32 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from repro.core.resilience import ResiliencePolicy
 from repro.errors import FederationError
 from repro.plan.executor import QueryExecutor
 from repro.plan.planner import PlannerOptions
 from repro.query.ast import Query
 from repro.query.results import QueryResult
+from repro.stats.metrics import MetricsRegistry
 from repro.storage.base import GraphStore
 
 
 class Federation:
-    """A named collection of stores with one designated default."""
+    """A named collection of stores with one designated default.
+
+    ``resilience`` applies a retry/breaker policy to every member backend;
+    ``allow_partial`` lets federated queries degrade (dropping the range
+    variables of an unavailable backend, with warnings) instead of raising
+    :class:`~repro.errors.FederationError`.
+    """
 
     def __init__(
         self,
         stores: Mapping[str, GraphStore],
         default: str | None = None,
         planner_options: PlannerOptions | None = None,
+        resilience: ResiliencePolicy | None = None,
+        allow_partial: bool = False,
     ):
         if not stores:
             raise FederationError("a federation needs at least one store")
@@ -37,8 +47,18 @@ class Federation:
         if self._default not in self._stores:
             raise FederationError(f"default store {self._default!r} not in federation")
         self._executor = QueryExecutor(
-            self._stores, self._default, planner_options or PlannerOptions()
+            self._stores,
+            self._default,
+            planner_options or PlannerOptions(),
+            resilience=resilience,
+            allow_partial=allow_partial,
         )
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """Counters and timings of the federation's executor (retries,
+        breaker trips and degradations land here)."""
+        return self._executor.metrics
 
     @property
     def default_store(self) -> GraphStore:

@@ -1,0 +1,334 @@
+"""Resilient backend calls: retry with backoff, deadlines, circuit breakers.
+
+The paper's retargetable architecture lets the range variables of one query
+live in *different* backends, with the Nepal layer shipping partial results
+between them (§3.1).  In production those backends stall, flake and fail
+mid-query.  This module is the policy layer that keeps federated execution
+alive through that:
+
+* :class:`ResiliencePolicy` — declarative knobs: attempt budget, exponential
+  backoff with bounded jitter, a per-call deadline, breaker thresholds.
+  Time sources (``sleep``/``monotonic``) are injectable so tests run on a
+  fake clock with zero real sleeping.
+* :class:`CircuitBreaker` — per-backend closed → open → half-open state
+  machine.  After ``threshold`` consecutive failures the breaker opens and
+  calls fail fast (:class:`~repro.errors.CircuitOpenError`) without touching
+  the backend; after ``reset_after`` seconds one trial call is let through.
+* :class:`ResilientStore` — a :class:`~repro.storage.base.GraphStore` proxy
+  applying the policy to every backend method.  Reads are pure, so a
+  retried read is always safe; writes are retried under the at-most-once
+  assumption that a failed call applied nothing (which holds for the fault
+  injector, whose faults fire before delegation).
+
+Only :class:`~repro.errors.BackendUnavailable` is retried.  Logic errors
+(validation, unknown elements, schema violations) propagate immediately —
+retrying them would just repeat the failure.
+
+All retries, breaker trips and fast-fails are counted in the owning
+:class:`~repro.stats.metrics.MetricsRegistry` under ``resilience.*`` event
+names, surfaced via ``NepalDB.cache_stats()`` and the CLI's ``.stats``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
+
+from repro.errors import BackendUnavailable, CircuitOpenError, DeadlineExceededError
+from repro.storage.base import GraphStore, TimeScope
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.model.elements import EdgeRecord, ElementRecord
+    from repro.model.pathway import Pathway
+    from repro.plan.program import MatchProgram
+    from repro.rpe.ast import Atom
+    from repro.schema.classes import EdgeClass
+    from repro.stats.metrics import MetricsRegistry
+    from repro.temporal.interval import Interval
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """How hard to try before declaring a backend down.
+
+    ``max_attempts`` bounds attempts per logical call; between failed
+    attempts the caller sleeps ``base_delay * multiplier**n`` seconds
+    (capped at ``max_delay``), jittered by ``±jitter`` as a fraction of the
+    delay.  ``deadline`` caps the total elapsed time (including the pending
+    sleep) a single logical call may consume; ``None`` disables it.
+
+    ``breaker_threshold`` consecutive failures open the backend's circuit
+    breaker; after ``breaker_reset_after`` seconds it goes half-open and
+    admits one trial call.
+
+    ``sleep`` and ``monotonic`` exist for tests (fake clocks, recorded
+    sleep sequences); ``seed`` makes the jitter deterministic.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.1
+    deadline: float | None = 10.0
+    breaker_threshold: int = 5
+    breaker_reset_after: float = 30.0
+    seed: int | None = None
+    sleep: Callable[[float], None] = time.sleep
+    monotonic: Callable[[], float] = time.monotonic
+
+    def delay_for(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retrying after failed attempt *attempt* (1-based)."""
+        delay = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+        if self.jitter:
+            span = self.jitter * delay
+            delay = delay - span + 2.0 * span * rng.random()
+        return max(0.0, delay)
+
+    def breaker(self) -> "CircuitBreaker":
+        """A fresh circuit breaker configured by this policy."""
+        return CircuitBreaker(
+            threshold=self.breaker_threshold,
+            reset_after=self.breaker_reset_after,
+            clock=self.monotonic,
+        )
+
+
+class CircuitBreaker:
+    """Per-backend closed / open / half-open failure gate."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        reset_after: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if threshold < 1:
+            raise ValueError(f"breaker threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.reset_after = reset_after
+        self._clock = clock
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        """Current state; an expired open period reads as half-open."""
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.reset_after
+        ):
+            self._state = self.HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  (Half-open admits the trial call.)"""
+        return self.state != self.OPEN
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._state = self.CLOSED
+
+    def record_failure(self) -> bool:
+        """Note a failure; returns True when this failure tripped the breaker."""
+        if self.state == self.HALF_OPEN:
+            self._trip()
+            return True
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.threshold:
+            self._trip()
+            return True
+        return False
+
+    def _trip(self) -> None:
+        self._state = self.OPEN
+        self._opened_at = self._clock()
+        self._consecutive_failures = 0
+        self.trips += 1
+
+
+class ResilientStore(GraphStore):
+    """Applies a :class:`ResiliencePolicy` to every call on a wrapped store."""
+
+    def __init__(
+        self,
+        inner: GraphStore,
+        policy: ResiliencePolicy,
+        breaker: CircuitBreaker | None = None,
+        metrics: "MetricsRegistry | None" = None,
+        label: str | None = None,
+    ):
+        super().__init__(inner.schema, clock=inner.clock, name=inner.name)
+        self._inner = inner
+        self._policy = policy
+        self._label = label or inner.name
+        self._breaker = breaker or policy.breaker()
+        self._metrics = metrics
+        self._rng = random.Random(policy.seed)
+
+    @property
+    def inner(self) -> GraphStore:
+        """The wrapped store."""
+        return self._inner
+
+    @property
+    def breaker(self) -> CircuitBreaker:
+        """This backend's circuit breaker."""
+        return self._breaker
+
+    @property
+    def data_version(self) -> int:
+        return self._inner.data_version
+
+    def bump_data_version(self) -> None:
+        self._inner.bump_data_version()
+
+    # ------------------------------------------------------------------
+
+    def _event(self, kind: str) -> None:
+        if self._metrics is not None:
+            self._metrics.event(f"resilience.{kind}.{self._label}")
+
+    def _call(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        policy = self._policy
+        if not self._breaker.allow():
+            self._event("fastfail")
+            raise CircuitOpenError(
+                f"backend {self._label!r}: circuit breaker is open",
+                store=self._label,
+            )
+        started = policy.monotonic()
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                result = fn(*args, **kwargs)
+            except BackendUnavailable as error:
+                if self._breaker.record_failure():
+                    self._event("breaker_trip")
+                if attempt >= policy.max_attempts:
+                    self._event("exhausted")
+                    raise BackendUnavailable(
+                        f"backend {self._label!r} still unavailable after "
+                        f"{attempt} attempts: {error}",
+                        store=self._label,
+                    ) from error
+                delay = policy.delay_for(attempt, self._rng)
+                elapsed = policy.monotonic() - started
+                if policy.deadline is not None and elapsed + delay > policy.deadline:
+                    self._event("deadline")
+                    raise DeadlineExceededError(
+                        f"backend {self._label!r}: retrying would exceed the "
+                        f"{policy.deadline}s call deadline "
+                        f"(elapsed {elapsed:.3f}s after {attempt} attempts)",
+                        store=self._label,
+                    ) from error
+                if not self._breaker.allow():
+                    self._event("fastfail")
+                    raise CircuitOpenError(
+                        f"backend {self._label!r}: circuit breaker opened "
+                        f"after {attempt} attempts",
+                        store=self._label,
+                    ) from error
+                self._event("retry")
+                policy.sleep(delay)
+            else:
+                self._breaker.record_success()
+                return result
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+
+    def insert_node(
+        self, class_name: str, fields: Mapping[str, Any] | None = None, uid: int | None = None
+    ) -> int:
+        return self._call(self._inner.insert_node, class_name, fields, uid=uid)
+
+    def insert_edge(
+        self,
+        class_name: str,
+        source: int,
+        target: int,
+        fields: Mapping[str, Any] | None = None,
+        uid: int | None = None,
+    ) -> int:
+        return self._call(
+            self._inner.insert_edge, class_name, source, target, fields, uid=uid
+        )
+
+    def update_element(self, uid: int, changes: Mapping[str, Any]) -> None:
+        self._call(self._inner.update_element, uid, changes)
+
+    def delete_element(self, uid: int) -> None:
+        self._call(self._inner.delete_element, uid)
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    def scan_atom(self, atom: "Atom", scope: TimeScope) -> "list[ElementRecord]":
+        return self._call(self._inner.scan_atom, atom, scope)
+
+    def get_element(self, uid: int, scope: TimeScope) -> "ElementRecord | None":
+        return self._call(self._inner.get_element, uid, scope)
+
+    def versions(self, uid: int, window: "Interval") -> "list[ElementRecord]":
+        return self._call(self._inner.versions, uid, window)
+
+    def out_edges(
+        self,
+        node_uid: int,
+        scope: TimeScope,
+        classes: "Sequence[EdgeClass] | None" = None,
+    ) -> "list[EdgeRecord]":
+        return self._call(self._inner.out_edges, node_uid, scope, classes)
+
+    def in_edges(
+        self,
+        node_uid: int,
+        scope: TimeScope,
+        classes: "Sequence[EdgeClass] | None" = None,
+    ) -> "list[EdgeRecord]":
+        return self._call(self._inner.in_edges, node_uid, scope, classes)
+
+    # ------------------------------------------------------------------
+    # statistics & pathways
+    # ------------------------------------------------------------------
+
+    def class_count(self, class_name: str) -> int:
+        return self._call(self._inner.class_count, class_name)
+
+    def counts(self) -> dict[str, int]:
+        return self._call(self._inner.counts)
+
+    def storage_cells(self) -> int:
+        return self._call(self._inner.storage_cells)
+
+    def find_pathways(
+        self, program: "MatchProgram", scope: TimeScope
+    ) -> "list[Pathway]":
+        # The whole evaluation is the retry unit: a transient fault anywhere
+        # inside the backend's traversal re-runs it, and reads being pure,
+        # the re-run yields the same pathways.
+        return self._call(self._inner.find_pathways, program, scope)
+
+    # ------------------------------------------------------------------
+    # convenience delegation
+    # ------------------------------------------------------------------
+
+    def bulk(self):
+        return self._inner.bulk()
+
+    def bulk_insert_nodes(
+        self, rows: "Iterable[tuple[str, Mapping[str, Any]]]"
+    ) -> list[int]:
+        return [self.insert_node(class_name, fields) for class_name, fields in rows]

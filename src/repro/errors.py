@@ -65,9 +65,42 @@ class UnknownElementError(StorageError):
     """An element id was referenced that the store does not contain."""
 
 
+class BackendUnavailable(StorageError):
+    """A backend call failed for operational (usually transient) reasons.
+
+    Raised by fault injection (:mod:`repro.storage.chaos`) and by the
+    resilience layer when a backend stays down past its retry budget.
+    ``store`` names the backend when known.
+    """
+
+    def __init__(self, message: str, store: str | None = None):
+        self.store = store
+        super().__init__(message)
+
+
+class DeadlineExceededError(BackendUnavailable):
+    """Retrying would overrun the per-call deadline; the call is abandoned."""
+
+
+class CircuitOpenError(BackendUnavailable):
+    """The backend's circuit breaker is open; calls fail fast without I/O."""
+
+
 class TemporalError(NepalError):
     """Invalid temporal specification (bad interval, time travel misuse)."""
 
 
 class FederationError(NepalError):
-    """Misconfigured multi-backend catalog or cross-backend operation."""
+    """Misconfigured multi-backend catalog or cross-backend operation.
+
+    When raised because a member backend stayed unavailable through the
+    resilience budget, ``variable`` names the range variable that lost its
+    backend and ``store`` the catalog name of that backend.
+    """
+
+    def __init__(
+        self, message: str, variable: str | None = None, store: str | None = None
+    ):
+        self.variable = variable
+        self.store = store
+        super().__init__(message)

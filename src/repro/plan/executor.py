@@ -23,9 +23,14 @@ Execution outline:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
-from repro.errors import FederationError, TemporalError, TypeCheckError
+from repro.errors import (
+    BackendUnavailable,
+    FederationError,
+    TemporalError,
+    TypeCheckError,
+)
 from repro.model.pathway import Pathway
 from repro.plan.cache import LruCache, PlanCache
 from repro.plan.planner import Planner, PlannerOptions
@@ -55,6 +60,9 @@ from repro.storage.base import GraphStore, TimeScope
 from repro.temporal.interval import FOREVER, Interval, IntervalSet
 from repro.temporal.validity import pathway_validity
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.resilience import ResiliencePolicy
+
 DEFAULT_STORE = "default"
 
 
@@ -63,10 +71,12 @@ class _EvaluatedVariable:
     variable: RangeVariable
     store: GraphStore
     scope: TimeScope
-    program: MatchProgram
+    program: MatchProgram | None
     extra_matcher: "object | None" = None
     pathways: list[Pathway] | None = None
     validities: list[IntervalSet] | None = None
+    failed: bool = False
+    failure: str = ""
 
     @property
     def name(self) -> str:
@@ -84,6 +94,8 @@ class QueryExecutor:
         planner_options: PlannerOptions | None = None,
         plan_cache: PlanCache | None = None,
         metrics: MetricsRegistry | None = None,
+        resilience: "ResiliencePolicy | None" = None,
+        allow_partial: bool = False,
     ):
         if default_store not in stores:
             raise FederationError(
@@ -96,6 +108,9 @@ class QueryExecutor:
         self._estimators: dict[int, CardinalityEstimator] = {}
         self._views: dict[str, str] = {}
         self._views_version = 0
+        self._resilience = resilience
+        self._allow_partial = allow_partial
+        self._guarded: dict[int, GraphStore] = {}
         if metrics is None:
             metrics = plan_cache.metrics if plan_cache is not None else MetricsRegistry()
         self.metrics = metrics
@@ -117,15 +132,47 @@ class QueryExecutor:
                 f"range variable {variable.name!r} targets unknown store {name!r}"
             ) from None
 
+    def guarded(self, store: GraphStore) -> GraphStore:
+        """*store* wrapped with the configured resilience policy (memoized).
+
+        Without a policy the raw store is returned.  Wrapping is one layer
+        per store, so the circuit breaker state inside the wrapper persists
+        across queries — a backend that tripped its breaker stays tripped
+        until the reset window elapses, whichever query touches it next.
+        """
+        if self._resilience is None:
+            return store
+        wrapper = self._guarded.get(id(store))
+        if wrapper is None:
+            from repro.core.resilience import ResilientStore
+
+            wrapper = ResilientStore(
+                store,
+                self._resilience,
+                metrics=self.metrics,
+                label=self._store_label(store),
+            )
+            self._guarded[id(store)] = wrapper
+        return wrapper
+
+    def _store_label(self, store: GraphStore) -> str:
+        """The catalog name of *store* (for metrics), or its display name."""
+        for name, candidate in sorted(self._stores.items()):
+            if candidate is store:
+                return name
+        return store.name
+
     def estimator_for(self, store: GraphStore) -> CardinalityEstimator:
         """The (memoized) cardinality estimator for *store*.
 
         Keyed on store identity, not display name: two attached stores may
         legitimately share a name, and their statistics must not mix.
+        Estimators sample counts through the resilience guard, so planning
+        against a flaky backend retries rather than erroring out.
         """
         estimator = self._estimators.get(id(store))
         if estimator is None:
-            estimator = CardinalityEstimator(store)
+            estimator = CardinalityEstimator(self.guarded(store))
             self._estimators[id(store)] = estimator
         return estimator
 
@@ -208,8 +255,23 @@ class QueryExecutor:
         """
         checked = self._checked(query)
         with self.metrics.timings.measure("execute"):
-            bindings = self._solve(checked, outer_bindings={}, cache={})
-            return self._project(checked, bindings)
+            cache: dict = {}
+            bindings = self._solve(checked, outer_bindings={}, cache=cache)
+            dropped = [
+                item
+                for prepared in cache.values()
+                for item in prepared
+                if item.failed
+            ]
+            result = self._project(
+                checked, bindings, failed_names={item.name for item in dropped}
+            )
+            if dropped:
+                result.warnings = result.warnings + tuple(
+                    f"variable {item.name!r} dropped: {item.failure}"
+                    for item in dropped
+                )
+            return result
 
     def translate(self, query: Query | str) -> str:
         """Generate the Python program for *query* (§3.1's code generation).
@@ -302,18 +364,66 @@ class QueryExecutor:
         if prepared is not None:
             return prepared
         query = checked.query
-        prepared = [self._prepare_variable(checked, v) for v in query.variables]
+        prepared = []
+        for variable in query.variables:
+            try:
+                prepared.append(self._prepare_variable(checked, variable))
+            except BackendUnavailable as error:
+                prepared.append(self._degraded_variable(variable, error))
+        live = [item for item in prepared if not item.failed]
         # Cheap anchors first; expensive ones may import anchors from joins.
-        prepared.sort(key=lambda item: item.program.anchor_cost)
+        live.sort(key=lambda item: item.program.anchor_cost)
         compare_predicates = [
             p for p in query.predicates if isinstance(p, ComparePredicate)
         ]
         evaluated_names: set[str] = set()
-        for item in prepared:
-            self._evaluate_variable(item, prepared, compare_predicates, evaluated_names)
+        for item in live:
+            try:
+                self._evaluate_variable(item, live, compare_predicates, evaluated_names)
+            except BackendUnavailable as error:
+                self._mark_failed(item, error)
             evaluated_names.add(item.name)
+        prepared = live + [item for item in prepared if item.failed]
         cache[key] = prepared
         return prepared
+
+    def _degraded_variable(
+        self, variable: RangeVariable, error: BackendUnavailable
+    ) -> _EvaluatedVariable:
+        """Handle a backend lost before planning: degrade or raise."""
+        store_name = variable.store or self._default
+        if not self._allow_partial:
+            raise FederationError(
+                f"range variable {variable.name!r} lost backend {store_name!r}: {error}",
+                variable=variable.name,
+                store=store_name,
+            ) from error
+        self.metrics.event(f"resilience.degraded.{store_name}")
+        return _EvaluatedVariable(
+            variable,
+            self._stores[store_name],
+            TimeScope.current(),
+            program=None,
+            pathways=[],
+            failed=True,
+            failure=f"backend {store_name!r} unavailable: {error}",
+        )
+
+    def _mark_failed(
+        self, item: _EvaluatedVariable, error: BackendUnavailable
+    ) -> None:
+        """Handle a backend lost during evaluation: degrade or raise."""
+        store_name = item.variable.store or self._default
+        if not self._allow_partial:
+            raise FederationError(
+                f"range variable {item.name!r} lost backend {store_name!r}: {error}",
+                variable=item.name,
+                store=store_name,
+            ) from error
+        self.metrics.event(f"resilience.degraded.{store_name}")
+        item.failed = True
+        item.failure = f"backend {store_name!r} unavailable: {error}"
+        item.pathways = []
 
     def _solve(
         self,
@@ -344,6 +454,10 @@ class QueryExecutor:
         bound_names: set[str] = set(outer_bindings)
 
         for item in prepared:
+            if item.failed:
+                # Dropped variable (allow_partial): it joins nothing and
+                # predicates over it are skipped below.
+                continue
             assert item.pathways is not None
             next_partial: list[dict[str, Pathway]] = []
             bound_names.add(item.name)
@@ -367,10 +481,16 @@ class QueryExecutor:
                 break
 
         # Comparisons referencing only outer variables (fully correlated).
+        # A predicate naming a dropped variable is unknowable; under
+        # allow_partial it passes through rather than silently filtering.
         for index, predicate in enumerate(compare_predicates):
             if index in applied:
                 continue
-            partial = [b for b in partial if self._compare(predicate, b)]
+            needed = predicate.variables()
+            partial = [
+                b for b in partial
+                if not needed <= set(b) or self._compare(predicate, b)
+            ]
 
         for index, predicate in exists_predicates:
             sub_checked = checked.subqueries[index]
@@ -388,16 +508,17 @@ class QueryExecutor:
         compare_predicates: list[ComparePredicate],
         bound_names: set[str],
     ) -> None:
+        store = self.guarded(item.store)
         imported = None
         if item.program.anchor_cost > self._planner_options.import_threshold:
             imported = self._imported_anchor(item, prepared, compare_predicates, bound_names)
         if imported is not None:
             end, uids = imported
             pathways = evaluate_from_endpoints(
-                item.store, item.program, item.scope, uids, end
+                store, item.program, item.scope, uids, end
             )
         else:
-            pathways = item.store.find_pathways(item.program, item.scope)
+            pathways = store.find_pathways(item.program, item.scope)
         if item.extra_matcher is not None:
             from repro.rpe.match import matches_pathway
 
@@ -408,7 +529,7 @@ class QueryExecutor:
             window = IntervalSet([item.scope.window()])
             kept: list[Pathway] = []
             for pathway in pathways:
-                validity = pathway_validity(item.store, pathway, item.program.matcher)
+                validity = pathway_validity(store, pathway, item.program.matcher)
                 # The window decides qualification; the attached range stays
                 # maximal over the whole timeline (§4's 06:30 example).
                 if not validity.intersect(window).is_empty():
@@ -424,7 +545,9 @@ class QueryExecutor:
         bound_names: set[str],
     ) -> tuple[str, list[int]] | None:
         """Find ``source(V)=target(U)``-style joins providing anchor seeds."""
-        evaluated = {p.name: p for p in prepared if p.pathways is not None}
+        evaluated = {
+            p.name: p for p in prepared if p.pathways is not None and not p.failed
+        }
         for predicate in compare_predicates:
             if predicate.op != "=":
                 continue
@@ -480,7 +603,10 @@ class QueryExecutor:
     # ------------------------------------------------------------------
 
     def _project(
-        self, checked: CheckedQuery, bindings: list[dict[str, Pathway]]
+        self,
+        checked: CheckedQuery,
+        bindings: list[dict[str, Pathway]],
+        failed_names: "set[str] | frozenset[str]" = frozenset(),
     ) -> QueryResult:
         query = checked.query
         declared = query.declared_variables()
@@ -500,7 +626,10 @@ class QueryExecutor:
                 for variable in query.variables:
                     if variable.at is not None:
                         continue
-                    pathway_val = own_binding[variable.name].validity
+                    bound = own_binding.get(variable.name)
+                    if bound is None:  # dropped under allow_partial
+                        continue
+                    pathway_val = bound.validity
                     if pathway_val is not None:
                         joint = joint.intersect(pathway_val)
                 validity = joint
@@ -513,6 +642,7 @@ class QueryExecutor:
                 for variable in query.variables
                 if variable.at is not None
                 and variable.at.is_range
+                and variable.name in own_binding
                 and own_binding[variable.name].validity is not None
             }
             if per_var:
@@ -523,14 +653,14 @@ class QueryExecutor:
                 values = tuple(
                     None
                     if isinstance(p, AggregateCall) and isinstance(p.argument, VariableRef)
-                    else evaluate_expression(
+                    else _maybe_evaluate(
                         p.argument if isinstance(p, AggregateCall) else p, binding
                     )
                     for p in query.projections
                 )
             else:
                 values = tuple(
-                    evaluate_expression(projection, binding)
+                    _maybe_evaluate(projection, binding)
                     for projection in query.projections
                 )
             rows.append(
@@ -551,6 +681,18 @@ class QueryExecutor:
             return _apply_set_aggregates(query, rows, columns)
         rows = _order_and_limit(query, rows)
         return QueryResult(columns, rows)
+
+
+def _maybe_evaluate(expression, bindings: Mapping[str, Pathway]):
+    """Evaluate *expression*, or None when it names an unbound variable.
+
+    A variable can be unbound only for degraded executions
+    (``allow_partial=True``) where a backend was dropped; everywhere else
+    this is exactly ``evaluate_expression``.
+    """
+    if not expression.variables() <= set(bindings):
+        return None
+    return evaluate_expression(expression, bindings)
 
 
 def _order_value(value):
@@ -575,7 +717,7 @@ def _order_and_limit(query: Query, rows: list[ResultRow]) -> list[ResultRow]:
             rows = sorted(
                 rows,
                 key=lambda row: _order_value(
-                    evaluate_expression(key.expression, row.bindings)
+                    _maybe_evaluate(key.expression, row.bindings)
                 ),
                 reverse=key.descending,
             )

@@ -46,11 +46,24 @@ class ResultRow:
 
 
 class QueryResult:
-    """An ordered collection of result rows with column labels."""
+    """An ordered collection of result rows with column labels.
 
-    def __init__(self, columns: tuple[str, ...], rows: list[ResultRow]):
+    ``warnings`` is non-empty only for degraded federated executions
+    (``allow_partial=True``): each entry names a range variable whose
+    backend stayed unavailable through the resilience budget and was
+    dropped from the join.  Rows then cover the surviving variables only,
+    and projections over dropped variables evaluate to ``None``.
+    """
+
+    def __init__(
+        self,
+        columns: tuple[str, ...],
+        rows: list[ResultRow],
+        warnings: tuple[str, ...] = (),
+    ):
         self.columns = columns
         self.rows = rows
+        self.warnings = tuple(warnings)
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -83,4 +96,5 @@ class QueryResult:
         )
 
     def __repr__(self) -> str:
-        return f"<QueryResult {len(self.rows)} rows x {len(self.columns)} columns>"
+        suffix = f", {len(self.warnings)} warnings" if self.warnings else ""
+        return f"<QueryResult {len(self.rows)} rows x {len(self.columns)} columns{suffix}>"

@@ -85,10 +85,17 @@ class StageTimings:
 
 
 class MetricsRegistry:
-    """Named cache counters plus the pipeline stage timings."""
+    """Named cache counters, free-form event counters, and stage timings.
+
+    Event counters are plain named integers used by the resilience layer
+    (``resilience.retry.<store>``, ``resilience.breaker_trip.<store>``,
+    ``resilience.degraded.<store>``, ...) — anything that happens N times
+    and has no hit/miss structure.
+    """
 
     def __init__(self) -> None:
         self._counters: dict[str, CacheCounters] = {}
+        self._events: dict[str, int] = {}
         self.timings = StageTimings()
 
     def counters(self, name: str) -> CacheCounters:
@@ -99,6 +106,22 @@ class MetricsRegistry:
             self._counters[name] = block
         return block
 
+    def event(self, name: str, count: int = 1) -> None:
+        """Count *count* occurrences of the named event."""
+        self._events[name] = self._events.get(name, 0) + count
+
+    def event_count(self, name: str) -> int:
+        """How many times the named event was recorded (0 if never)."""
+        return self._events.get(name, 0)
+
+    def events(self, prefix: str = "") -> dict[str, int]:
+        """All event counters (optionally restricted to a name prefix)."""
+        return {
+            name: count
+            for name, count in sorted(self._events.items())
+            if name.startswith(prefix)
+        }
+
     def snapshot(self) -> dict[str, object]:
         """A JSON-ready dump of every counter block and the timings."""
         return {
@@ -106,12 +129,14 @@ class MetricsRegistry:
                 name: block.snapshot()
                 for name, block in sorted(self._counters.items())
             },
+            "events": dict(sorted(self._events.items())),
             "timings": self.timings.snapshot(),
         }
 
     def reset(self) -> None:
         for block in self._counters.values():
             block.reset()
+        self._events.clear()
         self.timings.reset()
 
     def describe(self) -> str:
@@ -124,6 +149,8 @@ class MetricsRegistry:
                 f"{block.invalidations} invalidations, "
                 f"{block.evictions} evictions"
             )
+        for name, count in sorted(self._events.items()):
+            lines.append(f"  {name}: {count}")
         for stage, total in sorted(self.timings.seconds.items()):
             calls = self.timings.calls.get(stage, 0)
             lines.append(f"  {stage}: {1000 * total:.2f} ms over {calls} calls")

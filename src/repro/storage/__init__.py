@@ -9,11 +9,14 @@ SQL-generating relational engine on SQLite (the PostgreSQL stand-in).
 """
 
 from repro.storage.base import GraphStore, TimeScope
+from repro.storage.chaos import FaultInjectingStore, FaultPlan
 from repro.storage.memgraph.store import MemGraphStore
 from repro.storage.relational.store import RelationalStore
 from repro.storage.snapshot import Snapshot, SnapshotLoader, SnapshotStats, export_snapshot
 
 __all__ = [
+    "FaultInjectingStore",
+    "FaultPlan",
     "GraphStore",
     "MemGraphStore",
     "RelationalStore",

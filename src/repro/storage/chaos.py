@@ -1,0 +1,289 @@
+"""Deterministic fault injection for any :class:`GraphStore`.
+
+A :class:`FaultInjectingStore` decorates a real backend and injects
+seedable, reproducible faults on every store method — transient
+:class:`~repro.errors.BackendUnavailable` errors, hard-down outages,
+failure-after-N-calls schedules, latency spikes and slow scans.  It is the
+adversary the resilience layer (:mod:`repro.core.resilience`) is tested
+against, and doubles as a zero-fault pass-through decorator for the
+cross-backend differential harness (a wrapped backend must behave exactly
+like the bare one when its :class:`FaultPlan` injects nothing).
+
+Faults fire *before* the call is delegated, so a failed call never
+partially applies — the at-most-once property the retry layer relies on
+for writes.  All injection decisions come from a private
+``random.Random(plan.seed)``, so a given (plan, call sequence) pair always
+produces the same fault schedule.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
+
+import random
+
+from repro.errors import BackendUnavailable
+from repro.storage.base import GraphStore, TimeScope
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.model.elements import EdgeRecord, ElementRecord
+    from repro.model.pathway import Pathway
+    from repro.plan.program import MatchProgram
+    from repro.rpe.ast import Atom
+    from repro.schema.classes import EdgeClass
+    from repro.temporal.interval import Interval
+
+#: Methods considered scans for ``slow_scan`` latency purposes.
+_SCAN_METHODS = frozenset({"scan_atom", "find_pathways"})
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seedable fault schedule.
+
+    The default plan injects nothing — a zero-fault wrapper must be
+    indistinguishable from the bare backend.
+
+    * ``error_rate`` — per-call probability of a transient failure;
+    * ``fail_first`` — the first N calls *per method* fail transiently
+      (then succeed), modelling a backend that recovers under retry;
+    * ``fail_every`` — every Nth call (by the global call counter) fails;
+    * ``fail_after`` — the store goes hard-down after N total calls;
+    * ``hard_down`` — every call fails (a dead backend);
+    * ``latency`` / ``latency_spike_rate`` / ``latency_spike`` — fixed
+      per-call delay plus probabilistic spikes;
+    * ``slow_scan`` — extra delay on ``scan_atom`` / ``find_pathways``;
+    * ``methods`` — restrict injection to these method names (None = all).
+    """
+
+    seed: int = 0
+    error_rate: float = 0.0
+    fail_first: int = 0
+    fail_every: int | None = None
+    fail_after: int | None = None
+    hard_down: bool = False
+    latency: float = 0.0
+    latency_spike_rate: float = 0.0
+    latency_spike: float = 0.0
+    slow_scan: float = 0.0
+    methods: frozenset[str] | None = None
+
+    def injects_nothing(self) -> bool:
+        """True when this plan can never fault or delay a call."""
+        return (
+            not self.hard_down
+            and self.error_rate == 0.0
+            and self.fail_first == 0
+            and self.fail_every is None
+            and self.fail_after is None
+            and self.latency == 0.0
+            and self.latency_spike_rate == 0.0
+            and self.slow_scan == 0.0
+        )
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One injected fault, for post-mortem assertions."""
+
+    call_index: int
+    method: str
+    kind: str
+
+
+@dataclass
+class ChaosCounters:
+    """Per-wrapper call and fault accounting."""
+
+    total_calls: int = 0
+    calls: dict[str, int] = field(default_factory=dict)
+    faults: dict[str, int] = field(default_factory=dict)
+    log: list[InjectedFault] = field(default_factory=list)
+
+    @property
+    def total_faults(self) -> int:
+        return sum(self.faults.values())
+
+
+class FaultInjectingStore(GraphStore):
+    """Wraps any backend and injects faults per a :class:`FaultPlan`."""
+
+    def __init__(
+        self,
+        inner: GraphStore,
+        plan: FaultPlan | None = None,
+        sleeper: Callable[[float], None] = time.sleep,
+    ):
+        super().__init__(inner.schema, clock=inner.clock, name=inner.name)
+        self._inner = inner
+        self.plan = plan or FaultPlan()
+        self._sleeper = sleeper
+        self._rng = random.Random(self.plan.seed)
+        self.chaos = ChaosCounters()
+
+    @property
+    def inner(self) -> GraphStore:
+        """The wrapped backend."""
+        return self._inner
+
+    @property
+    def data_version(self) -> int:
+        return self._inner.data_version
+
+    def bump_data_version(self) -> None:
+        self._inner.bump_data_version()
+
+    # ------------------------------------------------------------------
+    # schedule control
+    # ------------------------------------------------------------------
+
+    def heal(self) -> None:
+        """Stop injecting anything (counters and call history persist)."""
+        self.plan = FaultPlan(seed=self.plan.seed)
+
+    def set_hard_down(self, down: bool = True) -> None:
+        """Flip the backend into (or out of) a total outage."""
+        self.plan = replace(self.plan, hard_down=down)
+
+    # ------------------------------------------------------------------
+    # fault engine
+    # ------------------------------------------------------------------
+
+    def _fault(self, method: str, kind: str) -> None:
+        self.chaos.faults[kind] = self.chaos.faults.get(kind, 0) + 1
+        self.chaos.log.append(InjectedFault(self.chaos.total_calls, method, kind))
+        raise BackendUnavailable(
+            f"injected {kind} fault on {self.name}.{method} "
+            f"(call #{self.chaos.total_calls})",
+            store=self.name,
+        )
+
+    def _before(self, method: str) -> None:
+        counters = self.chaos
+        counters.total_calls += 1
+        method_calls = counters.calls.get(method, 0) + 1
+        counters.calls[method] = method_calls
+        plan = self.plan
+        if plan.methods is not None and method not in plan.methods:
+            return
+        if plan.hard_down:
+            self._fault(method, "hard_down")
+        if plan.fail_after is not None and counters.total_calls > plan.fail_after:
+            self._fault(method, "hard_down")
+        delay = plan.latency
+        if method in _SCAN_METHODS:
+            delay += plan.slow_scan
+        if plan.latency_spike_rate and self._rng.random() < plan.latency_spike_rate:
+            delay += plan.latency_spike
+        if delay > 0.0:
+            self._sleeper(delay)
+        if method_calls <= plan.fail_first:
+            self._fault(method, "transient")
+        if plan.fail_every is not None and counters.total_calls % plan.fail_every == 0:
+            self._fault(method, "transient")
+        if plan.error_rate and self._rng.random() < plan.error_rate:
+            self._fault(method, "transient")
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+
+    def insert_node(
+        self, class_name: str, fields: Mapping[str, Any] | None = None, uid: int | None = None
+    ) -> int:
+        self._before("insert_node")
+        return self._inner.insert_node(class_name, fields, uid=uid)
+
+    def insert_edge(
+        self,
+        class_name: str,
+        source: int,
+        target: int,
+        fields: Mapping[str, Any] | None = None,
+        uid: int | None = None,
+    ) -> int:
+        self._before("insert_edge")
+        return self._inner.insert_edge(class_name, source, target, fields, uid=uid)
+
+    def update_element(self, uid: int, changes: Mapping[str, Any]) -> None:
+        self._before("update_element")
+        self._inner.update_element(uid, changes)
+
+    def delete_element(self, uid: int) -> None:
+        self._before("delete_element")
+        self._inner.delete_element(uid)
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    def scan_atom(self, atom: "Atom", scope: TimeScope) -> "list[ElementRecord]":
+        self._before("scan_atom")
+        return self._inner.scan_atom(atom, scope)
+
+    def get_element(self, uid: int, scope: TimeScope) -> "ElementRecord | None":
+        self._before("get_element")
+        return self._inner.get_element(uid, scope)
+
+    def versions(self, uid: int, window: "Interval") -> "list[ElementRecord]":
+        self._before("versions")
+        return self._inner.versions(uid, window)
+
+    def out_edges(
+        self,
+        node_uid: int,
+        scope: TimeScope,
+        classes: "Sequence[EdgeClass] | None" = None,
+    ) -> "list[EdgeRecord]":
+        self._before("out_edges")
+        return self._inner.out_edges(node_uid, scope, classes)
+
+    def in_edges(
+        self,
+        node_uid: int,
+        scope: TimeScope,
+        classes: "Sequence[EdgeClass] | None" = None,
+    ) -> "list[EdgeRecord]":
+        self._before("in_edges")
+        return self._inner.in_edges(node_uid, scope, classes)
+
+    # ------------------------------------------------------------------
+    # statistics & pathways
+    # ------------------------------------------------------------------
+
+    def class_count(self, class_name: str) -> int:
+        self._before("class_count")
+        return self._inner.class_count(class_name)
+
+    def counts(self) -> dict[str, int]:
+        self._before("counts")
+        return self._inner.counts()
+
+    def storage_cells(self) -> int:
+        self._before("storage_cells")
+        return self._inner.storage_cells()
+
+    def find_pathways(
+        self, program: "MatchProgram", scope: TimeScope
+    ) -> "list[Pathway]":
+        # Delegated (not re-run through the generic traversal) so the
+        # wrapped backend keeps its own evaluation strategy — the
+        # relational store's set-at-a-time SQL in particular.
+        self._before("find_pathways")
+        return self._inner.find_pathways(program, scope)
+
+    # ------------------------------------------------------------------
+    # convenience delegation
+    # ------------------------------------------------------------------
+
+    def bulk(self):
+        # Entering a batch is not a faultable unit of work; the writes
+        # inside it are individually injected.
+        return self._inner.bulk()
+
+    def bulk_insert_nodes(
+        self, rows: "Iterable[tuple[str, Mapping[str, Any]]]"
+    ) -> list[int]:
+        return [self.insert_node(class_name, fields) for class_name, fields in rows]

@@ -2,16 +2,42 @@
 
 from __future__ import annotations
 
-import pytest
+import os
 
+import pytest
+from hypothesis import settings as hypothesis_settings
+
+from repro.core.database import NepalDB
 from repro.schema.builtin import build_network_schema
 from repro.schema.registry import Schema
 from repro.storage.memgraph.store import MemGraphStore
 from repro.storage.relational.store import RelationalStore
 from repro.temporal.clock import TransactionClock
 
+# CI runs property tests hard (HYPOTHESIS_PROFILE=ci in the workflow);
+# local runs stay quick.  Tests that pin max_examples themselves override
+# whichever profile is active.
+hypothesis_settings.register_profile("ci", max_examples=200, deadline=None)
+hypothesis_settings.register_profile("dev", max_examples=25, deadline=None)
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
 T0 = 1_000_000.0
 """Base transaction time used by pinned-clock fixtures."""
+
+BACKEND_MATRIX = ("memory", "relational", "memory-chaos", "relational-chaos")
+"""Differential-harness configurations: each real backend bare and wrapped
+in a zero-fault :class:`FaultInjectingStore` (which must be transparent)."""
+
+
+def build_matrix_db(config: str, clock: TransactionClock | None = None) -> NepalDB:
+    """A NepalDB for one BACKEND_MATRIX configuration."""
+    backend, _, decorated = config.partition("-")
+    db = NepalDB(backend=backend, clock=clock)
+    if decorated == "chaos":
+        from repro.storage.chaos import FaultPlan
+
+        db.inject_faults(FaultPlan(seed=0))  # injects nothing: pure decoration
+    return db
 
 
 @pytest.fixture(scope="session")

@@ -108,7 +108,7 @@ class TestLoaderProtocol:
 
         params = TopologyParams(
             services=2, vms=30, virtual_networks=8, virtual_routers=3,
-            racks=2, hosts_per_rack=3,
+            racks=2, hosts_per_rack=3, seed=20180610,
         )
         db.load(VirtualizedServiceTopology(params))
         assert len(db.query("Retrieve P From PATHS P Where P MATCHES Service()")) == 2

@@ -1,0 +1,162 @@
+"""Resilient federated execution: the ISSUE acceptance scenarios.
+
+A federated query over two stores, one wrapped in a chaotic
+:class:`FaultInjectingStore`:
+
+* transient faults → the query completes with correct results and non-zero
+  retry counters in the :class:`MetricsRegistry`;
+* a hard-down backend → a typed :class:`FederationError` naming the range
+  variable and store by default;
+* ``allow_partial=True`` → warned partial results instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import NepalDB
+from repro.core.federation import Federation
+from repro.core.resilience import ResiliencePolicy
+from repro.errors import FederationError
+from repro.inventory.legacy import build_legacy_schema
+from repro.storage.chaos import FaultPlan
+from repro.storage.relational.store import RelationalStore
+from repro.temporal.clock import TransactionClock
+from tests.conftest import T0, SmallInventory
+
+JOIN_QUERY = (
+    "Select source(P).name, source(Q).kind "
+    "From PATHS P, PATHS@legacy Q "
+    "Where P MATCHES Host() And Q MATCHES Entity() "
+    "And source(P).name = source(Q).name"
+)
+
+
+def quiet_policy(**overrides) -> ResiliencePolicy:
+    """A policy that never really sleeps (tests stay fast)."""
+    defaults = dict(
+        max_attempts=6,
+        base_delay=0.001,
+        jitter=0.0,
+        deadline=None,
+        breaker_threshold=100,
+        seed=0,
+        sleep=lambda seconds: None,
+    )
+    defaults.update(overrides)
+    return ResiliencePolicy(**defaults)
+
+
+@pytest.fixture
+def federated_db():
+    """A NepalDB whose default (memory) store holds the cloud inventory and
+    whose attached ``legacy`` store (relational) is wrapped in chaos."""
+    db = NepalDB(clock=TransactionClock(start=T0))
+    SmallInventory(db.store)
+    legacy = RelationalStore(
+        build_legacy_schema(False), clock=TransactionClock(start=T0), name="legacy"
+    )
+    site = legacy.insert_node("Entity", {"name": "site-9", "kind": "site"})
+    h1 = legacy.insert_node("Entity", {"name": "host-1", "kind": "server"})
+    legacy.insert_edge(
+        "GenericEdge", site, h1, {"category": "vertical", "kind": "vertical_00"}
+    )
+    db.attach_store("legacy", legacy)
+    chaotic = db.inject_faults(FaultPlan(seed=1), store="legacy")
+    return db, chaotic
+
+
+class TestTransientFaults:
+    def test_query_survives_with_retry_counters(self, federated_db):
+        db, chaotic = federated_db
+        # Every legacy method fails twice before succeeding — well inside
+        # the 6-attempt budget, so the query must come back complete.
+        chaotic.plan = FaultPlan(seed=1, fail_first=2)
+        db.set_resilience(quiet_policy())
+
+        result = db.query(JOIN_QUERY)
+
+        assert result.value_rows() == [("host-1", "server")]
+        assert result.warnings == ()
+        assert chaotic.chaos.total_faults > 0
+        retries = db.metrics.event_count("resilience.retry.legacy")
+        assert retries >= chaotic.chaos.total_faults
+        # Counters surface through the public stats API too.
+        events = db.cache_stats()["events"]
+        assert events["resilience.retry.legacy"] == retries
+
+    def test_fault_free_rerun_matches_chaotic_run(self, federated_db):
+        db, chaotic = federated_db
+        chaotic.plan = FaultPlan(seed=1, fail_first=1, fail_every=5)
+        db.set_resilience(quiet_policy())
+        chaotic_rows = db.query(JOIN_QUERY).value_rows()
+
+        chaotic.heal()
+        assert db.query(JOIN_QUERY).value_rows() == chaotic_rows
+
+    def test_default_store_is_untouched_by_legacy_chaos(self, federated_db):
+        db, chaotic = federated_db
+        chaotic.plan = FaultPlan(seed=1, fail_first=1)
+        db.set_resilience(quiet_policy())
+        db.query(JOIN_QUERY)
+        assert db.metrics.event_count("resilience.retry.default") == 0
+
+
+class TestHardDown:
+    def test_raises_typed_federation_error(self, federated_db):
+        db, chaotic = federated_db
+        chaotic.set_hard_down()
+        db.set_resilience(quiet_policy(max_attempts=3))
+
+        with pytest.raises(FederationError) as excinfo:
+            db.query(JOIN_QUERY)
+        assert excinfo.value.variable == "Q"
+        assert excinfo.value.store == "legacy"
+        # The healthy default store keeps answering single-store queries.
+        healthy = db.query("Retrieve P From PATHS P Where P MATCHES Host()")
+        assert len(healthy) == 2
+
+    def test_allow_partial_returns_warned_partial_results(self, federated_db):
+        db, chaotic = federated_db
+        chaotic.set_hard_down()
+        db.set_resilience(quiet_policy(max_attempts=3), allow_partial=True)
+
+        result = db.query(JOIN_QUERY)
+
+        assert len(result.warnings) == 1
+        assert "'Q'" in result.warnings[0]
+        # P's bindings survive; projections over the dropped Q are None,
+        # and the cross-store equality predicate cannot filter them.
+        assert result.value_rows() == [("host-1", None), ("host-2", None)]
+        assert db.metrics.event_count("resilience.degraded.legacy") == 1
+        assert "resilience.degraded.legacy" in db.cache_stats()["events"]
+
+    def test_allow_partial_recovers_after_heal(self, federated_db):
+        db, chaotic = federated_db
+        chaotic.set_hard_down()
+        db.set_resilience(quiet_policy(max_attempts=2), allow_partial=True)
+        assert db.query(JOIN_QUERY).warnings != ()
+
+        chaotic.set_hard_down(False)
+        result = db.query(JOIN_QUERY)
+        assert result.warnings == ()
+        assert result.value_rows() == [("host-1", "server")]
+
+
+class TestFederationFacade:
+    def test_federation_accepts_resilience_options(self):
+        from repro.schema.builtin import build_network_schema
+        from repro.storage.chaos import FaultInjectingStore
+        from repro.storage.memgraph.store import MemGraphStore
+
+        cloud = MemGraphStore(
+            build_network_schema(), clock=TransactionClock(start=T0), name="cloud"
+        )
+        SmallInventory(cloud)
+        chaotic = FaultInjectingStore(cloud, FaultPlan(seed=3, fail_first=1))
+        fed = Federation(
+            {"cloud": chaotic}, default="cloud", resilience=quiet_policy()
+        )
+        result = fed.query("Retrieve P From PATHS P Where P MATCHES VM()")
+        assert len(result) == 2
+        assert fed.metrics.event_count("resilience.retry.cloud") > 0

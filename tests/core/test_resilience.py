@@ -1,0 +1,314 @@
+"""Unit tests for the resilience policy layer — all on a fake clock.
+
+No test here ever sleeps for real: policies are built with a recording
+``sleep`` and a :class:`TransactionClock`-backed ``monotonic``, so backoff
+sequences, jitter bounds, deadlines and breaker state transitions are
+asserted exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.resilience import CircuitBreaker, ResiliencePolicy, ResilientStore
+from repro.errors import (
+    BackendUnavailable,
+    CircuitOpenError,
+    DeadlineExceededError,
+)
+from repro.stats.metrics import MetricsRegistry
+from repro.storage.chaos import FaultInjectingStore, FaultPlan
+from repro.temporal.clock import TransactionClock
+
+
+class FakeTime:
+    """A sleep that advances a pinned clock instead of blocking."""
+
+    def __init__(self, start: float = 0.0):
+        self.clock = TransactionClock(start=start)
+        self.sleeps: list[float] = []
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.clock.advance(seconds)
+
+    def monotonic(self) -> float:
+        return self.clock.now()
+
+
+def make_policy(fake: FakeTime, **overrides) -> ResiliencePolicy:
+    defaults = dict(
+        max_attempts=5,
+        base_delay=1.0,
+        max_delay=8.0,
+        multiplier=2.0,
+        jitter=0.0,
+        deadline=None,
+        breaker_threshold=100,
+        breaker_reset_after=30.0,
+        seed=7,
+        sleep=fake.sleep,
+        monotonic=fake.monotonic,
+    )
+    defaults.update(overrides)
+    return ResiliencePolicy(**defaults)
+
+
+def resilient(mem_store, fake: FakeTime, plan: FaultPlan, **overrides):
+    """A ResilientStore over a chaotic memory store, on fake time."""
+    chaotic = FaultInjectingStore(mem_store, plan, sleeper=fake.sleep)
+    metrics = MetricsRegistry()
+    store = ResilientStore(
+        chaotic, make_policy(fake, **overrides), metrics=metrics, label="unit"
+    )
+    return store, chaotic, metrics
+
+
+# ----------------------------------------------------------------------
+# backoff
+# ----------------------------------------------------------------------
+
+
+class TestBackoff:
+    def test_exponential_sequence_without_jitter(self, mem_store):
+        fake = FakeTime()
+        store, chaotic, _ = resilient(
+            mem_store, fake, FaultPlan(fail_first=4), max_attempts=5
+        )
+        uid = store.insert_node("Host", {"name": "h"})
+        assert uid > 0
+        # 4 failures then success: delays double and cap at max_delay.
+        assert fake.sleeps == [1.0, 2.0, 4.0, 8.0]
+        assert chaotic.chaos.faults["transient"] == 4
+
+    def test_max_delay_caps_the_curve(self, mem_store):
+        fake = FakeTime()
+        store, _, _ = resilient(
+            mem_store,
+            fake,
+            FaultPlan(fail_first=5),
+            max_attempts=6,
+            max_delay=3.0,
+        )
+        store.insert_node("Host", {"name": "h"})
+        assert fake.sleeps == [1.0, 2.0, 3.0, 3.0, 3.0]
+
+    def test_jitter_stays_within_bounds(self):
+        policy = ResiliencePolicy(
+            base_delay=1.0, multiplier=2.0, max_delay=64.0, jitter=0.25
+        )
+        rng = random.Random(42)
+        for attempt in range(1, 7):
+            nominal = min(64.0, 1.0 * 2.0 ** (attempt - 1))
+            for _ in range(50):
+                delay = policy.delay_for(attempt, rng)
+                assert nominal * 0.75 <= delay <= nominal * 1.25
+
+    def test_jitter_is_deterministic_per_seed(self, mem_store):
+        sequences = []
+        for _ in range(2):
+            fake = FakeTime()
+            store, _, _ = resilient(
+                mem_store, fake, FaultPlan(fail_first=3), jitter=0.3, seed=99
+            )
+            store.class_count("Host")
+            sequences.append(tuple(fake.sleeps))
+        assert sequences[0] == sequences[1]
+        assert len(sequences[0]) == 3
+
+    def test_retry_events_are_counted(self, mem_store):
+        fake = FakeTime()
+        store, _, metrics = resilient(mem_store, fake, FaultPlan(fail_first=2))
+        store.insert_node("Host", {"name": "h"})
+        assert metrics.event_count("resilience.retry.unit") == 2
+
+
+# ----------------------------------------------------------------------
+# attempt budget & deadline
+# ----------------------------------------------------------------------
+
+
+class TestBudgets:
+    def test_exhausted_attempts_raise_backend_unavailable(self, mem_store):
+        fake = FakeTime()
+        store, chaotic, metrics = resilient(
+            mem_store, fake, FaultPlan(fail_first=50), max_attempts=3
+        )
+        with pytest.raises(BackendUnavailable) as excinfo:
+            store.counts()
+        assert "3 attempts" in str(excinfo.value)
+        assert excinfo.value.store == "unit"
+        assert chaotic.chaos.calls["counts"] == 3
+        assert metrics.event_count("resilience.exhausted.unit") == 1
+
+    def test_deadline_preempts_a_hopeless_sleep(self, mem_store):
+        fake = FakeTime()
+        store, _, metrics = resilient(
+            mem_store,
+            fake,
+            FaultPlan(fail_first=50),
+            base_delay=10.0,
+            deadline=1.0,
+            max_attempts=10,
+        )
+        with pytest.raises(DeadlineExceededError):
+            store.counts()
+        # The 10s backoff would blow the 1s deadline, so we never sleep.
+        assert fake.sleeps == []
+        assert metrics.event_count("resilience.deadline.unit") == 1
+
+    def test_deadline_counts_elapsed_time_across_retries(self, mem_store):
+        fake = FakeTime()
+        store, chaotic, _ = resilient(
+            mem_store,
+            fake,
+            FaultPlan(fail_first=50),
+            base_delay=1.0,
+            deadline=3.5,
+            max_attempts=10,
+        )
+        with pytest.raises(DeadlineExceededError):
+            store.counts()
+        # Sleeps 1 + 2 = 3s elapsed; the next 4s backoff exceeds 3.5s.
+        assert fake.sleeps == [1.0, 2.0]
+        assert chaotic.chaos.calls["counts"] == 3
+
+    def test_success_before_deadline_is_untouched(self, mem_store):
+        fake = FakeTime()
+        store, _, _ = resilient(
+            mem_store, fake, FaultPlan(fail_first=1), deadline=100.0
+        )
+        assert isinstance(store.counts(), dict)
+        assert fake.sleeps == [1.0]
+
+    def test_non_transient_errors_are_not_retried(self, mem_store):
+        fake = FakeTime()
+        store, chaotic, _ = resilient(mem_store, fake, FaultPlan())
+        with pytest.raises(Exception) as excinfo:
+            store.insert_node("NoSuchClass", {})
+        assert not isinstance(excinfo.value, BackendUnavailable)
+        assert fake.sleeps == []
+        assert chaotic.chaos.calls["insert_node"] == 1
+
+
+# ----------------------------------------------------------------------
+# circuit breaker state machine
+# ----------------------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        clock = TransactionClock(start=0.0)
+        breaker = CircuitBreaker(threshold=2, reset_after=30.0, clock=clock.now)
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.record_failure() is False
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.record_failure() is True
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_success_resets_the_failure_streak(self):
+        clock = TransactionClock(start=0.0)
+        breaker = CircuitBreaker(threshold=2, reset_after=30.0, clock=clock.now)
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.record_failure() is False
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_after_reset_window(self):
+        clock = TransactionClock(start=0.0)
+        breaker = CircuitBreaker(threshold=1, reset_after=30.0, clock=clock.now)
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.advance(29.9)
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.advance(0.2)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()
+
+    def test_half_open_success_closes(self):
+        clock = TransactionClock(start=0.0)
+        breaker = CircuitBreaker(threshold=1, reset_after=30.0, clock=clock.now)
+        breaker.record_failure()
+        clock.advance(31.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_half_open_failure_retrips_immediately(self):
+        clock = TransactionClock(start=0.0)
+        breaker = CircuitBreaker(threshold=5, reset_after=30.0, clock=clock.now)
+        for _ in range(5):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.advance(31.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        # One failure in half-open re-opens regardless of the threshold.
+        assert breaker.record_failure() is True
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 2
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+
+
+# ----------------------------------------------------------------------
+# breaker integration with the store proxy
+# ----------------------------------------------------------------------
+
+
+class TestResilientStoreBreaker:
+    def test_hard_down_trips_then_fails_fast(self, mem_store):
+        fake = FakeTime()
+        store, chaotic, metrics = resilient(
+            mem_store,
+            fake,
+            FaultPlan(hard_down=True),
+            max_attempts=10,
+            breaker_threshold=2,
+        )
+        with pytest.raises(CircuitOpenError):
+            store.counts()
+        touched = chaotic.chaos.total_calls
+        assert touched == 2  # threshold failures, then the breaker cut in
+        assert metrics.event_count("resilience.breaker_trip.unit") == 1
+
+        # Subsequent calls fail fast without touching the backend at all.
+        before = metrics.event_count("resilience.fastfail.unit")
+        with pytest.raises(CircuitOpenError):
+            store.counts()
+        assert chaotic.chaos.total_calls == touched
+        assert metrics.event_count("resilience.fastfail.unit") == before + 1
+
+    def test_recovery_through_half_open(self, mem_store):
+        fake = FakeTime()
+        store, chaotic, _ = resilient(
+            mem_store,
+            fake,
+            FaultPlan(hard_down=True),
+            max_attempts=10,
+            breaker_threshold=2,
+            breaker_reset_after=30.0,
+        )
+        with pytest.raises(CircuitOpenError):
+            store.counts()
+        chaotic.heal()
+        fake.clock.advance(31.0)
+        # Half-open admits the trial call; it succeeds and the breaker closes.
+        assert isinstance(store.counts(), dict)
+        assert store.breaker.state == CircuitBreaker.CLOSED
+
+    def test_zero_fault_wrapper_never_retries(self, mem_store):
+        fake = FakeTime()
+        store, chaotic, metrics = resilient(mem_store, fake, FaultPlan())
+        uid = store.insert_node("Host", {"name": "h"})
+        assert uid > 0
+        assert store.class_count("Host") == 1
+        assert fake.sleeps == []
+        assert metrics.events(prefix="resilience.") == {}
+        assert chaotic.chaos.total_faults == 0

@@ -2,19 +2,22 @@
 
 import pytest
 
-from repro import NepalDB
 from repro.inventory.virtualized import TopologyParams, VirtualizedServiceTopology
 from repro.temporal.clock import TransactionClock
+from tests.conftest import BACKEND_MATRIX, build_matrix_db
 
 T0 = 1_000_000.0
 
 
-@pytest.fixture(scope="module", params=["memory", "relational"])
+@pytest.fixture(scope="module", params=BACKEND_MATRIX)
 def loaded(request):
-    db = NepalDB(backend=request.param, clock=TransactionClock(start=T0))
+    """Every paper query runs on both backends, bare and chaos-decorated
+    (zero-fault — the wrapper must be invisible)."""
+    db = build_matrix_db(request.param, clock=TransactionClock(start=T0))
     params = TopologyParams(
         services=4, vms=120, virtual_networks=30, virtual_routers=10,
         racks=5, hosts_per_rack=4, spine_switches=3, routers=2,
+        seed=20180610,
     )
     handles = VirtualizedServiceTopology(params).apply(db.store)
     return db, handles

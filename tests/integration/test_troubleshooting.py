@@ -17,6 +17,7 @@ def db():
     params = TopologyParams(
         services=4, vms=120, virtual_networks=30, virtual_routers=10,
         racks=5, hosts_per_rack=4, spine_switches=3, routers=2,
+        seed=20180610,
     )
     handles = VirtualizedServiceTopology(params).apply(database.store)
     return database, handles

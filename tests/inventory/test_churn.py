@@ -15,6 +15,7 @@ T0 = 1_000_000.0
 PARAMS = TopologyParams(
     services=2, vms=40, virtual_networks=10, virtual_routers=4,
     racks=3, hosts_per_rack=3, spine_switches=2, routers=2,
+    seed=20180610,
 )
 
 

@@ -24,6 +24,7 @@ CURRENT = TimeScope.current()
 SMALL = LegacyParams(
     chains=60, core_nodes=5, aggregation_nodes=12, sites=4,
     noise_hubs=2, noise_edges_per_hub=150, agg_noise_edges=100,
+    seed=20180611,
 )
 
 
@@ -104,7 +105,7 @@ def test_chains_reach_cores():
 def test_workload_instances_runnable(subclassed):
     store, handles = build(subclassed)
     planner = Planner(store.schema, CardinalityEstimator(store))
-    workload = table2_workload(handles, subclassed, instances=3)
+    workload = table2_workload(handles, subclassed, instances=3, seed=4712)
     assert set(workload) == {"service path", "reverse path", "top-down", "bottom-up"}
     for kind, instances in workload.items():
         assert instances, kind
@@ -116,8 +117,8 @@ def test_both_variants_return_identical_paths():
     # The §6 reload must not change query *results*, only their speed.
     flat_store, flat_handles = build(False)
     sub_store, sub_handles = build(True)
-    flat_wl = table2_workload(flat_handles, False, instances=4)
-    sub_wl = table2_workload(sub_handles, True, instances=4)
+    flat_wl = table2_workload(flat_handles, False, instances=4, seed=4712)
+    sub_wl = table2_workload(sub_handles, True, instances=4, seed=4712)
     for kind in flat_wl:
         for flat_instance, sub_instance in zip(flat_wl[kind], sub_wl[kind]):
             flat_planner = Planner(flat_store.schema, CardinalityEstimator(flat_store))

@@ -12,7 +12,7 @@ def service_handles():
     store = MemGraphStore(build_network_schema(), clock=TransactionClock(start=1.0))
     params = TopologyParams(
         services=3, vms=50, virtual_networks=12, virtual_routers=4,
-        racks=3, hosts_per_rack=3,
+        racks=3, hosts_per_rack=3, seed=20180610,
     )
     return VirtualizedServiceTopology(params).apply(store)
 
@@ -22,13 +22,14 @@ def legacy_handles(subclassed):
     params = LegacyParams(
         chains=120, core_nodes=4, aggregation_nodes=8, sites=3,
         noise_hubs=2, noise_edges_per_hub=30, agg_noise_edges=40,
+        seed=20180611,
     )
     return LegacyTopology(params, subclassed=subclassed).apply(store)
 
 
 class TestTable1Workload:
     def test_five_query_types(self):
-        workload = table1_workload(service_handles(), instances=10)
+        workload = table1_workload(service_handles(), instances=10, seed=4711)
         assert set(workload) == {
             "top-down", "bottom-up", "VM-VM (4)", "Host-Host (4)", "Host-Host (6)",
         }
@@ -36,12 +37,12 @@ class TestTable1Workload:
     def test_top_down_covers_every_vnf(self):
         # "there are only 33 distinct VNFs so we evaluated only 33 queries".
         handles = service_handles()
-        workload = table1_workload(handles, instances=50)
+        workload = table1_workload(handles, instances=50, seed=4711)
         assert len(workload["top-down"]) == len(handles.vnfs)
 
     def test_instance_counts_capped_by_population(self):
         handles = service_handles()
-        workload = table1_workload(handles, instances=7)
+        workload = table1_workload(handles, instances=7, seed=4711)
         assert len(workload["VM-VM (4)"]) == 7
         assert len(workload["Host-Host (4)"]) == 7
 
@@ -54,7 +55,7 @@ class TestTable1Workload:
         assert shuffled != first
 
     def test_rpe_shapes(self):
-        workload = table1_workload(service_handles(), instances=3)
+        workload = table1_workload(service_handles(), instances=3, seed=4711)
         assert "[Vertical()]{1,6}" in workload["top-down"][0].rpe
         assert workload["top-down"][0].rpe.startswith("VNF(id=")
         assert workload["bottom-up"][0].rpe.endswith(")")
@@ -63,18 +64,22 @@ class TestTable1Workload:
 
 class TestTable2Workload:
     def test_flat_variant_uses_field_predicates(self):
-        workload = table2_workload(legacy_handles(False), subclassed=False, instances=4)
+        workload = table2_workload(
+            legacy_handles(False), subclassed=False, instances=4, seed=4712
+        )
         assert "GenericEdge(category='circuit')" in workload["service path"][0].rpe
         assert "GenericEdge(category='vertical')" in workload["bottom-up"][0].rpe
 
     def test_subclassed_variant_uses_concept_atoms(self):
-        workload = table2_workload(legacy_handles(True), subclassed=True, instances=4)
+        workload = table2_workload(
+            legacy_handles(True), subclassed=True, instances=4, seed=4712
+        )
         assert "CircuitEdge()" in workload["service path"][0].rpe
         assert "VerticalEdge()" in workload["bottom-up"][0].rpe
 
     def test_bottom_up_mixes_hubs_and_regular_cards(self):
         handles = legacy_handles(True)
-        workload = table2_workload(handles, subclassed=True, instances=6)
+        workload = table2_workload(handles, subclassed=True, instances=6, seed=4712)
         targets = {
             int(instance.rpe.rsplit("id=", 1)[1].rstrip(")"))
             for instance in workload["bottom-up"]
@@ -84,7 +89,7 @@ class TestTable2Workload:
 
     def test_reverse_anchors_at_cores(self):
         handles = legacy_handles(True)
-        workload = table2_workload(handles, subclassed=True, instances=3)
+        workload = table2_workload(handles, subclassed=True, instances=3, seed=4712)
         for instance in workload["reverse path"]:
             target = int(instance.rpe.rsplit("id=", 1)[1].rstrip(")"))
             assert target in handles.chain_cores

@@ -1,6 +1,14 @@
-"""Property test: both backends behave identically under random write
-sequences — every read surface (scans, adjacency, versions, counts) agrees
-at every point of a shared timeline.
+"""The cross-backend differential harness.
+
+Two layers of evidence that every configuration computes the same answers:
+
+* a property test replaying random write sequences on all four store
+  configurations — memgraph, relational, and each wrapped in a zero-fault
+  :class:`FaultInjectingStore` — and comparing every read surface (scans,
+  adjacency, versions, counts) at every point of a shared timeline;
+* a fixture matrix running the paper-query suite over the same seeded
+  topology in all four configurations and asserting identical normalized
+  result rows.
 """
 
 from __future__ import annotations
@@ -8,12 +16,17 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.inventory.virtualized import TopologyParams, VirtualizedServiceTopology
+from repro.model.elements import ElementRecord
+from repro.model.pathway import Pathway
 from repro.rpe.parser import parse_rpe
 from repro.schema.registry import Schema
 from repro.storage.base import TimeScope
+from repro.storage.chaos import FaultInjectingStore, FaultPlan
 from repro.storage.memgraph.store import MemGraphStore
 from repro.storage.relational.store import RelationalStore
 from repro.temporal.clock import TransactionClock
+from tests.conftest import BACKEND_MATRIX, build_matrix_db
 
 T0 = 1_000.0
 
@@ -116,15 +129,28 @@ def snapshot_of(store, scope):
     return node_rows, edge_rows, adjacency
 
 
+def matrix_stores():
+    """One store per BACKEND_MATRIX configuration, on independent clocks."""
+    stores = {}
+    for config in BACKEND_MATRIX:
+        backend, _, decorated = config.partition("-")
+        cls = MemGraphStore if backend == "memory" else RelationalStore
+        store = cls(SCHEMA, clock=TransactionClock(start=T0))
+        if decorated == "chaos":
+            store = FaultInjectingStore(store, FaultPlan(seed=0))
+        stores[config] = store
+    return stores
+
+
 @settings(max_examples=40, deadline=None)
 @given(_ops, st.lists(st.integers(min_value=0, max_value=997), min_size=60, max_size=60))
 def test_backends_agree_under_random_writes(ops, choices):
-    mem = MemGraphStore(SCHEMA, clock=TransactionClock(start=T0))
-    rel = RelationalStore(SCHEMA, clock=TransactionClock(start=T0))
-    apply_ops(mem, ops, choices)
-    apply_ops(rel, ops, choices)
+    stores = matrix_stores()
+    for store in stores.values():
+        apply_ops(store, ops, choices)
 
-    final = mem.clock.now()
+    reference = stores[BACKEND_MATRIX[0]]
+    final = reference.clock.now()
     scopes = [
         TimeScope.current(),
         TimeScope.at(T0),
@@ -132,8 +158,12 @@ def test_backends_agree_under_random_writes(ops, choices):
         TimeScope.between(T0, final + 1),
     ]
     for scope in scopes:
-        assert snapshot_of(mem, scope) == snapshot_of(rel, scope), scope
-    assert mem.counts() == rel.counts()
+        expected = snapshot_of(reference, scope)
+        for config, store in stores.items():
+            assert snapshot_of(store, scope) == expected, (config, scope)
+    counts = reference.counts()
+    for config, store in stores.items():
+        assert store.counts() == counts, config
 
 
 @pytest.mark.parametrize("ops", [
@@ -159,3 +189,87 @@ def test_versions_agree_example(ops):
             for v in rel.versions(uid, window)
         ]
         assert mem_versions == rel_versions
+
+
+# ----------------------------------------------------------------------
+# paper-query differential matrix
+# ----------------------------------------------------------------------
+
+#: The query corpus every configuration must answer identically: explicit
+#: chains, generic vertical traversals, physical-path joins, NOT EXISTS
+#: subqueries, plain selects, anchor alternation and an AT timeslice.
+PAPER_QUERY_CORPUS = (
+    "Select source(P).name, target(P).name "
+    "From PATHS P Where P MATCHES VNF()->VFC()->VM()->Host()",
+    "Retrieve P From PATHS P "
+    "Where P MATCHES VNF()->[Vertical()]{1,6}->Host()",
+    "Select source(P).name, target(P).name "
+    "From PATHS P Where P MATCHES Host()->[ConnectedTo()]{1,2}->Host()",
+    "Select source(V).name, source(V).id From PATHS V "
+    "Where V MATCHES VM() "
+    "And NOT EXISTS( Retrieve P from PATHS P "
+    "Where P MATCHES (VNF()|VFC())->[HostedOn()]{1,5}->VM() "
+    "And target(V) = target(P) )",
+    "Select source(V).name From PATHS V Where V MATCHES VM(status='Red')",
+    "Retrieve P From PATHS P "
+    "Where P MATCHES (VMWare()|Docker())->[HostedOn()]{1,2}->Host()",
+    f"AT {T0 + 1} Select source(P).name From PATHS P Where P MATCHES VNF()",
+)
+
+
+def _norm_value(value):
+    if isinstance(value, ElementRecord):
+        return ("element", value.uid, value.cls.name)
+    if isinstance(value, Pathway):
+        return ("pathway", value.key())
+    return value
+
+
+def normalized_rows(result):
+    """An order-insensitive, backend-independent digest of a result."""
+    rows = []
+    for row in result.rows:
+        values = tuple(_norm_value(v) for v in row.values)
+        bindings = tuple(
+            sorted((name, p.key()) for name, p in row.bindings.items())
+        )
+        rows.append((values, bindings))
+    return sorted(rows, key=repr)
+
+
+@pytest.fixture(scope="module")
+def query_matrix():
+    """The same seeded topology loaded into every matrix configuration."""
+    params = TopologyParams(
+        services=2, vms=40, virtual_networks=10, virtual_routers=4,
+        racks=3, hosts_per_rack=3, spine_switches=2, routers=2,
+        seed=20180610,
+    )
+    dbs = {}
+    for config in BACKEND_MATRIX:
+        db = build_matrix_db(config, clock=TransactionClock(start=T0))
+        VirtualizedServiceTopology(params).apply(db.store)
+        dbs[config] = db
+    return dbs
+
+
+@pytest.mark.parametrize("query", PAPER_QUERY_CORPUS)
+def test_paper_queries_agree_across_matrix(query_matrix, query):
+    reference_config = BACKEND_MATRIX[0]
+    expected = normalized_rows(query_matrix[reference_config].query(query))
+    for config in BACKEND_MATRIX[1:]:
+        assert normalized_rows(query_matrix[config].query(query)) == expected, config
+
+
+def test_matrix_covers_chaos_decorated_backends(query_matrix):
+    # The harness is only a differential test if the chaos wrappers really
+    # decorate both backends and really injected nothing.
+    wrapped = [
+        db.store for config, db in query_matrix.items() if config.endswith("-chaos")
+    ]
+    assert len(wrapped) == 2
+    for store in wrapped:
+        assert isinstance(store, FaultInjectingStore)
+        assert store.plan.injects_nothing()
+        assert store.chaos.total_faults == 0
+        assert store.chaos.total_calls > 0

@@ -1,0 +1,183 @@
+"""Unit tests for the deterministic fault injector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BackendUnavailable
+from repro.storage.base import TimeScope
+from repro.storage.chaos import FaultInjectingStore, FaultPlan
+from repro.rpe.parser import parse_rpe
+
+
+def wrap(mem_store, plan=None, sleeper=None):
+    return FaultInjectingStore(
+        mem_store, plan, sleeper=sleeper or (lambda seconds: None)
+    )
+
+
+class TestZeroFaultPassThrough:
+    def test_default_plan_injects_nothing(self):
+        assert FaultPlan().injects_nothing()
+        assert not FaultPlan(error_rate=0.1).injects_nothing()
+        assert not FaultPlan(hard_down=True).injects_nothing()
+
+    def test_wrapped_store_behaves_like_bare(self, mem_store):
+        chaotic = wrap(mem_store)
+        host = chaotic.insert_node("Host", {"name": "h1"})
+        vm = chaotic.insert_node("VMWare", {"name": "vm1", "status": "Green"})
+        edge = chaotic.insert_edge("OnServer", vm, host)
+        assert edge > 0
+        assert chaotic.class_count("Host") == 1
+        assert chaotic.get_element(host, TimeScope.current()).fields["name"] == "h1"
+        assert [e.uid for e in chaotic.out_edges(vm, TimeScope.current())] == [edge]
+        chaotic.update_element(host, {"status": "Red"})
+        chaotic.delete_element(edge)
+        assert chaotic.out_edges(vm, TimeScope.current()) == []
+        assert chaotic.chaos.total_faults == 0
+        assert chaotic.chaos.total_calls == 9
+
+    def test_data_version_is_proxied(self, mem_store):
+        chaotic = wrap(mem_store)
+        before = chaotic.data_version
+        chaotic.insert_node("Host", {"name": "h"})
+        assert chaotic.data_version == mem_store.data_version > before
+
+
+class TestFaultSchedules:
+    def test_fail_first_is_per_method(self, mem_store):
+        chaotic = wrap(mem_store, FaultPlan(fail_first=2))
+        for _ in range(2):
+            with pytest.raises(BackendUnavailable):
+                chaotic.insert_node("Host", {"name": "h"})
+        # insert_node has burned its budget; counts() still has its own.
+        uid = chaotic.insert_node("Host", {"name": "h"})
+        assert uid > 0
+        with pytest.raises(BackendUnavailable):
+            chaotic.counts()
+        assert chaotic.chaos.faults["transient"] == 3
+
+    def test_fail_every_nth_global_call(self, mem_store):
+        chaotic = wrap(mem_store, FaultPlan(fail_every=3))
+        outcomes = []
+        for _ in range(6):
+            try:
+                chaotic.class_count("Host")
+                outcomes.append("ok")
+            except BackendUnavailable:
+                outcomes.append("fault")
+        assert outcomes == ["ok", "ok", "fault", "ok", "ok", "fault"]
+
+    def test_fail_after_goes_hard_down(self, mem_store):
+        chaotic = wrap(mem_store, FaultPlan(fail_after=2))
+        chaotic.class_count("Host")
+        chaotic.class_count("Host")
+        for _ in range(3):
+            with pytest.raises(BackendUnavailable):
+                chaotic.class_count("Host")
+        assert chaotic.chaos.faults["hard_down"] == 3
+
+    def test_hard_down_and_recovery(self, mem_store):
+        chaotic = wrap(mem_store)
+        chaotic.set_hard_down()
+        with pytest.raises(BackendUnavailable) as excinfo:
+            chaotic.counts()
+        assert excinfo.value.store == chaotic.name
+        chaotic.set_hard_down(False)
+        assert isinstance(chaotic.counts(), dict)
+
+    def test_error_rate_is_deterministic_per_seed(self, mem_store):
+        def schedule(seed):
+            chaotic = wrap(mem_store, FaultPlan(seed=seed, error_rate=0.5))
+            outcome = []
+            for _ in range(20):
+                try:
+                    chaotic.class_count("Host")
+                    outcome.append(True)
+                except BackendUnavailable:
+                    outcome.append(False)
+            return outcome
+
+        first = schedule(123)
+        assert schedule(123) == first
+        assert 0 < sum(first) < 20  # some pass, some fault at rate 0.5
+        assert schedule(321) != first
+
+    def test_method_filter_restricts_injection(self, mem_store):
+        chaotic = wrap(
+            mem_store,
+            FaultPlan(hard_down=True, methods=frozenset({"counts"})),
+        )
+        assert chaotic.insert_node("Host", {"name": "h"}) > 0
+        with pytest.raises(BackendUnavailable):
+            chaotic.counts()
+
+    def test_heal_clears_the_schedule_but_keeps_history(self, mem_store):
+        chaotic = wrap(mem_store, FaultPlan(seed=5, hard_down=True))
+        with pytest.raises(BackendUnavailable):
+            chaotic.counts()
+        chaotic.heal()
+        assert chaotic.plan == FaultPlan(seed=5)
+        assert isinstance(chaotic.counts(), dict)
+        assert chaotic.chaos.total_faults == 1
+        assert chaotic.chaos.total_calls == 2
+
+    def test_faults_fire_before_delegation(self, mem_store):
+        # At-most-once: a faulted write must not reach the backend.
+        chaotic = wrap(mem_store, FaultPlan(fail_first=1))
+        with pytest.raises(BackendUnavailable):
+            chaotic.insert_node("Host", {"name": "h"})
+        assert mem_store.class_count("Host") == 0
+        assert chaotic.data_version == 0
+
+
+class TestLatency:
+    def test_fixed_latency_and_slow_scans(self, mem_store):
+        sleeps = []
+        chaotic = wrap(
+            mem_store,
+            FaultPlan(latency=0.01, slow_scan=0.09),
+            sleeper=sleeps.append,
+        )
+        chaotic.insert_node("Host", {"name": "h"})
+        atom = parse_rpe("Host()").bind(mem_store.schema)
+        chaotic.scan_atom(atom, TimeScope.current())
+        assert sleeps == [0.01, pytest.approx(0.10)]
+
+    def test_latency_spikes_are_probabilistic_and_seeded(self, mem_store):
+        sleeps = []
+        chaotic = wrap(
+            mem_store,
+            FaultPlan(seed=9, latency_spike_rate=0.5, latency_spike=1.0),
+            sleeper=sleeps.append,
+        )
+        for _ in range(20):
+            chaotic.class_count("Host")
+        assert 0 < len(sleeps) < 20
+        assert all(s == 1.0 for s in sleeps)
+
+
+class TestAccounting:
+    def test_log_records_call_index_method_and_kind(self, mem_store):
+        chaotic = wrap(mem_store, FaultPlan(fail_first=1))
+        with pytest.raises(BackendUnavailable):
+            chaotic.counts()
+        chaotic.counts()
+        (fault,) = chaotic.chaos.log
+        assert (fault.call_index, fault.method, fault.kind) == (1, "counts", "transient")
+        assert chaotic.chaos.calls == {"counts": 2}
+
+    def test_find_pathways_is_delegated_to_inner(self, any_store):
+        # The wrapper must preserve the backend's own evaluation strategy
+        # (the relational store's set-at-a-time SQL in particular).
+        from repro.plan.planner import Planner
+
+        chaotic = wrap(any_store)
+        host = chaotic.insert_node("Host", {"name": "h1"})
+        vm = chaotic.insert_node("VMWare", {"name": "vm1", "status": "Green"})
+        chaotic.insert_edge("OnServer", vm, host)
+        program = Planner(any_store.schema).compile("VM()->OnServer()->Host()")
+        bare = [p.key() for p in any_store.find_pathways(program, TimeScope.current())]
+        wrapped = [p.key() for p in chaotic.find_pathways(program, TimeScope.current())]
+        assert wrapped == bare
+        assert chaotic.chaos.calls["find_pathways"] == 1

@@ -1,0 +1,121 @@
+"""Property tests: chaos + retries never change answers or corrupt state.
+
+Two invariants, explored by Hypothesis over random seeded fault schedules
+(the CI workflow runs the ``ci`` profile — 200+ examples):
+
+1. Any *recoverable* schedule (each method's failure streak is shorter than
+   the retry budget) produces results identical to a fault-free run, with
+   non-zero retry counters whenever faults actually fired.
+2. ``data_version`` stays monotonic under injected write failures — a
+   faulted insert (even mid-``bulk``) applies nothing, so the element count
+   always equals the number of *successful* inserts.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.database import NepalDB
+from repro.core.resilience import ResiliencePolicy
+from repro.errors import BackendUnavailable
+from repro.storage.chaos import FaultPlan
+from repro.temporal.clock import TransactionClock
+from tests.conftest import T0, SmallInventory
+
+QUERIES = (
+    "Select source(P).name, target(P).name "
+    "From PATHS P Where P MATCHES VM()->OnServer()->Host()",
+    "Select count(P) From PATHS P Where P MATCHES Service()->ComposedOf()->VNF()",
+    "Select source(P).name From PATHS P "
+    "Where P MATCHES VNF()->ComposedOf()->VFC(status='Yellow')",
+)
+
+#: Retry budget used by every property; schedules are drawn so each
+#: method's failure streak stays strictly below it.
+MAX_ATTEMPTS = 8
+
+recoverable_plans = st.builds(
+    FaultPlan,
+    seed=st.integers(min_value=0, max_value=2**16),
+    # fail_first < MAX_ATTEMPTS: the (fail_first+1)-th attempt succeeds.
+    fail_first=st.integers(min_value=0, max_value=MAX_ATTEMPTS - 2),
+    # Every Nth global call fails; the retry advances the counter, so at
+    # most ceil(budget) consecutive attempts can fault — recoverable too.
+    fail_every=st.sampled_from([None, 2, 3, 5]),
+)
+
+
+def quiet_policy() -> ResiliencePolicy:
+    return ResiliencePolicy(
+        max_attempts=MAX_ATTEMPTS,
+        base_delay=0.0,
+        jitter=0.0,
+        deadline=None,
+        breaker_threshold=10_000,
+        seed=0,
+        sleep=lambda seconds: None,
+    )
+
+
+def run_suite(plan: FaultPlan | None):
+    """Answers to QUERIES on a fresh SmallInventory, optionally under chaos."""
+    db = NepalDB(clock=TransactionClock(start=T0))
+    SmallInventory(db.store)
+    chaotic = None
+    if plan is not None:
+        chaotic = db.inject_faults(plan)
+        db.set_resilience(quiet_policy())
+    rows = tuple(tuple(db.query(q).value_rows()) for q in QUERIES)
+    return rows, db, chaotic
+
+
+BASELINE = run_suite(None)[0]
+
+
+@given(plan=recoverable_plans)
+def test_recoverable_faults_do_not_change_answers(plan):
+    rows, db, chaotic = run_suite(plan)
+    assert rows == BASELINE
+    if chaotic.chaos.total_faults:
+        assert db.metrics.event_count("resilience.retry.default") >= 1
+    else:
+        assert db.metrics.event_count("resilience.retry.default") == 0
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    error_rate=st.floats(min_value=0.0, max_value=0.9),
+    use_bulk=st.booleans(),
+    backend=st.sampled_from(["memory", "relational"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_data_version_monotonic_under_write_faults(seed, error_rate, use_bulk, backend):
+    db = NepalDB(backend=backend, clock=TransactionClock(start=T0))
+    chaotic = db.inject_faults(FaultPlan(seed=seed, error_rate=error_rate))
+
+    succeeded = 0
+    versions = [chaotic.data_version]
+
+    def load():
+        nonlocal succeeded
+        for index in range(25):
+            try:
+                chaotic.insert_node("Host", {"name": f"h-{index}"})
+                succeeded += 1
+            except BackendUnavailable:
+                pass
+            versions.append(chaotic.data_version)
+
+    if use_bulk:
+        with chaotic.bulk():
+            load()
+    else:
+        load()
+    versions.append(chaotic.data_version)
+
+    assert all(a <= b for a, b in zip(versions, versions[1:]))
+    # A faulted insert applied nothing: the surviving population is exactly
+    # the successful inserts, even when faults hit mid-bulk.
+    assert chaotic.inner.class_count("Host") == succeeded
+    assert chaotic.chaos.calls.get("insert_node", 0) == 25

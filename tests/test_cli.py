@@ -107,3 +107,30 @@ def test_build_database_with_tosca_schema(tmp_path):
     db = build_database(args)
     assert "Thing" in db.schema
     assert db.clock.now() == 50.0
+
+
+def test_chaos_flags_enable_injection_and_retries(capsys):
+    status = main([
+        "--demo", "--epoch", "100",
+        "--chaos-seed", "3", "--chaos-error-rate", "0.3",
+        "--retry-attempts", "8",
+        "-c", "Select source(P).name From PATHS P Where P MATCHES Service()",
+        "-c", ".stats",
+    ])
+    assert status == 0
+    captured = capsys.readouterr()
+    assert "chaos enabled on default store (seed=3" in captured.err
+    # Despite the 30% fault rate the query answers correctly...
+    assert "service-0" in captured.out
+    # ...and .stats surfaces the resilience events that made it possible.
+    assert "resilience.retry.default" in captured.out
+
+
+def test_render_result_prints_warnings():
+    from repro.cli import render_result
+    from repro.query.results import QueryResult
+
+    result = QueryResult(("a",), [], warnings=("variable 'Q' dropped: down",))
+    rendered = render_result(result)
+    assert rendered.startswith("warning: variable 'Q' dropped: down")
+    assert "(no results)" in rendered
