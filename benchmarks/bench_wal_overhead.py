@@ -1,0 +1,122 @@
+"""Durability ablation: what journaling and checkpointing cost at ingest.
+
+The paper keeps its history overhead "at the few-percent level" (§6.1); the
+WAL is the corresponding write-path tax.  This bench ingests the same
+batched node/edge/update workload into four configurations —
+
+* **bare** — a plain :class:`MemGraphStore`, the no-durability baseline;
+* **journaled (no fsync)** — every mutation framed and written, OS-buffered;
+* **journaled (fsync/commit)** — the default policy: one ``fsync`` per
+  commit unit (here, per batch), the crash-safe configuration;
+* **journaled + checkpoint** — fsync/commit plus a full-history compaction
+  every few batches, the steady-state operating mode —
+
+and prints throughput plus overhead relative to bare.  It then recovers
+every durable directory and asserts the rebuilt history is identical, so
+the bench doubles as an end-to-end durability check at benchmark scale.
+
+``NEPAL_WAL_OPS`` scales the workload (default 3000 mutations); the CI
+bench smoke shrinks it to finish in seconds.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+
+from repro.schema.builtin import build_network_schema
+from repro.storage.durable import DurableStore
+from repro.storage.memgraph.store import MemGraphStore
+from repro.storage.wal import history_digest
+from repro.temporal.clock import TransactionClock
+from repro.util.text import format_table
+
+T0 = 1_600_000_000.0
+OPS = int(os.environ.get("NEPAL_WAL_OPS", "3000"))
+BATCH = 50
+CHECKPOINT_EVERY = 10  # batches, for the checkpointing configuration
+
+
+def ingest(store, ops: int, checkpoint_every: int | None = None) -> float:
+    """Run the batched workload; returns elapsed seconds."""
+    hosts: list[int] = []
+    started = time.perf_counter()
+    done = 0
+    batch_index = 0
+    while done < ops:
+        with store.bulk():
+            for _ in range(min(BATCH, ops - done)):
+                turn = done % 3
+                if turn == 0 or not hosts:
+                    hosts.append(store.insert_node("Host", {"name": f"h{done}"}))
+                elif turn == 1:
+                    vm = store.insert_node("VM", {"name": f"v{done}"})
+                    store.insert_edge("OnServer", vm, hosts[done % len(hosts)])
+                else:
+                    store.update_element(
+                        hosts[done % len(hosts)], {"status": "Amber"}
+                    )
+                done += 1
+        store.clock.advance(1)
+        batch_index += 1
+        if checkpoint_every and batch_index % checkpoint_every == 0:
+            store.checkpoint()
+    return time.perf_counter() - started
+
+
+def build_bare():
+    return MemGraphStore(build_network_schema(), clock=TransactionClock(start=T0))
+
+
+def build_durable(data_dir, sync):
+    return DurableStore.open(
+        data_dir, build_network_schema(),
+        clock=TransactionClock(start=T0), sync=sync,
+    )
+
+
+def test_wal_overhead_table(capsys):
+    root = tempfile.mkdtemp(prefix="nepal-wal-bench-")
+    try:
+        bare = build_bare()
+        bare_seconds = ingest(bare, OPS)
+        reference = history_digest(bare)
+
+        configs = [
+            ("journaled (no fsync)", "none", None),
+            ("journaled (fsync/commit)", "commit", None),
+            ("journaled + checkpoint", "commit", CHECKPOINT_EVERY),
+        ]
+        rows = [[
+            "bare", f"{bare_seconds * 1000:.1f}",
+            f"{OPS / bare_seconds:.0f}", "-", "-",
+        ]]
+        for label, sync, every in configs:
+            data_dir = os.path.join(root, sync + str(every))
+            store = build_durable(data_dir, sync)
+            seconds = ingest(store, OPS, checkpoint_every=every)
+            assert history_digest(store) == reference
+            store.close()
+            overhead = 100.0 * (seconds - bare_seconds) / bare_seconds
+            rows.append([
+                label, f"{seconds * 1000:.1f}",
+                f"{OPS / seconds:.0f}", f"{overhead:+.1f}%",
+                f"{os.path.getsize(os.path.join(data_dir, 'wal.log'))}",
+            ])
+
+            # The journal must actually recover: rebuild and compare.
+            recovered = build_durable(data_dir, "commit")
+            assert history_digest(recovered) == reference
+            recovered.close()
+
+        with capsys.disabled():
+            print()
+            print(f"== WAL ingest overhead ({OPS} mutations, batches of {BATCH}) ==")
+            print(format_table(
+                ["configuration", "total ms", "ops/s", "overhead", "wal bytes"],
+                rows,
+            ))
+    finally:
+        shutil.rmtree(root, ignore_errors=True)

@@ -36,7 +36,14 @@ def build_database(args: argparse.Namespace) -> NepalDB:
     if args.schema:
         schema = schema_from_tosca_file(args.schema)
     clock = TransactionClock(start=args.epoch) if args.epoch is not None else None
-    db = NepalDB(schema=schema, backend=args.backend, clock=clock)
+    data_dir = getattr(args, "data_dir", None)
+    db = NepalDB(schema=schema, backend=args.backend, clock=clock, data_dir=data_dir)
+    if data_dir is not None:
+        report = db.recovery_report
+        if report is not None and (report.checkpoint_loaded or report.wal_records):
+            print(f"recovered {data_dir}: {report.describe()}", file=sys.stderr)
+        elif report is not None:
+            print(f"opened fresh durable store at {data_dir}", file=sys.stderr)
     if args.demo:
         from repro.inventory.virtualized import VirtualizedServiceTopology
 
@@ -128,7 +135,15 @@ def run_statement(db: NepalDB, statement: str) -> str:
             "  .translate <query> generate the equivalent Python program\n"
             "  .dump <path>       export the graph as a JSON snapshot\n"
             "  .paths <rpe>       evaluate a bare pathway expression\n"
+            "  .checkpoint        compact history to disk, truncate the WAL\n"
             "  .schema / .stats / .quit"
+        )
+    if statement == ".checkpoint":
+        info = db.checkpoint()
+        return (
+            f"checkpoint written: {info.records} records, "
+            f"data_version {info.data_version}, "
+            f"{info.wal_bytes_truncated} WAL bytes truncated"
         )
     if statement.startswith(".explain "):
         return db.explain(statement[len(".explain "):])
@@ -191,6 +206,11 @@ def main(argv: list[str] | None = None) -> int:
         "--snapshot", help="load a JSON snapshot (see the .dump command)"
     )
     parser.add_argument(
+        "--data-dir", default=None, metavar="DIR",
+        help="durable storage directory: journal every write to a WAL, "
+             "recover checkpoint+journal on startup (memory backend only)",
+    )
+    parser.add_argument(
         "-c", "--command", action="append", default=[],
         help="run this statement and exit (repeatable)",
     )
@@ -225,21 +245,24 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
-    if args.command:
-        status = 0
-        for statement in args.command:
-            try:
-                output = run_statement(db, statement)
-            except EOFError:
-                break
-            except NepalError as error:
-                print(f"error: {error}", file=sys.stderr)
-                status = 1
-                continue
-            if output:
-                print(output)
-        return status
-    return repl(db)
+    try:
+        if args.command:
+            status = 0
+            for statement in args.command:
+                try:
+                    output = run_statement(db, statement)
+                except EOFError:
+                    break
+                except NepalError as error:
+                    print(f"error: {error}", file=sys.stderr)
+                    status = 1
+                    continue
+                if output:
+                    print(output)
+            return status
+        return repl(db)
+    finally:
+        db.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

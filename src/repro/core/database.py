@@ -63,14 +63,32 @@ class NepalDB:
         planner_options: PlannerOptions | None = None,
         resilience: ResiliencePolicy | None = None,
         allow_partial: bool = False,
+        data_dir: str | None = None,
+        durable_sync: str = "commit",
     ):
         self.schema = schema or build_network_schema()
         self.clock = clock or TransactionClock()
-        self._stores: dict[str, GraphStore] = {
-            DEFAULT_STORE_NAME: _build_store(backend, self.schema, self.clock, DEFAULT_STORE_NAME)
-        }
         self._planner_options = planner_options or PlannerOptions()
         self._metrics = MetricsRegistry()
+        if data_dir is not None:
+            if backend != "memory":
+                raise NepalError(
+                    "data_dir journals the in-memory backend; the relational "
+                    "backend is already durable through its database file "
+                    "(pass path= to RelationalStore instead)"
+                )
+            from repro.storage.durable import DurableStore
+            from repro.storage.memgraph.store import MemGraphStore
+
+            inner = MemGraphStore(self.schema, clock=self.clock, name=DEFAULT_STORE_NAME)
+            default_store: GraphStore = DurableStore(
+                inner, data_dir, metrics=self._metrics, sync=durable_sync
+            )
+        else:
+            default_store = _build_store(
+                backend, self.schema, self.clock, DEFAULT_STORE_NAME
+            )
+        self._stores: dict[str, GraphStore] = {DEFAULT_STORE_NAME: default_store}
         self._plan_cache = PlanCache(metrics=self._metrics)
         self._resilience = resilience
         self._allow_partial = allow_partial
@@ -115,6 +133,53 @@ class NepalDB:
                 allow_partial=self._allow_partial,
             )
         return self._executor
+
+    # ------------------------------------------------------------------
+    # durability lifecycle
+    # ------------------------------------------------------------------
+
+    def _durable_store(self):
+        """The DurableStore in the default store's decorator chain (or None).
+
+        Chaos injection may wrap the durable store, so walk ``.inner``."""
+        from repro.storage.durable import DurableStore
+
+        store = self._stores[DEFAULT_STORE_NAME]
+        while store is not None:
+            if isinstance(store, DurableStore):
+                return store
+            store = getattr(store, "inner", None)
+        return None
+
+    @property
+    def recovery_report(self):
+        """What crash recovery found at startup (None without data_dir)."""
+        durable = self._durable_store()
+        return durable.recovery if durable is not None else None
+
+    def checkpoint(self):
+        """Compact the full history to disk and truncate the journal.
+
+        Requires the database to have been opened with ``data_dir``.
+        """
+        durable = self._durable_store()
+        if durable is None:
+            raise NepalError(
+                "checkpoint requires a durable store (open with data_dir=...)"
+            )
+        return durable.checkpoint()
+
+    def close(self) -> None:
+        """Flush and close the durability journal (no-op otherwise)."""
+        durable = self._durable_store()
+        if durable is not None:
+            durable.close()
+
+    def __enter__(self) -> "NepalDB":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # resilience & fault injection

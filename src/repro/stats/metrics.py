@@ -89,8 +89,10 @@ class MetricsRegistry:
 
     Event counters are plain named integers used by the resilience layer
     (``resilience.retry.<store>``, ``resilience.breaker_trip.<store>``,
-    ``resilience.degraded.<store>``, ...) — anything that happens N times
-    and has no hit/miss structure.
+    ``resilience.degraded.<store>``, ...) and the durability layer
+    (``wal.append``, ``wal.sync``, ``wal.bulk_commit``, ``wal.checkpoint``,
+    ``recovery.replayed``, ``recovery.discarded``, ``recovery.torn_bytes``,
+    ...) — anything that happens N times and has no hit/miss structure.
     """
 
     def __init__(self) -> None:

@@ -9,20 +9,32 @@ SQL-generating relational engine on SQLite (the PostgreSQL stand-in).
 """
 
 from repro.storage.base import GraphStore, TimeScope
-from repro.storage.chaos import FaultInjectingStore, FaultPlan
+from repro.storage.chaos import CrashPoint, FaultInjectingStore, FaultPlan
+from repro.storage.durable import CheckpointInfo, DurableStore, RecoveryReport, recover
 from repro.storage.memgraph.store import MemGraphStore
 from repro.storage.relational.store import RelationalStore
 from repro.storage.snapshot import Snapshot, SnapshotLoader, SnapshotStats, export_snapshot
+from repro.storage.wal import WalRecord, WalWriter, compact_history, history_digest, scan_wal
 
 __all__ = [
+    "CheckpointInfo",
+    "CrashPoint",
+    "DurableStore",
     "FaultInjectingStore",
     "FaultPlan",
     "GraphStore",
     "MemGraphStore",
+    "RecoveryReport",
     "RelationalStore",
     "Snapshot",
     "SnapshotLoader",
     "SnapshotStats",
     "TimeScope",
+    "WalRecord",
+    "WalWriter",
+    "compact_history",
     "export_snapshot",
+    "history_digest",
+    "recover",
+    "scan_wal",
 ]

@@ -17,7 +17,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
 
-from repro.errors import TemporalError
+from repro.errors import StorageError, TemporalError
 from repro.model.elements import EdgeRecord, ElementRecord, NodeRecord
 from repro.rpe.ast import Atom
 from repro.schema.classes import EdgeClass
@@ -122,6 +122,41 @@ class GraphStore(ABC):
         """Record that the stored data changed (backends call this on
         every successful write; loaders may call it once per batch)."""
         self._data_version += 1
+
+    def restore_data_version(self, version: int) -> None:
+        """Raise the counter to at least *version* (never lowers it).
+
+        Crash recovery replays a *compacted* history, which bumps the
+        counter fewer times than the original write sequence did; this
+        restores monotonicity so statistics epochs and cached plans keyed
+        on the pre-crash version are correctly retired.
+        """
+        if version > self._data_version:
+            self._data_version = version
+
+    # ------------------------------------------------------------------
+    # uid allocation (durability and bulk-load support)
+    # ------------------------------------------------------------------
+
+    def reserve_uid(self) -> int:
+        """Allocate (and burn) the next uid without inserting anything.
+
+        The durable store resolves uids *before* journaling so replayed
+        inserts are deterministic regardless of allocator state."""
+        raise StorageError(f"{self.name} does not expose uid reservation")
+
+    def observe_uid(self, external_id: int) -> None:
+        """Advance the allocator past an externally assigned uid."""
+        raise StorageError(f"{self.name} does not expose uid observation")
+
+    @property
+    def last_uid(self) -> int:
+        """The allocator's high-water mark (checkpoint manifests save it)."""
+        raise StorageError(f"{self.name} does not expose uid accounting")
+
+    def known_uids(self) -> list[int]:
+        """Every uid the store has ever held, current or historical."""
+        raise StorageError(f"{self.name} does not expose uid enumeration")
 
     # ------------------------------------------------------------------
     # write path

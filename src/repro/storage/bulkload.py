@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping
 
+from repro.errors import ValidationError
 from repro.storage.base import GraphStore
 
 
@@ -44,6 +45,9 @@ class BulkLoadReport:
     nodes: int
     edges: int
     skipped_edges: int
+    skipped_edge_uids: tuple[int, ...] = ()
+    """The uids of skipped dangling edges, so a broken feed is debuggable
+    (which records to chase, not just how many)."""
 
 
 def load_raw_graph(
@@ -53,6 +57,7 @@ def load_raw_graph(
     node_class: str = "Node",
     edge_mapper: ClassMapper | None = None,
     node_mapper: Callable[[RawNode], str] | None = None,
+    strict: bool = False,
 ) -> BulkLoadReport:
     """Load a raw dump into *store*.
 
@@ -61,9 +66,12 @@ def load_raw_graph(
     initial legacy load of §6), or a real mapping for the refined
     66-subclass load.  ``node_mapper`` does the same for nodes (default: the
     single *node_class*).  Edges whose endpoints were not loaded are skipped
-    and counted.
+    and reported with their uids — or, under ``strict=True``, abort the
+    load with a :class:`~repro.errors.ValidationError` naming the edge (for
+    feeds that are supposed to be referentially closed).
     """
     node_count = edge_count = skipped = 0
+    skipped_uids: list[int] = []
     loaded: set[int] = set()
     with store.bulk():
         for node in nodes:
@@ -76,7 +84,16 @@ def load_raw_graph(
             node_count += 1
         for edge in edges:
             if edge.source not in loaded or edge.target not in loaded:
+                if strict:
+                    missing = [
+                        end for end in (edge.source, edge.target) if end not in loaded
+                    ]
+                    raise ValidationError(
+                        f"edge {edge.uid} ({edge.type_indicator or 'untyped'}) "
+                        f"references unloaded node(s) {missing}"
+                    )
                 skipped += 1
+                skipped_uids.append(edge.uid)
                 continue
             class_name = (
                 edge_mapper(edge.type_indicator) if edge_mapper else "GenericEdge"
@@ -88,4 +105,7 @@ def load_raw_graph(
                 class_name, edge.source, edge.target, fields, uid=edge.uid
             )
             edge_count += 1
-    return BulkLoadReport(nodes=node_count, edges=edge_count, skipped_edges=skipped)
+    return BulkLoadReport(
+        nodes=node_count, edges=edge_count, skipped_edges=skipped,
+        skipped_edge_uids=tuple(skipped_uids),
+    )

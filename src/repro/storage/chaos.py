@@ -39,6 +39,36 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 _SCAN_METHODS = frozenset({"scan_atom", "find_pathways"})
 
 
+class CrashPoint(BaseException):
+    """A simulated process death, raised by a crash hook.
+
+    Derives from ``BaseException`` (like ``KeyboardInterrupt``) so that no
+    library ``except Exception`` cleanup path can run "after death" — the
+    journal and data directory are left exactly as a SIGKILL would leave
+    them, and the crash-matrix tests then recover from that residue.
+    Raised by hooks installed on :class:`~repro.storage.durable.
+    DurableStore` (``crash_hook``), following the same decorate-and-inject
+    pattern as :class:`FaultInjectingStore`.
+    """
+
+    def __init__(self, point: str = ""):
+        self.point = point
+        super().__init__(point or "simulated crash")
+
+
+def crash_at(point: str):
+    """A crash hook that dies at the named durability point.
+
+    >>> store = DurableStore(inner, path, crash_hook=crash_at("bulk.commit"))
+    """
+
+    def hook(reached: str) -> None:
+        if reached == point:
+            raise CrashPoint(point)
+
+    return hook
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """A seedable fault schedule.
@@ -134,6 +164,23 @@ class FaultInjectingStore(GraphStore):
 
     def bump_data_version(self) -> None:
         self._inner.bump_data_version()
+
+    def restore_data_version(self, version: int) -> None:
+        self._inner.restore_data_version(version)
+
+    # uid-allocation protocol: pure delegation (not faultable I/O).
+    def reserve_uid(self) -> int:
+        return self._inner.reserve_uid()
+
+    def observe_uid(self, external_id: int) -> None:
+        self._inner.observe_uid(external_id)
+
+    @property
+    def last_uid(self) -> int:
+        return self._inner.last_uid
+
+    def known_uids(self) -> list[int]:
+        return self._inner.known_uids()
 
     # ------------------------------------------------------------------
     # schedule control

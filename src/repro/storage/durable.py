@@ -1,0 +1,695 @@
+"""Durable wrapper: write-ahead logging, checkpoints, crash recovery.
+
+:class:`DurableStore` decorates an in-memory :class:`~repro.storage.base.
+GraphStore` and journals every mutation to an append-only WAL *before*
+delegating it, so the temporal history survives process death:
+
+* standalone mutations are their own commit unit — journaled, applied,
+  fsynced (under the default ``sync="commit"`` policy);
+* :meth:`bulk` batches are atomic: a ``bulk_begin`` record opens the
+  batch, member mutations are journaled unsynced, and ``bulk_commit``
+  closes and fsyncs it.  Recovery discards any records after an unmatched
+  ``bulk_begin``, so a crash mid-batch restores the pre-batch state;
+* :meth:`checkpoint` compacts the full temporal history (via
+  :func:`~repro.storage.wal.compact_history`) into ``checkpoint.wal`` —
+  written to a temp file, fsynced, then atomically ``os.replace``d — and
+  truncates the live journal behind it.  The manifest records the LSN the
+  baseline covers, so a crash between replace and truncate only makes
+  recovery skip the already-covered journal prefix;
+* :func:`recover` / :meth:`DurableStore.open` rebuild a store by replaying
+  checkpoint + journal tail through the public write path with the clock
+  pinned to each record's timestamp, verifying checksums, tolerating a
+  torn final record, and restoring ``data_version`` monotonically so plan
+  caches keyed on it stay correct.
+
+Crash points for tests follow the chaos layer's hook pattern
+(:class:`~repro.storage.chaos.FaultInjectingStore`): a ``crash_hook``
+callable is invoked with a point name at every durability-relevant
+boundary and may raise :class:`~repro.storage.chaos.CrashPoint` — which
+derives from ``BaseException``, so no library ``except Exception`` can
+swallow the simulated death.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
+
+from repro.errors import StorageError
+from repro.storage.base import GraphStore, TimeScope
+from repro.storage.wal import (
+    MUTATION_OPS,
+    OP_BULK_BEGIN,
+    OP_BULK_COMMIT,
+    OP_CHECKPOINT,
+    OP_DELETE,
+    OP_INSERT_EDGE,
+    OP_INSERT_NODE,
+    OP_REINSERT,
+    OP_UPDATE,
+    WalCorruptionError,
+    WalRecord,
+    WalWriter,
+    compact_history,
+    scan_wal,
+    write_records,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.model.elements import EdgeRecord, ElementRecord
+    from repro.model.pathway import Pathway
+    from repro.plan.program import MatchProgram
+    from repro.rpe.ast import Atom
+    from repro.schema.classes import EdgeClass
+    from repro.stats.metrics import MetricsRegistry
+    from repro.temporal.interval import Interval
+
+WAL_FILE = "wal.log"
+CHECKPOINT_FILE = "checkpoint.wal"
+CHECKPOINT_TEMP = "checkpoint.tmp"
+
+
+@dataclass
+class RecoveryReport:
+    """What :func:`recover` found and did, for operators and tests."""
+
+    data_dir: str
+    checkpoint_loaded: bool = False
+    checkpoint_records: int = 0
+    wal_records: int = 0
+    replayed: int = 0
+    skipped: int = 0
+    discarded: int = 0
+    torn_bytes: int = 0
+    committed_offset: int = 0
+    next_lsn: int = 1
+    data_version: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing had to be discarded or truncated."""
+        return self.discarded == 0 and self.torn_bytes == 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "data_dir": self.data_dir,
+            "checkpoint_loaded": self.checkpoint_loaded,
+            "checkpoint_records": self.checkpoint_records,
+            "wal_records": self.wal_records,
+            "replayed": self.replayed,
+            "skipped": self.skipped,
+            "discarded": self.discarded,
+            "torn_bytes": self.torn_bytes,
+            "committed_offset": self.committed_offset,
+            "data_version": self.data_version,
+            "clean": self.clean,
+            "notes": list(self.notes),
+        }
+
+    def describe(self) -> str:
+        parts = [
+            f"checkpoint={'yes' if self.checkpoint_loaded else 'no'}"
+            + (f" ({self.checkpoint_records} records)" if self.checkpoint_loaded else ""),
+            f"replayed {self.replayed}/{self.wal_records} journal records",
+        ]
+        if self.skipped:
+            parts.append(f"skipped {self.skipped} (covered by checkpoint)")
+        if self.discarded:
+            parts.append(f"discarded {self.discarded} (uncommitted batch)")
+        if self.torn_bytes:
+            parts.append(f"dropped {self.torn_bytes} torn bytes")
+        parts.append(f"data_version={self.data_version}")
+        return ", ".join(parts)
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """Summary of one checkpoint operation."""
+
+    records: int
+    data_version: int
+    wal_bytes_truncated: int
+
+
+def _apply_record(store: GraphStore, record: WalRecord) -> None:
+    """Replay one mutation through the public write path, with the clock
+    pinned to the journaled transaction time so validity intervals come
+    out identical."""
+    if record.ts is not None:
+        store.clock.set(record.ts)
+    fields = dict(record.fields) if record.fields is not None else None
+    if record.op == OP_INSERT_NODE:
+        store.insert_node(record.cls, fields, uid=record.uid)
+    elif record.op == OP_INSERT_EDGE:
+        store.insert_edge(
+            record.cls, record.source, record.target, fields, uid=record.uid
+        )
+    elif record.op == OP_UPDATE:
+        store.update_element(record.uid, fields or {})
+    elif record.op == OP_DELETE:
+        store.delete_element(record.uid)
+    elif record.op == OP_REINSERT:
+        store.reinsert(record.uid, fields)
+    else:  # pragma: no cover - scan filters framing ops before apply
+        raise StorageError(f"cannot replay op {record.op!r}")
+
+
+def recover(data_dir: str | os.PathLike, store: GraphStore) -> RecoveryReport:
+    """Rebuild *store* (which must be empty) from a durability directory.
+
+    Replays the checkpoint baseline, then the journal tail, skipping
+    records the checkpoint already covers (``lsn <= manifest.last_lsn``)
+    and buffering batch members so an unmatched ``bulk_begin`` is
+    discarded whole.  ``data_version`` is restored to at least its value
+    at the last durable point, and the uid allocator is advanced past the
+    checkpoint's high-water mark so recovered stores never re-issue an id.
+    """
+    directory = os.fspath(data_dir)
+    report = RecoveryReport(data_dir=directory)
+    if store.known_uids():
+        raise StorageError("recovery requires an empty store to replay into")
+
+    last_lsn = 0
+    checkpoint_path = os.path.join(directory, CHECKPOINT_FILE)
+    checkpoint = scan_wal(checkpoint_path)
+    if checkpoint.total_bytes:
+        if checkpoint.torn_bytes:
+            raise WalCorruptionError(
+                f"checkpoint {checkpoint_path} is damaged ({checkpoint.note}); "
+                "checkpoints are written atomically, refusing to guess"
+            )
+        manifest = checkpoint.records[-1] if checkpoint.records else None
+        if manifest is None or manifest.op != OP_CHECKPOINT:
+            raise WalCorruptionError(
+                f"checkpoint {checkpoint_path} has no trailing manifest record"
+            )
+        for record in checkpoint.records[:-1]:
+            _apply_record(store, record)
+        report.checkpoint_loaded = True
+        report.checkpoint_records = len(checkpoint.records) - 1
+        last_lsn = manifest.last_lsn or 0
+        if manifest.last_uid:
+            store.observe_uid(manifest.last_uid)
+        if manifest.dv:
+            store.restore_data_version(manifest.dv)
+
+    scan = scan_wal(os.path.join(directory, WAL_FILE))
+    report.wal_records = len(scan.records)
+    report.torn_bytes = scan.torn_bytes
+    if scan.note:
+        report.notes.append(scan.note)
+    report.committed_offset = report.committed_offset or 0
+
+    max_lsn = last_lsn
+    last_applied_dv: int | None = None
+    batch: list[WalRecord] | None = None
+    committed = 0
+    for record, end_offset in zip(scan.records, scan.end_offsets):
+        max_lsn = max(max_lsn, record.lsn)
+        if record.lsn <= last_lsn:
+            report.skipped += 1
+            committed = end_offset
+            continue
+        if record.op == OP_BULK_BEGIN:
+            if batch is not None:
+                # A begin inside an open batch means the previous batch
+                # never committed; everything buffered so far is dead.
+                report.discarded += len(batch) + 1
+            batch = []
+            continue
+        if record.op == OP_BULK_COMMIT:
+            if batch is None:
+                report.notes.append(f"stray bulk_commit (lsn {record.lsn}) ignored")
+                committed = end_offset
+                continue
+            for member in batch:
+                _apply_record(store, member)
+                report.replayed += 1
+                if member.dv is not None:
+                    last_applied_dv = member.dv
+            batch = None
+            committed = end_offset
+            continue
+        if record.op not in MUTATION_OPS:
+            report.notes.append(f"unknown op {record.op!r} (lsn {record.lsn}) ignored")
+            continue
+        if batch is not None:
+            batch.append(record)
+            continue
+        _apply_record(store, record)
+        report.replayed += 1
+        if record.dv is not None:
+            last_applied_dv = record.dv
+        committed = end_offset
+    if batch is not None:
+        report.discarded += len(batch) + 1
+        report.notes.append("uncommitted batch at journal tail discarded")
+
+    if last_applied_dv is not None:
+        store.restore_data_version(last_applied_dv + 1)
+    report.committed_offset = committed
+    report.next_lsn = max_lsn + 1
+    report.data_version = store.data_version
+    return report
+
+
+class DurableStore(GraphStore):
+    """A journaled, checkpointable decorator over an in-memory backend.
+
+    Construct around a fresh (or never-journaled) store and a data
+    directory.  If the directory already holds a checkpoint or journal the
+    inner store must be empty — it is rebuilt by recovery.  Conversely a
+    pre-populated inner store with a fresh directory is immediately
+    baselined with a checkpoint, so wrapping an already-loaded graph is
+    durable from the first mutation.
+    """
+
+    #: Crash-hook points, in the order a mutation/checkpoint passes them.
+    CRASH_POINTS = (
+        "wal.append",
+        "wal.applied",
+        "bulk.commit",
+        "bulk.synced",
+        "checkpoint.write",
+        "checkpoint.replace",
+        "checkpoint.truncate",
+    )
+
+    def __init__(
+        self,
+        inner: GraphStore,
+        data_dir: str | os.PathLike,
+        *,
+        metrics: "MetricsRegistry | None" = None,
+        sync: str = "commit",
+        crash_hook: Callable[[str], None] | None = None,
+    ):
+        if sync not in ("commit", "always", "none"):
+            raise StorageError(f"unknown sync policy {sync!r}")
+        super().__init__(inner.schema, clock=inner.clock, name=inner.name)
+        self._inner = inner
+        self._dir = os.fspath(data_dir)
+        os.makedirs(self._dir, exist_ok=True)
+        self._metrics = metrics
+        self._sync_policy = sync
+        self._crash_hook = crash_hook
+        self._bulk_depth = 0
+        self._closed = False
+        # Wall-mode clocks keep tracking real time across the pinning that
+        # journaling requires (every stamp is pinned so replay can
+        # reproduce it); pinned clocks stay under their owner's control.
+        self._wall = not inner.clock.pinned
+
+        preloaded = bool(inner.known_uids())
+        has_data = any(
+            os.path.exists(os.path.join(self._dir, name))
+            for name in (WAL_FILE, CHECKPOINT_FILE)
+        )
+        if preloaded and has_data:
+            raise StorageError(
+                f"{self._dir} already holds a journal; recovery needs an "
+                "empty store (or wrap the loaded store in a fresh directory)"
+            )
+        if preloaded:
+            # Nothing on disk to replay; the inner history becomes the
+            # baseline via the checkpoint below.
+            self.recovery = RecoveryReport(
+                data_dir=self._dir, data_version=inner.data_version
+            )
+        else:
+            self.recovery = recover(self._dir, inner)
+        self._lsn = self.recovery.next_lsn - 1
+        self._record_recovery_events()
+        # Reopen the journal at the last committed point: torn tails and
+        # uncommitted batches must not linger ahead of new appends.
+        self._wal = WalWriter(
+            os.path.join(self._dir, WAL_FILE),
+            start_offset=self.recovery.committed_offset,
+        )
+        if preloaded:
+            self.checkpoint()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        data_dir: str | os.PathLike,
+        schema,
+        *,
+        clock=None,
+        metrics: "MetricsRegistry | None" = None,
+        sync: str = "commit",
+        crash_hook: Callable[[str], None] | None = None,
+        name: str = "durable",
+    ) -> "DurableStore":
+        """Open (creating or recovering) a durable store at *data_dir*."""
+        from repro.storage.memgraph.store import MemGraphStore
+        from repro.temporal.clock import TransactionClock
+
+        inner = MemGraphStore(schema, clock=clock or TransactionClock(), name=name)
+        return cls(
+            inner, data_dir, metrics=metrics, sync=sync, crash_hook=crash_hook
+        )
+
+    def close(self) -> None:
+        """Flush and close the journal; the store stays readable."""
+        if not self._closed:
+            if self._sync_policy != "none":
+                self._wal.sync()
+            self._wal.close()
+            self._closed = True
+
+    def __enter__(self) -> "DurableStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def inner(self) -> GraphStore:
+        """The wrapped backend."""
+        return self._inner
+
+    @property
+    def data_dir(self) -> str:
+        return self._dir
+
+    @property
+    def wal_bytes(self) -> int:
+        """Current journal size in bytes (observability and benchmarks)."""
+        return self._wal.tell()
+
+    # ------------------------------------------------------------------
+    # journaling plumbing
+    # ------------------------------------------------------------------
+
+    def _crash(self, point: str) -> None:
+        if self._crash_hook is not None:
+            self._crash_hook(point)
+
+    def _event(self, name: str, count: int = 1) -> None:
+        if self._metrics is not None:
+            self._metrics.event(name, count)
+
+    def _record_recovery_events(self) -> None:
+        report = self.recovery
+        if report.replayed:
+            self._event("recovery.replayed", report.replayed)
+        if report.skipped:
+            self._event("recovery.skipped", report.skipped)
+        if report.discarded:
+            self._event("recovery.discarded", report.discarded)
+        if report.torn_bytes:
+            self._event("recovery.torn_bytes", report.torn_bytes)
+        if report.checkpoint_loaded:
+            self._event("recovery.checkpoint_loaded")
+
+    def _stamp(self) -> float:
+        """The transaction time for the next mutation, pinned so the
+        journaled record replays to the identical validity interval."""
+        clock = self._inner.clock
+        if self._wall:
+            return clock.set(max(clock.now(), time.time()))
+        return clock.now()
+
+    def _next_lsn(self) -> int:
+        self._lsn += 1
+        return self._lsn
+
+    def _journal(
+        self,
+        op: str,
+        *,
+        uid: int | None = None,
+        cls: str | None = None,
+        fields: Mapping[str, Any] | None = None,
+        source: int | None = None,
+        target: int | None = None,
+    ) -> int:
+        if self._closed:
+            raise StorageError(f"durable store {self.name} is closed")
+        ts = self._stamp()
+        record = WalRecord(
+            lsn=self._next_lsn(), op=op, ts=ts, uid=uid, cls=cls,
+            fields=dict(fields) if fields is not None else None,
+            source=source, target=target, dv=self._inner.data_version,
+        )
+        self._crash("wal.append")
+        offset = self._wal.append(record)
+        self._event("wal.append")
+        return offset
+
+    def _commit_point(self) -> None:
+        """Make everything journaled so far durable (per the sync policy)."""
+        if self._sync_policy != "none":
+            self._wal.sync()
+            self._event("wal.sync")
+
+    def _journaled(self, op: str, apply: Callable[[], Any], **journal_kw) -> Any:
+        """Journal, apply, then commit (standalone ops only).
+
+        If applying raises — validation, unknown element — the journaled
+        record is rolled back so the WAL only ever describes mutations
+        that really happened.
+        """
+        offset = self._journal(op, **journal_kw)
+        try:
+            result = apply()
+        except Exception:
+            self._wal.rollback_to(offset)
+            raise
+        self._crash("wal.applied")
+        if self._bulk_depth == 0:
+            self._commit_point()
+        elif self._sync_policy == "always":
+            self._wal.sync()
+            self._event("wal.sync")
+        return result
+
+    # ------------------------------------------------------------------
+    # write path (journaled)
+    # ------------------------------------------------------------------
+
+    def insert_node(
+        self, class_name: str, fields: Mapping[str, Any] | None = None, uid: int | None = None
+    ) -> int:
+        if uid is None:
+            uid = self._inner.reserve_uid()
+        return self._journaled(
+            OP_INSERT_NODE,
+            lambda: self._inner.insert_node(class_name, fields, uid=uid),
+            uid=uid, cls=class_name, fields=fields or {},
+        )
+
+    def insert_edge(
+        self,
+        class_name: str,
+        source: int,
+        target: int,
+        fields: Mapping[str, Any] | None = None,
+        uid: int | None = None,
+    ) -> int:
+        if uid is None:
+            uid = self._inner.reserve_uid()
+        return self._journaled(
+            OP_INSERT_EDGE,
+            lambda: self._inner.insert_edge(class_name, source, target, fields, uid=uid),
+            uid=uid, cls=class_name, fields=fields or {}, source=source, target=target,
+        )
+
+    def update_element(self, uid: int, changes: Mapping[str, Any]) -> None:
+        self._journaled(
+            OP_UPDATE,
+            lambda: self._inner.update_element(uid, changes),
+            uid=uid, fields=changes,
+        )
+
+    def delete_element(self, uid: int) -> None:
+        # Cascades re-run identically at replay, so only the root delete
+        # is journaled.
+        self._journaled(
+            OP_DELETE, lambda: self._inner.delete_element(uid), uid=uid
+        )
+
+    def reinsert(self, uid: int, fields: Mapping[str, Any] | None = None,
+                 source: int | None = None, target: int | None = None) -> int:
+        return self._journaled(
+            OP_REINSERT,
+            lambda: self._inner.reinsert(uid, fields, source=source, target=target),
+            uid=uid, fields=fields,
+        )
+
+    # ------------------------------------------------------------------
+    # batching (the atomic unit of recovery)
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def bulk(self):
+        """An atomic batch: all-or-nothing across crashes.
+
+        Member records are journaled unsynced; the closing ``bulk_commit``
+        is the durability point.  On an in-batch *exception* the journal is
+        rolled back to the batch start (a crash instead leaves the partial
+        records, which recovery discards as an unmatched ``bulk_begin`` —
+        the same pre-batch state either way).  Note the in-memory inner
+        store cannot roll back its own partial writes; after an aborted
+        batch the live process is ahead of the journal until the batch's
+        writes are re-applied or the process restarts.
+        """
+        if self._bulk_depth > 0:  # reentrant: the outermost batch frames
+            self._bulk_depth += 1
+            try:
+                yield
+            finally:
+                self._bulk_depth -= 1
+            return
+        begin_offset = self._journal(OP_BULK_BEGIN)
+        self._bulk_depth = 1
+        try:
+            with self._inner.bulk():
+                yield
+        except Exception:
+            self._bulk_depth = 0
+            self._wal.rollback_to(begin_offset)
+            raise
+        finally:
+            # CrashPoint (BaseException) lands here without the rollback:
+            # a simulated death must leave the torn journal in place.
+            self._bulk_depth = 0
+        self._crash("bulk.commit")
+        self._journal(OP_BULK_COMMIT)
+        self._commit_point()
+        self._crash("bulk.synced")
+        self._event("wal.bulk_commit")
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> CheckpointInfo:
+        """Write a compacted full-history baseline and truncate the WAL.
+
+        Protocol: compact → write+fsync a temp file → atomic replace →
+        truncate the journal.  A crash at any point leaves a recoverable
+        pair: the manifest's ``last_lsn`` makes journal records the new
+        baseline already covers harmless duplicates that recovery skips.
+        """
+        if self._bulk_depth:
+            raise StorageError("cannot checkpoint inside an open bulk batch")
+        if self._closed:
+            raise StorageError(f"durable store {self.name} is closed")
+        records = compact_history(self._inner)
+        manifest = WalRecord(
+            lsn=0, op=OP_CHECKPOINT, ts=self._inner.clock.now(),
+            dv=self._inner.data_version, last_lsn=self._lsn,
+            last_uid=self._inner.last_uid,
+        )
+        temp_path = os.path.join(self._dir, CHECKPOINT_TEMP)
+        self._crash("checkpoint.write")
+        write_records(temp_path, [*records, manifest])
+        self._crash("checkpoint.replace")
+        os.replace(temp_path, os.path.join(self._dir, CHECKPOINT_FILE))
+        self._fsync_dir()
+        self._crash("checkpoint.truncate")
+        truncated = self._wal.tell()
+        self._wal.truncate()
+        self._event("wal.checkpoint")
+        return CheckpointInfo(
+            records=len(records),
+            data_version=self._inner.data_version,
+            wal_bytes_truncated=truncated,
+        )
+
+    def _fsync_dir(self) -> None:
+        try:
+            fd = os.open(self._dir, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform without dir fds
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # ------------------------------------------------------------------
+    # data versioning (delegated to the inner store)
+    # ------------------------------------------------------------------
+
+    @property
+    def data_version(self) -> int:
+        return self._inner.data_version
+
+    def bump_data_version(self) -> None:
+        self._inner.bump_data_version()
+
+    def restore_data_version(self, version: int) -> None:
+        self._inner.restore_data_version(version)
+
+    # ------------------------------------------------------------------
+    # read path (pure delegation)
+    # ------------------------------------------------------------------
+
+    def scan_atom(self, atom: "Atom", scope: TimeScope) -> "list[ElementRecord]":
+        return self._inner.scan_atom(atom, scope)
+
+    def get_element(self, uid: int, scope: TimeScope) -> "ElementRecord | None":
+        return self._inner.get_element(uid, scope)
+
+    def versions(self, uid: int, window: "Interval") -> "list[ElementRecord]":
+        return self._inner.versions(uid, window)
+
+    def out_edges(
+        self,
+        node_uid: int,
+        scope: TimeScope,
+        classes: "Sequence[EdgeClass] | None" = None,
+    ) -> "list[EdgeRecord]":
+        return self._inner.out_edges(node_uid, scope, classes)
+
+    def in_edges(
+        self,
+        node_uid: int,
+        scope: TimeScope,
+        classes: "Sequence[EdgeClass] | None" = None,
+    ) -> "list[EdgeRecord]":
+        return self._inner.in_edges(node_uid, scope, classes)
+
+    def class_count(self, class_name: str) -> int:
+        return self._inner.class_count(class_name)
+
+    def counts(self) -> dict[str, int]:
+        return self._inner.counts()
+
+    def storage_cells(self) -> int:
+        return self._inner.storage_cells()
+
+    def find_pathways(
+        self, program: "MatchProgram", scope: TimeScope
+    ) -> "list[Pathway]":
+        return self._inner.find_pathways(program, scope)
+
+    def known_uids(self) -> list[int]:
+        return self._inner.known_uids()
+
+    def reserve_uid(self) -> int:
+        return self._inner.reserve_uid()
+
+    def observe_uid(self, external_id: int) -> None:
+        self._inner.observe_uid(external_id)
+
+    @property
+    def last_uid(self) -> int:
+        return self._inner.last_uid
+
+    def __getattr__(self, name: str):
+        # Read-only extras (current_uids, degree, ...) fall through to the
+        # inner store; mutations are all explicitly journaled above.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self._inner, name)

@@ -349,6 +349,20 @@ class MemGraphStore(GraphStore):
     # introspection used by tests and the traversal API
     # ------------------------------------------------------------------
 
+    def reserve_uid(self) -> int:
+        return self._ids.next()
+
+    def observe_uid(self, external_id: int) -> None:
+        self._ids.observe(external_id)
+
+    @property
+    def last_uid(self) -> int:
+        return self._ids.last
+
+    def known_uids(self) -> list[int]:
+        """Every uid ever admitted — current, historical, or deleted."""
+        return sorted(self._class_of)
+
     def current_uids(self) -> list[int]:
         return sorted(self._current)
 

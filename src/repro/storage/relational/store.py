@@ -158,6 +158,24 @@ class RelationalStore(GraphStore):
         return NodeRecord(uid=row["id_"], cls=cls, fields=fields, period=period)
 
     # ------------------------------------------------------------------
+    # uid allocation (shared protocol with the in-memory backend)
+    # ------------------------------------------------------------------
+
+    def reserve_uid(self) -> int:
+        return self._ids.next()
+
+    def observe_uid(self, external_id: int) -> None:
+        self._ids.observe(external_id)
+
+    @property
+    def last_uid(self) -> int:
+        return self._ids.last
+
+    def known_uids(self) -> list[int]:
+        """Every uid ever admitted — current, historical, or deleted."""
+        return sorted(self._class_of)
+
+    # ------------------------------------------------------------------
     # write path
     # ------------------------------------------------------------------
 

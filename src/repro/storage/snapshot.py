@@ -99,11 +99,34 @@ class Snapshot:
         return snapshot
 
     def save(self, path) -> None:
-        """Write the snapshot as JSON."""
-        import json
+        """Write the snapshot as JSON, crash-safely.
 
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_dict(), handle, indent=1, sort_keys=True)
+        The document goes to a temp file in the destination directory,
+        is flushed and fsynced, then atomically renamed over *path* — a
+        failure mid-write (full disk, crash, injected fault) leaves any
+        previous snapshot at *path* intact instead of a torn JSON file.
+        """
+        import json
+        import os
+        import tempfile
+
+        path = os.fspath(path)
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, temp_path = tempfile.mkstemp(
+            dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(self.to_dict(), handle, indent=1, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load(cls, path) -> "Snapshot":

@@ -1,0 +1,102 @@
+"""NepalDB durability lifecycle: data_dir, checkpoint, close, recovery."""
+
+import pytest
+
+from repro.core.database import NepalDB
+from repro.errors import NepalError
+from repro.storage.chaos import FaultInjectingStore, FaultPlan
+from repro.storage.durable import DurableStore
+from repro.storage.wal import history_digest
+from repro.temporal.clock import TransactionClock
+
+
+def open_db(tmp_path, **kw) -> NepalDB:
+    kw.setdefault("clock", TransactionClock(start=100.0))
+    return NepalDB(data_dir=str(tmp_path / "data"), **kw)
+
+
+QUERY = "Select source(P).name From PATHS P Where P MATCHES VNF()"
+
+
+def test_data_dir_requires_memory_backend(tmp_path):
+    with pytest.raises(NepalError, match="relational"):
+        NepalDB(backend="relational", data_dir=str(tmp_path / "data"))
+
+
+def test_checkpoint_requires_data_dir():
+    db = NepalDB(clock=TransactionClock(start=100.0))
+    assert db.recovery_report is None
+    with pytest.raises(NepalError, match="data_dir"):
+        db.checkpoint()
+    db.close()  # no-op without a durable store
+
+
+def test_db_round_trip_answers_queries_after_recovery(tmp_path):
+    db = open_db(tmp_path)
+    vnf = db.store.insert_node("Firewall", {"name": "fw-a", "status": "Green"})
+    db.clock.advance(5)
+    db.store.update_element(vnf, {"status": "Amber"})
+    expected = [row.values for row in db.query(QUERY).rows]
+    digest = history_digest(db.store)
+    version = db.store.data_version
+    db.close()
+
+    reopened = open_db(tmp_path)
+    report = reopened.recovery_report
+    assert report is not None and report.clean and report.replayed == 2
+    assert history_digest(reopened.store) == digest
+    assert reopened.store.data_version >= version
+    assert [row.values for row in reopened.query(QUERY).rows] == expected
+    reopened.close()
+
+
+def test_db_checkpoint_compacts_and_recovers(tmp_path):
+    db = open_db(tmp_path)
+    db.store.insert_node("Firewall", {"name": "fw-a"})
+    info = db.checkpoint()
+    assert info.records == 1
+    db.store.insert_node("Firewall", {"name": "fw-b"})
+    digest = history_digest(db.store)
+    db.close()
+
+    reopened = open_db(tmp_path)
+    report = reopened.recovery_report
+    assert report.checkpoint_loaded and report.replayed == 1
+    assert history_digest(reopened.store) == digest
+    reopened.close()
+
+
+def test_db_is_a_context_manager(tmp_path):
+    with open_db(tmp_path) as db:
+        db.store.insert_node("Firewall", {"name": "fw-a"})
+    with open_db(tmp_path) as reopened:
+        assert reopened.recovery_report.replayed == 1
+
+
+def test_chaos_injection_wraps_but_keeps_durability_reachable(tmp_path):
+    """inject_faults decorates the durable store; checkpoint still works."""
+    db = open_db(tmp_path)
+    db.inject_faults(FaultPlan(seed=3))
+    assert isinstance(db.store, FaultInjectingStore)
+    assert isinstance(db.store.inner, DurableStore)
+    db.store.insert_node("Firewall", {"name": "fw-a"})
+    assert db.checkpoint().records == 1
+    assert db.recovery_report is not None
+    db.close()
+
+
+def test_plan_cache_invalidated_across_recovery(tmp_path):
+    """A cached plan from before the crash must not serve stale results:
+    the recovered data_version is at least the pre-crash one."""
+    db = open_db(tmp_path)
+    db.store.insert_node("Firewall", {"name": "fw-a"})
+    db.query(QUERY)
+    db.store.insert_node("Firewall", {"name": "fw-b"})
+    version = db.store.data_version
+    db.close()
+
+    reopened = open_db(tmp_path)
+    assert reopened.store.data_version >= version
+    rows = reopened.query(QUERY).rows
+    assert {row.values[0] for row in rows} == {"fw-a", "fw-b"}
+    reopened.close()

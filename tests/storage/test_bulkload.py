@@ -1,5 +1,8 @@
 """Raw legacy-feed loading with type-indicator class mapping (§6)."""
 
+import pytest
+
+from repro.errors import ValidationError
 from repro.inventory.legacy import build_legacy_schema, type_class_name
 from repro.storage.base import TimeScope
 from repro.storage.bulkload import RawEdge, RawNode, load_raw_graph
@@ -56,3 +59,24 @@ def test_external_uids_coexist_with_allocated():
     load_raw_graph(store, NODES, EDGES[:2], node_class="Entity")
     fresh = store.insert_node("Entity", {"name": "after"})
     assert fresh > 11
+
+
+def test_report_names_the_skipped_edges():
+    store = MemGraphStore(build_legacy_schema(False), clock=TransactionClock(start=1.0))
+    report = load_raw_graph(store, NODES, EDGES, node_class="Entity")
+    assert report.skipped_edges == 1
+    assert report.skipped_edge_uids == (13,)
+
+
+def test_strict_load_raises_on_dangling_edges():
+    store = MemGraphStore(build_legacy_schema(False), clock=TransactionClock(start=1.0))
+    with pytest.raises(ValidationError, match=r"edge 13 \(circuit_00\).*99"):
+        load_raw_graph(store, NODES, EDGES, node_class="Entity", strict=True)
+
+
+def test_strict_load_of_a_closed_graph_succeeds():
+    store = MemGraphStore(build_legacy_schema(False), clock=TransactionClock(start=1.0))
+    report = load_raw_graph(store, NODES, EDGES[:3], node_class="Entity", strict=True)
+    assert report.edges == 3
+    assert report.skipped_edges == 0
+    assert report.skipped_edge_uids == ()

@@ -1,0 +1,315 @@
+"""Crash-atomicity matrix: every injected death recovers to a commit boundary.
+
+Two layers of injection:
+
+* in-process :class:`CrashPoint` hooks at each durability boundary — fast,
+  deterministic, and precise about *where* the death happens;
+* real ``SIGKILL`` of a writer subprocess (marked ``durability``) — nothing
+  simulated, the journal is whatever the kernel left behind.
+
+Both compare the recovered store's :func:`history_digest` against the set of
+*commit-prefix* digests produced by a never-crashed oracle replaying the same
+scripted workload, so a recovered state is accepted only if it equals the
+database exactly as of some commit boundary.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.schema.registry import Schema
+from repro.storage.chaos import CrashPoint
+from repro.storage.durable import WAL_FILE, DurableStore, recover
+from repro.storage.memgraph.store import MemGraphStore
+from repro.storage.wal import history_digest
+from repro.temporal.clock import TransactionClock
+
+T0 = 1_000.0
+
+
+def build_schema() -> Schema:
+    schema = Schema("crash-test")
+    schema.define_node("Box", fields={"status": "string", "size": "integer"})
+    schema.define_edge("Link", fields={"weight": "integer"})
+    return schema
+
+
+def dump_report(report, name: str) -> None:
+    """Persist the recovery report when CI asks for artifacts."""
+    directory = os.environ.get("NEPAL_RECOVERY_REPORT_DIR")
+    if not directory:
+        return
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, f"{name}.json"), "w") as handle:
+        json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# the scripted workload and its commit-prefix oracle
+# ----------------------------------------------------------------------
+
+def workload_units():
+    """The workload as a list of commit units (each atomic under crashes)."""
+
+    def u_insert_a(s):
+        s.insert_node("Box", {"status": "up", "size": 1}, uid=1)
+
+    def u_insert_b(s):
+        s.clock.advance(1)
+        s.insert_node("Box", {"status": "up"}, uid=2)
+
+    def u_link(s):
+        s.clock.advance(1)
+        s.insert_edge("Link", 1, 2, {"weight": 7}, uid=3)
+
+    def u_update(s):
+        s.clock.advance(1)
+        s.update_element(1, {"status": "down", "size": None})
+
+    def u_batch(s):
+        s.clock.advance(1)
+        with s.bulk():
+            s.insert_node("Box", {"status": "batched"}, uid=4)
+            s.insert_edge("Link", 2, 4, {"weight": 9}, uid=5)
+            s.delete_element(1)
+
+    def u_reinsert(s):
+        s.clock.advance(1)
+        s.reinsert(1)
+
+    return [u_insert_a, u_insert_b, u_link, u_update, u_batch, u_reinsert]
+
+
+def oracle_prefixes():
+    """Digest and data_version after every commit boundary, crash-free."""
+    store = MemGraphStore(build_schema(), clock=TransactionClock(start=T0))
+    prefixes = [(history_digest(store), store.data_version)]
+    for unit in workload_units():
+        unit(store)
+        prefixes.append((history_digest(store), store.data_version))
+    return prefixes
+
+
+def run_workload(store) -> None:
+    for unit in workload_units():
+        unit(store)
+
+
+def open_durable(data_dir, crash_hook=None) -> DurableStore:
+    return DurableStore.open(
+        data_dir, build_schema(),
+        clock=TransactionClock(start=T0), crash_hook=crash_hook,
+    )
+
+
+def assert_commit_boundary(report, store, label: str) -> None:
+    """The recovered store must equal the oracle at some commit boundary,
+    with a data_version at least as high as that boundary's."""
+    dump_report(report, label)
+    digest = history_digest(store)
+    prefixes = oracle_prefixes()
+    matches = [i for i, (d, _) in enumerate(prefixes) if d == digest]
+    assert matches, f"{label}: recovered state matches no commit boundary"
+    boundary_dv = prefixes[matches[0]][1]
+    assert store.data_version >= boundary_dv, (
+        f"{label}: data_version {store.data_version} below "
+        f"boundary's {boundary_dv} — stale plan-cache entries would survive"
+    )
+
+
+def crash_on_nth(point: str, n: int):
+    seen = {"count": 0}
+
+    def hook(reached: str) -> None:
+        if reached == point:
+            seen["count"] += 1
+            if seen["count"] == n:
+                raise CrashPoint(point)
+
+    return hook
+
+
+# ----------------------------------------------------------------------
+# in-process crash points
+# ----------------------------------------------------------------------
+
+# (label, point, nth occurrence, the boundary index we expect to land on;
+# None = any boundary is acceptable, only atomicity is asserted)
+CRASH_SCENARIOS = [
+    ("append-first", "wal.append", 1, 0),       # die before anything journaled
+    ("append-mid", "wal.append", 3, 2),         # before journaling the update
+    ("append-in-batch", "wal.append", 6, 4),    # member journal write, mid-batch
+    ("applied-first", "wal.applied", 1, None),  # journaled but maybe unsynced
+    ("applied-mid-batch", "wal.applied", 5, 4), # applied inside the open batch
+    ("bulk-commit", "bulk.commit", 1, 4),       # batch built, commit not journaled
+    ("bulk-synced", "bulk.synced", 1, 5),       # commit journaled and fsynced
+]
+
+
+@pytest.mark.parametrize(
+    "label, point, nth, boundary", CRASH_SCENARIOS,
+    ids=[s[0] for s in CRASH_SCENARIOS],
+)
+def test_crash_point_recovers_to_commit_boundary(tmp_path, label, point, nth, boundary):
+    data_dir = tmp_path / "data"
+    store = open_durable(data_dir, crash_hook=crash_on_nth(point, nth))
+    with pytest.raises(CrashPoint):
+        run_workload(store)
+    # No close(): a dead process flushes nothing further.
+
+    recovered = open_durable(data_dir)
+    assert_commit_boundary(recovered.recovery, recovered, f"crash-{label}")
+    if boundary is not None:
+        expected_digest, _ = oracle_prefixes()[boundary]
+        assert history_digest(recovered) == expected_digest
+    recovered.close()
+
+
+def test_crash_during_checkpoint_loses_nothing(tmp_path):
+    """Deaths at every checkpoint stage preserve the full history."""
+    for point in ("checkpoint.write", "checkpoint.replace", "checkpoint.truncate"):
+        data_dir = tmp_path / point
+        store = open_durable(data_dir, crash_hook=crash_on_nth(point, 1))
+        run_workload(store)
+        full = history_digest(store)
+        with pytest.raises(CrashPoint):
+            store.checkpoint()
+
+        recovered = open_durable(data_dir)
+        dump_report(recovered.recovery, f"checkpoint-{point}")
+        assert history_digest(recovered) == full
+        # And the survivor can checkpoint cleanly afterwards.
+        recovered.checkpoint()
+        recovered.close()
+        reopened = open_durable(data_dir)
+        assert history_digest(reopened) == full
+        reopened.close()
+
+
+def test_every_wal_truncation_recovers_to_commit_boundary(tmp_path):
+    """Byte-by-byte torn-tail property over the whole journal.
+
+    For *every* possible truncation of the WAL file — as if the disk lost
+    an arbitrary suffix — recovery must land exactly on a commit boundary.
+    """
+    data_dir = tmp_path / "data"
+    store = open_durable(data_dir)
+    run_workload(store)
+    store.close()
+    wal_path = data_dir / WAL_FILE
+    data = wal_path.read_bytes()
+    prefixes = oracle_prefixes()
+    digests = [d for d, _ in prefixes]
+
+    landed = set()
+    for cut in range(len(data) + 1):
+        wal_path.write_bytes(data[:cut])
+        target = MemGraphStore(build_schema(), clock=TransactionClock(start=0.0))
+        report = recover(data_dir, target)
+        digest = history_digest(target)
+        assert digest in digests, f"cut at byte {cut} left a non-boundary state"
+        assert report.committed_offset <= cut
+        landed.add(digests.index(digest))
+    # Sanity: the sweep exercised every boundary, start through final state.
+    assert landed == set(range(len(prefixes)))
+
+
+# ----------------------------------------------------------------------
+# real process death (SIGKILL)
+# ----------------------------------------------------------------------
+
+WRITER_SCRIPT = textwrap.dedent(
+    """
+    import sys
+
+    from repro.schema.registry import Schema
+    from repro.storage.durable import DurableStore
+    from repro.temporal.clock import TransactionClock
+
+    schema = Schema("crash-test")
+    schema.define_node("Box", fields={"status": "string", "size": "integer"})
+    schema.define_edge("Link", fields={"weight": "integer"})
+    store = DurableStore.open(
+        sys.argv[1], schema, clock=TransactionClock(start=1000.0)
+    )
+    batched = sys.argv[2] == "batched"
+    print("ready", flush=True)
+    i = 0
+    while True:
+        if batched:
+            with store.bulk():
+                base = store.insert_node("Box", {"status": f"s{i}"})
+                store.insert_node("Box", {"status": f"s{i}"})
+                store.insert_edge("Link", base, base + 1)
+        else:
+            store.insert_node("Box", {"status": f"s{i}"})
+        store.clock.advance(1)
+        i += 1
+    """
+)
+
+
+def kill_writer_once_journal_grows(data_dir, mode: str, threshold: int) -> None:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-c", WRITER_SCRIPT, str(data_dir), mode],
+        stdout=subprocess.PIPE, env=env,
+    )
+    try:
+        assert proc.stdout.readline().strip() == b"ready"
+        wal_path = os.path.join(data_dir, WAL_FILE)
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if os.path.exists(wal_path) and os.path.getsize(wal_path) >= threshold:
+                break
+            time.sleep(0.001)
+        else:
+            pytest.fail("writer never reached the kill threshold")
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=10)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup on test failure
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+@pytest.mark.durability
+@pytest.mark.parametrize("threshold", [150, 600, 2500])
+def test_sigkill_mid_stream_recovers_a_prefix(tmp_path, threshold):
+    """Journal left by a real SIGKILL recovers to an insert boundary."""
+    data_dir = tmp_path / "data"
+    kill_writer_once_journal_grows(data_dir, "plain", threshold)
+
+    recovered = open_durable(data_dir)
+    dump_report(recovered.recovery, f"sigkill-plain-{threshold}")
+    uids = recovered.known_uids()
+    assert uids == list(range(1, len(uids) + 1))  # a dense prefix, no holes
+    from repro.storage.base import TimeScope
+
+    for uid in uids:
+        element = recovered.get_element(uid, TimeScope.current())
+        assert element is not None and element.fields["status"] == f"s{uid - 1}"
+    recovered.close()
+
+
+@pytest.mark.durability
+@pytest.mark.parametrize("threshold", [400, 1800])
+def test_sigkill_mid_batch_preserves_batch_atomicity(tmp_path, threshold):
+    """After SIGKILL, no partial batch is visible: 2 nodes + 1 edge per batch."""
+    data_dir = tmp_path / "data"
+    kill_writer_once_journal_grows(data_dir, "batched", threshold)
+
+    recovered = open_durable(data_dir)
+    dump_report(recovered.recovery, f"sigkill-batched-{threshold}")
+    counts = recovered.counts()
+    nodes, edges = counts["nodes"], counts["edges"]
+    assert nodes % 2 == 0
+    assert edges == nodes // 2
+    recovered.close()

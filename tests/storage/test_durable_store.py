@@ -1,0 +1,318 @@
+"""DurableStore: journaling, atomic batches, checkpoints, recovery."""
+
+import os
+
+import pytest
+
+from repro.errors import StorageError, UnknownElementError
+from repro.schema.registry import Schema
+from repro.stats.metrics import MetricsRegistry
+from repro.storage.durable import (
+    CHECKPOINT_FILE,
+    WAL_FILE,
+    DurableStore,
+    recover,
+)
+from repro.storage.memgraph.store import MemGraphStore
+from repro.storage.snapshot import Snapshot, SnapshotLoader, export_snapshot
+from repro.storage.wal import WalCorruptionError, history_digest, scan_wal
+from repro.temporal.clock import TransactionClock
+
+T0 = 1_000.0
+
+
+def build_schema() -> Schema:
+    schema = Schema("durable-test")
+    schema.define_node("Box", fields={"status": "string", "size": "integer"})
+    schema.define_edge("Link", fields={"weight": "integer"})
+    return schema
+
+
+def open_store(tmp_path, **kw) -> DurableStore:
+    kw.setdefault("clock", TransactionClock(start=T0))
+    return DurableStore.open(tmp_path / "data", build_schema(), **kw)
+
+
+def populate(store) -> tuple[int, int, int]:
+    a = store.insert_node("Box", {"status": "up", "size": 1})
+    b = store.insert_node("Box", {"status": "up"})
+    store.clock.advance(10)
+    link = store.insert_edge("Link", a, b, {"weight": 7})
+    store.clock.advance(10)
+    store.update_element(a, {"status": "down"})
+    store.clock.advance(10)
+    store.delete_element(b)  # cascades to the link
+    store.clock.advance(10)
+    store.reinsert(b)
+    return a, b, link
+
+
+# ----------------------------------------------------------------------
+# round trips
+# ----------------------------------------------------------------------
+
+def test_journal_close_recover_round_trip(tmp_path):
+    store = open_store(tmp_path)
+    populate(store)
+    digest = history_digest(store)
+    version = store.data_version
+    store.close()
+
+    recovered = open_store(tmp_path)
+    assert history_digest(recovered) == digest
+    assert recovered.data_version >= version
+    report = recovered.recovery
+    assert report.clean
+    assert report.replayed == report.wal_records == 6
+    recovered.close()
+
+
+def test_recovered_store_never_reissues_uids(tmp_path):
+    store = open_store(tmp_path)
+    a, b, link = populate(store)
+    store.close()
+    recovered = open_store(tmp_path)
+    fresh = recovered.insert_node("Box", {"status": "new"})
+    assert fresh > max(a, b, link)
+    recovered.close()
+
+
+def test_bulk_batch_commits_as_one_unit(tmp_path):
+    store = open_store(tmp_path)
+    with store.bulk():
+        a = store.insert_node("Box", {"status": "up"})
+        b = store.insert_node("Box", {"status": "up"})
+        store.insert_edge("Link", a, b)
+    digest = history_digest(store)
+    store.close()
+    recovered = open_store(tmp_path)
+    assert history_digest(recovered) == digest
+    assert recovered.recovery.replayed == 3
+    recovered.close()
+
+
+def test_reentrant_bulk_frames_once(tmp_path):
+    store = open_store(tmp_path)
+    with store.bulk():
+        store.insert_node("Box", {"status": "a"})
+        with store.bulk():
+            store.insert_node("Box", {"status": "b"})
+    records = scan_wal(tmp_path / "data" / WAL_FILE).records
+    assert [r.op for r in records] == [
+        "bulk_begin", "insert_node", "insert_node", "bulk_commit"
+    ]
+    store.close()
+
+
+def test_aborted_bulk_rolls_the_journal_back(tmp_path):
+    store = open_store(tmp_path)
+    keeper = store.insert_node("Box", {"status": "up"})
+    with pytest.raises(RuntimeError, match="boom"):
+        with store.bulk():
+            store.insert_node("Box", {"status": "doomed"})
+            raise RuntimeError("boom")
+    store.close()
+
+    recovered = open_store(tmp_path)
+    # Only the pre-batch insert survives; the journal never mentions the batch.
+    assert recovered.known_uids() == [keeper]
+    assert recovered.recovery.discarded == 0
+    recovered.close()
+
+
+def test_failed_mutation_leaves_no_journal_record(tmp_path):
+    store = open_store(tmp_path)
+    store.insert_node("Box", {"status": "up"})
+    with pytest.raises(UnknownElementError):
+        store.update_element(999, {"status": "nope"})
+    store.close()
+    records = scan_wal(tmp_path / "data" / WAL_FILE).records
+    assert [r.op for r in records] == ["insert_node"]
+
+
+# ----------------------------------------------------------------------
+# checkpoints
+# ----------------------------------------------------------------------
+
+def test_checkpoint_truncates_wal_and_recovery_skips_covered_records(tmp_path):
+    store = open_store(tmp_path)
+    populate(store)
+    wal_before = store.wal_bytes
+    info = store.checkpoint()
+    assert info.wal_bytes_truncated == wal_before
+    assert store.wal_bytes == 0
+    digest = history_digest(store)
+    store.clock.advance(10)
+    store.insert_node("Box", {"status": "post-checkpoint"})
+    post_digest = history_digest(store)
+    assert post_digest != digest
+    version = store.data_version
+    store.close()
+
+    recovered = open_store(tmp_path)
+    assert history_digest(recovered) == post_digest
+    assert recovered.data_version >= version
+    report = recovered.recovery
+    assert report.checkpoint_loaded
+    assert report.checkpoint_records == info.records
+    assert report.replayed == 1  # only the post-checkpoint insert
+    recovered.close()
+
+
+def test_crash_between_replace_and_truncate_skips_duplicates(tmp_path):
+    """Journal records the checkpoint already covers must not double-apply."""
+    from repro.storage.chaos import CrashPoint, crash_at
+
+    store = open_store(tmp_path, crash_hook=crash_at("checkpoint.truncate"))
+    populate(store)
+    digest = history_digest(store)
+    with pytest.raises(CrashPoint):
+        store.checkpoint()
+    # The new baseline was atomically installed but the journal survived
+    # untruncated: every journal record is now a duplicate of the baseline.
+    assert len(scan_wal(tmp_path / "data" / WAL_FILE).records) == 6
+
+    target = MemGraphStore(build_schema(), clock=TransactionClock(start=0.0))
+    report = recover(tmp_path / "data", target)
+    assert report.checkpoint_loaded
+    assert report.skipped == 6
+    assert report.replayed == 0
+    assert history_digest(target) == digest
+
+
+def test_checkpoint_refused_inside_bulk(tmp_path):
+    store = open_store(tmp_path)
+    with store.bulk():
+        store.insert_node("Box", {"status": "up"})
+        with pytest.raises(StorageError, match="bulk"):
+            store.checkpoint()
+    store.close()
+
+
+def test_preloaded_store_is_baselined_immediately(tmp_path):
+    inner = MemGraphStore(build_schema(), clock=TransactionClock(start=T0))
+    uid = inner.insert_node("Box", {"status": "preloaded"})
+    store = DurableStore(inner, tmp_path / "data")
+    digest = history_digest(store)
+    store.close()
+    assert os.path.exists(tmp_path / "data" / CHECKPOINT_FILE)
+    recovered = open_store(tmp_path)
+    assert recovered.known_uids() == [uid]
+    assert history_digest(recovered) == digest
+    recovered.close()
+
+
+def test_preloaded_store_refuses_an_existing_journal(tmp_path):
+    store = open_store(tmp_path)
+    store.insert_node("Box", {"status": "up"})
+    store.close()
+    inner = MemGraphStore(build_schema(), clock=TransactionClock(start=T0))
+    inner.insert_node("Box", {"status": "conflicting"})
+    with pytest.raises(StorageError, match="already holds a journal"):
+        DurableStore(inner, tmp_path / "data")
+
+
+def test_torn_checkpoint_is_refused(tmp_path):
+    store = open_store(tmp_path)
+    populate(store)
+    store.checkpoint()
+    store.close()
+    path = tmp_path / "data" / CHECKPOINT_FILE
+    path.write_bytes(path.read_bytes()[:-3])
+    with pytest.raises(WalCorruptionError, match="checkpoint"):
+        open_store(tmp_path)
+
+
+# ----------------------------------------------------------------------
+# guard rails and policies
+# ----------------------------------------------------------------------
+
+def test_recover_requires_an_empty_store(tmp_path):
+    occupied = MemGraphStore(build_schema(), clock=TransactionClock(start=T0))
+    occupied.insert_node("Box", {"status": "up"})
+    with pytest.raises(StorageError, match="empty store"):
+        recover(tmp_path, occupied)
+
+
+def test_unknown_sync_policy_is_rejected(tmp_path):
+    with pytest.raises(StorageError, match="sync policy"):
+        open_store(tmp_path, sync="fsync-sometimes")
+
+
+@pytest.mark.parametrize("sync", ["always", "none"])
+def test_alternate_sync_policies_round_trip(tmp_path, sync):
+    store = open_store(tmp_path, sync=sync)
+    populate(store)
+    digest = history_digest(store)
+    store.close()
+    recovered = open_store(tmp_path)
+    assert history_digest(recovered) == digest
+    recovered.close()
+
+
+def test_closed_store_rejects_mutations_but_stays_readable(tmp_path):
+    store = open_store(tmp_path)
+    uid = store.insert_node("Box", {"status": "up"})
+    store.close()
+    store.close()  # idempotent
+    assert store.known_uids() == [uid]
+    with pytest.raises(StorageError, match="closed"):
+        store.insert_node("Box", {"status": "nope"})
+    with pytest.raises(StorageError, match="closed"):
+        store.checkpoint()
+
+
+def test_context_manager_closes(tmp_path):
+    with open_store(tmp_path) as store:
+        store.insert_node("Box", {"status": "up"})
+    with pytest.raises(StorageError, match="closed"):
+        store.insert_node("Box", {"status": "nope"})
+
+
+def test_metrics_events(tmp_path):
+    metrics = MetricsRegistry()
+    store = open_store(tmp_path, metrics=metrics)
+    with store.bulk():
+        store.insert_node("Box", {"status": "up"})
+        store.insert_node("Box", {"status": "up"})
+    store.checkpoint()
+    assert metrics.event_count("wal.append") == 4  # begin + 2 inserts + commit
+    assert metrics.event_count("wal.bulk_commit") == 1
+    assert metrics.event_count("wal.checkpoint") == 1
+    assert metrics.event_count("wal.sync") >= 1
+    store.close()
+
+    recovery_metrics = MetricsRegistry()
+    recovered = open_store(tmp_path, metrics=recovery_metrics)
+    assert recovery_metrics.event_count("recovery.checkpoint_loaded") == 1
+    recovered.close()
+
+
+def test_snapshot_loader_over_durable_store(tmp_path):
+    """The update-by-snapshot service journals through the wrapper."""
+    feed = MemGraphStore(build_schema(), clock=TransactionClock(start=T0))
+    a = feed.insert_node("Box", {"status": "up"})
+    b = feed.insert_node("Box", {"status": "up"})
+    feed.insert_edge("Link", a, b, {"weight": 1})
+
+    store = open_store(tmp_path)
+    stats = SnapshotLoader(store).apply(export_snapshot(feed))
+    assert stats.inserted_nodes == 2 and stats.inserted_edges == 1
+    digest = history_digest(store)
+    store.close()
+    recovered = open_store(tmp_path)
+    assert history_digest(recovered) == digest
+    recovered.close()
+
+
+def test_wall_clock_mode_journals_monotonic_stamps(tmp_path):
+    store = DurableStore.open(tmp_path / "data", build_schema())  # unpinned clock
+    store.insert_node("Box", {"status": "a"})
+    store.insert_node("Box", {"status": "b"})
+    digest = history_digest(store)
+    store.close()
+    records = scan_wal(tmp_path / "data" / WAL_FILE).records
+    assert records[0].ts <= records[1].ts
+    recovered = DurableStore.open(tmp_path / "data", build_schema())
+    assert history_digest(recovered) == digest
+    recovered.close()

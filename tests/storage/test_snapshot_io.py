@@ -65,6 +65,30 @@ def test_export_of_past_state_rolls_back(network_schema):
     assert digest(replica) == past
 
 
+def test_failed_save_leaves_previous_snapshot_intact(tmp_path, mem_store, monkeypatch):
+    """A death mid-write must not tear the file: save is temp+rename."""
+    import json
+    import os
+
+    path = tmp_path / "dump.json"
+    snap = export_snapshot(mem_store)
+    snap.save(path)
+    good = path.read_bytes()
+
+    def exploding_dump(*args, **kwargs):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(json, "dump", exploding_dump)
+    try:
+        snap.save(path)
+    except OSError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("save should have propagated the failure")
+    assert path.read_bytes() == good  # previous snapshot untouched
+    assert [f for f in os.listdir(tmp_path) if f.endswith(".tmp")] == []
+
+
 def test_loader_applies_exported_diffs_incrementally(network_schema, clock):
     source = MemGraphStore(network_schema, clock=clock)
     inv = SmallInventory(source)

@@ -126,6 +126,67 @@ def test_chaos_flags_enable_injection_and_retries(capsys):
     assert "resilience.retry.default" in captured.out
 
 
+def test_data_dir_survives_across_invocations(tmp_path, capsys):
+    data_dir = str(tmp_path / "inventory")
+    status = main([
+        "--epoch", "100", "--data-dir", data_dir,
+        "-c", ".stats",
+    ])
+    assert status == 0
+    captured = capsys.readouterr()
+    assert f"opened fresh durable store at {data_dir}" in captured.err
+
+    # Writes journaled in one process are visible to the next.
+    import os
+
+    from repro.storage.durable import WAL_FILE
+    from repro.temporal.clock import TransactionClock as Clock
+
+    db = NepalDB(clock=Clock(start=100.0), data_dir=data_dir)
+    db.insert_node("Host", {"name": "persisted-host"})
+    db.close()
+    assert os.path.getsize(os.path.join(data_dir, WAL_FILE)) > 0
+
+    status = main([
+        "--epoch", "100", "--data-dir", data_dir,
+        "-c", "Select source(P).name From PATHS P Where P MATCHES Host()",
+    ])
+    assert status == 0
+    captured = capsys.readouterr()
+    assert f"recovered {data_dir}:" in captured.err
+    assert "replayed 1/1 journal records" in captured.err
+    assert "persisted-host" in captured.out
+
+
+def test_checkpoint_dot_command(tmp_path, capsys):
+    data_dir = str(tmp_path / "inventory")
+    status = main([
+        "--demo", "--epoch", "100", "--data-dir", data_dir,
+        "-c", ".checkpoint",
+    ])
+    assert status == 0
+    captured = capsys.readouterr()
+    assert "checkpoint written:" in captured.out
+    assert "WAL bytes truncated" in captured.out
+
+    # The next startup loads the baseline instead of replaying the journal.
+    status = main([
+        "--epoch", "100", "--data-dir", data_dir,
+        "-c", "Select source(P).name From PATHS P Where P MATCHES Service()",
+    ])
+    assert status == 0
+    captured = capsys.readouterr()
+    assert "checkpoint=yes" in captured.err
+    assert "service-0" in captured.out
+
+
+def test_checkpoint_without_data_dir_is_an_error(db):
+    from repro.errors import NepalError
+
+    with pytest.raises(NepalError, match="data_dir"):
+        run_statement(db, ".checkpoint")
+
+
 def test_render_result_prints_warnings():
     from repro.cli import render_result
     from repro.query.results import QueryResult
