@@ -39,13 +39,15 @@ ci: lint test coverage
 bench:
 	pytest benchmarks/ --benchmark-only
 
-# Reduced-scale smoke of the Table 1 workload plus the WAL-overhead
-# ablation (CI's non-blocking bench job).
+# Reduced-scale smoke of the Table 1 workload, the WAL-overhead ablation
+# and the time-travel index ablation (CI's non-blocking bench job).
 bench-smoke:
 	NEPAL_BENCH_INSTANCES=5 NEPAL_CHURN_DAYS=5 NEPAL_BENCH_SCALE=small \
 		PYTHONPATH=src python -m pytest benchmarks/bench_table1.py -s --benchmark-disable -k snapshot
 	NEPAL_WAL_OPS=600 \
 		PYTHONPATH=src python -m pytest benchmarks/bench_wal_overhead.py -s --benchmark-disable
+	NEPAL_TT_ELEMENTS=1500 NEPAL_TT_DAYS=8 \
+		PYTHONPATH=src python -m pytest benchmarks/bench_time_travel.py -s --benchmark-disable
 
 # The paper-style comparison tables (Tables 1-2, ablations, storage).
 sweep:

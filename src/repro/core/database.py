@@ -39,12 +39,16 @@ DEFAULT_STORE_NAME = "default"
 
 
 def _build_store(
-    backend: str, schema: Schema, clock: TransactionClock | None, name: str
+    backend: str,
+    schema: Schema,
+    clock: TransactionClock | None,
+    name: str,
+    metrics: MetricsRegistry | None = None,
 ) -> GraphStore:
     if backend == "memory":
         from repro.storage.memgraph.store import MemGraphStore
 
-        return MemGraphStore(schema, clock=clock, name=name)
+        return MemGraphStore(schema, clock=clock, name=name, metrics=metrics)
     if backend == "relational":
         from repro.storage.relational.store import RelationalStore
 
@@ -80,13 +84,18 @@ class NepalDB:
             from repro.storage.durable import DurableStore
             from repro.storage.memgraph.store import MemGraphStore
 
-            inner = MemGraphStore(self.schema, clock=self.clock, name=DEFAULT_STORE_NAME)
+            inner = MemGraphStore(
+                self.schema,
+                clock=self.clock,
+                name=DEFAULT_STORE_NAME,
+                metrics=self._metrics,
+            )
             default_store: GraphStore = DurableStore(
                 inner, data_dir, metrics=self._metrics, sync=durable_sync
             )
         else:
             default_store = _build_store(
-                backend, self.schema, self.clock, DEFAULT_STORE_NAME
+                backend, self.schema, self.clock, DEFAULT_STORE_NAME, self._metrics
             )
         self._stores: dict[str, GraphStore] = {DEFAULT_STORE_NAME: default_store}
         self._plan_cache = PlanCache(metrics=self._metrics)
@@ -315,17 +324,6 @@ class NepalDB:
         target = self._stores[store]
         executor = self.executor()
         estimator = executor.estimator_for(target)
-        key = PlanCache.key_for(rpe, store, target, estimator, self._planner_options)
-        with self._metrics.timings.measure("plan"):
-            program = self._plan_cache.get_or_compile(
-                key,
-                lambda: Planner(
-                    target.schema,
-                    estimator,
-                    self._planner_options,
-                    nfa_memo=self._plan_cache.nfa_memo,
-                ).compile(rpe),
-            )
         if at is not None and between is not None:
             raise NepalError("pass either at= or between=, not both")
         if at is not None:
@@ -336,6 +334,19 @@ class NepalDB:
             )
         else:
             scope = TimeScope.current()
+        key = PlanCache.key_for(
+            rpe, store, target, estimator, self._planner_options, scope=scope
+        )
+        with self._metrics.timings.measure("plan"):
+            program = self._plan_cache.get_or_compile(
+                key,
+                lambda: Planner(
+                    target.schema,
+                    estimator,
+                    self._planner_options,
+                    nfa_memo=self._plan_cache.nfa_memo,
+                ).compile(rpe, scope=scope),
+            )
         guarded = executor.guarded(target)
         pathways = guarded.find_pathways(program, scope)
         if scope.is_range:
@@ -411,6 +422,17 @@ class NepalDB:
             "events": snapshot["events"],
             "timings": snapshot["timings"],
         }
+
+    def stats(self) -> dict[str, object]:
+        """Caches, events and timings in one JSON-ready snapshot.
+
+        A superset of :meth:`cache_stats` for observability tooling; the
+        ``events`` map carries the index and join counters of the hot
+        path (``index.temporal.*`` hits on historical scans,
+        ``executor.join.*`` hash-join vs nested-loop decisions) next to
+        the resilience and cache counters.
+        """
+        return self.cache_stats()
 
     def clear_plan_cache(self) -> int:
         """Drop every cached compiled plan; returns how many were held.

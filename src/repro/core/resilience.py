@@ -304,8 +304,27 @@ class ResilientStore(GraphStore):
     # statistics & pathways
     # ------------------------------------------------------------------
 
+    def out_edges_many(
+        self,
+        node_uids: "Sequence[int]",
+        scope: TimeScope,
+        classes: "Sequence[EdgeClass] | None" = None,
+    ) -> "dict[int, list[EdgeRecord]]":
+        return self._call(self._inner.out_edges_many, node_uids, scope, classes)
+
+    def in_edges_many(
+        self,
+        node_uids: "Sequence[int]",
+        scope: TimeScope,
+        classes: "Sequence[EdgeClass] | None" = None,
+    ) -> "dict[int, list[EdgeRecord]]":
+        return self._call(self._inner.in_edges_many, node_uids, scope, classes)
+
     def class_count(self, class_name: str) -> int:
         return self._call(self._inner.class_count, class_name)
+
+    def class_count_at(self, class_name: str, scope: TimeScope) -> int | None:
+        return self._call(self._inner.class_count_at, class_name, scope)
 
     def counts(self) -> dict[str, int]:
         return self._call(self._inner.counts)

@@ -43,7 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.plan.program import MatchProgram
     from repro.schema.registry import Schema
     from repro.stats.cardinality import CardinalityEstimator
-    from repro.storage.base import GraphStore
+    from repro.storage.base import GraphStore, TimeScope
 
 DEFAULT_PLAN_CACHE_SIZE = 256
 DEFAULT_MEMO_SIZE = 512
@@ -123,10 +123,23 @@ class PlanCacheKey:
     schema_version: int
     stats_epoch: int
     options: "PlannerOptions | None"
+    scope_key: object | None = None
+    """The *kind* of time scope planned for (``None`` for the current
+    snapshot, ``"at"``/``"range"`` for historical reads).  Historical
+    cardinalities can pick a different anchor than current ones, so the
+    scopes must not share a compiled plan — but only the kind is keyed,
+    never the timestamps, so a Table-2 style sweep over a thousand time
+    points still hits one cache entry."""
 
     def template(self) -> tuple:
         """The version-free part: what identifies a *query template*."""
-        return (self.rpe_text, self.store, id(self.store_ref), self.options)
+        return (
+            self.rpe_text,
+            self.store,
+            id(self.store_ref),
+            self.options,
+            self.scope_key,
+        )
 
 
 class PlanCache:
@@ -154,8 +167,10 @@ class PlanCache:
         store: "GraphStore",
         estimator: "CardinalityEstimator",
         options: "PlannerOptions",
+        scope: "TimeScope | None" = None,
     ) -> PlanCacheKey:
         """Build the cache key for *rpe_text* planned against *store*."""
+        scope_key = None if scope is None or scope.is_current else scope.kind
         return PlanCacheKey(
             rpe_text=rpe_text,
             store=store_name,
@@ -164,6 +179,7 @@ class PlanCache:
             schema_version=store.schema.version,
             stats_epoch=estimator.stats_epoch,
             options=options,
+            scope_key=scope_key,
         )
 
     def lookup(self, key: PlanCacheKey) -> "MatchProgram | None":

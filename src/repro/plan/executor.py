@@ -31,6 +31,7 @@ from repro.errors import (
     TemporalError,
     TypeCheckError,
 )
+from repro.model.elements import NodeRecord
 from repro.model.pathway import Pathway
 from repro.plan.cache import LruCache, PlanCache
 from repro.plan.planner import Planner, PlannerOptions
@@ -64,6 +65,25 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.resilience import ResiliencePolicy
 
 DEFAULT_STORE = "default"
+
+#: Sentinel for join keys whose hashing would not agree with the `=`
+#: semantics of :func:`compare_values`; forces the nested-loop fallback.
+_UNHASHABLE = object()
+
+
+def _join_key(value: object) -> object:
+    """A hash-table key matching ``compare_values(a, "=", b)`` equality.
+
+    Nodes equate by uid (also against bare uid literals, which
+    ``compare_values`` normalizes the same way); the built-in scalars hash
+    consistently with ``==`` across their numeric kinds.  Anything else —
+    edges, collections, foreign objects — answers :data:`_UNHASHABLE`.
+    """
+    if isinstance(value, NodeRecord):
+        return value.uid
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return _UNHASHABLE
 
 
 @dataclass
@@ -329,6 +349,7 @@ class QueryExecutor:
             store,
             estimator,
             self._planner_options,
+            scope=scope,
         )
         with self.metrics.timings.measure("plan"):
             program = self.plan_cache.get_or_compile(
@@ -338,7 +359,7 @@ class QueryExecutor:
                     estimator,
                     self._planner_options,
                     nfa_memo=self.plan_cache.nfa_memo,
-                ).compile(rpe, bound=True),
+                ).compile(rpe, bound=True, scope=scope),
             )
         extra_matcher = None
         extra = checked.extra_matches.get(variable.name)
@@ -459,7 +480,6 @@ class QueryExecutor:
                 # predicates over it are skipped below.
                 continue
             assert item.pathways is not None
-            next_partial: list[dict[str, Pathway]] = []
             bound_names.add(item.name)
             ready = [
                 (index, predicate)
@@ -467,16 +487,7 @@ class QueryExecutor:
                 if index not in applied and predicate.variables() <= bound_names
             ]
             applied.update(index for index, _ in ready)
-            for binding in partial:
-                for pathway in item.pathways:
-                    candidate = dict(binding)
-                    candidate[item.name] = pathway
-                    if all(
-                        self._compare(predicate, candidate)
-                        for _, predicate in ready
-                    ):
-                        next_partial.append(candidate)
-            partial = next_partial
+            partial = self._join(item, partial, ready)
             if not partial:
                 break
 
@@ -500,6 +511,113 @@ class QueryExecutor:
                 if self._exists(sub_checked, predicate, binding, cache)
             ]
         return partial
+
+    # ------------------------------------------------------------------
+    # joining
+    # ------------------------------------------------------------------
+
+    def _join(
+        self,
+        item: _EvaluatedVariable,
+        partial: list[dict[str, Pathway]],
+        ready: list[tuple[int, ComparePredicate]],
+    ) -> list[dict[str, Pathway]]:
+        """Join *item*'s pathways onto the partial bindings.
+
+        When one of the newly-ready predicates is an equality whose sides
+        split cleanly across the join — one side over *item* only, the
+        other over already-bound variables — the already-bound side is
+        hashed and probed once per pathway instead of once per (binding,
+        pathway) pair.  Keys that cannot be hashed consistently with
+        :func:`compare_values` fall back to the nested loop; either way the
+        output is byte-identical to the nested loop, including order.
+        """
+        assert item.pathways is not None
+        rows_in = len(partial) * len(item.pathways)
+        joined: list[dict[str, Pathway]] | None = None
+        if rows_in:
+            equi = self._equi_join_predicate(item, ready)
+            if equi is not None:
+                joined = self._hash_join(item, partial, ready, equi)
+        if joined is None:
+            self.metrics.event("executor.join.nested_loop")
+            joined = []
+            for binding in partial:
+                for pathway in item.pathways:
+                    candidate = dict(binding)
+                    candidate[item.name] = pathway
+                    if all(
+                        self._compare(predicate, candidate)
+                        for _, predicate in ready
+                    ):
+                        joined.append(candidate)
+        else:
+            self.metrics.event("executor.join.hash")
+        self.metrics.event("executor.join.rows_in", rows_in)
+        self.metrics.event("executor.join.rows_out", len(joined))
+        return joined
+
+    def _equi_join_predicate(
+        self,
+        item: _EvaluatedVariable,
+        ready: list[tuple[int, ComparePredicate]],
+    ) -> tuple[object, object] | None:
+        """A ``probe = build`` split of one ready equality, if any exists.
+
+        Returns ``(probe_expr, build_expr)`` where the probe expression
+        ranges over *item* alone (``source(V)``, ``id(V)``, ``V.field``)
+        and the build expression over already-bound variables only.
+        """
+        for _, predicate in ready:
+            if predicate.op != "=":
+                continue
+            left_vars = predicate.left.variables()
+            right_vars = predicate.right.variables()
+            if left_vars == {item.name} and right_vars and item.name not in right_vars:
+                return predicate.left, predicate.right
+            if right_vars == {item.name} and left_vars and item.name not in left_vars:
+                return predicate.right, predicate.left
+        return None
+
+    def _hash_join(
+        self,
+        item: _EvaluatedVariable,
+        partial: list[dict[str, Pathway]],
+        ready: list[tuple[int, ComparePredicate]],
+        equi: tuple[object, object],
+    ) -> list[dict[str, Pathway]] | None:
+        """Hash the bound side of *equi*, probe with *item*'s pathways.
+
+        Returns None (caller falls back to the nested loop) as soon as any
+        join key is outside the types whose hashing agrees with
+        ``compare_values`` equality.  Probed candidates re-verify **all**
+        ready predicates — the hash table only prunes, never decides — and
+        matches are re-sorted into nested-loop order (binding position
+        first, pathway index second).
+        """
+        probe_expr, build_expr = equi
+        assert item.pathways is not None
+        table: dict[object, list[tuple[int, dict[str, Pathway]]]] = {}
+        for position, binding in enumerate(partial):
+            key = _join_key(evaluate_expression(build_expr, binding))
+            if key is _UNHASHABLE:
+                return None
+            table.setdefault(key, []).append((position, binding))
+        matches: list[tuple[int, int, dict[str, Pathway]]] = []
+        for pathway_index, pathway in enumerate(item.pathways):
+            key = _join_key(evaluate_expression(probe_expr, {item.name: pathway}))
+            if key is _UNHASHABLE:
+                return None
+            for position, binding in table.get(key, ()):
+                candidate = dict(binding)
+                candidate[item.name] = pathway
+                if all(
+                    self._compare(predicate, candidate)
+                    for _, predicate in ready
+                ):
+                    matches.append((position, pathway_index, candidate))
+        matches.sort(key=lambda entry: (entry[0], entry[1]))
+        return [candidate for _, _, candidate in matches]
 
     def _evaluate_variable(
         self,

@@ -26,6 +26,7 @@ from repro.rpe.normalize import admits_empty, length_bounds, normalize
 from repro.rpe.parser import parse_rpe
 from repro.schema.registry import Schema
 from repro.stats.cardinality import CardinalityEstimator
+from repro.storage.base import TimeScope
 
 #: Anchors costlier than this are considered "not small" (§3.3); queries whose
 #: best anchor exceeds it are still executed, but explain() flags them.
@@ -62,8 +63,18 @@ class Planner:
         self.options = options or PlannerOptions()
         self._nfa_memo = nfa_memo
 
-    def compile(self, rpe: RpeNode | str, bound: bool = False) -> MatchProgram:
-        """Plan the RPE; raises on unanchored/unbounded expressions."""
+    def compile(
+        self,
+        rpe: RpeNode | str,
+        bound: bool = False,
+        scope: "TimeScope | None" = None,
+    ) -> MatchProgram:
+        """Plan the RPE; raises on unanchored/unbounded expressions.
+
+        *scope* is the time scope the program will run under; historical
+        scopes cost anchors with what existed *then* (when the backend
+        keeps temporal statistics), which can flip the anchor choice.
+        """
         if isinstance(rpe, str):
             rpe = parse_rpe(rpe)
         if not bound:
@@ -84,7 +95,7 @@ class Planner:
                 "anchor and are likely malformed (§3.3)"
             )
 
-        plan = self._select_anchor(rpe)
+        plan = self._select_anchor(rpe, scope)
         splits = []
         for split in plan.splits:
             anchor_kind = "node" if split.anchor.is_node_atom else "edge"
@@ -140,8 +151,12 @@ class Planner:
         )
         return self._nfa_memo.get_or_create(key, build)
 
-    def _select_anchor(self, rpe: RpeNode) -> AnchorPlan:
-        candidates = enumerate_anchor_plans(rpe, self.estimator.estimate)
+    def _select_anchor(
+        self, rpe: RpeNode, scope: "TimeScope | None" = None
+    ) -> AnchorPlan:
+        candidates = enumerate_anchor_plans(
+            rpe, lambda atom: self.estimator.estimate(atom, scope)
+        )
         if not candidates:
             raise UnanchoredQueryError(
                 f"no anchor found for {rpe.render()}: every atom sits inside an "

@@ -13,6 +13,14 @@ This is the tuple-at-a-time realization of the paper's operator DAG:
 Expansion is pruned with the automaton's outgoing labels: when every next
 label names edge classes, only the adjacency lists of those class subtrees
 are touched — the model-driven pruning whose effect §6 measures.
+
+Traversal proceeds in *waves*: all partial pathways of the same length
+form one frontier, and every node awaiting expansion in that frontier is
+expanded through a single batched adjacency call per distinct class
+filter (``out_edges_many`` / ``in_edges_many``) instead of one store call
+per partial pathway.  Backends amortize filter resolution and index work
+across the whole frontier; the set of pathways produced is identical to
+the former depth-first order, since results are deduplicated by key.
 """
 
 from __future__ import annotations
@@ -83,37 +91,33 @@ def evaluate_from_endpoints(
     Instead of scanning the RPE's own anchor atom — which may be hopeless,
     like ``ConnectsTo(){1,8}`` over the whole graph — traversal starts at
     the given node uids, which a previously evaluated joined variable pinned
-    as the pathway's ``source`` or ``target``.
+    as the pathway's ``source`` or ``target``.  All endpoints traverse as
+    one shared frontier, so each wave is a handful of batched adjacency
+    calls regardless of how many seeds the join supplied.
     """
     matcher = program.matcher if end == "source" else program.reversed_matcher
     direction = FORWARD if end == "source" else BACKWARD
     results: dict[tuple[int, ...], Pathway] = {}
+    frontier: list[tuple[list[ElementRecord], frozenset[int], frozenset[int]]] = []
     for uid in endpoint_uids:
         node = store.get_element(uid, scope)
         if not isinstance(node, NodeRecord):
             continue
         initial = matcher.step(matcher.initial_states(), node)
-        if not initial:
-            continue
-        stack: list[tuple[list[ElementRecord], frozenset[int], frozenset[int]]] = [
-            ([node], initial, frozenset((uid,)))
-        ]
-        while stack:
-            consumed, states, used = stack.pop()
+        if initial:
+            frontier.append(([node], initial, frozenset((uid,))))
+    while frontier:
+        expandable: list[tuple[list[ElementRecord], frozenset[int], frozenset[int]]] = []
+        for entry in frontier:
+            consumed, states, used = entry
             if matcher.is_accepting(states) and isinstance(consumed[-1], NodeRecord):
                 elements = consumed if end == "source" else list(reversed(consumed))
                 pathway = Pathway(elements)
                 results.setdefault(pathway.key(), pathway)
             if len(consumed) >= program.max_elements or matcher.is_dead(states):
                 continue
-            for candidate in _neighbors(store, consumed[-1], direction, scope, matcher, states):
-                if candidate.uid in used:
-                    continue
-                next_states = matcher.step(states, candidate)
-                if next_states:
-                    stack.append(
-                        ([*consumed, candidate], next_states, used | {candidate.uid})
-                    )
+            expandable.append(entry)
+        frontier = _advance_frontier(store, expandable, direction, scope, matcher)
     return list(results.values())
 
 
@@ -152,47 +156,81 @@ def _extensions(
     initial = nfa.initial_states()
     if not initial:
         return completions
-    # Depth-first over (consumed elements, automaton states, used uids).
-    stack: list[tuple[list[ElementRecord], frozenset[int], frozenset[int]]] = [
+    # Breadth-first waves over (consumed elements, automaton states, used
+    # uids); each wave expands its whole node frontier in batched calls.
+    frontier: list[tuple[list[ElementRecord], frozenset[int], frozenset[int]]] = [
         ([], initial, frozenset((seed.uid,)))
     ]
     budget = program.max_elements
-    while stack:
-        consumed, states, used = stack.pop()
-        if nfa.is_accepting(states):
-            key = tuple(element.uid for element in consumed)
-            if key not in seen_completions:
-                seen_completions.add(key)
-                completions.append(consumed)
-        if len(consumed) >= budget or nfa.is_dead(states):
-            continue
+    while frontier:
+        expandable: list[tuple[list[ElementRecord], frozenset[int], frozenset[int]]] = []
+        for entry in frontier:
+            consumed, states, used = entry
+            if nfa.is_accepting(states):
+                key = tuple(element.uid for element in consumed)
+                if key not in seen_completions:
+                    seen_completions.add(key)
+                    completions.append(consumed)
+            if len(consumed) >= budget or nfa.is_dead(states):
+                continue
+            expandable.append(entry)
+        frontier = _advance_frontier(
+            store, expandable, direction, scope, nfa, seed=seed
+        )
+    return completions
+
+
+def _advance_frontier(
+    store: GraphStore,
+    expandable: list[tuple[list[ElementRecord], frozenset[int], frozenset[int]]],
+    direction: str,
+    scope: TimeScope,
+    nfa: PathwayNfa,
+    seed: ElementRecord | None = None,
+) -> list[tuple[list[ElementRecord], frozenset[int], frozenset[int]]]:
+    """One traversal wave: batch-expand every entry, step the automaton.
+
+    Entries whose tip is a node are grouped by their automaton class
+    filter; each group becomes a single ``out_edges_many``/``in_edges_many``
+    call — the Extend operator applied set-at-a-time instead of per
+    pathway.  Edge tips just hop to their far node.
+    """
+    neighbor_lists: list[list[ElementRecord] | None] = [None] * len(expandable)
+    #: filter key -> (classes object, [(entry index, node uid), ...])
+    groups: dict[object, tuple[object, list[tuple[int, int]]]] = {}
+    for index, (consumed, states, _) in enumerate(expandable):
         last = consumed[-1] if consumed else seed
-        for candidate in _neighbors(store, last, direction, scope, nfa, states):
+        assert last is not None
+        if isinstance(last, NodeRecord):
+            classes = nfa.edge_class_filter(states)
+            key = (
+                None
+                if classes is None
+                else tuple(sorted(cls.name for cls in classes))
+            )
+            entry = groups.get(key)
+            if entry is None:
+                entry = groups[key] = (classes, [])
+            entry[1].append((index, last.uid))
+        else:
+            assert isinstance(last, EdgeRecord)
+            next_uid = last.target_uid if direction == FORWARD else last.source_uid
+            node = store.get_element(next_uid, scope)
+            neighbor_lists[index] = [node] if node is not None else []
+    fetch = store.out_edges_many if direction == FORWARD else store.in_edges_many
+    for classes, members in groups.values():
+        unique_uids = list(dict.fromkeys(uid for _, uid in members))
+        batched = fetch(unique_uids, scope, classes)
+        for index, uid in members:
+            neighbor_lists[index] = list(batched.get(uid, ()))
+    next_frontier: list[tuple[list[ElementRecord], frozenset[int], frozenset[int]]] = []
+    for (consumed, states, used), candidates in zip(expandable, neighbor_lists):
+        for candidate in candidates or ():
             if candidate.uid in used:
                 continue
             next_states = nfa.step(states, candidate)
             if next_states:
-                stack.append(
+                next_frontier.append(
                     ([*consumed, candidate], next_states, used | {candidate.uid})
                 )
-    return completions
-
-
-def _neighbors(
-    store: GraphStore,
-    element: ElementRecord,
-    direction: str,
-    scope: TimeScope,
-    nfa: PathwayNfa,
-    states: frozenset[int],
-) -> list[ElementRecord]:
-    """Graph elements that may follow *element* in traversal order."""
-    if isinstance(element, NodeRecord):
-        classes = nfa.edge_class_filter(states)
-        if direction == FORWARD:
-            return list(store.out_edges(element.uid, scope, classes))
-        return list(store.in_edges(element.uid, scope, classes))
-    assert isinstance(element, EdgeRecord)
-    next_uid = element.target_uid if direction == FORWARD else element.source_uid
-    node = store.get_element(next_uid, scope)
-    return [node] if node is not None else []
+    return next_frontier

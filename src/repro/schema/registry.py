@@ -50,6 +50,8 @@ class Schema:
             self.node_root.name: self.node_root,
             self.edge_root.name: self.edge_root,
         }
+        self._concrete_names_cache: dict[str, tuple[str, ...]] = {}
+        self._concrete_names_version = -1
 
     # -- definition ------------------------------------------------------
 
@@ -180,6 +182,23 @@ class Schema:
 
     def least_common_ancestor(self, names: Iterable[str]) -> ElementClass | None:
         return least_common_ancestor(self.resolve(name) for name in names)
+
+    def concrete_names(self, cls: ElementClass) -> tuple[str, ...]:
+        """The concrete subtree of *cls* as a name tuple, memoized.
+
+        ``scan_atom`` and adjacency expansion need this on every call;
+        classes are immutable after registration, so the expansion can only
+        change when a *new* class is defined — which bumps :attr:`version`
+        and flushes the memo wholesale.
+        """
+        if self._concrete_names_version != self.version:
+            self._concrete_names_cache.clear()
+            self._concrete_names_version = self.version
+        names = self._concrete_names_cache.get(cls.name)
+        if names is None:
+            names = tuple(concrete.name for concrete in cls.concrete_subtree())
+            self._concrete_names_cache[cls.name] = names
+        return names
 
     # -- graph-schema reasoning ---------------------------------------------
 

@@ -19,7 +19,14 @@ from repro.rpe.ast import Atom
 from repro.schema.classes import ElementClass
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.storage.base import GraphStore
+    from repro.storage.base import GraphStore, TimeScope
+
+def _scope_key(scope: "TimeScope | None") -> tuple | None:
+    """Cache key fragment for a time scope (None for the current snapshot)."""
+    if scope is None or scope.is_current:
+        return None
+    return (scope.kind, scope.start, scope.end)
+
 
 _DEFAULT_CLASS_COUNT = 1000.0
 _EQ_NAME_SELECTIVITY = 1e-6  # names are near-unique in inventories
@@ -42,7 +49,7 @@ class CardinalityEstimator:
 
     def __init__(self, store: "GraphStore | None" = None):
         self._store = store
-        self._class_count_cache: dict[str, float] = {}
+        self._class_count_cache: dict[tuple[str, tuple | None], float] = {}
         self._epoch = 0
         self._seen_data_version = store.data_version if store is not None else 0
 
@@ -64,15 +71,32 @@ class CardinalityEstimator:
         self._class_count_cache.clear()
         self._epoch += 1
 
-    def class_cardinality(self, cls: ElementClass) -> float:
+    def class_cardinality(
+        self, cls: ElementClass, scope: "TimeScope | None" = None
+    ) -> float:
         self._refresh()
-        cached = self._class_count_cache.get(cls.name)
+        cache_key = (cls.name, _scope_key(scope))
+        cached = self._class_count_cache.get(cache_key)
         if cached is not None:
             return cached
         count: float | None = None
+        exact = False
         if self._store is not None:
-            count = float(self._store.class_count(cls.name))
-        if count is None or count == 0.0:
+            if scope is None or scope.is_current:
+                count = float(self._store.class_count(cls.name))
+            else:
+                # Historical anchors are costed with what existed *then*;
+                # backends without a temporal index answer None and fall
+                # through to the current count.  An indexed answer is exact
+                # even when zero — "nothing existed" is real information,
+                # not missing statistics.
+                historical = self._store.class_count_at(cls.name, scope)
+                if historical is not None:
+                    count = float(historical)
+                    exact = True
+                else:
+                    count = float(self._store.class_count(cls.name))
+        if not exact and (count is None or count == 0.0):
             hints = [
                 float(concrete.expected_count)
                 for concrete in cls.concrete_subtree()
@@ -80,16 +104,16 @@ class CardinalityEstimator:
             ]
             if hints:
                 count = max(sum(hints), count or 0.0)
-        if count is None or count == 0.0:
+        if count is None or (count == 0.0 and not exact):
             count = _DEFAULT_CLASS_COUNT
-        self._class_count_cache[cls.name] = count
+        self._class_count_cache[cache_key] = count
         return count
 
-    def estimate(self, atom: Atom) -> float:
+    def estimate(self, atom: Atom, scope: "TimeScope | None" = None) -> float:
         """Expected number of elements satisfying *atom* (≥ a small epsilon)."""
         if atom.cls is None:
             return _DEFAULT_CLASS_COUNT
-        cardinality = self.class_cardinality(atom.cls)
+        cardinality = self.class_cardinality(atom.cls, scope)
         for predicate in atom.predicates:
             if predicate.name == "id" and predicate.op == "=":
                 return 1.0

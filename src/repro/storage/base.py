@@ -224,6 +224,30 @@ class GraphStore(ABC):
     ) -> list[EdgeRecord]:
         """Edges entering *node_uid*, optionally restricted to class subtrees."""
 
+    def out_edges_many(
+        self,
+        node_uids: Sequence[int],
+        scope: TimeScope,
+        classes: Sequence[EdgeClass] | None = None,
+    ) -> dict[int, list[EdgeRecord]]:
+        """Batched :meth:`out_edges` over a traversal frontier.
+
+        The generic traversal expands whole frontiers through this, so a
+        backend that can amortize per-call work (filter construction, index
+        probes, round trips) only pays it once per step.  The default just
+        loops, preserving single-call semantics exactly.
+        """
+        return {uid: self.out_edges(uid, scope, classes) for uid in node_uids}
+
+    def in_edges_many(
+        self,
+        node_uids: Sequence[int],
+        scope: TimeScope,
+        classes: Sequence[EdgeClass] | None = None,
+    ) -> dict[int, list[EdgeRecord]]:
+        """Batched :meth:`in_edges`; see :meth:`out_edges_many`."""
+        return {uid: self.in_edges(uid, scope, classes) for uid in node_uids}
+
     # ------------------------------------------------------------------
     # statistics & accounting
     # ------------------------------------------------------------------
@@ -231,6 +255,14 @@ class GraphStore(ABC):
     @abstractmethod
     def class_count(self, class_name: str) -> int:
         """Number of current elements in the class subtree (for costing)."""
+
+    def class_count_at(self, class_name: str, scope: TimeScope) -> int | None:
+        """Elements of the class subtree visible under *scope*, or ``None``
+        when the backend has no cheap way to count historically (the
+        estimator then falls back to current counts and schema hints)."""
+        if scope.is_current:
+            return self.class_count(class_name)
+        return None
 
     @abstractmethod
     def counts(self) -> dict[str, int]:

@@ -300,9 +300,31 @@ class FaultInjectingStore(GraphStore):
     # statistics & pathways
     # ------------------------------------------------------------------
 
+    def out_edges_many(
+        self,
+        node_uids: "Sequence[int]",
+        scope: TimeScope,
+        classes: "Sequence[EdgeClass] | None" = None,
+    ) -> "dict[int, list[EdgeRecord]]":
+        self._before("out_edges_many")
+        return self._inner.out_edges_many(node_uids, scope, classes)
+
+    def in_edges_many(
+        self,
+        node_uids: "Sequence[int]",
+        scope: TimeScope,
+        classes: "Sequence[EdgeClass] | None" = None,
+    ) -> "dict[int, list[EdgeRecord]]":
+        self._before("in_edges_many")
+        return self._inner.in_edges_many(node_uids, scope, classes)
+
     def class_count(self, class_name: str) -> int:
         self._before("class_count")
         return self._inner.class_count(class_name)
+
+    def class_count_at(self, class_name: str, scope: TimeScope) -> int | None:
+        self._before("class_count_at")
+        return self._inner.class_count_at(class_name, scope)
 
     def counts(self) -> dict[str, int]:
         self._before("counts")

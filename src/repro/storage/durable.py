@@ -660,8 +660,27 @@ class DurableStore(GraphStore):
     ) -> "list[EdgeRecord]":
         return self._inner.in_edges(node_uid, scope, classes)
 
+    def out_edges_many(
+        self,
+        node_uids: "Sequence[int]",
+        scope: TimeScope,
+        classes: "Sequence[EdgeClass] | None" = None,
+    ) -> "dict[int, list[EdgeRecord]]":
+        return self._inner.out_edges_many(node_uids, scope, classes)
+
+    def in_edges_many(
+        self,
+        node_uids: "Sequence[int]",
+        scope: TimeScope,
+        classes: "Sequence[EdgeClass] | None" = None,
+    ) -> "dict[int, list[EdgeRecord]]":
+        return self._inner.in_edges_many(node_uids, scope, classes)
+
     def class_count(self, class_name: str) -> int:
         return self._inner.class_count(class_name)
+
+    def class_count_at(self, class_name: str, scope: TimeScope) -> int | None:
+        return self._inner.class_count_at(class_name, scope)
 
     def counts(self) -> dict[str, int]:
         return self._inner.counts()

@@ -10,7 +10,7 @@ overhead the evaluation reports, because only changed elements grow chains.
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from repro.errors import (
     StorageError,
@@ -24,9 +24,13 @@ from repro.schema.registry import Schema
 from repro.schema.validate import validate_edge_endpoints, validate_fields
 from repro.storage.base import GraphStore, TimeScope
 from repro.storage.memgraph.indexes import AdjacencyIndex, ClassIndex, FieldEqualityIndex
+from repro.storage.memgraph.temporal_index import TemporalClassIndex, TemporalFieldIndex
 from repro.temporal.clock import TransactionClock
 from repro.temporal.interval import FOREVER, Interval
 from repro.util.ids import IdAllocator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.stats.metrics import MetricsRegistry
 
 
 class MemGraphStore(GraphStore):
@@ -38,6 +42,7 @@ class MemGraphStore(GraphStore):
         clock: TransactionClock | None = None,
         name: str = "memgraph",
         indexed_fields: tuple[str, ...] = ("name",),
+        metrics: "MetricsRegistry | None" = None,
     ):
         super().__init__(schema, clock=clock, name=name)
         self._ids = IdAllocator()
@@ -46,8 +51,24 @@ class MemGraphStore(GraphStore):
         self._class_of: dict[int, ElementClass] = {}
         self._class_index = ClassIndex()
         self._field_index = FieldEqualityIndex(indexed_fields)
+        self._temporal_class = TemporalClassIndex()
+        self._temporal_field = TemporalFieldIndex(indexed_fields)
         self._out = AdjacencyIndex()
         self._in = AdjacencyIndex()
+        self._metrics = metrics
+        #: Ablation / oracle switch: with the temporal indexes disabled,
+        #: historical anchors fall back to the brute-force scan over every
+        #: uid ever admitted.  The indexes are still *maintained* while
+        #: disabled, so the switch can be flipped freely mid-test.
+        self.temporal_index_enabled = True
+
+    def set_metrics(self, metrics: "MetricsRegistry | None") -> None:
+        """Attach (or detach) the registry receiving ``index.*`` events."""
+        self._metrics = metrics
+
+    def _event(self, event_name: str, count: int = 1) -> None:
+        if self._metrics is not None and count:
+            self._metrics.event(event_name, count)
 
     # ------------------------------------------------------------------
     # write path
@@ -127,6 +148,10 @@ class MemGraphStore(GraphStore):
         self._class_of[record.uid] = record.cls
         self._class_index.add(record.cls.name, record.uid)
         self._field_index.add(record.cls.name, record.uid, dict(record.fields))
+        cls_name = record.cls.name
+        start = record.period.start
+        self._temporal_class.open(cls_name, record.uid, start)
+        self._temporal_field.open(cls_name, record.uid, start, dict(record.fields))
         self.bump_data_version()
 
     def update_element(self, uid: int, changes: Mapping[str, Any]) -> None:
@@ -141,14 +166,26 @@ class MemGraphStore(GraphStore):
                 merged[field_name] = value
         normalized = validate_fields(current.cls, merged)
         now = self.clock.now()
-        self._field_index.discard(current.cls.name, uid, dict(current.fields))
+        cls_name = current.cls.name
+        old_fields = dict(current.fields)
+        self._field_index.discard(cls_name, uid, old_fields)
         if now > current.period.start:
             closed = current.with_period(Interval(current.period.start, now))
             self._history.setdefault(uid, []).append(closed)
-        # else: the version opened at this same instant; overwrite in place.
+            # The superseded version keeps its period in the temporal
+            # indexes; the replacement opens a fresh posting at *now*.
+            self._temporal_class.close(cls_name, uid, now)
+            self._temporal_field.close(cls_name, uid, now, old_fields)
+            self._temporal_class.open(cls_name, uid, now)
+        else:
+            # The version opened at this same instant; overwrite in place.
+            # The class posting (same uid, same start) is untouched, but
+            # the zero-duration field values never existed.
+            self._temporal_field.drop_open(cls_name, uid, old_fields)
         replacement = self._reopen(current, normalized, now)
         self._current[uid] = replacement
-        self._field_index.add(current.cls.name, uid, normalized)
+        self._field_index.add(cls_name, uid, normalized)
+        self._temporal_field.open(cls_name, uid, replacement.period.start, normalized)
         self.bump_data_version()
 
     @staticmethod
@@ -174,13 +211,19 @@ class MemGraphStore(GraphStore):
                 if edge_uid in self._current:
                     self.delete_element(edge_uid)
         now = self.clock.now()
+        fields = dict(current.fields)
         if now > current.period.start:
             closed = current.with_period(Interval(current.period.start, now))
             self._history.setdefault(uid, []).append(closed)
-        # A version opened and deleted at the same instant never existed.
+            self._temporal_class.close(current.cls.name, uid, now)
+            self._temporal_field.close(current.cls.name, uid, now, fields)
+        else:
+            # A version opened and deleted at the same instant never existed.
+            self._temporal_class.drop_open(current.cls.name, uid)
+            self._temporal_field.drop_open(current.cls.name, uid, fields)
         del self._current[uid]
         self._class_index.discard(current.cls.name, uid)
-        self._field_index.discard(current.cls.name, uid, dict(current.fields))
+        self._field_index.discard(current.cls.name, uid, fields)
         self.bump_data_version()
 
     def reinsert(self, uid: int, fields: Mapping[str, Any] | None = None,
@@ -206,10 +249,7 @@ class MemGraphStore(GraphStore):
                     raise UnknownElementError(
                         f"cannot reinsert edge {uid}: endpoint {endpoint} is not current"
                     )
-        self._current[uid] = record
-        self._class_index.add(record.cls.name, uid)
-        self._field_index.add(record.cls.name, uid, dict(record.fields))
-        self.bump_data_version()
+        self._admit(record)
         return uid
 
     # ------------------------------------------------------------------
@@ -252,7 +292,7 @@ class MemGraphStore(GraphStore):
     def scan_atom(self, atom: Atom, scope: TimeScope) -> list[ElementRecord]:
         if atom.cls is None:
             raise StorageError(f"atom {atom.class_name}() must be bound before scanning")
-        class_names = [cls.name for cls in atom.cls.concrete_subtree()]
+        class_names = self.schema.concrete_names(atom.cls)
 
         candidate_uids = self._anchor_candidates(atom, class_names, scope)
         results: list[ElementRecord] = []
@@ -263,7 +303,7 @@ class MemGraphStore(GraphStore):
         return results
 
     def _anchor_candidates(
-        self, atom: Atom, class_names: list[str], scope: TimeScope
+        self, atom: Atom, class_names: Sequence[str], scope: TimeScope
     ) -> set[int]:
         uid_value = atom.equality_value("id")
         if uid_value is not None:
@@ -272,31 +312,74 @@ class MemGraphStore(GraphStore):
                 return set()
             return {int(uid_value)}
         if scope.is_current:
-            for predicate in atom.predicates:
-                if predicate.op != "=":
-                    continue
-                indexed = self._field_index.lookup(class_names, predicate.name, predicate.value)
-                if indexed is not None:
-                    return indexed
+            candidates = self._indexed_equalities(atom, class_names, scope, temporal=False)
+            if candidates is not None:
+                self._event("index.field.hit")
+                return candidates
+            self._event("index.class.hit")
             return self._class_index.members(class_names)
-        # Historical scopes scan the full extent of the class subtree.
-        return {
-            uid for uid, cls in self._class_of.items() if cls.name in set(class_names)
-        }
+        if not self.temporal_index_enabled:
+            # Ablation / oracle path: the pre-index full-extent scan.
+            self._event("index.temporal.scan")
+            names = set(class_names)
+            return {uid for uid, cls in self._class_of.items() if cls.name in names}
+        candidates = self._indexed_equalities(atom, class_names, scope, temporal=True)
+        if candidates is not None:
+            self._event("index.temporal.field_hit")
+            self._event("index.temporal.candidates", len(candidates))
+            return candidates
+        candidates = self._temporal_class.lookup(class_names, scope)
+        self._event("index.temporal.class_hit")
+        self._event("index.temporal.candidates", len(candidates))
+        return candidates
+
+    def _indexed_equalities(
+        self, atom: Atom, class_names: Sequence[str], scope: TimeScope, temporal: bool
+    ) -> set[int] | None:
+        """Intersection of every indexed equality predicate of *atom*.
+
+        Every predicate an element must satisfy is satisfied by *some*
+        version of it, so each indexed lookup yields a superset of the
+        answer and the intersection is the tightest index-only candidate
+        set — equivalent to starting from the most selective predicate.
+        Returns ``None`` when no equality predicate is indexed.
+        """
+        candidates: set[int] | None = None
+        for predicate in atom.predicates:
+            if predicate.op != "=":
+                continue
+            if temporal:
+                indexed = self._temporal_field.lookup(
+                    class_names, predicate.name, predicate.value, scope
+                )
+            else:
+                indexed = self._field_index.lookup(
+                    class_names, predicate.name, predicate.value
+                )
+            if indexed is None:
+                continue
+            candidates = indexed if candidates is None else candidates & indexed
+            if not candidates:
+                break
+        return candidates
+
+    def _edge_class_names(
+        self, classes: Sequence[EdgeClass] | None
+    ) -> list[str] | None:
+        if classes is None:
+            return None
+        names: set[str] = set()
+        for cls in classes:
+            names.update(self.schema.concrete_names(cls))
+        return sorted(names)
 
     def _expand(
         self,
         adjacency: AdjacencyIndex,
         node_uid: int,
         scope: TimeScope,
-        classes: Sequence[EdgeClass] | None,
+        class_names: list[str] | None,
     ) -> list[EdgeRecord]:
-        class_names: list[str] | None = None
-        if classes is not None:
-            names: set[str] = set()
-            for cls in classes:
-                names.update(concrete.name for concrete in cls.concrete_subtree())
-            class_names = sorted(names)
         records: list[EdgeRecord] = []
         for edge_uid in adjacency.edges(node_uid, class_names):
             versions = self._visible_versions(edge_uid, scope)
@@ -306,15 +389,48 @@ class MemGraphStore(GraphStore):
                 records.append(record)
         return records
 
+    def _expand_many(
+        self,
+        adjacency: AdjacencyIndex,
+        node_uids: Sequence[int],
+        scope: TimeScope,
+        classes: Sequence[EdgeClass] | None,
+    ) -> dict[int, list[EdgeRecord]]:
+        """One adjacency expansion for a whole frontier: the class-subtree
+        filter is resolved once, then applied per node."""
+        class_names = self._edge_class_names(classes)
+        self._event("index.expand.batches")
+        self._event("index.expand.nodes", len(node_uids))
+        return {
+            uid: self._expand(adjacency, uid, scope, class_names)
+            for uid in node_uids
+        }
+
     def out_edges(
         self, node_uid: int, scope: TimeScope, classes: Sequence[EdgeClass] | None = None
     ) -> list[EdgeRecord]:
-        return self._expand(self._out, node_uid, scope, classes)
+        return self._expand(self._out, node_uid, scope, self._edge_class_names(classes))
 
     def in_edges(
         self, node_uid: int, scope: TimeScope, classes: Sequence[EdgeClass] | None = None
     ) -> list[EdgeRecord]:
-        return self._expand(self._in, node_uid, scope, classes)
+        return self._expand(self._in, node_uid, scope, self._edge_class_names(classes))
+
+    def out_edges_many(
+        self,
+        node_uids: Sequence[int],
+        scope: TimeScope,
+        classes: Sequence[EdgeClass] | None = None,
+    ) -> dict[int, list[EdgeRecord]]:
+        return self._expand_many(self._out, node_uids, scope, classes)
+
+    def in_edges_many(
+        self,
+        node_uids: Sequence[int],
+        scope: TimeScope,
+        classes: Sequence[EdgeClass] | None = None,
+    ) -> dict[int, list[EdgeRecord]]:
+        return self._expand_many(self._in, node_uids, scope, classes)
 
     # ------------------------------------------------------------------
     # statistics & accounting
@@ -322,7 +438,20 @@ class MemGraphStore(GraphStore):
 
     def class_count(self, class_name: str) -> int:
         cls = self.schema.resolve(class_name)
-        return self._class_index.count(c.name for c in cls.concrete_subtree())
+        return self._class_index.count(self.schema.concrete_names(cls))
+
+    def class_count_at(self, class_name: str, scope: TimeScope) -> int | None:
+        """Scope-aware class cardinality, served by the temporal index.
+
+        Historical anchor costing uses this so churned inventories are
+        costed with what existed *then*, not what exists now.
+        """
+        if scope.is_current:
+            return self.class_count(class_name)
+        if not self.temporal_index_enabled:
+            return None
+        cls = self.schema.resolve(class_name)
+        return self._temporal_class.count(self.schema.concrete_names(cls), scope)
 
     def counts(self) -> dict[str, int]:
         nodes = sum(1 for r in self._current.values() if isinstance(r, NodeRecord))
@@ -369,3 +498,30 @@ class MemGraphStore(GraphStore):
     def degree(self, node_uid: int) -> tuple[int, int]:
         """Structural (out, in) degree — includes historical edges."""
         return self._out.degree(node_uid), self._in.degree(node_uid)
+
+    def temporal_posting_count(self, class_name: str) -> int:
+        """Version postings the temporal class index holds for one class."""
+        return self._temporal_class.postings_count(class_name)
+
+    def rebuild_temporal_indexes(self) -> None:
+        """Recreate the temporal indexes from the version chains.
+
+        Incremental maintenance must be equivalent to this full rebuild;
+        the differential tests flip between them to prove it.  Rebuilding
+        inserts closed postings in per-uid (not global end) order, which
+        also exercises the postings' lazy re-sort guard.
+        """
+        self._temporal_class = TemporalClassIndex()
+        self._temporal_field = TemporalFieldIndex(self._field_index.indexed_fields)
+        for uid, cls in self._class_of.items():
+            for version in self._history.get(uid, ()):
+                fields = dict(version.fields)
+                self._temporal_class.open(cls.name, uid, version.period.start)
+                self._temporal_class.close(cls.name, uid, version.period.end)
+                self._temporal_field.open(cls.name, uid, version.period.start, fields)
+                self._temporal_field.close(cls.name, uid, version.period.end, fields)
+            current = self._current.get(uid)
+            if current is not None:
+                start = current.period.start
+                self._temporal_class.open(cls.name, uid, start)
+                self._temporal_field.open(cls.name, uid, start, dict(current.fields))

@@ -1,0 +1,222 @@
+"""Temporal secondary indexes for the in-memory backend.
+
+Historical reads (``AT '<ts>'`` and ``AT '<t1>':'<t2>'`` scopes) used to
+degrade to a scan over every uid the store ever admitted.  The structures
+here keep *version postings* — one ``[start, end)`` system period per
+stored version — organized so an interval-overlap lookup is served with a
+bisect instead of a scan, in the spirit of the interval-aware secondary
+structures of "Towards Temporal Graph Databases" (PAPERS.md):
+
+* :class:`TemporalClassIndex` — per concrete class, every version period
+  ever recorded, answering "which uids had *some* version of this class
+  overlapping the scope?";
+* :class:`TemporalFieldIndex` — per (class, field, value) for the store's
+  indexed fields, answering the same question restricted to versions that
+  carried that field value.
+
+Both share one posting layout (:class:`VersionPostings`): the open versions
+live in a ``uid → start`` dict (their end is ``FOREVER``, so they overlap
+any scope that starts before "now"), and closed versions append to arrays
+sorted by close time — transaction clocks are monotone, so closing order
+*is* end order and the append keeps the arrays sorted for free (a dirty
+flag re-sorts defensively if that invariant is ever violated).  A lookup
+for a window ``[a, b)`` takes the open versions with ``start < b`` plus the
+closed-array tail with ``end > a`` (one ``bisect``), filtered by
+``start < b``.
+
+Maintenance mirrors the version chain exactly: a version *opens* when it
+is admitted, *closes* when an update or delete supersedes it, and a
+zero-duration version (opened and replaced at the same transaction
+instant) is *dropped* — it never existed, matching the store's in-place
+overwrite rule.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.schema.classes import field_value_key
+from repro.storage.base import TimeScope
+from repro.temporal.interval import FOREVER
+
+
+class VersionPostings:
+    """Version periods under one index key, bisect-searchable by end."""
+
+    __slots__ = ("open", "_ends", "_starts", "_uids", "_sorted")
+
+    def __init__(self) -> None:
+        self.open: dict[int, float] = {}
+        self._ends: list[float] = []
+        self._starts: list[float] = []
+        self._uids: list[int] = []
+        self._sorted = True
+
+    def __len__(self) -> int:
+        return len(self.open) + len(self._ends)
+
+    def open_version(self, uid: int, start: float) -> None:
+        self.open[uid] = start
+
+    def close_version(self, uid: int, end: float) -> None:
+        start = self.open.pop(uid, None)
+        if start is None:
+            return
+        if self._ends and end < self._ends[-1]:
+            self._sorted = False
+        self._ends.append(end)
+        self._starts.append(start)
+        self._uids.append(uid)
+
+    def drop_open(self, uid: int) -> None:
+        """Forget an open version that turned out to have zero duration."""
+        self.open.pop(uid, None)
+
+    def _ensure_sorted(self) -> None:
+        if self._sorted:
+            return
+        order = sorted(range(len(self._ends)), key=self._ends.__getitem__)
+        self._ends = [self._ends[i] for i in order]
+        self._starts = [self._starts[i] for i in order]
+        self._uids = [self._uids[i] for i in order]
+        self._sorted = True
+
+    def overlapping(self, start: float, end: float, into: set[int]) -> None:
+        """Add every uid with a version overlapping ``[start, end)`` to *into*.
+
+        Open versions overlap iff they started before *end*; closed versions
+        are the ``end > start`` tail of the end-sorted arrays, filtered by
+        their own start.
+        """
+        for uid, opened in self.open.items():
+            if opened < end:
+                into.add(uid)
+        self._ensure_sorted()
+        index = bisect_right(self._ends, start)
+        starts, uids = self._starts, self._uids
+        for i in range(index, len(self._ends)):
+            if starts[i] < end:
+                into.add(uids[i])
+
+
+def _scope_window(scope: TimeScope) -> tuple[float, float]:
+    """The scope as a plain ``(start, end)`` overlap window.
+
+    An ``AT t`` scope admits periods with ``start <= t < end``; with the
+    half-open posting convention that is exactly overlap against the
+    minimal window starting at ``t``, which :meth:`TimeScope.window`
+    already constructs.
+    """
+    window = scope.window()
+    return window.start, window.end
+
+
+class TemporalClassIndex:
+    """Per-class version postings: class name → every period ever stored."""
+
+    def __init__(self) -> None:
+        self._postings: dict[str, VersionPostings] = defaultdict(VersionPostings)
+
+    def open(self, class_name: str, uid: int, start: float) -> None:
+        self._postings[class_name].open_version(uid, start)
+
+    def close(self, class_name: str, uid: int, end: float) -> None:
+        postings = self._postings.get(class_name)
+        if postings is not None:
+            postings.close_version(uid, end)
+
+    def drop_open(self, class_name: str, uid: int) -> None:
+        postings = self._postings.get(class_name)
+        if postings is not None:
+            postings.drop_open(uid)
+
+    def lookup(self, class_names: Iterable[str], scope: TimeScope) -> set[int]:
+        """uids with at least one version of the classes overlapping *scope*."""
+        start, end = _scope_window(scope)
+        result: set[int] = set()
+        for name in class_names:
+            postings = self._postings.get(name)
+            if postings is not None:
+                postings.overlapping(start, end, result)
+        return result
+
+    def count(self, class_names: Iterable[str], scope: TimeScope) -> int:
+        """How many uids the lookup would return (for anchor costing)."""
+        return len(self.lookup(class_names, scope))
+
+    def postings_count(self, class_name: str) -> int:
+        """Total version postings held for one class (tests, introspection)."""
+        postings = self._postings.get(class_name)
+        return len(postings) if postings is not None else 0
+
+
+class TemporalFieldIndex:
+    """(class, field, value) → version postings for the indexed fields.
+
+    The temporal extension of
+    :class:`~repro.storage.memgraph.indexes.FieldEqualityIndex`: where the
+    equality index tracks *current* field values, this one keeps the value
+    each version carried over its whole system period, so a historical
+    equality anchor like ``Host(name='h-17') AT '<ts>'`` resolves with one
+    posting lookup instead of a class scan.
+    """
+
+    def __init__(self, indexed_fields: tuple[str, ...] = ("name",)):
+        self.indexed_fields = indexed_fields
+        self._postings: dict[tuple[str, str, object], VersionPostings] = {}
+
+    def _keys(self, class_name: str, fields: dict) -> Iterator[tuple[str, str, object]]:
+        for field_name in self.indexed_fields:
+            value = fields.get(field_name)
+            if value is None:
+                continue
+            yield (class_name, field_name, field_value_key(value))
+
+    def open(self, class_name: str, uid: int, start: float, fields: dict) -> None:
+        for key in self._keys(class_name, fields):
+            postings = self._postings.get(key)
+            if postings is None:
+                postings = self._postings[key] = VersionPostings()
+            postings.open_version(uid, start)
+
+    def close(self, class_name: str, uid: int, end: float, fields: dict) -> None:
+        for key in self._keys(class_name, fields):
+            postings = self._postings.get(key)
+            if postings is not None:
+                postings.close_version(uid, end)
+
+    def drop_open(self, class_name: str, uid: int, fields: dict) -> None:
+        for key in self._keys(class_name, fields):
+            postings = self._postings.get(key)
+            if postings is not None:
+                postings.drop_open(uid)
+
+    def lookup(
+        self,
+        class_names: Iterable[str],
+        field_name: str,
+        value: object,
+        scope: TimeScope,
+    ) -> set[int] | None:
+        """uids with a version carrying ``field = value`` overlapping *scope*,
+        or ``None`` when the field is not indexed (caller falls back)."""
+        if field_name not in self.indexed_fields:
+            return None
+        start, end = _scope_window(scope)
+        key_value = field_value_key(value)
+        result: set[int] = set()
+        for class_name in class_names:
+            postings = self._postings.get((class_name, field_name, key_value))
+            if postings is not None:
+                postings.overlapping(start, end, result)
+        return result
+
+
+__all__ = [
+    "FOREVER",
+    "TemporalClassIndex",
+    "TemporalFieldIndex",
+    "VersionPostings",
+]

@@ -1,0 +1,150 @@
+"""The executor's hash-join fast path.
+
+Equi-join predicates whose sides split cleanly across a join — one side
+over the incoming variable, the other over already-bound variables — are
+executed by hashing the bound side and probing per pathway.  These tests
+pin (a) byte-identical results and ordering against the nested loop the
+hash path replaces, (b) the ``executor.join.*`` metrics trail, and (c)
+the fallback whenever keys cannot be hashed faithfully.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.elements import NodeRecord
+from repro.plan.executor import _UNHASHABLE, QueryExecutor, _join_key
+from repro.schema.builtin import build_network_schema
+from repro.stats.metrics import MetricsRegistry
+from repro.storage.memgraph.store import MemGraphStore
+from repro.temporal.clock import TransactionClock
+from tests.conftest import T0, SmallInventory
+
+JOIN_QUERIES = (
+    "Retrieve P, Q From PATHS P, PATHS Q "
+    "Where P MATCHES VFC()->OnVM()->VM() "
+    "And Q MATCHES VM()->OnServer()->Host() "
+    "And target(P) = source(Q)",
+    # Three-way physical-path join (§3.4 shape).
+    "Retrieve Phys From PATHS D1, PATHS D2, PATHS Phys "
+    "Where D1 MATCHES VM()->OnServer()->Host() "
+    "And D2 MATCHES VM()->OnServer()->Host() "
+    "And Phys MATCHES [ConnectedTo()]{1,4} "
+    "And source(Phys)=target(D1) And target(Phys)=target(D2)",
+    # Field-equality join key (status is a string key, not a node uid).
+    "Retrieve P, Q From PATHS P, PATHS Q "
+    "Where P MATCHES VM() And Q MATCHES Host() "
+    "And source(P).status = source(Q).status",
+    # id() against a node: compare_values normalizes the node to its uid.
+    "Retrieve P, Q From PATHS P, PATHS Q "
+    "Where P MATCHES VM() And Q MATCHES VM()->OnServer()->Host() "
+    "And source(P) = source(Q)",
+)
+
+
+def build_executor() -> tuple[QueryExecutor, SmallInventory, MetricsRegistry]:
+    store = MemGraphStore(build_network_schema(), clock=TransactionClock(start=T0))
+    inventory = SmallInventory(store)
+    metrics = MetricsRegistry()
+    executor = QueryExecutor({"default": store}, metrics=metrics)
+    return executor, inventory, metrics
+
+
+def rows_of(result):
+    return [
+        tuple(sorted((name, p.key()) for name, p in row.bindings.items()))
+        for row in result.rows
+    ]
+
+
+@pytest.mark.parametrize("query", JOIN_QUERIES)
+def test_hash_join_equals_nested_loop_including_order(query, monkeypatch):
+    hashed_ex, _, hashed_metrics = build_executor()
+    hashed = rows_of(hashed_ex.execute(query))
+
+    looped_ex, _, looped_metrics = build_executor()
+    monkeypatch.setattr(
+        QueryExecutor, "_equi_join_predicate", lambda self, item, ready: None
+    )
+    looped = rows_of(looped_ex.execute(query))
+    monkeypatch.undo()
+
+    assert hashed == looped  # order-sensitive on purpose
+    assert hashed_metrics.events("executor.join")["executor.join.hash"] >= 1
+    assert "executor.join.hash" not in looped_metrics.events("executor.join")
+    # Both paths agree on the logical join sizes they report.
+    assert (
+        hashed_metrics.events("executor.join")["executor.join.rows_out"]
+        == looped_metrics.events("executor.join")["executor.join.rows_out"]
+    )
+
+
+def test_join_events_accounting():
+    executor, inv, metrics = build_executor()
+    result = executor.execute(
+        "Retrieve P, Q From PATHS P, PATHS Q "
+        "Where P MATCHES VFC()->OnVM()->VM() "
+        "And Q MATCHES VM()->OnServer()->Host() "
+        "And target(P) = source(Q)"
+    )
+    assert len(result) == 2
+    events = metrics.events("executor.join")
+    # First variable joins against the empty binding (nested loop, no equi
+    # predicate is ready); the second is the hash join under test.
+    assert events["executor.join.hash"] == 1
+    assert events["executor.join.nested_loop"] == 1
+    assert events["executor.join.rows_in"] == 2 + 2 * 2
+    assert events["executor.join.rows_out"] == 2 + 2
+
+
+def test_single_variable_queries_never_hash():
+    executor, _, metrics = build_executor()
+    executor.execute("Retrieve P From PATHS P Where P MATCHES VM()")
+    events = metrics.events("executor.join")
+    assert "executor.join.hash" not in events
+    assert events["executor.join.nested_loop"] == 1
+
+
+def test_join_key_semantics_match_compare_values():
+    store = MemGraphStore(build_network_schema(), clock=TransactionClock(start=T0))
+    uid = store.insert_node("Host", {"name": "h"})
+    node = store.node(uid)
+    assert isinstance(node, NodeRecord)
+    assert _join_key(node) == uid  # node vs uid literal joins by uid
+    assert _join_key(5) == 5
+    assert _join_key(5.0) == 5  # hashes/compares equal across numeric kinds
+    assert _join_key("x") == "x"
+    assert _join_key(None) is None
+    assert _join_key(True) == 1
+    assert _join_key([1, 2]) is _UNHASHABLE
+    assert _join_key({"a": 1}) is _UNHASHABLE
+    assert _join_key(object()) is _UNHASHABLE
+
+
+def test_unhashable_keys_fall_back_to_nested_loop():
+    executor, inv, metrics = build_executor()
+    item_stub = type(
+        "Item", (), {"name": "Q", "pathways": None}
+    )()
+
+    class Expr:
+        def __init__(self, value):
+            self.value = value
+
+        def variables(self):
+            return set()
+
+    # Drive _hash_join directly with a build expression that evaluates to
+    # an unhashable value: it must decline (None), not raise.
+    from repro.plan import executor as executor_module
+
+    original = executor_module.evaluate_expression
+    executor_module.evaluate_expression = lambda expr, bindings: expr.value
+    try:
+        item_stub.pathways = ["pathway"]
+        declined = executor._hash_join(
+            item_stub, [{}], [], (Expr([1]), Expr([1]))
+        )
+    finally:
+        executor_module.evaluate_expression = original
+    assert declined is None

@@ -148,3 +148,28 @@ class TestValidation:
         assert "VMWare" in text
         assert "(abstract)" in text
         assert "vcpus:integer" in text
+
+
+class TestConcreteNamesMemo:
+    def test_matches_concrete_subtree(self, schema):
+        vm = schema.resolve("VM")
+        assert schema.concrete_names(vm) == tuple(
+            cls.name for cls in vm.concrete_subtree()
+        )
+        assert schema.concrete_names(vm) == ("VM", "VMWare", "OnMetal")
+
+    def test_memoized_until_schema_evolves(self, schema):
+        vm = schema.resolve("VM")
+        first = schema.concrete_names(vm)
+        assert schema.concrete_names(vm) is first  # cached tuple identity
+        schema.define_node("Xen", parent="VM")
+        widened = schema.concrete_names(vm)
+        assert widened is not first
+        assert "Xen" in widened
+
+    def test_touch_flushes_the_memo(self, schema):
+        host = schema.resolve("Host")
+        first = schema.concrete_names(host)
+        schema.touch()
+        assert schema.concrete_names(host) == first
+        assert schema.concrete_names(host) is not first

@@ -1,0 +1,282 @@
+"""Temporal secondary indexes: unit tests and the differential oracle.
+
+The store keeps its own oracle: flipping ``temporal_index_enabled`` off
+routes historical anchors through the pre-index brute-force scan over
+every uid ever admitted, while the indexes keep being maintained.  Every
+property here drives random churn into one store and asserts the indexed
+and brute-force answers are identical — then rebuilds the indexes from
+the version chains and asserts incremental maintenance drifted nowhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rpe.parser import parse_rpe
+from repro.stats.metrics import MetricsRegistry
+from repro.storage.base import TimeScope
+from repro.storage.memgraph.store import MemGraphStore
+from repro.storage.memgraph.temporal_index import (
+    TemporalClassIndex,
+    VersionPostings,
+)
+from repro.temporal.clock import TransactionClock
+from repro.temporal.interval import FOREVER
+from tests.storage.test_backend_equivalence import SCHEMA, apply_ops
+
+T0 = 1_000.0
+
+
+# ----------------------------------------------------------------------
+# VersionPostings unit behaviour
+# ----------------------------------------------------------------------
+
+
+def overlapping(postings: VersionPostings, start: float, end: float) -> set[int]:
+    result: set[int] = set()
+    postings.overlapping(start, end, result)
+    return result
+
+
+def test_postings_open_versions_overlap_any_later_window():
+    postings = VersionPostings()
+    postings.open_version(1, 10.0)
+    assert overlapping(postings, 10.0, 10.1) == {1}
+    assert overlapping(postings, 500.0, FOREVER) == {1}
+    assert overlapping(postings, 0.0, 10.0) == set()  # half-open: ends before
+
+
+def test_postings_closed_versions_use_bisect_tail():
+    postings = VersionPostings()
+    postings.open_version(1, 10.0)
+    postings.close_version(1, 20.0)
+    postings.open_version(2, 15.0)
+    postings.close_version(2, 30.0)
+    assert overlapping(postings, 0.0, 5.0) == set()
+    assert overlapping(postings, 12.0, 13.0) == {1}
+    assert overlapping(postings, 25.0, 26.0) == {2}
+    assert overlapping(postings, 12.0, 16.0) == {1, 2}
+    assert overlapping(postings, 30.0, 40.0) == set()  # [_, 30) excludes 30
+    assert len(postings) == 2
+
+
+def test_postings_drop_open_forgets_zero_duration_versions():
+    postings = VersionPostings()
+    postings.open_version(7, 10.0)
+    postings.drop_open(7)
+    assert overlapping(postings, 0.0, FOREVER) == set()
+    postings.close_version(7, 20.0)  # no-op: nothing open
+    assert len(postings) == 0
+
+
+def test_postings_resort_guard_handles_out_of_order_closes():
+    postings = VersionPostings()
+    for uid, (start, end) in enumerate([(10.0, 50.0), (0.0, 20.0), (30.0, 40.0)]):
+        postings.open_version(uid, start)
+        postings.close_version(uid, end)  # ends arrive 50, 20, 40: unsorted
+    assert overlapping(postings, 45.0, 46.0) == {0}
+    assert overlapping(postings, 15.0, 35.0) == {0, 1, 2}
+    assert overlapping(postings, 21.0, 29.0) == {0}
+
+
+def test_class_index_lookup_unions_classes():
+    index = TemporalClassIndex()
+    index.open("Box", 1, 10.0)
+    index.open("BigBox", 2, 10.0)
+    index.close("Box", 1, 20.0)
+    scope = TimeScope.at(15.0)
+    assert index.lookup(["Box"], scope) == {1}
+    assert index.lookup(["Box", "BigBox"], scope) == {1, 2}
+    assert index.lookup(["Box"], TimeScope.at(25.0)) == set()
+    assert index.count(["Box", "BigBox"], scope) == 2
+    assert index.postings_count("Box") == 1
+
+
+# ----------------------------------------------------------------------
+# store-level differential: indexed vs brute-force under random churn
+# ----------------------------------------------------------------------
+
+_ops = st.lists(
+    st.sampled_from([
+        ("node", "Box"), ("node", "BigBox"),
+        ("edge", "Link"), ("edge", "FastLink"),
+        ("update",), ("delete",), ("revive",), ("tick",),
+    ]),
+    min_size=3,
+    max_size=30,
+)
+_choices = st.lists(st.integers(min_value=0, max_value=997), min_size=70, max_size=70)
+
+#: Scanned atoms: bare classes, a subclass, and equalities over the indexed
+#: ``status`` field (hit by churn updates) plus an unindexed ``size``.
+ATOM_TEXTS = (
+    "Box()",
+    "BigBox()",
+    "Link()",
+    "Box(status='up')",
+    "Box(status='changed')",
+    "Box(size=1)",
+)
+
+
+def churned_store(ops, choices) -> MemGraphStore:
+    store = MemGraphStore(
+        SCHEMA,
+        clock=TransactionClock(start=T0),
+        indexed_fields=("name", "status"),
+    )
+    apply_ops(store, ops, choices)
+    return store
+
+
+def scopes_for(store) -> list[TimeScope]:
+    final = store.clock.now()
+    mid = (T0 + final) / 2
+    return [
+        TimeScope.current(),
+        TimeScope.at(T0),
+        TimeScope.at(mid),
+        TimeScope.at(final),
+        TimeScope.between(T0, final + 1.0),
+        TimeScope.between(mid, final + 5.0),
+    ]
+
+
+def digest(records) -> set[tuple]:
+    return {
+        (r.uid, r.cls.name, tuple(sorted(r.fields.items())), r.period.start)
+        for r in records
+    }
+
+
+@settings(max_examples=40, deadline=None)
+@given(_ops, _choices)
+def test_indexed_scans_match_bruteforce_under_churn(ops, choices):
+    store = churned_store(ops, choices)
+    atoms = [parse_rpe(text).bind(SCHEMA) for text in ATOM_TEXTS]
+    for scope in scopes_for(store):
+        for atom in atoms:
+            store.temporal_index_enabled = True
+            indexed = digest(store.scan_atom(atom, scope))
+            store.temporal_index_enabled = False
+            brute = digest(store.scan_atom(atom, scope))
+            assert indexed == brute, (atom.render(), str(scope))
+
+
+@settings(max_examples=40, deadline=None)
+@given(_ops, _choices)
+def test_incremental_maintenance_matches_full_rebuild(ops, choices):
+    store = churned_store(ops, choices)
+    atoms = [parse_rpe(text).bind(SCHEMA) for text in ATOM_TEXTS]
+    scopes = scopes_for(store)
+    incremental = [
+        digest(store.scan_atom(atom, scope)) for scope in scopes for atom in atoms
+    ]
+    counts = [store.temporal_posting_count(c) for c in ("Box", "BigBox", "Link")]
+    store.rebuild_temporal_indexes()
+    rebuilt = [
+        digest(store.scan_atom(atom, scope)) for scope in scopes for atom in atoms
+    ]
+    assert incremental == rebuilt
+    assert counts == [
+        store.temporal_posting_count(c) for c in ("Box", "BigBox", "Link")
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(_ops, _choices)
+def test_batched_expansion_matches_per_node_calls(ops, choices):
+    store = churned_store(ops, choices)
+    uids = store.known_uids()
+    link = SCHEMA.edge_class("Link")
+    fast = SCHEMA.edge_class("FastLink")
+    for scope in scopes_for(store):
+        for classes in (None, [link], [fast], [link, fast]):
+            batched = store.out_edges_many(uids, scope, classes)
+            assert set(batched) == set(uids)
+            for uid in uids:
+                single = store.out_edges(uid, scope, classes)
+                assert [e.uid for e in batched[uid]] == [e.uid for e in single]
+            batched_in = store.in_edges_many(uids, scope, classes)
+            for uid in uids:
+                single = store.in_edges(uid, scope, classes)
+                assert [e.uid for e in batched_in[uid]] == [e.uid for e in single]
+
+
+@settings(max_examples=30, deadline=None)
+@given(_ops, _choices)
+def test_class_count_at_matches_scan_cardinality(ops, choices):
+    store = churned_store(ops, choices)
+    for scope in scopes_for(store):
+        for class_name in ("Box", "BigBox", "Link"):
+            atom = parse_rpe(f"{class_name}()").bind(SCHEMA)
+            expected = len(store.scan_atom(atom, scope))
+            assert store.class_count_at(class_name, scope) == expected
+    store.temporal_index_enabled = False
+    historic = TimeScope.at(T0)
+    assert store.class_count_at("Box", historic) is None
+    assert store.class_count_at("Box", TimeScope.current()) == store.class_count("Box")
+
+
+# ----------------------------------------------------------------------
+# deterministic behaviour details
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def box_store() -> MemGraphStore:
+    return MemGraphStore(
+        SCHEMA, clock=TransactionClock(start=T0), indexed_fields=("name", "status")
+    )
+
+
+def test_historical_field_equality_served_by_temporal_index(box_store):
+    store = box_store
+    uid = store.insert_node("Box", {"status": "up", "size": 1})
+    store.clock.advance(10)
+    store.update_element(uid, {"status": "down"})
+    store.clock.advance(10)
+    atom_up = parse_rpe("Box(status='up')").bind(SCHEMA)
+    atom_down = parse_rpe("Box(status='down')").bind(SCHEMA)
+    was_up = TimeScope.at(T0 + 5)
+    assert [r.uid for r in store.scan_atom(atom_up, was_up)] == [uid]
+    assert store.scan_atom(atom_down, was_up) == []
+    assert [r.uid for r in store.scan_atom(atom_down, TimeScope.current())] == [uid]
+    # The representative version reflects the scope, not the present.
+    (record,) = store.scan_atom(atom_up, was_up)
+    assert record.fields["status"] == "up"
+
+
+def test_zero_duration_versions_never_surface(box_store):
+    store = box_store
+    uid = store.insert_node("Box", {"status": "up"})
+    store.update_element(uid, {"status": "flash"})  # same transaction instant
+    store.update_element(uid, {"status": "settled"})
+    atom = parse_rpe("Box(status='flash')").bind(SCHEMA)
+    assert store.scan_atom(atom, TimeScope.at(T0)) == []
+    assert store.scan_atom(atom, TimeScope.between(T0, T0 + 100)) == []
+    dead = store.insert_node("Box", {"status": "blip"})
+    store.delete_element(dead)  # opened and deleted at the same instant
+    blip = parse_rpe("Box(status='blip')").bind(SCHEMA)
+    assert store.scan_atom(blip, TimeScope.between(T0, FOREVER)) == []
+
+
+def test_temporal_events_reach_the_metrics_registry(box_store):
+    store = box_store
+    metrics = MetricsRegistry()
+    store.set_metrics(metrics)
+    uid = store.insert_node("Box", {"name": "b-1", "status": "up"})
+    store.clock.advance(10)
+    store.update_element(uid, {"status": "down"})
+    bare = parse_rpe("Box()").bind(SCHEMA)
+    named = parse_rpe("Box(name='b-1')").bind(SCHEMA)
+    store.scan_atom(bare, TimeScope.at(T0))
+    store.scan_atom(named, TimeScope.at(T0))
+    store.temporal_index_enabled = False
+    store.scan_atom(bare, TimeScope.at(T0))
+    events = metrics.events("index.temporal")
+    assert events["index.temporal.class_hit"] == 1
+    assert events["index.temporal.field_hit"] == 1
+    assert events["index.temporal.scan"] == 1
+    assert events["index.temporal.candidates"] >= 2
