@@ -1,6 +1,6 @@
 # Convenience targets for the Nepal reproduction.
 
-.PHONY: install test lint coverage ci bench bench-smoke sweep examples all
+.PHONY: install test lint coverage ci stress bench bench-smoke sweep examples all
 
 # Minimum line coverage enforced by `make coverage` and the CI test job.
 COVERAGE_FLOOR ?= 80
@@ -36,18 +36,31 @@ coverage:
 # Mirror of .github/workflows/ci.yml: lint, the tier-1 suite, coverage.
 ci: lint test coverage
 
+# The concurrency suite CI repeats 20x under pytest-timeout.  Locally the
+# timeout/repeat plugins are optional; this runs the suite once, plain.
+stress:
+	PYTHONPATH=src python -m pytest -q tests/concurrency
+
 bench:
 	pytest benchmarks/ --benchmark-only
 
-# Reduced-scale smoke of the Table 1 workload, the WAL-overhead ablation
-# and the time-travel index ablation (CI's non-blocking bench job).
+# Reduced-scale smoke of the Table 1 workload, the WAL-overhead ablation,
+# the plan-cache / time-travel ablations and the concurrent-serving bench,
+# then the regression gate against benchmarks/baselines/ (mirrors CI's
+# gating bench-smoke job).
 bench-smoke:
 	NEPAL_BENCH_INSTANCES=5 NEPAL_CHURN_DAYS=5 NEPAL_BENCH_SCALE=small \
 		PYTHONPATH=src python -m pytest benchmarks/bench_table1.py -s --benchmark-disable -k snapshot
 	NEPAL_WAL_OPS=600 \
 		PYTHONPATH=src python -m pytest benchmarks/bench_wal_overhead.py -s --benchmark-disable
+	NEPAL_BENCH_INSTANCES=5 NEPAL_CHURN_DAYS=5 NEPAL_BENCH_SCALE=small \
+		PYTHONPATH=src python -m pytest benchmarks/bench_plan_cache.py::test_plan_cache_warm_vs_cold -s --benchmark-disable
 	NEPAL_TT_ELEMENTS=1500 NEPAL_TT_DAYS=8 \
 		PYTHONPATH=src python -m pytest benchmarks/bench_time_travel.py -s --benchmark-disable
+	NEPAL_CC_SECONDS=0.5 \
+		PYTHONPATH=src python -m pytest benchmarks/bench_concurrency.py -s --benchmark-disable
+	python benchmarks/check_regression.py --baseline-dir benchmarks/baselines \
+		BENCH_plan_cache.json BENCH_timetravel.json BENCH_concurrency.json
 
 # The paper-style comparison tables (Tables 1-2, ablations, storage).
 sweep:

@@ -1,0 +1,235 @@
+"""Concurrent read serving: throughput & latency vs reader-thread count.
+
+The concurrency subsystem promises that many threads can serve queries
+against consistent snapshot views while a single writer commits.  This
+bench measures exactly that promise on the virtualized service topology:
+
+* **cpu mode** — readers issue back-to-back ``db.query`` calls.  Pure
+  Python holds the GIL, so thread scaling here reports what the runtime
+  can and cannot give; it is printed but not gated.
+* **io mode** — each request also waits ``NEPAL_CC_IO_MS`` of simulated
+  downstream I/O (client network, disk, an RPC fan-out), released from
+  the GIL like any real ``select``/``read``.  This is the serving shape
+  the HTTP front end exists for, and where thread scaling is load-bearing:
+  the bench asserts ≥2x read throughput at 4 threads vs 1.
+
+Every cell runs twice: without a writer, and with a concurrent churn
+writer flipping VM statuses through the single-writer commit gate — the
+"with writer" columns show what read latency pays for concurrent commits.
+
+Results land in ``BENCH_concurrency.json`` with a ``gate`` section the CI
+regression check compares against ``benchmarks/baselines/``.
+
+Env knobs: ``NEPAL_CC_SECONDS`` per-cell duration, ``NEPAL_CC_IO_MS``
+simulated per-request I/O, ``NEPAL_CC_THREADS`` comma-separated thread
+counts, ``NEPAL_CC_JSON`` output path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import statistics
+import threading
+import time
+
+from repro.core.database import NepalDB
+from repro.inventory.virtualized import TopologyParams, VirtualizedServiceTopology
+from repro.inventory.workload import table1_workload
+from repro.util.text import format_table
+
+SECONDS = float(os.environ.get("NEPAL_CC_SECONDS", "1.0"))
+IO_MS = float(os.environ.get("NEPAL_CC_IO_MS", "4.0"))
+THREADS = [int(t) for t in os.environ.get("NEPAL_CC_THREADS", "1,2,4").split(",")]
+JSON_PATH = os.environ.get("NEPAL_CC_JSON", "BENCH_concurrency.json")
+
+SEED = 20180613
+MIN_IO_SCALING = 2.0
+
+
+def build_db() -> tuple[NepalDB, list[int], list[str]]:
+    """A served database, the VM uids the churn writer flips, and a
+    corpus of paper-workload NPQL texts."""
+    db = NepalDB()  # wall transaction clock, like a deployment
+    handles = VirtualizedServiceTopology(TopologyParams(seed=SEED)).apply(db.store)
+    # Placement point lookups — the monitoring-style requests a serving
+    # tier answers in volume ("where does this VM run right now?").  The
+    # heavy analytical kinds of Table 1 are benched elsewhere; their
+    # multi-hundred-ms tails would measure the GIL, not the server.
+    rng = random.Random(SEED)
+    corpus = [
+        f"Retrieve P From PATHS P Where P MATCHES VM(id={vm})->OnServer()->Host()"
+        for vm in rng.sample(handles.vms, 16)
+    ]
+    # Prime parse/typecheck/plan caches so cells measure serving, not warmup.
+    for text in corpus:
+        db.query(text)
+    return db, handles.vms, corpus
+
+
+def run_cell(
+    db: NepalDB,
+    corpus: list[str],
+    threads: int,
+    io_s: float,
+    writer_vms: list[int] | None,
+) -> dict[str, float]:
+    """One duration-based serving cell; returns qps and latency quantiles."""
+    stop = threading.Event()
+    latencies: list[list[float]] = [[] for _ in range(threads)]
+    errors: list[BaseException] = []
+
+    def reader(slot: int) -> None:
+        rng = random.Random(SEED + slot)
+        own = latencies[slot]
+        try:
+            while not stop.is_set():
+                text = corpus[rng.randrange(len(corpus))]
+                started = time.perf_counter()
+                db.query(text)
+                if io_s:
+                    time.sleep(io_s)
+                own.append(time.perf_counter() - started)
+        except BaseException as error:  # noqa: BLE001 - reported below
+            errors.append(error)
+
+    def writer() -> None:
+        rng = random.Random(SEED ^ 0xC0FFEE)
+        statuses = ("Green", "Amber", "Red")
+        try:
+            while not stop.is_set():
+                uid = writer_vms[rng.randrange(len(writer_vms))]
+                db.update(uid, {"status": rng.choice(statuses)})
+                time.sleep(0.001)
+        except BaseException as error:  # noqa: BLE001
+            errors.append(error)
+
+    workers = [
+        threading.Thread(target=reader, args=(slot,), daemon=True)
+        for slot in range(threads)
+    ]
+    if writer_vms is not None:
+        workers.append(threading.Thread(target=writer, daemon=True))
+    started = time.perf_counter()
+    for worker in workers:
+        worker.start()
+    time.sleep(SECONDS)
+    stop.set()
+    for worker in workers:
+        worker.join(timeout=30)
+        assert not worker.is_alive(), "serving cell failed to drain"
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+
+    merged = sorted(lat for own in latencies for lat in own)
+    assert merged, "cell completed zero requests"
+    return {
+        "requests": len(merged),
+        "qps": len(merged) / elapsed,
+        "p50_ms": 1000 * statistics.quantiles(merged, n=100)[49]
+        if len(merged) >= 100
+        else 1000 * statistics.median(merged),
+        "p99_ms": 1000 * statistics.quantiles(merged, n=100)[98]
+        if len(merged) >= 100
+        else 1000 * merged[-1],
+    }
+
+
+def test_concurrent_read_serving(capsys):
+    db, vms, corpus = build_db()
+
+    # Calibrate the simulated I/O so it dominates a single query's CPU —
+    # the serving regime the front end runs in.  Below that, 4 Python
+    # threads cannot beat 1 (the GIL serializes the CPU part) and the
+    # cell would measure the runtime, not the subsystem.  The mean
+    # (1/qps), not the median, sets the floor: the corpus is tail-heavy
+    # and it is the tail that serializes.
+    calibration = run_cell(db, corpus, threads=1, io_s=0.0, writer_vms=None)
+    io_s = max(IO_MS / 1000.0, 3.0 / calibration["qps"])
+
+    cells: list[dict[str, object]] = []
+    table_rows = []
+    for mode, mode_io in (("cpu", 0.0), ("io", io_s)):
+        for threads in THREADS:
+            for with_writer in (False, True):
+                cell = run_cell(
+                    db, corpus, threads, mode_io, vms if with_writer else None
+                )
+                cells.append(
+                    {
+                        "mode": mode,
+                        "threads": threads,
+                        "writer": with_writer,
+                        **cell,
+                    }
+                )
+                table_rows.append([
+                    mode,
+                    str(threads),
+                    "yes" if with_writer else "no",
+                    f"{cell['qps']:.0f}",
+                    f"{cell['p50_ms']:.2f}",
+                    f"{cell['p99_ms']:.2f}",
+                ])
+
+    def qps(mode: str, threads: int, writer: bool = False) -> float:
+        for cell in cells:
+            if (
+                cell["mode"] == mode
+                and cell["threads"] == threads
+                and cell["writer"] == writer
+            ):
+                return cell["qps"]  # type: ignore[return-value]
+        raise KeyError((mode, threads, writer))
+
+    io_scaling = qps("io", max(THREADS)) / qps("io", min(THREADS))
+    cpu_scaling = qps("cpu", max(THREADS)) / qps("cpu", min(THREADS))
+    writer_cost = qps("io", max(THREADS)) / qps("io", max(THREADS), writer=True)
+
+    payload = {
+        "bench": "concurrency",
+        "seconds_per_cell": SECONDS,
+        "io_ms": io_s * 1000,
+        "threads": THREADS,
+        "corpus": len(corpus),
+        "calibration_p50_ms": calibration["p50_ms"],
+        "cells": cells,
+        "read_scaling": {"io": io_scaling, "cpu": cpu_scaling},
+        "writer_slowdown_io": writer_cost,
+        "commits": db.write_gate.commits,
+        "gate": {
+            "higher_is_better": {
+                "io_read_scaling": io_scaling,
+                "io_qps_max_threads": qps("io", max(THREADS)),
+                "io_qps_with_writer": qps("io", max(THREADS), writer=True),
+            },
+            "lower_is_better": {},
+        },
+    }
+    with open(JSON_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    with capsys.disabled():
+        print()
+        print(
+            f"== concurrent read serving ({SECONDS:.1f}s cells, "
+            f"{io_s * 1000:.1f}ms simulated I/O, corpus {len(corpus)}) =="
+        )
+        print(format_table(
+            ["mode", "threads", "writer", "qps", "p50 ms", "p99 ms"], table_rows
+        ))
+        print(
+            f"io-mode read scaling {min(THREADS)}->{max(THREADS)} threads: "
+            f"{io_scaling:.2f}x   (cpu-mode, ungated: {cpu_scaling:.2f}x)"
+        )
+        print(f"concurrent-writer slowdown (io mode): {writer_cost:.2f}x")
+        print(f"(written to {JSON_PATH})")
+
+    # The acceptance bar: serving-shaped reads scale ≥2x from 1 to 4
+    # threads.  (Pure-CPU scaling is reported above but not asserted —
+    # the GIL owns that number, not this subsystem.)
+    if min(THREADS) == 1 and max(THREADS) >= 4:
+        assert io_scaling >= MIN_IO_SCALING, payload["read_scaling"]

@@ -16,6 +16,8 @@ the cache exists to provide (in practice it is orders of magnitude).
 
 from __future__ import annotations
 
+import json
+import os
 import time
 
 from benchmarks.support import INSTANCES, BenchEnv
@@ -26,6 +28,7 @@ from repro.storage.base import TimeScope
 from repro.util.text import format_table
 
 MIN_SPEEDUP = 1.5
+JSON_PATH = os.environ.get("NEPAL_PC_JSON", "BENCH_plan_cache.json")
 
 
 def _cold_plan(env: BenchEnv, kind: str) -> float:
@@ -117,6 +120,26 @@ def test_plan_cache_warm_vs_cold(service_env):
 
     overall = total_cold / total_warm if total_warm > 0 else float("inf")
     print(f"overall planning speedup: {overall:.1f}x")
+
+    payload = {
+        "bench": "plan_cache",
+        "instances_per_type": INSTANCES,
+        "cold_plan_s": total_cold,
+        "warm_plan_s": total_warm,
+        "planning_speedup": overall,
+        "cache": {k: v for k, v in counters.items() if isinstance(v, (int, float))},
+        # Machine-independent ratio, compared against the committed
+        # baseline by benchmarks/check_regression.py in CI.
+        "gate": {
+            "higher_is_better": {"planning_speedup": overall},
+            "lower_is_better": {},
+        },
+    }
+    with open(JSON_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"(written to {JSON_PATH})")
+
     assert overall >= MIN_SPEEDUP, (
         f"warm planning only {overall:.2f}x faster than cold "
         f"(required ≥{MIN_SPEEDUP}x)"

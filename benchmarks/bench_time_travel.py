@@ -173,6 +173,12 @@ def test_time_travel_table(capsys):
         "live": {name: store.class_count(name) for name in ("Host", "VM", "OnServer")},
         "rows": rows,
         "min_historical_speedup": min_speedup,
+        # Machine-independent ratio, compared against the committed
+        # baseline by benchmarks/check_regression.py in CI.
+        "gate": {
+            "higher_is_better": {"min_historical_speedup": min_speedup},
+            "lower_is_better": {},
+        },
     }
     with open(JSON_PATH, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)

@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: compare ``BENCH_*.json`` against baselines.
+
+Each gated benchmark writes a ``gate`` section into its JSON payload::
+
+    "gate": {
+        "higher_is_better": {"min_historical_speedup": 31.2},
+        "lower_is_better":  {"io_p99_ms": 12.4}
+    }
+
+Baselines live in ``benchmarks/baselines/`` under the same filename the
+bench emits (``BENCH_timetravel.json`` etc.), generated at the reduced CI
+scale.  A current value fails when it is worse than the baseline by more
+than ``--tolerance`` (default 2.0x) in its direction — a deliberately
+loose bar: machine-independent ratios and sleep-dominated serving numbers
+sit well inside it, while a real 3x regression (a dropped index, an
+accidentally quadratic join) blows straight through.
+
+Exit status: 0 all gated metrics within tolerance, 1 otherwise (or when a
+current file is missing its baseline, unless ``--allow-missing``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_gate(path: Path) -> dict[str, dict[str, float]]:
+    with path.open(encoding="utf-8") as handle:
+        payload = json.load(handle)
+    gate = payload.get("gate", {})
+    return {
+        "higher_is_better": dict(gate.get("higher_is_better", {})),
+        "lower_is_better": dict(gate.get("lower_is_better", {})),
+    }
+
+
+def compare(
+    name: str,
+    current: dict[str, dict[str, float]],
+    baseline: dict[str, dict[str, float]],
+    tolerance: float,
+) -> list[str]:
+    problems = []
+    for metric, base in baseline["lower_is_better"].items():
+        cur = current["lower_is_better"].get(metric)
+        if cur is None:
+            problems.append(f"{name}: gated metric {metric!r} missing from current run")
+            continue
+        if base > 0 and cur > base * tolerance:
+            problems.append(
+                f"{name}: {metric} regressed {cur / base:.2f}x "
+                f"(current {cur:.4g} vs baseline {base:.4g}, "
+                f"tolerance {tolerance}x)"
+            )
+    for metric, base in baseline["higher_is_better"].items():
+        cur = current["higher_is_better"].get(metric)
+        if cur is None:
+            problems.append(f"{name}: gated metric {metric!r} missing from current run")
+            continue
+        if cur > 0 and base / cur > tolerance:
+            problems.append(
+                f"{name}: {metric} regressed {base / cur:.2f}x "
+                f"(current {cur:.4g} vs baseline {base:.4g}, "
+                f"tolerance {tolerance}x)"
+            )
+        elif cur <= 0:
+            problems.append(
+                f"{name}: {metric} collapsed to {cur!r} (baseline {base:.4g})"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "current", nargs="+", type=Path,
+        help="BENCH_*.json files from the run under test",
+    )
+    parser.add_argument(
+        "--baseline-dir", type=Path, default=Path("benchmarks/baselines"),
+        help="directory of committed baseline BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=2.0,
+        help="worse-by factor that fails the gate (default: 2.0)",
+    )
+    parser.add_argument(
+        "--allow-missing", action="store_true",
+        help="skip (instead of fail) current files without a baseline",
+    )
+    args = parser.parse_args(argv)
+
+    problems: list[str] = []
+    checked = 0
+    for current_path in args.current:
+        if not current_path.exists():
+            problems.append(f"{current_path}: current result file missing")
+            continue
+        baseline_path = args.baseline_dir / current_path.name
+        if not baseline_path.exists():
+            message = f"{current_path.name}: no baseline at {baseline_path}"
+            if args.allow_missing:
+                print(f"skip: {message}")
+                continue
+            problems.append(message)
+            continue
+        current = load_gate(current_path)
+        baseline = load_gate(baseline_path)
+        gated = sum(len(v) for v in baseline.values())
+        if gated == 0:
+            print(f"skip: {baseline_path.name} gates no metrics")
+            continue
+        found = compare(current_path.name, current, baseline, args.tolerance)
+        problems.extend(found)
+        checked += gated
+        status = "FAIL" if found else "ok"
+        print(f"{status}: {current_path.name} ({gated} gated metrics)")
+
+    if problems:
+        print(f"\nregression gate FAILED ({len(problems)} problems):", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(f"\nregression gate passed ({checked} metrics within tolerance)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,10 +20,11 @@ Quick start::
         print(row.pathway().render())
 """
 
+from repro.core.concurrency import ReadSnapshot, SnapshotStore, WriteGate
 from repro.core.database import NepalDB
 from repro.core.federation import Federation
 from repro.core.resilience import CircuitBreaker, ResiliencePolicy, ResilientStore
-from repro.errors import NepalError
+from repro.errors import NepalError, QueryDeadlineExceeded
 from repro.storage.chaos import FaultInjectingStore, FaultPlan
 from repro.query.parser import parse_query
 from repro.query.results import QueryResult, ResultRow
@@ -47,7 +48,9 @@ __all__ = [
     "MemGraphStore",
     "NepalDB",
     "NepalError",
+    "QueryDeadlineExceeded",
     "QueryResult",
+    "ReadSnapshot",
     "RelationalStore",
     "ResiliencePolicy",
     "ResilientStore",
@@ -55,7 +58,9 @@ __all__ = [
     "Schema",
     "Snapshot",
     "SnapshotLoader",
+    "SnapshotStore",
     "TimeScope",
+    "WriteGate",
     "build_network_schema",
     "export_snapshot",
     "parse_query",

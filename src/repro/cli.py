@@ -183,12 +183,8 @@ def repl(db: NepalDB) -> int:
             print(output)
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point (the ``nepal`` console script)."""
-    parser = argparse.ArgumentParser(
-        prog="nepal",
-        description="Nepal — path-first temporal network-inventory database",
-    )
+def _add_database_flags(parser: argparse.ArgumentParser) -> None:
+    """The flags :func:`build_database` consumes (shared by shell & serve)."""
     parser.add_argument(
         "--backend", choices=("memory", "relational"), default="memory",
         help="storage backend (default: memory)",
@@ -209,10 +205,6 @@ def main(argv: list[str] | None = None) -> int:
         "--data-dir", default=None, metavar="DIR",
         help="durable storage directory: journal every write to a WAL, "
              "recover checkpoint+journal on startup (memory backend only)",
-    )
-    parser.add_argument(
-        "-c", "--command", action="append", default=[],
-        help="run this statement and exit (repeatable)",
     )
     parser.add_argument(
         "--chaos-seed", type=int, default=None, metavar="SEED",
@@ -236,6 +228,91 @@ def main(argv: list[str] | None = None) -> int:
         "--allow-partial", action="store_true",
         help="degrade federated queries when a backend stays down "
              "(warnings instead of errors)",
+    )
+
+
+def serve_main(argv: list[str]) -> int:
+    """``nepal serve`` — run the threaded HTTP front end."""
+    parser = argparse.ArgumentParser(
+        prog="nepal serve",
+        description="Serve a Nepal database over HTTP with snapshot-"
+                    "isolated concurrent reads and a single-writer commit path",
+    )
+    _add_database_flags(parser)
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=7687, help="bind port (default: 7687; 0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=8,
+        help="request handler threads (default: 8)",
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=16,
+        help="requests allowed to wait for a free worker before admission "
+             "control answers 503 (default: 16)",
+    )
+    parser.add_argument(
+        "--request-deadline", type=float, default=5.0, metavar="SECONDS",
+        help="per-request read deadline, answered with 504 when overrun "
+             "(default: 5.0)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.server import NepalServer, ServerConfig
+
+    try:
+        db = build_database(args)
+    except NepalError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        deadline=args.request_deadline,
+    )
+    server = NepalServer(db, config)
+    try:
+        server.start()
+        host, port = server.address
+        print(
+            f"nepal serving on http://{host}:{port} "
+            f"({config.workers} workers, queue depth {config.queue_depth}, "
+            f"deadline {config.deadline}s) — Ctrl-C to stop",
+            file=sys.stderr,
+        )
+        try:
+            while True:
+                import time
+
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            print("\nshutting down", file=sys.stderr)
+        return 0
+    finally:
+        server.stop()
+        db.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (the ``nepal`` console script)."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv[:1] == ["serve"]:
+        return serve_main(argv[1:])
+    parser = argparse.ArgumentParser(
+        prog="nepal",
+        description="Nepal — path-first temporal network-inventory database "
+                    "(see also: nepal serve --help)",
+    )
+    _add_database_flags(parser)
+    parser.add_argument(
+        "-c", "--command", action="append", default=[],
+        help="run this statement and exit (repeatable)",
     )
     args = parser.parse_args(argv)
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Mapping
 
+from repro.core.concurrency import ReadSnapshot, WriteGate
 from repro.core.resilience import ResiliencePolicy
 from repro.errors import FederationError, NepalError
 from repro.model.pathway import Pathway
@@ -102,6 +103,7 @@ class NepalDB:
         self._resilience = resilience
         self._allow_partial = allow_partial
         self._executor: QueryExecutor | None = None
+        self._gate = WriteGate(metrics=self._metrics)
 
     # ------------------------------------------------------------------
     # stores & federation
@@ -240,7 +242,8 @@ class NepalDB:
         self, class_name: str, fields: Mapping[str, Any] | None = None, uid: int | None = None
 ) -> int:
         """Insert a node into the default store; returns its uid."""
-        uid = self.store.insert_node(class_name, fields, uid=uid)
+        with self._gate.commit(self.clock):
+            uid = self.store.insert_node(class_name, fields, uid=uid)
         self._dirty()
         return uid
 
@@ -253,7 +256,8 @@ class NepalDB:
         uid: int | None = None,
 ) -> int:
         """Insert an edge into the default store; returns its uid."""
-        uid = self.store.insert_edge(class_name, source, target, fields, uid=uid)
+        with self._gate.commit(self.clock):
+            uid = self.store.insert_edge(class_name, source, target, fields, uid=uid)
         self._dirty()
         return uid
 
@@ -266,21 +270,24 @@ class NepalDB:
     ) -> tuple[int, ...]:
         """Insert a connectivity edge, reciprocally when the class is symmetric."""
         edge_class = self.schema.edge_class(class_name)
-        if edge_class.symmetric:
-            uids = self.store.insert_symmetric_edge(class_name, left, right, fields)
-        else:
-            uids = (self.store.insert_edge(class_name, left, right, fields),)
+        with self._gate.commit(self.clock):
+            if edge_class.symmetric:
+                uids = self.store.insert_symmetric_edge(class_name, left, right, fields)
+            else:
+                uids = (self.store.insert_edge(class_name, left, right, fields),)
         self._dirty()
         return uids
 
     def update(self, uid: int, changes: Mapping[str, Any]) -> None:
         """Apply field changes (``None`` removes a field); versions history."""
-        self.store.update_element(uid, changes)
+        with self._gate.commit(self.clock):
+            self.store.update_element(uid, changes)
         self._dirty()
 
     def delete(self, uid: int) -> None:
         """Logically delete an element (nodes cascade to incident edges)."""
-        self.store.delete_element(uid)
+        with self._gate.commit(self.clock):
+            self.store.delete_element(uid)
         self._dirty()
 
     # ------------------------------------------------------------------
@@ -296,8 +303,45 @@ class NepalDB:
         self.executor().define_view(name, rpe_text)
 
     def query(self, query: Query | str) -> QueryResult:
-        """Execute an NPQL query (see :mod:`repro.query`)."""
-        return self.executor().execute(query)
+        """Execute an NPQL query (see :mod:`repro.query`).
+
+        Each call pins an ephemeral read snapshot for its duration, so a
+        query racing a concurrent writer still evaluates every range
+        variable against one consistent (as-of, data-version) view.  For
+        a view that outlives a single query, take :meth:`snapshot`.
+        """
+        view = self._gate.pin(self._stores.values())
+        if view is None:
+            return self.executor().execute(query)
+        try:
+            return self.executor().execute(query, snapshot=view)
+        finally:
+            view.release()
+
+    def snapshot(self, deadline: float | None = None) -> ReadSnapshot:
+        """Open a :class:`~repro.core.concurrency.ReadSnapshot`.
+
+        The handle pins (transaction time, data version) for every
+        snapshot-capable attached store; any number of threads may query
+        it concurrently and all observe the database exactly as it stood
+        now, regardless of later commits.  ``deadline`` (seconds) budgets
+        each query/find_paths issued through the handle — armed afresh per
+        request, so a long-held snapshot keeps serving — raising
+        :class:`~repro.errors.QueryDeadlineExceeded` when overrun.
+        Close the handle (it is a context manager) when done.
+        """
+        view = self._gate.pin(self._stores.values(), deadline=deadline)
+        if view is None:
+            raise NepalError(
+                f"no attached store supports snapshots (default backend "
+                f"{self.store.name!r} reads live)"
+            )
+        return ReadSnapshot(self, view)
+
+    @property
+    def write_gate(self) -> WriteGate:
+        """The single-writer commit gate (open-pin and commit counters)."""
+        return self._gate
 
     def explain(self, query: Query | str) -> str:
         """The per-variable operator plans, without executing."""
@@ -313,13 +357,16 @@ class NepalDB:
         at: str | float | None = None,
         between: tuple[str | float, str | float] | None = None,
         store: str = DEFAULT_STORE_NAME,
+        snapshot: ReadSnapshot | None = None,
     ) -> list[Pathway]:
         """Shortcut: evaluate one RPE and return the matching pathways.
 
         ``at`` runs a timeslice query, ``between`` a time-range query (the
         returned pathways carry their maximal validity sets).  Compilation
         goes through the same plan cache as full NPQL queries, so repeated
-        expressions skip planning entirely.
+        expressions skip planning entirely.  With *snapshot* (or, absent
+        one, an ephemeral per-call pin) evaluation reads are pinned to a
+        consistent view; planning always runs against the live store.
         """
         target = self._stores[store]
         executor = self.executor()
@@ -347,20 +394,31 @@ class NepalDB:
                     nfa_memo=self._plan_cache.nfa_memo,
                 ).compile(rpe, scope=scope),
             )
-        guarded = executor.guarded(target)
-        pathways = guarded.find_pathways(program, scope)
-        if scope.is_range:
-            from repro.temporal.interval import IntervalSet
-            from repro.temporal.validity import pathway_validity
+        if snapshot is not None:
+            if snapshot.closed:
+                raise NepalError("read snapshot is closed")
+            view = snapshot.view
+            ephemeral = None
+        else:
+            view = ephemeral = self._gate.pin([target])
+        try:
+            guarded = executor.evaluation_store(target, view)
+            pathways = guarded.find_pathways(program, scope)
+            if scope.is_range:
+                from repro.temporal.interval import IntervalSet
+                from repro.temporal.validity import pathway_validity
 
-            window = IntervalSet([scope.window()])
-            kept = []
-            for pathway in pathways:
-                validity = pathway_validity(guarded, pathway, program.matcher)
-                if not validity.intersect(window).is_empty():
-                    kept.append(pathway.with_validity(validity))
-            return kept
-        return pathways
+                window = IntervalSet([scope.window()])
+                kept = []
+                for pathway in pathways:
+                    validity = pathway_validity(guarded, pathway, program.matcher)
+                    if not validity.intersect(window).is_empty():
+                        kept.append(pathway.with_validity(validity))
+                return kept
+            return pathways
+        finally:
+            if ephemeral is not None:
+                ephemeral.release()
 
     def path_evolution(
         self,
@@ -381,7 +439,8 @@ class NepalDB:
         apply = getattr(builder, "apply", None)
         if apply is None:
             raise NepalError(f"{builder!r} does not provide an apply(store) method")
-        apply(self.store)
+        with self._gate.commit(self.clock):
+            apply(self.store)
         self._dirty()
 
     def describe(self) -> str:

@@ -191,6 +191,10 @@ class ResilientStore(GraphStore):
     def bump_data_version(self) -> None:
         self._inner.bump_data_version()
 
+    @property
+    def supports_snapshots(self) -> bool:
+        return self._inner.supports_snapshots
+
     # ------------------------------------------------------------------
 
     def _event(self, kind: str) -> None:

@@ -86,6 +86,17 @@ class CircuitOpenError(BackendUnavailable):
     """The backend's circuit breaker is open; calls fail fast without I/O."""
 
 
+class QueryDeadlineExceeded(NepalError):
+    """A served request overran its per-request deadline and was cancelled.
+
+    Deliberately *not* a :class:`StorageError`: the backend is healthy, the
+    request simply took too long.  Keeping it outside the
+    :class:`BackendUnavailable` family means the resilience layer does not
+    retry it and the executor does not degrade it into partial results —
+    the server maps it straight to HTTP 504.
+    """
+
+
 class TemporalError(NepalError):
     """Invalid temporal specification (bad interval, time travel misuse)."""
 

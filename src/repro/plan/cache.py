@@ -32,6 +32,7 @@ and the CLI's ``.stats`` command can show hit rates.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Hashable
@@ -54,6 +55,13 @@ class LruCache:
 
     ``get`` counts a hit or miss and refreshes recency; ``put`` evicts the
     oldest entry once ``max_size`` is exceeded (counted as an eviction).
+
+    Thread-safe: ``get`` mutates the recency order (``move_to_end``), so
+    even two concurrent *readers* race without exclusion.  A per-cache lock
+    serializes every mapping operation; ``get_or_create`` runs the factory
+    outside the lock, so two threads may build the same entry concurrently
+    (last write wins — entries are immutable plan/parse artefacts, so a
+    duplicate build wastes work but never corrupts state).
     """
 
     def __init__(self, max_size: int, counters: CacheCounters | None = None):
@@ -62,41 +70,53 @@ class LruCache:
         self.max_size = max_size
         self.counters = counters or CacheCounters()
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def keys(self) -> list[Hashable]:
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     def get(self, key: Hashable) -> Any | None:
-        entry = self._entries.get(key)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
         if entry is None:
-            self.counters.misses += 1
+            self.counters.miss()
             return None
-        self._entries.move_to_end(key)
-        self.counters.hits += 1
+        self.counters.hit()
         return entry
 
     def put(self, key: Hashable, value: Any) -> None:
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_size:
-            self._entries.popitem(last=False)
-            self.counters.evictions += 1
+        evicted = 0
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_size:
+                self._entries.popitem(last=False)
+                evicted += 1
+        if evicted:
+            self.counters.eviction(evicted)
 
     def remove(self, key: Hashable) -> bool:
         """Drop *key* without touching the eviction counter."""
-        return self._entries.pop(key, None) is not None
+        with self._lock:
+            return self._entries.pop(key, None) is not None
 
     def clear(self) -> int:
         """Drop everything; returns (and counts) the entries invalidated."""
-        dropped = len(self._entries)
-        self._entries.clear()
-        self.counters.invalidations += dropped
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+        self.counters.invalidation(dropped)
         return dropped
 
     def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
@@ -152,6 +172,9 @@ class PlanCache:
     ):
         self.metrics = metrics or MetricsRegistry()
         self._programs = LruCache(max_size, self.metrics.counters("plan"))
+        #: guards the _latest template index, whose purge logic spans
+        #: several _programs operations that must appear atomic.
+        self._lock = threading.Lock()
         #: template -> the full key last stored for it (stale-entry purging).
         self._latest: dict[tuple, PlanCacheKey] = {}
         #: shared memo for affix-NFA construction; survives stats-epoch
@@ -188,18 +211,19 @@ class PlanCache:
     def store(self, key: PlanCacheKey, program: "MatchProgram") -> None:
         """Insert *program*, purging any stale entry for the same template."""
         template = key.template()
-        previous = self._latest.get(template)
-        if previous is not None and previous != key:
-            if self._programs.remove(previous):
-                self._programs.counters.invalidations += 1
-        self._latest[template] = key
-        self._programs.put(key, program)
-        if len(self._latest) > 4 * self._programs.max_size:
-            # The template index only exists for purging; keep it bounded.
-            live = set(self._programs.keys())
-            self._latest = {
-                tpl: full for tpl, full in self._latest.items() if full in live
-            }
+        with self._lock:
+            previous = self._latest.get(template)
+            if previous is not None and previous != key:
+                if self._programs.remove(previous):
+                    self._programs.counters.invalidation()
+            self._latest[template] = key
+            self._programs.put(key, program)
+            if len(self._latest) > 4 * self._programs.max_size:
+                # The template index only exists for purging; keep it bounded.
+                live = set(self._programs.keys())
+                self._latest = {
+                    tpl: full for tpl, full in self._latest.items() if full in live
+                }
 
     def get_or_compile(
         self, key: PlanCacheKey, factory: Callable[[], "MatchProgram"]
@@ -214,16 +238,18 @@ class PlanCache:
 
     def invalidate(self, store_name: str | None = None) -> int:
         """Drop every entry (or only *store_name*'s); returns the count."""
-        if store_name is None:
-            self._latest.clear()
-            return self._programs.clear()
-        dropped = 0
-        for key in self._programs.keys():
-            if isinstance(key, PlanCacheKey) and key.store == store_name:
-                self._programs.remove(key)
-                self._latest.pop(key.template(), None)
-                dropped += 1
-        self._programs.counters.invalidations += dropped
+        with self._lock:
+            if store_name is None:
+                self._latest.clear()
+                return self._programs.clear()
+            dropped = 0
+            for key in self._programs.keys():
+                if isinstance(key, PlanCacheKey) and key.store == store_name:
+                    self._programs.remove(key)
+                    self._latest.pop(key.template(), None)
+                    dropped += 1
+        if dropped:
+            self._programs.counters.invalidation(dropped)
         return dropped
 
     def __len__(self) -> int:

@@ -22,6 +22,7 @@ Execution outline:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping
 
@@ -62,6 +63,7 @@ from repro.temporal.interval import FOREVER, Interval, IntervalSet
 from repro.temporal.validity import pathway_validity
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.concurrency import SnapshotView
     from repro.core.resilience import ResiliencePolicy
 
 DEFAULT_STORE = "default"
@@ -97,6 +99,10 @@ class _EvaluatedVariable:
     validities: list[IntervalSet] | None = None
     failed: bool = False
     failure: str = ""
+    #: The store evaluation reads flow through: the catalog store under
+    #: the resilience guard, additionally pinned to a snapshot when the
+    #: query executes under one.  Planning always uses the live ``store``.
+    eval_store: GraphStore | None = None
 
     @property
     def name(self) -> str:
@@ -131,6 +137,9 @@ class QueryExecutor:
         self._resilience = resilience
         self._allow_partial = allow_partial
         self._guarded: dict[int, GraphStore] = {}
+        # Concurrent queries share the executor; the wrapper/estimator
+        # memos below are get-or-create dicts and need exclusion.
+        self._memo_lock = threading.Lock()
         if metrics is None:
             metrics = plan_cache.metrics if plan_cache is not None else MetricsRegistry()
         self.metrics = metrics
@@ -162,18 +171,50 @@ class QueryExecutor:
         """
         if self._resilience is None:
             return store
-        wrapper = self._guarded.get(id(store))
-        if wrapper is None:
-            from repro.core.resilience import ResilientStore
+        with self._memo_lock:
+            wrapper = self._guarded.get(id(store))
+            if wrapper is None:
+                from repro.core.resilience import ResilientStore
 
-            wrapper = ResilientStore(
-                store,
-                self._resilience,
-                metrics=self.metrics,
-                label=self._store_label(store),
-            )
-            self._guarded[id(store)] = wrapper
-        return wrapper
+                wrapper = ResilientStore(
+                    store,
+                    self._resilience,
+                    metrics=self.metrics,
+                    label=self._store_label(store),
+                )
+                self._guarded[id(store)] = wrapper
+            return wrapper
+
+    def evaluation_store(
+        self, store: GraphStore, snapshot: "SnapshotView | None" = None
+    ) -> GraphStore:
+        """The store evaluation reads should flow through.
+
+        Without a snapshot this is exactly :meth:`guarded`.  Under a
+        snapshot, the pin wraps *around* the memoized resilience guard:
+        the pinned wrapper evaluates pathways by generic traversal, so
+        every individual read it issues must pass through the guard to be
+        retried on transient faults (guarding outside the pin would make
+        the whole traversal one retry unit and multiply the effective
+        fault rate by its read count).  Reusing the memoized guard keeps
+        circuit-breaker state per-backend, not per-snapshot.
+        """
+        guarded = self.guarded(store)
+        if snapshot is None:
+            return guarded
+        pin = snapshot.pin_for(store)
+        if pin is None:
+            # Store doesn't support snapshots (e.g. relational): read live.
+            return guarded
+        from repro.core.concurrency import SnapshotStore
+
+        return SnapshotStore(
+            guarded,
+            pin.as_of,
+            pin.data_version,
+            deadline_at=snapshot.arm_deadline(),
+            monotonic=snapshot.monotonic,
+        )
 
     def _store_label(self, store: GraphStore) -> str:
         """The catalog name of *store* (for metrics), or its display name."""
@@ -190,11 +231,13 @@ class QueryExecutor:
         Estimators sample counts through the resilience guard, so planning
         against a flaky backend retries rather than erroring out.
         """
-        estimator = self._estimators.get(id(store))
-        if estimator is None:
-            estimator = CardinalityEstimator(self.guarded(store))
-            self._estimators[id(store)] = estimator
-        return estimator
+        guarded = self.guarded(store)
+        with self._memo_lock:
+            estimator = self._estimators.get(id(store))
+            if estimator is None:
+                estimator = CardinalityEstimator(guarded)
+                self._estimators[id(store)] = estimator
+            return estimator
 
     def define_view(self, name: str, rpe_text: str) -> None:
         """Register a named pathway view (§3.4's non-PATHS sources).
@@ -264,7 +307,9 @@ class QueryExecutor:
 
     # ------------------------------------------------------------------
 
-    def execute(self, query: Query | str) -> QueryResult:
+    def execute(
+        self, query: Query | str, snapshot: "SnapshotView | None" = None
+    ) -> QueryResult:
         """Parse (if text), typecheck, plan, evaluate and project *query*.
 
         Every stage ahead of evaluation is served from caches when the
@@ -272,11 +317,18 @@ class QueryExecutor:
         on the query text, compiled per-variable programs come from the
         plan cache (``metrics.timings`` separates ``plan`` time from the
         enclosing ``execute`` total).
+
+        With *snapshot*, evaluation reads are pinned to the view's
+        (as-of, data-version) pair while planning still runs against the
+        live catalog stores — plan-cache keys embed live store identity,
+        so snapshot queries share cached plans with live queries.
         """
         checked = self._checked(query)
         with self.metrics.timings.measure("execute"):
             cache: dict = {}
-            bindings = self._solve(checked, outer_bindings={}, cache=cache)
+            bindings = self._solve(
+                checked, outer_bindings={}, cache=cache, snapshot=snapshot
+            )
             dropped = [
                 item
                 for prepared in cache.values()
@@ -337,7 +389,10 @@ class QueryExecutor:
         return _scope_from_spec(spec)
 
     def _prepare_variable(
-        self, checked: CheckedQuery, variable: RangeVariable
+        self,
+        checked: CheckedQuery,
+        variable: RangeVariable,
+        snapshot: "SnapshotView | None" = None,
     ) -> _EvaluatedVariable:
         store = self.store_for(variable)
         scope = self._scope_for(checked.query, variable)
@@ -367,11 +422,20 @@ class QueryExecutor:
             from repro.rpe.match import compile_matcher
 
             extra_matcher = compile_matcher(extra)
-        return _EvaluatedVariable(variable, store, scope, program,
-                                  extra_matcher=extra_matcher)
+        return _EvaluatedVariable(
+            variable,
+            store,
+            scope,
+            program,
+            extra_matcher=extra_matcher,
+            eval_store=self.evaluation_store(store, snapshot),
+        )
 
     def _prepared_variables(
-        self, checked: CheckedQuery, cache: dict
+        self,
+        checked: CheckedQuery,
+        cache: dict,
+        snapshot: "SnapshotView | None" = None,
     ) -> list[_EvaluatedVariable]:
         """Plan and evaluate every range variable of *checked*, cached.
 
@@ -388,7 +452,9 @@ class QueryExecutor:
         prepared = []
         for variable in query.variables:
             try:
-                prepared.append(self._prepare_variable(checked, variable))
+                prepared.append(
+                    self._prepare_variable(checked, variable, snapshot=snapshot)
+                )
             except BackendUnavailable as error:
                 prepared.append(self._degraded_variable(variable, error))
         live = [item for item in prepared if not item.failed]
@@ -451,6 +517,7 @@ class QueryExecutor:
         checked: CheckedQuery,
         outer_bindings: Mapping[str, Pathway],
         cache: dict,
+        snapshot: "SnapshotView | None" = None,
     ) -> list[dict[str, Pathway]]:
         """Evaluate and join every range variable; returns joined bindings.
 
@@ -459,7 +526,7 @@ class QueryExecutor:
         the Pathway objects themselves.
         """
         query = checked.query
-        prepared = self._prepared_variables(checked, cache)
+        prepared = self._prepared_variables(checked, cache, snapshot=snapshot)
 
         compare_predicates = [
             p for p in query.predicates if isinstance(p, ComparePredicate)
@@ -508,7 +575,7 @@ class QueryExecutor:
             partial = [
                 binding
                 for binding in partial
-                if self._exists(sub_checked, predicate, binding, cache)
+                if self._exists(sub_checked, predicate, binding, cache, snapshot)
             ]
         return partial
 
@@ -626,7 +693,7 @@ class QueryExecutor:
         compare_predicates: list[ComparePredicate],
         bound_names: set[str],
     ) -> None:
-        store = self.guarded(item.store)
+        store = item.eval_store if item.eval_store is not None else self.guarded(item.store)
         imported = None
         if item.program.anchor_cost > self._planner_options.import_threshold:
             imported = self._imported_anchor(item, prepared, compare_predicates, bound_names)
@@ -711,8 +778,9 @@ class QueryExecutor:
         predicate: ExistsPredicate,
         outer_bindings: Mapping[str, Pathway],
         cache: dict,
+        snapshot: "SnapshotView | None" = None,
     ) -> bool:
-        rows = self._solve(sub_checked, outer_bindings, cache)
+        rows = self._solve(sub_checked, outer_bindings, cache, snapshot=snapshot)
         found = bool(rows)
         return (not found) if predicate.negated else found
 

@@ -21,6 +21,13 @@ filter (``out_edges_many`` / ``in_edges_many``) instead of one store call
 per partial pathway.  Backends amortize filter resolution and index work
 across the whole frontier; the set of pathways produced is identical to
 the former depth-first order, since results are deduplicated by key.
+
+Concurrency: traversal keeps no state outside its local frontier and
+issues *every* read through the ``store`` argument.  Snapshot-isolated
+execution therefore needs no cooperation here — the executor passes a
+pinned :class:`~repro.core.concurrency.SnapshotStore` wrapper and every
+anchor scan, adjacency expansion and validity probe observes the same
+(as-of, data-version) view, no matter which thread runs the traversal.
 """
 
 from __future__ import annotations

@@ -1,0 +1,410 @@
+"""A threaded HTTP front end serving one :class:`~repro.core.database.NepalDB`.
+
+``nepal serve`` (or :class:`NepalServer` embedded in a test) exposes the
+database over plain HTTP/JSON so many clients can read concurrently while
+the single-writer commit gate serializes mutations:
+
+* ``GET  /health``          — liveness + concurrency gauges;
+* ``GET  /stats``           — the full metrics snapshot (``db.stats()``);
+* ``POST /query``           — ``{"query": <NPQL>, "snapshot": <id>?}``;
+* ``POST /write``           — ``{"op": "insert_node" | "insert_edge" |
+  "connect" | "update" | "delete", ...}``;
+* ``POST /snapshot``        — open a pinned :class:`ReadSnapshot`, returns
+  ``{"id", "as_of", "data_version"}``;
+* ``POST /snapshot/close``  — ``{"id": <id>}``.
+
+Concurrency model: a bounded :class:`~concurrent.futures.ThreadPoolExecutor`
+runs the request handlers (``workers`` threads); admission control counts
+requests in flight and refuses anything past ``workers + queue_depth``
+with an immediate ``503`` + ``Retry-After`` instead of queueing unboundedly
+(HTTP/1.0, one request per connection, so in-flight requests and open
+connections coincide).  Every query request that is not bound to a held
+snapshot executes against a fresh ephemeral pin with a per-request
+deadline — the cooperative-cancellation deadline of
+:class:`~repro.core.concurrency.SnapshotStore` — mapped to ``504`` when
+overrun.  The default deadline comes from the database's configured
+:class:`~repro.core.resilience.ResiliencePolicy` when one is set.
+
+Request accounting lands in the owning ``MetricsRegistry`` under
+``server.*`` (requests, queries, writes, rejected, deadline_exceeded,
+errors) next to the ``concurrency.*`` counters of the commit gate.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import math
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, HTTPServer
+from typing import Any, Mapping
+
+from repro.core.concurrency import ReadSnapshot
+from repro.core.database import NepalDB
+from repro.errors import NepalError, QueryDeadlineExceeded
+from repro.model.elements import ElementRecord
+from repro.model.pathway import Pathway
+from repro.query.results import QueryResult
+
+_REJECT_RESPONSE = (
+    b"HTTP/1.0 503 Service Unavailable\r\n"
+    b"Content-Type: application/json\r\n"
+    b"Retry-After: 1\r\n"
+    b"Content-Length: 45\r\n"
+    b"\r\n"
+    b'{"error": "server saturated, retry shortly"}\n'
+)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables for :class:`NepalServer`.
+
+    ``workers`` handler threads serve requests; up to ``queue_depth``
+    additional requests may wait for a free thread before admission
+    control starts refusing with 503.  ``deadline`` bounds each request's
+    reads (``None`` defers to the database's resilience policy deadline,
+    and runs unbounded when there is none).  ``port=0`` binds an
+    ephemeral port — read the actual one from ``server.address``.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 8
+    queue_depth: int = 16
+    deadline: float | None = None
+
+
+def _json_value(value: Any) -> Any:
+    """A JSON-representable rendering of one result cell."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return None if math.isinf(value) else value
+    if isinstance(value, Pathway):
+        return value.render()
+    if isinstance(value, ElementRecord):
+        return {
+            "uid": value.uid,
+            "class": value.cls.name,
+            "fields": {name: _json_value(v) for name, v in value.fields.items()},
+            "period": [
+                _json_value(value.period.start),
+                _json_value(value.period.end),
+            ],
+        }
+    if isinstance(value, (list, tuple)):
+        return [_json_value(item) for item in value]
+    return str(value)
+
+
+def _result_payload(result: QueryResult) -> dict[str, Any]:
+    return {
+        "columns": list(result.columns),
+        "rows": [
+            {
+                "values": [_json_value(v) for v in row.values],
+                "bindings": {
+                    name: pathway.render()
+                    for name, pathway in (row.bindings or {}).items()
+                },
+            }
+            for row in result.rows
+        ],
+        "warnings": list(result.warnings),
+    }
+
+
+class _PooledHTTPServer(HTTPServer):
+    """HTTPServer whose requests run on the app's bounded worker pool."""
+
+    # Bind even if the previous listener is in TIME_WAIT.
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], handler: type, app: "NepalServer"):
+        super().__init__(address, handler)
+        self.app = app
+
+    def process_request(self, request, client_address) -> None:
+        app = self.app
+        if not app._admit():
+            try:
+                request.sendall(_REJECT_RESPONSE)
+            except OSError:
+                pass
+            self.shutdown_request(request)
+            return
+        app._pool.submit(self._work, request, client_address)
+
+    def _work(self, request, client_address) -> None:
+        try:
+            self.finish_request(request, client_address)
+        except Exception:  # pragma: no cover - handler errors are logged
+            self.handle_error(request, client_address)
+        finally:
+            self.shutdown_request(request)
+            self.app._finish()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # One request per connection keeps admission control exact: an open
+    # connection IS an in-flight request.
+    protocol_version = "HTTP/1.0"
+
+    @property
+    def app(self) -> "NepalServer":
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # the metrics registry is the access log
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _send_json(self, status: int, payload: Mapping[str, Any]) -> None:
+        body = (json.dumps(payload) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        payload = json.loads(raw.decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise NepalError("request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, method: str) -> None:
+        app = self.app
+        app._event("requests")
+        try:
+            handler = app.routes.get((method, self.path))
+            if handler is None:
+                self._send_json(404, {"error": f"no route {method} {self.path}"})
+                return
+            payload = self._read_body() if method == "POST" else {}
+            self._send_json(200, handler(payload))
+        except QueryDeadlineExceeded as error:
+            app._event("deadline_exceeded")
+            self._send_json(504, {"error": str(error)})
+        except (NepalError, json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+            app._event("errors")
+            self._send_json(400, {"error": f"{type(error).__name__}: {error}"})
+        except Exception as error:  # pragma: no cover - defensive
+            app._event("errors")
+            self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
+
+    def do_GET(self) -> None:  # noqa: N802
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+
+class NepalServer:
+    """Serve *db* over HTTP with bounded concurrency.
+
+    >>> server = NepalServer(db, ServerConfig(port=0))
+    >>> server.start()
+    >>> host, port = server.address
+    >>> ...
+    >>> server.stop()
+    """
+
+    def __init__(self, db: NepalDB, config: ServerConfig | None = None):
+        self.db = db
+        self.config = config or ServerConfig()
+        self.metrics = db.metrics
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="nepal-http"
+        )
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._capacity = self.config.workers + self.config.queue_depth
+        self._snapshots: dict[int, ReadSnapshot] = {}
+        self._snapshot_ids = itertools.count(1)
+        self._snapshot_lock = threading.Lock()
+        self._httpd: _PooledHTTPServer | None = None
+        self._serve_thread: threading.Thread | None = None
+        self.routes = {
+            ("GET", "/health"): self._route_health,
+            ("GET", "/stats"): self._route_stats,
+            ("POST", "/query"): self._route_query,
+            ("POST", "/write"): self._route_write,
+            ("POST", "/snapshot"): self._route_snapshot_open,
+            ("POST", "/snapshot/close"): self._route_snapshot_close,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "NepalServer":
+        if self._httpd is not None:
+            raise NepalError("server already started")
+        self._httpd = _PooledHTTPServer(
+            (self.config.host, self.config.port), _Handler, self
+        )
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="nepal-http-accept",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — resolves ``port=0`` to the real port."""
+        if self._httpd is None:
+            raise NepalError("server is not started")
+        return self._httpd.server_address[:2]
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=10)
+            self._serve_thread = None
+        self._pool.shutdown(wait=True)
+        with self._snapshot_lock:
+            leftover = list(self._snapshots.values())
+            self._snapshots.clear()
+        for snapshot in leftover:
+            snapshot.close()
+
+    def __enter__(self) -> "NepalServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- admission control -------------------------------------------------
+
+    def _admit(self) -> bool:
+        with self._inflight_lock:
+            if self._inflight >= self._capacity:
+                self._event("rejected")
+                return False
+            self._inflight += 1
+            return True
+
+    def _finish(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+
+    @property
+    def inflight(self) -> int:
+        with self._inflight_lock:
+            return self._inflight
+
+    def _event(self, kind: str) -> None:
+        self.metrics.event(f"server.{kind}")
+
+    def _deadline(self) -> float | None:
+        if self.config.deadline is not None:
+            return self.config.deadline
+        policy = self.db._resilience
+        return policy.deadline if policy is not None else None
+
+    # -- routes ------------------------------------------------------------
+
+    def _route_health(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {
+            "status": "ok",
+            "inflight": self.inflight,
+            "capacity": self._capacity,
+            "workers": self.config.workers,
+            "open_snapshots": self.db.write_gate.open_pins(),
+            "commits": self.db.write_gate.commits,
+            "data_version": self.db.store.data_version,
+        }
+
+    def _route_stats(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {"stats": self.db.stats()}
+
+    def _route_query(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        text = payload.get("query")
+        if not isinstance(text, str) or not text.strip():
+            raise NepalError("POST /query requires a non-empty 'query' string")
+        self._event("queries")
+        snapshot_id = payload.get("snapshot")
+        if snapshot_id is not None:
+            snapshot = self._held_snapshot(snapshot_id)
+            result = snapshot.query(text)
+        elif self.db.store.supports_snapshots:
+            with self.db.snapshot(deadline=self._deadline()) as snapshot:
+                result = snapshot.query(text)
+        else:
+            # Backend without version chains (e.g. relational): read live.
+            result = self.db.query(text)
+        return _result_payload(result)
+
+    def _route_write(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        op = payload.get("op")
+        self._event("writes")
+        db = self.db
+        if op == "insert_node":
+            uid = db.insert_node(payload["class"], payload.get("fields"))
+            return {"uid": uid}
+        if op == "insert_edge":
+            uid = db.insert_edge(
+                payload["class"],
+                int(payload["source"]),
+                int(payload["target"]),
+                payload.get("fields"),
+            )
+            return {"uid": uid}
+        if op == "connect":
+            uids = db.connect(
+                payload["class"],
+                int(payload["left"]),
+                int(payload["right"]),
+                payload.get("fields"),
+            )
+            return {"uids": list(uids)}
+        if op == "update":
+            db.update(int(payload["uid"]), payload["changes"])
+            return {"updated": int(payload["uid"])}
+        if op == "delete":
+            db.delete(int(payload["uid"]))
+            return {"deleted": int(payload["uid"])}
+        raise NepalError(
+            f"unknown write op {op!r} (expected insert_node, insert_edge, "
+            f"connect, update or delete)"
+        )
+
+    def _route_snapshot_open(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        deadline = payload.get("deadline", self._deadline())
+        snapshot = self.db.snapshot(deadline=deadline)
+        with self._snapshot_lock:
+            snapshot_id = next(self._snapshot_ids)
+            self._snapshots[snapshot_id] = snapshot
+        return {
+            "id": snapshot_id,
+            "as_of": snapshot.as_of,
+            "data_version": snapshot.data_version,
+        }
+
+    def _route_snapshot_close(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        snapshot_id = payload.get("id")
+        with self._snapshot_lock:
+            snapshot = self._snapshots.pop(snapshot_id, None)
+        if snapshot is None:
+            raise NepalError(f"unknown snapshot id {snapshot_id!r}")
+        snapshot.close()
+        return {"closed": snapshot_id}
+
+    def _held_snapshot(self, snapshot_id: Any) -> ReadSnapshot:
+        with self._snapshot_lock:
+            snapshot = self._snapshots.get(snapshot_id)
+        if snapshot is None:
+            raise NepalError(f"unknown snapshot id {snapshot_id!r}")
+        return snapshot

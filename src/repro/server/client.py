@@ -1,0 +1,116 @@
+"""A minimal JSON/HTTP client for :class:`~repro.server.app.NepalServer`.
+
+Stdlib-only (``http.client``); one connection per request, matching the
+server's HTTP/1.0 one-request-per-connection admission model.  Used by the
+load-test walkthrough in the README and the concurrency test suite — but
+any HTTP client works, the protocol is plain JSON.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Mapping
+
+from repro.errors import NepalError
+
+
+class ServerError(NepalError):
+    """A non-2xx response from the server, carrying the HTTP status."""
+
+    def __init__(self, message: str, status: int):
+        super().__init__(message)
+        self.status = status
+
+
+class NepalClient:
+    """Talk to a running :class:`~repro.server.app.NepalServer`.
+
+    >>> client = NepalClient(*server.address)
+    >>> client.query("Retrieve P From PATHS P Where P MATCHES Host()")
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+
+    def request(
+        self, method: str, path: str, payload: Mapping[str, Any] | None = None
+    ) -> dict[str, Any]:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if body else {}
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            status = response.status
+        finally:
+            connection.close()
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except json.JSONDecodeError:
+            decoded = {"error": raw.decode("utf-8", "replace").strip()}
+        if status >= 300:
+            raise ServerError(
+                decoded.get("error", f"HTTP {status}"), status=status
+            )
+        return decoded
+
+    # -- convenience wrappers ----------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        return self.request("GET", "/health")
+
+    def stats(self) -> dict[str, Any]:
+        return self.request("GET", "/stats")["stats"]
+
+    def query(self, text: str, snapshot: int | None = None) -> dict[str, Any]:
+        payload: dict[str, Any] = {"query": text}
+        if snapshot is not None:
+            payload["snapshot"] = snapshot
+        return self.request("POST", "/query", payload)
+
+    def insert_node(self, class_name: str, fields: Mapping[str, Any] | None = None) -> int:
+        return self.request(
+            "POST", "/write", {"op": "insert_node", "class": class_name, "fields": fields}
+        )["uid"]
+
+    def insert_edge(
+        self,
+        class_name: str,
+        source: int,
+        target: int,
+        fields: Mapping[str, Any] | None = None,
+    ) -> int:
+        return self.request(
+            "POST",
+            "/write",
+            {
+                "op": "insert_edge",
+                "class": class_name,
+                "source": source,
+                "target": target,
+                "fields": fields,
+            },
+        )["uid"]
+
+    def update(self, uid: int, changes: Mapping[str, Any]) -> None:
+        self.request("POST", "/write", {"op": "update", "uid": uid, "changes": changes})
+
+    def delete(self, uid: int) -> None:
+        self.request("POST", "/write", {"op": "delete", "uid": uid})
+
+    def open_snapshot(self, deadline: float | None = None) -> dict[str, Any]:
+        payload: dict[str, Any] = {}
+        if deadline is not None:
+            payload["deadline"] = deadline
+        return self.request("POST", "/snapshot", payload)
+
+    def close_snapshot(self, snapshot_id: int) -> None:
+        self.request("POST", "/snapshot/close", {"id": snapshot_id})

@@ -7,12 +7,17 @@ each :class:`~repro.core.database.NepalDB` and surfaced through
 ``NepalDB.cache_stats()`` and the CLI's ``.stats`` command, so the effect
 of the compiled-plan cache is observable without a profiler.
 
-Counters are plain integers and timings plain float sums — cheap enough
-to stay enabled unconditionally.
+All mutation paths are thread-safe: the serving layer increments
+``server.*``/``concurrency.*`` events from a worker pool, and a bare
+``d[k] = d.get(k, 0) + n`` read-modify-write loses increments when worker
+threads interleave.  Every add happens under a lock; reads take the same
+lock so snapshots are consistent.  The locks are uncontended in
+single-threaded use and cheap enough to stay enabled unconditionally.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -21,12 +26,36 @@ from typing import Iterator
 
 @dataclass
 class CacheCounters:
-    """Hit/miss/invalidation accounting for one cache."""
+    """Hit/miss/invalidation accounting for one cache.
+
+    The increment helpers (:meth:`hit`, :meth:`miss`, ...) are atomic and
+    are what concurrent callers must use; the bare fields remain public
+    for single-threaded tests and reporting.
+    """
 
     hits: int = 0
     misses: int = 0
     invalidations: int = 0
     evictions: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def hit(self, count: int = 1) -> None:
+        with self._lock:
+            self.hits += count
+
+    def miss(self, count: int = 1) -> None:
+        with self._lock:
+            self.misses += count
+
+    def invalidation(self, count: int = 1) -> None:
+        with self._lock:
+            self.invalidations += count
+
+    def eviction(self, count: int = 1) -> None:
+        with self._lock:
+            self.evictions += count
 
     @property
     def lookups(self) -> int:
@@ -39,16 +68,21 @@ class CacheCounters:
         return self.hits / lookups if lookups else 0.0
 
     def snapshot(self) -> dict[str, float]:
+        with self._lock:
+            hits, misses = self.hits, self.misses
+            invalidations, evictions = self.invalidations, self.evictions
+        lookups = hits + misses
         return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "invalidations": self.invalidations,
-            "evictions": self.evictions,
-            "hit_rate": round(self.hit_rate, 4),
+            "hits": hits,
+            "misses": misses,
+            "invalidations": invalidations,
+            "evictions": evictions,
+            "hit_rate": round(hits / lookups if lookups else 0.0, 4),
         }
 
     def reset(self) -> None:
-        self.hits = self.misses = self.invalidations = self.evictions = 0
+        with self._lock:
+            self.hits = self.misses = self.invalidations = self.evictions = 0
 
 
 @dataclass
@@ -57,10 +91,14 @@ class StageTimings:
 
     seconds: dict[str, float] = field(default_factory=dict)
     calls: dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, stage: str, elapsed: float) -> None:
-        self.seconds[stage] = self.seconds.get(stage, 0.0) + elapsed
-        self.calls[stage] = self.calls.get(stage, 0) + 1
+        with self._lock:
+            self.seconds[stage] = self.seconds.get(stage, 0.0) + elapsed
+            self.calls[stage] = self.calls.get(stage, 0) + 1
 
     @contextmanager
     def measure(self, stage: str) -> Iterator[None]:
@@ -71,17 +109,21 @@ class StageTimings:
             self.record(stage, time.perf_counter() - started)
 
     def snapshot(self) -> dict[str, dict[str, float]]:
+        with self._lock:
+            seconds = dict(self.seconds)
+            calls = dict(self.calls)
         return {
             stage: {
-                "seconds": round(self.seconds[stage], 6),
-                "calls": self.calls.get(stage, 0),
+                "seconds": round(seconds[stage], 6),
+                "calls": calls.get(stage, 0),
             }
-            for stage in sorted(self.seconds)
+            for stage in sorted(seconds)
         }
 
     def reset(self) -> None:
-        self.seconds.clear()
-        self.calls.clear()
+        with self._lock:
+            self.seconds.clear()
+            self.calls.clear()
 
 
 class MetricsRegistry:
@@ -89,73 +131,84 @@ class MetricsRegistry:
 
     Event counters are plain named integers used by the resilience layer
     (``resilience.retry.<store>``, ``resilience.breaker_trip.<store>``,
-    ``resilience.degraded.<store>``, ...) and the durability layer
+    ``resilience.degraded.<store>``, ...), the durability layer
     (``wal.append``, ``wal.sync``, ``wal.bulk_commit``, ``wal.checkpoint``,
     ``recovery.replayed``, ``recovery.discarded``, ``recovery.torn_bytes``,
-    ...) — anything that happens N times and has no hit/miss structure.
+    ...), and the serving layer (``server.requests``, ``server.rejected``,
+    ``concurrency.commits``, ``concurrency.snapshot.open``, ...) — anything
+    that happens N times and has no hit/miss structure.
     """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._counters: dict[str, CacheCounters] = {}
         self._events: dict[str, int] = {}
         self.timings = StageTimings()
 
     def counters(self, name: str) -> CacheCounters:
         """The counter block for cache *name*, created on first use."""
-        block = self._counters.get(name)
-        if block is None:
-            block = CacheCounters()
-            self._counters[name] = block
-        return block
+        with self._lock:
+            block = self._counters.get(name)
+            if block is None:
+                block = CacheCounters()
+                self._counters[name] = block
+            return block
 
     def event(self, name: str, count: int = 1) -> None:
-        """Count *count* occurrences of the named event."""
-        self._events[name] = self._events.get(name, 0) + count
+        """Count *count* occurrences of the named event (atomic)."""
+        with self._lock:
+            self._events[name] = self._events.get(name, 0) + count
 
     def event_count(self, name: str) -> int:
         """How many times the named event was recorded (0 if never)."""
-        return self._events.get(name, 0)
+        with self._lock:
+            return self._events.get(name, 0)
 
     def events(self, prefix: str = "") -> dict[str, int]:
         """All event counters (optionally restricted to a name prefix)."""
-        return {
-            name: count
-            for name, count in sorted(self._events.items())
-            if name.startswith(prefix)
-        }
+        with self._lock:
+            items = sorted(self._events.items())
+        return {name: count for name, count in items if name.startswith(prefix)}
 
     def snapshot(self) -> dict[str, object]:
         """A JSON-ready dump of every counter block and the timings."""
+        with self._lock:
+            counters = dict(self._counters)
+            events = dict(sorted(self._events.items()))
         return {
-            "caches": {
-                name: block.snapshot()
-                for name, block in sorted(self._counters.items())
-            },
-            "events": dict(sorted(self._events.items())),
+            "caches": {name: block.snapshot() for name, block in sorted(counters.items())},
+            "events": events,
             "timings": self.timings.snapshot(),
         }
 
     def reset(self) -> None:
-        for block in self._counters.values():
+        with self._lock:
+            blocks = list(self._counters.values())
+            self._events.clear()
+        for block in blocks:
             block.reset()
-        self._events.clear()
         self.timings.reset()
 
     def describe(self) -> str:
         """Human-readable rendering for the CLI's ``.stats`` command."""
+        with self._lock:
+            counters = sorted(self._counters.items())
+            events = sorted(self._events.items())
         lines: list[str] = []
-        for name, block in sorted(self._counters.items()):
+        for name, block in counters:
             lines.append(
                 f"  {name}: {block.hits} hits / {block.misses} misses "
                 f"({100 * block.hit_rate:.1f}% hit rate), "
                 f"{block.invalidations} invalidations, "
                 f"{block.evictions} evictions"
             )
-        for name, count in sorted(self._events.items()):
+        for name, count in events:
             lines.append(f"  {name}: {count}")
-        for stage, total in sorted(self.timings.seconds.items()):
-            calls = self.timings.calls.get(stage, 0)
-            lines.append(f"  {stage}: {1000 * total:.2f} ms over {calls} calls")
+        timings = self.timings.snapshot()
+        for stage, cell in sorted(timings.items()):
+            lines.append(
+                f"  {stage}: {1000 * cell['seconds']:.2f} ms over {cell['calls']} calls"
+            )
         if not lines:
             return "  (no cache activity yet)"
         return "\n".join(lines)

@@ -134,6 +134,20 @@ class GraphStore(ABC):
         if version > self._data_version:
             self._data_version = version
 
+    @property
+    def supports_snapshots(self) -> bool:
+        """True when reads at a pinned transaction time see a stable view.
+
+        A snapshot-capable backend keeps full version chains and answers
+        ``at(t)`` reads for any past ``t``, so a
+        :class:`~repro.core.concurrency.SnapshotStore` can rewrite every
+        read to the pinned instant.  Backends that answer only "latest
+        state" (or whose historical reads are not isolated from concurrent
+        writers) report ``False`` and are queried live.  Decorators
+        delegate to their inner store.
+        """
+        return False
+
     # ------------------------------------------------------------------
     # uid allocation (durability and bulk-load support)
     # ------------------------------------------------------------------

@@ -168,6 +168,10 @@ class FaultInjectingStore(GraphStore):
     def restore_data_version(self, version: int) -> None:
         self._inner.restore_data_version(version)
 
+    @property
+    def supports_snapshots(self) -> bool:
+        return self._inner.supports_snapshots
+
     # uid-allocation protocol: pure delegation (not faultable I/O).
     def reserve_uid(self) -> int:
         return self._inner.reserve_uid()

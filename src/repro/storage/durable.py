@@ -33,6 +33,7 @@ swallow the simulated death.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -299,6 +300,10 @@ class DurableStore(GraphStore):
         self._crash_hook = crash_hook
         self._bulk_depth = 0
         self._closed = False
+        # Serializes journal append + apply + sync so WAL order always
+        # matches apply order under concurrent committers.  Reentrant:
+        # bulk batches hold it across their member writes.
+        self._commit_lock = threading.RLock()
         # Wall-mode clocks keep tracking real time across the pinning that
         # journaling requires (every stamp is pinned so replay can
         # reproduce it); pinned clocks stay under their owner's control.
@@ -360,11 +365,12 @@ class DurableStore(GraphStore):
 
     def close(self) -> None:
         """Flush and close the journal; the store stays readable."""
-        if not self._closed:
-            if self._sync_policy != "none":
-                self._wal.sync()
-            self._wal.close()
-            self._closed = True
+        with self._commit_lock:
+            if not self._closed:
+                if self._sync_policy != "none":
+                    self._wal.sync()
+                self._wal.close()
+                self._closed = True
 
     def __enter__(self) -> "DurableStore":
         return self
@@ -459,19 +465,20 @@ class DurableStore(GraphStore):
         record is rolled back so the WAL only ever describes mutations
         that really happened.
         """
-        offset = self._journal(op, **journal_kw)
-        try:
-            result = apply()
-        except Exception:
-            self._wal.rollback_to(offset)
-            raise
-        self._crash("wal.applied")
-        if self._bulk_depth == 0:
-            self._commit_point()
-        elif self._sync_policy == "always":
-            self._wal.sync()
-            self._event("wal.sync")
-        return result
+        with self._commit_lock:
+            offset = self._journal(op, **journal_kw)
+            try:
+                result = apply()
+            except Exception:
+                self._wal.rollback_to(offset)
+                raise
+            self._crash("wal.applied")
+            if self._bulk_depth == 0:
+                self._commit_point()
+            elif self._sync_policy == "always":
+                self._wal.sync()
+                self._event("wal.sync")
+            return result
 
     # ------------------------------------------------------------------
     # write path (journaled)
@@ -543,31 +550,32 @@ class DurableStore(GraphStore):
         batch the live process is ahead of the journal until the batch's
         writes are re-applied or the process restarts.
         """
-        if self._bulk_depth > 0:  # reentrant: the outermost batch frames
-            self._bulk_depth += 1
+        with self._commit_lock:
+            if self._bulk_depth > 0:  # reentrant: the outermost batch frames
+                self._bulk_depth += 1
+                try:
+                    yield
+                finally:
+                    self._bulk_depth -= 1
+                return
+            begin_offset = self._journal(OP_BULK_BEGIN)
+            self._bulk_depth = 1
             try:
-                yield
+                with self._inner.bulk():
+                    yield
+            except Exception:
+                self._bulk_depth = 0
+                self._wal.rollback_to(begin_offset)
+                raise
             finally:
-                self._bulk_depth -= 1
-            return
-        begin_offset = self._journal(OP_BULK_BEGIN)
-        self._bulk_depth = 1
-        try:
-            with self._inner.bulk():
-                yield
-        except Exception:
-            self._bulk_depth = 0
-            self._wal.rollback_to(begin_offset)
-            raise
-        finally:
-            # CrashPoint (BaseException) lands here without the rollback:
-            # a simulated death must leave the torn journal in place.
-            self._bulk_depth = 0
-        self._crash("bulk.commit")
-        self._journal(OP_BULK_COMMIT)
-        self._commit_point()
-        self._crash("bulk.synced")
-        self._event("wal.bulk_commit")
+                # CrashPoint (BaseException) lands here without the rollback:
+                # a simulated death must leave the torn journal in place.
+                self._bulk_depth = 0
+            self._crash("bulk.commit")
+            self._journal(OP_BULK_COMMIT)
+            self._commit_point()
+            self._crash("bulk.synced")
+            self._event("wal.bulk_commit")
 
     # ------------------------------------------------------------------
     # checkpointing
@@ -581,31 +589,32 @@ class DurableStore(GraphStore):
         pair: the manifest's ``last_lsn`` makes journal records the new
         baseline already covers harmless duplicates that recovery skips.
         """
-        if self._bulk_depth:
-            raise StorageError("cannot checkpoint inside an open bulk batch")
-        if self._closed:
-            raise StorageError(f"durable store {self.name} is closed")
-        records = compact_history(self._inner)
-        manifest = WalRecord(
-            lsn=0, op=OP_CHECKPOINT, ts=self._inner.clock.now(),
-            dv=self._inner.data_version, last_lsn=self._lsn,
-            last_uid=self._inner.last_uid,
-        )
-        temp_path = os.path.join(self._dir, CHECKPOINT_TEMP)
-        self._crash("checkpoint.write")
-        write_records(temp_path, [*records, manifest])
-        self._crash("checkpoint.replace")
-        os.replace(temp_path, os.path.join(self._dir, CHECKPOINT_FILE))
-        self._fsync_dir()
-        self._crash("checkpoint.truncate")
-        truncated = self._wal.tell()
-        self._wal.truncate()
-        self._event("wal.checkpoint")
-        return CheckpointInfo(
-            records=len(records),
-            data_version=self._inner.data_version,
-            wal_bytes_truncated=truncated,
-        )
+        with self._commit_lock:
+            if self._bulk_depth:
+                raise StorageError("cannot checkpoint inside an open bulk batch")
+            if self._closed:
+                raise StorageError(f"durable store {self.name} is closed")
+            records = compact_history(self._inner)
+            manifest = WalRecord(
+                lsn=0, op=OP_CHECKPOINT, ts=self._inner.clock.now(),
+                dv=self._inner.data_version, last_lsn=self._lsn,
+                last_uid=self._inner.last_uid,
+            )
+            temp_path = os.path.join(self._dir, CHECKPOINT_TEMP)
+            self._crash("checkpoint.write")
+            write_records(temp_path, [*records, manifest])
+            self._crash("checkpoint.replace")
+            os.replace(temp_path, os.path.join(self._dir, CHECKPOINT_FILE))
+            self._fsync_dir()
+            self._crash("checkpoint.truncate")
+            truncated = self._wal.tell()
+            self._wal.truncate()
+            self._event("wal.checkpoint")
+            return CheckpointInfo(
+                records=len(records),
+                data_version=self._inner.data_version,
+                wal_bytes_truncated=truncated,
+            )
 
     def _fsync_dir(self) -> None:
         try:
@@ -630,6 +639,10 @@ class DurableStore(GraphStore):
 
     def restore_data_version(self, version: int) -> None:
         self._inner.restore_data_version(version)
+
+    @property
+    def supports_snapshots(self) -> bool:
+        return self._inner.supports_snapshots
 
     # ------------------------------------------------------------------
     # read path (pure delegation)

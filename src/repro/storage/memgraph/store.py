@@ -10,7 +10,9 @@ overhead the evaluation reports, because only changed elements grow chains.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Mapping, Sequence
+from contextlib import contextmanager
+from functools import wraps
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping, Sequence
 
 from repro.errors import (
     StorageError,
@@ -28,13 +30,47 @@ from repro.storage.memgraph.temporal_index import TemporalClassIndex, TemporalFi
 from repro.temporal.clock import TransactionClock
 from repro.temporal.interval import FOREVER, Interval
 from repro.util.ids import IdAllocator
+from repro.util.locks import ReadWriteLock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.stats.metrics import MetricsRegistry
 
 
+def _read_op(method: Callable) -> Callable:
+    """Run *method* holding the store's shared read lock."""
+
+    @wraps(method)
+    def locked(self: "MemGraphStore", *args: Any, **kwargs: Any) -> Any:
+        with self.rwlock.read_locked:
+            return method(self, *args, **kwargs)
+
+    return locked
+
+
+def _write_op(method: Callable) -> Callable:
+    """Run *method* holding the store's exclusive write lock."""
+
+    @wraps(method)
+    def locked(self: "MemGraphStore", *args: Any, **kwargs: Any) -> Any:
+        with self.rwlock.write_locked:
+            return method(self, *args, **kwargs)
+
+    return locked
+
+
 class MemGraphStore(GraphStore):
-    """Temporal graph database held in Python dictionaries."""
+    """Temporal graph database held in Python dictionaries.
+
+    Concurrency: all state lives in plain dicts, so a reader iterating
+    while a writer mutates would crash (``dictionary changed size during
+    iteration``) or observe torn multi-dict updates.  A per-store
+    :class:`~repro.util.locks.ReadWriteLock` gives reads shared access and
+    writes exclusive access; the single-writer commit gate in
+    :mod:`repro.core.concurrency` serializes writers *above* this lock and
+    keeps open read snapshots isolated.  Multi-call operations (e.g. the
+    two inserts of a symmetric edge) are made atomic by that gate, not by
+    this lock.
+    """
 
     def __init__(
         self,
@@ -56,6 +92,7 @@ class MemGraphStore(GraphStore):
         self._out = AdjacencyIndex()
         self._in = AdjacencyIndex()
         self._metrics = metrics
+        self.rwlock = ReadWriteLock()
         #: Ablation / oracle switch: with the temporal indexes disabled,
         #: historical anchors fall back to the brute-force scan over every
         #: uid ever admitted.  The indexes are still *maintained* while
@@ -65,6 +102,18 @@ class MemGraphStore(GraphStore):
     def set_metrics(self, metrics: "MetricsRegistry | None") -> None:
         """Attach (or detach) the registry receiving ``index.*`` events."""
         self._metrics = metrics
+
+    @property
+    def supports_snapshots(self) -> bool:
+        """Version chains answer ``at(t)`` for any past t: snapshot-capable."""
+        return True
+
+    @contextmanager
+    def bulk(self) -> Iterator[None]:
+        """Hold the write lock across a whole batch, so readers never see
+        a half-applied bulk load."""
+        with self.rwlock.write_locked:
+            yield
 
     def _event(self, event_name: str, count: int = 1) -> None:
         if self._metrics is not None and count:
@@ -91,6 +140,7 @@ class MemGraphStore(GraphStore):
             )
         return uid, True
 
+    @_write_op
     def insert_node(
         self, class_name: str, fields: Mapping[str, Any] | None = None, uid: int | None = None
     ) -> int:
@@ -104,6 +154,7 @@ class MemGraphStore(GraphStore):
         self._admit(record)
         return uid
 
+    @_write_op
     def insert_edge(
         self,
         class_name: str,
@@ -154,6 +205,7 @@ class MemGraphStore(GraphStore):
         self._temporal_field.open(cls_name, record.uid, start, dict(record.fields))
         self.bump_data_version()
 
+    @_write_op
     def update_element(self, uid: int, changes: Mapping[str, Any]) -> None:
         current = self._current.get(uid)
         if current is None:
@@ -202,6 +254,7 @@ class MemGraphStore(GraphStore):
             uid=previous.uid, cls=previous.cls, fields=fields, period=period
         )
 
+    @_write_op
     def delete_element(self, uid: int) -> None:
         current = self._current.get(uid)
         if current is None:
@@ -226,6 +279,7 @@ class MemGraphStore(GraphStore):
         self._field_index.discard(current.cls.name, uid, fields)
         self.bump_data_version()
 
+    @_write_op
     def reinsert(self, uid: int, fields: Mapping[str, Any] | None = None,
                  source: int | None = None, target: int | None = None) -> int:
         """Bring a previously deleted element back (same uid, same class).
@@ -267,10 +321,12 @@ class MemGraphStore(GraphStore):
             result.append(current)
         return result
 
+    @_read_op
     def get_element(self, uid: int, scope: TimeScope) -> ElementRecord | None:
         versions = self._visible_versions(uid, scope)
         return versions[-1] if versions else None
 
+    @_read_op
     def versions(self, uid: int, window: Interval) -> list[ElementRecord]:
         result = [
             version
@@ -289,6 +345,7 @@ class MemGraphStore(GraphStore):
                 return version
         return None
 
+    @_read_op
     def scan_atom(self, atom: Atom, scope: TimeScope) -> list[ElementRecord]:
         if atom.cls is None:
             raise StorageError(f"atom {atom.class_name}() must be bound before scanning")
@@ -406,16 +463,19 @@ class MemGraphStore(GraphStore):
             for uid in node_uids
         }
 
+    @_read_op
     def out_edges(
         self, node_uid: int, scope: TimeScope, classes: Sequence[EdgeClass] | None = None
     ) -> list[EdgeRecord]:
         return self._expand(self._out, node_uid, scope, self._edge_class_names(classes))
 
+    @_read_op
     def in_edges(
         self, node_uid: int, scope: TimeScope, classes: Sequence[EdgeClass] | None = None
     ) -> list[EdgeRecord]:
         return self._expand(self._in, node_uid, scope, self._edge_class_names(classes))
 
+    @_read_op
     def out_edges_many(
         self,
         node_uids: Sequence[int],
@@ -424,6 +484,7 @@ class MemGraphStore(GraphStore):
     ) -> dict[int, list[EdgeRecord]]:
         return self._expand_many(self._out, node_uids, scope, classes)
 
+    @_read_op
     def in_edges_many(
         self,
         node_uids: Sequence[int],
@@ -436,10 +497,12 @@ class MemGraphStore(GraphStore):
     # statistics & accounting
     # ------------------------------------------------------------------
 
+    @_read_op
     def class_count(self, class_name: str) -> int:
         cls = self.schema.resolve(class_name)
         return self._class_index.count(self.schema.concrete_names(cls))
 
+    @_read_op
     def class_count_at(self, class_name: str, scope: TimeScope) -> int | None:
         """Scope-aware class cardinality, served by the temporal index.
 
@@ -453,6 +516,7 @@ class MemGraphStore(GraphStore):
         cls = self.schema.resolve(class_name)
         return self._temporal_class.count(self.schema.concrete_names(cls), scope)
 
+    @_read_op
     def counts(self) -> dict[str, int]:
         nodes = sum(1 for r in self._current.values() if isinstance(r, NodeRecord))
         edges = len(self._current) - nodes
@@ -464,6 +528,7 @@ class MemGraphStore(GraphStore):
             "history_versions": history,
         }
 
+    @_read_op
     def storage_cells(self) -> int:
         """Stored cells across all versions (id + class + period + fields)."""
         total = 0
@@ -488,21 +553,26 @@ class MemGraphStore(GraphStore):
     def last_uid(self) -> int:
         return self._ids.last
 
+    @_read_op
     def known_uids(self) -> list[int]:
         """Every uid ever admitted — current, historical, or deleted."""
         return sorted(self._class_of)
 
+    @_read_op
     def current_uids(self) -> list[int]:
         return sorted(self._current)
 
+    @_read_op
     def degree(self, node_uid: int) -> tuple[int, int]:
         """Structural (out, in) degree — includes historical edges."""
         return self._out.degree(node_uid), self._in.degree(node_uid)
 
+    @_read_op
     def temporal_posting_count(self, class_name: str) -> int:
         """Version postings the temporal class index holds for one class."""
         return self._temporal_class.postings_count(class_name)
 
+    @_write_op
     def rebuild_temporal_indexes(self) -> None:
         """Recreate the temporal indexes from the version chains.
 

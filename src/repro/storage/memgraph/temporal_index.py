@@ -33,6 +33,7 @@ overwrite rule.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_right
 from collections import defaultdict
 from typing import Iterable, Iterator
@@ -45,7 +46,7 @@ from repro.temporal.interval import FOREVER
 class VersionPostings:
     """Version periods under one index key, bisect-searchable by end."""
 
-    __slots__ = ("open", "_ends", "_starts", "_uids", "_sorted")
+    __slots__ = ("open", "_ends", "_starts", "_uids", "_sorted", "_lock")
 
     def __init__(self) -> None:
         self.open: dict[int, float] = {}
@@ -53,6 +54,11 @@ class VersionPostings:
         self._starts: list[float] = []
         self._uids: list[int] = []
         self._sorted = True
+        # Guards the lazy re-sort: two concurrent *readers* racing through
+        # _ensure_sorted would both permute the parallel arrays.  Writers
+        # are already exclusive (store-level RW lock), so only the
+        # sort-and-scan of the closed arrays needs the lock.
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self.open) + len(self._ends)
@@ -93,12 +99,13 @@ class VersionPostings:
         for uid, opened in self.open.items():
             if opened < end:
                 into.add(uid)
-        self._ensure_sorted()
-        index = bisect_right(self._ends, start)
-        starts, uids = self._starts, self._uids
-        for i in range(index, len(self._ends)):
-            if starts[i] < end:
-                into.add(uids[i])
+        with self._lock:
+            self._ensure_sorted()
+            index = bisect_right(self._ends, start)
+            starts, uids = self._starts, self._uids
+            for i in range(index, len(self._ends)):
+                if starts[i] < end:
+                    into.add(uids[i])
 
 
 def _scope_window(scope: TimeScope) -> tuple[float, float]:

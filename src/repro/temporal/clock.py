@@ -60,6 +60,20 @@ class TransactionClock:
         self._current = self.now() + seconds
         return self._current
 
+    def ensure_after(self, timestamp: float) -> float:
+        """Guarantee the next stamp lands strictly after *timestamp*.
+
+        Used by the single-writer commit gate: a commit that lands while a
+        read snapshot pinned at ``timestamp`` is open must stamp its rows
+        past the pin, otherwise the snapshot would see the new rows.
+        Unlike :meth:`set` this never pins a wall clock — it only raises the
+        monotone floor that ``now()`` already honours.
+        """
+        floor = math.nextafter(timestamp, math.inf)
+        if floor > self._current:
+            self._current = floor
+        return self._current
+
     def tick(self) -> float:
         """Advance by the smallest representable step and return the new time."""
         self._pinned = True

@@ -1,0 +1,130 @@
+"""Reader/writer lock for the in-memory store.
+
+The memgraph backend keeps its state in plain dicts; CPython raises
+``RuntimeError: dictionary changed size during iteration`` when a reader
+iterates one while a writer mutates it, so concurrent serving needs real
+exclusion even under the GIL.  :class:`ReadWriteLock` gives the store
+shared readers / exclusive writer semantics with two properties the
+engine relies on:
+
+* **Reentrancy** — the store's write paths recurse (``delete_element``
+  cascades over incident edges) and its writers read their own indexes,
+  so a thread holding the write lock may re-enter both the write and the
+  read side, and a reader may nest further reads.
+* **Writer preference** — a pending writer blocks *new* reader threads,
+  so churn writes cannot be starved by a steady stream of queries.
+  Threads that already hold the read lock may still nest reads (granting
+  them is required to avoid self-deadlock).
+
+Read-to-write upgrades deadlock under writer preference and are rejected
+with ``RuntimeError`` instead.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class ReadWriteLock:
+    """Shared-reader / exclusive-writer lock, reentrant, writer-preferring."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition(threading.Lock())
+        self._reader_depth: dict[int, int] = {}
+        self._writer: int | None = None
+        self._writer_depth = 0
+        self._writers_waiting = 0
+        self.read_locked = _ReadContext(self)
+        self.write_locked = _WriteContext(self)
+
+    # -- read side --------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                # Writer reading its own state: already exclusive.
+                self._reader_depth[me] = self._reader_depth.get(me, 0) + 1
+                return
+            if self._reader_depth.get(me):
+                # Nested read: must be granted even with writers waiting,
+                # otherwise the thread deadlocks against itself.
+                self._reader_depth[me] += 1
+                return
+            while self._writer is not None or self._writers_waiting:
+                self._cond.wait()
+            self._reader_depth[me] = 1
+
+    def release_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            depth = self._reader_depth.get(me, 0)
+            if depth <= 0:
+                raise RuntimeError("release_read without a matching acquire_read")
+            if depth == 1:
+                del self._reader_depth[me]
+                if self._writer is None and not self._reader_depth:
+                    self._cond.notify_all()
+            else:
+                self._reader_depth[me] = depth - 1
+
+    # -- write side -------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth += 1
+                return
+            if self._reader_depth.get(me):
+                raise RuntimeError(
+                    "read-to-write lock upgrade is not supported (would deadlock)"
+                )
+            self._writers_waiting += 1
+            try:
+                while self._writer is not None or self._reader_depth:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = me
+            self._writer_depth = 1
+
+    def release_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer != me:
+                raise RuntimeError("release_write by a thread that does not hold it")
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+
+class _ReadContext:
+    """Reusable ``with lock.read_locked:`` context manager."""
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, lock: ReadWriteLock):
+        self._lock = lock
+
+    def __enter__(self) -> None:
+        self._lock.acquire_read()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._lock.release_read()
+
+
+class _WriteContext:
+    """Reusable ``with lock.write_locked:`` context manager."""
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, lock: ReadWriteLock):
+        self._lock = lock
+
+    def __enter__(self) -> None:
+        self._lock.acquire_write()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._lock.release_write()

@@ -1,0 +1,38 @@
+"""Shared helpers for the concurrency suite."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.database import NepalDB
+from repro.server.app import _result_payload
+
+
+def result_digest(result) -> str:
+    """A byte-exact rendering of a query result (values, bindings, periods).
+
+    Built on the server's JSON rendering so "byte-identical" means the
+    same bytes a served client would receive.
+    """
+    return json.dumps(_result_payload(result), sort_keys=True)
+
+
+def small_topology(db: NepalDB) -> dict[str, list[int]]:
+    """4 hosts, 12 VMs placed round-robin — tiny but query-interesting."""
+    hosts = [db.insert_node("Host", {"name": f"h{i}"}) for i in range(4)]
+    vms = []
+    for i in range(12):
+        vm = db.insert_node(
+            "VM", {"name": f"v{i}", "status": "Green" if i % 3 else "Amber"}
+        )
+        db.insert_edge("OnServer", vm, hosts[i % len(hosts)])
+        vms.append(vm)
+    return {"hosts": hosts, "vms": vms}
+
+
+CORPUS = [
+    "Retrieve P From PATHS P Where P MATCHES VM()->OnServer()->Host()",
+    "Retrieve P From PATHS P Where P MATCHES VM(status='Green')",
+    "Retrieve P From PATHS P Where P MATCHES VM(name='v3')->OnServer()->Host()",
+    "Retrieve P From PATHS P Where P MATCHES Host()",
+]

@@ -1,0 +1,113 @@
+"""The bench-smoke regression gate (`benchmarks/check_regression.py`)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from benchmarks.check_regression import compare, load_gate, main
+
+
+def write_payload(path: Path, higher=None, lower=None, extra=None) -> Path:
+    payload = {
+        "bench": "synthetic",
+        **(extra or {}),
+        "gate": {
+            "higher_is_better": dict(higher or {}),
+            "lower_is_better": dict(lower or {}),
+        },
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def run_gate(tmp_path: Path, current, baseline) -> int:
+    baseline_dir = tmp_path / "baselines"
+    baseline_dir.mkdir(exist_ok=True)
+    current_path = write_payload(tmp_path / "BENCH_x.json", **current)
+    write_payload(baseline_dir / "BENCH_x.json", **baseline)
+    return main([str(current_path), "--baseline-dir", str(baseline_dir)])
+
+
+def test_three_x_slower_fails(tmp_path):
+    """The acceptance criterion: a synthetic 3x regression exits nonzero."""
+    assert run_gate(
+        tmp_path,
+        current={"higher": {"speedup": 10.0}},
+        baseline={"higher": {"speedup": 30.0}},
+    ) == 1
+
+
+def test_lower_is_better_three_x_fails(tmp_path):
+    assert run_gate(
+        tmp_path,
+        current={"lower": {"p99_ms": 30.0}},
+        baseline={"lower": {"p99_ms": 10.0}},
+    ) == 1
+
+
+def test_matching_results_pass(tmp_path):
+    assert run_gate(
+        tmp_path,
+        current={"higher": {"speedup": 30.0}, "lower": {"p99_ms": 10.0}},
+        baseline={"higher": {"speedup": 30.0}, "lower": {"p99_ms": 10.0}},
+    ) == 0
+
+
+def test_within_tolerance_passes(tmp_path):
+    # 1.9x worse in both directions: inside the 2x bar.
+    assert run_gate(
+        tmp_path,
+        current={"higher": {"speedup": 15.8}, "lower": {"p99_ms": 19.0}},
+        baseline={"higher": {"speedup": 30.0}, "lower": {"p99_ms": 10.0}},
+    ) == 0
+
+
+def test_collapsed_metric_fails(tmp_path):
+    assert run_gate(
+        tmp_path,
+        current={"higher": {"speedup": 0.0}},
+        baseline={"higher": {"speedup": 30.0}},
+    ) == 1
+
+
+def test_missing_gated_metric_fails(tmp_path):
+    assert run_gate(
+        tmp_path,
+        current={"higher": {}},
+        baseline={"higher": {"speedup": 30.0}},
+    ) == 1
+
+
+def test_missing_baseline(tmp_path):
+    current = write_payload(
+        tmp_path / "BENCH_orphan.json", higher={"speedup": 1.0}
+    )
+    empty = tmp_path / "baselines"
+    empty.mkdir()
+    args = [str(current), "--baseline-dir", str(empty)]
+    assert main(args) == 1
+    assert main([*args, "--allow-missing"]) == 0
+
+
+def test_missing_current_file_fails(tmp_path):
+    assert main([str(tmp_path / "BENCH_nowhere.json")]) == 1
+
+
+def test_compare_reports_direction():
+    baseline = {"higher_is_better": {"speedup": 30.0}, "lower_is_better": {}}
+    current = {"higher_is_better": {"speedup": 10.0}, "lower_is_better": {}}
+    problems = compare("BENCH_x.json", current, baseline, tolerance=2.0)
+    assert len(problems) == 1
+    assert "3.00x" in problems[0]
+
+
+def test_committed_baselines_parse():
+    """Every committed baseline gates at least one metric."""
+    baseline_dir = Path(__file__).resolve().parents[2] / "benchmarks" / "baselines"
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    assert len(baselines) >= 3
+    for path in baselines:
+        gate = load_gate(path)
+        gated = sum(len(v) for v in gate.values())
+        assert gated >= 1, path.name

@@ -1,0 +1,255 @@
+"""ReadSnapshot semantics: pinning, isolation, rewrite rules, lifecycle."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.database import NepalDB
+from repro.core.resilience import ResiliencePolicy
+from repro.errors import NepalError, QueryDeadlineExceeded, StorageError
+from repro.storage.chaos import FaultPlan
+from repro.temporal.clock import TransactionClock
+from repro.temporal.interval import FOREVER, Interval
+from tests.concurrency.conftest import CORPUS, result_digest, small_topology
+from tests.conftest import T0
+
+VM_PATH = "Retrieve P From PATHS P Where P MATCHES VM()->OnServer()->Host()"
+
+
+@pytest.fixture
+def db():
+    return NepalDB(clock=TransactionClock(start=T0))
+
+
+class TestIsolation:
+    def test_snapshot_does_not_see_later_update(self, db):
+        handles = small_topology(db)
+        snap = db.snapshot()
+        db.clock.advance(10)
+        db.update(handles["vms"][0], {"status": "Red"})
+
+        live = db.query("Retrieve P From PATHS P Where P MATCHES VM(status='Red')")
+        pinned = snap.query("Retrieve P From PATHS P Where P MATCHES VM(status='Red')")
+        assert len(live) == 1
+        assert len(pinned) == 0
+        snap.close()
+
+    def test_snapshot_does_not_see_later_insert_or_delete(self, db):
+        handles = small_topology(db)
+        with db.snapshot() as snap:
+            before = len(snap.query(VM_PATH))
+            db.clock.advance(5)
+            db.delete(handles["vms"][1])
+            new_vm = db.insert_node("VM", {"name": "late"})
+            db.insert_edge("OnServer", new_vm, handles["hosts"][0])
+            assert len(snap.query(VM_PATH)) == before
+            assert len(db.query(VM_PATH)) == before  # -1 deleted, +1 inserted
+
+    def test_byte_identical_across_concurrent_bulk_write(self, db):
+        """The acceptance criterion: a held snapshot's results are the same
+        bytes before and after a concurrent bulk write commits."""
+        small_topology(db)
+        snap = db.snapshot()
+        before = {text: result_digest(snap.query(text)) for text in CORPUS}
+
+        def bulk_writer():
+            db.clock.advance(30)
+            with db.store.bulk():
+                for i in range(40):
+                    vm = db.store.insert_node("VM", {"name": f"bulk{i}"})
+                    db.store.update_element(vm, {"status": "Red"})
+
+        # Through the commit gate, from another thread, like a real writer.
+        def committed():
+            with db.write_gate.commit(db.clock):
+                bulk_writer()
+
+        worker = threading.Thread(target=committed)
+        worker.start()
+        worker.join(timeout=30)
+        assert not worker.is_alive()
+
+        after = {text: result_digest(snap.query(text)) for text in CORPUS}
+        assert after == before
+        # And the writer's rows are visible to live reads.
+        assert len(db.query(VM_PATH)) == len(snap.query(VM_PATH))  # no edges yet
+        assert db.store.class_count("VM") == 12 + 40
+        snap.close()
+
+    def test_data_version_frozen(self, db):
+        handles = small_topology(db)
+        snap = db.snapshot()
+        pinned_version = snap.data_version
+        assert snap.store.data_version == pinned_version
+        db.update(handles["vms"][0], {"status": "Red"})
+        assert db.store.data_version > pinned_version
+        assert snap.store.data_version == pinned_version
+        snap.close()
+
+    def test_find_paths_pinned(self, db):
+        handles = small_topology(db)
+        snap = db.snapshot()
+        before = len(snap.find_paths("VM()->OnServer()->Host()"))
+        db.clock.advance(5)
+        vm = db.insert_node("VM", {"name": "later"})
+        db.insert_edge("OnServer", vm, handles["hosts"][0])
+        assert len(snap.find_paths("VM()->OnServer()->Host()")) == before
+        assert len(db.find_paths("VM()->OnServer()->Host()")) == before + 1
+        snap.close()
+
+
+class TestScopeRewrite:
+    def test_future_at_clamps_to_pin(self, db):
+        handles = small_topology(db)
+        snap = db.snapshot()
+        db.clock.advance(100)
+        db.update(handles["vms"][0], {"status": "Red"})
+        # AT a timestamp after the pin: the snapshot's present IS the pin,
+        # so the later version must not leak in.
+        red = "VM(status='Red')"
+        assert len(snap.find_paths(red, at=T0 + 100)) == 0
+        assert len(db.find_paths(red, at=T0 + 100)) == 1
+        snap.close()
+
+    def test_historical_at_unaffected(self, db):
+        handles = small_topology(db)
+        db.clock.advance(50)
+        db.update(handles["vms"][0], {"status": "Red"})
+        with db.snapshot() as snap:
+            # Reads strictly before the pin behave exactly like live ones.
+            assert len(snap.find_paths("VM(status='Red')", at=T0)) == 0
+            assert len(snap.find_paths("VM(name='v0')", at=T0)) == 1
+
+    def test_range_clipped_to_pin(self, db):
+        handles = small_topology(db)
+        snap = db.snapshot()
+        db.clock.advance(100)
+        db.update(handles["vms"][0], {"status": "Red"})
+        hits = snap.find_paths("VM(status='Red')", between=(T0, T0 + 1000))
+        assert hits == []
+        live = db.find_paths("VM(status='Red')", between=(T0, T0 + 1000))
+        assert len(live) == 1
+        snap.close()
+
+
+class TestCommitGate:
+    def test_commit_stamps_after_open_pin(self, db):
+        small_topology(db)
+        snap = db.snapshot()
+        # Without advancing the clock: the gate must push the stamp past
+        # the pin on its own so the new row stays invisible.
+        uid = db.insert_node("VM", {"name": "racer"})
+        (record,) = db.store.versions(uid, Interval(0.0, FOREVER))
+        assert record.period.start > snap.as_of
+        assert len(snap.query("Retrieve P From PATHS P Where P MATCHES VM(name='racer')")) == 0
+        snap.close()
+
+    def test_no_open_pins_leaves_clock_alone(self, db):
+        small_topology(db)
+        before = db.clock.now()
+        db.insert_node("VM", {"name": "quiet"})
+        assert db.clock.now() == before
+
+    def test_pin_refcounting_drains(self, db):
+        small_topology(db)
+        assert db.write_gate.open_pins() == 0
+        first = db.snapshot()
+        second = db.snapshot()
+        assert db.write_gate.open_pins() == 2
+        first.close()
+        first.close()  # idempotent
+        assert db.write_gate.open_pins() == 1
+        second.close()
+        assert db.write_gate.open_pins() == 0
+
+    def test_ephemeral_query_pin_released(self, db):
+        small_topology(db)
+        db.query(VM_PATH)
+        assert db.write_gate.open_pins() == 0
+
+    def test_commit_counter_and_metrics(self, db):
+        base = db.write_gate.commits
+        small_topology(db)  # 4 + 12 inserts + 12 edges
+        assert db.write_gate.commits == base + 28
+        assert db.metrics.event_count("concurrency.commits") == base + 28
+
+
+class TestLifecycle:
+    def test_snapshot_store_rejects_writes(self, db):
+        small_topology(db)
+        with db.snapshot() as snap:
+            with pytest.raises(StorageError, match="read-only"):
+                snap.store.insert_node("VM", {"name": "nope"})
+            with pytest.raises(StorageError, match="read-only"):
+                snap.store.update_element(1, {"status": "Red"})
+            with pytest.raises(StorageError, match="read-only"):
+                snap.store.bulk()
+            with pytest.raises(StorageError, match="immutable"):
+                snap.store.bump_data_version()
+
+    def test_closed_snapshot_raises(self, db):
+        small_topology(db)
+        snap = db.snapshot()
+        snap.close()
+        assert snap.closed
+        with pytest.raises(NepalError, match="closed"):
+            snap.query(VM_PATH)
+        with pytest.raises(NepalError, match="closed"):
+            snap.find_paths("VM()")
+        with pytest.raises(NepalError, match="closed"):
+            _ = snap.store
+
+    def test_relational_backend_has_no_snapshots(self):
+        db = NepalDB(backend="relational", clock=TransactionClock(start=T0))
+        small_topology(db)
+        with pytest.raises(NepalError, match="supports snapshots"):
+            db.snapshot()
+        # Queries still serve (live, no pin).
+        assert len(db.query(VM_PATH)) == 12
+
+    def test_snapshot_metrics_events(self, db):
+        small_topology(db)
+        with db.snapshot():
+            pass
+        assert db.metrics.event_count("concurrency.snapshot.open") >= 1
+        assert db.metrics.event_count("concurrency.snapshot.close") >= 1
+
+
+class TestDeadlines:
+    def test_held_snapshot_rearms_deadline_per_request(self, db):
+        """The deadline is a per-request budget, not a lifetime: a snapshot
+        held longer than its deadline still serves."""
+        small_topology(db)
+        with db.snapshot(deadline=0.05) as snap:
+            time.sleep(0.08)  # hold the snapshot well past the duration
+            assert len(snap.query(VM_PATH)) == 12
+            time.sleep(0.08)
+            assert len(snap.query(VM_PATH)) == 12
+
+    def test_exhausted_deadline_raises(self, db):
+        small_topology(db)
+        with db.snapshot(deadline=0.05) as snap:
+            # A "clock" that jumps past the armed deadline mid-evaluation.
+            ticks = iter([0.0, 100.0])
+            snap.view.monotonic = lambda: next(ticks, 100.0)
+            with pytest.raises(QueryDeadlineExceeded):
+                snap.query(VM_PATH)
+
+
+class TestResilienceLayering:
+    def test_snapshot_reads_through_recoverable_faults(self, db):
+        """The pin wraps around the retry guard, so each faulted read is
+        retried individually — a whole traversal never becomes one retry
+        unit that exhausts the budget."""
+        small_topology(db)
+        oracle = result_digest(db.query(VM_PATH))
+        db.inject_faults(FaultPlan(seed=7, error_rate=0.05))
+        db.set_resilience(
+            ResiliencePolicy(max_attempts=8, base_delay=0.0, max_delay=0.0, jitter=0.0)
+        )
+        with db.snapshot() as snap:
+            assert result_digest(snap.query(VM_PATH)) == oracle
+        assert result_digest(db.query(VM_PATH)) == oracle
