@@ -1,6 +1,13 @@
 # Convenience targets for the Nepal reproduction.
 
-.PHONY: install test lint coverage ci stress bench bench-smoke sweep examples all
+# Recipes run under bash with pipefail so a failing command on the left
+# of a pipe (pytest | tee, etc.) fails the target instead of vanishing
+# behind the pipe's exit status.  -e aborts multi-command recipes on the
+# first failure; -u catches unset-variable typos; -c is required by make.
+SHELL := bash
+.SHELLFLAGS := -eu -o pipefail -c
+
+.PHONY: install test lint coverage ci stress bench bench-smoke observability sweep examples all
 
 # Minimum line coverage enforced by `make coverage` and the CI test job.
 COVERAGE_FLOOR ?= 80
@@ -41,13 +48,20 @@ ci: lint test coverage
 stress:
 	PYTHONPATH=src python -m pytest -q tests/concurrency
 
+# The tracing / EXPLAIN ANALYZE / slow-query-log suite (mirrors CI's
+# observability job).  Refresh the EXPLAIN goldens after an intentional
+# format change with:
+#   PYTHONPATH=src python -m pytest tests/observability --update-goldens
+observability:
+	PYTHONPATH=src python -m pytest -q tests/observability tests/concurrency/test_traced_serving.py
+
 bench:
 	pytest benchmarks/ --benchmark-only
 
 # Reduced-scale smoke of the Table 1 workload, the WAL-overhead ablation,
-# the plan-cache / time-travel ablations and the concurrent-serving bench,
-# then the regression gate against benchmarks/baselines/ (mirrors CI's
-# gating bench-smoke job).
+# the plan-cache / time-travel ablations, the concurrent-serving bench
+# and the tracing-overhead bench, then the regression gate against
+# benchmarks/baselines/ (mirrors CI's gating bench-smoke job).
 bench-smoke:
 	NEPAL_BENCH_INSTANCES=5 NEPAL_CHURN_DAYS=5 NEPAL_BENCH_SCALE=small \
 		PYTHONPATH=src python -m pytest benchmarks/bench_table1.py -s --benchmark-disable -k snapshot
@@ -59,8 +73,11 @@ bench-smoke:
 		PYTHONPATH=src python -m pytest benchmarks/bench_time_travel.py -s --benchmark-disable
 	NEPAL_CC_SECONDS=0.5 \
 		PYTHONPATH=src python -m pytest benchmarks/bench_concurrency.py -s --benchmark-disable
+	NEPAL_TRACE_REPS=15 \
+		PYTHONPATH=src python -m pytest benchmarks/bench_trace_overhead.py -s --benchmark-disable
 	python benchmarks/check_regression.py --baseline-dir benchmarks/baselines \
-		BENCH_plan_cache.json BENCH_timetravel.json BENCH_concurrency.json
+		BENCH_plan_cache.json BENCH_timetravel.json BENCH_concurrency.json \
+		BENCH_trace_overhead.json
 
 # The paper-style comparison tables (Tables 1-2, ablations, storage).
 sweep:

@@ -1,0 +1,157 @@
+"""Tracing overhead: the disabled path must be effectively free.
+
+Per-query tracing is opt-in, so its cost model has two sides:
+
+* **disabled** — every instrumentation point in the executor, traversal
+  and metrics layers guards itself with one ``ContextVar`` read
+  (:func:`~repro.stats.tracing.current_trace`) and, on the span sites,
+  the shared no-op :data:`~repro.stats.tracing.NULL_SPAN`.  This bench
+  counts how many guard touches one warm query actually performs (from a
+  traced run's span/counter census), times the guard primitive in
+  isolation, and asserts the summed guard cost stays **under 5%** of the
+  measured warm query latency;
+* **enabled** — a full span tree per query.  The traced/untraced latency
+  ratio is recorded and gated (machine-independent) so tracing staying
+  "cheap enough to sample in production" is a tested property, not a
+  hope.
+
+``NEPAL_TRACE_REPS`` overrides the repetition count (CI uses a small
+value); the JSON payload lands in ``BENCH_trace_overhead.json`` for
+``benchmarks/check_regression.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.core.database import NepalDB
+from repro.stats.tracing import TraceContext, current_trace
+from repro.util.text import format_table
+
+MAX_DISABLED_OVERHEAD_PCT = 5.0
+REPS = int(os.environ.get("NEPAL_TRACE_REPS", "40"))
+JSON_PATH = os.environ.get("NEPAL_TRACE_JSON", "BENCH_trace_overhead.json")
+
+QUERIES = (
+    "Retrieve P From PATHS P Where P MATCHES VM()->OnServer()->Host()",
+    "Select source(P).name From PATHS P Where P MATCHES VM(status='Green')",
+    "Select source(P).name, target(P).name "
+    "From PATHS P Where P MATCHES Service()->ComposedOf()->VNF()",
+    "Retrieve P From PATHS P Where P MATCHES VNF()->[Vertical()]{1,5}->Host()",
+)
+
+
+def _build_db() -> NepalDB:
+    db = NepalDB()
+    hosts = [db.insert_node("Host", {"name": f"h{i}"}) for i in range(6)]
+    service = db.insert_node("Service", {"name": "svc", "customer": "acme"})
+    for i in range(3):
+        vnf = db.insert_node("Firewall", {"name": f"fw{i}", "status": "Green"})
+        db.insert_edge("ComposedOf", service, vnf)
+        for j in range(4):
+            vfc = db.insert_node("ProxyVFC", {"name": f"vfc{i}-{j}"})
+            db.insert_edge("ComposedOf", vnf, vfc)
+            vm = db.insert_node(
+                "VMWare", {"name": f"vm{i}-{j}", "status": "Green"}
+            )
+            db.insert_edge("OnVM", vfc, vm)
+            db.insert_edge("OnServer", vm, hosts[(i * 4 + j) % len(hosts)])
+    return db
+
+
+def _per_query_seconds(db: NepalDB, traced: bool) -> float:
+    """Mean warm latency per query, optionally under a fresh trace each."""
+    for query in QUERIES:  # warm the plan cache and memos (not timed)
+        db.query(query)
+    started = time.perf_counter()
+    for _ in range(REPS):
+        for query in QUERIES:
+            db.query(query, trace=TraceContext() if traced else None)
+    return (time.perf_counter() - started) / (REPS * len(QUERIES))
+
+
+def _guard_touches_per_query(db: NepalDB) -> float:
+    """How many disabled-path guard reads one warm query performs.
+
+    Census from a traced run: every span is one ``maybe_span`` /
+    ``current_trace`` site that the untraced path still visits, and every
+    counter increment is one ``MetricsRegistry.event`` mirror (one
+    ``ContextVar`` read each).  Untraced executions visit the same sites.
+    """
+    touches = 0
+    for query in QUERIES:
+        trace = TraceContext()
+        db.query(query, trace=trace)
+        spans = trace.spans()
+        touches += len(spans)
+        touches += sum(sum(span.counters.values()) for span in spans)
+    return touches / len(QUERIES)
+
+
+def _guard_unit_cost() -> float:
+    """Seconds per ``current_trace()`` read with no trace installed."""
+    probes = 200_000
+    started = time.perf_counter()
+    for _ in range(probes):
+        current_trace()
+    return (time.perf_counter() - started) / probes
+
+
+def test_disabled_tracing_overhead_under_budget():
+    db = _build_db()
+
+    untraced = _per_query_seconds(db, traced=False)
+    traced = _per_query_seconds(db, traced=True)
+    touches = _guard_touches_per_query(db)
+    unit = _guard_unit_cost()
+
+    guard_cost = touches * unit
+    overhead_pct = 100.0 * guard_cost / untraced if untraced > 0 else 0.0
+    ratio = traced / untraced if untraced > 0 else 1.0
+
+    print()
+    print(f"== Trace overhead — {len(QUERIES)} queries x {REPS} reps ==")
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["untraced query", f"{untraced * 1e6:.1f} us"],
+            ["traced query", f"{traced * 1e6:.1f} us"],
+            ["traced/untraced", f"{ratio:.2f}x"],
+            ["guard touches/query", f"{touches:.0f}"],
+            ["guard unit cost", f"{unit * 1e9:.1f} ns"],
+            ["disabled overhead", f"{overhead_pct:.3f} %"],
+        ],
+    ))
+
+    payload = {
+        "bench": "trace_overhead",
+        "reps": REPS,
+        "untraced_query_s": untraced,
+        "traced_query_s": traced,
+        "traced_over_untraced": ratio,
+        "guard_touches_per_query": touches,
+        "guard_unit_cost_s": unit,
+        "disabled_overhead_pct": overhead_pct,
+        # Machine-independent ratios, gated against the committed
+        # baseline by benchmarks/check_regression.py in CI.
+        "gate": {
+            "higher_is_better": {},
+            "lower_is_better": {
+                "traced_over_untraced": ratio,
+                "disabled_overhead_pct": overhead_pct,
+            },
+        },
+    }
+    with open(JSON_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"(written to {JSON_PATH})")
+
+    assert overhead_pct < MAX_DISABLED_OVERHEAD_PCT, (
+        f"disabled-tracing guards cost {overhead_pct:.2f}% of a warm query "
+        f"(budget {MAX_DISABLED_OVERHEAD_PCT}%)"
+    )
+    # Tracing itself must stay sample-friendly: not an order of magnitude.
+    assert ratio < 5.0, f"traced execution {ratio:.1f}x slower than untraced"

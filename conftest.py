@@ -1,0 +1,30 @@
+"""Rootdir pytest plugin: options that must exist before collection.
+
+``pytest_addoption`` only takes effect in an *initial* conftest —
+``tests/conftest.py`` is discovered too late when pytest is invoked from
+the repository root — so repo-wide options live here.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite golden files from current output instead of "
+             "asserting against them (also: NEPAL_UPDATE_GOLDENS=1)",
+    )
+
+
+@pytest.fixture
+def update_goldens(request: pytest.FixtureRequest) -> bool:
+    """True when this run should refresh golden files, not compare."""
+    return bool(request.config.getoption("--update-goldens")) or bool(
+        os.environ.get("NEPAL_UPDATE_GOLDENS")
+    )

@@ -10,9 +10,14 @@ Inside the shell::
 
     nepal> Retrieve P From PATHS P Where P MATCHES VM()->OnServer()->Host()
     nepal> .explain Retrieve P From PATHS P Where P MATCHES VNF()
+    nepal> .explain --analyze Retrieve P From PATHS P Where P MATCHES VNF()
     nepal> .schema            — print the class hierarchies
     nepal> .stats             — store census
     nepal> .quit
+
+``nepal explain [--analyze] <query>`` renders a plan (and, with
+``--analyze``, the traced actual row counts next to the estimates)
+without entering the shell.
 """
 
 from __future__ import annotations
@@ -131,7 +136,9 @@ def run_statement(db: NepalDB, statement: str) -> str:
     if statement == ".help":
         return (
             "enter an NPQL query, or:\n"
-            "  .explain <query>   show the operator plan\n"
+            "  .explain [--analyze] <query>\n"
+            "                     show the operator plan; --analyze also\n"
+            "                     executes it and reports actual row counts\n"
             "  .translate <query> generate the equivalent Python program\n"
             "  .dump <path>       export the graph as a JSON snapshot\n"
             "  .paths <rpe>       evaluate a bare pathway expression\n"
@@ -146,7 +153,10 @@ def run_statement(db: NepalDB, statement: str) -> str:
             f"{info.wal_bytes_truncated} WAL bytes truncated"
         )
     if statement.startswith(".explain "):
-        return db.explain(statement[len(".explain "):])
+        rest = statement[len(".explain "):].strip()
+        if rest.startswith("--analyze "):
+            return db.explain(rest[len("--analyze "):], analyze=True)
+        return db.explain(rest)
     if statement.startswith(".translate "):
         return db.translate(statement[len(".translate "):])
     if statement.startswith(".dump "):
@@ -298,16 +308,60 @@ def serve_main(argv: list[str]) -> int:
         db.close()
 
 
+def explain_main(argv: list[str]) -> int:
+    """``nepal explain`` — render a query plan, optionally ANALYZE-d."""
+    parser = argparse.ArgumentParser(
+        prog="nepal explain",
+        description="Render the operator plan for an NPQL query; with "
+                    "--analyze, execute it under tracing and report actual "
+                    "row counts, cache outcomes and per-operator timings",
+    )
+    _add_database_flags(parser)
+    parser.add_argument(
+        "--analyze", action="store_true",
+        help="execute the query and pair each plan with what it actually did",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="with --analyze, also print the raw span tree",
+    )
+    parser.add_argument("query", help="the NPQL query to explain")
+    args = parser.parse_args(argv)
+
+    try:
+        db = build_database(args)
+    except NepalError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        if args.analyze:
+            analysis = db.explain_analyze(args.query)
+            print(analysis.render())
+            if args.trace:
+                print()
+                print(analysis.trace.render())
+        else:
+            print(db.explain(args.query))
+        return 0
+    except NepalError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        db.close()
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point (the ``nepal`` console script)."""
     if argv is None:
         argv = sys.argv[1:]
     if argv[:1] == ["serve"]:
         return serve_main(argv[1:])
+    if argv[:1] == ["explain"]:
+        return explain_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="nepal",
         description="Nepal — path-first temporal network-inventory database "
-                    "(see also: nepal serve --help)",
+                    "(see also: nepal serve --help, nepal explain --help)",
     )
     _add_database_flags(parser)
     parser.add_argument(

@@ -461,10 +461,24 @@ class ReadSnapshot:
         if self._closed:
             raise NepalError("read snapshot is closed")
 
-    def query(self, text: str):
-        """Execute an NPQL query against the pinned view."""
+    def query(self, text: str, trace=None):
+        """Execute an NPQL query against the pinned view.
+
+        *trace* (a fresh :class:`~repro.stats.tracing.TraceContext`)
+        records the execution's span tree without changing its result.
+        ``EXPLAIN [ANALYZE]`` prefixes work here too, evaluated against
+        the pinned view.
+        """
         self._ensure_open()
-        return self._db.executor().execute(text, snapshot=self._view)
+        db = self._db
+        plan = db._maybe_explain(text, snapshot=self._view, trace=trace)
+        if plan is not None:
+            return plan
+        trace, owns_trace = db._sampled_trace(trace)
+        started = time.perf_counter() if db.slow_query_log is not None else 0.0
+        result = db.executor().execute(text, snapshot=self._view, trace=trace)
+        db._record_slow(text, started, result, trace, owns_trace)
+        return result
 
     def find_paths(self, rpe_text: str, at=None, between=None, store: str | None = None):
         """Pathway lookup against the pinned view (see ``NepalDB.find_paths``)."""

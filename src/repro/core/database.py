@@ -17,7 +17,9 @@ stores can be attached for federated queries (``From PATHS@legacy P``).
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+import re
+import time
+from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.core.concurrency import ReadSnapshot, WriteGate
 from repro.core.resilience import ResiliencePolicy
@@ -29,14 +31,28 @@ from repro.plan.planner import Planner, PlannerOptions
 from repro.query.ast import Query
 from repro.query.results import QueryResult
 from repro.query.temporal_agg import PathEvolution, path_evolution
+from repro.query.results import ResultRow
 from repro.schema.builtin import build_network_schema
 from repro.schema.registry import Schema
 from repro.stats.metrics import MetricsRegistry
+from repro.stats.tracing import SlowQueryLog, TraceContext
 from repro.storage.base import GraphStore, TimeScope
 from repro.temporal.clock import TransactionClock
 from repro.temporal.interval import Interval, parse_timestamp
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.plan.explain import ExplainAnalysis
+
 DEFAULT_STORE_NAME = "default"
+
+#: ``EXPLAIN [ANALYZE] <query>`` prefix on the textual query path.  NPQL
+#: statements start with Select/Retrieve/AT, so the keyword is unambiguous.
+_EXPLAIN_PREFIX = re.compile(r"\s*explain(?P<analyze>\s+analyze)?\s+", re.IGNORECASE)
+
+
+def _plan_result(text: str) -> QueryResult:
+    """A plan rendering as a one-column result set (one row per line)."""
+    return QueryResult(("plan",), [ResultRow(values=(line,)) for line in text.splitlines()])
 
 
 def _build_store(
@@ -104,6 +120,7 @@ class NepalDB:
         self._allow_partial = allow_partial
         self._executor: QueryExecutor | None = None
         self._gate = WriteGate(metrics=self._metrics)
+        self._slow_log: SlowQueryLog | None = None
 
     # ------------------------------------------------------------------
     # stores & federation
@@ -302,21 +319,98 @@ class NepalDB:
         """
         self.executor().define_view(name, rpe_text)
 
-    def query(self, query: Query | str) -> QueryResult:
+    def query(self, query: Query | str, trace: TraceContext | None = None) -> QueryResult:
         """Execute an NPQL query (see :mod:`repro.query`).
 
         Each call pins an ephemeral read snapshot for its duration, so a
         query racing a concurrent writer still evaluates every range
         variable against one consistent (as-of, data-version) view.  For
         a view that outlives a single query, take :meth:`snapshot`.
+
+        Textual queries may be prefixed ``EXPLAIN`` (render the plan, no
+        execution) or ``EXPLAIN ANALYZE`` (execute under tracing, render
+        plans with actual cardinalities); both return a one-column
+        ``plan`` result.  Passing a fresh :class:`TraceContext` as *trace*
+        records the span tree of an ordinary execution without changing
+        its result.
         """
+        plan = self._maybe_explain(query, trace=trace)
+        if plan is not None:
+            return plan
+        trace, owns_trace = self._sampled_trace(trace)
+        started = time.perf_counter() if self._slow_log is not None else 0.0
         view = self._gate.pin(self._stores.values())
-        if view is None:
-            return self.executor().execute(query)
         try:
-            return self.executor().execute(query, snapshot=view)
+            if view is None:
+                result = self.executor().execute(query, trace=trace)
+            else:
+                result = self.executor().execute(query, snapshot=view, trace=trace)
         finally:
-            view.release()
+            if view is not None:
+                view.release()
+        self._record_slow(query, started, result, trace, owns_trace)
+        return result
+
+    def _sampled_trace(
+        self, trace: TraceContext | None
+    ) -> tuple[TraceContext | None, bool]:
+        """Apply slow-log trace sampling: (trace to use, did we create it).
+
+        Sampling must be decided *before* execution — a span tree cannot
+        be reconstructed after the fact — so every Nth query pays the
+        tracing tax on the chance it turns out slow.
+        """
+        slow_log = self._slow_log
+        if slow_log is not None and trace is None and slow_log.wants_trace():
+            return TraceContext(label="slow-query-sample"), True
+        return trace, False
+
+    def _record_slow(
+        self,
+        query: Query | str,
+        started: float,
+        result: QueryResult,
+        trace: TraceContext | None,
+        owns_trace: bool,
+    ) -> None:
+        """Feed one finished execution to the slow-query log, if enabled."""
+        slow_log = self._slow_log
+        if slow_log is None:
+            return
+        elapsed = time.perf_counter() - started
+        text = query if isinstance(query, str) else query.render()
+        if slow_log.observe(text, elapsed, len(result.rows), trace):
+            self._metrics.event("slowlog.recorded")
+        elif owns_trace:
+            self._metrics.event("slowlog.sampled_fast")
+
+    def _maybe_explain(
+        self,
+        query: Query | str,
+        snapshot: object | None = None,
+        trace: TraceContext | None = None,
+    ) -> QueryResult | None:
+        """Dispatch a textual ``EXPLAIN [ANALYZE]`` prefix; None otherwise.
+
+        Shared between :meth:`query` and the pinned
+        :meth:`~repro.core.concurrency.ReadSnapshot.query` path so EXPLAIN
+        works identically over a held snapshot (and hence over HTTP).
+        """
+        if not isinstance(query, str):
+            return None
+        prefixed = _EXPLAIN_PREFIX.match(query)
+        if prefixed is None:
+            return None
+        body = query[prefixed.end():]
+        if prefixed.group("analyze"):
+            if snapshot is not None:
+                analysis = self.executor().explain_analyze(
+                    body, snapshot=snapshot, trace=trace
+                )
+            else:
+                analysis = self.explain_analyze(body, trace=trace)
+            return _plan_result(analysis.render())
+        return _plan_result(self.explain(body))
 
     def snapshot(self, deadline: float | None = None) -> ReadSnapshot:
         """Open a :class:`~repro.core.concurrency.ReadSnapshot`.
@@ -343,9 +437,65 @@ class NepalDB:
         """The single-writer commit gate (open-pin and commit counters)."""
         return self._gate
 
-    def explain(self, query: Query | str) -> str:
-        """The per-variable operator plans, without executing."""
+    def explain(self, query: Query | str, analyze: bool = False) -> str:
+        """The per-variable operator plans.
+
+        With ``analyze=True`` the query is executed under tracing and the
+        rendering pairs each plan with the rows it actually produced
+        (:meth:`explain_analyze` returns the structured form).
+        """
+        if analyze:
+            return self.explain_analyze(query).render()
         return self.executor().explain(query)
+
+    def explain_analyze(
+        self, query: Query | str, trace: TraceContext | None = None
+    ) -> "ExplainAnalysis":
+        """Execute *query* under tracing; estimated vs actual per operator.
+
+        Runs under the same ephemeral snapshot pin as :meth:`query`, so
+        the analysis observes exactly what a plain execution would.
+        """
+        view = self._gate.pin(self._stores.values())
+        try:
+            return self.executor().explain_analyze(query, snapshot=view, trace=trace)
+        finally:
+            if view is not None:
+                view.release()
+
+    # ------------------------------------------------------------------
+    # slow-query log
+    # ------------------------------------------------------------------
+
+    @property
+    def slow_query_log(self) -> SlowQueryLog | None:
+        """The configured slow-query log (None when disabled)."""
+        return self._slow_log
+
+    def enable_slow_query_log(
+        self,
+        threshold: float = 0.25,
+        capacity: int = 128,
+        trace_every: int = 16,
+    ) -> SlowQueryLog:
+        """Keep queries slower than *threshold* seconds in a bounded ring.
+
+        Every ``trace_every``-th query (sampling; ``0`` disables capture)
+        additionally records its full span tree, so a recurring slow query
+        eventually shows up with per-operator detail attached.  Entries
+        are JSON-ready dicts via :meth:`slow_queries`.
+        """
+        self._slow_log = SlowQueryLog(
+            threshold=threshold, capacity=capacity, trace_every=trace_every
+        )
+        return self._slow_log
+
+    def disable_slow_query_log(self) -> None:
+        self._slow_log = None
+
+    def slow_queries(self) -> list[dict[str, object]]:
+        """Retained slow-query entries, oldest first (empty when disabled)."""
+        return self._slow_log.entries() if self._slow_log is not None else []
 
     def translate(self, query: Query | str) -> str:
         """Generate a standalone Python program for *query* (§3.1)."""

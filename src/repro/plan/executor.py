@@ -58,6 +58,7 @@ from repro.query.results import QueryResult, ResultRow
 from repro.query.typecheck import CheckedQuery, typecheck_query
 from repro.stats.cardinality import CardinalityEstimator
 from repro.stats.metrics import MetricsRegistry
+from repro.stats.tracing import TraceContext, current_trace, maybe_span
 from repro.storage.base import GraphStore, TimeScope
 from repro.temporal.interval import FOREVER, Interval, IntervalSet
 from repro.temporal.validity import pathway_validity
@@ -65,6 +66,7 @@ from repro.temporal.validity import pathway_validity
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.concurrency import SnapshotView
     from repro.core.resilience import ResiliencePolicy
+    from repro.plan.explain import ExplainAnalysis
 
 DEFAULT_STORE = "default"
 
@@ -271,11 +273,17 @@ class QueryExecutor:
 
     def _parse(self, text: str) -> Query:
         """Parse query text, memoized (the AST is immutable and shareable)."""
+        trace = current_trace()
         cached = self._parse_cache.get(text)
         if cached is None:
-            with self.metrics.timings.measure("parse"):
-                cached = parse_query(text)
+            with maybe_span(trace, "parse", kind="stage") as span:
+                with self.metrics.timings.measure("parse"):
+                    cached = parse_query(text)
+                span.set("source", "fresh")
             self._parse_cache.put(text, cached)
+        else:
+            with maybe_span(trace, "parse", kind="stage") as span:
+                span.set("source", "memo")
         return cached
 
     def _catalog_state(self) -> tuple:
@@ -293,22 +301,31 @@ class QueryExecutor:
         """Typecheck *query*, memoized on (normalized text, catalog state)."""
         if isinstance(query, str):
             query = self._parse(query)
+        trace = current_trace()
         key = (query.render(), self._catalog_state())
         cached = self._typecheck_cache.get(key)
         if cached is None:
-            with self.metrics.timings.measure("typecheck"):
-                cached = typecheck_query(
-                    query,
-                    lambda var: self.store_for(var).schema,
-                    view_rpe=self.view_rpe,
-                )
+            with maybe_span(trace, "typecheck", kind="stage") as span:
+                with self.metrics.timings.measure("typecheck"):
+                    cached = typecheck_query(
+                        query,
+                        lambda var: self.store_for(var).schema,
+                        view_rpe=self.view_rpe,
+                    )
+                span.set("source", "fresh")
             self._typecheck_cache.put(key, cached)
+        else:
+            with maybe_span(trace, "typecheck", kind="stage") as span:
+                span.set("source", "memo")
         return cached
 
     # ------------------------------------------------------------------
 
     def execute(
-        self, query: Query | str, snapshot: "SnapshotView | None" = None
+        self,
+        query: Query | str,
+        snapshot: "SnapshotView | None" = None,
+        trace: TraceContext | None = None,
     ) -> QueryResult:
         """Parse (if text), typecheck, plan, evaluate and project *query*.
 
@@ -322,8 +339,30 @@ class QueryExecutor:
         (as-of, data-version) pair while planning still runs against the
         live catalog stores — plan-cache keys embed live store identity,
         so snapshot queries share cached plans with live queries.
+
+        With *trace* (a fresh, unused :class:`TraceContext`), every stage
+        records a span: the returned result is byte-identical to an
+        untraced run, but the context afterwards carries the full span
+        tree (see :mod:`repro.stats.tracing`).
         """
+        if trace is None:
+            return self._execute(query, snapshot)
+        with trace.activate():
+            with trace.span("query", kind="query") as root:
+                result = self._execute(query, snapshot)
+                root.set(
+                    "query", query if isinstance(query, str) else query.render()
+                )
+                root.set("rows_out", len(result.rows))
+                if result.warnings:
+                    root.set("warnings", len(result.warnings))
+        return result
+
+    def _execute(
+        self, query: Query | str, snapshot: "SnapshotView | None" = None
+    ) -> QueryResult:
         checked = self._checked(query)
+        trace = current_trace()
         with self.metrics.timings.measure("execute"):
             cache: dict = {}
             bindings = self._solve(
@@ -335,9 +374,12 @@ class QueryExecutor:
                 for item in prepared
                 if item.failed
             ]
-            result = self._project(
-                checked, bindings, failed_names={item.name for item in dropped}
-            )
+            with maybe_span(trace, "project", kind="operator") as span:
+                result = self._project(
+                    checked, bindings, failed_names={item.name for item in dropped}
+                )
+                span.count("rows_in", len(bindings))
+                span.count("rows_out", len(result.rows))
             if dropped:
                 result.warnings = result.warnings + tuple(
                     f"variable {item.name!r} dropped: {item.failure}"
@@ -363,22 +405,65 @@ class QueryExecutor:
         }
         return translate_query(checked, store_names)
 
+    def _plan_sections(self, query: Query) -> "list[tuple[RangeVariable, _EvaluatedVariable]]":
+        """(variable, planned-but-not-evaluated) pairs for *query*."""
+        checked = self._checked(query)
+        return [
+            (variable, self._prepare_variable(checked, variable))
+            for variable in query.variables
+        ]
+
     def explain(self, query: Query | str) -> str:
         """Render the per-variable plans without executing."""
         from repro.plan.explain import explain_program
 
         if isinstance(query, str):
             query = self._parse(query)
-        checked = self._checked(query)
         sections = []
-        for variable in query.variables:
-            evaluated = self._prepare_variable(checked, variable)
+        for variable, evaluated in self._plan_sections(query):
             sections.append(
                 f"variable {variable.name} on store "
                 f"{evaluated.store.name} ({evaluated.scope}):\n"
                 + explain_program(evaluated.program)
             )
         return "\n\n".join(sections)
+
+    def explain_analyze(
+        self,
+        query: Query | str,
+        snapshot: "SnapshotView | None" = None,
+        trace: TraceContext | None = None,
+    ) -> "ExplainAnalysis":
+        """Execute *query* under tracing and pair plans with actuals.
+
+        The result carries the estimated-vs-actual cardinality comparison
+        the paper's operators only promise implicitly: each variable's
+        compiled plan (with the planner's estimate) next to the rows its
+        evaluation really produced, plus join strategies, cache outcomes
+        and per-stage timings from the trace.
+        """
+        from repro.plan.explain import ExplainAnalysis
+
+        if isinstance(query, str):
+            query = self._parse(query)
+        if trace is None:
+            trace = TraceContext(label=query.render())
+        result = self.execute(query, snapshot=snapshot, trace=trace)
+        sections = [
+            (
+                variable.name,
+                evaluated.store.name,
+                str(evaluated.scope),
+                evaluated.program,
+            )
+            for variable, evaluated in self._plan_sections(query)
+        ]
+        return ExplainAnalysis(
+            query_text=query.render(),
+            sections=sections,
+            trace=trace,
+            result=result,
+        )
 
     # ------------------------------------------------------------------
     # variable evaluation
@@ -406,16 +491,25 @@ class QueryExecutor:
             self._planner_options,
             scope=scope,
         )
-        with self.metrics.timings.measure("plan"):
-            program = self.plan_cache.get_or_compile(
-                key,
-                lambda: Planner(
-                    store.schema,
-                    estimator,
-                    self._planner_options,
-                    nfa_memo=self.plan_cache.nfa_memo,
-                ).compile(rpe, bound=True, scope=scope),
-            )
+        compiled_fresh = False
+
+        def _compile() -> MatchProgram:
+            nonlocal compiled_fresh
+            compiled_fresh = True
+            return Planner(
+                store.schema,
+                estimator,
+                self._planner_options,
+                nfa_memo=self.plan_cache.nfa_memo,
+            ).compile(rpe, bound=True, scope=scope)
+
+        with maybe_span(current_trace(), "plan", kind="stage") as span:
+            with self.metrics.timings.measure("plan"):
+                program = self.plan_cache.get_or_compile(key, _compile)
+            span.set("variable", variable.name)
+            span.set("store", variable.store or self._default)
+            span.set("cache", "miss" if compiled_fresh else "hit")
+            span.set("estimated_rows", program.anchor_cost)
         extra_matcher = None
         extra = checked.extra_matches.get(variable.name)
         if extra is not None:
@@ -572,11 +666,15 @@ class QueryExecutor:
 
         for index, predicate in exists_predicates:
             sub_checked = checked.subqueries[index]
-            partial = [
-                binding
-                for binding in partial
-                if self._exists(sub_checked, predicate, binding, cache, snapshot)
-            ]
+            with maybe_span(current_trace(), "exists_filter", kind="operator") as span:
+                span.set("negated", predicate.negated)
+                span.set("rows_in", len(partial))
+                partial = [
+                    binding
+                    for binding in partial
+                    if self._exists(sub_checked, predicate, binding, cache, snapshot)
+                ]
+                span.set("rows_out", len(partial))
         return partial
 
     # ------------------------------------------------------------------
@@ -600,28 +698,36 @@ class QueryExecutor:
         output is byte-identical to the nested loop, including order.
         """
         assert item.pathways is not None
-        rows_in = len(partial) * len(item.pathways)
-        joined: list[dict[str, Pathway]] | None = None
-        if rows_in:
-            equi = self._equi_join_predicate(item, ready)
-            if equi is not None:
-                joined = self._hash_join(item, partial, ready, equi)
-        if joined is None:
-            self.metrics.event("executor.join.nested_loop")
-            joined = []
-            for binding in partial:
-                for pathway in item.pathways:
-                    candidate = dict(binding)
-                    candidate[item.name] = pathway
-                    if all(
-                        self._compare(predicate, candidate)
-                        for _, predicate in ready
-                    ):
-                        joined.append(candidate)
-        else:
-            self.metrics.event("executor.join.hash")
-        self.metrics.event("executor.join.rows_in", rows_in)
-        self.metrics.event("executor.join.rows_out", len(joined))
+        with maybe_span(current_trace(), "join", kind="operator") as span:
+            rows_in = len(partial) * len(item.pathways)
+            joined: list[dict[str, Pathway]] | None = None
+            if rows_in:
+                equi = self._equi_join_predicate(item, ready)
+                if equi is not None:
+                    joined = self._hash_join(item, partial, ready, equi)
+            if joined is None:
+                self.metrics.event("executor.join.nested_loop")
+                strategy = "nested_loop"
+                joined = []
+                for binding in partial:
+                    for pathway in item.pathways:
+                        candidate = dict(binding)
+                        candidate[item.name] = pathway
+                        if all(
+                            self._compare(predicate, candidate)
+                            for _, predicate in ready
+                        ):
+                            joined.append(candidate)
+            else:
+                self.metrics.event("executor.join.hash")
+                strategy = "hash"
+            self.metrics.event("executor.join.rows_in", rows_in)
+            self.metrics.event("executor.join.rows_out", len(joined))
+            span.set("variable", item.name)
+            span.set("strategy", strategy)
+            span.set("predicates", len(ready))
+            span.set("rows_in", rows_in)
+            span.set("rows_out", len(joined))
         return joined
 
     def _equi_join_predicate(
@@ -694,32 +800,43 @@ class QueryExecutor:
         bound_names: set[str],
     ) -> None:
         store = item.eval_store if item.eval_store is not None else self.guarded(item.store)
-        imported = None
-        if item.program.anchor_cost > self._planner_options.import_threshold:
-            imported = self._imported_anchor(item, prepared, compare_predicates, bound_names)
-        if imported is not None:
-            end, uids = imported
-            pathways = evaluate_from_endpoints(
-                store, item.program, item.scope, uids, end
-            )
-        else:
-            pathways = store.find_pathways(item.program, item.scope)
-        if item.extra_matcher is not None:
-            from repro.rpe.match import matches_pathway
+        with maybe_span(current_trace(), "evaluate", kind="operator") as span:
+            span.set("variable", item.name)
+            span.set("store", item.store.name)
+            span.set("scope", str(item.scope))
+            imported = None
+            if item.program.anchor_cost > self._planner_options.import_threshold:
+                imported = self._imported_anchor(
+                    item, prepared, compare_predicates, bound_names
+                )
+            if imported is not None:
+                end, uids = imported
+                span.set("anchor", f"imported:{end}")
+                span.count("anchor_seeds", len(uids))
+                pathways = evaluate_from_endpoints(
+                    store, item.program, item.scope, uids, end
+                )
+            else:
+                span.set("anchor", "scan")
+                pathways = store.find_pathways(item.program, item.scope)
+            if item.extra_matcher is not None:
+                from repro.rpe.match import matches_pathway
 
-            pathways = [
-                p for p in pathways if matches_pathway(item.extra_matcher, p)
-            ]
-        if item.scope.is_range:
-            window = IntervalSet([item.scope.window()])
-            kept: list[Pathway] = []
-            for pathway in pathways:
-                validity = pathway_validity(store, pathway, item.program.matcher)
-                # The window decides qualification; the attached range stays
-                # maximal over the whole timeline (§4's 06:30 example).
-                if not validity.intersect(window).is_empty():
-                    kept.append(pathway.with_validity(validity))
-            pathways = kept
+                pathways = [
+                    p for p in pathways if matches_pathway(item.extra_matcher, p)
+                ]
+            if item.scope.is_range:
+                window = IntervalSet([item.scope.window()])
+                kept: list[Pathway] = []
+                for pathway in pathways:
+                    validity = pathway_validity(store, pathway, item.program.matcher)
+                    # The window decides qualification; the attached range stays
+                    # maximal over the whole timeline (§4's 06:30 example).
+                    if not validity.intersect(window).is_empty():
+                        kept.append(pathway.with_validity(validity))
+                pathways = kept
+            span.set("estimated_rows", item.program.anchor_cost)
+            span.set("rows_out", len(pathways))
         item.pathways = pathways
 
     def _imported_anchor(

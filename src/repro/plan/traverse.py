@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING
 from repro.model.elements import EdgeRecord, ElementRecord, NodeRecord
 from repro.model.pathway import Pathway
 from repro.rpe.nfa import PathwayNfa
+from repro.stats.tracing import current_trace, maybe_span
 from repro.storage.base import GraphStore, TimeScope
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -135,14 +136,21 @@ def _anchor_seeds(
     scope: TimeScope,
 ) -> list[ElementRecord]:
     """The Select operator, honouring anchors imported from a join."""
-    if program.seeds is not None:
-        records = []
-        for uid in program.seeds:
-            record = store.get_element(uid, scope)
-            if record is not None and compiled.split.anchor.matches(record):
-                records.append(record)
+    with maybe_span(current_trace(), "anchor_scan", kind="storage") as span:
+        span.set("anchor", compiled.split.anchor.render())
+        if program.seeds is not None:
+            span.set("mode", "pinned_seeds")
+            records = []
+            for uid in program.seeds:
+                record = store.get_element(uid, scope)
+                if record is not None and compiled.split.anchor.matches(record):
+                    records.append(record)
+            span.set("rows_out", len(records))
+            return records
+        span.set("mode", "scan")
+        records = store.scan_atom(compiled.split.anchor, scope)
+        span.set("rows_out", len(records))
         return records
-    return store.scan_atom(compiled.split.anchor, scope)
 
 
 def _extensions(
@@ -225,8 +233,15 @@ def _advance_frontier(
             node = store.get_element(next_uid, scope)
             neighbor_lists[index] = [node] if node is not None else []
     fetch = store.out_edges_many if direction == FORWARD else store.in_edges_many
+    trace = current_trace()
+    if trace is not None and expandable:
+        trace.count("traverse.waves")
+        trace.count("traverse.frontier", len(expandable))
     for classes, members in groups.values():
         unique_uids = list(dict.fromkeys(uid for _, uid in members))
+        if trace is not None:
+            trace.count("traverse.batched_expansions")
+            trace.count("traverse.expanded_nodes", len(unique_uids))
         batched = fetch(unique_uids, scope, classes)
         for index, uid in members:
             neighbor_lists[index] = list(batched.get(uid, ()))

@@ -6,7 +6,13 @@ the single-writer commit gate serializes mutations:
 
 * ``GET  /health``          — liveness + concurrency gauges;
 * ``GET  /stats``           — the full metrics snapshot (``db.stats()``);
+* ``GET  /metrics``         — Prometheus text exposition of the metrics
+  registry (``text/plain; version=0.0.4``);
+* ``GET  /slowlog``         — retained slow-query entries + sampler stats;
 * ``POST /query``           — ``{"query": <NPQL>, "snapshot": <id>?}``;
+  add ``?trace=1`` (or ``"trace": true`` in the body) to execute under a
+  fresh :class:`~repro.stats.tracing.TraceContext` and receive the span
+  tree as a ``"trace"`` key in the response;
 * ``POST /write``           — ``{"op": "insert_node" | "insert_edge" |
   "connect" | "update" | "delete", ...}``;
 * ``POST /snapshot``        — open a pinned :class:`ReadSnapshot`, returns
@@ -28,6 +34,11 @@ overrun.  The default deadline comes from the database's configured
 Request accounting lands in the owning ``MetricsRegistry`` under
 ``server.*`` (requests, queries, writes, rejected, deadline_exceeded,
 errors) next to the ``concurrency.*`` counters of the commit gate.
+
+Observability: every response carries an ``X-Nepal-Trace-Id`` header —
+the id of the request's :class:`TraceContext` when one was recorded
+(``?trace=1`` or slow-query sampling), a fresh id from the same sequence
+otherwise — so clients can correlate responses with the slow-query log.
 """
 
 from __future__ import annotations
@@ -40,6 +51,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, HTTPServer
 from typing import Any, Mapping
+from urllib.parse import parse_qs
 
 from repro.core.concurrency import ReadSnapshot
 from repro.core.database import NepalDB
@@ -47,6 +59,7 @@ from repro.errors import NepalError, QueryDeadlineExceeded
 from repro.model.elements import ElementRecord
 from repro.model.pathway import Pathway
 from repro.query.results import QueryResult
+from repro.stats.tracing import TraceContext, next_trace_id
 
 _REJECT_RESPONSE = (
     b"HTTP/1.0 503 Service Unavailable\r\n"
@@ -75,6 +88,29 @@ class ServerConfig:
     workers: int = 8
     queue_depth: int = 16
     deadline: float | None = None
+
+
+@dataclass
+class RequestContext:
+    """Per-request observability state handed to every route handler.
+
+    ``params`` holds the parsed query string (last value wins);
+    ``trace_id`` is stamped onto the ``X-Nepal-Trace-Id`` response header —
+    handlers that record a :class:`TraceContext` overwrite the default
+    fresh id with the trace's own.
+    """
+
+    params: Mapping[str, str]
+    trace_id: str
+
+    def flag(self, name: str, payload: Mapping[str, Any] | None = None) -> bool:
+        """Is boolean option *name* set via query string or JSON body?"""
+        raw = self.params.get(name)
+        if raw is not None:
+            return raw.lower() not in ("", "0", "false", "no")
+        if payload is not None:
+            return bool(payload.get(name))
+        return False
 
 
 def _json_value(value: Any) -> Any:
@@ -163,13 +199,25 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- plumbing ----------------------------------------------------------
 
-    def _send_json(self, status: int, payload: Mapping[str, Any]) -> None:
-        body = (json.dumps(payload) + "\n").encode("utf-8")
+    def _send_body(self, status: int, body: bytes, content_type: str, ctx: "RequestContext") -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Nepal-Trace-Id", ctx.trace_id)
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: Mapping[str, Any], ctx: "RequestContext") -> None:
+        body = (json.dumps(payload) + "\n").encode("utf-8")
+        self._send_body(status, body, "application/json", ctx)
+
+    def _send_text(self, status: int, text: str, ctx: "RequestContext") -> None:
+        self._send_body(
+            status,
+            text.encode("utf-8"),
+            "text/plain; version=0.0.4; charset=utf-8",
+            ctx,
+        )
 
     def _read_body(self) -> dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
@@ -184,22 +232,29 @@ class _Handler(BaseHTTPRequestHandler):
     def _dispatch(self, method: str) -> None:
         app = self.app
         app._event("requests")
+        path, _, query_string = self.path.partition("?")
+        params = {key: values[-1] for key, values in parse_qs(query_string).items()}
+        ctx = RequestContext(params=params, trace_id=next_trace_id())
         try:
-            handler = app.routes.get((method, self.path))
+            handler = app.routes.get((method, path))
             if handler is None:
-                self._send_json(404, {"error": f"no route {method} {self.path}"})
+                self._send_json(404, {"error": f"no route {method} {path}"}, ctx)
                 return
             payload = self._read_body() if method == "POST" else {}
-            self._send_json(200, handler(payload))
+            response = handler(payload, ctx)
+            if isinstance(response, str):
+                self._send_text(200, response, ctx)
+            else:
+                self._send_json(200, response, ctx)
         except QueryDeadlineExceeded as error:
             app._event("deadline_exceeded")
-            self._send_json(504, {"error": str(error)})
+            self._send_json(504, {"error": str(error)}, ctx)
         except (NepalError, json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
             app._event("errors")
-            self._send_json(400, {"error": f"{type(error).__name__}: {error}"})
+            self._send_json(400, {"error": f"{type(error).__name__}: {error}"}, ctx)
         except Exception as error:  # pragma: no cover - defensive
             app._event("errors")
-            self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
+            self._send_json(500, {"error": f"{type(error).__name__}: {error}"}, ctx)
 
     def do_GET(self) -> None:  # noqa: N802
         self._dispatch("GET")
@@ -236,6 +291,8 @@ class NepalServer:
         self.routes = {
             ("GET", "/health"): self._route_health,
             ("GET", "/stats"): self._route_stats,
+            ("GET", "/metrics"): self._route_metrics,
+            ("GET", "/slowlog"): self._route_slowlog,
             ("POST", "/query"): self._route_query,
             ("POST", "/write"): self._route_write,
             ("POST", "/snapshot"): self._route_snapshot_open,
@@ -316,7 +373,9 @@ class NepalServer:
 
     # -- routes ------------------------------------------------------------
 
-    def _route_health(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+    def _route_health(
+        self, payload: Mapping[str, Any], ctx: RequestContext
+    ) -> dict[str, Any]:
         return {
             "status": "ok",
             "inflight": self.inflight,
@@ -327,27 +386,55 @@ class NepalServer:
             "data_version": self.db.store.data_version,
         }
 
-    def _route_stats(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+    def _route_stats(
+        self, payload: Mapping[str, Any], ctx: RequestContext
+    ) -> dict[str, Any]:
         return {"stats": self.db.stats()}
 
-    def _route_query(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+    def _route_metrics(self, payload: Mapping[str, Any], ctx: RequestContext) -> str:
+        """Prometheus text exposition of the database's metrics registry."""
+        return self.metrics.to_prometheus()
+
+    def _route_slowlog(
+        self, payload: Mapping[str, Any], ctx: RequestContext
+    ) -> dict[str, Any]:
+        log = self.db.slow_query_log
+        return {
+            "enabled": log is not None,
+            "stats": log.stats() if log is not None else None,
+            "entries": self.db.slow_queries(),
+        }
+
+    def _route_query(
+        self, payload: Mapping[str, Any], ctx: RequestContext
+    ) -> dict[str, Any]:
         text = payload.get("query")
         if not isinstance(text, str) or not text.strip():
             raise NepalError("POST /query requires a non-empty 'query' string")
         self._event("queries")
+        trace: TraceContext | None = None
+        if ctx.flag("trace", payload):
+            trace = TraceContext(label=text)
+            ctx.trace_id = trace.trace_id
+            self._event("traced_queries")
         snapshot_id = payload.get("snapshot")
         if snapshot_id is not None:
             snapshot = self._held_snapshot(snapshot_id)
-            result = snapshot.query(text)
+            result = snapshot.query(text, trace=trace)
         elif self.db.store.supports_snapshots:
             with self.db.snapshot(deadline=self._deadline()) as snapshot:
-                result = snapshot.query(text)
+                result = snapshot.query(text, trace=trace)
         else:
             # Backend without version chains (e.g. relational): read live.
-            result = self.db.query(text)
-        return _result_payload(result)
+            result = self.db.query(text, trace=trace)
+        response = _result_payload(result)
+        if trace is not None:
+            response["trace"] = trace.to_dict()
+        return response
 
-    def _route_write(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+    def _route_write(
+        self, payload: Mapping[str, Any], ctx: RequestContext
+    ) -> dict[str, Any]:
         op = payload.get("op")
         self._event("writes")
         db = self.db
@@ -381,7 +468,9 @@ class NepalServer:
             f"connect, update or delete)"
         )
 
-    def _route_snapshot_open(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+    def _route_snapshot_open(
+        self, payload: Mapping[str, Any], ctx: RequestContext
+    ) -> dict[str, Any]:
         deadline = payload.get("deadline", self._deadline())
         snapshot = self.db.snapshot(deadline=deadline)
         with self._snapshot_lock:
@@ -393,7 +482,9 @@ class NepalServer:
             "data_version": snapshot.data_version,
         }
 
-    def _route_snapshot_close(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+    def _route_snapshot_close(
+        self, payload: Mapping[str, Any], ctx: RequestContext
+    ) -> dict[str, Any]:
         snapshot_id = payload.get("id")
         with self._snapshot_lock:
             snapshot = self._snapshots.pop(snapshot_id, None)

@@ -23,6 +23,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.stats.tracing import current_trace
+
 
 @dataclass
 class CacheCounters:
@@ -155,9 +157,19 @@ class MetricsRegistry:
             return block
 
     def event(self, name: str, count: int = 1) -> None:
-        """Count *count* occurrences of the named event (atomic)."""
+        """Count *count* occurrences of the named event (atomic).
+
+        Events are additionally mirrored onto the innermost open span of
+        the thread's active :class:`~repro.stats.tracing.TraceContext`
+        (when one is installed), which is how per-query traces pick up the
+        storage, index and resilience counters that fired inside each
+        operator.  Untraced callers pay one ``ContextVar`` read.
+        """
         with self._lock:
             self._events[name] = self._events.get(name, 0) + count
+        trace = current_trace()
+        if trace is not None:
+            trace.count(name, count)
 
     def event_count(self, name: str) -> int:
         """How many times the named event was recorded (0 if never)."""
@@ -188,6 +200,51 @@ class MetricsRegistry:
         for block in blocks:
             block.reset()
         self.timings.reset()
+
+    def to_prometheus(self, prefix: str = "nepal") -> str:
+        """The registry in Prometheus text exposition format.
+
+        Served by the HTTP front end's ``GET /metrics`` so a scraper sees
+        cache effectiveness, pipeline stage timings and the free-form
+        event counters without bespoke parsing.  Metric and label names
+        are sanitized to the Prometheus charset; event names become the
+        ``event`` label of one ``<prefix>_events_total`` family.
+        """
+        with self._lock:
+            counters = sorted(self._counters.items())
+            events = sorted(self._events.items())
+        timings = self.timings.snapshot()
+        lines: list[str] = []
+
+        def sanitize(value: str) -> str:
+            return "".join(
+                ch if ch.isalnum() or ch in "_:." else "_" for ch in value
+            )
+
+        lines.append(f"# TYPE {prefix}_cache_operations_total counter")
+        for name, block in counters:
+            snapshot = block.snapshot()
+            for kind in ("hits", "misses", "invalidations", "evictions"):
+                lines.append(
+                    f'{prefix}_cache_operations_total'
+                    f'{{cache="{sanitize(name)}",kind="{kind}"}} {snapshot[kind]}'
+                )
+        lines.append(f"# TYPE {prefix}_events_total counter")
+        for name, count in events:
+            lines.append(
+                f'{prefix}_events_total{{event="{sanitize(name)}"}} {count}'
+            )
+        lines.append(f"# TYPE {prefix}_stage_seconds_total counter")
+        lines.append(f"# TYPE {prefix}_stage_calls_total counter")
+        for stage, cell in sorted(timings.items()):
+            label = sanitize(stage)
+            lines.append(
+                f'{prefix}_stage_seconds_total{{stage="{label}"}} {cell["seconds"]}'
+            )
+            lines.append(
+                f'{prefix}_stage_calls_total{{stage="{label}"}} {cell["calls"]}'
+            )
+        return "\n".join(lines) + "\n"
 
     def describe(self) -> str:
         """Human-readable rendering for the CLI's ``.stats`` command."""

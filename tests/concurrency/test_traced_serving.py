@@ -1,0 +1,123 @@
+"""Tracing under concurrent serving: isolation, soundness, artifacts.
+
+Many client threads fire traced queries at one server; each response must
+carry its own sound span tree (thread confinement means no spans leak
+between concurrent traces) and rows identical to an untraced control.
+
+When ``NEPAL_TRACE_DUMP_DIR`` is set (the CI concurrency job sets it and
+uploads the directory as an artifact on failure), every captured span
+tree is written there as JSON before assertions run, so a failing run
+leaves the evidence behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.core.database import NepalDB
+from repro.server import NepalClient, NepalServer, ServerConfig
+from tests.concurrency.conftest import small_topology
+
+QUERIES = (
+    "Retrieve P From PATHS P Where P MATCHES VM()->OnServer()->Host()",
+    "Select source(P).name From PATHS P Where P MATCHES VM(status='Green')",
+    "Retrieve P From PATHS P Where P MATCHES Host()",
+)
+
+
+def _dump_traces(name: str, traces: list[dict]) -> None:
+    dump_dir = os.environ.get("NEPAL_TRACE_DUMP_DIR")
+    if not dump_dir:
+        return
+    target = Path(dump_dir)
+    target.mkdir(parents=True, exist_ok=True)
+    for trace in traces:
+        path = target / f"{name}-{trace['trace_id']}.json"
+        path.write_text(json.dumps(trace, indent=2, sort_keys=True))
+
+
+def _check_span(span: dict, parent: dict | None = None) -> list[str]:
+    """Well-formedness of a JSON span tree (mirrors TraceContext.validate)."""
+    problems = []
+    if span.get("start") is None or span.get("end") is None:
+        problems.append(f"span {span['name']} never closed")
+        return problems
+    if span["end"] < span["start"]:
+        problems.append(f"span {span['name']} ends before it starts")
+    if parent is not None and (
+        span["start"] < parent["start"] or span["end"] > parent["end"]
+    ):
+        problems.append(f"span {span['name']} escapes parent {parent['name']}")
+    previous_start = None
+    for child in span.get("children", ()):
+        problems.extend(_check_span(child, span))
+        if child.get("start") is not None:
+            if previous_start is not None and child["start"] < previous_start:
+                problems.append(f"children of {span['name']} out of order")
+            previous_start = child["start"]
+    return problems
+
+
+@pytest.fixture
+def served():
+    db = NepalDB()
+    small_topology(db)
+    with NepalServer(db, ServerConfig(port=0, workers=8, queue_depth=16)) as server:
+        yield db, NepalClient(*server.address)
+    db.close()
+
+
+def test_concurrent_traced_queries_are_isolated_and_sound(served):
+    db, client = served
+    controls = {
+        query: client.request("POST", "/query", {"query": query})["rows"]
+        for query in QUERIES
+    }
+
+    def traced_call(index: int):
+        query = QUERIES[index % len(QUERIES)]
+        body = client.request("POST", "/query?trace=1", {"query": query})
+        return query, body
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        outcomes = list(pool.map(traced_call, range(24)))
+
+    traces = [body["trace"] for _query, body in outcomes]
+    _dump_traces("traced-serving", traces)
+
+    trace_ids = set()
+    for query, body in outcomes:
+        trace = body["trace"]
+        trace_ids.add(trace["trace_id"])
+        root = trace["root"]
+        assert root is not None, "trace captured no spans"
+        problems = _check_span(root)
+        assert problems == [], (query, problems)
+        assert root["attrs"]["rows_out"] == len(body["rows"])
+        assert body["rows"] == controls[query], query
+    assert len(trace_ids) == len(outcomes)  # every request traced separately
+
+
+def test_sampled_slow_log_survives_concurrency(served):
+    db, client = served
+    db.enable_slow_query_log(threshold=0.0, trace_every=4)
+
+    def call(index: int):
+        query = QUERIES[index % len(QUERIES)]
+        return client.request("POST", "/query", {"query": query})
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        list(pool.map(call, range(20)))
+
+    entries = db.slow_queries()
+    assert len(entries) == 20
+    sampled = [entry for entry in entries if entry["trace"] is not None]
+    assert len(sampled) == 5  # every 4th of 20 seen queries
+    _dump_traces("slowlog", [entry["trace"] for entry in sampled])
+    for entry in sampled:
+        assert _check_span(entry["trace"]["root"]) == []

@@ -1,0 +1,88 @@
+"""Golden-file tests for EXPLAIN / EXPLAIN ANALYZE rendering.
+
+Each paper-corpus query is explained against a freshly built seeded
+topology (fresh so plan-cache outcomes are deterministically ``miss``)
+and the rendering — with timings masked — must match the committed
+golden byte for byte.  Refresh after an intentional format change with::
+
+    PYTHONPATH=src python -m pytest tests/observability/test_explain_goldens.py \
+        --update-goldens
+
+(or ``NEPAL_UPDATE_GOLDENS=1``) and commit the diff.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.database import NepalDB
+from repro.inventory.virtualized import TopologyParams, VirtualizedServiceTopology
+from repro.temporal.clock import TransactionClock
+from tests.storage.test_backend_equivalence import PAPER_QUERY_CORPUS, T0
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+_PARAMS = TopologyParams(
+    services=1, vms=12, virtual_networks=4, virtual_routers=2,
+    racks=2, hosts_per_rack=2, spine_switches=1, routers=1,
+    seed=20180610,
+)
+
+
+def _fresh_db() -> NepalDB:
+    db = NepalDB(clock=TransactionClock(start=T0))
+    VirtualizedServiceTopology(_PARAMS).apply(db.store)
+    return db
+
+
+def _check_golden(name: str, text: str, update: bool) -> None:
+    path = GOLDEN_DIR / name
+    rendered = text + "\n"
+    if update:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(rendered)
+        pytest.skip(f"golden {name} updated")
+    assert path.exists(), (
+        f"golden file {name} missing — regenerate with pytest --update-goldens"
+    )
+    assert rendered == path.read_text(), (
+        f"{name} drifted — if the format change is intentional, refresh "
+        f"with pytest --update-goldens"
+    )
+
+
+@pytest.mark.parametrize("index", range(len(PAPER_QUERY_CORPUS)))
+def test_explain_golden(index, update_goldens):
+    query = PAPER_QUERY_CORPUS[index]
+    _check_golden(f"q{index}_explain.golden", _fresh_db().explain(query), update_goldens)
+
+
+@pytest.mark.parametrize("index", range(len(PAPER_QUERY_CORPUS)))
+def test_explain_analyze_golden(index, update_goldens):
+    query = PAPER_QUERY_CORPUS[index]
+    analysis = _fresh_db().explain_analyze(query)
+    _check_golden(
+        f"q{index}_analyze.golden",
+        analysis.render(mask_timings=True),
+        update_goldens,
+    )
+
+
+def test_textual_explain_prefix_matches_api():
+    """``EXPLAIN <q>`` through db.query renders the same plan text."""
+    db = _fresh_db()
+    query = PAPER_QUERY_CORPUS[0]
+    via_prefix = "\n".join(
+        row.values[0] for row in db.query(f"EXPLAIN {query}").rows
+    )
+    assert via_prefix == db.explain(query)
+
+
+def test_analyze_rendering_is_deterministic():
+    """Two masked renderings on fresh databases agree byte for byte."""
+    query = PAPER_QUERY_CORPUS[0]
+    first = _fresh_db().explain_analyze(query).render(mask_timings=True)
+    second = _fresh_db().explain_analyze(query).render(mask_timings=True)
+    assert first == second

@@ -1,0 +1,133 @@
+"""HTTP observability surfaces: /metrics, trace headers, ?trace=1, /slowlog."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.database import NepalDB
+from repro.server import NepalServer, ServerConfig
+
+QUERY = "Retrieve P From PATHS P Where P MATCHES VM()->OnServer()->Host()"
+
+
+@pytest.fixture(scope="module")
+def served():
+    db = NepalDB()
+    host_uid = db.insert_node("Host", {"name": "h1"})
+    vm_uid = db.insert_node("VMWare", {"name": "vm1"})
+    db.insert_edge("OnServer", vm_uid, host_uid)
+    db.enable_slow_query_log(threshold=0.0, trace_every=1)
+    with NepalServer(db, ServerConfig(port=0, workers=4)) as server:
+        host, port = server.address
+        yield db, f"http://{host}:{port}"
+
+
+def _get(base: str, path: str):
+    with urllib.request.urlopen(base + path) as resp:
+        return resp.status, dict(resp.headers), resp.read()
+
+
+def _post(base: str, path: str, payload: dict):
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request) as resp:
+        return resp.status, dict(resp.headers), json.loads(resp.read())
+
+
+def test_metrics_is_prometheus_text(served):
+    db, base = served
+    _post(base, "/query", {"query": QUERY})  # ensure some counters exist
+    status, headers, body = _get(base, "/metrics")
+    text = body.decode("utf-8")
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/plain")
+    assert "# TYPE nepal_events_total counter" in text
+    assert 'nepal_events_total{event="server.requests"}' in text
+    assert text.endswith("\n")
+
+
+def test_every_response_carries_a_trace_id(served):
+    db, base = served
+    ids = set()
+    for path in ("/health", "/stats", "/metrics", "/slowlog"):
+        status, headers, _body = _get(base, path)
+        assert status == 200
+        assert headers["X-Nepal-Trace-Id"], path
+        ids.add(headers["X-Nepal-Trace-Id"])
+    assert len(ids) == 4  # fresh id per request
+
+
+def test_errors_carry_a_trace_id_too(served):
+    db, base = served
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(base, "/no-such-route")
+    assert excinfo.value.code == 404
+    assert excinfo.value.headers["X-Nepal-Trace-Id"]
+
+
+def test_query_trace_param_returns_span_tree(served):
+    db, base = served
+    status, headers, body = _post(base, "/query?trace=1", {"query": QUERY})
+    assert status == 200
+    trace = body["trace"]
+    assert trace["trace_id"] == headers["X-Nepal-Trace-Id"]
+    root = trace["root"]
+    assert root["name"] == "query"
+    assert root["attrs"]["rows_out"] == len(body["rows"])
+    child_names = {child["name"] for child in root["children"]}
+    assert {"plan", "evaluate", "join", "project"} <= child_names
+
+
+def test_query_trace_body_flag(served):
+    db, base = served
+    _status, headers, body = _post(base, "/query", {"query": QUERY, "trace": True})
+    assert body["trace"]["trace_id"] == headers["X-Nepal-Trace-Id"]
+
+
+def test_untraced_query_has_no_trace_key(served):
+    db, base = served
+    _status, _headers, body = _post(base, "/query", {"query": QUERY})
+    assert "trace" not in body
+
+
+def test_traced_and_untraced_rows_agree_over_http(served):
+    db, base = served
+    _s, _h, traced = _post(base, "/query?trace=1", {"query": QUERY})
+    _s, _h, bare = _post(base, "/query", {"query": QUERY})
+    assert traced["rows"] == bare["rows"]
+    assert traced["columns"] == bare["columns"]
+
+
+def test_explain_analyze_over_http(served):
+    db, base = served
+    _s, _h, body = _post(base, "/query", {"query": f"EXPLAIN ANALYZE {QUERY}"})
+    assert body["columns"] == ["plan"]
+    lines = [row["values"][0] for row in body["rows"]]
+    assert lines[0].startswith("EXPLAIN ANALYZE")
+    assert any(line.startswith("result:") for line in lines)
+
+
+def test_slowlog_endpoint_reports_served_queries(served):
+    db, base = served
+    before = len(db.slow_queries())
+    _post(base, "/query", {"query": QUERY})
+    _status, _headers, body = _get_json(base, "/slowlog")
+    assert body["enabled"]
+    assert len(body["entries"]) > before
+    newest = body["entries"][-1]
+    assert newest["query"] == QUERY
+    assert newest["trace_id"]  # trace_every=1: every query sampled
+    assert body["stats"]["recorded"] >= len(body["entries"])
+
+
+def _get_json(base: str, path: str):
+    status, headers, body = _get(base, path)
+    return status, headers, json.loads(body)

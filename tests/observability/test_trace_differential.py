@@ -1,0 +1,85 @@
+"""Differential guarantee: tracing never changes what a query returns.
+
+The paper-query corpus runs twice — once bare, once under a fresh
+:class:`TraceContext` — on every configuration of the backend matrix
+(memgraph, relational, and each wrapped in a zero-fault chaos decorator).
+Results must be byte-identical: same normalized row digests AND the same
+rendered table text.  The recorded trace must itself be sound, and its
+root row count must equal the result's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.inventory.virtualized import TopologyParams, VirtualizedServiceTopology
+from repro.stats.tracing import TraceContext
+from repro.temporal.clock import TransactionClock
+from tests.conftest import BACKEND_MATRIX, build_matrix_db
+from tests.storage.test_backend_equivalence import (
+    PAPER_QUERY_CORPUS,
+    T0,
+    normalized_rows,
+)
+
+
+@pytest.fixture(scope="module")
+def trace_matrix():
+    """The seeded paper topology in every matrix configuration."""
+    params = TopologyParams(
+        services=2, vms=40, virtual_networks=10, virtual_routers=4,
+        racks=3, hosts_per_rack=3, spine_switches=2, routers=2,
+        seed=20180610,
+    )
+    dbs = {}
+    for config in BACKEND_MATRIX:
+        db = build_matrix_db(config, clock=TransactionClock(start=T0))
+        VirtualizedServiceTopology(params).apply(db.store)
+        dbs[config] = db
+    return dbs
+
+
+@pytest.mark.parametrize("config", BACKEND_MATRIX)
+@pytest.mark.parametrize("query", PAPER_QUERY_CORPUS)
+def test_traced_equals_untraced(trace_matrix, config, query):
+    db = trace_matrix[config]
+    bare = db.query(query)
+    trace = TraceContext(label=query)
+    traced = db.query(query, trace=trace)
+
+    assert normalized_rows(traced) == normalized_rows(bare), config
+    assert traced.to_table() == bare.to_table(), config
+    assert list(traced.columns) == list(bare.columns), config
+    assert list(traced.warnings) == list(bare.warnings), config
+
+    assert trace.finished, config
+    assert trace.validate() == [], config
+    assert trace.root.attrs["rows_out"] == len(bare.rows), config
+
+
+@pytest.mark.parametrize("config", BACKEND_MATRIX)
+def test_explain_analyze_agrees_across_matrix(trace_matrix, config):
+    """EXPLAIN ANALYZE actual cardinalities equal a bare re-execution."""
+    query = PAPER_QUERY_CORPUS[0]
+    db = trace_matrix[config]
+    analysis = db.explain_analyze(query)
+    bare = db.query(query)
+    assert normalized_rows(analysis.result) == normalized_rows(bare), config
+    assert analysis.root_rows == len(bare.rows), config
+    for name, _store, _scope, _program in analysis.sections:
+        assert analysis.actual_rows(name) is not None, (config, name)
+
+
+def test_chaos_configs_really_injected_nothing(trace_matrix):
+    from repro.storage.chaos import FaultInjectingStore
+
+    wrapped = [
+        db.store
+        for config, db in trace_matrix.items()
+        if config.endswith("-chaos")
+    ]
+    assert len(wrapped) == 2
+    for store in wrapped:
+        assert isinstance(store, FaultInjectingStore)
+        assert store.chaos.total_faults == 0
+        assert store.chaos.total_calls > 0

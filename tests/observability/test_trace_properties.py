@@ -1,0 +1,102 @@
+"""Property tests: traces are well-formed and report what really happened.
+
+Over a pool of representative NPQL queries against the shared small
+inventory, every traced execution must produce
+
+* a structurally sound span tree (exactly one root, every span closed,
+  child intervals nested inside their parents, children start-ordered);
+* a root ``rows_out`` equal to the row count of the result it returned;
+* ``EXPLAIN ANALYZE`` actuals identical to a bare untraced re-execution
+  of the same query.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.core.database import NepalDB
+from repro.stats.tracing import TraceContext, current_trace
+from tests.conftest import SmallInventory
+from tests.storage.test_backend_equivalence import normalized_rows
+
+#: Queries chosen to exercise distinct trace shapes: plain scans, chains,
+#: variable-length hops, joins between two range variables, NOT EXISTS
+#: subqueries, field predicates and alternation anchors.
+QUERY_POOL = (
+    "Retrieve P From PATHS P Where P MATCHES Host()",
+    "Select source(P).name From PATHS P Where P MATCHES VM()",
+    "Select source(P).name, target(P).name "
+    "From PATHS P Where P MATCHES VNF()->VFC()->VM()->Host()",
+    "Retrieve P From PATHS P Where P MATCHES VFC()->[Vertical()]{1,4}->Host()",
+    "Select source(P).name From PATHS P Where P MATCHES VM(status='Green')",
+    "Retrieve P From PATHS P Where P MATCHES (VMWare()|OnMetal())->OnServer()->Host()",
+    "Select source(A).name, source(B).name From PATHS A, PATHS B "
+    "Where A MATCHES VFC()->OnVM()->VM() And B MATCHES VM()->OnServer()->Host() "
+    "And target(A) = source(B)",
+    "Select source(V).name From PATHS V Where V MATCHES VM() "
+    "And NOT EXISTS( Retrieve P from PATHS P "
+    "Where P MATCHES VFC()->OnVM()->VM() And target(V) = target(P) )",
+    "Retrieve P From PATHS P Where P MATCHES Host()->ServerSwitch()->TorSwitch()",
+)
+
+
+def _build_db() -> NepalDB:
+    db = NepalDB()
+    SmallInventory(db.store)
+    return db
+
+
+#: Module-level database: the property tests only read from it, and
+#: Hypothesis forbids function-scoped fixtures inside @given.
+DB = _build_db()
+
+
+@given(query=st.sampled_from(QUERY_POOL))
+def test_trace_tree_is_well_formed(query):
+    trace = TraceContext(label=query)
+    DB.query(query, trace=trace)
+    assert trace.finished
+    assert trace.validate() == []
+    assert trace.root.name == "query"
+    # The executor must uninstall the trace on the way out.
+    assert current_trace() is None
+
+
+@given(query=st.sampled_from(QUERY_POOL))
+def test_root_rows_out_matches_result(query):
+    trace = TraceContext(label=query)
+    result = DB.query(query, trace=trace)
+    assert trace.root.attrs["rows_out"] == len(result.rows)
+
+
+@given(query=st.sampled_from(QUERY_POOL))
+def test_tracing_does_not_change_results(query):
+    traced = DB.query(query, trace=TraceContext())
+    bare = DB.query(query)
+    assert normalized_rows(traced) == normalized_rows(bare)
+    assert traced.to_table() == bare.to_table()
+
+
+@given(query=st.sampled_from(QUERY_POOL))
+def test_explain_analyze_actuals_match_bare_execution(query):
+    analysis = DB.explain_analyze(query)
+    bare = DB.query(query)
+    assert analysis.trace.validate() == []
+    assert normalized_rows(analysis.result) == normalized_rows(bare)
+    assert analysis.root_rows == len(bare.rows)
+    for name, _store, _scope, _program in analysis.sections:
+        actual = analysis.actual_rows(name)
+        assert actual is not None and actual >= 0
+        assert analysis.estimated_rows(name) is not None
+
+
+@given(query=st.sampled_from(QUERY_POOL))
+def test_every_variable_has_plan_and_evaluate_spans(query):
+    trace = TraceContext(label=query)
+    DB.query(query, trace=trace)
+    evaluated = {
+        span.attrs["variable"] for span in trace.root.find_all("evaluate")
+    }
+    planned = {span.attrs["variable"] for span in trace.root.find_all("plan")}
+    assert evaluated  # at least one range variable was evaluated
+    assert evaluated <= planned  # nothing evaluated without being planned

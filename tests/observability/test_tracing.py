@@ -1,0 +1,281 @@
+"""Unit tests for the tracing primitives: spans, contexts, the no-op
+path, the metrics mirror and the slow-query log."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.database import NepalDB
+from repro.stats.metrics import MetricsRegistry
+from repro.stats.tracing import (
+    NULL_SPAN,
+    SlowQueryLog,
+    TraceContext,
+    current_trace,
+    maybe_span,
+    next_trace_id,
+)
+
+
+class TestSpanTree:
+    def test_first_span_becomes_root(self):
+        trace = TraceContext()
+        with trace.span("query") as root:
+            root.set("a", 1)
+        assert trace.root is root
+        assert trace.finished
+        assert trace.validate() == []
+
+    def test_children_nest_under_innermost_open_span(self):
+        trace = TraceContext()
+        with trace.span("query"):
+            with trace.span("plan"):
+                with trace.span("anchor_scan"):
+                    pass
+            with trace.span("join"):
+                pass
+        names = [span.name for span in trace.spans()]
+        assert names == ["query", "plan", "anchor_scan", "join"]
+        assert [c.name for c in trace.root.children] == ["plan", "join"]
+        assert trace.root.children[0].children[0].name == "anchor_scan"
+
+    def test_second_root_rejected(self):
+        trace = TraceContext()
+        with trace.span("query"):
+            pass
+        with pytest.raises(RuntimeError, match="second root"):
+            trace.span("another").__enter__()
+
+    def test_out_of_order_close_rejected(self):
+        trace = TraceContext()
+        outer = trace.span("outer")
+        inner = trace.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(RuntimeError, match="out of order"):
+            outer.__exit__(None, None, None)
+
+    def test_exception_recorded_and_span_closed(self):
+        trace = TraceContext()
+        with pytest.raises(ValueError):
+            with trace.span("query"):
+                with trace.span("evaluate"):
+                    raise ValueError("boom")
+        assert trace.finished
+        evaluate = trace.root.find("evaluate")
+        assert evaluate.attrs["error"] == "ValueError: boom"
+        assert trace.validate() == []
+
+    def test_timings_are_monotonic_and_nested(self):
+        trace = TraceContext()
+        with trace.span("query"):
+            with trace.span("child"):
+                pass
+        root, child = trace.root, trace.root.children[0]
+        assert root.start <= child.start <= child.end <= root.end
+        assert child.elapsed >= 0.0
+
+    def test_find_with_attrs_and_find_all(self):
+        trace = TraceContext()
+        with trace.span("query"):
+            with trace.span("evaluate") as span:
+                span.set("variable", "P")
+            with trace.span("evaluate") as span:
+                span.set("variable", "Q")
+        assert trace.root.find("evaluate", variable="Q").attrs["variable"] == "Q"
+        assert len(trace.root.find_all("evaluate")) == 2
+        assert trace.root.find("evaluate", variable="Z") is None
+
+    def test_count_lands_on_innermost_open_span(self):
+        trace = TraceContext()
+        with trace.span("query"):
+            trace.count("outer.events")
+            with trace.span("evaluate"):
+                trace.count("index.hits", 3)
+                trace.count("index.hits", 2)
+        assert trace.root.counters == {"outer.events": 1}
+        assert trace.root.children[0].counters == {"index.hits": 5}
+
+    def test_count_outside_any_span_is_dropped(self):
+        trace = TraceContext()
+        trace.count("orphan")  # no open span: silently ignored
+        assert trace.root is None
+
+    def test_validate_flags_unclosed_spans(self):
+        trace = TraceContext()
+        trace.span("query").__enter__()
+        problems = trace.validate()
+        assert any("still open" in p for p in problems)
+        assert any("never closed" in p for p in problems)
+
+    def test_validate_flags_missing_root(self):
+        assert TraceContext().validate() == ["trace has no root span"]
+
+    def test_to_dict_is_json_shaped(self):
+        trace = TraceContext(label="q")
+        with trace.span("query") as root:
+            root.set("rows_out", 2)
+            root.count("hits", 1)
+            with trace.span("child"):
+                pass
+        payload = trace.to_dict()
+        assert payload["trace_id"] == trace.trace_id
+        assert payload["root"]["name"] == "query"
+        assert payload["root"]["attrs"] == {"rows_out": 2}
+        assert payload["root"]["counters"] == {"hits": 1}
+        assert payload["root"]["children"][0]["name"] == "child"
+        assert payload["root"]["elapsed_ms"] >= 0
+
+    def test_render_masks_timings(self):
+        trace = TraceContext()
+        with trace.span("query"):
+            pass
+        masked = trace.render(mask_timings=True)
+        assert "[? ms]" in masked
+        assert trace.trace_id not in masked
+
+
+class TestActivation:
+    def test_activate_installs_and_restores(self):
+        trace = TraceContext()
+        assert current_trace() is None
+        with trace.activate():
+            assert current_trace() is trace
+        assert current_trace() is None
+
+    def test_threads_do_not_share_traces(self):
+        seen: list[TraceContext | None] = []
+        trace = TraceContext()
+
+        def probe():
+            seen.append(current_trace())
+
+        with trace.activate():
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+    def test_trace_ids_are_unique(self):
+        ids = {TraceContext().trace_id for _ in range(50)}
+        ids.add(next_trace_id())
+        assert len(ids) == 51
+
+
+class TestNullSpan:
+    def test_maybe_span_returns_shared_singleton_when_untraced(self):
+        assert maybe_span(None, "anything") is NULL_SPAN
+        assert maybe_span(None, "other") is NULL_SPAN
+
+    def test_null_span_accepts_full_api(self):
+        with maybe_span(None, "x") as span:
+            span.set("k", 1)
+            span.count("c")
+        assert not span  # falsy: callers can gate extra work on it
+
+    def test_maybe_span_records_when_traced(self):
+        trace = TraceContext()
+        with maybe_span(trace, "query") as span:
+            span.set("k", 1)
+        assert trace.root is span
+        assert span.attrs == {"k": 1}
+
+
+class TestMetricsMirror:
+    def test_event_lands_on_innermost_span(self):
+        metrics = MetricsRegistry()
+        trace = TraceContext()
+        with trace.activate():
+            with trace.span("query"):
+                with trace.span("evaluate"):
+                    metrics.event("index.temporal.class_hit")
+                    metrics.event("index.temporal.class_hit")
+        assert trace.root.children[0].counters["index.temporal.class_hit"] == 2
+        assert metrics.snapshot()["events"]["index.temporal.class_hit"] == 2
+
+    def test_event_without_trace_only_counts_globally(self):
+        metrics = MetricsRegistry()
+        metrics.event("lonely")
+        assert metrics.snapshot()["events"]["lonely"] == 1
+
+    def test_to_prometheus_exposition(self):
+        metrics = MetricsRegistry()
+        metrics.event("server.requests", 3)
+        metrics.counters("plan").hit()
+        metrics.timings.record("parse", 0.25)
+        text = metrics.to_prometheus()
+        assert text.endswith("\n")
+        assert 'nepal_events_total{event="server.requests"} 3' in text
+        assert "# TYPE nepal_events_total counter" in text
+        assert 'nepal_cache_operations_total{cache="plan",kind="hits"} 1' in text
+        assert 'nepal_stage_calls_total{stage="parse"} 1' in text
+
+
+class TestSlowQueryLog:
+    def test_threshold_filters_fast_queries(self):
+        log = SlowQueryLog(threshold=0.5, trace_every=0)
+        assert not log.observe("q1", elapsed=0.1, rows=1)
+        assert log.observe("q2", elapsed=0.9, rows=2)
+        entries = log.entries()
+        assert [e["query"] for e in entries] == ["q2"]
+        assert entries[0]["rows"] == 2
+        assert entries[0]["trace_id"] is None
+
+    def test_capacity_bounds_retention(self):
+        log = SlowQueryLog(threshold=0.0, capacity=3, trace_every=0)
+        for index in range(10):
+            log.observe(f"q{index}", elapsed=1.0, rows=0)
+        assert [e["query"] for e in log.entries()] == ["q7", "q8", "q9"]
+        assert log.stats() == {"seen": 0, "recorded": 10, "retained": 3}
+
+    def test_sampling_cadence(self):
+        log = SlowQueryLog(threshold=0.0, trace_every=3)
+        decisions = [log.wants_trace() for _ in range(7)]
+        assert decisions == [True, False, False, True, False, False, True]
+
+    def test_sampling_disabled(self):
+        log = SlowQueryLog(threshold=0.0, trace_every=0)
+        assert not any(log.wants_trace() for _ in range(5))
+
+    def test_entry_carries_trace(self):
+        log = SlowQueryLog(threshold=0.0, trace_every=1)
+        trace = TraceContext()
+        with trace.span("query"):
+            pass
+        log.observe("q", elapsed=1.0, rows=0, trace=trace)
+        entry = log.entries()[0]
+        assert entry["trace_id"] == trace.trace_id
+        assert entry["trace"]["root"]["name"] == "query"
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"threshold": -1}, {"capacity": 0}, {"trace_every": -1}]
+    )
+    def test_constructor_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SlowQueryLog(**kwargs)
+
+
+class TestDatabaseSlowLog:
+    def test_enable_observe_disable(self):
+        db = NepalDB()
+        db.insert_node("Host", {"name": "h"})
+        assert db.slow_queries() == []
+        db.enable_slow_query_log(threshold=0.0, trace_every=1)
+        db.query("Retrieve P From PATHS P Where P MATCHES Host()")
+        entries = db.slow_queries()
+        assert len(entries) == 1
+        assert entries[0]["rows"] == 1
+        assert entries[0]["trace"]["root"]["name"] == "query"
+        db.disable_slow_query_log()
+        assert db.slow_query_log is None
+        assert db.slow_queries() == []
+
+    def test_snapshot_queries_feed_the_log_too(self):
+        db = NepalDB()
+        db.insert_node("Host", {"name": "h"})
+        db.enable_slow_query_log(threshold=0.0, trace_every=0)
+        with db.snapshot() as snapshot:
+            snapshot.query("Retrieve P From PATHS P Where P MATCHES Host()")
+        assert len(db.slow_queries()) == 1

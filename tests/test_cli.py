@@ -195,3 +195,60 @@ def test_render_result_prints_warnings():
     rendered = render_result(result)
     assert rendered.startswith("warning: variable 'Q' dropped: down")
     assert "(no results)" in rendered
+
+
+def test_explain_analyze_dot_command(db):
+    output = run_statement(
+        db, ".explain --analyze Retrieve P From PATHS P Where P MATCHES VM()"
+    )
+    assert output.startswith("EXPLAIN ANALYZE")
+    assert "actual: 1 pathways" in output
+    assert "result: 1 rows" in output
+
+
+def test_explain_subcommand(capsys):
+    status = main([
+        "explain", "--demo",
+        "Retrieve P From PATHS P Where P MATCHES VM()->OnServer()->Host()",
+    ])
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "Select[" in out
+    assert "EXPLAIN ANALYZE" not in out
+
+
+def test_explain_subcommand_analyze(capsys):
+    status = main([
+        "explain", "--demo", "--analyze",
+        "Retrieve P From PATHS P Where P MATCHES VM()->OnServer()->Host()",
+    ])
+    assert status == 0
+    out = capsys.readouterr().out
+    assert out.startswith("EXPLAIN ANALYZE")
+    assert "plan: cache miss" in out
+    assert "pathways (estimated" in out
+
+
+def test_explain_subcommand_analyze_trace(capsys):
+    status = main([
+        "explain", "--demo", "--analyze", "--trace",
+        "Select source(P).name From PATHS P Where P MATCHES VM()",
+    ])
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "trace " in out  # the raw span tree follows the report
+    assert "anchor_scan" in out
+
+
+def test_explain_subcommand_reports_parse_errors(capsys):
+    status = main(["explain", "--demo", "this is not NPQL"])
+    assert status == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_explain_prefix_through_shell(db):
+    output = run_statement(
+        db, "EXPLAIN ANALYZE Retrieve P From PATHS P Where P MATCHES VM()"
+    )
+    assert "EXPLAIN ANALYZE" in output
+    assert "(" in output and "rows)" in output  # rendered as a result table
