@@ -7,7 +7,7 @@
 SHELL := bash
 .SHELLFLAGS := -eu -o pipefail -c
 
-.PHONY: install test lint coverage ci stress bench bench-smoke observability sweep examples all
+.PHONY: install test lint coverage ci stress bench bench-smoke observability replication sweep examples all
 
 # Minimum line coverage enforced by `make coverage` and the CI test job.
 COVERAGE_FLOOR ?= 80
@@ -55,6 +55,12 @@ stress:
 observability:
 	PYTHONPATH=src python -m pytest -q tests/observability tests/concurrency/test_traced_serving.py
 
+# The replication suite including the multi-process failover chaos
+# matrix (mirrors CI's replication job).  Scenario reports land in
+# replication-reports/ when NEPAL_REPLICATION_REPORT_DIR is set.
+replication:
+	PYTHONPATH=src python -m pytest -q tests/replication
+
 bench:
 	pytest benchmarks/ --benchmark-only
 
@@ -75,9 +81,11 @@ bench-smoke:
 		PYTHONPATH=src python -m pytest benchmarks/bench_concurrency.py -s --benchmark-disable
 	NEPAL_TRACE_REPS=15 \
 		PYTHONPATH=src python -m pytest benchmarks/bench_trace_overhead.py -s --benchmark-disable
+	NEPAL_REP_RECORDS=600 NEPAL_REP_SECONDS=1.0 \
+		PYTHONPATH=src python -m pytest benchmarks/bench_replication.py -s --benchmark-disable
 	python benchmarks/check_regression.py --baseline-dir benchmarks/baselines \
 		BENCH_plan_cache.json BENCH_timetravel.json BENCH_concurrency.json \
-		BENCH_trace_overhead.json
+		BENCH_trace_overhead.json BENCH_replication.json
 
 # The paper-style comparison tables (Tables 1-2, ablations, storage).
 sweep:

@@ -1,0 +1,213 @@
+"""Replication: ship+apply throughput, steady-state lag, replica reads.
+
+The replication subsystem promises three things this bench measures:
+
+* **ship+apply throughput** — how fast a replica can ingest a primary's
+  journal through ``read_wal`` → ``replication_apply`` (the bulk of a
+  catch-up after downtime).  Reported as records/s and gated.
+* **steady-state lag** — with a primary taking writes over HTTP and a
+  real puller streaming them, how far behind does the replica sit?
+  Reported (records and seconds); the *gate* is catch-up completeness —
+  once writes stop, the replica must reach the primary's exact LSN.
+* **replica read parity** — a replica must answer the paper corpus at
+  near-primary speed (same store, same indexes; replication adds no read
+  tax).  Gated as a ratio, which keeps it machine-independent.
+
+Results land in ``BENCH_replication.json`` with a ``gate`` section the CI
+regression check compares against ``benchmarks/baselines/``.
+
+Env knobs: ``NEPAL_REP_RECORDS`` journal size for the throughput phase,
+``NEPAL_REP_SECONDS`` duration of the steady-state churn phase,
+``NEPAL_REP_JSON`` output path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+
+from repro.core.database import NepalDB
+from repro.server import NepalClient, NepalServer, ServerConfig
+from repro.util.text import format_table
+
+RECORDS = int(os.environ.get("NEPAL_REP_RECORDS", "2000"))
+SECONDS = float(os.environ.get("NEPAL_REP_SECONDS", "2.0"))
+JSON_PATH = os.environ.get("NEPAL_REP_JSON", "BENCH_replication.json")
+
+CORPUS = [
+    "Retrieve P From PATHS P Where P MATCHES VM()->OnServer()->Host()",
+    "Retrieve P From PATHS P Where P MATCHES Host()",
+]
+
+
+def bench_ship_apply(tmp_dir: str) -> dict:
+    """Throughput of the raw journal pipe, no HTTP in the way."""
+    primary = NepalDB(data_dir=os.path.join(tmp_dir, "ship-primary"))
+    host = primary.insert_node("Host", {"name": "h0"})
+    for i in range(RECORDS - 1):
+        vm = primary.insert_node("VM", {"name": f"vm{i}"})
+        if i % 8 == 0:
+            primary.insert_edge("OnServer", vm, host)
+    source = primary.durable_store()
+    wal_bytes, _ = source.read_wal(0, limit=1 << 30)
+
+    replica = NepalDB(data_dir=os.path.join(tmp_dir, "ship-replica"))
+    target = replica.durable_store()
+    target.begin_replication("bench")
+    chunk = 1 << 16
+    started = time.perf_counter()
+    applied = 0
+    for offset in range(0, len(wal_bytes), chunk):
+        result = target.replication_apply(wal_bytes[offset:offset + chunk])
+        applied += result.applied
+    elapsed = time.perf_counter() - started
+    assert target.last_lsn == source.last_lsn, "replica did not converge"
+    primary.close()
+    replica.close()
+    return {
+        "records": applied,
+        "journal_bytes": len(wal_bytes),
+        "seconds": elapsed,
+        "records_per_s": applied / elapsed,
+        "mb_per_s": len(wal_bytes) / elapsed / 1e6,
+    }
+
+
+def bench_steady_state(tmp_dir: str) -> dict:
+    """Real HTTP shipping under live writes: lag samples + catch-up."""
+    primary_db = NepalDB(data_dir=os.path.join(tmp_dir, "live-primary"))
+    primary = NepalServer(primary_db, ServerConfig(port=0))
+    primary.start()
+    replica_db = NepalDB(data_dir=os.path.join(tmp_dir, "live-replica"))
+    replica = NepalServer(replica_db, ServerConfig(port=0))
+    replica.start()
+    try:
+        puller = replica.replication.become_replica(
+            "%s:%d" % primary.address, poll_interval=0.01
+        )
+        client = NepalClient(*primary.address)
+        lag_samples: list[float] = []
+        writes = 0
+        deadline = time.monotonic() + SECONDS
+        while time.monotonic() < deadline:
+            client.insert_node("VM", {"name": f"live{writes}"})
+            writes += 1
+            lag_samples.append(
+                replica_db.metrics.gauge_value("replication.lag_records") or 0.0
+            )
+        caught_up = puller.wait_caught_up(timeout=30.0)
+        complete = bool(
+            caught_up
+            and replica_db.durable_store().last_lsn
+            == primary_db.durable_store().last_lsn
+        )
+        return {
+            "writes": writes,
+            "writes_per_s": writes / SECONDS,
+            "lag_records_mean": statistics.fmean(lag_samples) if lag_samples else 0.0,
+            "lag_records_max": max(lag_samples) if lag_samples else 0.0,
+            "catch_up_complete": complete,
+        }
+    finally:
+        replica.graceful_stop()
+        primary.graceful_stop()
+
+
+def bench_read_parity(tmp_dir: str) -> dict:
+    """Paper-corpus latency on the replica vs the primary."""
+    primary_db = NepalDB(data_dir=os.path.join(tmp_dir, "read-primary"))
+    primary = NepalServer(primary_db, ServerConfig(port=0))
+    primary.start()
+    replica_db = NepalDB(data_dir=os.path.join(tmp_dir, "read-replica"))
+    replica = NepalServer(replica_db, ServerConfig(port=0))
+    replica.start()
+    try:
+        primary_client = NepalClient(*primary.address)
+        hosts = [primary_client.insert_node("Host", {"name": f"h{i}"})
+                 for i in range(4)]
+        for i in range(48):
+            vm = primary_client.insert_node("VM", {"name": f"v{i}"})
+            primary_client.insert_edge("OnServer", vm, hosts[i % 4])
+        puller = replica.replication.become_replica("%s:%d" % primary.address)
+        assert puller.wait_caught_up(timeout=30.0)
+        replica_client = NepalClient(*replica.address)
+
+        def qps(client: NepalClient) -> float:
+            # Warm both plan caches, then measure.
+            for query in CORPUS:
+                client.query(query)
+            count = 0
+            started = time.perf_counter()
+            while time.perf_counter() - started < max(0.5, SECONDS / 2):
+                client.query(CORPUS[count % len(CORPUS)])
+                count += 1
+            return count / (time.perf_counter() - started)
+
+        primary_qps = qps(primary_client)
+        replica_qps = qps(replica_client)
+        return {
+            "primary_qps": primary_qps,
+            "replica_qps": replica_qps,
+            "parity": replica_qps / primary_qps,
+        }
+    finally:
+        replica.graceful_stop()
+        primary.graceful_stop()
+
+
+def test_replication_bench(tmp_path, capsys):
+    ship = bench_ship_apply(str(tmp_path))
+    steady = bench_steady_state(str(tmp_path))
+    parity = bench_read_parity(str(tmp_path))
+
+    payload = {
+        "bench": "replication",
+        "records": RECORDS,
+        "seconds": SECONDS,
+        "ship_apply": ship,
+        "steady_state": steady,
+        "read_parity": parity,
+        "gate": {
+            "higher_is_better": {
+                "ship_apply_records_per_s": ship["records_per_s"],
+                "catch_up_complete": 1.0 if steady["catch_up_complete"] else 0.0,
+                "replica_read_parity": parity["parity"],
+            },
+            "lower_is_better": {},
+        },
+    }
+    with open(JSON_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    with capsys.disabled():
+        print()
+        print(f"== replication ({RECORDS} records shipped, "
+              f"{SECONDS:.1f}s churn) ==")
+        print(format_table(
+            ["phase", "metric", "value"],
+            [
+                ["ship+apply", "records/s", f"{ship['records_per_s']:.0f}"],
+                ["ship+apply", "MB/s", f"{ship['mb_per_s']:.2f}"],
+                ["steady-state", "writes/s", f"{steady['writes_per_s']:.0f}"],
+                ["steady-state", "mean lag (records)",
+                 f"{steady['lag_records_mean']:.2f}"],
+                ["steady-state", "max lag (records)",
+                 f"{steady['lag_records_max']:.0f}"],
+                ["steady-state", "catch-up complete",
+                 str(steady["catch_up_complete"])],
+                ["reads", "primary qps", f"{parity['primary_qps']:.0f}"],
+                ["reads", "replica qps", f"{parity['replica_qps']:.0f}"],
+                ["reads", "parity", f"{parity['parity']:.2f}x"],
+            ],
+        ))
+        print(f"(written to {JSON_PATH})")
+
+    # Correctness bars (the perf bars live in check_regression.py).
+    assert steady["catch_up_complete"], "replica never converged after churn"
+    assert parity["parity"] > 0.3, (
+        "replica reads are dramatically slower than primary reads: "
+        f"{parity['parity']:.2f}x"
+    )

@@ -23,7 +23,10 @@ without entering the shell.
 from __future__ import annotations
 
 import argparse
+import os
+import signal
 import sys
+import threading
 
 from repro.core.database import NepalDB
 from repro.errors import NepalError
@@ -242,7 +245,14 @@ def _add_database_flags(parser: argparse.ArgumentParser) -> None:
 
 
 def serve_main(argv: list[str]) -> int:
-    """``nepal serve`` — run the threaded HTTP front end."""
+    """``nepal serve`` — run the threaded HTTP front end.
+
+    With ``--replicate-from HOST:PORT`` the node comes up as a read-only
+    replica streaming that primary's WAL (requires ``--data-dir``).
+    SIGTERM and SIGINT trigger a graceful shutdown: stop accepting, stop
+    replication, drain in-flight requests, close leftover snapshots,
+    flush and close the journal.
+    """
     parser = argparse.ArgumentParser(
         prog="nepal serve",
         description="Serve a Nepal database over HTTP with snapshot-"
@@ -254,6 +264,11 @@ def serve_main(argv: list[str]) -> int:
     )
     parser.add_argument(
         "--port", type=int, default=7687, help="bind port (default: 7687; 0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="write the bound 'host:port' here once listening (harnesses "
+             "pair this with --port 0)",
     )
     parser.add_argument(
         "--workers", type=int, default=8,
@@ -269,10 +284,27 @@ def serve_main(argv: list[str]) -> int:
         help="per-request read deadline, answered with 504 when overrun "
              "(default: 5.0)",
     )
+    parser.add_argument(
+        "--replicate-from", default=None, metavar="HOST:PORT",
+        help="start as a read-only replica streaming this primary's WAL "
+             "(requires --data-dir; writes answer 307 to the primary)",
+    )
+    parser.add_argument(
+        "--node-name", default=None, metavar="NAME",
+        help="node name in replication status payloads (default: host:port)",
+    )
+    parser.add_argument(
+        "--lag-threshold", type=int, default=1000, metavar="RECORDS",
+        help="GET /readyz answers 503 while replica lag exceeds this many "
+             "records (default: 1000)",
+    )
     args = parser.parse_args(argv)
 
     from repro.server import NepalServer, ServerConfig
 
+    if args.replicate_from and not args.data_dir:
+        print("error: --replicate-from requires --data-dir", file=sys.stderr)
+        return 2
     try:
         db = build_database(args)
     except NepalError as error:
@@ -284,28 +316,73 @@ def serve_main(argv: list[str]) -> int:
         workers=args.workers,
         queue_depth=args.queue_depth,
         deadline=args.request_deadline,
+        lag_threshold=args.lag_threshold,
     )
     server = NepalServer(db, config)
+    stop_requested = threading.Event()
+
+    def _request_stop(signum, frame) -> None:
+        stop_requested.set()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, _request_stop)
     try:
         server.start()
         host, port = server.address
+        server.replication.node_name = args.node_name or f"{host}:{port}"
+        if args.replicate_from:
+            server.replication.become_replica(args.replicate_from)
+            print(
+                f"replicating from {args.replicate_from}", file=sys.stderr
+            )
+        if args.port_file:
+            # Written atomically so a harness polling the file never reads
+            # a half-written address.
+            temp = args.port_file + ".tmp"
+            with open(temp, "w", encoding="utf-8") as handle:
+                handle.write(f"{host}:{port}\n")
+            os.replace(temp, args.port_file)
+        role = server.replication.role
         print(
-            f"nepal serving on http://{host}:{port} "
+            f"nepal serving on http://{host}:{port} as {role} "
             f"({config.workers} workers, queue depth {config.queue_depth}, "
-            f"deadline {config.deadline}s) — Ctrl-C to stop",
+            f"deadline {config.deadline}s) — SIGTERM/Ctrl-C for graceful stop",
             file=sys.stderr,
         )
-        try:
-            while True:
-                import time
-
-                time.sleep(3600)
-        except KeyboardInterrupt:
-            print("\nshutting down", file=sys.stderr)
+        while not stop_requested.wait(timeout=3600):
+            pass
+        print("shutting down: draining in-flight requests", file=sys.stderr)
         return 0
     finally:
-        server.stop()
-        db.close()
+        server.graceful_stop()
+
+
+def promote_main(argv: list[str]) -> int:
+    """``nepal promote HOST:PORT`` — make that replica the primary."""
+    parser = argparse.ArgumentParser(
+        prog="nepal promote",
+        description="Promote a running replica to primary: it stops "
+                    "streaming, stamps the next epoch into its WAL and "
+                    "starts accepting writes",
+    )
+    parser.add_argument("node", help="replica address as host:port")
+    args = parser.parse_args(argv)
+
+    from repro.replication import parse_node_url
+    from repro.server import NepalClient, ServerError
+
+    host, port = parse_node_url(args.node)
+    client = NepalClient(host, port)
+    try:
+        status = client.promote()
+    except (ServerError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"promoted {args.node}: role={status.get('role')} "
+        f"epoch={status.get('epoch')} last_lsn={status.get('last_lsn')}"
+    )
+    return 0
 
 
 def explain_main(argv: list[str]) -> int:
@@ -356,6 +433,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv[:1] == ["serve"]:
         return serve_main(argv[1:])
+    if argv[:1] == ["promote"]:
+        return promote_main(argv[1:])
     if argv[:1] == ["explain"]:
         return explain_main(argv[1:])
     parser = argparse.ArgumentParser(

@@ -179,6 +179,10 @@ class NepalDB:
             store = getattr(store, "inner", None)
         return None
 
+    def durable_store(self):
+        """Public accessor for :meth:`_durable_store` (replication layer)."""
+        return self._durable_store()
+
     @property
     def recovery_report(self):
         """What crash recovery found at startup (None without data_dir)."""

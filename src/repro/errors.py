@@ -101,6 +101,37 @@ class TemporalError(NepalError):
     """Invalid temporal specification (bad interval, time travel misuse)."""
 
 
+class ReplicationError(NepalError):
+    """Replication-protocol failure (see :mod:`repro.replication`)."""
+
+
+class NotPrimaryError(ReplicationError):
+    """A write reached a replica; ``primary`` names where to retry it.
+
+    The HTTP layer maps this to ``307 Temporary Redirect`` with a
+    ``Location`` header so any client can follow it; the cluster-aware
+    client uses it to re-discover the primary.
+    """
+
+    def __init__(self, message: str, primary: str | None = None):
+        self.primary = primary
+        super().__init__(message)
+
+
+class FencedError(ReplicationError):
+    """A write reached a node fenced by a higher replication epoch.
+
+    Raised by a revived stale primary: some replica was promoted while it
+    was down (stamping a higher epoch into the WAL), so accepting the
+    write would diverge the histories.  ``epoch`` is the higher epoch that
+    fenced the node.  The HTTP layer maps this to ``409 Conflict``.
+    """
+
+    def __init__(self, message: str, epoch: int | None = None):
+        self.epoch = epoch
+        super().__init__(message)
+
+
 class FederationError(NepalError):
     """Misconfigured multi-backend catalog or cross-backend operation.
 

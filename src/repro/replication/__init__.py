@@ -1,0 +1,43 @@
+"""Primary→replica WAL-shipping replication (see ARCHITECTURE.md).
+
+The existing write-ahead log doubles as the replication log: a primary
+serves its committed journal bytes over HTTP, replicas append them
+verbatim and apply every completed frame through the same replay path
+crash recovery uses, so validity intervals, uid allocation and temporal
+indexes come out identical on every copy.  Failover is deterministic —
+the highest-LSN replica promotes, stamping an epoch fence into the WAL
+that a revived stale primary can never out-claim.
+
+Layout:
+
+* :mod:`~repro.replication.manager` — per-node role state machine
+  (primary / replica / fenced), promotion, epoch fencing, readiness;
+* :mod:`~repro.replication.replica` — the puller thread: bootstrap via
+  snapshot, chunked WAL streaming, lag gauges, truncation re-base;
+* :mod:`~repro.replication.routing` — :class:`ClusterClient`, the
+  lag-aware client that writes to the primary and reads from fresh
+  replicas, failing over via re-discovery;
+* :mod:`~repro.replication.harness` — :class:`ReplicaSet`, a
+  multi-process cluster harness for the failover chaos tests and the
+  README walkthrough.
+"""
+
+from repro.replication.manager import (
+    ROLE_FENCED,
+    ROLE_PRIMARY,
+    ROLE_REPLICA,
+    ReplicationManager,
+)
+from repro.replication.replica import ReplicationPuller, parse_node_url
+from repro.replication.routing import ClusterClient, NoPrimaryError
+
+__all__ = [
+    "ClusterClient",
+    "NoPrimaryError",
+    "ReplicationManager",
+    "ReplicationPuller",
+    "ROLE_FENCED",
+    "ROLE_PRIMARY",
+    "ROLE_REPLICA",
+    "parse_node_url",
+]

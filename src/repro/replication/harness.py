@@ -1,0 +1,289 @@
+"""ReplicaSet: a multi-process replica-set harness for tests and demos.
+
+Spawns real ``nepal serve`` subprocesses — one primary plus N replicas,
+each with its own data directory — wires them together with
+``--replicate-from``, and exposes the failure-injection controls the
+chaos tests drive: ``SIGKILL`` the primary mid-churn, promote the
+highest-LSN survivor, repoint the rest, revive the old primary and watch
+it get fenced.  Nodes bind ephemeral ports and publish them through
+``--port-file``, so harness runs never collide.
+
+This is deliberately the *same* machinery the README walkthrough uses:
+the harness shells out to the public CLI, talks to the public HTTP API,
+and holds no private handles into the server processes — if the harness
+can drive a failover, an operator can.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.errors import ReplicationError
+from repro.replication.replica import parse_node_url
+from repro.server.client import NepalClient, ServerError
+
+
+def _src_path() -> str:
+    """The ``src`` directory, for PYTHONPATH in spawned servers."""
+    return os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", "..")
+    )
+
+
+@dataclass
+class NodeHandle:
+    """One ``nepal serve`` subprocess and how to reach it."""
+
+    name: str
+    data_dir: str
+    port_file: str
+    extra_args: list[str] = field(default_factory=list)
+    process: subprocess.Popen | None = None
+    address: str | None = None
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+    def client(self, **kwargs: Any) -> NepalClient:
+        if self.address is None:
+            raise ReplicationError(f"node {self.name} has no known address")
+        host, port = parse_node_url(self.address)
+        kwargs.setdefault("timeout", 10.0)
+        return NepalClient(host, port, **kwargs)
+
+
+class ReplicaSet:
+    """Run and orchestrate a primary + replicas as real subprocesses.
+
+    >>> cluster = ReplicaSet(base_dir, replicas=2)
+    >>> cluster.start()
+    >>> cluster.primary.client().insert_node("Host", {"name": "h1"})
+    >>> cluster.kill_primary()
+    >>> survivor = cluster.failover()
+    >>> cluster.stop()
+    """
+
+    def __init__(
+        self,
+        base_dir: str | os.PathLike,
+        replicas: int = 2,
+        server_args: Sequence[str] = (),
+        start_timeout: float = 30.0,
+    ):
+        self.base_dir = os.fspath(base_dir)
+        self.start_timeout = start_timeout
+        self.server_args = list(server_args)
+        self.nodes: list[NodeHandle] = []
+        self._primary_index = 0
+        os.makedirs(self.base_dir, exist_ok=True)
+        for index in range(replicas + 1):
+            name = "primary" if index == 0 else f"replica{index}"
+            self.nodes.append(
+                NodeHandle(
+                    name=name,
+                    data_dir=os.path.join(self.base_dir, f"{name}-data"),
+                    port_file=os.path.join(self.base_dir, f"{name}.port"),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # process lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def primary(self) -> NodeHandle:
+        return self.nodes[self._primary_index]
+
+    @property
+    def replicas(self) -> list[NodeHandle]:
+        return [
+            node
+            for index, node in enumerate(self.nodes)
+            if index != self._primary_index and node.alive
+        ]
+
+    def start(self) -> "ReplicaSet":
+        self.start_node(self.primary)
+        self.wait_ready(self.primary)
+        for node in self.nodes[1:]:
+            self.start_node(node, replicate_from=self.primary.address)
+        for node in self.nodes[1:]:
+            self.wait_ready(node)
+        return self
+
+    def start_node(
+        self,
+        node: NodeHandle,
+        replicate_from: str | None = None,
+        fresh_data: bool = False,
+    ) -> NodeHandle:
+        """Spawn one ``nepal serve`` process for *node*."""
+        if node.alive:
+            raise ReplicationError(f"node {node.name} is already running")
+        if fresh_data:
+            import shutil
+
+            shutil.rmtree(node.data_dir, ignore_errors=True)
+        if os.path.exists(node.port_file):
+            os.unlink(node.port_file)
+        argv = [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--host", "127.0.0.1", "--port", "0",
+            "--port-file", node.port_file,
+            "--data-dir", node.data_dir,
+            "--node-name", node.name,
+            *self.server_args,
+            *node.extra_args,
+        ]
+        if replicate_from is not None:
+            argv += ["--replicate-from", replicate_from]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _src_path() + os.pathsep + env.get("PYTHONPATH", "")
+        node.process = subprocess.Popen(
+            argv,
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        node.address = self._await_port(node)
+        return node
+
+    def _await_port(self, node: NodeHandle) -> str:
+        deadline = time.monotonic() + self.start_timeout
+        while time.monotonic() < deadline:
+            if node.process is not None and node.process.poll() is not None:
+                raise ReplicationError(
+                    f"node {node.name} exited with {node.process.returncode} "
+                    "before publishing its port"
+                )
+            try:
+                with open(node.port_file, encoding="utf-8") as handle:
+                    address = handle.read().strip()
+                if address:
+                    return address
+            except FileNotFoundError:
+                pass
+            time.sleep(0.02)
+        raise ReplicationError(
+            f"node {node.name} did not publish a port within "
+            f"{self.start_timeout}s"
+        )
+
+    def wait_ready(self, node: NodeHandle, timeout: float | None = None) -> None:
+        """Poll ``GET /readyz`` until the node reports ready."""
+        deadline = time.monotonic() + (timeout or self.start_timeout)
+        client = node.client(retry_503=0)
+        last: str = "never reached"
+        while time.monotonic() < deadline:
+            try:
+                client.readyz()
+                return
+            except ServerError as error:
+                last = f"HTTP {error.status}: {error}"
+            except OSError as error:
+                last = f"{type(error).__name__}: {error}"
+            time.sleep(0.05)
+        raise ReplicationError(
+            f"node {node.name} never became ready ({last})"
+        )
+
+    # ------------------------------------------------------------------
+    # failure injection & failover
+    # ------------------------------------------------------------------
+
+    def kill(self, node: NodeHandle, sig: int = signal.SIGKILL) -> None:
+        """Deliver *sig* to the node's process and reap it."""
+        if node.process is None:
+            return
+        if node.process.poll() is None:
+            node.process.send_signal(sig)
+        node.process.wait(timeout=30)
+
+    def kill_primary(self, sig: int = signal.SIGKILL) -> NodeHandle:
+        node = self.primary
+        self.kill(node, sig)
+        return node
+
+    def statuses(self) -> dict[str, dict[str, Any]]:
+        """Replication status of every live node, by node name."""
+        result: dict[str, dict[str, Any]] = {}
+        for node in self.nodes:
+            if not node.alive:
+                continue
+            try:
+                result[node.name] = node.client(retry_503=0).replication_status()
+            except (ServerError, OSError):
+                continue
+        return result
+
+    def best_replica(self) -> NodeHandle:
+        """The live replica with the highest applied LSN — the node the
+        deterministic failover rule promotes (it holds the longest
+        committed prefix, so no acknowledged write is lost)."""
+        best: tuple[int, NodeHandle] | None = None
+        for node in self.nodes:
+            if not node.alive or node is self.primary:
+                continue
+            try:
+                status = node.client(retry_503=0).replication_status()
+            except (ServerError, OSError):
+                continue
+            lsn = int(status.get("last_lsn", 0))
+            if best is None or lsn > best[0]:
+                best = (lsn, node)
+        if best is None:
+            raise ReplicationError("no live replica to promote")
+        return best[1]
+
+    def promote(self, node: NodeHandle) -> dict[str, Any]:
+        status = node.client().promote()
+        self._primary_index = self.nodes.index(node)
+        return status
+
+    def failover(self) -> NodeHandle:
+        """The full deterministic failover: promote the highest-LSN live
+        replica, then repoint every other live replica at it."""
+        survivor = self.best_replica()
+        self.promote(survivor)
+        for node in self.nodes:
+            if not node.alive or node is survivor:
+                continue
+            try:
+                node.client().request(
+                    "POST", "/replication/repoint",
+                    {"primary": survivor.address},
+                )
+            except (ServerError, OSError):
+                continue
+        return survivor
+
+    def stop(self) -> None:
+        """Terminate every node (SIGTERM first, SIGKILL as backstop)."""
+        for node in self.nodes:
+            if node.process is None:
+                continue
+            if node.process.poll() is None:
+                node.process.terminate()
+        deadline = time.monotonic() + 15.0
+        for node in self.nodes:
+            if node.process is None:
+                continue
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                node.process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                node.process.kill()
+                node.process.wait(timeout=10)
+
+    def __enter__(self) -> "ReplicaSet":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

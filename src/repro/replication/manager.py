@@ -1,0 +1,336 @@
+"""Replication roles, epoch fencing and promotion for one node.
+
+A :class:`ReplicationManager` sits next to a :class:`~repro.core.database.
+NepalDB` (the HTTP front end owns one) and tracks which part the node
+plays in a replica set:
+
+* **primary** — accepts writes, serves its journal over
+  ``GET /replication/wal`` and bootstrap snapshots over
+  ``GET /replication/snapshot``;
+* **replica** — read-only; a :class:`~repro.replication.replica.
+  ReplicationPuller` thread streams the primary's journal into
+  :meth:`~repro.storage.durable.DurableStore.replication_apply`.  Writes
+  are refused with :class:`~repro.errors.NotPrimaryError` (HTTP 307 to the
+  primary);
+* **fenced** — an ex-primary that learned of a higher epoch.  Some replica
+  was promoted while it was down; accepting writes now would fork the
+  history, so everything but reads is refused with
+  :class:`~repro.errors.FencedError` (HTTP 409).
+
+Epoch protocol: promotion stamps ``epoch + 1`` into the WAL (fsynced)
+*before* the node accepts its first write, so every record a primary ever
+ships carries proof of its term.  Every HTTP response carries
+``X-Nepal-Epoch``; cluster-aware clients echo the highest epoch they have
+seen on writes, and :meth:`ReplicationManager.observe_epoch` fences any
+node that receives proof of a higher term than its own.  Epoch comparisons
+— not wall clocks, not heartbeat timing — are the sole fencing authority,
+which keeps failover deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import FencedError, NotPrimaryError, ReplicationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.database import NepalDB
+    from repro.replication.replica import ReplicationPuller
+
+ROLE_PRIMARY = "primary"
+ROLE_REPLICA = "replica"
+ROLE_FENCED = "fenced"
+
+
+class ReplicationManager:
+    """The replication state machine of one serving node.
+
+    Constructed in primary role; :meth:`become_replica` attaches the node
+    to a primary and :meth:`promote` turns a replica back into a primary
+    (failover).  All transitions run under one lock and are visible in
+    :meth:`status` — the payload of ``GET /replication/status`` that the
+    routing layer and the failover harness read.
+    """
+
+    def __init__(self, db: "NepalDB", node_name: str = "node"):
+        self.db = db
+        self.node_name = node_name
+        self.metrics = db.metrics
+        self._durable = db.durable_store()
+        self._lock = threading.RLock()
+        self._role = ROLE_PRIMARY
+        self._primary_url: str | None = None
+        self._puller: "ReplicationPuller | None" = None
+        self._fenced_by: int | None = None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def role(self) -> str:
+        with self._lock:
+            return self._role
+
+    @property
+    def epoch(self) -> int:
+        durable = self._durable
+        return durable.epoch if durable is not None else 0
+
+    @property
+    def primary_url(self) -> str | None:
+        with self._lock:
+            return self._primary_url
+
+    @property
+    def puller(self) -> "ReplicationPuller | None":
+        with self._lock:
+            return self._puller
+
+    def status(self) -> dict[str, Any]:
+        """The JSON payload of ``GET /replication/status``."""
+        with self._lock:
+            role = self._role
+            primary_url = self._primary_url
+            puller = self._puller
+            fenced_by = self._fenced_by
+        durable = self._durable
+        payload: dict[str, Any] = {
+            "node": self.node_name,
+            "role": role,
+            "epoch": self.epoch,
+            "durable": durable is not None,
+            "last_lsn": durable.last_lsn if durable is not None else 0,
+            "checkpoint_lsn": durable.checkpoint_lsn if durable is not None else 0,
+            "wal_bytes": durable.wal_bytes if durable is not None else 0,
+            "read_only": durable.read_only if durable is not None else False,
+        }
+        if primary_url is not None:
+            payload["primary"] = primary_url
+        if fenced_by is not None:
+            payload["fenced_by"] = fenced_by
+        if puller is not None:
+            payload["replication"] = puller.status()
+        return payload
+
+    def _require_durable(self):
+        if self._durable is None:
+            raise ReplicationError(
+                "replication requires a durable store (start the node with "
+                "--data-dir so it has a WAL to ship)"
+            )
+        return self._durable
+
+    # ------------------------------------------------------------------
+    # role transitions
+    # ------------------------------------------------------------------
+
+    def become_replica(
+        self,
+        primary_url: str,
+        poll_interval: float = 0.05,
+        chunk_limit: int = 1 << 18,
+    ) -> "ReplicationPuller":
+        """Attach this node to *primary_url* and start streaming its WAL.
+
+        Pins the transaction clock first: a replica's reads must not chase
+        the local wall clock past the primary's stamps, or applying the
+        next shipped record would mean moving transaction time backwards.
+        """
+        from repro.replication.replica import ReplicationPuller
+
+        durable = self._require_durable()
+        with self._lock:
+            if self._role == ROLE_REPLICA and self._puller is not None:
+                raise ReplicationError(
+                    f"already replicating from {self._primary_url}"
+                )
+            self.db.clock.pin()
+            durable.begin_replication(
+                f"node {self.node_name} is a replica of {primary_url}; "
+                "writes go to the primary"
+            )
+            self._role = ROLE_REPLICA
+            self._primary_url = primary_url
+            self._puller = ReplicationPuller(
+                durable,
+                primary_url,
+                metrics=self.metrics,
+                poll_interval=poll_interval,
+                chunk_limit=chunk_limit,
+            )
+            self._puller.start()
+            self.metrics.event("replication.attached")
+            return self._puller
+
+    def repoint(self, primary_url: str) -> "ReplicationPuller":
+        """Follow a different primary (post-failover re-attachment).
+
+        Stops the current puller, rolls any shipped-but-uncommitted residue
+        back, and starts a fresh stream against the new primary.
+        """
+        durable = self._require_durable()
+        with self._lock:
+            if self._role != ROLE_REPLICA:
+                raise ReplicationError(
+                    f"only a replica can repoint (role is {self._role})"
+                )
+            self._detach_locked()
+            durable.begin_replication(
+                f"node {self.node_name} is a replica of {primary_url}; "
+                "writes go to the primary"
+            )
+            self._primary_url = primary_url
+            from repro.replication.replica import ReplicationPuller
+
+            self._puller = ReplicationPuller(
+                durable, primary_url, metrics=self.metrics
+            )
+            self._puller.start()
+            self.metrics.event("replication.repointed")
+            return self._puller
+
+    def promote(self) -> dict[str, Any]:
+        """Failover: turn this replica into the primary.
+
+        Stops the stream, discards any shipped-but-uncommitted residue
+        (split frames, unmatched batches — exactly what recovery would
+        discard), stamps ``epoch + 1`` into the WAL (fsynced), and opens
+        the node for writes.  The epoch stamp happens before the first
+        write is admitted, so every record this primary ships carries its
+        term.
+        """
+        durable = self._require_durable()
+        with self._lock:
+            if self._role == ROLE_FENCED:
+                raise FencedError(
+                    f"node {self.node_name} is fenced by epoch "
+                    f"{self._fenced_by}; a fenced node needs a resync, not "
+                    "a promotion",
+                    epoch=self._fenced_by,
+                )
+            if self._role == ROLE_PRIMARY:
+                return self.status()
+            self._detach_locked()
+            durable.end_replication()
+            new_epoch = durable.epoch + 1
+            durable.stamp_epoch(new_epoch)
+            self._role = ROLE_PRIMARY
+            self._primary_url = None
+            self.metrics.event("replication.promoted")
+            self.metrics.gauge("replication.lag_records", 0.0)
+            self.metrics.gauge("replication.lag_seconds", 0.0)
+            return self.status()
+
+    def fence(self, epoch: int) -> None:
+        """Refuse writes permanently: a higher epoch *epoch* exists.
+
+        Idempotent for repeated proofs of the same or lower epochs once
+        fenced.  The node keeps serving reads — its history up to the
+        fence is valid — but every write is refused so the divergence the
+        higher epoch implies can never widen.
+        """
+        durable = self._require_durable()
+        with self._lock:
+            if self._role == ROLE_FENCED:
+                self._fenced_by = max(self._fenced_by or 0, epoch)
+                return
+            self._detach_locked()
+            if self._role == ROLE_REPLICA:
+                durable.end_replication()
+            durable.set_read_only(
+                f"node {self.node_name} (epoch {self.epoch}) is fenced: "
+                f"epoch {epoch} exists elsewhere; writes would diverge"
+            )
+            self._role = ROLE_FENCED
+            self._fenced_by = epoch
+            self._primary_url = None
+            self.metrics.event("replication.fenced")
+
+    def _detach_locked(self) -> None:
+        """Stop and discard the puller thread (caller holds the lock)."""
+        if self._puller is not None:
+            self._puller.stop()
+            self._puller = None
+
+    def shutdown(self) -> None:
+        """Stop background replication activity (server shutdown path)."""
+        with self._lock:
+            self._detach_locked()
+
+    # ------------------------------------------------------------------
+    # request-path guards (called by the HTTP layer)
+    # ------------------------------------------------------------------
+
+    def observe_epoch(self, claimed: int | None) -> None:
+        """Process an epoch a peer or client presented.
+
+        Proof of a higher term than ours means we are a stale primary (or
+        a replica of one): fence immediately.  Raises
+        :class:`~repro.errors.FencedError` when the observation fenced us,
+        so the write that carried the proof is also refused.
+        """
+        if claimed is None:
+            return
+        if claimed > self.epoch:
+            self.fence(claimed)
+            raise FencedError(
+                f"write carried epoch {claimed} > local epoch {self.epoch}; "
+                f"node {self.node_name} is a stale primary and is now fenced",
+                epoch=claimed,
+            )
+
+    def check_writable(self, claimed_epoch: int | None = None) -> None:
+        """Gate one write request: fence checks first, then role checks."""
+        self.observe_epoch(claimed_epoch)
+        with self._lock:
+            if self._role == ROLE_FENCED:
+                raise FencedError(
+                    f"node {self.node_name} is fenced by epoch "
+                    f"{self._fenced_by}; writes are refused",
+                    epoch=self._fenced_by,
+                )
+            if self._role == ROLE_REPLICA:
+                raise NotPrimaryError(
+                    f"node {self.node_name} is a read-only replica; "
+                    f"write to the primary at {self._primary_url}",
+                    primary=self._primary_url,
+                )
+
+    # ------------------------------------------------------------------
+    # readiness (the /readyz contract)
+    # ------------------------------------------------------------------
+
+    def readiness(self, lag_threshold: int = 1000) -> tuple[bool, dict[str, Any]]:
+        """``(ready, detail)`` for ``GET /readyz``.
+
+        A primary is ready once constructed (recovery is synchronous).  A
+        replica is ready when its bootstrap finished, the stream is live,
+        and the record lag is under *lag_threshold*.  A fenced node is
+        never ready — it must not receive routed traffic.
+        """
+        with self._lock:
+            role = self._role
+            puller = self._puller
+        detail: dict[str, Any] = {"role": role, "epoch": self.epoch}
+        if role == ROLE_FENCED:
+            detail["reason"] = "fenced"
+            return False, detail
+        if role == ROLE_PRIMARY:
+            return True, detail
+        if puller is None:
+            detail["reason"] = "replica has no active stream"
+            return False, detail
+        pstatus = puller.status()
+        detail["replication"] = pstatus
+        if pstatus["state"] != "streaming":
+            detail["reason"] = f"replica is {pstatus['state']}"
+            return False, detail
+        if pstatus["lag_records"] > lag_threshold:
+            detail["reason"] = (
+                f"lag {pstatus['lag_records']} records exceeds threshold "
+                f"{lag_threshold}"
+            )
+            return False, detail
+        return True, detail

@@ -1,0 +1,399 @@
+"""The replica side of log shipping: a puller thread that follows a primary.
+
+:class:`ReplicationPuller` runs one daemon thread against a primary's HTTP
+endpoints:
+
+1. **bootstrap** — a completely fresh replica first fetches
+   ``GET /replication/snapshot`` (the primary's compacted history plus a
+   manifest) and installs it, so it does not depend on the primary still
+   holding its journal from offset 0;
+2. **streaming** — it then polls ``GET /replication/wal?offset=N`` and
+   feeds each chunk into :meth:`~repro.storage.durable.DurableStore.
+   replication_apply`.  Chunks may split frames anywhere; the durable
+   store's decoder buffers the residue.  Records the snapshot already
+   covered are skipped by LSN;
+3. **lag tracking** — every chunk response carries the primary's committed
+   journal size, last LSN and epoch in headers; the puller publishes
+   ``replication.lag_records`` / ``replication.lag_seconds`` gauges and a
+   ``replication.apply`` stage timing from them;
+4. **failure handling** — connection errors back off along the configured
+   :class:`~repro.core.resilience.ResiliencePolicy` schedule and never
+   kill the thread (the primary being down is the *normal* trigger for
+   failover, and the puller must survive it to report its last applied
+   LSN to the promotion logic).  A primary answering with a *lower* epoch
+   than the replica's is stale — the stream stops rather than apply its
+   divergent records.  A pull offset beyond the primary's journal means a
+   checkpoint truncated history: the puller re-bases at offset 0 when its
+   applied LSN covers the truncation, and parks in ``needs-resync``
+   otherwise (the operator restarts the replica with a fresh directory).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import TYPE_CHECKING, Any
+
+from repro.core.resilience import ResiliencePolicy
+from repro.errors import ReplicationError
+from repro.server.client import NepalClient, ServerError
+from repro.storage.wal import WalCorruptionError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.stats.metrics import MetricsRegistry
+    from repro.storage.durable import DurableStore
+
+#: Puller states, surfaced via ``status()`` and ``GET /readyz``.
+STATE_BOOTSTRAPPING = "bootstrapping"
+STATE_STREAMING = "streaming"
+STATE_STALE_PRIMARY = "stale-primary"
+STATE_NEEDS_RESYNC = "needs-resync"
+STATE_STOPPED = "stopped"
+
+#: Response headers the primary stamps on replication endpoints.
+HEADER_WAL_SIZE = "X-Nepal-Wal-Size"
+HEADER_LAST_LSN = "X-Nepal-Last-Lsn"
+HEADER_EPOCH = "X-Nepal-Epoch"
+
+
+def parse_node_url(url: str) -> tuple[str, int]:
+    """``host:port`` (with or without an ``http://`` prefix) → pair."""
+    stripped = url.strip()
+    for prefix in ("http://", "https://"):
+        if stripped.startswith(prefix):
+            stripped = stripped[len(prefix):]
+            break
+    stripped = stripped.rstrip("/")
+    host, separator, port = stripped.rpartition(":")
+    if not separator or not port.isdigit():
+        raise ReplicationError(
+            f"primary address {url!r} is not host:port"
+        )
+    return host, int(port)
+
+
+class ReplicationPuller:
+    """Stream a primary's WAL into a local durable store, forever.
+
+    The owning :class:`~repro.replication.manager.ReplicationManager` must
+    have put the store into follower mode (``begin_replication``) before
+    starting the thread.  ``stop()`` is idempotent and joins the thread.
+    """
+
+    def __init__(
+        self,
+        durable: "DurableStore",
+        primary_url: str,
+        metrics: "MetricsRegistry | None" = None,
+        poll_interval: float = 0.05,
+        chunk_limit: int = 1 << 18,
+        policy: ResiliencePolicy | None = None,
+        client: NepalClient | None = None,
+    ):
+        self.durable = durable
+        self.primary_url = primary_url
+        self.metrics = metrics
+        self.poll_interval = poll_interval
+        self.chunk_limit = chunk_limit
+        self.policy = policy or ResiliencePolicy(
+            max_attempts=0,  # the puller retries forever; only pacing matters
+            base_delay=max(poll_interval, 0.02),
+            max_delay=1.0,
+            seed=0,
+        )
+        host, port = parse_node_url(primary_url)
+        self.client = client or NepalClient(host, port, timeout=10.0, retry_503=0)
+        self._rng = random.Random(self.policy.seed)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+        # -- observable state (under _lock) --
+        self._state = STATE_BOOTSTRAPPING
+        self._offset = durable.wal_bytes
+        self._applied_lsn = durable.last_lsn
+        self._primary_lsn: int | None = None
+        self._primary_epoch: int | None = None
+        self._lag_records = 0
+        self._lag_seconds = 0.0
+        self._pending_bytes = 0
+        self._open_batch = False
+        self._bytes_shipped = 0
+        self._polls = 0
+        self._consecutive_failures = 0
+        self._last_contact: float | None = None
+        self._last_error: str | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ReplicationPuller":
+        if self._thread is not None:
+            raise ReplicationError("puller already started")
+        self._thread = threading.Thread(
+            target=self._run, name=f"nepal-replica({self.primary_url})", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=timeout)
+        with self._lock:
+            self._state = STATE_STOPPED
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def status(self) -> dict[str, Any]:
+        with self._lock:
+            contact_age = (
+                time.monotonic() - self._last_contact
+                if self._last_contact is not None
+                else None
+            )
+            return {
+                "primary": self.primary_url,
+                "state": self._state,
+                "offset": self._offset,
+                "applied_lsn": self._applied_lsn,
+                "primary_lsn": self._primary_lsn,
+                "primary_epoch": self._primary_epoch,
+                "lag_records": self._lag_records,
+                "lag_seconds": round(self._lag_seconds, 6),
+                "pending_bytes": self._pending_bytes,
+                "open_batch": self._open_batch,
+                "bytes_shipped": self._bytes_shipped,
+                "polls": self._polls,
+                "consecutive_failures": self._consecutive_failures,
+                "last_contact_age": contact_age,
+                "last_error": self._last_error,
+            }
+
+    def wait_caught_up(self, timeout: float = 30.0, poll: float = 0.01) -> bool:
+        """Block until the stream has applied everything the primary had
+        committed when the call was made (test convenience).
+
+        Asks the primary for its LSN directly rather than trusting the
+        puller's last-observed value, which goes stale between polls.
+        """
+        deadline = time.monotonic() + timeout
+        target: int | None = None
+        while time.monotonic() < deadline:
+            if target is None:
+                try:
+                    status = self.client.replication_status()
+                    target = int(status.get("last_lsn", 0))
+                except (ServerError, OSError):
+                    time.sleep(poll)
+                    continue
+            with self._lock:
+                caught_up = (
+                    self._state == STATE_STREAMING
+                    and self._applied_lsn >= target
+                    and self._pending_bytes == 0
+                    and not self._open_batch
+                )
+            if caught_up:
+                return True
+            time.sleep(poll)
+        return False
+
+    def _event(self, name: str, count: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.event(name, count)
+
+    def _gauge(self, name: str, value: float) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(name, value)
+
+    # ------------------------------------------------------------------
+    # the stream loop
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self._run_once()
+            except _Parked:
+                # Terminal-for-now states (stale primary, needs resync):
+                # stay alive so status() keeps answering, but stop pulling.
+                while not self._stop.wait(self.poll_interval * 4):
+                    pass
+                return
+            except Exception as error:  # noqa: BLE001 - the loop must survive
+                self._note_failure(error)
+                self._backoff()
+
+    def _run_once(self) -> None:
+        if self._needs_bootstrap():
+            self._bootstrap()
+        with self._lock:
+            self._state = STATE_STREAMING
+        while not self._stop.is_set():
+            advanced = self._poll_once()
+            if not advanced and self._stop.wait(self.poll_interval):
+                return
+
+    def _needs_bootstrap(self) -> bool:
+        return (
+            self.durable.last_lsn == 0
+            and self.durable.wal_bytes == 0
+            and not self.durable.known_uids()
+        )
+
+    def _bootstrap(self) -> None:
+        with self._lock:
+            self._state = STATE_BOOTSTRAPPING
+        status, headers, body = self.client.raw_request(
+            "GET", "/replication/snapshot"
+        )
+        if status != 200:
+            raise ReplicationError(
+                f"snapshot fetch failed: HTTP {status} "
+                f"{body[:200].decode('utf-8', 'replace')}"
+            )
+        self._touch(headers)
+        records = self.durable.install_snapshot(body)
+        with self._lock:
+            self._offset = 0
+            self._applied_lsn = self.durable.last_lsn
+        self._event("replication.bootstrapped")
+        self._event("replication.bootstrap_records", records)
+
+    def _poll_once(self) -> bool:
+        """One WAL pull; returns True when bytes arrived (keep going)."""
+        with self._lock:
+            offset = self._offset
+        status, headers, body = self.client.raw_request(
+            "GET", f"/replication/wal?offset={offset}&limit={self.chunk_limit}"
+        )
+        self._touch(headers)
+        with self._lock:
+            self._polls += 1
+        if status == 200:
+            return self._absorb(offset, headers, body)
+        if status == 416:
+            self._handle_truncation(headers)
+            return False
+        raise ReplicationError(
+            f"wal fetch failed: HTTP {status} "
+            f"{body[:200].decode('utf-8', 'replace')}"
+        )
+
+    def _absorb(self, offset: int, headers: dict[str, str], body: bytes) -> bool:
+        primary_lsn = int(headers.get(HEADER_LAST_LSN, 0))
+        primary_epoch = int(headers.get(HEADER_EPOCH, 0))
+        if primary_epoch < self.durable.epoch:
+            # The node we are following has a lower term than records we
+            # already hold: it is a revived stale primary.  Applying its
+            # journal would replay a divergent history, so stop the
+            # stream instead.
+            with self._lock:
+                self._state = STATE_STALE_PRIMARY
+                self._last_error = (
+                    f"primary epoch {primary_epoch} < local epoch "
+                    f"{self.durable.epoch}; refusing its stream"
+                )
+            self._event("replication.stale_primary_refused")
+            raise _Parked()
+        if body:
+            try:
+                if self.metrics is not None:
+                    with self.metrics.timings.measure("replication.apply"):
+                        result = self.durable.replication_apply(body)
+                else:
+                    result = self.durable.replication_apply(body)
+            except WalCorruptionError as error:
+                with self._lock:
+                    self._state = STATE_NEEDS_RESYNC
+                    self._last_error = f"corrupt shipped stream: {error}"
+                self._event("replication.resync_needed")
+                raise _Parked() from error
+            with self._lock:
+                self._offset = offset + len(body)
+                self._applied_lsn = result.last_lsn
+                self._pending_bytes = result.pending_bytes
+                self._open_batch = result.open_batch
+                self._bytes_shipped += len(body)
+            self._event("replication.bytes_shipped", len(body))
+            last_ts = result.last_ts
+        else:
+            last_ts = None
+        self._publish_lag(primary_lsn, primary_epoch, last_ts)
+        return bool(body)
+
+    def _publish_lag(
+        self, primary_lsn: int, primary_epoch: int, last_ts: float | None
+    ) -> None:
+        with self._lock:
+            self._primary_lsn = primary_lsn
+            self._primary_epoch = primary_epoch
+            self._consecutive_failures = 0
+            self._last_error = None
+            lag_records = max(0, primary_lsn - self._applied_lsn)
+            if lag_records == 0:
+                lag_seconds = 0.0
+            elif last_ts is not None:
+                lag_seconds = max(0.0, time.time() - last_ts)
+            else:
+                lag_seconds = self._lag_seconds
+            self._lag_records = lag_records
+            self._lag_seconds = lag_seconds
+        self._gauge("replication.lag_records", float(lag_records))
+        self._gauge("replication.lag_seconds", lag_seconds)
+
+    def _handle_truncation(self, headers: dict[str, str]) -> None:
+        """The pull offset outran the primary's journal (a checkpoint
+        truncated it).  Re-base at offset 0 when our applied LSN covers
+        everything the truncation removed; otherwise park for a resync."""
+        try:
+            status = self.client.replication_status()
+        except (ServerError, OSError) as error:
+            raise ReplicationError(f"status fetch after truncation: {error}")
+        checkpoint_lsn = int(status.get("checkpoint_lsn", 0))
+        if checkpoint_lsn <= self.durable.last_lsn:
+            self.durable.begin_replication(
+                f"replica of {self.primary_url} (re-based after primary "
+                "checkpoint)"
+            )
+            with self._lock:
+                self._offset = 0
+            self._event("replication.rebased")
+            return
+        with self._lock:
+            self._state = STATE_NEEDS_RESYNC
+            self._last_error = (
+                f"primary checkpoint covers lsn {checkpoint_lsn} > applied "
+                f"{self.durable.last_lsn}: history gap, full resync required"
+            )
+        self._event("replication.resync_needed")
+        raise _Parked()
+
+    # ------------------------------------------------------------------
+    # failure pacing
+    # ------------------------------------------------------------------
+
+    def _touch(self, headers: dict[str, str]) -> None:
+        with self._lock:
+            self._last_contact = time.monotonic()
+
+    def _note_failure(self, error: Exception) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            self._last_error = f"{type(error).__name__}: {error}"
+        self._event("replication.poll_failed")
+
+    def _backoff(self) -> None:
+        with self._lock:
+            failures = self._consecutive_failures
+        delay = self.policy.delay_for(min(failures, 8), self._rng)
+        self._stop.wait(delay)
+
+
+class _Parked(Exception):
+    """Internal: the stream reached a state that needs operator action."""

@@ -1,0 +1,277 @@
+"""Cluster-aware request routing: lag-aware reads, primary writes, failover.
+
+:class:`ClusterClient` fronts a set of Nepal nodes the way an application
+sidecar would: it discovers each node's role from ``GET
+/replication/status``, sends writes to the primary (stamped with the
+highest epoch it has ever seen, which is what fences a revived stale
+primary), and routes reads to replicas whose record lag is under a
+threshold — falling back to the primary when no replica is fresh enough.
+
+Failure handling reuses the :class:`~repro.core.resilience.ResiliencePolicy`
+backoff schedule: when the primary dies mid-write the client backs off,
+re-discovers (the failover harness promotes a replica in the meantime),
+and retries against the new primary.  Reads retry across nodes in
+freshness order before giving up.  A ``307 Temporary Redirect`` from a
+replica and a ``409 Conflict`` from a fenced node both trigger immediate
+re-discovery rather than counting as backend failures.
+
+The epoch the client tracks is monotone: every response's
+``X-Nepal-Epoch`` header raises it, and discovery prefers the
+primary-role node with the highest epoch, so after a failover the old
+primary — even revived and claiming to be primary — loses to the new one.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Callable, Mapping
+
+from repro.core.resilience import ResiliencePolicy
+from repro.errors import ReplicationError
+from repro.replication.replica import parse_node_url
+from repro.server.client import NepalClient, ServerError
+
+EPOCH_HEADER = "X-Nepal-Epoch"
+
+
+class NoPrimaryError(ReplicationError):
+    """Discovery found no live primary within the retry budget."""
+
+
+class ClusterClient:
+    """Route queries and writes across a Nepal replica set.
+
+    >>> cluster = ClusterClient(["127.0.0.1:7687", "127.0.0.1:7688"])
+    >>> cluster.insert_node("Host", {"name": "h1"})     # goes to the primary
+    >>> cluster.query("Retrieve P From PATHS P Where P MATCHES Host()")
+    """
+
+    def __init__(
+        self,
+        nodes: list[str],
+        policy: ResiliencePolicy | None = None,
+        lag_threshold: int = 256,
+        prefer_replicas: bool = True,
+        timeout: float = 10.0,
+        client_factory: Callable[[str, int], NepalClient] | None = None,
+    ):
+        if not nodes:
+            raise ReplicationError("a cluster needs at least one node address")
+        self.policy = policy or ResiliencePolicy(
+            max_attempts=8, base_delay=0.05, max_delay=1.0, jitter=0.1, seed=0
+        )
+        self.lag_threshold = lag_threshold
+        self.prefer_replicas = prefer_replicas
+        self._rng = random.Random(self.policy.seed)
+        factory = client_factory or (
+            lambda host, port: NepalClient(host, port, timeout=timeout, retry_503=1)
+        )
+        self._clients: dict[str, NepalClient] = {}
+        for address in nodes:
+            host, port = parse_node_url(address)
+            self._clients[f"{host}:{port}"] = factory(host, port)
+        self.epoch = 0
+        self._primary: str | None = None
+        self._replicas: list[tuple[str, int]] = []  # (address, lag_records)
+
+    # ------------------------------------------------------------------
+    # discovery
+    # ------------------------------------------------------------------
+
+    def _observe_epoch(self, value: Any) -> None:
+        try:
+            self.epoch = max(self.epoch, int(value))
+        except (TypeError, ValueError):
+            pass
+
+    def discover(self) -> dict[str, Any]:
+        """Probe every node; elect the highest-epoch primary, rank replicas.
+
+        Unreachable nodes are skipped (they may be the dead primary this
+        discovery is reacting to).  Returns the raw statuses by address
+        for observability.
+        """
+        statuses: dict[str, Any] = {}
+        primary: tuple[int, str] | None = None  # (epoch, address)
+        replicas: list[tuple[str, int]] = []
+        for address, client in self._clients.items():
+            try:
+                status = client.replication_status()
+            except (ServerError, OSError):
+                continue
+            statuses[address] = status
+            self._observe_epoch(status.get("epoch", 0))
+            role = status.get("role")
+            if role == "primary":
+                candidate = (int(status.get("epoch", 0)), address)
+                if primary is None or candidate[0] > primary[0]:
+                    primary = candidate
+            elif role == "replica":
+                lag = int(
+                    (status.get("replication") or {}).get("lag_records", 1 << 30)
+                )
+                replicas.append((address, lag))
+        replicas.sort(key=lambda item: item[1])
+        self._primary = primary[1] if primary is not None else None
+        self._replicas = replicas
+        return statuses
+
+    @property
+    def primary(self) -> str | None:
+        return self._primary
+
+    @property
+    def replicas(self) -> list[str]:
+        return [address for address, _ in self._replicas]
+
+    # ------------------------------------------------------------------
+    # transport with failover
+    # ------------------------------------------------------------------
+
+    def _request(
+        self, address: str, method: str, path: str, payload: Mapping[str, Any] | None
+    ) -> dict[str, Any]:
+        client = self._clients[address]
+        headers = {EPOCH_HEADER: str(self.epoch)} if self.epoch else {}
+        try:
+            response = client.request(method, path, payload, headers=headers)
+        except ServerError as error:
+            self._observe_epoch(error.headers.get(EPOCH_HEADER))
+            raise
+        return response
+
+    def write(
+        self, method: str, path: str, payload: Mapping[str, Any] | None = None
+    ) -> dict[str, Any]:
+        """Send one mutating request to the current primary, failing over.
+
+        Retries under the policy budget on: no known primary (discovery
+        loop until one appears), connection errors (the primary just
+        died), 307 (we wrote to a replica: stale routing), 409 (we wrote
+        to a fenced node), and 503 beyond the per-node Retry-After budget.
+        """
+        last_error: Exception | None = None
+        for attempt in range(1, self.policy.max_attempts + 1):
+            if self._primary is None:
+                self.discover()
+            address = self._primary
+            if address is None:
+                last_error = NoPrimaryError("no primary answered discovery")
+            else:
+                try:
+                    return self._request(address, method, path, payload)
+                except ServerError as error:
+                    if error.status not in (307, 409, 503):
+                        raise
+                    # Stale routing or a fenced/saturated node: re-discover
+                    # and try again under the same budget.
+                    last_error = error
+                    self._primary = None
+                except OSError as error:
+                    last_error = error
+                    self._primary = None
+            if attempt < self.policy.max_attempts:
+                self.policy.sleep(self.policy.delay_for(attempt, self._rng))
+        raise NoPrimaryError(
+            f"write failed after {self.policy.max_attempts} attempts: "
+            f"{type(last_error).__name__}: {last_error}"
+        )
+
+    def read(
+        self, method: str, path: str, payload: Mapping[str, Any] | None = None
+    ) -> dict[str, Any]:
+        """Send one read to the freshest eligible node.
+
+        Candidate order: replicas with ``lag_records`` under the threshold
+        (freshest first), then the primary, then over-threshold replicas
+        as a last resort.  Each failed candidate falls through to the
+        next; a fully failed pass re-discovers and backs off.
+        """
+        last_error: Exception | None = None
+        for attempt in range(1, self.policy.max_attempts + 1):
+            if self._primary is None and not self._replicas:
+                self.discover()
+            for address in self._read_candidates():
+                try:
+                    return self._request(address, method, path, payload)
+                except (ServerError, OSError) as error:
+                    if isinstance(error, ServerError) and error.status in (400, 404):
+                        raise  # the request itself is bad; another node won't help
+                    last_error = error
+            self._primary = None
+            self._replicas = []
+            if attempt < self.policy.max_attempts:
+                self.policy.sleep(self.policy.delay_for(attempt, self._rng))
+        raise NoPrimaryError(
+            f"read failed on every node after {self.policy.max_attempts} "
+            f"attempts: {type(last_error).__name__}: {last_error}"
+        )
+
+    def _read_candidates(self) -> list[str]:
+        fresh = [
+            address
+            for address, lag in self._replicas
+            if lag <= self.lag_threshold
+        ]
+        stale = [
+            address
+            for address, lag in self._replicas
+            if lag > self.lag_threshold
+        ]
+        if not self.prefer_replicas:
+            fresh, stale = [], fresh + stale
+        candidates = fresh
+        if self._primary is not None:
+            candidates = candidates + [self._primary]
+        return candidates + stale
+
+    # ------------------------------------------------------------------
+    # the NepalClient-shaped surface
+    # ------------------------------------------------------------------
+
+    def query(self, text: str) -> dict[str, Any]:
+        return self.read("POST", "/query", {"query": text})
+
+    def insert_node(
+        self, class_name: str, fields: Mapping[str, Any] | None = None
+    ) -> int:
+        return self.write(
+            "POST", "/write",
+            {"op": "insert_node", "class": class_name, "fields": fields},
+        )["uid"]
+
+    def insert_edge(
+        self,
+        class_name: str,
+        source: int,
+        target: int,
+        fields: Mapping[str, Any] | None = None,
+    ) -> int:
+        return self.write(
+            "POST", "/write",
+            {
+                "op": "insert_edge", "class": class_name,
+                "source": source, "target": target, "fields": fields,
+            },
+        )["uid"]
+
+    def update(self, uid: int, changes: Mapping[str, Any]) -> None:
+        self.write("POST", "/write", {"op": "update", "uid": uid, "changes": changes})
+
+    def delete(self, uid: int) -> None:
+        self.write("POST", "/write", {"op": "delete", "uid": uid})
+
+    def statuses(self) -> dict[str, Any]:
+        """Fresh per-node replication statuses (runs a discovery)."""
+        return self.discover()
+
+    def wait_for_primary(self, timeout: float = 30.0, poll: float = 0.05) -> str:
+        """Block until discovery finds a primary; returns its address."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            self.discover()
+            if self._primary is not None:
+                return self._primary
+            time.sleep(poll)
+        raise NoPrimaryError(f"no primary appeared within {timeout}s")

@@ -1,6 +1,6 @@
 """HTTP serving layer: concurrent reads over one database (``nepal serve``)."""
 
-from repro.server.app import NepalServer, ServerConfig
+from repro.server.app import NepalServer, RawResponse, ServerConfig
 from repro.server.client import NepalClient, ServerError
 
-__all__ = ["NepalClient", "NepalServer", "ServerConfig", "ServerError"]
+__all__ = ["NepalClient", "NepalServer", "RawResponse", "ServerConfig", "ServerError"]

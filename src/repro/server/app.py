@@ -5,6 +5,10 @@ database over plain HTTP/JSON so many clients can read concurrently while
 the single-writer commit gate serializes mutations:
 
 * ``GET  /health``          — liveness + concurrency gauges;
+* ``GET  /healthz``         — bare liveness probe (always 200 while up);
+* ``GET  /readyz``          — readiness probe: 200 when the node should
+  receive routed traffic, 503 while a replica bootstraps or lags past
+  ``lag_threshold`` and on fenced nodes;
 * ``GET  /stats``           — the full metrics snapshot (``db.stats()``);
 * ``GET  /metrics``         — Prometheus text exposition of the metrics
   registry (``text/plain; version=0.0.4``);
@@ -17,7 +21,13 @@ the single-writer commit gate serializes mutations:
   "connect" | "update" | "delete", ...}``;
 * ``POST /snapshot``        — open a pinned :class:`ReadSnapshot`, returns
   ``{"id", "as_of", "data_version"}``;
-* ``POST /snapshot/close``  — ``{"id": <id>}``.
+* ``POST /snapshot/close``  — ``{"id": <id>}``;
+* ``GET  /replication/status|wal|snapshot`` and ``POST
+  /replication/promote|repoint|fence`` — the log-shipping protocol and
+  failover controls (see :mod:`repro.replication`).  Writes on a replica
+  answer ``307`` with a ``Location`` pointing at the primary; writes on a
+  node fenced by a higher epoch answer ``409``.  Every response carries
+  ``X-Nepal-Epoch``.
 
 Concurrency model: a bounded :class:`~concurrent.futures.ThreadPoolExecutor`
 runs the request handlers (``workers`` threads); admission control counts
@@ -48,14 +58,19 @@ import json
 import math
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, HTTPServer
 from typing import Any, Mapping
 from urllib.parse import parse_qs
 
 from repro.core.concurrency import ReadSnapshot
 from repro.core.database import NepalDB
-from repro.errors import NepalError, QueryDeadlineExceeded
+from repro.errors import (
+    FencedError,
+    NepalError,
+    NotPrimaryError,
+    QueryDeadlineExceeded,
+)
 from repro.model.elements import ElementRecord
 from repro.model.pathway import Pathway
 from repro.query.results import QueryResult
@@ -88,6 +103,9 @@ class ServerConfig:
     workers: int = 8
     queue_depth: int = 16
     deadline: float | None = None
+    #: Readiness threshold: a replica lagging more than this many records
+    #: behind its primary answers 503 on ``GET /readyz``.
+    lag_threshold: int = 1000
 
 
 @dataclass
@@ -97,11 +115,23 @@ class RequestContext:
     ``params`` holds the parsed query string (last value wins);
     ``trace_id`` is stamped onto the ``X-Nepal-Trace-Id`` response header —
     handlers that record a :class:`TraceContext` overwrite the default
-    fresh id with the trace's own.
+    fresh id with the trace's own.  ``headers`` carries the request
+    headers (the replication layer reads ``X-Nepal-Epoch`` from them).
     """
 
     params: Mapping[str, str]
     trace_id: str
+    headers: Mapping[str, str] = field(default_factory=dict)
+
+    def epoch_claim(self) -> int | None:
+        """The epoch the caller presented, if any (fencing input)."""
+        raw = self.headers.get("X-Nepal-Epoch")
+        if raw is None:
+            return None
+        try:
+            return int(raw)
+        except ValueError:
+            return None
 
     def flag(self, name: str, payload: Mapping[str, Any] | None = None) -> bool:
         """Is boolean option *name* set via query string or JSON body?"""
@@ -111,6 +141,33 @@ class RequestContext:
         if payload is not None:
             return bool(payload.get(name))
         return False
+
+
+@dataclass(frozen=True)
+class RawResponse:
+    """A handler return value that controls status, body and headers.
+
+    Route handlers normally return a ``dict`` (JSON, 200) or ``str``
+    (text, 200); the replication endpoints need binary bodies
+    (``/replication/wal``), non-200 statuses (``/readyz``) and extra
+    headers (``Location``, ``X-Nepal-Wal-Size``), which this carries.
+    """
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/octet-stream"
+    headers: Mapping[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def json(
+        cls, status: int, payload: Mapping[str, Any], headers: Mapping[str, str] | None = None
+    ) -> "RawResponse":
+        return cls(
+            status=status,
+            body=(json.dumps(payload) + "\n").encode("utf-8"),
+            content_type="application/json",
+            headers=dict(headers or {}),
+        )
 
 
 def _json_value(value: Any) -> Any:
@@ -199,11 +256,26 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- plumbing ----------------------------------------------------------
 
-    def _send_body(self, status: int, body: bytes, content_type: str, ctx: "RequestContext") -> None:
+    def _send_body(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        ctx: "RequestContext",
+        extra_headers: Mapping[str, str] | None = None,
+    ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.send_header("X-Nepal-Trace-Id", ctx.trace_id)
+        manager = self.app.replication
+        if manager is not None:
+            # Every response advertises the node's epoch, so any client
+            # that ever talked to the new primary carries proof that
+            # fences a revived stale one.
+            self.send_header("X-Nepal-Epoch", str(manager.epoch))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -234,7 +306,9 @@ class _Handler(BaseHTTPRequestHandler):
         app._event("requests")
         path, _, query_string = self.path.partition("?")
         params = {key: values[-1] for key, values in parse_qs(query_string).items()}
-        ctx = RequestContext(params=params, trace_id=next_trace_id())
+        ctx = RequestContext(
+            params=params, trace_id=next_trace_id(), headers=dict(self.headers)
+        )
         try:
             handler = app.routes.get((method, path))
             if handler is None:
@@ -242,13 +316,40 @@ class _Handler(BaseHTTPRequestHandler):
                 return
             payload = self._read_body() if method == "POST" else {}
             response = handler(payload, ctx)
-            if isinstance(response, str):
+            if isinstance(response, RawResponse):
+                self._send_body(
+                    response.status, response.body, response.content_type,
+                    ctx, response.headers,
+                )
+            elif isinstance(response, str):
                 self._send_text(200, response, ctx)
             else:
                 self._send_json(200, response, ctx)
         except QueryDeadlineExceeded as error:
             app._event("deadline_exceeded")
             self._send_json(504, {"error": str(error)}, ctx)
+        except NotPrimaryError as error:
+            # A write reached a replica: answer with a redirect so even a
+            # cluster-unaware client can follow it to the primary.
+            app._event("not_primary")
+            headers = (
+                {"Location": f"http://{error.primary}{self.path}"}
+                if error.primary
+                else {}
+            )
+            self._send_body(
+                307,
+                (json.dumps({"error": str(error), "primary": error.primary}) + "\n")
+                .encode("utf-8"),
+                "application/json",
+                ctx,
+                headers,
+            )
+        except FencedError as error:
+            app._event("fenced_write_rejected")
+            self._send_json(
+                409, {"error": str(error), "fenced_by": error.epoch}, ctx
+            )
         except (NepalError, json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
             app._event("errors")
             self._send_json(400, {"error": f"{type(error).__name__}: {error}"}, ctx)
@@ -273,10 +374,20 @@ class NepalServer:
     >>> server.stop()
     """
 
-    def __init__(self, db: NepalDB, config: ServerConfig | None = None):
+    def __init__(
+        self,
+        db: NepalDB,
+        config: ServerConfig | None = None,
+        replication: "object | None" = None,
+    ):
+        from repro.replication.manager import ReplicationManager
+
         self.db = db
         self.config = config or ServerConfig()
         self.metrics = db.metrics
+        self.replication: ReplicationManager = (
+            replication or ReplicationManager(db)
+        )
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.workers, thread_name_prefix="nepal-http"
         )
@@ -290,6 +401,8 @@ class NepalServer:
         self._serve_thread: threading.Thread | None = None
         self.routes = {
             ("GET", "/health"): self._route_health,
+            ("GET", "/healthz"): self._route_healthz,
+            ("GET", "/readyz"): self._route_readyz,
             ("GET", "/stats"): self._route_stats,
             ("GET", "/metrics"): self._route_metrics,
             ("GET", "/slowlog"): self._route_slowlog,
@@ -297,6 +410,12 @@ class NepalServer:
             ("POST", "/write"): self._route_write,
             ("POST", "/snapshot"): self._route_snapshot_open,
             ("POST", "/snapshot/close"): self._route_snapshot_close,
+            ("GET", "/replication/status"): self._route_replication_status,
+            ("GET", "/replication/wal"): self._route_replication_wal,
+            ("GET", "/replication/snapshot"): self._route_replication_snapshot,
+            ("POST", "/replication/promote"): self._route_replication_promote,
+            ("POST", "/replication/repoint"): self._route_replication_repoint,
+            ("POST", "/replication/fence"): self._route_replication_fence,
         }
 
     # -- lifecycle ---------------------------------------------------------
@@ -336,6 +455,21 @@ class NepalServer:
             self._snapshots.clear()
         for snapshot in leftover:
             snapshot.close()
+
+    def graceful_stop(self) -> None:
+        """Drain and shut down in order, leaving a clean journal behind.
+
+        The SIGTERM path of ``nepal serve``: stop accepting connections,
+        stop background replication (the puller thread), wait for every
+        in-flight request to finish on the worker pool, close any
+        snapshots clients left open, then flush and close the WAL.  After
+        this the process can exit without losing an acknowledged write —
+        and a replica's journal ends exactly at its last commit boundary.
+        """
+        self._event("graceful_stop")
+        self.replication.shutdown()
+        self.stop()  # shutdown() waits out in-flight handlers, then closes snapshots
+        self.db.close()
 
     def __enter__(self) -> "NepalServer":
         return self.start()
@@ -386,6 +520,28 @@ class NepalServer:
             "data_version": self.db.store.data_version,
         }
 
+    def _route_healthz(
+        self, payload: Mapping[str, Any], ctx: RequestContext
+    ) -> dict[str, Any]:
+        """Liveness: the process is up and handling requests.  Always 200
+        — orchestration restarts on liveness failure, so this must not
+        flap with replication lag (that is :meth:`_route_readyz`)."""
+        return {"status": "alive"}
+
+    def _route_readyz(
+        self, payload: Mapping[str, Any], ctx: RequestContext
+    ) -> RawResponse:
+        """Readiness: should this node receive routed traffic?
+
+        A primary is ready once recovery completed (construction is
+        synchronous, so: always).  A replica is ready when its stream is
+        live and record lag is under ``config.lag_threshold``.  A fenced
+        node is never ready.  Not-ready answers 503, the conventional
+        probe contract.
+        """
+        ready, detail = self.replication.readiness(self.config.lag_threshold)
+        return RawResponse.json(200 if ready else 503, {"ready": ready, **detail})
+
     def _route_stats(
         self, payload: Mapping[str, Any], ctx: RequestContext
     ) -> dict[str, Any]:
@@ -435,6 +591,10 @@ class NepalServer:
     def _route_write(
         self, payload: Mapping[str, Any], ctx: RequestContext
     ) -> dict[str, Any]:
+        # Replication gate first: replicas redirect (307), fenced nodes
+        # refuse (409), and a client presenting a higher epoch fences a
+        # stale primary before its write can diverge the history.
+        self.replication.check_writable(ctx.epoch_claim())
         op = payload.get("op")
         self._event("writes")
         db = self.db
@@ -492,6 +652,97 @@ class NepalServer:
             raise NepalError(f"unknown snapshot id {snapshot_id!r}")
         snapshot.close()
         return {"closed": snapshot_id}
+
+    # -- replication routes ------------------------------------------------
+
+    def _require_durable(self):
+        durable = self.db.durable_store()
+        if durable is None:
+            from repro.errors import ReplicationError
+
+            raise ReplicationError(
+                "this node has no durable store to replicate "
+                "(start it with --data-dir)"
+            )
+        return durable
+
+    def _route_replication_status(
+        self, payload: Mapping[str, Any], ctx: RequestContext
+    ) -> dict[str, Any]:
+        return self.replication.status()
+
+    def _route_replication_wal(
+        self, payload: Mapping[str, Any], ctx: RequestContext
+    ) -> RawResponse:
+        """Serve committed journal bytes from ``?offset=`` (log shipping).
+
+        The chunk may end mid-frame; the replica's decoder buffers the
+        split.  An offset beyond the journal answers ``416`` — the
+        caller's position predates a checkpoint truncation and it must
+        re-base or resync (see the puller's truncation handling).
+        """
+        from repro.errors import StorageError
+
+        durable = self._require_durable()
+        offset = int(ctx.params.get("offset", 0))
+        limit = int(ctx.params.get("limit", 1 << 20))
+        try:
+            chunk, committed = durable.read_wal(offset, limit)
+        except StorageError as error:
+            return RawResponse.json(
+                416, {"error": str(error), "wal_bytes": durable.wal_bytes}
+            )
+        self.metrics.event("replication.wal_served")
+        return RawResponse(
+            status=200,
+            body=bytes(chunk),
+            content_type="application/octet-stream",
+            headers={
+                "X-Nepal-Wal-Size": str(committed),
+                "X-Nepal-Last-Lsn": str(durable.last_lsn),
+            },
+        )
+
+    def _route_replication_snapshot(
+        self, payload: Mapping[str, Any], ctx: RequestContext
+    ) -> RawResponse:
+        """A consistent bootstrap snapshot (compacted history + manifest)."""
+        durable = self._require_durable()
+        data, last_lsn, _epoch = durable.snapshot_stream()
+        return RawResponse(
+            status=200,
+            body=data,
+            content_type="application/octet-stream",
+            headers={"X-Nepal-Last-Lsn": str(last_lsn)},
+        )
+
+    def _route_replication_promote(
+        self, payload: Mapping[str, Any], ctx: RequestContext
+    ) -> dict[str, Any]:
+        status = self.replication.promote()
+        return {"promoted": True, **status}
+
+    def _route_replication_repoint(
+        self, payload: Mapping[str, Any], ctx: RequestContext
+    ) -> dict[str, Any]:
+        primary = payload.get("primary")
+        if not isinstance(primary, str) or not primary:
+            raise NepalError(
+                "POST /replication/repoint requires a 'primary' host:port"
+            )
+        self.replication.repoint(primary)
+        return self.replication.status()
+
+    def _route_replication_fence(
+        self, payload: Mapping[str, Any], ctx: RequestContext
+    ) -> dict[str, Any]:
+        epoch = payload.get("epoch")
+        if not isinstance(epoch, int):
+            raise NepalError(
+                "POST /replication/fence requires an integer 'epoch'"
+            )
+        self.replication.fence(epoch)
+        return self.replication.status()
 
     def _held_snapshot(self, snapshot_id: Any) -> ReadSnapshot:
         with self._snapshot_lock:

@@ -2,25 +2,60 @@
 
 Stdlib-only (``http.client``); one connection per request, matching the
 server's HTTP/1.0 one-request-per-connection admission model.  Used by the
-load-test walkthrough in the README and the concurrency test suite — but
-any HTTP client works, the protocol is plain JSON.
+load-test walkthrough in the README, the concurrency test suite and the
+replication layer — but any HTTP client works, the protocol is plain JSON
+(plus raw octet streams on the ``/replication/wal`` and
+``/replication/snapshot`` endpoints, fetched via :meth:`NepalClient.raw_request`).
+
+Admission control: a saturated server answers ``503`` with a
+``Retry-After`` header.  The client honours it — it sleeps the advertised
+interval and retries, up to ``retry_503`` extra attempts — instead of
+surfacing the transient rejection to the caller.  The ``sleep`` callable is
+injectable so tests verify the behaviour on a fake clock without real
+waiting.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
-from typing import Any, Mapping
+import time
+from typing import Any, Callable, Mapping
 
 from repro.errors import NepalError
 
 
 class ServerError(NepalError):
-    """A non-2xx response from the server, carrying the HTTP status."""
+    """A non-2xx response from the server, carrying the HTTP status.
 
-    def __init__(self, message: str, status: int):
+    ``retry_after`` is the parsed ``Retry-After`` header (seconds) when the
+    response carried one, and ``headers`` the full response header map —
+    cluster-aware callers read ``X-Nepal-Epoch`` and ``Location`` from it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int,
+        retry_after: float | None = None,
+        headers: Mapping[str, str] | None = None,
+    ):
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
+        self.headers = dict(headers or {})
+
+
+def _parse_retry_after(value: str | None) -> float | None:
+    """The ``Retry-After`` header as seconds (delta form only; HTTP-date
+    forms are ignored — this server never sends them)."""
+    if value is None:
+        return None
+    try:
+        seconds = float(value)
+    except ValueError:
+        return None
+    return max(0.0, seconds)
 
 
 class NepalClient:
@@ -30,45 +65,105 @@ class NepalClient:
     >>> client.query("Retrieve P From PATHS P Where P MATCHES Host()")
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        retry_503: int = 2,
+        max_retry_after: float = 5.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry_503 = retry_503
+        self.max_retry_after = max_retry_after
+        self.sleep = sleep
 
     # -- transport ---------------------------------------------------------
 
-    def request(
-        self, method: str, path: str, payload: Mapping[str, Any] | None = None
-    ) -> dict[str, Any]:
-        body = None if payload is None else json.dumps(payload).encode("utf-8")
-        headers = {"Content-Type": "application/json"} if body else {}
+    def raw_request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        headers: Mapping[str, str] | None = None,
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One HTTP round trip: ``(status, headers, body bytes)``.
+
+        No status interpretation and no retries — the binary transport the
+        replication puller uses for WAL chunks and snapshot streams.
+        """
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
         try:
-            connection.request(method, path, body=body, headers=headers)
+            connection.request(method, path, body=body, headers=dict(headers or {}))
             response = connection.getresponse()
             raw = response.read()
-            status = response.status
+            return response.status, dict(response.getheaders()), raw
         finally:
             connection.close()
-        try:
-            decoded = json.loads(raw.decode("utf-8")) if raw else {}
-        except json.JSONDecodeError:
-            decoded = {"error": raw.decode("utf-8", "replace").strip()}
-        if status >= 300:
-            raise ServerError(
-                decoded.get("error", f"HTTP {status}"), status=status
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Mapping[str, Any] | None = None,
+        headers: Mapping[str, str] | None = None,
+    ) -> dict[str, Any]:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        send_headers = dict(headers or {})
+        if body is not None:
+            send_headers.setdefault("Content-Type", "application/json")
+        attempts_left = max(0, self.retry_503)
+        while True:
+            status, response_headers, raw = self.raw_request(
+                method, path, body=body, headers=send_headers
             )
-        return decoded
+            try:
+                decoded = json.loads(raw.decode("utf-8")) if raw else {}
+            except json.JSONDecodeError:
+                decoded = {"error": raw.decode("utf-8", "replace").strip()}
+            if status < 300:
+                return decoded
+            retry_after = _parse_retry_after(response_headers.get("Retry-After"))
+            if status == 503 and retry_after is not None and attempts_left > 0:
+                # Admission control said "come back shortly": honour it
+                # rather than failing a request the server could serve in
+                # a moment.  The wait is capped so a hostile header cannot
+                # park the caller.
+                attempts_left -= 1
+                self.sleep(min(retry_after, self.max_retry_after))
+                continue
+            raise ServerError(
+                decoded.get("error", f"HTTP {status}"),
+                status=status,
+                retry_after=retry_after,
+                headers=response_headers,
+            )
 
     # -- convenience wrappers ----------------------------------------------
 
     def health(self) -> dict[str, Any]:
         return self.request("GET", "/health")
 
+    def healthz(self) -> dict[str, Any]:
+        return self.request("GET", "/healthz")
+
+    def readyz(self) -> dict[str, Any]:
+        """Readiness probe — raises :class:`ServerError` (503) when not ready."""
+        return self.request("GET", "/readyz")
+
     def stats(self) -> dict[str, Any]:
         return self.request("GET", "/stats")["stats"]
+
+    def replication_status(self) -> dict[str, Any]:
+        return self.request("GET", "/replication/status")
+
+    def promote(self) -> dict[str, Any]:
+        return self.request("POST", "/replication/promote", {})
 
     def query(self, text: str, snapshot: int | None = None) -> dict[str, Any]:
         payload: dict[str, Any] = {"query": text}

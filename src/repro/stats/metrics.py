@@ -145,6 +145,7 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._counters: dict[str, CacheCounters] = {}
         self._events: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
         self.timings = StageTimings()
 
     def counters(self, name: str) -> CacheCounters:
@@ -176,6 +177,28 @@ class MetricsRegistry:
         with self._lock:
             return self._events.get(name, 0)
 
+    def gauge(self, name: str, value: float) -> None:
+        """Set the named gauge to *value* (last write wins, atomic).
+
+        Gauges carry point-in-time levels that counters cannot —
+        replication lag (``replication.lag_records`` / ``lag_seconds``),
+        queue depths — and are exported next to the counters in
+        :meth:`snapshot` and :meth:`to_prometheus`.
+        """
+        with self._lock:
+            self._gauges[name] = value
+
+    def gauge_value(self, name: str, default: float = 0.0) -> float:
+        """The gauge's current level (*default* when never set)."""
+        with self._lock:
+            return self._gauges.get(name, default)
+
+    def gauges(self, prefix: str = "") -> dict[str, float]:
+        """All gauges (optionally restricted to a name prefix)."""
+        with self._lock:
+            items = sorted(self._gauges.items())
+        return {name: value for name, value in items if name.startswith(prefix)}
+
     def events(self, prefix: str = "") -> dict[str, int]:
         """All event counters (optionally restricted to a name prefix)."""
         with self._lock:
@@ -187,9 +210,11 @@ class MetricsRegistry:
         with self._lock:
             counters = dict(self._counters)
             events = dict(sorted(self._events.items()))
+            gauges = dict(sorted(self._gauges.items()))
         return {
             "caches": {name: block.snapshot() for name, block in sorted(counters.items())},
             "events": events,
+            "gauges": gauges,
             "timings": self.timings.snapshot(),
         }
 
@@ -197,6 +222,7 @@ class MetricsRegistry:
         with self._lock:
             blocks = list(self._counters.values())
             self._events.clear()
+            self._gauges.clear()
         for block in blocks:
             block.reset()
         self.timings.reset()
@@ -213,6 +239,7 @@ class MetricsRegistry:
         with self._lock:
             counters = sorted(self._counters.items())
             events = sorted(self._events.items())
+            gauges = sorted(self._gauges.items())
         timings = self.timings.snapshot()
         lines: list[str] = []
 
@@ -234,6 +261,9 @@ class MetricsRegistry:
             lines.append(
                 f'{prefix}_events_total{{event="{sanitize(name)}"}} {count}'
             )
+        lines.append(f"# TYPE {prefix}_gauge gauge")
+        for name, value in gauges:
+            lines.append(f'{prefix}_gauge{{gauge="{sanitize(name)}"}} {value}')
         lines.append(f"# TYPE {prefix}_stage_seconds_total counter")
         lines.append(f"# TYPE {prefix}_stage_calls_total counter")
         for stage, cell in sorted(timings.items()):
@@ -251,6 +281,7 @@ class MetricsRegistry:
         with self._lock:
             counters = sorted(self._counters.items())
             events = sorted(self._events.items())
+            gauges = sorted(self._gauges.items())
         lines: list[str] = []
         for name, block in counters:
             lines.append(
@@ -261,6 +292,8 @@ class MetricsRegistry:
             )
         for name, count in events:
             lines.append(f"  {name}: {count}")
+        for name, value in gauges:
+            lines.append(f"  {name}: {value:g}")
         timings = self.timings.snapshot()
         for stage, cell in sorted(timings.items()):
             lines.append(

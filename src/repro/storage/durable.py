@@ -47,10 +47,12 @@ from repro.storage.wal import (
     OP_BULK_COMMIT,
     OP_CHECKPOINT,
     OP_DELETE,
+    OP_EPOCH,
     OP_INSERT_EDGE,
     OP_INSERT_NODE,
     OP_REINSERT,
     OP_UPDATE,
+    FrameDecoder,
     WalCorruptionError,
     WalRecord,
     WalWriter,
@@ -88,6 +90,8 @@ class RecoveryReport:
     committed_offset: int = 0
     next_lsn: int = 1
     data_version: int = 0
+    epoch: int = 0
+    checkpoint_lsn: int = 0
     notes: list[str] = field(default_factory=list)
 
     @property
@@ -107,6 +111,8 @@ class RecoveryReport:
             "torn_bytes": self.torn_bytes,
             "committed_offset": self.committed_offset,
             "data_version": self.data_version,
+            "epoch": self.epoch,
+            "checkpoint_lsn": self.checkpoint_lsn,
             "clean": self.clean,
             "notes": list(self.notes),
         }
@@ -134,6 +140,26 @@ class CheckpointInfo:
     records: int
     data_version: int
     wal_bytes_truncated: int
+
+
+@dataclass(frozen=True)
+class ReplicationApplyResult:
+    """What one :meth:`DurableStore.replication_apply` call did.
+
+    ``pending_bytes`` is a split frame awaiting its next chunk;
+    ``open_batch`` a bulk batch whose ``bulk_commit`` has not arrived yet —
+    both normal mid-stream states, resolved by later chunks.  ``last_ts``
+    is the transaction timestamp of the newest applied record, the basis
+    of the ``replication.lag_seconds`` gauge.
+    """
+
+    applied: int
+    skipped: int
+    last_lsn: int
+    last_ts: float | None
+    epoch: int
+    pending_bytes: int
+    open_batch: bool
 
 
 def _apply_record(store: GraphStore, record: WalRecord) -> None:
@@ -197,6 +223,8 @@ def recover(data_dir: str | os.PathLike, store: GraphStore) -> RecoveryReport:
             store.observe_uid(manifest.last_uid)
         if manifest.dv:
             store.restore_data_version(manifest.dv)
+        report.epoch = manifest.epoch or 0
+        report.checkpoint_lsn = last_lsn
 
     scan = scan_wal(os.path.join(directory, WAL_FILE))
     report.wal_records = len(scan.records)
@@ -213,6 +241,13 @@ def recover(data_dir: str | os.PathLike, store: GraphStore) -> RecoveryReport:
         max_lsn = max(max_lsn, record.lsn)
         if record.lsn <= last_lsn:
             report.skipped += 1
+            committed = end_offset
+            continue
+        if record.op == OP_EPOCH:
+            # An epoch fence is its own commit unit: it never rides inside
+            # a batch and recovery must honour it even mid-journal, so a
+            # revived node knows the highest epoch it ever acknowledged.
+            report.epoch = max(report.epoch, record.epoch or 0)
             committed = end_offset
             continue
         if record.op == OP_BULK_BEGIN:
@@ -300,6 +335,15 @@ class DurableStore(GraphStore):
         self._crash_hook = crash_hook
         self._bulk_depth = 0
         self._closed = False
+        # Replication: set while this store follows a primary (reject local
+        # writes), plus the incremental shipping-apply state machine.
+        self._read_only: str | None = None
+        self._rep_decoder: FrameDecoder | None = None
+        self._rep_batch: list[WalRecord] | None = None
+        self._rep_stream_base = 0
+        self._rep_committed_offset = 0
+        self._rep_committed_lsn = 0
+        self._rep_last_ts: float | None = None
         # Serializes journal append + apply + sync so WAL order always
         # matches apply order under concurrent committers.  Reentrant:
         # bulk batches hold it across their member writes.
@@ -328,6 +372,8 @@ class DurableStore(GraphStore):
         else:
             self.recovery = recover(self._dir, inner)
         self._lsn = self.recovery.next_lsn - 1
+        self._epoch = self.recovery.epoch
+        self._checkpoint_lsn = self.recovery.checkpoint_lsn
         self._record_recovery_events()
         # Reopen the journal at the last committed point: torn tails and
         # uncommitted batches must not linger ahead of new appends.
@@ -441,6 +487,8 @@ class DurableStore(GraphStore):
     ) -> int:
         if self._closed:
             raise StorageError(f"durable store {self.name} is closed")
+        if self._read_only is not None:
+            raise StorageError(self._read_only)
         ts = self._stamp()
         record = WalRecord(
             lsn=self._next_lsn(), op=op, ts=ts, uid=uid, cls=cls,
@@ -599,6 +647,7 @@ class DurableStore(GraphStore):
                 lsn=0, op=OP_CHECKPOINT, ts=self._inner.clock.now(),
                 dv=self._inner.data_version, last_lsn=self._lsn,
                 last_uid=self._inner.last_uid,
+                epoch=self._epoch or None,
             )
             temp_path = os.path.join(self._dir, CHECKPOINT_TEMP)
             self._crash("checkpoint.write")
@@ -609,6 +658,7 @@ class DurableStore(GraphStore):
             self._crash("checkpoint.truncate")
             truncated = self._wal.tell()
             self._wal.truncate()
+            self._checkpoint_lsn = self._lsn
             self._event("wal.checkpoint")
             return CheckpointInfo(
                 records=len(records),
@@ -625,6 +675,278 @@ class DurableStore(GraphStore):
             os.fsync(fd)
         finally:
             os.close(fd)
+
+    # ------------------------------------------------------------------
+    # replication (log shipping; see repro.replication)
+    # ------------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Highest epoch fence this store has durably acknowledged."""
+        return self._epoch
+
+    @property
+    def last_lsn(self) -> int:
+        """The LSN of the newest journaled record."""
+        return self._lsn
+
+    @property
+    def checkpoint_lsn(self) -> int:
+        """The highest LSN covered by the on-disk checkpoint baseline.
+
+        Journal bytes below this LSN no longer exist (the checkpoint
+        truncated them); a replica whose pull offset outruns the journal
+        compares its applied LSN against this to decide between re-basing
+        at offset 0 and a full resynchronization.
+        """
+        return self._checkpoint_lsn
+
+    def set_read_only(self, reason: str | None) -> None:
+        """Reject local writes (``reason`` becomes the error text).
+
+        A replication replica applies shipped records only; a fenced
+        ex-primary applies nothing at all.  ``None`` re-enables writes
+        (promotion).
+        """
+        with self._commit_lock:
+            self._read_only = reason
+
+    @property
+    def read_only(self) -> bool:
+        return self._read_only is not None
+
+    def stamp_epoch(self, epoch: int) -> int:
+        """Journal and fsync an epoch fence record; returns its LSN.
+
+        Promotion calls this *before* accepting writes, so every record the
+        new primary ships carries proof of its term: a revived old primary
+        replaying or receiving records with a higher epoch knows it has
+        been superseded.
+        """
+        with self._commit_lock:
+            if epoch <= self._epoch:
+                raise StorageError(
+                    f"epoch must increase: {epoch} <= current {self._epoch}"
+                )
+            if self._closed:
+                raise StorageError(f"durable store {self.name} is closed")
+            record = WalRecord(
+                lsn=self._next_lsn(), op=OP_EPOCH,
+                ts=self._stamp(), epoch=epoch,
+            )
+            self._wal.append(record)
+            self._commit_point()
+            self._epoch = epoch
+            self._event("replication.epoch_stamped")
+            return record.lsn
+
+    def read_wal(self, offset: int, limit: int = 1 << 20) -> tuple[bytes, int]:
+        """Journal bytes from *offset* (primary side of log shipping).
+
+        Returns ``(chunk, committed_size)`` where ``committed_size`` is the
+        journal length excluding any rolled-back tail.  The chunk may end
+        mid-frame — the replica's :class:`~repro.storage.wal.FrameDecoder`
+        buffers the split.  Raises :class:`StorageError` when *offset* lies
+        beyond the journal (the caller's position predates a checkpoint
+        truncation and it must resynchronize).
+        """
+        with self._commit_lock:
+            committed = self._wal.tell()
+            if offset < 0 or offset > committed:
+                raise StorageError(
+                    f"wal offset {offset} out of range (journal is "
+                    f"{committed} bytes; truncated by a checkpoint?)"
+                )
+            if offset == committed:
+                return b"", committed
+            with open(self._wal.path, "rb") as handle:
+                handle.seek(offset)
+                data = handle.read(min(limit, committed - offset))
+            return data, committed
+
+    def snapshot_stream(self) -> tuple[bytes, int, int]:
+        """A bootstrap snapshot: ``(framed bytes, last_lsn, epoch)``.
+
+        The same compacted-history stream a checkpoint writes, rendered to
+        bytes under the commit lock so it is a consistent cut: the manifest
+        ``last_lsn`` tells the replica which journal records the snapshot
+        already covers.
+        """
+        with self._commit_lock:
+            records = compact_history(self._inner)
+            manifest = WalRecord(
+                lsn=0, op=OP_CHECKPOINT, ts=self._inner.clock.now(),
+                dv=self._inner.data_version, last_lsn=self._lsn,
+                last_uid=self._inner.last_uid,
+                epoch=self._epoch or None,
+            )
+            from repro.storage.wal import encode_frame
+
+            data = b"".join(encode_frame(r) for r in [*records, manifest])
+            self._event("replication.snapshot_served")
+            return data, self._lsn, self._epoch
+
+    def install_snapshot(self, data: bytes) -> int:
+        """Bootstrap this (empty) store from a primary's snapshot stream.
+
+        The bytes become the local ``checkpoint.wal`` (temp + fsync +
+        atomic replace, like a local checkpoint), the records are applied
+        through the write path with the clock pinned to each timestamp,
+        and the LSN/uid/epoch high-water marks jump to the manifest's.
+        After this the replica pulls the primary's journal from offset 0;
+        records the snapshot covers are skipped by their LSN.
+        """
+        with self._commit_lock:
+            if self._inner.known_uids():
+                raise StorageError(
+                    "snapshot install requires an empty store; restart the "
+                    "replica with a fresh data directory to resynchronize"
+                )
+            decoder = FrameDecoder()
+            parsed = decoder.feed(data)
+            if decoder.pending:
+                raise WalCorruptionError(
+                    f"snapshot stream ends mid-frame ({decoder.pending} "
+                    "trailing bytes)"
+                )
+            if not parsed or parsed[-1][0].op != OP_CHECKPOINT:
+                raise WalCorruptionError(
+                    "snapshot stream has no trailing checkpoint manifest"
+                )
+            manifest = parsed[-1][0]
+            temp_path = os.path.join(self._dir, CHECKPOINT_TEMP)
+            with open(temp_path, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_path, os.path.join(self._dir, CHECKPOINT_FILE))
+            self._fsync_dir()
+            for record, _ in parsed[:-1]:
+                _apply_record(self._inner, record)
+            if manifest.last_uid:
+                self._inner.observe_uid(manifest.last_uid)
+            if manifest.dv:
+                self._inner.restore_data_version(manifest.dv)
+            self._lsn = manifest.last_lsn or 0
+            self._epoch = manifest.epoch or 0
+            self._checkpoint_lsn = self._lsn
+            self._wal.truncate()
+            self._rep_decoder = FrameDecoder()
+            self._rep_batch = None
+            self._rep_stream_base = 0
+            self._rep_committed_offset = 0
+            self._rep_committed_lsn = self._lsn
+            self._event("replication.snapshot_installed")
+            return len(parsed) - 1
+
+    def begin_replication(self, reason: str) -> None:
+        """Enter follower mode: local writes rejected, apply state armed."""
+        with self._commit_lock:
+            self._read_only = reason
+            self._rep_decoder = FrameDecoder()
+            self._rep_batch = None
+            self._rep_stream_base = self._wal.tell()
+            self._rep_committed_offset = self._rep_stream_base
+            self._rep_committed_lsn = self._lsn
+
+    def end_replication(self) -> None:
+        """Leave follower mode (promotion or shutdown).
+
+        Any shipped-but-uncommitted residue — a split frame, a batch whose
+        ``bulk_commit`` never arrived — is rolled back to the last commit
+        boundary, exactly what recovery would discard, so the journal never
+        interleaves stale batch members with post-promotion writes.
+        """
+        with self._commit_lock:
+            if self._rep_decoder is None:
+                self._read_only = None
+                return
+            self._wal.rollback_to(self._rep_committed_offset)
+            self._wal.sync()
+            self._lsn = self._rep_committed_lsn
+            self._rep_decoder = None
+            self._rep_batch = None
+            self._read_only = None
+
+    def replication_apply(self, data: bytes) -> "ReplicationApplyResult":
+        """Append shipped journal bytes and apply the records they complete.
+
+        The bytes land in the local journal verbatim (replica WAL files are
+        byte-identical prefixes of the primary's), then every frame the
+        chunk completes is applied through the same path recovery uses:
+        clock pinned to the record's timestamp, batches buffered until
+        their ``bulk_commit``, records at or below the local LSN skipped as
+        already present (snapshot coverage or a pull overlap after
+        recovery).
+        """
+        with self._commit_lock:
+            if self._rep_decoder is None:
+                raise StorageError(
+                    "not in replication mode (call begin_replication first)"
+                )
+            if self._closed:
+                raise StorageError(f"durable store {self.name} is closed")
+            applied = skipped = 0
+            self._wal.append_raw(data)
+            for record, end in self._rep_decoder.feed(data):
+                offset = self._rep_stream_base + end
+                if record.op == OP_EPOCH:
+                    self._epoch = max(self._epoch, record.epoch or 0)
+                    self._lsn = max(self._lsn, record.lsn)
+                    self._commit_boundary(offset)
+                    continue
+                if record.lsn <= self._rep_committed_lsn:
+                    skipped += 1
+                    self._commit_boundary(offset, lsn=None)
+                    continue
+                if record.op == OP_BULK_BEGIN:
+                    self._rep_batch = []
+                    continue
+                if record.op == OP_BULK_COMMIT:
+                    for member in self._rep_batch or ():
+                        self._apply_shipped(member)
+                        applied += 1
+                    self._rep_batch = None
+                    self._lsn = max(self._lsn, record.lsn)
+                    self._commit_boundary(offset)
+                    continue
+                if record.op not in MUTATION_OPS:
+                    self._commit_boundary(offset, lsn=None)
+                    continue
+                if self._rep_batch is not None:
+                    self._rep_batch.append(record)
+                    continue
+                self._apply_shipped(record)
+                applied += 1
+                self._lsn = max(self._lsn, record.lsn)
+                self._commit_boundary(offset)
+            if self._sync_policy != "none" and data:
+                self._wal.sync()
+            if applied:
+                self._event("replication.applied", applied)
+            return ReplicationApplyResult(
+                applied=applied,
+                skipped=skipped,
+                last_lsn=self._lsn,
+                last_ts=self._rep_last_ts,
+                epoch=self._epoch,
+                pending_bytes=self._rep_decoder.pending,
+                open_batch=self._rep_batch is not None,
+            )
+
+    def _commit_boundary(self, offset: int, lsn: int | None = 0) -> None:
+        """Advance the replica's durable boundary to *offset* (a record end
+        that is not inside an open batch)."""
+        self._rep_committed_offset = offset
+        if lsn is not None:
+            self._rep_committed_lsn = self._lsn
+
+    def _apply_shipped(self, record: WalRecord) -> None:
+        _apply_record(self._inner, record)
+        if record.ts is not None:
+            self._rep_last_ts = record.ts
+        if record.dv is not None:
+            self._inner.restore_data_version(record.dv + 1)
 
     # ------------------------------------------------------------------
     # data versioning (delegated to the inner store)

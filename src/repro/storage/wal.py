@@ -53,6 +53,10 @@ OP_BULK_BEGIN = "bulk_begin"
 OP_BULK_COMMIT = "bulk_commit"
 #: Checkpoint manifest (trailing record of a checkpoint file).
 OP_CHECKPOINT = "checkpoint"
+#: Epoch fence: stamped into the WAL when a node is promoted to primary.
+#: A node whose highest journaled epoch is lower than the cluster's is a
+#: revived stale primary and must refuse writes (see repro.replication).
+OP_EPOCH = "epoch"
 
 MUTATION_OPS = frozenset(
     {OP_INSERT_NODE, OP_INSERT_EDGE, OP_UPDATE, OP_DELETE, OP_REINSERT}
@@ -72,7 +76,9 @@ class WalRecord:
     reproduced with identical validity intervals.  ``dv`` is the store's
     ``data_version`` *before* the op was applied; recovery uses it to
     restore the counter monotonically.  ``last_lsn`` / ``last_uid`` are
-    only set on ``checkpoint`` manifests.
+    only set on ``checkpoint`` manifests.  ``epoch`` is set on ``epoch``
+    fence records and on checkpoint manifests written by a replicated
+    node.
     """
 
     lsn: int
@@ -86,11 +92,12 @@ class WalRecord:
     dv: int | None = None
     last_lsn: int | None = None
     last_uid: int | None = None
+    epoch: int | None = None
 
     def to_payload(self) -> bytes:
         document: dict[str, Any] = {"lsn": self.lsn, "op": self.op}
         for key in ("ts", "uid", "cls", "fields", "source", "target", "dv",
-                    "last_lsn", "last_uid"):
+                    "last_lsn", "last_uid", "epoch"):
             value = getattr(self, key)
             if value is not None:
                 document[key] = value
@@ -111,12 +118,72 @@ class WalRecord:
             dv=document.get("dv"),
             last_lsn=document.get("last_lsn"),
             last_uid=document.get("last_uid"),
+            epoch=document.get("epoch"),
         )
 
 
 def encode_frame(record: WalRecord) -> bytes:
     payload = record.to_payload()
     return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser for byte streams that arrive in chunks.
+
+    Log shipping moves the WAL in arbitrarily sized chunks, so a frame may
+    be split anywhere — header, payload, even mid-CRC.  The decoder buffers
+    the undecodable tail between :meth:`feed` calls and yields each record
+    exactly once, as soon as its last byte arrives.  Unlike the torn *tail*
+    of a crashed journal, a CRC mismatch or undecodable payload mid-stream
+    is corruption (the primary only ships bytes it committed) and raises
+    :class:`WalCorruptionError`.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self.consumed = 0
+        """Bytes decoded into complete records so far (stream offset of the
+        first still-buffered byte)."""
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered awaiting the rest of a split frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[tuple[WalRecord, int]]:
+        """Absorb one chunk; return ``(record, end_offset)`` for every
+        record it completed, in order.  ``end_offset`` is the stream offset
+        just past the record — the replica's commit-boundary bookkeeping —
+        measured from the first byte ever fed."""
+        self._buffer.extend(data)
+        base = self.consumed
+        records: list[tuple[WalRecord, int]] = []
+        position = 0
+        while True:
+            header = self._buffer[position:position + _FRAME.size]
+            if len(header) < _FRAME.size:
+                break
+            length, checksum = _FRAME.unpack(bytes(header))
+            end = position + _FRAME.size + length
+            if len(self._buffer) < end:
+                break
+            payload = bytes(self._buffer[position + _FRAME.size:end])
+            if zlib.crc32(payload) != checksum:
+                raise WalCorruptionError(
+                    f"shipped frame checksum mismatch at stream offset "
+                    f"{base + position}"
+                )
+            try:
+                records.append((WalRecord.from_payload(payload), base + end))
+            except (ValueError, KeyError) as error:
+                raise WalCorruptionError(
+                    f"undecodable shipped frame at stream offset "
+                    f"{base + position}: {error}"
+                ) from error
+            position = end
+        del self._buffer[:position]
+        self.consumed += position
+        return records
 
 
 class WalWriter:
@@ -150,6 +217,22 @@ class WalWriter:
         self._file.write(frame)
         self._file.flush()
         self._offset = offset + len(frame)
+        return offset
+
+    def append_raw(self, data: bytes) -> int:
+        """Write pre-framed bytes verbatim; returns the offset they start at.
+
+        Log shipping appends the primary's journal bytes unmodified — the
+        frames were validated when the primary wrote them, and copying them
+        byte-for-byte keeps replica journals identical to the primary's.
+        The chunk may end mid-frame; the torn-tail-tolerant scan handles
+        that exactly as it handles a crash, and the next chunk completes
+        the frame.
+        """
+        offset = self._offset
+        self._file.write(data)
+        self._file.flush()
+        self._offset = offset + len(data)
         return offset
 
     def sync(self) -> None:

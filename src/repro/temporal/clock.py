@@ -42,6 +42,17 @@ class TransactionClock:
         self._current = max(self._current, time.time())
         return self._current
 
+    def pin(self) -> float:
+        """Pin the clock at its current value without moving it.
+
+        A replication replica pins its clock before serving: reads must not
+        chase the local wall clock past the primary's transaction stamps,
+        or applying a shipped record would mean moving time backwards.
+        After pinning, time only advances when shipped records are applied.
+        """
+        self._pinned = True
+        return self._current
+
     def set(self, timestamp: float) -> float:
         """Pin the clock at *timestamp* (must not move backwards)."""
         if timestamp < self._current:

@@ -1,0 +1,44 @@
+"""Shared fixtures for the replication suite: in-process server pairs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import NepalDB
+from repro.server import NepalClient, NepalServer, ServerConfig
+
+
+@pytest.fixture
+def primary(tmp_path):
+    """A durable primary server with a client."""
+    db = NepalDB(data_dir=str(tmp_path / "primary"))
+    server = NepalServer(db, ServerConfig(port=0, workers=4, queue_depth=8))
+    server.start()
+    yield server, NepalClient(*server.address)
+    server.graceful_stop()
+
+
+@pytest.fixture
+def replica_of(tmp_path):
+    """Factory: spin up a replica of a given server; cleaned up in order."""
+    spawned: list[NepalServer] = []
+
+    def make(primary_server: NepalServer, name: str = "replica") -> tuple[NepalServer, NepalClient]:
+        db = NepalDB(data_dir=str(tmp_path / name))
+        server = NepalServer(db, ServerConfig(port=0, workers=4, queue_depth=8))
+        server.start()
+        server.replication.become_replica("%s:%d" % primary_server.address)
+        spawned.append(server)
+        return server, NepalClient(*server.address)
+
+    yield make
+    for server in spawned:
+        server.graceful_stop()
+
+
+def wait_caught_up(replica_server: NepalServer, timeout: float = 15.0) -> None:
+    puller = replica_server.replication._puller
+    assert puller is not None, "server is not replicating"
+    assert puller.wait_caught_up(timeout=timeout), (
+        f"replica never caught up: {puller.status()}"
+    )

@@ -1,0 +1,221 @@
+"""In-process log shipping: DurableStore's replication surface.
+
+Ships real WAL bytes from one store to another through the same
+``read_wal`` → ``replication_apply`` path the HTTP puller uses, with no
+network in between, and checks the replica comes out byte- and
+history-identical under every awkward chunking the wire can produce.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import StorageError
+from repro.schema.registry import Schema
+from repro.storage.durable import WAL_FILE, DurableStore
+from repro.storage.wal import history_digest, scan_wal
+from repro.temporal.clock import TransactionClock
+
+T0 = 1_000.0
+
+
+def build_schema() -> Schema:
+    schema = Schema("replication-test")
+    schema.define_node("Box", fields={"status": "string", "size": "integer"})
+    schema.define_edge("Link", fields={"weight": "integer"})
+    return schema
+
+
+def open_store(path, **kw) -> DurableStore:
+    kw.setdefault("clock", TransactionClock(start=T0))
+    return DurableStore.open(path, build_schema(), **kw)
+
+
+def populate(store, n: int = 6) -> list[int]:
+    uids = [store.insert_node("Box", {"status": "up", "size": i}) for i in range(n)]
+    if n >= 4:
+        store.insert_edge("Link", uids[0], uids[1], {"weight": 3})
+        store.update_element(uids[2], {"status": "down"})
+        store.delete_element(uids[3])
+    return uids
+
+
+def ship(primary: DurableStore, replica: DurableStore, chunk: int) -> None:
+    """Pump the primary's whole journal into the replica, *chunk* bytes at
+    a time, exactly as the puller would."""
+    offset = replica.wal_bytes
+    while True:
+        data, committed = primary.read_wal(offset, limit=chunk)
+        if not data:
+            break
+        replica.replication_apply(data)
+        offset += len(data)
+        if offset >= committed:
+            break
+
+
+@pytest.fixture
+def pair(tmp_path):
+    primary = open_store(tmp_path / "primary")
+    replica = open_store(tmp_path / "replica")
+    replica.begin_replication("test")
+    yield primary, replica
+    primary.close()
+    replica.close()
+
+
+class TestApply:
+    @pytest.mark.parametrize("chunk", [1, 3, 7, 64, 1 << 16])
+    def test_replica_history_identical_at_every_chunk_size(self, pair, chunk):
+        primary, replica = pair
+        populate(primary)
+        ship(primary, replica, chunk)
+        assert history_digest(replica.inner) == history_digest(primary.inner)
+        assert replica.last_lsn == primary.last_lsn
+
+    def test_replica_wal_is_byte_identical_prefix(self, pair, tmp_path):
+        primary, replica = pair
+        populate(primary)
+        ship(primary, replica, 11)
+        primary_wal = (tmp_path / "primary" / WAL_FILE).read_bytes()
+        replica_wal = (tmp_path / "replica" / WAL_FILE).read_bytes()
+        assert primary_wal == replica_wal
+
+    def test_same_uids_allocated(self, pair):
+        primary, replica = pair
+        populate(primary)
+        ship(primary, replica, 5)
+        fresh_p = primary.insert_node("Box", {"status": "next"})
+        # The replica's uid counter advanced identically, so a promoted
+        # replica hands out the same uid the primary would have.
+        replica.end_replication()
+        fresh_r = replica.insert_node("Box", {"status": "next"})
+        assert fresh_r == fresh_p
+
+    def test_torn_frame_held_pending_across_chunks(self, pair):
+        primary, replica = pair
+        populate(primary, n=2)
+        data, _ = primary.read_wal(0)
+        cut = len(data) - 4
+        result = replica.replication_apply(data[:cut])
+        assert result.pending_bytes > 0
+        before = result.applied
+        result = replica.replication_apply(data[cut:])
+        assert result.pending_bytes == 0
+        assert result.applied >= 1
+        assert replica.last_lsn == primary.last_lsn
+        assert before + result.applied == len(scan_wal_records(primary))
+
+    def test_bulk_batch_applies_atomically(self, pair):
+        primary, replica = pair
+        with primary.bulk():
+            a = primary.insert_node("Box", {"status": "a"})
+            b = primary.insert_node("Box", {"status": "b"})
+            primary.insert_edge("Link", a, b, {"weight": 1})
+        data, _ = primary.read_wal(0)
+        # Feed everything except the trailing bulk_commit frame: the batch
+        # must stay open (nothing visible yet at the store level is an
+        # implementation detail, but the result must say open_batch).
+        result = replica.replication_apply(data[:-20])
+        assert result.open_batch or result.pending_bytes > 0
+        result = replica.replication_apply(data[-20:])
+        assert not result.open_batch
+        assert result.pending_bytes == 0
+        assert history_digest(replica.inner) == history_digest(primary.inner)
+
+    def test_idempotent_reapply_skips_old_lsns(self, pair):
+        primary, replica = pair
+        populate(primary, n=3)
+        data, _ = primary.read_wal(0)
+        replica.replication_apply(data)
+        first_digest = history_digest(replica.inner)
+        # The puller re-fetches from its offset after a failure; feeding the
+        # same bytes again must be a no-op, not a double-apply.  (Restart
+        # the byte-stream bookkeeping to simulate a reconnect from 0.)
+        replica.end_replication()
+        replica.begin_replication("reconnect")
+        result = replica.replication_apply(data)
+        assert result.applied == 0
+        assert result.skipped > 0
+        assert history_digest(replica.inner) == first_digest
+
+    def test_read_wal_out_of_range_offset_raises(self, pair):
+        primary, _ = pair
+        populate(primary, n=1)
+        _, committed = primary.read_wal(0)
+        with pytest.raises(StorageError):
+            primary.read_wal(committed + 1)
+
+    def test_end_replication_rolls_back_torn_residue(self, pair, tmp_path):
+        """Promotion mid-chunk: a half-shipped frame must not survive into
+        the new primary's journal."""
+        primary, replica = pair
+        populate(primary, n=3)
+        data, _ = primary.read_wal(0)
+        replica.replication_apply(data[:-6])  # torn tail buffered + journaled
+        replica.end_replication()
+        scan = scan_wal(tmp_path / "replica" / WAL_FILE)
+        assert scan.torn_bytes == 0
+        # Every journaled record is a complete, applied one.
+        assert scan.records[-1].lsn == replica.last_lsn
+        # And the store accepts writes again.
+        replica.insert_node("Box", {"status": "promoted"})
+
+
+class TestSnapshotBootstrap:
+    def test_install_snapshot_matches_source(self, tmp_path):
+        primary = open_store(tmp_path / "primary")
+        populate(primary)
+        primary.checkpoint()
+        data, last_lsn, epoch = primary.snapshot_stream()
+        replica = open_store(tmp_path / "replica")
+        applied_records = replica.install_snapshot(data)
+        assert applied_records > 0
+        assert replica.last_lsn == last_lsn
+        assert epoch == 0
+        assert history_digest(replica.inner) == history_digest(primary.inner)
+        primary.close()
+        replica.close()
+
+    def test_install_snapshot_refuses_non_empty_store(self, tmp_path):
+        primary = open_store(tmp_path / "primary")
+        populate(primary)
+        primary.checkpoint()
+        data, _, _ = primary.snapshot_stream()
+        replica = open_store(tmp_path / "replica")
+        replica.insert_node("Box", {"status": "local"})
+        with pytest.raises(StorageError):
+            replica.install_snapshot(data)
+        primary.close()
+        replica.close()
+
+
+class TestEpochFence:
+    def test_stamp_epoch_persists_across_reopen(self, tmp_path):
+        store = open_store(tmp_path / "node")
+        store.insert_node("Box", {"status": "up"})
+        store.stamp_epoch(2)
+        assert store.epoch == 2
+        store.close()
+        reopened = open_store(tmp_path / "node")
+        assert reopened.epoch == 2
+        reopened.close()
+
+    def test_epoch_ships_with_the_stream(self, tmp_path):
+        primary = open_store(tmp_path / "primary")
+        primary.insert_node("Box", {"status": "up"})
+        primary.stamp_epoch(1)
+        primary.insert_node("Box", {"status": "later"})
+        replica = open_store(tmp_path / "replica")
+        replica.begin_replication("test")
+        ship(primary, replica, 9)
+        assert replica.epoch == 1
+        assert history_digest(replica.inner) == history_digest(primary.inner)
+        primary.close()
+        replica.close()
+
+
+def scan_wal_records(store: DurableStore):
+    return scan_wal(os.path.join(store.data_dir, WAL_FILE)).records

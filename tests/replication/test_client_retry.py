@@ -1,0 +1,113 @@
+"""NepalClient honours 503 Retry-After — verified on a fake clock."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.server.client import NepalClient, ServerError, _parse_retry_after
+
+
+class FakeTransport:
+    """Scripted raw_request replacement: pops one response per call."""
+
+    def __init__(self, responses):
+        self.responses = list(responses)
+        self.calls = 0
+
+    def __call__(self, method, path, body=None, headers=None):
+        self.calls += 1
+        status, resp_headers, payload = self.responses.pop(0)
+        return status, resp_headers, json.dumps(payload).encode()
+
+
+def make_client(responses, **kw):
+    sleeps: list[float] = []
+    kw.setdefault("retry_503", 2)
+    client = NepalClient("127.0.0.1", 1, sleep=sleeps.append, **kw)
+    transport = FakeTransport(responses)
+    client.raw_request = transport  # type: ignore[method-assign]
+    return client, transport, sleeps
+
+
+class TestRetryAfter:
+    def test_sleeps_the_advertised_interval_then_retries(self):
+        client, transport, sleeps = make_client([
+            (503, {"Retry-After": "0.25"}, {"error": "saturated"}),
+            (200, {}, {"ok": True}),
+        ])
+        assert client.request("POST", "/query", {"query": "q"}) == {"ok": True}
+        assert transport.calls == 2
+        assert sleeps == [0.25]
+
+    def test_retries_up_to_the_budget_then_raises(self):
+        client, transport, sleeps = make_client([
+            (503, {"Retry-After": "1"}, {"error": "busy"}),
+            (503, {"Retry-After": "2"}, {"error": "busy"}),
+            (503, {"Retry-After": "3"}, {"error": "busy"}),
+        ], retry_503=2)
+        with pytest.raises(ServerError) as info:
+            client.request("GET", "/health")
+        assert info.value.status == 503
+        assert info.value.retry_after == 3.0
+        assert transport.calls == 3
+        assert sleeps == [1.0, 2.0]
+
+    def test_hostile_retry_after_capped(self):
+        client, _, sleeps = make_client([
+            (503, {"Retry-After": "86400"}, {"error": "busy"}),
+            (200, {}, {"ok": True}),
+        ], max_retry_after=5.0)
+        client.request("GET", "/health")
+        assert sleeps == [5.0]
+
+    def test_503_without_retry_after_not_retried(self):
+        client, transport, sleeps = make_client([
+            (503, {}, {"error": "no hint"}),
+        ])
+        with pytest.raises(ServerError):
+            client.request("GET", "/health")
+        assert transport.calls == 1
+        assert sleeps == []
+
+    def test_retry_budget_zero_surfaces_immediately(self):
+        client, transport, sleeps = make_client([
+            (503, {"Retry-After": "1"}, {"error": "busy"}),
+        ], retry_503=0)
+        with pytest.raises(ServerError):
+            client.request("GET", "/health")
+        assert transport.calls == 1
+        assert sleeps == []
+
+    def test_non_503_errors_never_sleep(self):
+        client, _, sleeps = make_client([
+            (409, {"Retry-After": "1"}, {"error": "fenced"}),
+        ])
+        with pytest.raises(ServerError) as info:
+            client.request("POST", "/write", {"op": "insert_node"})
+        assert info.value.status == 409
+        assert sleeps == []
+
+    def test_error_carries_headers_for_cluster_routing(self):
+        client, _, _ = make_client([
+            (307, {"Location": "http://10.0.0.1:7687/write",
+                   "X-Nepal-Epoch": "3"}, {"error": "not primary"}),
+        ])
+        with pytest.raises(ServerError) as info:
+            client.request("POST", "/write", {"op": "insert_node"})
+        assert info.value.headers["Location"] == "http://10.0.0.1:7687/write"
+        assert info.value.headers["X-Nepal-Epoch"] == "3"
+
+
+class TestParseRetryAfter:
+    @pytest.mark.parametrize("value,expected", [
+        (None, None),
+        ("2", 2.0),
+        ("0.5", 0.5),
+        ("-3", 0.0),
+        ("soon", None),                      # HTTP-date form: ignored
+        ("Wed, 21 Oct 2026 07:28:00 GMT", None),
+    ])
+    def test_delta_seconds_only(self, value, expected):
+        assert _parse_retry_after(value) == expected

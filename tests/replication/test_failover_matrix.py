@@ -1,0 +1,327 @@
+"""The failover chaos matrix: SIGKILL the primary, promote, verify.
+
+The acceptance gate of the replication subsystem, run against real
+``nepal serve`` subprocesses:
+
+* every write the cluster acknowledged before, during, or after the
+  failover is present on the promoted primary (commit-prefix oracle:
+  the new primary's journal, replayed locally, contains every
+  acknowledged uid);
+* paper-corpus query results from the promoted primary are byte-identical
+  to a single-node oracle rebuilt from its shipped journal;
+* a revived stale primary is fenced — a write carrying the new epoch is
+  refused with 409 and the node drops to the fenced role.
+
+Set ``NEPAL_REPLICATION_REPORT_DIR`` to collect per-scenario JSON
+artifacts (node statuses, write ledger, journal paths) — CI uploads them
+on failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.core.database import NepalDB
+from repro.core.resilience import ResiliencePolicy
+from repro.replication import ClusterClient, NoPrimaryError
+from repro.replication.harness import ReplicaSet
+from repro.server.client import NepalClient
+from repro.storage.wal import history_digest
+
+pytestmark = pytest.mark.replication
+
+CORPUS = [
+    "Retrieve P From PATHS P Where P MATCHES VM()",
+    "Retrieve P From PATHS P Where P MATCHES VM()->OnServer()->Host()",
+    "Retrieve P From PATHS P Where P MATCHES Host()",
+]
+
+
+def dump_report(payload: dict, name: str) -> None:
+    """Persist a scenario report when CI asks for artifacts."""
+    directory = os.environ.get("NEPAL_REPLICATION_REPORT_DIR")
+    if not directory:
+        return
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, f"{name}.json"), "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+
+
+def cluster_client(cluster: ReplicaSet) -> ClusterClient:
+    return ClusterClient(
+        [node.address for node in cluster.nodes],
+        policy=ResiliencePolicy(
+            max_attempts=30, base_delay=0.05, max_delay=0.5, jitter=0.1, seed=0
+        ),
+    )
+
+
+def fetch_journal(client: NepalClient) -> bytes:
+    """The node's full committed journal, over the public protocol."""
+    chunks = []
+    offset = 0
+    while True:
+        status, headers, body = client.raw_request(
+            "GET", f"/replication/wal?offset={offset}&limit={1 << 20}"
+        )
+        assert status == 200, f"wal fetch failed: HTTP {status}"
+        if not body:
+            break
+        chunks.append(body)
+        offset += len(body)
+        if offset >= int(headers["X-Nepal-Wal-Size"]):
+            break
+    return b"".join(chunks)
+
+
+def single_node_oracle(tmp_path, journal: bytes) -> NepalDB:
+    """A fresh single-node database holding exactly *journal*."""
+    db = NepalDB(data_dir=str(tmp_path / "oracle"))
+    durable = db.durable_store()
+    durable.begin_replication("oracle rebuild")
+    durable.replication_apply(journal)
+    durable.end_replication()
+    return db
+
+
+class Workload:
+    """Churn writes through the cluster client; remember what was acked."""
+
+    def __init__(self, client: ClusterClient, prefix: str):
+        self.client = client
+        self.prefix = prefix
+        self.acked: list[tuple[int, str]] = []  # (uid, name)
+        self.rejected = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        index = 0
+        while not self._stop.is_set():
+            name = f"{self.prefix}-{index}"
+            try:
+                uid = self.client.insert_node("VM", {"name": name})
+            except NoPrimaryError:
+                self.rejected += 1
+            else:
+                self.acked.append((uid, name))
+            index += 1
+            time.sleep(0.005)
+
+    def start(self) -> "Workload":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=30)
+
+
+@pytest.mark.parametrize("warmup_writes", [5, 40])
+def test_sigkill_failover_preserves_every_acknowledged_write(
+    tmp_path, warmup_writes
+):
+    label = f"sigkill-after-{warmup_writes}"
+    cluster = ReplicaSet(tmp_path / "cluster", replicas=2)
+    report: dict = {"scenario": label}
+    try:
+        cluster.start()
+        client = cluster_client(cluster)
+
+        # Warm-up phase: synchronous acknowledged writes.
+        acked: list[tuple[int, str]] = []
+        for i in range(warmup_writes):
+            uid = client.insert_node("VM", {"name": f"warm-{i}"})
+            acked.append((uid, f"warm-{i}"))
+
+        # Churn concurrently with the kill: some of these writes land
+        # before the SIGKILL, some ride through the failover window.
+        churn = Workload(client, "churn").start()
+        time.sleep(0.2)
+        cluster.kill_primary()
+        survivor = cluster.failover()
+        time.sleep(0.3)  # let churn hit the promoted primary
+        churn.stop()
+        acked.extend(churn.acked)
+        report["acked"] = len(acked)
+        report["rejected_during_window"] = churn.rejected
+        report["survivor"] = survivor.name
+
+        # A few final synchronous writes against the new primary.
+        for i in range(5):
+            uid = client.insert_node("VM", {"name": f"post-{i}"})
+            acked.append((uid, f"post-{i}"))
+
+        new_primary = survivor.client()
+        status = new_primary.replication_status()
+        report["promoted_status"] = status
+        assert status["role"] == "primary"
+        assert status["epoch"] == 1
+
+        # --- commit-prefix oracle -----------------------------------
+        journal = fetch_journal(new_primary)
+        oracle = single_node_oracle(tmp_path, journal)
+        try:
+            known = set(oracle.store.known_uids())
+            missing = [(uid, name) for uid, name in acked if uid not in known]
+            report["missing"] = missing
+            assert not missing, (
+                f"{len(missing)} acknowledged writes absent after failover: "
+                f"{missing[:5]}"
+            )
+
+            # --- byte-identical paper queries -----------------------
+            from repro.server.app import _result_payload
+
+            for query in CORPUS:
+                local = _result_payload(oracle.query(query))
+                remote = new_primary.query(query)
+                assert (
+                    json.dumps(local, sort_keys=True, default=str)
+                    == json.dumps(remote, sort_keys=True, default=str)
+                ), f"divergent result for {query!r}"
+
+            # The surviving replica (repointed by failover) converges to
+            # the same history.
+            other = [n for n in cluster.replicas if n is not survivor]
+            if other:
+                deadline = time.monotonic() + 30
+                target = new_primary.replication_status()["last_lsn"]
+                while time.monotonic() < deadline:
+                    peer = other[0].client().replication_status()
+                    if peer["last_lsn"] >= target:
+                        break
+                    time.sleep(0.05)
+                assert peer["last_lsn"] >= target, f"replica stuck: {peer}"
+                peer_rows = other[0].client().query(CORPUS[0])
+                assert json.dumps(peer_rows, sort_keys=True) == json.dumps(
+                    new_primary.query(CORPUS[0]), sort_keys=True
+                )
+        finally:
+            oracle.close()
+
+        # --- revived stale primary is fenced ------------------------
+        old = cluster.nodes[0]
+        cluster.start_node(old)
+        cluster.wait_ready(old)
+        revived = old.client()
+        assert revived.replication_status()["role"] == "primary"  # stale claim
+        status_code, _, body = revived.raw_request(
+            "POST", "/write",
+            body=json.dumps({"op": "insert_node", "class": "VM",
+                             "fields": {"name": "divergent"}}).encode(),
+            headers={"X-Nepal-Epoch": str(client.epoch),
+                     "Content-Type": "application/json"},
+        )
+        report["stale_write_status"] = status_code
+        assert status_code == 409
+        assert json.loads(body)["fenced_by"] == client.epoch
+        assert revived.replication_status()["role"] == "fenced"
+    finally:
+        report.setdefault("statuses", {})
+        try:
+            report["statuses"] = cluster.statuses()
+        except Exception:
+            pass
+        dump_report(report, label)
+        cluster.stop()
+
+
+def test_failover_loses_nothing_when_replicas_lag_unevenly(tmp_path):
+    """The deterministic rule — promote the highest-LSN replica — is what
+    makes 'every acknowledged write survives' hold.  Force uneven lag by
+    SIGSTOP-ing one replica during the write burst, then verify the
+    harness picks the caught-up one."""
+    import signal
+
+    label = "uneven-lag"
+    cluster = ReplicaSet(tmp_path / "cluster", replicas=2)
+    report: dict = {"scenario": label}
+    try:
+        cluster.start()
+        client = cluster_client(cluster)
+        laggard = cluster.nodes[2]
+        os.kill(laggard.process.pid, signal.SIGSTOP)
+        try:
+            acked = []
+            for i in range(20):
+                uid = client.insert_node("VM", {"name": f"v{i}"})
+                acked.append(uid)
+            # Give the healthy replica time to stream the burst.
+            healthy = cluster.nodes[1]
+            deadline = time.monotonic() + 15
+            while time.monotonic() < deadline:
+                status = healthy.client().replication_status()
+                if status["last_lsn"] >= 20:
+                    break
+                time.sleep(0.05)
+            cluster.kill_primary()
+        finally:
+            os.kill(laggard.process.pid, signal.SIGCONT)
+        survivor = cluster.failover()
+        report["survivor"] = survivor.name
+        assert survivor is healthy, (
+            f"promoted {survivor.name}, expected the caught-up replica"
+        )
+        journal = fetch_journal(survivor.client())
+        oracle = single_node_oracle(tmp_path, journal)
+        try:
+            known = set(oracle.store.known_uids())
+            assert all(uid in known for uid in acked)
+            report["digest_records"] = len(journal)
+        finally:
+            oracle.close()
+        # The formerly-stopped laggard catches back up from the survivor.
+        deadline = time.monotonic() + 30
+        target = survivor.client().replication_status()["last_lsn"]
+        while time.monotonic() < deadline:
+            status = laggard.client().replication_status()
+            if status["last_lsn"] >= target:
+                break
+            time.sleep(0.05)
+        report["laggard_final"] = status
+        assert status["last_lsn"] >= target, f"laggard stuck: {status}"
+    finally:
+        try:
+            report["statuses"] = cluster.statuses()
+        except Exception:
+            pass
+        dump_report(report, label)
+        cluster.stop()
+
+
+def test_replayed_journal_digest_matches_across_all_nodes(tmp_path):
+    """After a quiet failover (no concurrent churn) every node's journal
+    replays to the same history digest — the strongest equality we can
+    claim over the public protocol."""
+    label = "digest-equality"
+    cluster = ReplicaSet(tmp_path / "cluster", replicas=2)
+    try:
+        cluster.start()
+        client = cluster_client(cluster)
+        for i in range(15):
+            client.insert_node("VM", {"name": f"v{i}"})
+        # Wait for full convergence.
+        deadline = time.monotonic() + 15
+        while time.monotonic() < deadline:
+            statuses = cluster.statuses()
+            lsns = {s["last_lsn"] for s in statuses.values()}
+            if len(statuses) == 3 and len(lsns) == 1:
+                break
+            time.sleep(0.05)
+        assert len(lsns) == 1, f"never converged: {statuses}"
+        digests = set()
+        for index, node in enumerate(cluster.nodes):
+            journal = fetch_journal(node.client())
+            oracle = single_node_oracle(tmp_path / f"n{index}", journal)
+            digests.add(history_digest(oracle.store.inner))
+            oracle.close()
+        assert len(digests) == 1, "nodes replay to divergent histories"
+    finally:
+        dump_report({"scenario": label}, label)
+        cluster.stop()

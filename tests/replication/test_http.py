@@ -1,0 +1,157 @@
+"""Two real servers wired over HTTP: streaming, lag, redirects, fencing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.server.client import ServerError
+from tests.concurrency.conftest import small_topology
+from tests.replication.conftest import wait_caught_up
+
+CORPUS = [
+    "Retrieve P From PATHS P Where P MATCHES VM()->OnServer()->Host()",
+    "Retrieve P From PATHS P Where P MATCHES VM(status='Green')",
+    "Retrieve P From PATHS P Where P MATCHES Host()",
+]
+
+
+class TestStreaming:
+    def test_replica_serves_byte_identical_paper_queries(self, primary, replica_of):
+        primary_server, primary_client = primary
+        small_topology(primary_server.db)
+        replica_server, replica_client = replica_of(primary_server)
+        wait_caught_up(replica_server)
+        for query in CORPUS:
+            p = primary_client.query(query)
+            r = replica_client.query(query)
+            assert json.dumps(p, sort_keys=True) == json.dumps(r, sort_keys=True)
+
+    def test_stream_tracks_live_writes_and_lag_gauges(self, primary, replica_of):
+        primary_server, primary_client = primary
+        replica_server, replica_client = replica_of(primary_server)
+        wait_caught_up(replica_server)
+        for i in range(10):
+            primary_client.insert_node("VM", {"name": f"live{i}"})
+        wait_caught_up(replica_server)
+        status = replica_client.replication_status()
+        assert status["role"] == "replica"
+        assert status["last_lsn"] == primary_client.replication_status()["last_lsn"]
+        assert status["replication"]["state"] == "streaming"
+        assert status["replication"]["lag_records"] == 0
+        # Gauges are published into the metrics registry too.
+        gauges = replica_server.db.metrics.gauges("replication.")
+        assert gauges["replication.lag_records"] == 0.0
+        assert gauges["replication.lag_seconds"] == 0.0
+
+    def test_bootstrap_from_snapshot_after_checkpoint(self, primary, replica_of):
+        """A replica joining after the primary checkpointed (journal
+        truncated) bootstraps from the snapshot stream."""
+        primary_server, primary_client = primary
+        small_topology(primary_server.db)
+        primary_server.db.durable_store().checkpoint()
+        primary_client.insert_node("VM", {"name": "post-checkpoint"})
+        replica_server, replica_client = replica_of(primary_server)
+        wait_caught_up(replica_server)
+        query = CORPUS[0]
+        assert primary_client.query(query) == replica_client.query(query)
+        assert (
+            replica_client.replication_status()["last_lsn"]
+            == primary_client.replication_status()["last_lsn"]
+        )
+
+
+class TestWriteRouting:
+    def test_replica_write_redirects_to_primary(self, primary, replica_of):
+        primary_server, _ = primary
+        replica_server, replica_client = replica_of(primary_server)
+        wait_caught_up(replica_server)
+        with pytest.raises(ServerError) as info:
+            replica_client.insert_node("VM", {"name": "nope"})
+        assert info.value.status == 307
+        location = info.value.headers.get("Location")
+        assert location == "http://%s:%d/write" % primary_server.address
+
+    def test_every_response_carries_the_epoch_header(self, primary):
+        _, client = primary
+        status, headers, _ = client.raw_request("GET", "/healthz")
+        assert status == 200
+        assert headers.get("X-Nepal-Epoch") == "0"
+
+
+class TestFailoverOverHttp:
+    def test_promote_then_fence_stale_primary(self, primary, replica_of):
+        primary_server, primary_client = primary
+        small_topology(primary_server.db)
+        replica_server, replica_client = replica_of(primary_server)
+        wait_caught_up(replica_server)
+
+        promoted = replica_client.promote()
+        assert promoted["role"] == "primary"
+        assert promoted["epoch"] == 1
+
+        # The new primary accepts writes.
+        replica_client.insert_node("VM", {"name": "post-promote"})
+
+        # A client that saw epoch 1 writes to the stale primary: 409, and
+        # the stale primary fences itself.
+        status, _, body = primary_client.raw_request(
+            "POST", "/write",
+            body=json.dumps({"op": "insert_node", "class": "VM",
+                             "fields": {"name": "divergent"}}).encode(),
+            headers={"X-Nepal-Epoch": "1", "Content-Type": "application/json"},
+        )
+        assert status == 409
+        assert json.loads(body)["fenced_by"] == 1
+        assert primary_client.replication_status()["role"] == "fenced"
+        # Fenced nodes still serve reads...
+        primary_client.query(CORPUS[0])
+        # ...but refuse writes even without the epoch header.
+        with pytest.raises(ServerError) as info:
+            primary_client.insert_node("VM", {"name": "still-nope"})
+        assert info.value.status == 409
+
+    def test_promote_via_http_is_idempotent(self, primary, replica_of):
+        primary_server, _ = primary
+        replica_server, replica_client = replica_of(primary_server)
+        wait_caught_up(replica_server)
+        first = replica_client.promote()
+        second = replica_client.promote()
+        assert first["epoch"] == second["epoch"] == 1
+
+
+class TestProbes:
+    def test_healthz_always_alive(self, primary, replica_of):
+        primary_server, primary_client = primary
+        assert primary_client.healthz() == {"status": "alive"}
+        replica_server, replica_client = replica_of(primary_server)
+        assert replica_client.healthz() == {"status": "alive"}
+
+    def test_readyz_reflects_role_and_lag(self, primary, replica_of):
+        primary_server, primary_client = primary
+        payload = primary_client.readyz()
+        assert payload["ready"] is True
+        replica_server, replica_client = replica_of(primary_server)
+        wait_caught_up(replica_server)
+        payload = replica_client.readyz()
+        assert payload["ready"] is True
+        assert payload["role"] == "replica"
+
+    def test_readyz_503_when_stream_is_down(self, tmp_path):
+        """A replica pointed at a dead primary is alive but not ready."""
+        from repro.core.database import NepalDB
+        from repro.server import NepalClient, NepalServer, ServerConfig
+
+        db = NepalDB(data_dir=str(tmp_path / "lonely"))
+        server = NepalServer(db, ServerConfig(port=0))
+        server.start()
+        try:
+            server.replication.become_replica("127.0.0.1:1")
+            client = NepalClient(*server.address, retry_503=0)
+            assert client.healthz() == {"status": "alive"}
+            with pytest.raises(ServerError) as info:
+                client.readyz()
+            assert info.value.status == 503
+        finally:
+            server.graceful_stop()

@@ -1,0 +1,136 @@
+"""ReplicationManager: role transitions, epoch fencing, readiness.
+
+Exercises the state machine without any HTTP — the puller never connects
+(the primary URL points at a closed port), which is fine: transitions and
+fencing are local decisions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import NepalDB
+from repro.errors import FencedError, NotPrimaryError, ReplicationError
+from repro.replication import ROLE_FENCED, ROLE_PRIMARY, ROLE_REPLICA, ReplicationManager
+
+DEAD_PRIMARY = "127.0.0.1:1"  # reserved port: connections always refused
+
+
+@pytest.fixture
+def db(tmp_path):
+    database = NepalDB(data_dir=str(tmp_path / "node"))
+    yield database
+    database.close()
+
+
+@pytest.fixture
+def manager(db):
+    mgr = ReplicationManager(db, node_name="n1")
+    yield mgr
+    mgr.shutdown()
+
+
+class TestRoles:
+    def test_starts_as_primary(self, manager):
+        assert manager.role == ROLE_PRIMARY
+        assert manager.epoch == 0
+        status = manager.status()
+        assert status["role"] == ROLE_PRIMARY
+        assert status["durable"] is True
+        manager.check_writable(None)  # does not raise
+
+    def test_become_replica_rejects_writes(self, db, manager):
+        manager.become_replica(DEAD_PRIMARY)
+        assert manager.role == ROLE_REPLICA
+        with pytest.raises(NotPrimaryError) as info:
+            manager.check_writable(None)
+        assert info.value.primary == DEAD_PRIMARY
+        with pytest.raises(Exception):
+            db.insert_node("VM", {"name": "nope"})  # store is read-only
+
+    def test_become_replica_twice_refused(self, manager):
+        manager.become_replica(DEAD_PRIMARY)
+        with pytest.raises(ReplicationError):
+            manager.become_replica(DEAD_PRIMARY)
+
+    def test_promote_bumps_epoch_and_reopens_writes(self, db, manager):
+        manager.become_replica(DEAD_PRIMARY)
+        status = manager.promote()
+        assert status["role"] == ROLE_PRIMARY
+        assert status["epoch"] == 1
+        manager.check_writable(None)
+        uid = db.insert_node("VM", {"name": "after-promote"})
+        assert isinstance(uid, int)
+
+    def test_promote_is_idempotent_on_primary(self, manager):
+        first = manager.promote()
+        second = manager.promote()
+        assert first["epoch"] == second["epoch"] == 0
+        assert second["role"] == ROLE_PRIMARY
+
+    def test_repoint_requires_replica_role(self, manager):
+        with pytest.raises(ReplicationError):
+            manager.repoint(DEAD_PRIMARY)
+
+
+class TestFencing:
+    def test_observe_higher_epoch_fences(self, manager):
+        with pytest.raises(FencedError):
+            manager.observe_epoch(3)
+        assert manager.role == ROLE_FENCED
+        assert manager.status()["fenced_by"] == 3
+
+    def test_observe_equal_or_lower_epoch_is_noop(self, manager):
+        manager.observe_epoch(0)
+        assert manager.role == ROLE_PRIMARY
+
+    def test_fenced_node_refuses_writes_and_promotion(self, db, manager):
+        manager.fence(5)
+        with pytest.raises(FencedError):
+            manager.check_writable(None)
+        with pytest.raises(FencedError):
+            manager.promote()
+        with pytest.raises(Exception):
+            db.insert_node("VM", {"name": "nope"})
+
+    def test_fence_keeps_highest_epoch(self, manager):
+        manager.fence(2)
+        manager.fence(4)
+        manager.fence(3)
+        assert manager.status()["fenced_by"] == 4
+
+    def test_write_with_stamped_epoch_fences_stale_primary(self, manager):
+        """The acceptance scenario in miniature: a client that saw the new
+        primary's epoch writes to the revived old one."""
+        assert manager.role == ROLE_PRIMARY
+        with pytest.raises(FencedError):
+            manager.check_writable(2)
+        assert manager.role == ROLE_FENCED
+
+
+class TestReadiness:
+    def test_primary_is_ready(self, manager):
+        ready, detail = manager.readiness()
+        assert ready is True
+        assert detail["role"] == ROLE_PRIMARY
+
+    def test_fenced_is_not_ready(self, manager):
+        manager.fence(1)
+        ready, detail = manager.readiness()
+        assert ready is False
+
+    def test_disconnected_replica_is_not_ready(self, manager):
+        manager.become_replica(DEAD_PRIMARY)
+        ready, detail = manager.readiness()
+        assert ready is False
+        assert detail["role"] == ROLE_REPLICA
+
+
+class TestMemoryBackend:
+    def test_replication_requires_durable_store(self):
+        db = NepalDB()  # memory backend, no WAL
+        manager = ReplicationManager(db)
+        with pytest.raises(ReplicationError):
+            manager.become_replica(DEAD_PRIMARY)
+        assert manager.status()["durable"] is False
+        db.close()

@@ -1,0 +1,118 @@
+"""ClusterClient: discovery, lag-aware read routing, write failover."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.resilience import ResiliencePolicy
+from repro.replication import ClusterClient, NoPrimaryError
+from repro.server.client import ServerError
+from tests.concurrency.conftest import small_topology
+from tests.replication.conftest import wait_caught_up
+
+QUERY = "Retrieve P From PATHS P Where P MATCHES VM()->OnServer()->Host()"
+
+
+def fast_policy(**kw) -> ResiliencePolicy:
+    kw.setdefault("max_attempts", 6)
+    kw.setdefault("base_delay", 0.01)
+    kw.setdefault("max_delay", 0.05)
+    kw.setdefault("seed", 0)
+    return ResiliencePolicy(**kw)
+
+
+@pytest.fixture
+def cluster(primary, replica_of):
+    """Primary + two caught-up replicas + a ClusterClient over all three."""
+    primary_server, primary_client = primary
+    small_topology(primary_server.db)
+    replica_a, _ = replica_of(primary_server, name="ra")
+    replica_b, _ = replica_of(primary_server, name="rb")
+    wait_caught_up(replica_a)
+    wait_caught_up(replica_b)
+    servers = [primary_server, replica_a, replica_b]
+    client = ClusterClient(
+        ["%s:%d" % s.address for s in servers], policy=fast_policy()
+    )
+    return servers, client
+
+
+class TestDiscovery:
+    def test_elects_the_primary_and_ranks_replicas(self, cluster):
+        servers, client = cluster
+        client.discover()
+        assert client.primary == "%s:%d" % servers[0].address
+        assert sorted(client.replicas) == sorted(
+            "%s:%d" % s.address for s in servers[1:]
+        )
+
+    def test_statuses_reports_every_live_node(self, cluster):
+        servers, client = cluster
+        statuses = client.statuses()
+        assert len(statuses) == 3
+        roles = sorted(s["role"] for s in statuses.values())
+        assert roles == ["primary", "replica", "replica"]
+
+
+class TestRouting:
+    def test_reads_prefer_fresh_replicas(self, cluster):
+        servers, client = cluster
+        client.discover()
+        candidates = client._read_candidates()
+        # Both replicas are caught up, so they outrank the primary.
+        assert candidates[-1] == "%s:%d" % servers[0].address
+        assert len(candidates) == 3
+        rows = client.query(QUERY)["rows"]
+        assert len(rows) == 12
+
+    def test_writes_go_to_the_primary(self, cluster):
+        servers, client = cluster
+        uid = client.insert_node("VM", {"name": "routed"})
+        assert isinstance(uid, int)
+        # The write landed on the primary, not a replica.
+        assert uid in servers[0].db.store.known_uids()
+
+    def test_stale_replicas_rank_after_the_primary(self, cluster):
+        servers, client = cluster
+        client.discover()
+        # Force one replica to look arbitrarily stale.
+        address_a = "%s:%d" % servers[1].address
+        client._replicas = [(address_a, 10_000), (client._replicas[1][0], 0)]
+        candidates = client._read_candidates()
+        assert candidates[-1] == address_a  # over threshold: last resort
+        assert candidates[0] != address_a
+
+
+class TestFailover:
+    def test_write_fails_over_after_promotion(self, cluster):
+        servers, client = cluster
+        client.insert_node("VM", {"name": "before"})
+        # Primary dies; a replica is promoted out-of-band (the harness's
+        # job) and the same client keeps writing with no reconfiguration.
+        servers[0].graceful_stop()
+        promoted = servers[1]
+        promoted.replication.promote()
+        uid = client.insert_node("VM", {"name": "after"})
+        assert isinstance(uid, int)
+        assert client.primary == "%s:%d" % promoted.address
+        assert client.epoch == 1
+
+    def test_no_primary_raises_after_budget(self, cluster):
+        servers, client = cluster
+        servers[0].graceful_stop()  # only replicas left; nobody promotes
+        with pytest.raises(NoPrimaryError):
+            client.write("POST", "/write",
+                         {"op": "insert_node", "class": "VM", "fields": {}})
+
+    def test_reads_survive_primary_death(self, cluster):
+        servers, client = cluster
+        client.discover()
+        servers[0].graceful_stop()
+        rows = client.query(QUERY)["rows"]
+        assert len(rows) == 12
+
+    def test_bad_request_not_retried_across_nodes(self, cluster):
+        _, client = cluster
+        with pytest.raises(ServerError) as info:
+            client.query("Retrieve From Nowhere Bad Syntax")
+        assert info.value.status == 400
