@@ -77,6 +77,8 @@ bench-smoke:
 		PYTHONPATH=src python -m pytest benchmarks/bench_plan_cache.py::test_plan_cache_warm_vs_cold -s --benchmark-disable
 	NEPAL_TT_ELEMENTS=1500 NEPAL_TT_DAYS=8 \
 		PYTHONPATH=src python -m pytest benchmarks/bench_time_travel.py -s --benchmark-disable
+	NEPAL_EXEC_ELEMENTS=1500 NEPAL_EXEC_DAYS=4 \
+		PYTHONPATH=src python -m pytest benchmarks/bench_executor.py -s --benchmark-disable
 	NEPAL_CC_SECONDS=0.5 \
 		PYTHONPATH=src python -m pytest benchmarks/bench_concurrency.py -s --benchmark-disable
 	NEPAL_TRACE_REPS=15 \
@@ -84,8 +86,8 @@ bench-smoke:
 	NEPAL_REP_RECORDS=600 NEPAL_REP_SECONDS=1.0 \
 		PYTHONPATH=src python -m pytest benchmarks/bench_replication.py -s --benchmark-disable
 	python benchmarks/check_regression.py --baseline-dir benchmarks/baselines \
-		BENCH_plan_cache.json BENCH_timetravel.json BENCH_concurrency.json \
-		BENCH_trace_overhead.json BENCH_replication.json
+		BENCH_plan_cache.json BENCH_timetravel.json BENCH_executor.json \
+		BENCH_concurrency.json BENCH_trace_overhead.json BENCH_replication.json
 
 # The paper-style comparison tables (Tables 1-2, ablations, storage).
 sweep:

@@ -141,6 +141,13 @@ class SnapshotStore(GraphStore):
         record = self._inner.get_element(uid, self._pinned_scope(scope))
         return None if record is None else self._clip(record)
 
+    def get_many(
+        self, uids: Sequence[int], scope: TimeScope
+    ) -> dict[int, ElementRecord]:
+        self._check_deadline()
+        records = self._inner.get_many(uids, self._pinned_scope(scope))
+        return {uid: self._clip(record) for uid, record in records.items()}
+
     def versions(self, uid: int, window: Interval) -> list[ElementRecord]:
         self._check_deadline()
         # A version open at the pin has an open period in the pinned view,

@@ -115,6 +115,7 @@ class NepalDB:
                 backend, self.schema, self.clock, DEFAULT_STORE_NAME, self._metrics
             )
         self._stores: dict[str, GraphStore] = {DEFAULT_STORE_NAME: default_store}
+        self._apply_batch_option(default_store)
         self._plan_cache = PlanCache(metrics=self._metrics)
         self._resilience = resilience
         self._allow_partial = allow_partial
@@ -131,11 +132,29 @@ class NepalDB:
         """The default backend."""
         return self._stores[DEFAULT_STORE_NAME]
 
+    def _apply_batch_option(self, store: GraphStore) -> None:
+        """Propagate ``PlannerOptions.batch_enabled`` onto a store's engine.
+
+        The flag lives on the innermost store that actually has a batch
+        engine — setting it through a delegating wrapper's ``__getattr__``
+        fallthrough would shadow it on the wrapper instead — so unwrap the
+        ``_inner`` chain.  Backends without the flag keep their row path.
+        """
+        if self._planner_options.batch_enabled:
+            return
+        target: object = store
+        while target is not None:
+            if "batch_enabled" in vars(target):
+                target.batch_enabled = False
+                return
+            target = getattr(target, "_inner", None)
+
     def attach_store(self, name: str, store: GraphStore) -> None:
         """Register an additional backend for ``PATHS@name`` variables."""
         if name in self._stores:
             raise FederationError(f"store name {name!r} already attached")
         self._stores[name] = store
+        self._apply_batch_option(store)
         self._executor = None
 
     def stores(self) -> dict[str, GraphStore]:
@@ -535,9 +554,10 @@ class NepalDB:
             )
         else:
             scope = TimeScope.current()
-        key = PlanCache.key_for(
-            rpe, store, target, estimator, self._planner_options, scope=scope
-        )
+        with self._metrics.timings.measure("cache.key"):
+            key = PlanCache.key_for(
+                rpe, store, target, estimator, self._planner_options, scope=scope
+            )
         with self._metrics.timings.measure("plan"):
             program = self._plan_cache.get_or_compile(
                 key,
@@ -624,16 +644,21 @@ class NepalDB:
 
         Keys: ``plan`` (compiled-program cache, with occupancy), ``parse``,
         ``typecheck`` and ``nfa`` (memo counters), ``events`` (resilience
-        retries, breaker trips, degradations, ...), and ``timings`` (per
-        stage cumulative seconds and call counts).
+        retries, breaker trips, degradations, ...), ``timings`` (per
+        stage cumulative seconds and call counts), and ``cache.key_ns``
+        (cumulative nanoseconds spent building plan-cache keys — the
+        interned-key satellite's before/after dial).
         """
         snapshot = self._metrics.snapshot()
         caches = dict(snapshot["caches"])  # type: ignore[arg-type]
         caches["plan"] = self._plan_cache.stats()
+        timings = snapshot["timings"]
+        key_timing = timings.get("cache.key", {})  # type: ignore[union-attr]
         return {
             **caches,
             "events": snapshot["events"],
-            "timings": snapshot["timings"],
+            "timings": timings,
+            "cache.key_ns": int(round(key_timing.get("seconds", 0.0) * 1e9)),
         }
 
     def stats(self) -> dict[str, object]:

@@ -285,6 +285,11 @@ class ResilientStore(GraphStore):
     def get_element(self, uid: int, scope: TimeScope) -> "ElementRecord | None":
         return self._call(self._inner.get_element, uid, scope)
 
+    def get_many(
+        self, uids: "Sequence[int]", scope: TimeScope
+    ) -> "dict[int, ElementRecord]":
+        return self._call(self._inner.get_many, uids, scope)
+
     def versions(self, uid: int, window: "Interval") -> "list[ElementRecord]":
         return self._call(self._inner.versions, uid, window)
 

@@ -483,14 +483,21 @@ class QueryExecutor:
         scope = self._scope_for(checked.query, variable)
         estimator = self.estimator_for(store)
         rpe = checked.bound_matches[variable.name]
-        key = PlanCache.key_for(
-            rpe.render(),
-            variable.store or self._default,
-            store,
-            estimator,
-            self._planner_options,
-            scope=scope,
-        )
+        # The rendered RPE text was interned at typecheck time: reusing the
+        # same str object means CPython's cached string hash makes every
+        # warm key construction a lookup, not a re-hash of the source.
+        rpe_text = checked.rendered_matches.get(variable.name)
+        if rpe_text is None:
+            rpe_text = rpe.render()
+        with self.metrics.timings.measure("cache.key"):
+            key = PlanCache.key_for(
+                rpe_text,
+                variable.store or self._default,
+                store,
+                estimator,
+                self._planner_options,
+                scope=scope,
+            )
         compiled_fresh = False
 
         def _compile() -> MatchProgram:
@@ -804,6 +811,13 @@ class QueryExecutor:
             span.set("variable", item.name)
             span.set("store", item.store.name)
             span.set("scope", str(item.scope))
+            # Read the ablation switch from the raw catalog store: wrappers
+            # without attribute fallthrough would hide it, and backends
+            # without a batch engine report "row".
+            span.set(
+                "execution",
+                "batch" if getattr(item.store, "batch_enabled", False) else "row",
+            )
             imported = None
             if item.program.anchor_cost > self._planner_options.import_threshold:
                 imported = self._imported_anchor(

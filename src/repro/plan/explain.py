@@ -63,6 +63,7 @@ _INTERESTING_COUNTERS = (
     "index.field",
     "index.class",
     "index.expand.",
+    "executor.batch.",
     "resilience.",
 )
 
@@ -133,10 +134,12 @@ class ExplainAnalysis:
             if evaluate_span is not None:
                 attrs = evaluate_span.attrs
                 estimated = attrs.get("estimated_rows", program.anchor_cost)
+                execution = attrs.get("execution", "row")
                 lines.append(
                     f"  actual: {attrs.get('rows_out', '?')} pathways "
                     f"(estimated {estimated:g}) via anchor "
-                    f"{attrs.get('anchor', '?')} [{ms(evaluate_span)} ms]"
+                    f"{attrs.get('anchor', '?')} "
+                    f"({execution} execution) [{ms(evaluate_span)} ms]"
                 )
                 for key in sorted(evaluate_span.counters):
                     if key.startswith(_INTERESTING_COUNTERS):

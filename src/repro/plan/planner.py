@@ -47,6 +47,12 @@ class PlannerOptions:
     anchor from an equality join with an already-evaluated variable (§3.3:
     "In join queries, an anchor can be imported from a joined path")."""
 
+    batch_enabled: bool = True
+    """Ablation switch for the vectorized execution layer.  ``NepalDB``
+    propagates it onto every attached store that has a batch engine; with
+    it off, operators run their row-at-a-time twins.  Stores expose the
+    same flag for per-test toggling (mirroring ``temporal_index_enabled``)."""
+
 
 class Planner:
     """Compiles RPEs into :class:`MatchProgram` objects."""

@@ -107,8 +107,9 @@ def evaluate_from_endpoints(
     direction = FORWARD if end == "source" else BACKWARD
     results: dict[tuple[int, ...], Pathway] = {}
     frontier: list[tuple[list[ElementRecord], frozenset[int], frozenset[int]]] = []
+    endpoints = store.get_many(endpoint_uids, scope)
     for uid in endpoint_uids:
-        node = store.get_element(uid, scope)
+        node = endpoints.get(uid)
         if not isinstance(node, NodeRecord):
             continue
         initial = matcher.step(matcher.initial_states(), node)
@@ -141,8 +142,9 @@ def _anchor_seeds(
         if program.seeds is not None:
             span.set("mode", "pinned_seeds")
             records = []
+            seeded = store.get_many(list(program.seeds), scope)
             for uid in program.seeds:
-                record = store.get_element(uid, scope)
+                record = seeded.get(uid)
                 if record is not None and compiled.split.anchor.matches(record):
                     records.append(record)
             span.set("rows_out", len(records))
@@ -213,6 +215,8 @@ def _advance_frontier(
     neighbor_lists: list[list[ElementRecord] | None] = [None] * len(expandable)
     #: filter key -> (classes object, [(entry index, node uid), ...])
     groups: dict[object, tuple[object, list[tuple[int, int]]]] = {}
+    #: [(entry index, far-node uid), ...] for entries whose tip is an edge.
+    edge_tips: list[tuple[int, int]] = []
     for index, (consumed, states, _) in enumerate(expandable):
         last = consumed[-1] if consumed else seed
         assert last is not None
@@ -230,7 +234,12 @@ def _advance_frontier(
         else:
             assert isinstance(last, EdgeRecord)
             next_uid = last.target_uid if direction == FORWARD else last.source_uid
-            node = store.get_element(next_uid, scope)
+            edge_tips.append((index, next_uid))
+    if edge_tips:
+        # All edge tips of the wave hop to their far node in one batch.
+        hopped = store.get_many([uid for _, uid in edge_tips], scope)
+        for index, uid in edge_tips:
+            node = hopped.get(uid)
             neighbor_lists[index] = [node] if node is not None else []
     fetch = store.out_edges_many if direction == FORWARD else store.in_edges_many
     trace = current_trace()

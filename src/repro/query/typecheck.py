@@ -54,6 +54,11 @@ class CheckedQuery:
     extra_matches: dict[str, RpeNode] = field(default_factory=dict)
     """Additional conjunctive RPEs for variables ranging over a view whose
     query also has an explicit MATCHES predicate."""
+    rendered_matches: dict[str, str] = field(default_factory=dict)
+    """Interned ``render()`` of each bound RPE, computed once at typecheck
+    time.  Plan-cache keys reuse these str objects, so CPython's per-object
+    hash cache turns every warm key build into a dict probe instead of
+    re-hashing the full query source."""
 
 
 def boundary_atoms(rpe: RpeNode, end: str) -> list[Atom]:
@@ -192,6 +197,9 @@ def typecheck_query(
         source_class=source_class,
         target_class=target_class,
         extra_matches=extra_matches,
+        rendered_matches={
+            name: rpe.render() for name, rpe in bound_matches.items()
+        },
     )
 
     for index, predicate in enumerate(query.predicates):

@@ -216,6 +216,24 @@ class GraphStore(ABC):
     def get_element(self, uid: int, scope: TimeScope) -> ElementRecord | None:
         """The representative version of *uid* under *scope* (or None)."""
 
+    def get_many(
+        self, uids: Sequence[int], scope: TimeScope
+    ) -> dict[int, ElementRecord]:
+        """Batched :meth:`get_element` over a whole frontier of uids.
+
+        Returns only the uids with a visible representative.  The default
+        loops; backends with a columnar snapshot answer the batch with one
+        bisect per uid, and every delegating wrapper overrides this
+        explicitly so snapshot pinning / chaos / retry semantics apply to
+        the batch exactly as they do to single point reads.
+        """
+        result: dict[int, ElementRecord] = {}
+        for uid in uids:
+            record = self.get_element(uid, scope)
+            if record is not None:
+                result[uid] = record
+        return result
+
     @abstractmethod
     def versions(self, uid: int, window: Interval) -> list[ElementRecord]:
         """Every version of *uid* overlapping *window* (for exact validity)."""

@@ -278,6 +278,12 @@ class FaultInjectingStore(GraphStore):
         self._before("get_element")
         return self._inner.get_element(uid, scope)
 
+    def get_many(
+        self, uids: "Sequence[int]", scope: TimeScope
+    ) -> "dict[int, ElementRecord]":
+        self._before("get_many")
+        return self._inner.get_many(uids, scope)
+
     def versions(self, uid: int, window: "Interval") -> "list[ElementRecord]":
         self._before("versions")
         return self._inner.versions(uid, window)

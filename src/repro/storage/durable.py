@@ -976,6 +976,11 @@ class DurableStore(GraphStore):
     def get_element(self, uid: int, scope: TimeScope) -> "ElementRecord | None":
         return self._inner.get_element(uid, scope)
 
+    def get_many(
+        self, uids: "Sequence[int]", scope: TimeScope
+    ) -> "dict[int, ElementRecord]":
+        return self._inner.get_many(uids, scope)
+
     def versions(self, uid: int, window: "Interval") -> "list[ElementRecord]":
         return self._inner.versions(uid, window)
 

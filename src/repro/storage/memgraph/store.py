@@ -10,6 +10,7 @@ overhead the evaluation reports, because only changed elements grow chains.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from functools import wraps
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping, Sequence
@@ -25,6 +26,7 @@ from repro.schema.classes import EdgeClass, ElementClass
 from repro.schema.registry import Schema
 from repro.schema.validate import validate_edge_endpoints, validate_fields
 from repro.storage.base import GraphStore, TimeScope
+from repro.storage.memgraph.csr import CsrSnapshot, build_csr
 from repro.storage.memgraph.indexes import AdjacencyIndex, ClassIndex, FieldEqualityIndex
 from repro.storage.memgraph.temporal_index import TemporalClassIndex, TemporalFieldIndex
 from repro.temporal.clock import TransactionClock
@@ -98,6 +100,14 @@ class MemGraphStore(GraphStore):
         #: uid ever admitted.  The indexes are still *maintained* while
         #: disabled, so the switch can be flipped freely mid-test.
         self.temporal_index_enabled = True
+        #: Ablation switch for the vectorized execution layer: with it off
+        #: every read runs the row-at-a-time oracle path.  Batch scans also
+        #: require ``temporal_index_enabled`` so the temporal ablation keeps
+        #: comparing against the genuine brute-force scan.
+        self.batch_enabled = True
+        self._csr: CsrSnapshot | None = None
+        self._csr_seen_version = -1
+        self._csr_lock = threading.Lock()
 
     def set_metrics(self, metrics: "MetricsRegistry | None") -> None:
         """Attach (or detach) the registry receiving ``index.*`` events."""
@@ -310,6 +320,41 @@ class MemGraphStore(GraphStore):
     # read path
     # ------------------------------------------------------------------
 
+    def _csr_snapshot(self) -> CsrSnapshot | None:
+        """The columnar snapshot for this ``data_version`` epoch, or ``None``
+        when the read should stay on the row path.
+
+        The snapshot is immutable, so invalidation is just an epoch
+        comparison.  Rebuilds are lazy *and* amortized: the first batch
+        read of a fresh epoch only marks the epoch seen and runs row-wise;
+        the second pays one O(n) build that every later read in the epoch
+        reuses.  Write-heavy interleavings (one read per epoch) therefore
+        never thrash full rebuilds, while read-heavy epochs — the hot path
+        this layer exists for — go columnar from their second read on.
+
+        Callers hold the read lock, which keeps the build consistent;
+        ``_csr_lock`` only stops concurrent readers duplicating the build.
+        """
+        snapshot = self._csr
+        version = self.data_version
+        if snapshot is not None and snapshot.data_version == version:
+            self._event("executor.batch.csr_reuse")
+            return snapshot
+        if self._csr_seen_version != version:
+            self._csr_seen_version = version
+            return None
+        with self._csr_lock:
+            snapshot = self._csr
+            if snapshot is not None and snapshot.data_version == version:
+                return snapshot
+            snapshot = build_csr(self)
+            self._csr = snapshot
+        self._event("executor.batch.csr_build")
+        return snapshot
+
+    def _batch_reads(self) -> bool:
+        return self.batch_enabled and self.temporal_index_enabled
+
     def _visible_versions(self, uid: int, scope: TimeScope) -> list[ElementRecord]:
         result: list[ElementRecord] = []
         if not scope.is_current:
@@ -325,6 +370,23 @@ class MemGraphStore(GraphStore):
     def get_element(self, uid: int, scope: TimeScope) -> ElementRecord | None:
         versions = self._visible_versions(uid, scope)
         return versions[-1] if versions else None
+
+    @_read_op
+    def get_many(self, uids: Sequence[int], scope: TimeScope) -> dict[int, ElementRecord]:
+        """Batched :meth:`get_element` under a single lock acquisition."""
+        if self.batch_enabled:
+            csr = self._csr_snapshot()
+            if csr is not None:
+                from repro.plan.batch import batch_get_many
+
+                self._event("executor.batch.point_reads", len(uids))
+                return batch_get_many(csr, uids, scope)
+        result: dict[int, ElementRecord] = {}
+        for uid in uids:
+            versions = self._visible_versions(uid, scope)
+            if versions:
+                result[uid] = versions[-1]
+        return result
 
     @_read_op
     def versions(self, uid: int, window: Interval) -> list[ElementRecord]:
@@ -351,6 +413,19 @@ class MemGraphStore(GraphStore):
             raise StorageError(f"atom {atom.class_name}() must be bound before scanning")
         class_names = self.schema.concrete_names(atom.cls)
 
+        # Batch scans additionally require the temporal ablation switch on,
+        # so flipping it off still compares against the true row oracle.
+        if self._batch_reads():
+            csr = self._csr_snapshot()
+            if csr is not None:
+                from repro.plan.batch import batch_scan_atom
+
+                results = batch_scan_atom(self, csr, atom, class_names, scope)
+                if results is not None:
+                    self._event("executor.batch.scan")
+                    self._event("executor.batch.scan_rows", len(results))
+                    return results
+
         candidate_uids = self._anchor_candidates(atom, class_names, scope)
         results: list[ElementRecord] = []
         for uid in sorted(candidate_uids):
@@ -374,6 +449,14 @@ class MemGraphStore(GraphStore):
                 self._event("index.field.hit")
                 return candidates
             self._event("index.class.hit")
+            total = len(self._current)
+            if total and self._class_index.count(class_names) >= total:
+                # Cost gate: the class subtree covers the whole live store
+                # (root scans like Element()), so copying and unioning the
+                # per-class index sets can only lose to snapshotting the
+                # live dict's keys directly.
+                self._event("index.class.live_scan")
+                return set(self._current)
             return self._class_index.members(class_names)
         if not self.temporal_index_enabled:
             # Ablation / oracle path: the pre-index full-extent scan.
@@ -458,6 +541,15 @@ class MemGraphStore(GraphStore):
         class_names = self._edge_class_names(classes)
         self._event("index.expand.batches")
         self._event("index.expand.nodes", len(node_uids))
+        if self.batch_enabled:
+            csr = self._csr_snapshot()
+            if csr is not None:
+                from repro.plan.batch import batch_expand_many
+
+                self._event("executor.batch.expand")
+                return batch_expand_many(
+                    csr, adjacency is self._out, node_uids, scope, class_names
+                )
         return {
             uid: self._expand(adjacency, uid, scope, class_names)
             for uid in node_uids

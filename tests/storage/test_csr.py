@@ -1,0 +1,134 @@
+"""Properties of the columnar (CSR) snapshot layer.
+
+The snapshot is the foundation the batch operators stand on, so its
+invariants are tested directly: the interning table is a bijection, the
+chain columns are bisectable (starts and ends ascending per chain), the
+adjacency CSR reproduces ``AdjacencyIndex.edges`` ordering exactly, and
+the epoch cache rebuilds lazily — same object within an epoch, fresh and
+equivalent to a from-scratch build after any write.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.base import TimeScope
+from repro.storage.memgraph.csr import build_csr
+from repro.storage.memgraph.store import MemGraphStore
+from repro.temporal.clock import TransactionClock
+from tests.storage.test_backend_equivalence import SCHEMA, T0, _ops, apply_ops
+
+_choices = st.lists(st.integers(min_value=0, max_value=997), min_size=60, max_size=60)
+
+
+def churned_store(ops, choices) -> MemGraphStore:
+    store = MemGraphStore(SCHEMA, clock=TransactionClock(start=T0))
+    apply_ops(store, ops, choices)
+    return store
+
+
+def simple_store() -> MemGraphStore:
+    store = MemGraphStore(SCHEMA, clock=TransactionClock(start=T0))
+    a = store.insert_node("Box", {"status": "up"})
+    b = store.insert_node("BigBox", {"status": "up"})
+    c = store.insert_node("Box", {"status": "down"})
+    store.insert_edge("Link", a, b, {"weight": 1})
+    store.clock.advance(10)
+    store.insert_edge("FastLink", a, c, {"weight": 2})
+    store.insert_edge("Link", a, c, {"weight": 3})
+    store.clock.advance(10)
+    store.update_element(a, {"status": "warm"})
+    store.delete_element(c)
+    return store
+
+
+def test_interning_table_is_a_bijection():
+    store = simple_store()
+    csr = build_csr(store)
+    uids = list(csr.uids)
+    assert uids == sorted(store._class_of)
+    assert [csr.dense_of[uid] for uid in uids] == list(range(len(uids)))
+    for dense, uid in enumerate(uids):
+        name = csr.class_names[csr.element_class_ids[dense]]
+        assert name == store._class_of[uid].name
+    # Every schema class is interned, node and edge labels alike.
+    assert {cls.name for cls in store.schema.classes()} <= set(csr.class_names)
+
+
+def test_chain_columns_are_bisectable():
+    store = simple_store()
+    csr = build_csr(store)
+    assert csr.chain_offsets[0] == 0
+    assert csr.chain_offsets[-1] == len(csr.chain_records)
+    for dense in range(len(csr.uids)):
+        lo, hi = csr.chain_offsets[dense], csr.chain_offsets[dense + 1]
+        starts = list(csr.chain_starts[lo:hi])
+        ends = list(csr.chain_ends[lo:hi])
+        assert starts == sorted(starts)
+        assert ends == sorted(ends)
+        # Versions of a chain never overlap: each closes before the next opens.
+        for i in range(1, len(starts)):
+            assert ends[i - 1] <= starts[i]
+
+
+def test_adjacency_csr_reproduces_index_ordering():
+    store = simple_store()
+    csr = build_csr(store)
+    filters = [None, ["Link"], ["FastLink"], ["Link", "FastLink"], ["FastLink", "Link"]]
+    for adjacency, segments, flat in (
+        (store._out, csr.out_segments, csr.out_edge_dense),
+        (store._in, csr.in_segments, csr.in_edge_dense),
+    ):
+        for uid in store.known_uids():
+            dense = csr.dense_of[uid]
+            for names in filters:
+                expected = adjacency.edges(uid, names)
+                segs = segments[dense] or {}
+                ranges = (
+                    list(segs.values())
+                    if names is None
+                    else [segs[n] for n in names if n in segs]
+                )
+                got = [
+                    csr.uids[flat[i]] for lo, hi in ranges for i in range(lo, hi)
+                ]
+                assert got == expected, (uid, names)
+
+
+def test_epoch_cache_reuses_then_invalidates():
+    store = simple_store()
+    # First batch read of an epoch defers to the row path (no snapshot yet);
+    # the second builds, and later reads reuse the same object.
+    assert store._csr_snapshot() is None
+    built = store._csr_snapshot()
+    assert built is not None
+    assert store._csr_snapshot() is built
+    assert built.data_version == store.data_version
+    # Any write moves the epoch: one deferred read, then a fresh build.
+    store.insert_node("Box", {"status": "new"})
+    assert store._csr_snapshot() is None
+    rebuilt = store._csr_snapshot()
+    assert rebuilt is not built
+    assert rebuilt.data_version == store.data_version
+
+
+@settings(max_examples=30, deadline=None)
+@given(_ops, _choices)
+def test_lazy_rebuild_equals_fresh_build(ops, choices):
+    """After arbitrary churn, the epoch-cached snapshot answers exactly like
+    a from-scratch build (and like the row path) at every probe time."""
+    store = churned_store(ops, choices)
+    store._csr_snapshot()  # mark the epoch seen
+    cached = store._csr_snapshot()
+    assert cached is not None
+    fresh = build_csr(store)
+    assert cached.describe() == fresh.describe()
+    final = store.clock.now()
+    probes = [T0, (T0 + final) / 2, final]
+    for uid in store.known_uids():
+        for t in probes:
+            scope = TimeScope.at(t)
+            window = scope.window()
+            a, b = window.start, window.end
+            assert cached.latest_visible(uid, a, b) == fresh.latest_visible(uid, a, b)
+            assert cached.latest_visible(uid, a, b) == store.get_element(uid, scope)
